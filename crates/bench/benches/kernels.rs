@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the hot kernels.
+//!
+//! These complement the figure binaries: they measure the real wall-clock
+//! of each stage on this host — octree construction (the pre-processing
+//! cost the paper amortizes), the hierarchical vs naive Born/E_pol
+//! kernels (the headline asymptotic win), surface generation, and the
+//! approximate-math kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_gb::{GbParams, GbSolver};
+use polar_geom::{fastmath, MathMode};
+use polar_molecule::generators;
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+use std::hint::black_box;
+
+fn bench_octree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree_build");
+    g.sample_size(20);
+    for n in [1_000usize, 4_000, 16_000] {
+        let mol = generators::globular("b", n, 7);
+        let pos = mol.positions();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pos, |b, pos| {
+            b.iter(|| OctreeConfig::default().build(black_box(pos)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_surface(c: &mut Criterion) {
+    let mut g = c.benchmark_group("surface_generation");
+    g.sample_size(10);
+    for n in [500usize, 2_000] {
+        let mol = generators::globular("s", n, 11);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &mol, |b, mol| {
+            b.iter(|| mol.surface(black_box(&SurfaceConfig::coarse())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_born(c: &mut Criterion) {
+    let mut g = c.benchmark_group("born_radii");
+    g.sample_size(10);
+    for n in [500usize, 2_000] {
+        let mol = generators::globular("born", n, 13);
+        let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default());
+        let params = GbParams::default();
+        g.bench_with_input(BenchmarkId::new("octree_eps09", n), &solver, |b, s| {
+            b.iter(|| s.born_radii(black_box(&params)));
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &solver, |b, s| {
+            b.iter(|| s.born_naive(black_box(&params)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_epol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epol");
+    g.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let mol = generators::globular("epol", n, 17);
+        let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default());
+        let params = GbParams::default();
+        let (born, _) = solver.born_radii(&params);
+        g.bench_with_input(BenchmarkId::new("octree_eps09", n), &solver, |b, s| {
+            b.iter(|| s.epol(black_box(&born), black_box(&params)));
+        });
+        if n <= 2_000 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &solver, |b, s| {
+                b.iter(|| s.epol_naive(black_box(&born), black_box(&params)));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fastmath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fastmath");
+    let xs: Vec<f64> = (1..1000).map(|i| i as f64 * 0.37 + 0.01).collect();
+    g.bench_function("rsqrt_exact", |b| {
+        b.iter(|| xs.iter().map(|&x| 1.0 / black_box(x).sqrt()).sum::<f64>())
+    });
+    g.bench_function("rsqrt_fast", |b| {
+        b.iter(|| xs.iter().map(|&x| fastmath::fast_rsqrt(black_box(x))).sum::<f64>())
+    });
+    g.bench_function("exp_exact", |b| {
+        b.iter(|| xs.iter().map(|&x| (-black_box(x) * 0.05).exp()).sum::<f64>())
+    });
+    g.bench_function("exp_fast", |b| {
+        b.iter(|| xs.iter().map(|&x| fastmath::fast_exp(-black_box(x) * 0.05)).sum::<f64>())
+    });
+    g.finish();
+}
+
+fn bench_full_solve_math_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_math_mode");
+    g.sample_size(10);
+    let mol = generators::globular("mm", 2_000, 23);
+    let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default());
+    for math in [MathMode::Exact, MathMode::Approximate] {
+        let params = GbParams { math, ..GbParams::default() };
+        g.bench_function(math.label(), |b| b.iter(|| solver.solve(black_box(&params))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_octree_build,
+    bench_surface,
+    bench_born,
+    bench_epol,
+    bench_fastmath,
+    bench_full_solve_math_modes
+);
+criterion_main!(benches);

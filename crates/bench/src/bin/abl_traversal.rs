@@ -1,0 +1,77 @@
+//! Ablation — the paper's single-tree traversal vs the precursor's
+//! two-tree traversal (\[6\]) for the Born radius stage.
+//!
+//! §IV: "we only traverse one octree instead of two, and hence the
+//! approximation scheme is also different". The single-tree scheme
+//! approximates only at `T_Q` *leaves*, so it does more far-field ops but
+//! is more accurate; the dual-tree scheme groups whole `T_Q` subtrees.
+
+use polar_bench::{build_solver, Scale, Table};
+use polar_gb::born::exact::born_radii_r6;
+use polar_gb::born::octree::{
+    approx_integrals, approx_integrals_dual, push_integrals_to_atoms,
+};
+use polar_gb::metrics::max_rel_error;
+use polar_gb::{GbParams, WorkCounts};
+use polar_geom::MathMode;
+use polar_bench::zdock_spread;
+
+fn main() {
+    let scale = Scale::from_env();
+    let count = scale.zdock_count.clamp(3, 6);
+    let params = GbParams::default();
+
+    let mut t = Table::new(
+        "abl_traversal",
+        &["atoms", "scheme", "pair ops", "far ops", "nodes visited", "max rel err"],
+    );
+    for mol in zdock_spread(count) {
+        let solver = build_solver(&mol);
+        let ctx = solver.born_ctx();
+        let naive = born_radii_r6(
+            &solver.atom_pos,
+            &solver.atom_radii,
+            &solver.qpoints,
+            MathMode::Exact,
+        );
+        for (label, totals, counts) in [
+            {
+                let mut c = WorkCounts::ZERO;
+                let p = approx_integrals(
+                    &ctx,
+                    params.eps_born,
+                    0..solver.tree_q.leaves().len(),
+                    &mut c,
+                );
+                ("single-tree (paper)", p, c)
+            },
+            {
+                let mut c = WorkCounts::ZERO;
+                let p = approx_integrals_dual(&ctx, params.eps_born, &mut c);
+                ("dual-tree [6]", p, c)
+            },
+        ] {
+            let mut born = vec![0.0; solver.n_atoms()];
+            push_integrals_to_atoms(
+                &ctx,
+                &totals,
+                0..solver.n_atoms(),
+                MathMode::Exact,
+                &mut born,
+            );
+            t.row(vec![
+                solver.n_atoms().to_string(),
+                label.into(),
+                counts.pair_ops.to_string(),
+                counts.far_ops.to_string(),
+                counts.nodes_visited.to_string(),
+                format!("{:.2e}", max_rel_error(&born, &naive)),
+            ]);
+        }
+    }
+    t.emit();
+    println!(
+        "expected shape: dual-tree does fewer far/pair ops (it can \
+         approximate whole T_Q subtrees) at equal-or-worse accuracy"
+    );
+}

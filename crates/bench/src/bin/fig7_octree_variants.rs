@@ -1,0 +1,60 @@
+//! Figure 7 — OCT_CILK vs OCT_MPI vs OCT_MPI+CILK across the ZDock-like
+//! suite on one 12-core node, sorted by OCT_CILK time.
+//!
+//! The paper observes OCT_CILK fastest below ~2,500 atoms (communication
+//! latency dominates the distributed variants on small inputs), OCT_MPI
+//! taking over above that, and OCT_MPI ≈ OCT_MPI+CILK past ~7,500 atoms.
+
+use polar_bench::{build_solver, calibrated_machine, experiment_for, fmt_secs, Scale, Table};
+use polar_cluster::Layout;
+use polar_gb::GbParams;
+use polar_bench::zdock_spread;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = GbParams::default();
+    let spec = calibrated_machine(1); // single node
+    let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for mol in zdock_spread(scale.zdock_count) {
+        let solver = build_solver(&mol);
+        let exp = experiment_for(&solver, &params, spec);
+        // OCT_CILK: one process, 12 threads (spans both sockets — cilk++
+        // has no affinity manager). No inter-process communication.
+        let cilk = exp.simulate(Layout { ranks: 1, threads_per_rank: 12 }, 7).total_seconds;
+        let mpi = exp.simulate(Layout::pure_mpi(12), 7).total_seconds;
+        let hybrid = exp.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 7).total_seconds;
+        rows.push((solver.n_atoms(), cilk, mpi, hybrid));
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let mut t = Table::new(
+        "fig7_octree_variants",
+        &["atoms", "OCT_CILK", "OCT_MPI", "OCT_MPI+CILK", "fastest"],
+    );
+    let mut cilk_wins_max = 0usize;
+    let mut mpi_wins_min = usize::MAX;
+    for (atoms, cilk, mpi, hybrid) in &rows {
+        let fastest = if cilk <= mpi && cilk <= hybrid {
+            cilk_wins_max = cilk_wins_max.max(*atoms);
+            "OCT_CILK"
+        } else if mpi <= hybrid {
+            mpi_wins_min = mpi_wins_min.min(*atoms);
+            "OCT_MPI"
+        } else {
+            "OCT_MPI+CILK"
+        };
+        t.row(vec![
+            atoms.to_string(),
+            fmt_secs(*cilk),
+            fmt_secs(*mpi),
+            fmt_secs(*hybrid),
+            fastest.into(),
+        ]);
+    }
+    t.emit();
+    println!(
+        "largest molecule where OCT_CILK wins: {cilk_wins_max} atoms \
+         (paper: ~2,500); smallest where a distributed variant wins: {} atoms",
+        if mpi_wins_min == usize::MAX { 0 } else { mpi_wins_min }
+    );
+}

@@ -1,0 +1,127 @@
+//! Figure 8 — running time of every package across the ZDock-like suite
+//! (a), and speedup w.r.t. Amber on 12 cores (b).
+//!
+//! Package pipelines run for real (descreening Born radii + cutoff/full
+//! pairwise energy); their measured pair counts, scaled by the calibrated
+//! per-package pair costs, are priced on the same 12-core machine model
+//! as the octree variants. Paper anchors: OCT_MPI ≈ 11× Amber at 16,301
+//! atoms; Gromacs ≈ 2.7× there (peaking ~6.2× near 2,260 atoms); NAMD,
+//! Tinker, GBr⁶ ≤ ~2×; Tinker/GBr⁶ OOM beyond ~12k/13k.
+
+use polar_bench::{build_solver, calibrated_machine, experiment_for, fmt_secs, Scale, Table};
+use polar_cluster::{ClusterExperiment, Layout};
+use polar_gb::GbParams;
+use polar_bench::zdock_spread;
+use polar_packages::package::{registry, ParallelKind, PackageSpec};
+
+/// Price a package's flat pair workload on the machine model.
+fn package_time(
+    spec: &PackageSpec,
+    work_units: u64,
+    data_bytes: u64,
+    machine: polar_cluster::MachineSpec,
+) -> f64 {
+    // Flat work split into uniform tasks; layout per the package's
+    // parallelism kind (Table II) on one 12-core node.
+    let layout = match spec.parallel {
+        ParallelKind::Distributed => Layout::pure_mpi(12),
+        ParallelKind::Shared => Layout { ranks: 1, threads_per_rank: 12 },
+        ParallelKind::Serial => Layout { ranks: 1, threads_per_rank: 1 },
+    };
+    let n_tasks = 512usize;
+    let per = work_units / n_tasks as u64;
+    let exp = ClusterExperiment {
+        spec: machine,
+        born_tasks: vec![per.max(1); n_tasks],
+        epol_tasks: vec![],
+        data_bytes,
+        partials_bytes: 0,
+        born_bytes: data_bytes / 4,
+    };
+    exp.simulate(layout, 11).total_seconds
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = GbParams::default();
+    let machine = calibrated_machine(1);
+    let packages = registry();
+
+    let mut time_tbl = Table::new(
+        "fig8a_package_times",
+        &["atoms", "OCT_MPI", "OCT_MPI+CILK", "Gromacs", "NAMD", "Amber", "Tinker", "GBr6"],
+    );
+    let mut speedup_tbl = Table::new(
+        "fig8b_speedup_vs_amber",
+        &["atoms", "OCT_MPI", "OCT_MPI+CILK", "Gromacs", "NAMD", "Tinker", "GBr6"],
+    );
+
+    let mut peak: Vec<(String, f64, usize)> = Vec::new(); // name, best speedup, at atoms
+    for mol in zdock_spread(scale.zdock_count) {
+        let solver = build_solver(&mol);
+        let exp = experiment_for(&solver, &params, machine);
+        let oct_mpi = exp.simulate(Layout::pure_mpi(12), 3).total_seconds;
+        let oct_hybrid =
+            exp.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 3).total_seconds;
+
+        let mut pkg_times: Vec<Option<f64>> = Vec::new();
+        for spec in &packages {
+            match spec.run(&mol) {
+                Ok(run) => {
+                    let bytes = (mol.len() * 56 + run.nblist_bytes) as u64;
+                    pkg_times.push(Some(package_time(spec, run.work.units(), bytes, machine)));
+                }
+                Err(_) => pkg_times.push(None),
+            }
+        }
+        let cell = |t: Option<f64>| t.map_or("OOM".to_string(), fmt_secs);
+        // registry order: Gromacs, NAMD, Amber, Tinker, GBr6.
+        time_tbl.row(vec![
+            mol.len().to_string(),
+            fmt_secs(oct_mpi),
+            fmt_secs(oct_hybrid),
+            cell(pkg_times[0]),
+            cell(pkg_times[1]),
+            cell(pkg_times[2]),
+            cell(pkg_times[3]),
+            cell(pkg_times[4]),
+        ]);
+        if let Some(amber) = pkg_times[2] {
+            let s = |t: Option<f64>| t.map_or("OOM".to_string(), |t| format!("{:.2}", amber / t));
+            speedup_tbl.row(vec![
+                mol.len().to_string(),
+                format!("{:.2}", amber / oct_mpi),
+                format!("{:.2}", amber / oct_hybrid),
+                s(pkg_times[0]),
+                s(pkg_times[1]),
+                s(pkg_times[3]),
+                s(pkg_times[4]),
+            ]);
+            let mut record = |name: &str, t: Option<f64>| {
+                if let Some(t) = t {
+                    let sp = amber / t;
+                    match peak.iter_mut().find(|(n, _, _)| n == name) {
+                        Some(e) if e.1 < sp => {
+                            e.1 = sp;
+                            e.2 = mol.len();
+                        }
+                        None => peak.push((name.to_string(), sp, mol.len())),
+                        _ => {}
+                    }
+                }
+            };
+            record("OCT_MPI", Some(oct_mpi));
+            record("OCT_MPI+CILK", Some(oct_hybrid));
+            record("Gromacs", pkg_times[0]);
+            record("NAMD", pkg_times[1]);
+            record("Tinker", pkg_times[3]);
+            record("GBr6", pkg_times[4]);
+        }
+    }
+    time_tbl.emit();
+    speedup_tbl.emit();
+    println!("peak speedups w.r.t. Amber on 12 cores:");
+    for (name, sp, at) in peak {
+        println!("  {name:>14}: {sp:.2}x at {at} atoms");
+    }
+}

@@ -1,0 +1,52 @@
+//! Table I — simulation environment.
+//!
+//! Prints the host this harness actually runs on, the Lonestar4-class
+//! machine model used by the cluster simulator (the paper's Table I), and
+//! the measured calibration constant anchoring simulated times to this
+//! host's real kernel rate.
+
+use polar_bench::{calibrate_seconds_per_unit, Table};
+use polar_cluster::MachineSpec;
+
+fn main() {
+    let spu = calibrate_seconds_per_unit();
+    let spec = MachineSpec::lonestar4(12).calibrated(spu);
+
+    let mut host = Table::new("tbl1_host", &["attribute", "value"]);
+    host.row(vec!["logical cores".into(), num_threads().to_string()]);
+    host.row(vec!["os".into(), std::env::consts::OS.into()]);
+    host.row(vec!["arch".into(), std::env::consts::ARCH.into()]);
+    host.row(vec![
+        "measured GB-pair cost".into(),
+        format!("{:.2} ns/pair ({:.0} Mpairs/s/core)", spu * 1e9, 1e-6 / spu),
+    ]);
+    host.emit();
+
+    let mut t = Table::new("tbl1_environment", &["attribute", "modeled property"]);
+    t.row(vec!["Processors".into(), "3.33 GHz hexa-core Westmere class (simulated)".into()]);
+    t.row(vec!["Cores/node".into(), spec.cores_per_node().to_string()]);
+    t.row(vec!["Nodes".into(), format!("{} ({} cores total)", spec.nodes, spec.total_cores())]);
+    t.row(vec!["RAM/node".into(), format!("{} GB", spec.ram_per_node >> 30)]);
+    t.row(vec![
+        "Cluster interconnect".into(),
+        format!(
+            "InfiniBand model: t_s = {:.1} us, {:.1} GB/s",
+            spec.network.t_s * 1e6,
+            1e-9 / spec.network.t_w
+        ),
+    ]);
+    t.row(vec![
+        "Cache".into(),
+        format!("{} MB L3/socket, penalty factor {}", spec.l3_per_socket >> 20, spec.cache_penalty),
+    ]);
+    t.row(vec![
+        "Parallelism platform".into(),
+        "work-stealing pool (cilk++ analogue) + in-process MPI".into(),
+    ]);
+    t.row(vec!["Per-unit cost (calibrated)".into(), format!("{:.3} ns", spec.seconds_per_unit * 1e9)]);
+    t.emit();
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,41 @@
+//! Table II — packages, GB models and parallelism kinds.
+
+use polar_bench::Table;
+use polar_packages::package::{registry, GbModelKind, ParallelKind};
+
+fn main() {
+    let mut t = Table::new("tbl2_packages", &["package", "GB model", "parallelism", "cutoff", "atom limit"]);
+    for p in registry() {
+        t.row(vec![
+            p.name.into(),
+            match p.model {
+                GbModelKind::Hct => "HCT".into(),
+                GbModelKind::Obc => "OBC".into(),
+                GbModelKind::Still => "STILL".into(),
+                GbModelKind::VolumeR6 => "STILL (volume r6)".into(),
+            },
+            match p.parallel {
+                ParallelKind::Distributed => "Distributed (MPI)".into(),
+                ParallelKind::Shared => "Shared (OpenMP)".into(),
+                ParallelKind::Serial => "Serial".into(),
+            },
+            p.energy_cutoff.map_or("none (O(M^2))".into(), |c| format!("{c} A")),
+            p.max_atoms.map_or("-".into(), |m| format!("~{m}")),
+        ]);
+    }
+    for (name, par) in [
+        ("OCT_CILK", "Shared (work-stealing)"),
+        ("OCT_MPI", "Distributed (MPI)"),
+        ("OCT_MPI+CILK", "Distributed + shared (hybrid)"),
+        ("Naive", "Serial"),
+    ] {
+        t.row(vec![
+            name.into(),
+            "STILL (surface r6)".into(),
+            par.into(),
+            "eps-tunable".into(),
+            "-".into(),
+        ]);
+    }
+    t.emit();
+}

@@ -1,0 +1,151 @@
+//! A small dependency-free argument parser for the `polar` CLI.
+//!
+//! Grammar: `polar <command> [positionals…] [--flag] [--key value]…`.
+//! Flags may appear anywhere after the command; unknown flags are errors
+//! (catching typos beats silently ignoring them).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    pub command: String,
+    pub positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    /// Option/flag names the command accepts (for typo detection).
+    allowed: Vec<&'static str>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `argv` (without the program name). `value_opts` take one
+    /// argument; `flags` are boolean.
+    pub fn parse(
+        argv: &[String],
+        value_opts: &[&'static str],
+        bool_flags: &[&'static str],
+    ) -> Result<Args, ArgError> {
+        let mut it = argv.iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing command".into()))?
+            .clone();
+        let mut positionals = Vec::new();
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    flags.push(name.to_string());
+                } else if value_opts.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    options.insert(name.to_string(), v.clone());
+                } else {
+                    return Err(ArgError(format!("unknown option --{name}")));
+                }
+            } else {
+                positionals.push(tok.clone());
+            }
+        }
+        let mut allowed: Vec<&'static str> = value_opts.to_vec();
+        allowed.extend_from_slice(bool_flags);
+        Ok(Args { command, positionals, options, flags, allowed })
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, name: &str) -> bool {
+        debug_assert!(self.allowed.contains(&name), "undeclared flag {name}");
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        debug_assert!(self.allowed.contains(&name), "undeclared option {name}");
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {s:?}"))),
+        }
+    }
+
+    /// Required positional by index.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, ArgError> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    const OPTS: &[&str] = &["eps", "seed", "out"];
+    const FLAGS: &[&str] = &["naive", "parallel"];
+
+    #[test]
+    fn parses_commands_positionals_options_flags() {
+        let a = Args::parse(&argv("energy mol.pqr --eps 0.5 --naive"), OPTS, FLAGS).unwrap();
+        assert_eq!(a.command, "energy");
+        assert_eq!(a.positional(0, "file").unwrap(), "mol.pqr");
+        assert_eq!(a.get("eps"), Some("0.5"));
+        assert!(a.flag("naive"));
+        assert!(!a.flag("parallel"));
+    }
+
+    #[test]
+    fn typed_options_with_defaults() {
+        let a = Args::parse(&argv("x --eps 0.3"), OPTS, FLAGS).unwrap();
+        assert_eq!(a.get_parsed("eps", 0.9_f64).unwrap(), 0.3);
+        assert_eq!(a.get_parsed("seed", 7_u64).unwrap(), 7);
+        let b = Args::parse(&argv("x --eps nope"), OPTS, FLAGS).unwrap();
+        assert!(b.get_parsed("eps", 0.9_f64).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(Args::parse(&argv("x --bogus 1"), OPTS, FLAGS).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("x --eps"), OPTS, FLAGS).is_err());
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert!(Args::parse(&[], OPTS, FLAGS).is_err());
+    }
+
+    #[test]
+    fn missing_positional_reports_what() {
+        let a = Args::parse(&argv("energy"), OPTS, FLAGS).unwrap();
+        let e = a.positional(0, "input file").unwrap_err();
+        assert!(e.0.contains("input file"));
+    }
+}

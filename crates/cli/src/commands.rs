@@ -1,0 +1,234 @@
+//! Implementations of the `polar` subcommands.
+
+use crate::args::{ArgError, Args};
+use polar_cluster::Layout;
+use polar_gb::{GbParams, GbSolver};
+use polar_geom::MathMode;
+use polar_molecule::{generators, io, Molecule};
+use polar_mpi::data_dist::run_data_distributed;
+use polar_mpi::{drivers::run_distributed, DistributedConfig};
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+use std::time::Instant;
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_molecule(a: &Args) -> Result<Molecule, Box<dyn std::error::Error>> {
+    let path = a.positional(0, "input file")?;
+    Ok(io::load(std::path::Path::new(path))?)
+}
+
+fn params_from(a: &Args) -> Result<GbParams, ArgError> {
+    Ok(GbParams {
+        eps_born: a.get_parsed("eps-born", 0.9)?,
+        eps_epol: a.get_parsed("eps-epol", 0.9)?,
+        math: if a.flag("approx-math") { MathMode::Approximate } else { MathMode::Exact },
+        ..GbParams::default()
+    })
+}
+
+fn prepare(mol: &Molecule) -> GbSolver {
+    let t = Instant::now();
+    let s = GbSolver::for_molecule(mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+    eprintln!(
+        "prepared {} atoms / {} q-points in {:.2?}",
+        s.n_atoms(),
+        s.n_qpoints(),
+        t.elapsed()
+    );
+    s
+}
+
+/// `polar energy <file>`
+pub fn energy(a: &Args) -> CmdResult {
+    let mol = load_molecule(a)?;
+    if mol.total_charge().abs() < 1e-12 && mol.charges().iter().all(|q| *q == 0.0) {
+        eprintln!(
+            "warning: all charges are zero (PDB/XYZ input?) — E_pol will be 0; \
+             use a .pqr with real charges"
+        );
+    }
+    let params = params_from(a)?;
+    let solver = prepare(&mol);
+    let t = Instant::now();
+    let result = if a.flag("parallel") {
+        solver.solve_parallel(&params)
+    } else {
+        solver.solve(&params)
+    };
+    println!(
+        "E_pol = {:.4} kcal/mol  (eps {}/{}, {} math, {:.2?})",
+        result.epol_kcal,
+        params.eps_born,
+        params.eps_epol,
+        params.math.label(),
+        t.elapsed()
+    );
+    if a.flag("naive") {
+        let t = Instant::now();
+        let born = solver.born_naive(&params);
+        let e = solver.epol_naive(&born, &params);
+        println!(
+            "naive  = {e:.4} kcal/mol  ({:.2?}); octree error {:+.4}%",
+            t.elapsed(),
+            100.0 * (result.epol_kcal - e) / e.abs()
+        );
+    }
+    Ok(())
+}
+
+/// `polar info <file>`
+pub fn info(a: &Args) -> CmdResult {
+    let mol = load_molecule(a)?;
+    let b = mol.bounds();
+    println!("name:        {}", mol.name);
+    println!("atoms:       {}", mol.len());
+    println!("net charge:  {:+.4} e", mol.total_charge());
+    println!(
+        "bounds:      [{:.1} {:.1} {:.1}] .. [{:.1} {:.1} {:.1}]  (diag {:.1} A)",
+        b.min.x,
+        b.min.y,
+        b.min.z,
+        b.max.x,
+        b.max.y,
+        b.max.z,
+        2.0 * b.circumradius()
+    );
+    let q = mol.surface(&SurfaceConfig::coarse());
+    let area: f64 = q.iter().map(|p| p.weight).sum();
+    println!("surface:     {} quadrature points, {area:.0} A^2 exposed", q.len());
+    Ok(())
+}
+
+/// `polar generate <kind> <n>`
+pub fn generate(a: &Args) -> CmdResult {
+    let kind = a.positional(0, "kind (globule|shell|ligand)")?;
+    let n: usize = a
+        .positional(1, "atom count")?
+        .parse()
+        .map_err(|_| ArgError("atom count must be an integer".into()))?;
+    let seed = a.get_parsed("seed", 42_u64)?;
+    let mol = match kind {
+        "globule" => generators::globular(format!("globule_n{n}"), n, seed),
+        "shell" => generators::virus_shell(format!("shell_n{n}"), n, 25.0, seed),
+        "ligand" => generators::ligand(format!("ligand_n{n}"), n, seed),
+        other => return Err(Box::new(ArgError(format!("unknown kind {other:?}")))),
+    };
+    let text = io::to_pqr(&mol);
+    match a.get("out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            eprintln!("wrote {} atoms to {path}", mol.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `polar sweep <file>`
+pub fn sweep(a: &Args) -> CmdResult {
+    let mol = load_molecule(a)?;
+    let from: f64 = a.get_parsed("from", 0.1)?;
+    let to: f64 = a.get_parsed("to", 0.9)?;
+    let steps: usize = a.get_parsed("steps", 9)?;
+    if !(from > 0.0 && to >= from && steps >= 1) {
+        return Err(Box::new(ArgError("need 0 < from <= to and steps >= 1".into())));
+    }
+    let solver = prepare(&mol);
+    let reference = solver
+        .solve(&GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..GbParams::default() })
+        .epol_kcal;
+    println!("reference (exact) E_pol = {reference:.4} kcal/mol");
+    println!("{:>7} {:>14} {:>9} {:>12}", "eps", "E_pol", "err %", "time");
+    for k in 0..steps {
+        let eps = if steps == 1 {
+            from
+        } else {
+            from + (to - from) * k as f64 / (steps - 1) as f64
+        };
+        let t = Instant::now();
+        let r = solver.solve(&GbParams { eps_born: eps, eps_epol: eps, ..GbParams::default() });
+        println!(
+            "{eps:>7.3} {:>14.4} {:>9.4} {:>12.2?}",
+            r.epol_kcal,
+            100.0 * (r.epol_kcal - reference) / reference.abs(),
+            t.elapsed()
+        );
+    }
+    Ok(())
+}
+
+/// `polar distributed <file>`
+pub fn distributed(a: &Args) -> CmdResult {
+    let mol = load_molecule(a)?;
+    let ranks: usize = a.get_parsed("ranks", 4)?;
+    let threads: usize = a.get_parsed("threads", 1)?;
+    if ranks == 0 || threads == 0 {
+        return Err(Box::new(ArgError("ranks and threads must be positive".into())));
+    }
+    let params = params_from(a)?;
+    let solver = prepare(&mol);
+    let cfg = DistributedConfig { ranks, threads_per_rank: threads, params, ..DistributedConfig::oct_mpi(ranks, params) };
+    if a.flag("data-dist") {
+        let t = Instant::now();
+        let run = run_data_distributed(&solver, &cfg);
+        println!(
+            "data-distributed E_pol = {:.4} kcal/mol on {ranks} ranks in {:.2?}",
+            run.epol_kcal,
+            t.elapsed()
+        );
+        println!(
+            "memory: {:.1} MB total vs {:.1} MB work-only replication ({:.1}x saving)",
+            run.total_bytes as f64 / 1048576.0,
+            run.work_only_bytes as f64 / 1048576.0,
+            run.work_only_bytes as f64 / run.total_bytes as f64
+        );
+    } else {
+        let t = Instant::now();
+        let run = run_distributed(&solver, &cfg);
+        println!(
+            "E_pol = {:.4} kcal/mol on {ranks} ranks x {threads} threads in {:.2?}",
+            run.epol_kcal,
+            t.elapsed()
+        );
+        println!(
+            "replicated memory: {:.1} MB total; max simulated comm {:.2} ms/rank",
+            run.total_replicated_bytes as f64 / 1048576.0,
+            run.per_rank_comm_seconds.iter().cloned().fold(0.0, f64::max) * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// `polar project <file>` — simulated Lonestar4 timings.
+pub fn project(a: &Args) -> CmdResult {
+    let mol = load_molecule(a)?;
+    let nodes: usize = a.get_parsed("nodes", 12)?;
+    let params = params_from(a)?;
+    let solver = prepare(&mol);
+    let spec = polar_cluster::MachineSpec::lonestar4(nodes.max(1));
+    let born_tasks: Vec<u64> =
+        solver.born_work_per_qleaf(&params).iter().map(|w| w.units()).collect();
+    let (born, _) = solver.born_radii(&params);
+    let epol_tasks: Vec<u64> =
+        solver.epol_work_per_leaf(&born, &params).iter().map(|w| w.units()).collect();
+    let exp = polar_cluster::ClusterExperiment {
+        spec,
+        born_tasks,
+        epol_tasks,
+        data_bytes: solver.memory_bytes() as u64,
+        partials_bytes: ((solver.tree_a.node_count() + solver.n_atoms()) * 8) as u64,
+        born_bytes: (solver.n_atoms() * 8) as u64,
+    };
+    println!("{:>6} {:>14} {:>18}", "cores", "OCT_MPI", "OCT_MPI+CILK(x6)");
+    let mut cores = 12;
+    while cores <= spec.total_cores() {
+        let mpi = exp.simulate(Layout::pure_mpi(cores), 1).total_seconds;
+        let hyb = exp
+            .simulate(Layout { ranks: cores / 6, threads_per_rank: 6 }, 1)
+            .total_seconds;
+        println!("{cores:>6} {mpi:>13.4}s {hyb:>17.4}s");
+        cores *= 2;
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! `polar` — the command-line front end.
+//!
+//! ```text
+//! polar energy <file.pqr|.pdb|.xyz> [--eps-born E] [--eps-epol E]
+//!                                   [--approx-math] [--parallel] [--naive]
+//! polar info <file>
+//! polar generate <globule|shell|ligand> <n_atoms> [--seed S] [--out f.pqr]
+//! polar sweep <file> [--from 0.1] [--to 0.9] [--steps 9]
+//! polar distributed <file> [--ranks P] [--threads p] [--data-dist]
+//! polar project <file> [--nodes N]     # simulated cluster timings
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const VALUE_OPTS: &[&str] = &[
+    "eps-born", "eps-epol", "seed", "out", "from", "to", "steps", "ranks", "threads", "nodes",
+];
+const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist"];
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print_usage();
+        return;
+    }
+    let parsed = match Args::parse(&argv, VALUE_OPTS, BOOL_FLAGS) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "energy" => commands::energy(&parsed),
+        "info" => commands::info(&parsed),
+        "generate" => commands::generate(&parsed),
+        "sweep" => commands::sweep(&parsed),
+        "distributed" => commands::distributed(&parsed),
+        "project" => commands::project(&parsed),
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "polar — octree-based GB polarization energy (SC 2012 reproduction)
+
+USAGE:
+  polar energy <file>       compute E_pol (octree, eps = 0.9/0.9 default)
+      --eps-born E --eps-epol E   approximation parameters
+      --approx-math               fast sqrt/exp/cbrt kernels
+      --parallel                  shared-memory (OCT_CILK) driver
+      --naive                     also run the O(M^2) reference + error
+  polar info <file>         atom counts, charge, bounds, surface size
+  polar generate <kind> <n> synthesize globule|shell|ligand [--seed S] [--out f.pqr]
+  polar sweep <file>        error/time vs eps [--from A --to B --steps K]
+  polar distributed <file>  in-process MPI drivers [--ranks P] [--threads p] [--data-dist]
+  polar project <file>      simulated Lonestar4 timings [--nodes N]
+
+Input formats: .pqr (charges+radii), .pdb/.ent (element radii, q=0), .xyz"
+    );
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests of the `polar` binary.
+
+use std::process::Command;
+
+fn polar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_polar"))
+}
+
+fn tmp_pqr(name: &str, n: usize) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("polar_cli_{name}_{n}.pqr"));
+    let out = polar()
+        .args(["generate", "globule", &n.to_string(), "--seed", "5"])
+        .arg("--out")
+        .arg(&path)
+        .output()
+        .expect("generate runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    path
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = polar().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("energy"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = polar().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_info_energy_pipeline() {
+    let path = tmp_pqr("pipeline", 300);
+    let info = polar().arg("info").arg(&path).output().unwrap();
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("atoms:       300"), "{text}");
+
+    let energy = polar().arg("energy").arg(&path).output().unwrap();
+    assert!(energy.status.success());
+    let text = String::from_utf8_lossy(&energy.stdout);
+    assert!(text.contains("E_pol = -"), "{text}");
+}
+
+#[test]
+fn energy_with_naive_reports_error_percentage() {
+    let path = tmp_pqr("naive", 200);
+    let out = polar().args(["energy"]).arg(&path).arg("--naive").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("octree error"), "{text}");
+}
+
+#[test]
+fn sweep_emits_requested_rows() {
+    let path = tmp_pqr("sweep", 200);
+    let out = polar()
+        .args(["sweep"])
+        .arg(&path)
+        .args(["--from", "0.3", "--to", "0.9", "--steps", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Header + reference line + 3 sweep rows mentioning the eps values.
+    assert!(text.contains("0.300"), "{text}");
+    assert!(text.contains("0.600"), "{text}");
+    assert!(text.contains("0.900"), "{text}");
+}
+
+#[test]
+fn distributed_and_data_dist_run() {
+    let path = tmp_pqr("dist", 250);
+    let out = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "3", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 ranks x 2 threads"));
+
+    let dd = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "4", "--data-dist"])
+        .output()
+        .unwrap();
+    assert!(dd.status.success());
+    assert!(String::from_utf8_lossy(&dd.stdout).contains("saving"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = polar().args(["energy", "/nonexistent/file.pqr"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn bad_option_is_rejected() {
+    let out = polar().args(["energy", "x.pqr", "--warp-speed"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}

@@ -1,0 +1,34 @@
+//! Simulated cluster of multicores.
+//!
+//! The paper's scalability results (Figs. 5, 6, 11) were measured on TACC
+//! Lonestar4: 12-core nodes (2 sockets × 6 Westmere cores, 12 MB L3,
+//! 24 GB RAM) on 40 Gb/s InfiniBand, up to 144 cores. This machine has
+//! **one** CPU core, so those curves cannot be wall-clock measured;
+//! instead this crate replays the *real, measured* per-leaf work
+//! distributions (produced by the instrumented kernels in `polar-gb`)
+//! through:
+//!
+//! * [`stealing`] — a discrete-event simulation of the cilk-style
+//!   randomized work-stealing scheduler inside each rank (LIFO own-pop,
+//!   steal-oldest-from-random-victim, seeded → min/max spread across
+//!   repeated runs, like the paper's 20-run error bars);
+//! * [`spec::MachineSpec`] — core rate, cache-fit factor (per-core data
+//!   that fits in L3 runs faster — the paper's §V.B explanation of its
+//!   superlinear region), RAM-pressure penalty (nblist packages and
+//!   many-rank replication can exceed node RAM), and NUMA discipline;
+//! * the [`polar_mpi::NetworkModel`] collective costs between ranks.
+//!
+//! What is real vs modeled: task work counts are real (the actual
+//! algorithm ran, in counting mode); the mapping counts → seconds uses a
+//! per-unit cost calibrated against a wall-clock run of the same kernel
+//! on this host; communication and cache effects come from the model. The
+//! *shapes* of the reproduced figures are therefore driven by the real
+//! work distribution and the algorithm's communication structure.
+
+pub mod experiment;
+pub mod spec;
+pub mod stealing;
+
+pub use experiment::{ClusterExperiment, DivisionPolicy, Layout, SimOutcome};
+pub use spec::MachineSpec;
+pub use stealing::simulate_work_stealing;

@@ -1,0 +1,143 @@
+//! Machine description (Table I of the paper).
+
+use polar_mpi::NetworkModel;
+
+/// A cluster of identical multicore nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Compute nodes available.
+    pub nodes: usize,
+    /// Sockets per node.
+    pub sockets_per_node: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Seconds per work unit on one core with a cache-resident working
+    /// set (one unit ≈ one near-field pair interaction). Calibrate with
+    /// [`MachineSpec::calibrated`] against a wall-clock kernel run.
+    pub seconds_per_unit: f64,
+    /// L3 cache per socket (bytes).
+    pub l3_per_socket: usize,
+    /// RAM per node (bytes).
+    pub ram_per_node: usize,
+    /// Core-rate multiplier when the working set far exceeds cache
+    /// (0 < penalty ≤ 1); the effective factor interpolates smoothly.
+    pub cache_penalty: f64,
+    /// Extra slowdown factor when one rank's threads span sockets
+    /// (cilk++ has no affinity control — paper §V.A pins one rank per
+    /// socket to avoid this).
+    pub numa_penalty: f64,
+    /// Rate multiplier under RAM oversubscription (paging).
+    pub paging_penalty: f64,
+    /// Interconnect.
+    pub network: NetworkModel,
+    /// Scheduler overhead charged per successful steal (seconds).
+    pub steal_overhead: f64,
+    /// Fixed overhead per task dispatch (seconds).
+    pub task_overhead: f64,
+    /// Core-rate multiplier for multi-threaded ranks (< 1): the paper's
+    /// §V.C observations that "MPI turns out to be more optimized
+    /// compared to the cilk++ implementation", cilk++ keeps no thread
+    /// affinity, and interfacing cilk++ with MPI costs extra.
+    pub hybrid_thread_efficiency: f64,
+    /// Run-to-run multiplicative system noise amplitude (OS jitter,
+    /// network contention); drives the paper's 20-run min/max envelope.
+    pub run_noise: f64,
+}
+
+impl MachineSpec {
+    /// TACC Lonestar4 (Table I): 3.33 GHz hexa-core Westmere × 2 sockets,
+    /// 12 MB L3, 24 GB RAM/node, QDR InfiniBand fat tree.
+    pub fn lonestar4(nodes: usize) -> MachineSpec {
+        MachineSpec {
+            nodes,
+            sockets_per_node: 2,
+            cores_per_socket: 6,
+            // ~150 M near-field pair interactions/s/core for the GB kernel
+            // (sqrt+exp-heavy); overridden by calibration when available.
+            seconds_per_unit: 6.7e-9,
+            l3_per_socket: 12 << 20,
+            ram_per_node: 24 << 30,
+            cache_penalty: 0.45,
+            numa_penalty: 0.85,
+            paging_penalty: 0.08,
+            network: NetworkModel::lonestar4_infiniband(),
+            steal_overhead: 1.0e-6,
+            task_overhead: 2.0e-7,
+            hybrid_thread_efficiency: 0.90,
+            run_noise: 0.04,
+        }
+    }
+
+    /// Same machine with the unit cost replaced by a measured value.
+    pub fn calibrated(mut self, seconds_per_unit: f64) -> MachineSpec {
+        assert!(seconds_per_unit > 0.0);
+        self.seconds_per_unit = seconds_per_unit;
+        self
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Total cores in the machine.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// Smooth cache-fit factor in (cache_penalty, 1]: ≈1 when the
+    /// per-core working set fits in its L3 share, → `cache_penalty` when
+    /// it is far larger.
+    pub fn cache_factor(&self, working_set_per_core: f64) -> f64 {
+        let l3_per_core = self.l3_per_socket as f64 / self.cores_per_socket as f64;
+        let x = working_set_per_core / l3_per_core;
+        self.cache_penalty + (1.0 - self.cache_penalty) / (1.0 + x)
+    }
+
+    /// Paging factor: 1 while a node's resident data fits RAM, the
+    /// paging penalty once it spills.
+    pub fn paging_factor(&self, bytes_per_node: f64) -> f64 {
+        if bytes_per_node <= self.ram_per_node as f64 {
+            1.0
+        } else {
+            self.paging_penalty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lonestar4_matches_table_one() {
+        let m = MachineSpec::lonestar4(12);
+        assert_eq!(m.cores_per_node(), 12);
+        assert_eq!(m.total_cores(), 144);
+        assert_eq!(m.l3_per_socket, 12 << 20);
+        assert_eq!(m.ram_per_node, 24 << 30);
+    }
+
+    #[test]
+    fn cache_factor_is_monotone_and_bounded() {
+        let m = MachineSpec::lonestar4(1);
+        let f_small = m.cache_factor(1024.0);
+        let f_large = m.cache_factor(1e9);
+        assert!(f_small > f_large);
+        assert!(f_small <= 1.0);
+        assert!(f_large >= m.cache_penalty);
+    }
+
+    #[test]
+    fn paging_kicks_in_past_ram() {
+        let m = MachineSpec::lonestar4(1);
+        assert_eq!(m.paging_factor(1e9), 1.0);
+        assert!(m.paging_factor(30e9) < 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_calibration_rejected() {
+        let _ = MachineSpec::lonestar4(1).calibrated(0.0);
+    }
+}

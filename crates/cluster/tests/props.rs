@@ -1,0 +1,98 @@
+//! Property-based tests of the cluster simulator.
+
+use polar_cluster::{simulate_work_stealing, ClusterExperiment, Layout, MachineSpec};
+use proptest::prelude::*;
+
+fn arb_tasks(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..100_000, 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn makespan_respects_lower_bounds(
+        tasks in arb_tasks(128),
+        workers in 1usize..17,
+        seed in 0u64..1000,
+    ) {
+        let rate = 1e7;
+        let s = simulate_work_stealing(&tasks, workers, rate, 0.0, 0.0, seed);
+        let total: u64 = tasks.iter().sum();
+        let max = *tasks.iter().max().unwrap();
+        let lb = (total as f64 / workers as f64).max(max as f64) / rate;
+        prop_assert!(s.makespan >= lb - 1e-12);
+        // Upper bound of greedy scheduling: T ≤ T1/p + T_max.
+        let ub = total as f64 / rate / workers as f64 + max as f64 / rate + 1e-12;
+        prop_assert!(s.makespan <= ub, "makespan {} > greedy bound {}", s.makespan, ub);
+        prop_assert!(s.utilization > 0.0 && s.utilization <= 1.0);
+    }
+
+    #[test]
+    fn more_workers_never_hurt_much(tasks in arb_tasks(96), seed in 0u64..100) {
+        let rate = 1e7;
+        let t1 = simulate_work_stealing(&tasks, 1, rate, 0.0, 0.0, seed).makespan;
+        let t8 = simulate_work_stealing(&tasks, 8, rate, 0.0, 0.0, seed).makespan;
+        prop_assert!(t8 <= t1 + 1e-12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_seed(tasks in arb_tasks(64), workers in 1usize..9, seed in 0u64..100) {
+        let a = simulate_work_stealing(&tasks, workers, 1e6, 1e-6, 1e-7, seed);
+        let b = simulate_work_stealing(&tasks, workers, 1e6, 1e-6, 1e-7, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn experiment_components_sum_to_total(
+        tasks in arb_tasks(64),
+        ranks in 1usize..13,
+        threads in 1usize..7,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(ranks * threads <= 144);
+        let e = ClusterExperiment {
+            spec: MachineSpec::lonestar4(12),
+            born_tasks: tasks.clone(),
+            epol_tasks: tasks,
+            data_bytes: 10 << 20,
+            partials_bytes: 1 << 20,
+            born_bytes: 1 << 18,
+        };
+        let o = e.simulate(Layout { ranks, threads_per_rank: threads }, seed);
+        let sum = o.born_seconds + o.epol_seconds + o.comm_seconds;
+        prop_assert!((o.total_seconds - sum).abs() <= 1e-12 * sum.max(1.0));
+        prop_assert!(o.comm_seconds >= 0.0);
+        prop_assert!(o.bytes_per_node > 0.0);
+    }
+
+    #[test]
+    fn single_rank_has_no_comm(tasks in arb_tasks(64), threads in 1usize..13, seed in 0u64..50) {
+        let e = ClusterExperiment {
+            spec: MachineSpec::lonestar4(12),
+            born_tasks: tasks.clone(),
+            epol_tasks: tasks,
+            data_bytes: 10 << 20,
+            partials_bytes: 1 << 20,
+            born_bytes: 1 << 18,
+        };
+        let o = e.simulate(Layout { ranks: 1, threads_per_rank: threads }, seed);
+        prop_assert_eq!(o.comm_seconds, 0.0);
+    }
+
+    #[test]
+    fn envelope_contains_member_runs(tasks in arb_tasks(64), seed in 0u64..50) {
+        let e = ClusterExperiment {
+            spec: MachineSpec::lonestar4(12),
+            born_tasks: tasks.clone(),
+            epol_tasks: tasks,
+            data_bytes: 5 << 20,
+            partials_bytes: 1 << 19,
+            born_bytes: 1 << 16,
+        };
+        let l = Layout { ranks: 4, threads_per_rank: 3 };
+        let (lo, hi) = e.envelope(l, 10, seed);
+        prop_assert!(lo <= hi);
+        prop_assert!(lo > 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Physical constants and unit conventions.
+//!
+//! Units throughout the workspace: length in Å, charge in elementary
+//! charges, energy in kcal/mol.
+
+/// Coulomb constant in kcal·Å/(mol·e²): energy of two unit charges 1 Å
+/// apart in vacuum.
+pub const COULOMB_KCAL: f64 = 332.0716;
+
+/// Dielectric constant of water (the paper's implicit solvent).
+pub const EPS_WATER: f64 = 80.0;
+
+/// The GB prefactor τ = (1 − 1/ε_solv) · k_Coulomb used in
+/// `E_pol = −(τ/2) Σ q_i q_j / f_ij^GB` (Eq. 2 with the STILL sign
+/// convention of Fig. 3).
+#[inline]
+pub fn tau(eps_solvent: f64) -> f64 {
+    assert!(eps_solvent > 1.0, "solvent dielectric must exceed 1");
+    (1.0 - 1.0 / eps_solvent) * COULOMB_KCAL
+}
+
+/// Upper clamp for Born radii (Å). An atom whose surface integral
+/// degenerates (possible for deeply buried atoms on coarse surfaces)
+/// gets this instead of ∞; 1000 Å is far beyond any capsid radius, so
+/// it acts as "effectively unscreened".
+pub const BORN_RADIUS_MAX: f64 = 1.0e3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_for_water_matches_literature() {
+        // (1 − 1/80)·332.0716 ≈ 327.92.
+        let t = tau(EPS_WATER);
+        assert!((t - 327.92).abs() < 0.05, "tau = {t}");
+    }
+
+    #[test]
+    fn tau_increases_with_dielectric() {
+        assert!(tau(80.0) > tau(2.0));
+        assert!(tau(1e9) < COULOMB_KCAL);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vacuum_dielectric_rejected() {
+        let _ = tau(1.0);
+    }
+}

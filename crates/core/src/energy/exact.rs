@@ -1,0 +1,111 @@
+//! Naive pairwise GB energy — the accuracy reference ("Naïve" in Table II).
+
+use polar_geom::{MathMode, Vec3};
+
+/// The STILL GB interaction denominator
+/// `f_ij = sqrt(r² + R_i R_j exp(−r²/(4 R_i R_j)))` (Eq. 2).
+#[inline]
+pub fn f_gb(r_sq: f64, ri: f64, rj: f64, math: MathMode) -> f64 {
+    let rr = ri * rj;
+    math.sqrt(r_sq + rr * math.exp(-r_sq / (4.0 * rr)))
+}
+
+/// One ordered pair's contribution `q_i q_j / f_ij` (no τ prefactor).
+#[inline]
+pub fn gb_pair(qi: f64, qj: f64, r_sq: f64, ri: f64, rj: f64, math: MathMode) -> f64 {
+    qi * qj / f_gb(r_sq, ri, rj, math)
+}
+
+/// Naive E_pol: `−(τ/2) Σ_{i,j} q_i q_j / f_ij` over **all ordered pairs
+/// including i = j** (the diagonal is the Born self-energy `q_i²/R_i`).
+/// O(M²); the reference every figure's "% error" is measured against.
+pub fn epol_naive(
+    pos: &[Vec3],
+    charges: &[f64],
+    born: &[f64],
+    tau: f64,
+    math: MathMode,
+) -> f64 {
+    assert_eq!(pos.len(), charges.len());
+    assert_eq!(pos.len(), born.len());
+    let n = pos.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        // Diagonal term: f_ii = sqrt(R_i² · exp(0)) = R_i.
+        acc += charges[i] * charges[i] / born[i];
+        for j in (i + 1)..n {
+            let r_sq = pos[i].dist_sq(pos[j]);
+            acc += 2.0 * gb_pair(charges[i], charges[j], r_sq, born[i], born[j], math);
+        }
+    }
+    -0.5 * tau * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::{tau, EPS_WATER};
+
+    #[test]
+    fn f_gb_limits() {
+        // r = 0 → f = sqrt(R_i R_j).
+        let f0 = f_gb(0.0, 2.0, 8.0, MathMode::Exact);
+        assert!((f0 - 4.0).abs() < 1e-12);
+        // r >> R → f → r (Coulomb limit).
+        let r = 1.0e3;
+        let f = f_gb(r * r, 1.5, 2.5, MathMode::Exact);
+        assert!((f - r).abs() / r < 1e-6);
+        // f is monotone in r.
+        assert!(f_gb(4.0, 2.0, 2.0, MathMode::Exact) < f_gb(9.0, 2.0, 2.0, MathMode::Exact));
+    }
+
+    #[test]
+    fn single_ion_matches_born_formula() {
+        // One charge q with Born radius R: E = −τ q² / (2R) — the
+        // classical Born solvation energy.
+        let t = tau(EPS_WATER);
+        let e = epol_naive(&[Vec3::ZERO], &[1.0], &[2.0], t, MathMode::Exact);
+        assert!((e - (-t / 4.0)).abs() < 1e-12, "e = {e}");
+        assert!(e < 0.0);
+    }
+
+    #[test]
+    fn energy_is_symmetric_under_atom_reordering() {
+        let pos = [Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0)];
+        let q = [0.4, -0.6, 0.2];
+        let r = [1.5, 1.8, 2.0];
+        let t = tau(EPS_WATER);
+        let e1 = epol_naive(&pos, &q, &r, t, MathMode::Exact);
+        let pos2 = [pos[2], pos[0], pos[1]];
+        let q2 = [q[2], q[0], q[1]];
+        let r2 = [r[2], r[0], r[1]];
+        let e2 = epol_naive(&pos2, &q2, &r2, t, MathMode::Exact);
+        assert!((e1 - e2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn opposite_charges_reduce_magnitude() {
+        // E_pol of {+q, −q} has smaller |E| than two isolated +q ions?
+        // Actually the cross term is positive for opposite charges
+        // (q_i q_j < 0 ⇒ −τ/2·2q_iq_j/f > 0), shrinking |E_pol|.
+        let t = tau(EPS_WATER);
+        let sep = Vec3::new(4.0, 0.0, 0.0);
+        let e_pair = epol_naive(&[Vec3::ZERO, sep], &[1.0, -1.0], &[2.0, 2.0], t, MathMode::Exact);
+        let e_self_only = 2.0 * (-t / 4.0);
+        assert!(e_pair > e_self_only, "{e_pair} vs {e_self_only}");
+        assert!(e_pair < 0.0);
+    }
+
+    #[test]
+    fn approximate_math_is_close() {
+        let pos: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new((i as f64 * 1.3).sin() * 8.0, i as f64 * 0.7, 0.0))
+            .collect();
+        let q: Vec<f64> = (0..20).map(|i| ((i % 5) as f64 - 2.0) * 0.2).collect();
+        let r: Vec<f64> = (0..20).map(|i| 1.5 + 0.1 * (i % 3) as f64).collect();
+        let t = tau(EPS_WATER);
+        let exact = epol_naive(&pos, &q, &r, t, MathMode::Exact);
+        let approx = epol_naive(&pos, &q, &r, t, MathMode::Approximate);
+        assert!((exact - approx).abs() / exact.abs() < 0.05, "{exact} vs {approx}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Octree-based r⁶ Generalized Born polarization energy.
+//!
+//! This crate is the paper's primary contribution: hierarchical
+//! (Greengard–Rokhlin near–far) approximation of
+//!
+//! 1. **Born radii** via the surface-based r⁶ integral (Eq. 4) — the
+//!    `APPROX-INTEGRALS` and `PUSH-INTEGRALS-TO-ATOMS` algorithms of
+//!    Fig. 2, traversing an atoms octree against the leaves of a surface
+//!    quadrature-point octree;
+//! 2. **GB polarization energy** (Eq. 2, STILL functional form) — the
+//!    `APPROX-EPOL` algorithm of Fig. 3, with far-field charges binned by
+//!    Born radius into `M_ε = log_{1+ε}(R_max/R_min)` buckets.
+//!
+//! Both stages are tunable by one approximation parameter ε each: larger
+//! ε → more node pairs treated as far → faster and less accurate (paper
+//! §V.E). Space usage is independent of ε.
+//!
+//! Naive quadratic reference kernels ([`born::exact`], [`energy::exact`])
+//! are included for error measurement (the paper's "Naïve" rows), plus the
+//! pairwise-descreening Born radii (HCT/OBC/Still) used by the baseline
+//! packages, and rayon-parallel drivers (the paper's `OCT_CILK`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use polar_gb::{GbParams, GbSolver};
+//! use polar_molecule::generators;
+//!
+//! let mol = generators::globular("demo", 300, 42);
+//! let solver = GbSolver::for_molecule(&mol, &Default::default(), &Default::default());
+//! let result = solver.solve(&GbParams::default());
+//! assert!(result.epol_kcal < 0.0); // polarization energy is negative
+//! ```
+
+pub mod born;
+pub mod constants;
+pub mod energy;
+pub mod metrics;
+pub mod nonpolar;
+pub mod partition;
+pub mod solver;
+pub mod stats;
+
+pub use solver::{GbParams, GbResult, GbSolver};
+pub use stats::WorkCounts;

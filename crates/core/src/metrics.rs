@@ -1,0 +1,64 @@
+//! Error metrics and small statistics helpers used by the experiments.
+
+/// Signed relative difference in percent: `100·(value − reference)/|reference|`.
+///
+/// This is the paper's "% of difference with Naïve" (Figs. 9–11).
+pub fn percent_diff(value: f64, reference: f64) -> f64 {
+    assert!(reference != 0.0, "reference must be nonzero");
+    100.0 * (value - reference) / reference.abs()
+}
+
+/// Mean and (population) standard deviation — Fig. 10 plots avg ± std of
+/// the per-molecule percentage errors.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Max absolute relative error between two equally sized vectors.
+pub fn max_rel_error(values: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(values.len(), reference.len());
+    values
+        .iter()
+        .zip(reference)
+        .map(|(v, r)| ((v - r) / r).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_diff_signs() {
+        // A less-negative energy than the reference is a *positive* diff.
+        assert!((percent_diff(-1.47e6, -1.48e6) - (100.0 * 0.01e6 / 1.48e6)).abs() < 1e-9);
+        assert!(percent_diff(110.0, 100.0) > 0.0);
+        assert!(percent_diff(90.0, 100.0) < 0.0);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn max_rel_error_picks_worst() {
+        let e = max_rel_error(&[1.0, 2.2, 3.0], &[1.0, 2.0, 3.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reference_rejected() {
+        let _ = percent_diff(1.0, 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Nonpolar (cavity + dispersion) solvation term.
+//!
+//! The polarization energy of Eq. 2 is the *polar* part of the solvation
+//! free energy; the standard companion term is the surface-area model
+//! `ΔG_np = γ·SASA + b` (Sitkoff–Sharp–Honig). The paper computes only
+//! E_pol, but every downstream use it motivates (docking scores, binding
+//! free energies) needs the full `ΔG_solv = E_pol + ΔG_np`, so a
+//! production library ships both. The SASA comes for free from the same
+//! surface quadrature the r⁶ integral consumes — per-atom exposed areas
+//! are just the quadrature weights grouped by owner atom.
+
+use polar_surface::{surface::per_atom_area, QuadPoint};
+
+/// Sitkoff–Sharp–Honig surface-tension coefficient (kcal/mol/Å²).
+pub const GAMMA_SASA: f64 = 0.00542;
+/// Sitkoff–Sharp–Honig constant offset (kcal/mol).
+pub const BETA_SASA: f64 = 0.92;
+
+/// Parameters of the `γ·A + b` nonpolar model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonpolarParams {
+    /// Surface tension γ (kcal/mol/Å²).
+    pub gamma: f64,
+    /// Constant offset b (kcal/mol).
+    pub beta: f64,
+}
+
+impl Default for NonpolarParams {
+    fn default() -> Self {
+        NonpolarParams { gamma: GAMMA_SASA, beta: BETA_SASA }
+    }
+}
+
+/// Nonpolar solvation energy `γ·(total exposed area) + b` (kcal/mol).
+///
+/// For the standard parameterization pass quadrature points generated
+/// with `probe_radius = 1.4` (solvent-accessible surface); the paper's
+/// vdW-surface points give a systematically smaller area.
+pub fn e_nonpolar(qpoints: &[QuadPoint], p: &NonpolarParams) -> f64 {
+    let area: f64 = qpoints.iter().map(|q| q.weight).sum();
+    p.gamma * area + p.beta
+}
+
+/// Per-atom decomposition of the γ·A term (kcal/mol per atom; the `b`
+/// offset is a whole-molecule constant and not attributed).
+pub fn e_nonpolar_per_atom(qpoints: &[QuadPoint], n_atoms: usize, p: &NonpolarParams) -> Vec<f64> {
+    per_atom_area(qpoints, n_atoms)
+        .into_iter()
+        .map(|a| p.gamma * a)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_geom::Vec3;
+    use polar_surface::{generate_surface, SurfaceConfig};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn single_sphere_matches_closed_form() {
+        let cfg = SurfaceConfig { probe_radius: 1.4, ..SurfaceConfig::default() };
+        let q = generate_surface(&[Vec3::ZERO], &[1.6], &cfg);
+        let p = NonpolarParams::default();
+        let want = GAMMA_SASA * 4.0 * PI * 3.0_f64.powi(2) + BETA_SASA;
+        let got = e_nonpolar(&q, &p);
+        assert!((got - want).abs() < 1e-6 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn per_atom_terms_sum_to_total_minus_offset() {
+        let centers = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0)];
+        let radii = [1.5, 1.5, 1.2];
+        let q = generate_surface(&centers, &radii, &SurfaceConfig::default());
+        let p = NonpolarParams::default();
+        let per = e_nonpolar_per_atom(&q, 3, &p);
+        let total = e_nonpolar(&q, &p);
+        let sum: f64 = per.iter().sum();
+        assert!((sum + p.beta - total).abs() < 1e-9 * total.abs());
+        assert!(per.iter().all(|e| *e >= 0.0));
+    }
+
+    #[test]
+    fn burying_surface_lowers_the_nonpolar_term() {
+        let p = NonpolarParams::default();
+        let apart = generate_surface(
+            &[Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)],
+            &[1.5, 1.5],
+            &SurfaceConfig::default(),
+        );
+        let fused = generate_surface(
+            &[Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)],
+            &[1.5, 1.5],
+            &SurfaceConfig::default(),
+        );
+        assert!(e_nonpolar(&fused, &p) < e_nonpolar(&apart, &p));
+    }
+}

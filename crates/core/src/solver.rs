@@ -1,0 +1,425 @@
+//! High-level GB solver: build once, solve for any ε.
+//!
+//! [`GbSolver`] owns the two octrees and the quadrature points; its
+//! methods implement the serial reference and the shared-memory parallel
+//! variant (the paper's `OCT_CILK`, here on rayon's work-stealing pool —
+//! the same randomized-stealing discipline as cilk++). The distributed
+//! drivers in `polar-mpi` and the cluster simulator in `polar-cluster`
+//! call the segment-level entry points re-exported from [`crate::born`]
+//! and [`crate::energy`].
+
+use crate::born::exact as born_exact;
+use crate::born::octree::{
+    approx_integrals, push_integrals_to_atoms, BornOctreeCtx, BornPartials,
+};
+use crate::constants::tau;
+use crate::energy::exact as energy_exact;
+use crate::energy::octree::{epol_for_leaf_segment, EpolCtx};
+use crate::partition::even_segments;
+use crate::stats::WorkCounts;
+use polar_geom::{MathMode, Vec3};
+use polar_molecule::Molecule;
+use polar_octree::{Octree, OctreeConfig};
+use polar_surface::{QuadPoint, SurfaceConfig};
+use rayon::prelude::*;
+
+/// Tunable solve parameters (paper §V.C uses ε = 0.9 for both stages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbParams {
+    /// Approximation parameter for the Born radius stage (Fig. 2).
+    pub eps_born: f64,
+    /// Approximation parameter for the energy stage (Fig. 3).
+    pub eps_epol: f64,
+    /// Exact or approximate math kernels (paper's "approximate math").
+    pub math: MathMode,
+    /// Solvent dielectric (80 = water).
+    pub eps_solvent: f64,
+}
+
+impl Default for GbParams {
+    fn default() -> Self {
+        GbParams {
+            eps_born: 0.9,
+            eps_epol: 0.9,
+            math: MathMode::Exact,
+            eps_solvent: crate::constants::EPS_WATER,
+        }
+    }
+}
+
+/// Output of a solve.
+#[derive(Debug, Clone)]
+pub struct GbResult {
+    /// Born radii, original atom order (Å).
+    pub born: Vec<f64>,
+    /// Polarization energy (kcal/mol); negative for any real molecule.
+    pub epol_kcal: f64,
+    /// Work done by the Born stage.
+    pub work_born: WorkCounts,
+    /// Work done by the energy stage.
+    pub work_epol: WorkCounts,
+}
+
+/// The prepared solver: molecule data + both octrees + q-point aggregates.
+pub struct GbSolver {
+    pub name: String,
+    pub atom_pos: Vec<Vec3>,
+    pub atom_radii: Vec<f64>,
+    pub charges: Vec<f64>,
+    pub qpoints: Vec<QuadPoint>,
+    pub tree_a: Octree,
+    pub tree_q: Octree,
+    /// Per-`T_Q`-node pseudo-q-point normal sums.
+    pub q_nsum: Vec<Vec3>,
+}
+
+impl GbSolver {
+    /// Build from a molecule: generates the surface quadrature and both
+    /// octrees (the paper's pre-processing Step 1, O(M log M)).
+    pub fn for_molecule(
+        mol: &Molecule,
+        surface: &SurfaceConfig,
+        tree_cfg: &OctreeConfig,
+    ) -> GbSolver {
+        let qpoints = mol.surface(surface);
+        Self::from_parts(
+            mol.name.clone(),
+            mol.positions(),
+            mol.radii(),
+            mol.charges(),
+            qpoints,
+            tree_cfg,
+        )
+    }
+
+    /// Build from pre-computed parts (e.g. a surface loaded from disk).
+    pub fn from_parts(
+        name: String,
+        atom_pos: Vec<Vec3>,
+        atom_radii: Vec<f64>,
+        charges: Vec<f64>,
+        qpoints: Vec<QuadPoint>,
+        tree_cfg: &OctreeConfig,
+    ) -> GbSolver {
+        assert_eq!(atom_pos.len(), atom_radii.len());
+        assert_eq!(atom_pos.len(), charges.len());
+        let tree_a = tree_cfg.build(&atom_pos);
+        let qpos: Vec<Vec3> = qpoints.iter().map(|q| q.pos).collect();
+        let tree_q = tree_cfg.build(&qpos);
+        let q_nsum = BornOctreeCtx::q_normal_sums(&tree_q, &qpoints);
+        GbSolver { name, atom_pos, atom_radii, charges, qpoints, tree_a, tree_q, q_nsum }
+    }
+
+    /// Number of atoms (the paper's `M`).
+    pub fn n_atoms(&self) -> usize {
+        self.atom_pos.len()
+    }
+
+    /// Number of surface quadrature points (the paper's `N`).
+    pub fn n_qpoints(&self) -> usize {
+        self.qpoints.len()
+    }
+
+    /// The Born-stage traversal context.
+    pub fn born_ctx(&self) -> BornOctreeCtx<'_> {
+        BornOctreeCtx {
+            tree_a: &self.tree_a,
+            tree_q: &self.tree_q,
+            qpoints: &self.qpoints,
+            q_nsum: &self.q_nsum,
+            atom_radii: &self.atom_radii,
+        }
+    }
+
+    /// Bytes of input data a purely distributed rank must replicate
+    /// (atoms + q-points + both trees + aggregates). The basis of the
+    /// paper's §IV.B memory argument for hybrid parallelism.
+    pub fn memory_bytes(&self) -> usize {
+        self.atom_pos.len() * 24
+            + self.atom_radii.len() * 8
+            + self.charges.len() * 8
+            + self.qpoints.len() * std::mem::size_of::<QuadPoint>()
+            + self.tree_a.memory_bytes()
+            + self.tree_q.memory_bytes()
+            + self.q_nsum.len() * 24
+    }
+
+    // ---------------------------------------------------------------
+    // Serial octree solver
+    // ---------------------------------------------------------------
+
+    /// Octree-approximated Born radii (serial; all leaf segments).
+    pub fn born_radii(&self, p: &GbParams) -> (Vec<f64>, WorkCounts) {
+        let ctx = self.born_ctx();
+        let mut counts = WorkCounts::ZERO;
+        let totals =
+            approx_integrals(&ctx, p.eps_born, 0..self.tree_q.leaves().len(), &mut counts);
+        let mut born = vec![0.0; self.n_atoms()];
+        push_integrals_to_atoms(&ctx, &totals, 0..self.n_atoms(), p.math, &mut born);
+        (born, counts)
+    }
+
+    /// Octree-approximated E_pol given Born radii (serial).
+    pub fn epol(&self, born: &[f64], p: &GbParams) -> (f64, WorkCounts) {
+        let ctx = EpolCtx::new(&self.tree_a, &self.charges, born, p.eps_epol);
+        let mut counts = WorkCounts::ZERO;
+        let e = epol_for_leaf_segment(
+            &ctx,
+            p.eps_epol,
+            p.math,
+            tau(p.eps_solvent),
+            0..self.tree_a.leaves().len(),
+            &mut counts,
+        );
+        (e, counts)
+    }
+
+    /// Full serial octree solve.
+    pub fn solve(&self, p: &GbParams) -> GbResult {
+        let (born, work_born) = self.born_radii(p);
+        let (epol_kcal, work_epol) = self.epol(&born, p);
+        GbResult { born, epol_kcal, work_born, work_epol }
+    }
+
+    // ---------------------------------------------------------------
+    // Shared-memory parallel solver (OCT_CILK)
+    // ---------------------------------------------------------------
+
+    /// Born radii on rayon's work-stealing pool: q-leaf tasks are stolen
+    /// dynamically (the paper's implicit dynamic load balancing), partial
+    /// accumulators combine additively.
+    pub fn born_radii_parallel(&self, p: &GbParams) -> Vec<f64> {
+        let ctx = self.born_ctx();
+        let n_leaves = self.tree_q.leaves().len();
+        if n_leaves == 0 {
+            return vec![crate::constants::BORN_RADIUS_MAX; self.n_atoms()];
+        }
+        // Chunk leaves so each task amortizes its accumulator allocation.
+        let chunk = (n_leaves / (rayon::current_num_threads() * 8)).max(1);
+        let starts: Vec<usize> = (0..n_leaves).step_by(chunk).collect();
+        let totals = starts
+            .into_par_iter()
+            .map(|s| {
+                let mut counts = WorkCounts::ZERO;
+                approx_integrals(
+                    &ctx,
+                    p.eps_born,
+                    s..(s + chunk).min(n_leaves),
+                    &mut counts,
+                )
+            })
+            .reduce_with(|mut a, b| {
+                a.add(&b);
+                a
+            })
+            .unwrap_or_else(|| BornPartials::zeros(&self.tree_a));
+        // Parallel push: atom segments produce (original index, R) pairs.
+        let segs = even_segments(self.n_atoms(), rayon::current_num_threads().max(1) * 4);
+        let mut born = vec![0.0; self.n_atoms()];
+        let pieces: Vec<Vec<f64>> = segs
+            .par_iter()
+            .map(|r| {
+                let mut out = vec![0.0; self.n_atoms()];
+                push_integrals_to_atoms(&ctx, &totals, r.clone(), p.math, &mut out);
+                out
+            })
+            .collect();
+        // Scatter: each slot range writes a disjoint set of original ids.
+        for (seg, piece) in segs.iter().zip(&pieces) {
+            for slot in seg.clone() {
+                let orig = self.tree_a.order()[slot] as usize;
+                born[orig] = piece[orig];
+            }
+        }
+        born
+    }
+
+    /// E_pol on rayon: one task per leaf segment, summed.
+    pub fn epol_parallel(&self, born: &[f64], p: &GbParams) -> f64 {
+        let ctx = EpolCtx::new(&self.tree_a, &self.charges, born, p.eps_epol);
+        let n_leaves = self.tree_a.leaves().len();
+        let segs = even_segments(n_leaves, (rayon::current_num_threads() * 8).max(1));
+        segs.into_par_iter()
+            .map(|r| {
+                let mut counts = WorkCounts::ZERO;
+                epol_for_leaf_segment(&ctx, p.eps_epol, p.math, tau(p.eps_solvent), r, &mut counts)
+            })
+            .sum()
+    }
+
+    /// Full shared-memory parallel solve (`OCT_CILK`).
+    pub fn solve_parallel(&self, p: &GbParams) -> GbResult {
+        let born = self.born_radii_parallel(p);
+        let epol_kcal = self.epol_parallel(&born, p);
+        GbResult { born, epol_kcal, work_born: WorkCounts::ZERO, work_epol: WorkCounts::ZERO }
+    }
+
+    // ---------------------------------------------------------------
+    // Naive reference
+    // ---------------------------------------------------------------
+
+    /// Naive O(M·N) Born radii (Eq. 4).
+    pub fn born_naive(&self, p: &GbParams) -> Vec<f64> {
+        born_exact::born_radii_r6(&self.atom_pos, &self.atom_radii, &self.qpoints, p.math)
+    }
+
+    /// Naive O(M²) E_pol (Eq. 2).
+    pub fn epol_naive(&self, born: &[f64], p: &GbParams) -> f64 {
+        energy_exact::epol_naive(&self.atom_pos, &self.charges, born, tau(p.eps_solvent), p.math)
+    }
+
+    // ---------------------------------------------------------------
+    // Work profiling for the cluster simulator
+    // ---------------------------------------------------------------
+
+    /// Per-`T_Q`-leaf work of the Born stage — the task sizes the paper's
+    /// node-based division hands to ranks/threads. Real counts from the
+    /// real traversal; the simulator replays them.
+    pub fn born_work_per_qleaf(&self, p: &GbParams) -> Vec<WorkCounts> {
+        use crate::born::octree::approx_integrals_into;
+        let ctx = self.born_ctx();
+        // One shared accumulator buffer (values unused here): per-leaf
+        // allocation would dominate at capsid scale.
+        let mut scratch = BornPartials::zeros(&self.tree_a);
+        (0..self.tree_q.leaves().len())
+            .map(|i| {
+                let mut counts = WorkCounts::ZERO;
+                approx_integrals_into(&ctx, p.eps_born, i..i + 1, &mut scratch, &mut counts);
+                counts
+            })
+            .collect()
+    }
+
+    /// Per-`T_A`-leaf work of the energy stage.
+    pub fn epol_work_per_leaf(&self, born: &[f64], p: &GbParams) -> Vec<WorkCounts> {
+        let ctx = EpolCtx::new(&self.tree_a, &self.charges, born, p.eps_epol);
+        let t = tau(p.eps_solvent);
+        (0..self.tree_a.leaves().len())
+            .map(|i| {
+                let mut counts = WorkCounts::ZERO;
+                let _ = epol_for_leaf_segment(&ctx, p.eps_epol, p.math, t, i..i + 1, &mut counts);
+                counts
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_molecule::generators;
+
+    fn solver(n: usize, seed: u64) -> GbSolver {
+        let mol = generators::globular("s", n, seed);
+        GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+    }
+
+    #[test]
+    fn solve_produces_negative_energy_and_valid_radii() {
+        let s = solver(200, 1);
+        let r = s.solve(&GbParams::default());
+        assert!(r.epol_kcal < 0.0, "E_pol = {}", r.epol_kcal);
+        assert_eq!(r.born.len(), 200);
+        for (b, v) in r.born.iter().zip(&s.atom_radii) {
+            assert!(*b >= *v, "Born radius below vdW: {b} < {v}");
+            assert!(b.is_finite());
+        }
+        assert!(r.work_born.pair_ops > 0);
+        assert!(r.work_epol.pair_ops > 0);
+    }
+
+    #[test]
+    fn octree_solve_tracks_naive_within_a_percent_at_eps_09() {
+        let s = solver(400, 2);
+        let p = GbParams::default();
+        let r = s.solve(&p);
+        let born_naive = s.born_naive(&p);
+        let e_naive = s.epol_naive(&born_naive, &p);
+        let rel = ((r.epol_kcal - e_naive) / e_naive).abs();
+        // Paper: < 1% error w.r.t. naive at ε = 0.9/0.9.
+        assert!(rel < 0.01, "octree {} vs naive {e_naive} (rel {rel})", r.epol_kcal);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = solver(300, 3);
+        let p = GbParams::default();
+        let serial = s.solve(&p);
+        let par = s.solve_parallel(&p);
+        for (a, b) in serial.born.iter().zip(&par.born) {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        assert!(
+            (serial.epol_kcal - par.epol_kcal).abs() <= 1e-9 * serial.epol_kcal.abs(),
+            "{} vs {}",
+            serial.epol_kcal,
+            par.epol_kcal
+        );
+    }
+
+    #[test]
+    fn work_profiles_sum_to_full_run() {
+        let s = solver(250, 4);
+        let p = GbParams::default();
+        let (born, full_born) = s.born_radii(&p);
+        let per_leaf: WorkCounts = s.born_work_per_qleaf(&p).into_iter().sum();
+        assert_eq!(per_leaf.pair_ops, full_born.pair_ops);
+        assert_eq!(per_leaf.far_ops, full_born.far_ops);
+        let (_, full_epol) = s.epol(&born, &p);
+        let per_leaf_e: WorkCounts = s.epol_work_per_leaf(&born, &p).into_iter().sum();
+        assert_eq!(per_leaf_e.pair_ops, full_epol.pair_ops);
+        assert_eq!(per_leaf_e.far_ops, full_epol.far_ops);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_linear_ish() {
+        let s1 = solver(200, 5);
+        let s2 = solver(400, 5);
+        assert!(s1.memory_bytes() > 0);
+        let ratio = s2.memory_bytes() as f64 / s1.memory_bytes() as f64;
+        assert!(ratio > 1.3 && ratio < 3.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn docking_transform_reuses_octrees() {
+        // Moving the whole system rigidly must not change the energy.
+        use polar_geom::transform::{RigidTransform, Rotation};
+        let mol = generators::globular("t", 150, 6);
+        let p = GbParams::default();
+        let s1 = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+        let r1 = s1.solve(&p);
+        let xf = RigidTransform {
+            rotation: Rotation::axis_angle(Vec3::new(0.0, 1.0, 0.3), 0.8),
+            translation: Vec3::new(25.0, -10.0, 5.0),
+        };
+        // Transform the prepared octrees directly (no rebuild).
+        let tree_a = s1.tree_a.transformed(&xf);
+        let tree_q = s1.tree_q.transformed(&xf);
+        let qpoints: Vec<QuadPoint> = s1
+            .qpoints
+            .iter()
+            .map(|q| QuadPoint {
+                pos: xf.apply_point(q.pos),
+                normal: xf.apply_direction(q.normal),
+                ..*q
+            })
+            .collect();
+        let s2 = GbSolver {
+            name: "moved".into(),
+            atom_pos: s1.atom_pos.iter().map(|&p| xf.apply_point(p)).collect(),
+            atom_radii: s1.atom_radii.clone(),
+            charges: s1.charges.clone(),
+            q_nsum: BornOctreeCtx::q_normal_sums(&tree_q, &qpoints),
+            qpoints,
+            tree_a,
+            tree_q,
+        };
+        let r2 = s2.solve(&p);
+        assert!(
+            (r1.epol_kcal - r2.epol_kcal).abs() <= 1e-6 * r1.epol_kcal.abs(),
+            "{} vs {}",
+            r1.epol_kcal,
+            r2.epol_kcal
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Bounding spheres.
+//!
+//! Every octree node carries "the radius of the smallest ball that encloses
+//! all atom centers (resp. integration points) under it" (paper, Fig. 2).
+//! Computing the exact minimum enclosing ball is unnecessary — the well-
+//! separated predicate only needs a *valid* enclosing ball whose radius is
+//! close to minimal — so we use Ritter's two-pass algorithm, which is within
+//! a few percent of optimal in practice, and also provide the cheaper
+//! centroid-anchored ball the paper's pseudo-particle aggregation implies.
+
+use crate::vec3::Vec3;
+
+/// A ball enclosing a set of points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingSphere {
+    pub center: Vec3,
+    pub radius: f64,
+}
+
+impl BoundingSphere {
+    /// A degenerate sphere at the origin (radius 0).
+    pub const ZERO: BoundingSphere = BoundingSphere { center: Vec3::ZERO, radius: 0.0 };
+
+    /// Ball centered at the geometric centroid of `pts`, with radius equal to
+    /// the max distance from the centroid to any point.
+    ///
+    /// This matches the paper's pseudo-atom construction: the aggregate is
+    /// "centered at the geometric center of the atoms under it", so the
+    /// enclosing radius must be measured from that same centroid.
+    pub fn centroid_ball(pts: &[Vec3]) -> Self {
+        if pts.is_empty() {
+            return Self::ZERO;
+        }
+        let centroid = pts.iter().copied().sum::<Vec3>() / pts.len() as f64;
+        let r_sq = pts
+            .iter()
+            .map(|p| p.dist_sq(centroid))
+            .fold(0.0_f64, f64::max);
+        BoundingSphere { center: centroid, radius: r_sq.sqrt() }
+    }
+
+    /// Ritter's approximate minimum enclosing ball (two passes + growth).
+    pub fn ritter(pts: &[Vec3]) -> Self {
+        if pts.is_empty() {
+            return Self::ZERO;
+        }
+        // Pass 1: find a far pair (x -> y farthest from x, z farthest from y).
+        let x = pts[0];
+        let y = *pts
+            .iter()
+            .max_by(|a, b| a.dist_sq(x).total_cmp(&b.dist_sq(x)))
+            .unwrap();
+        let z = *pts
+            .iter()
+            .max_by(|a, b| a.dist_sq(y).total_cmp(&b.dist_sq(y)))
+            .unwrap();
+        let mut center = (y + z) * 0.5;
+        let mut radius = y.dist(z) * 0.5;
+        // Pass 2: grow the ball to absorb any outlier.
+        for &p in pts {
+            let d = p.dist(center);
+            if d > radius {
+                let new_r = (radius + d) * 0.5;
+                // Shift center toward p so the old ball stays inside.
+                center += (p - center) * ((new_r - radius) / d);
+                radius = new_r;
+            }
+        }
+        // Guard against floating-point shortfall.
+        let max_d = pts.iter().map(|p| p.dist(center)).fold(0.0_f64, f64::max);
+        BoundingSphere { center, radius: radius.max(max_d) }
+    }
+
+    /// Does this ball contain `p` (with a small tolerance)?
+    #[inline]
+    pub fn contains(&self, p: Vec3, tol: f64) -> bool {
+        p.dist(self.center) <= self.radius + tol
+    }
+
+    /// Gap between two balls' surfaces; negative if they overlap.
+    #[inline]
+    pub fn gap(&self, o: &BoundingSphere) -> f64 {
+        self.center.dist(o.center) - self.radius - o.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_corners() -> Vec<Vec3> {
+        let mut v = Vec::new();
+        for i in 0..8 {
+            v.push(Vec3::new(
+                f64::from(i & 1),
+                f64::from((i >> 1) & 1),
+                f64::from((i >> 2) & 1),
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn empty_sets_give_zero_sphere() {
+        assert_eq!(BoundingSphere::centroid_ball(&[]), BoundingSphere::ZERO);
+        assert_eq!(BoundingSphere::ritter(&[]), BoundingSphere::ZERO);
+    }
+
+    #[test]
+    fn singleton_has_zero_radius() {
+        let p = Vec3::new(3.0, 1.0, -2.0);
+        let b = BoundingSphere::ritter(&[p]);
+        assert_eq!(b.center, p);
+        assert_eq!(b.radius, 0.0);
+    }
+
+    #[test]
+    fn both_constructions_enclose_all_points() {
+        let pts = cube_corners();
+        for b in [BoundingSphere::centroid_ball(&pts), BoundingSphere::ritter(&pts)] {
+            for &p in &pts {
+                assert!(b.contains(p, 1e-12), "{b:?} must contain {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ritter_is_near_optimal_on_cube() {
+        // Optimal ball for the unit cube corners has radius √3/2 ≈ 0.866.
+        let b = BoundingSphere::ritter(&cube_corners());
+        let opt = 3f64.sqrt() / 2.0;
+        assert!(b.radius >= opt - 1e-12);
+        assert!(b.radius <= opt * 1.25, "Ritter radius {} too loose", b.radius);
+    }
+
+    #[test]
+    fn centroid_ball_centers_on_centroid() {
+        let pts = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)];
+        let b = BoundingSphere::centroid_ball(&pts);
+        assert_eq!(b.center, Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(b.radius, 1.0);
+    }
+
+    #[test]
+    fn gap_measures_surface_separation() {
+        let a = BoundingSphere { center: Vec3::ZERO, radius: 1.0 };
+        let b = BoundingSphere { center: Vec3::new(5.0, 0.0, 0.0), radius: 1.0 };
+        assert!((a.gap(&b) - 3.0).abs() < 1e-12);
+        let c = BoundingSphere { center: Vec3::new(1.0, 0.0, 0.0), radius: 1.0 };
+        assert!(a.gap(&c) < 0.0); // overlapping
+    }
+}

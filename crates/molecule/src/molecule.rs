@@ -1,0 +1,182 @@
+//! The [`Molecule`] container.
+
+use crate::atom::Atom;
+use polar_geom::{Aabb, RigidTransform, Vec3};
+use polar_surface::{generate_surface, QuadPoint, SurfaceConfig};
+
+/// A named collection of atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecule {
+    pub name: String,
+    pub atoms: Vec<Atom>,
+}
+
+impl Molecule {
+    pub fn new(name: impl Into<String>, atoms: Vec<Atom>) -> Molecule {
+        Molecule { name: name.into(), atoms }
+    }
+
+    /// Number of atoms (the paper's `M`).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Positions of all atom centers, in order.
+    pub fn positions(&self) -> Vec<Vec3> {
+        self.atoms.iter().map(|a| a.pos).collect()
+    }
+
+    /// van der Waals radii, in order.
+    pub fn radii(&self) -> Vec<f64> {
+        self.atoms.iter().map(|a| a.radius).collect()
+    }
+
+    /// Partial charges, in order.
+    pub fn charges(&self) -> Vec<f64> {
+        self.atoms.iter().map(|a| a.charge).collect()
+    }
+
+    /// Net charge (elementary charges).
+    pub fn total_charge(&self) -> f64 {
+        self.atoms.iter().map(|a| a.charge).sum()
+    }
+
+    /// Geometric centroid of atom centers.
+    pub fn centroid(&self) -> Vec3 {
+        if self.atoms.is_empty() {
+            return Vec3::ZERO;
+        }
+        self.atoms.iter().map(|a| a.pos).sum::<Vec3>() / self.atoms.len() as f64
+    }
+
+    /// Bounding box of atom centers (not inflated by radii).
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(self.atoms.iter().map(|a| a.pos))
+    }
+
+    /// Bounding box inflated by each atom's radius (contains all spheres).
+    pub fn sphere_bounds(&self) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for a in &self.atoms {
+            b.expand_to(a.pos + Vec3::splat(a.radius));
+            b.expand_to(a.pos - Vec3::splat(a.radius));
+        }
+        b
+    }
+
+    /// A rigidly transformed copy (radii and charges unchanged).
+    ///
+    /// Docking sweeps (paper §IV.C) move a ligand with transformation
+    /// matrices rather than regenerating it.
+    pub fn transformed(&self, xf: &RigidTransform) -> Molecule {
+        Molecule {
+            name: self.name.clone(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| Atom { pos: xf.apply_point(a.pos), ..*a })
+                .collect(),
+        }
+    }
+
+    /// Merge two molecules (e.g. receptor + ligand complex).
+    pub fn merged(&self, other: &Molecule, name: impl Into<String>) -> Molecule {
+        let mut atoms = self.atoms.clone();
+        atoms.extend_from_slice(&other.atoms);
+        Molecule { name: name.into(), atoms }
+    }
+
+    /// Generate surface quadrature points (the paper's set `Q`).
+    pub fn surface(&self, cfg: &SurfaceConfig) -> Vec<QuadPoint> {
+        generate_surface(&self.positions(), &self.radii(), cfg)
+    }
+
+    /// Approximate memory footprint of the atom array in bytes — used for
+    /// the replicated-memory accounting of the distributed experiments.
+    pub fn atom_bytes(&self) -> usize {
+        self.atoms.len() * std::mem::size_of::<Atom>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_geom::transform::Rotation;
+
+    fn tiny() -> Molecule {
+        Molecule::new(
+            "tiny",
+            vec![
+                Atom::new(Vec3::ZERO, 1.0, 0.5),
+                Atom::new(Vec3::new(2.0, 0.0, 0.0), 1.5, -0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let m = tiny();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.positions().len(), 2);
+        assert_eq!(m.radii(), vec![1.0, 1.5]);
+        assert_eq!(m.charges(), vec![0.5, -0.5]);
+        assert_eq!(m.total_charge(), 0.0);
+        assert_eq!(m.centroid(), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn sphere_bounds_include_radii() {
+        let m = tiny();
+        let b = m.sphere_bounds();
+        assert!(b.contains(Vec3::new(-1.0, 0.0, 0.0)));
+        assert!(b.contains(Vec3::new(3.5, 0.0, 0.0)));
+        assert!(!m.bounds().contains(Vec3::new(3.5, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn transform_preserves_charge_radius_and_shape() {
+        let m = tiny();
+        let xf = RigidTransform {
+            rotation: Rotation::axis_angle(Vec3::Z, 1.0),
+            translation: Vec3::new(10.0, -3.0, 1.0),
+        };
+        let t = m.transformed(&xf);
+        assert_eq!(t.len(), m.len());
+        for (a, b) in m.atoms.iter().zip(&t.atoms) {
+            assert_eq!(a.radius, b.radius);
+            assert_eq!(a.charge, b.charge);
+        }
+        // Pairwise distances unchanged.
+        let d0 = m.atoms[0].pos.dist(m.atoms[1].pos);
+        let d1 = t.atoms[0].pos.dist(t.atoms[1].pos);
+        assert!((d0 - d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_concatenates() {
+        let m = tiny();
+        let c = m.merged(&m, "dimer");
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.name, "dimer");
+    }
+
+    #[test]
+    fn empty_molecule_centroid_is_origin() {
+        let m = Molecule::new("empty", vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.centroid(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn surface_of_single_atom_molecule() {
+        let m = Molecule::new("one", vec![Atom::new(Vec3::ZERO, 1.7, 0.0)]);
+        let q = m.surface(&SurfaceConfig::default());
+        let area: f64 = q.iter().map(|p| p.weight).sum();
+        let exact = 4.0 * std::f64::consts::PI * 1.7 * 1.7;
+        assert!((area - exact).abs() < 1e-9 * exact);
+    }
+}

@@ -1,0 +1,125 @@
+//! Named benchmark workloads.
+//!
+//! Every experiment in EXPERIMENTS.md references molecules by the ids
+//! defined here, so a figure can be regenerated from its id alone.
+
+use crate::generators;
+use crate::molecule::Molecule;
+
+/// Atom count of the full-scale Cucumber Mosaic Virus shell (paper §V.F).
+pub const CMV_ATOMS: usize = 509_640;
+/// Atom count of the full-scale Blue Tongue Virus (paper §V.B).
+pub const BTV_ATOMS: usize = 6_000_000;
+/// Capsid thickness used for the synthetic shells (Å).
+pub const CAPSID_THICKNESS: f64 = 25.0;
+
+/// Master seed for all registry molecules; fixed so results are
+/// reproducible across runs and machines.
+pub const REGISTRY_SEED: u64 = 0x5343_3230_3132; // "SC2012"
+
+/// A named, reproducible benchmark workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkId {
+    /// The i-th molecule (0-based) of the 84-protein ZDock-like suite.
+    ZDock(usize),
+    /// Cucumber Mosaic Virus shell at `scale_permille`/1000 of its
+    /// 509,640 atoms (1000 = full scale).
+    Cmv { scale_permille: u32 },
+    /// Blue Tongue Virus at `scale_permille`/1000 of its ~6M atoms.
+    Btv { scale_permille: u32 },
+}
+
+impl BenchmarkId {
+    /// Materialize the molecule.
+    pub fn build(self) -> Molecule {
+        match self {
+            BenchmarkId::ZDock(i) => {
+                assert!(i < 84, "ZDock index {i} out of range");
+                let n = generators::zdock_sizes(84)[i];
+                generators::globular(
+                    format!("zd{:03}_n{}", i + 1, n),
+                    n,
+                    REGISTRY_SEED.wrapping_add(i as u64),
+                )
+            }
+            BenchmarkId::Cmv { scale_permille } => {
+                let n = scaled(CMV_ATOMS, scale_permille);
+                generators::virus_shell(
+                    format!("cmv_n{n}"),
+                    n,
+                    CAPSID_THICKNESS,
+                    REGISTRY_SEED ^ 0xC311,
+                )
+            }
+            BenchmarkId::Btv { scale_permille } => {
+                let n = scaled(BTV_ATOMS, scale_permille);
+                generators::virus_shell(
+                    format!("btv_n{n}"),
+                    n,
+                    CAPSID_THICKNESS,
+                    REGISTRY_SEED ^ 0xB7B7,
+                )
+            }
+        }
+    }
+
+    /// The atom count this workload will have, without building it.
+    pub fn atom_count(self) -> usize {
+        match self {
+            BenchmarkId::ZDock(i) => generators::zdock_sizes(84)[i],
+            BenchmarkId::Cmv { scale_permille } => scaled(CMV_ATOMS, scale_permille),
+            BenchmarkId::Btv { scale_permille } => scaled(BTV_ATOMS, scale_permille),
+        }
+    }
+}
+
+fn scaled(full: usize, permille: u32) -> usize {
+    ((full as u64 * u64::from(permille)) / 1000).max(100) as usize
+}
+
+/// The first `count` molecules of the 84-protein ZDock-like suite
+/// (use `count < 84` for smoke runs; sizes are a prefix of the full sweep).
+pub fn zdock_suite(count: usize) -> Vec<Molecule> {
+    (0..count.min(84)).map(|i| BenchmarkId::ZDock(i).build()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zdock_ids_are_consistent_with_suite() {
+        let direct = BenchmarkId::ZDock(3).build();
+        let suite = zdock_suite(4);
+        assert_eq!(direct, suite[3]);
+    }
+
+    #[test]
+    fn atom_count_matches_build() {
+        for id in [
+            BenchmarkId::ZDock(0),
+            BenchmarkId::ZDock(83),
+            BenchmarkId::Cmv { scale_permille: 4 },
+            BenchmarkId::Btv { scale_permille: 1 },
+        ] {
+            assert_eq!(id.build().len(), id.atom_count());
+        }
+    }
+
+    #[test]
+    fn full_scale_counts_match_paper() {
+        assert_eq!(BenchmarkId::Cmv { scale_permille: 1000 }.atom_count(), CMV_ATOMS);
+        assert_eq!(BenchmarkId::Btv { scale_permille: 1000 }.atom_count(), BTV_ATOMS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zdock_index_out_of_range_panics() {
+        let _ = BenchmarkId::ZDock(84).build();
+    }
+
+    #[test]
+    fn scaled_never_returns_zero() {
+        assert!(scaled(1000, 0) >= 100);
+    }
+}

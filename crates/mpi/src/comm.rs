@@ -1,0 +1,356 @@
+//! The SPMD communicator: rank threads + collectives.
+//!
+//! Ranks run as OS threads over crossbeam channels. The API mirrors the
+//! slice of MPI the paper's Fig. 4 algorithm needs (barrier, broadcast,
+//! reduce, allreduce, allgather, point-to-point). All ranks must call each
+//! collective in the same program order — the usual MPI discipline; the
+//! collectives are implemented root-gathered (functionally equivalent to
+//! any tree), while their *simulated* cost is charged from the
+//! [`NetworkModel`]'s collective formulas, not the transport actually
+//! used.
+
+use crate::network::NetworkModel;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// Per-rank endpoint handed to the SPMD closure.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// `tx[peer]`: send to peer.
+    tx: Vec<Sender<Vec<f64>>>,
+    /// `rx[peer]`: receive from peer.
+    rx: Vec<Receiver<Vec<f64>>>,
+    network: NetworkModel,
+    sim_comm_seconds: f64,
+    bytes_sent: u64,
+    replicated_bytes: u64,
+}
+
+impl Comm {
+    /// This rank's id (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Simulated wire time accrued by this rank's collectives (seconds).
+    pub fn sim_comm_seconds(&self) -> f64 {
+        self.sim_comm_seconds
+    }
+
+    /// Payload bytes this rank pushed into channels.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Record that this rank holds `bytes` of *replicated* input data —
+    /// the quantity behind the paper's §IV.B memory argument.
+    pub fn register_replicated_memory(&mut self, bytes: usize) {
+        self.replicated_bytes += bytes as u64;
+    }
+
+    /// Replicated bytes registered so far.
+    pub fn replicated_bytes(&self) -> u64 {
+        self.replicated_bytes
+    }
+
+    /// Point-to-point send (non-blocking, buffered).
+    pub fn send(&mut self, to: usize, data: Vec<f64>) {
+        assert!(to < self.size && to != self.rank, "bad destination {to}");
+        self.bytes_sent += (data.len() * 8) as u64;
+        self.sim_comm_seconds += self.network.p2p(data.len() * 8);
+        self.tx[to].send(data).expect("peer hung up");
+    }
+
+    /// Point-to-point blocking receive.
+    pub fn recv(&mut self, from: usize) -> Vec<f64> {
+        assert!(from < self.size && from != self.rank, "bad source {from}");
+        self.rx[from].recv().expect("peer hung up")
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        self.sim_comm_seconds += self.network.barrier(self.size);
+        if self.size == 1 {
+            return;
+        }
+        // Gather-to-0 then broadcast (payload-free).
+        if self.rank == 0 {
+            for p in 1..self.size {
+                let _ = self.rx[p].recv().expect("barrier");
+            }
+            for p in 1..self.size {
+                self.tx[p].send(Vec::new()).expect("barrier");
+            }
+        } else {
+            self.tx[0].send(Vec::new()).expect("barrier");
+            let _ = self.rx[0].recv().expect("barrier");
+        }
+    }
+
+    /// Broadcast `buf` from rank 0 to everyone.
+    pub fn broadcast(&mut self, buf: &mut Vec<f64>) {
+        self.sim_comm_seconds += self.network.broadcast(buf.len() * 8, self.size);
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            self.bytes_sent += (buf.len() * 8 * (self.size - 1)) as u64;
+            for p in 1..self.size {
+                self.tx[p].send(buf.clone()).expect("broadcast");
+            }
+        } else {
+            *buf = self.rx[0].recv().expect("broadcast");
+        }
+    }
+
+    /// Element-wise sum of every rank's `buf`; all ranks end with the
+    /// total (the paper's Step 3 `MPI_Allreduce`).
+    pub fn allreduce_sum(&mut self, buf: &mut Vec<f64>) {
+        self.sim_comm_seconds += self.network.allreduce(buf.len() * 8, self.size);
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for p in 1..self.size {
+                let other = self.rx[p].recv().expect("allreduce");
+                assert_eq!(other.len(), buf.len(), "allreduce length mismatch");
+                for (a, b) in buf.iter_mut().zip(&other) {
+                    *a += b;
+                }
+            }
+            self.bytes_sent += (buf.len() * 8 * (self.size - 1)) as u64;
+            for p in 1..self.size {
+                self.tx[p].send(buf.clone()).expect("allreduce");
+            }
+        } else {
+            self.bytes_sent += (buf.len() * 8) as u64;
+            self.tx[0].send(std::mem::take(buf)).expect("allreduce");
+            *buf = self.rx[0].recv().expect("allreduce");
+        }
+    }
+
+    /// Concatenate every rank's `local` slice in rank order; all ranks get
+    /// the full vector (Steps 5's gather of Born radius segments).
+    /// Contributions may have different lengths.
+    pub fn allgather(&mut self, local: &[f64]) -> Vec<f64> {
+        self.sim_comm_seconds += self.network.allgather(local.len() * 8, self.size);
+        if self.size == 1 {
+            return local.to_vec();
+        }
+        if self.rank == 0 {
+            let mut full = local.to_vec();
+            for p in 1..self.size {
+                full.extend(self.rx[p].recv().expect("allgather"));
+            }
+            self.bytes_sent += (full.len() * 8 * (self.size - 1)) as u64;
+            for p in 1..self.size {
+                self.tx[p].send(full.clone()).expect("allgather");
+            }
+            full
+        } else {
+            self.bytes_sent += (local.len() * 8) as u64;
+            self.tx[0].send(local.to_vec()).expect("allgather");
+            self.rx[0].recv().expect("allgather")
+        }
+    }
+
+    /// Sum a scalar across ranks; every rank gets the total
+    /// (Step 7's energy accumulation).
+    pub fn allreduce_scalar(&mut self, x: f64) -> f64 {
+        let mut v = vec![x];
+        self.allreduce_sum(&mut v);
+        v[0]
+    }
+}
+
+/// Launches SPMD rank threads.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n_ranks` threads; returns each rank's result, by rank.
+    ///
+    /// Panics in any rank propagate (fail-fast, like an MPI abort).
+    ///
+    /// ```
+    /// use polar_mpi::{NetworkModel, Universe};
+    ///
+    /// let sums = Universe::run(4, NetworkModel::free(), |comm| {
+    ///     comm.allreduce_scalar(comm.rank() as f64)
+    /// });
+    /// assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3 on every rank
+    /// ```
+    pub fn run<R, F>(n_ranks: usize, network: NetworkModel, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        assert!(n_ranks >= 1, "need at least one rank");
+        // Build the channel mesh: one channel per ordered pair.
+        let mut txs: Vec<Vec<Option<Sender<Vec<f64>>>>> = (0..n_ranks)
+            .map(|_| (0..n_ranks).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Vec<f64>>>>> = (0..n_ranks)
+            .map(|_| (0..n_ranks).map(|_| None).collect())
+            .collect();
+        for from in 0..n_ranks {
+            for to in 0..n_ranks {
+                let (s, r) = unbounded();
+                txs[from][to] = Some(s);
+                rxs[to][from] = Some(r);
+            }
+        }
+        let mut comms: Vec<Comm> = txs
+            .into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| Comm {
+                rank,
+                size: n_ranks,
+                tx: tx_row.into_iter().map(Option::unwrap).collect(),
+                rx: rx_row.into_iter().map(Option::unwrap).collect(),
+                network,
+                sim_comm_seconds: 0.0,
+                bytes_sent: 0,
+                replicated_bytes: 0,
+            })
+            .collect();
+
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter_mut()
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::lonestar4_infiniband()
+    }
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let out = Universe::run(4, net(), |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = Universe::run(5, net(), |c| {
+            let mut v = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum(&mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let out = Universe::run(3, net(), |c| {
+            // Unequal contributions: rank r contributes r+1 copies of r.
+            let local = vec![c.rank() as f64; c.rank() + 1];
+            c.allgather(&local)
+        });
+        let expect = vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0];
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let out = Universe::run(4, net(), |c| {
+            let mut v = if c.rank() == 0 { vec![42.0, 7.0] } else { Vec::new() };
+            c.broadcast(&mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![42.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn scalar_allreduce() {
+        let out = Universe::run(6, net(), |c| c.allreduce_scalar(c.rank() as f64));
+        for v in out {
+            assert_eq!(v, 15.0);
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = Universe::run(4, net(), |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, vec![c.rank() as f64]);
+            c.recv(prev)[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn barrier_completes_and_charges_time() {
+        let out = Universe::run(3, net(), |c| {
+            for _ in 0..5 {
+                c.barrier();
+            }
+            c.sim_comm_seconds()
+        });
+        for t in out {
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_universe_works() {
+        let out = Universe::run(1, net(), |c| {
+            let mut v = vec![3.0];
+            c.allreduce_sum(&mut v);
+            c.barrier();
+            let g = c.allgather(&[1.0, 2.0]);
+            (v[0], g)
+        });
+        assert_eq!(out[0].0, 3.0);
+        assert_eq!(out[0].1, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn memory_accounting_accumulates() {
+        let out = Universe::run(2, net(), |c| {
+            c.register_replicated_memory(1000);
+            c.register_replicated_memory(24);
+            c.replicated_bytes()
+        });
+        assert_eq!(out, vec![1024, 1024]);
+    }
+
+    #[test]
+    fn comm_time_reflects_model() {
+        // With a free network, simulated time stays zero however much we
+        // communicate.
+        let out = Universe::run(3, NetworkModel::free(), |c| {
+            let mut v = vec![1.0; 1024];
+            c.allreduce_sum(&mut v);
+            c.sim_comm_seconds()
+        });
+        for t in out {
+            assert_eq!(t, 0.0);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Data-distributed driver — the paper's future-work direction.
+//!
+//! §IV.A: "There are basically two ways of load balancing …: distribute
+//! only the work/computation (each process will have all the data), \[or\]
+//! distribute both the data and work evenly among the processes." The
+//! paper implements only the first and names the second as future work
+//! (§VI: "Distributing data as well as computation is also an interesting
+//! approach to explore"). This module explores it.
+//!
+//! The surface quadrature points dominate the replicated footprint (the
+//! paper's inputs have 3–25× more q-points than atoms), and the Born
+//! traversal is *decomposable over q-points*: the integral accumulators
+//! are sums of per-q-point contributions, so any partition of `Q` works.
+//! Here each rank:
+//!
+//! 1. owns only its contiguous Morton segment of the quadrature points
+//!    (1/P of the dominant array — this is real distribution: the rank
+//!    clones just its slice and builds its own local `T_Q` over it),
+//! 2. runs `APPROX-INTEGRALS` of its local tree against the (still
+//!    replicated, much smaller) atoms octree,
+//! 3. joins the usual Allreduce/push/energy pipeline of Fig. 4.
+//!
+//! The far-field grouping differs from the shared-tree traversal (each
+//! rank's local octree has its own leaves), so the result is not
+//! bit-identical across P — but it stays within the same ε error class,
+//! which the tests check. Memory drops from `P × (atoms + qpoints)` to
+//! `P × atoms + qpoints`.
+
+use crate::comm::Universe;
+use crate::drivers::DistributedConfig;
+use polar_gb::born::octree::{push_integrals_to_atoms, BornOctreeCtx, BornPartials};
+use polar_gb::constants::tau;
+use polar_gb::energy::octree::{epol_for_leaf_segment, EpolCtx};
+use polar_gb::partition::even_segments;
+use polar_gb::{GbSolver, WorkCounts};
+use polar_octree::OctreeConfig;
+use polar_surface::QuadPoint;
+
+/// Result of a data-distributed run.
+#[derive(Debug, Clone)]
+pub struct DataDistributedRun {
+    pub epol_kcal: f64,
+    pub born: Vec<f64>,
+    /// Total bytes held across all ranks (atoms replicated, q-points
+    /// partitioned).
+    pub total_bytes: u64,
+    /// What the same rank count would replicate under the paper's
+    /// work-only distribution (for the comparison table).
+    pub work_only_bytes: u64,
+    pub per_rank_work: Vec<WorkCounts>,
+}
+
+/// Fig. 4 with a partitioned quadrature set (work **and** data division).
+pub fn run_data_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DataDistributedRun {
+    assert!(cfg.ranks >= 1);
+    let p = cfg.params;
+    let n_atoms = solver.n_atoms();
+    let n_q = solver.n_qpoints();
+    // Partition q-points by Morton slot (contiguous in space thanks to
+    // the global tree's ordering) — each rank's share is geometrically
+    // compact, which keeps its local octree shallow.
+    let slot_segs = even_segments(n_q, cfg.ranks);
+    let atom_segs = even_segments(n_atoms, cfg.ranks);
+    let aleaf_segs = even_segments(solver.tree_a.leaves().len(), cfg.ranks);
+
+    struct RankOut {
+        epol: f64,
+        born: Vec<f64>,
+        bytes: u64,
+        work: WorkCounts,
+    }
+
+    let outs = Universe::run(cfg.ranks, cfg.network, |comm| {
+        let rank = comm.rank();
+        let mut work = WorkCounts::ZERO;
+
+        // --- Data distribution: own only this rank's q-point slice. ---
+        let my_qpoints: Vec<QuadPoint> = slot_segs[rank]
+            .clone()
+            .map(|slot| solver.qpoints[solver.tree_q.order()[slot] as usize])
+            .collect();
+        let qpos: Vec<_> = my_qpoints.iter().map(|q| q.pos).collect();
+        let local_tq = OctreeConfig::default().build(&qpos);
+        let local_nsum = BornOctreeCtx::q_normal_sums(&local_tq, &my_qpoints);
+        // Resident bytes: replicated atom-side data + owned q share.
+        let atom_side = n_atoms * (24 + 8 + 8) + solver.tree_a.memory_bytes();
+        let q_side = my_qpoints.len() * std::mem::size_of::<QuadPoint>()
+            + local_tq.memory_bytes();
+        comm.register_replicated_memory(atom_side + q_side);
+
+        // --- Step 2: integrals from this rank's own quadrature data. ---
+        let ctx = BornOctreeCtx {
+            tree_a: &solver.tree_a,
+            tree_q: &local_tq,
+            qpoints: &my_qpoints,
+            q_nsum: &local_nsum,
+            atom_radii: &solver.atom_radii,
+        };
+        let partials = polar_gb::born::octree::approx_integrals(
+            &ctx,
+            p.eps_born,
+            0..local_tq.leaves().len(),
+            &mut work,
+        );
+
+        // --- Steps 3–5: identical to Fig. 4. ---
+        let n_nodes = partials.s_node.len();
+        let mut flat = partials.s_node;
+        flat.extend_from_slice(&partials.s_atom);
+        comm.allreduce_sum(&mut flat);
+        let s_atom = flat.split_off(n_nodes);
+        let totals = BornPartials { s_node: flat, s_atom };
+        let full_ctx = solver.born_ctx();
+        let my_atoms = atom_segs[rank].clone();
+        let mut born_mine = vec![0.0; n_atoms];
+        push_integrals_to_atoms(&full_ctx, &totals, my_atoms.clone(), p.math, &mut born_mine);
+        let seg_vals: Vec<f64> = my_atoms
+            .map(|slot| born_mine[solver.tree_a.order()[slot] as usize])
+            .collect();
+        let all_slot_vals = comm.allgather(&seg_vals);
+        let mut born = vec![0.0; n_atoms];
+        for (slot, v) in all_slot_vals.into_iter().enumerate() {
+            born[solver.tree_a.order()[slot] as usize] = v;
+        }
+
+        // --- Steps 6–7: energy (atom data is replicated as before). ---
+        let ectx = EpolCtx::new(&solver.tree_a, &solver.charges, &born, p.eps_epol);
+        let e_part = epol_for_leaf_segment(
+            &ectx,
+            p.eps_epol,
+            p.math,
+            tau(p.eps_solvent),
+            aleaf_segs[rank].clone(),
+            &mut work,
+        );
+        let epol = comm.allreduce_scalar(e_part);
+        RankOut { epol, born, bytes: comm.replicated_bytes(), work }
+    });
+
+    DataDistributedRun {
+        epol_kcal: outs[0].epol,
+        born: outs[0].born.clone(),
+        total_bytes: outs.iter().map(|o| o.bytes).sum(),
+        work_only_bytes: (solver.memory_bytes() * cfg.ranks) as u64,
+        per_rank_work: outs.iter().map(|o| o.work).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_gb::GbParams;
+    use polar_molecule::generators;
+    use polar_surface::SurfaceConfig;
+
+    fn solver(n: usize, seed: u64) -> GbSolver {
+        let mol = generators::globular("dd", n, seed);
+        GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+    }
+
+    #[test]
+    fn data_distributed_energy_stays_in_the_error_class() {
+        let s = solver(400, 31);
+        let p = GbParams::default();
+        let serial = s.solve(&p).epol_kcal;
+        for ranks in [1usize, 2, 5] {
+            let run = run_data_distributed(&s, &DistributedConfig::oct_mpi(ranks, p));
+            let rel = ((run.epol_kcal - serial) / serial).abs();
+            // Different q-partitions regroup the far field; the ε-class
+            // error bound still applies.
+            assert!(rel < 5e-3, "P={ranks}: {} vs {serial} (rel {rel})", run.epol_kcal);
+        }
+    }
+
+    #[test]
+    fn single_rank_matches_serial_closely() {
+        // One rank owns all q-points; only octree construction details
+        // (its own T_Q) differ from the solver's shared tree.
+        let s = solver(300, 32);
+        let p = GbParams::default();
+        let serial = s.solve(&p).epol_kcal;
+        let run = run_data_distributed(&s, &DistributedConfig::oct_mpi(1, p));
+        assert!(((run.epol_kcal - serial) / serial).abs() < 1e-3);
+    }
+
+    #[test]
+    fn data_distribution_saves_memory_vs_work_only() {
+        let s = solver(300, 33);
+        let p = GbParams::default();
+        let run = run_data_distributed(&s, &DistributedConfig::oct_mpi(6, p));
+        // Work-only replicates the q-points 6×; data-distributed holds
+        // each q-point once. With q-points dominating, the saving is big.
+        assert!(
+            (run.total_bytes as f64) < 0.5 * run.work_only_bytes as f64,
+            "data-dist {} vs work-only {}",
+            run.total_bytes,
+            run.work_only_bytes
+        );
+    }
+
+    #[test]
+    fn every_rank_does_born_work() {
+        let s = solver(400, 34);
+        let p = GbParams::default();
+        let run = run_data_distributed(&s, &DistributedConfig::oct_mpi(4, p));
+        for w in &run.per_rank_work {
+            assert!(w.pair_ops > 0);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The distributed GB drivers — the paper's Fig. 4 algorithm.
+//!
+//! `OCT_MPI` is `P` ranks × 1 thread; `OCT_MPI+CILK` is `P` ranks × `p`
+//! work-stealing threads ([`polar_runtime::run_batch`]). Steps follow
+//! Fig. 4 exactly:
+//!
+//! 1. every rank holds the full octrees (replicated data; memory is
+//!    accounted per rank),
+//! 2. rank *i* runs `APPROX-INTEGRALS` for the *i*-th segment of `T_Q`
+//!    leaves (node-based work division),
+//! 3. partial integrals combine with `allreduce_sum`,
+//! 4. rank *i* runs `PUSH-INTEGRALS-TO-ATOMS` for the *i*-th segment of
+//!    atoms,
+//! 5. Born radius segments combine with `allgather`,
+//! 6. rank *i* computes the energy due to the *i*-th segment of `T_A`
+//!    leaves,
+//! 7. the partial energies combine with a scalar allreduce.
+
+use crate::comm::Universe;
+use crate::network::NetworkModel;
+use polar_gb::born::octree::{approx_integrals, push_integrals_to_atoms, BornPartials};
+use polar_gb::constants::tau;
+use polar_gb::energy::octree::{epol_for_leaf_segment, EpolCtx};
+use polar_gb::partition::even_segments;
+use polar_gb::{GbParams, GbSolver, WorkCounts};
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedConfig {
+    /// Number of MPI-style ranks (`P`).
+    pub ranks: usize,
+    /// Threads inside each rank (`p`): 1 ⇒ `OCT_MPI`, >1 ⇒ `OCT_MPI+CILK`.
+    pub threads_per_rank: usize,
+    /// Solver approximation parameters.
+    pub params: GbParams,
+    /// Interconnect model for simulated communication time.
+    pub network: NetworkModel,
+}
+
+impl DistributedConfig {
+    /// Pure distributed (`OCT_MPI`): one thread per rank.
+    pub fn oct_mpi(ranks: usize, params: GbParams) -> Self {
+        DistributedConfig {
+            ranks,
+            threads_per_rank: 1,
+            params,
+            network: NetworkModel::lonestar4_infiniband(),
+        }
+    }
+
+    /// Hybrid (`OCT_MPI+CILK`): `ranks` processes of `threads` workers.
+    pub fn oct_mpi_cilk(ranks: usize, threads: usize, params: GbParams) -> Self {
+        DistributedConfig {
+            ranks,
+            threads_per_rank: threads,
+            params,
+            network: NetworkModel::lonestar4_infiniband(),
+        }
+    }
+
+    /// Total parallelism `P·p` (the paper compares configurations at equal
+    /// core counts).
+    pub fn total_cores(&self) -> usize {
+        self.ranks * self.threads_per_rank
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// Final polarization energy (identical on every rank).
+    pub epol_kcal: f64,
+    /// Born radii, original atom order.
+    pub born: Vec<f64>,
+    /// Simulated wire seconds per rank.
+    pub per_rank_comm_seconds: Vec<f64>,
+    /// Payload bytes each rank pushed.
+    pub per_rank_bytes_sent: Vec<u64>,
+    /// Computation work each rank performed (Born + energy stages).
+    pub per_rank_work: Vec<WorkCounts>,
+    /// Sum over ranks of replicated input bytes — the §IV.B memory cost.
+    pub total_replicated_bytes: u64,
+}
+
+/// Execute the Fig. 4 algorithm on an in-process rank universe.
+pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DistributedRun {
+    assert!(cfg.ranks >= 1 && cfg.threads_per_rank >= 1);
+    let p = cfg.params;
+    let n_atoms = solver.n_atoms();
+    let n_qleaves = solver.tree_q.leaves().len();
+    let n_aleaves = solver.tree_a.leaves().len();
+    let qleaf_segs = even_segments(n_qleaves, cfg.ranks);
+    let atom_segs = even_segments(n_atoms, cfg.ranks);
+    let aleaf_segs = even_segments(n_aleaves, cfg.ranks);
+
+    struct RankOut {
+        epol: f64,
+        born: Vec<f64>,
+        comm_s: f64,
+        bytes: u64,
+        work: WorkCounts,
+        replicated: u64,
+    }
+
+    let outs = Universe::run(cfg.ranks, cfg.network, |comm| {
+        let rank = comm.rank();
+        // Step 1: replicated data (each process has a complete copy).
+        comm.register_replicated_memory(solver.memory_bytes());
+        let ctx = solver.born_ctx();
+        let mut work = WorkCounts::ZERO;
+
+        // Step 2: APPROX-INTEGRALS over this rank's q-leaf segment.
+        let my_qleaves = qleaf_segs[rank].clone();
+        let mut partials = if cfg.threads_per_rank == 1 {
+            approx_integrals(&ctx, p.eps_born, my_qleaves, &mut work)
+        } else {
+            // Intra-rank dynamic balancing: split the segment into many
+            // chunks, run them on the work-stealing pool, merge.
+            let chunks =
+                even_segments(my_qleaves.len(), cfg.threads_per_rank * 4)
+                    .into_iter()
+                    .map(|r| my_qleaves.start + r.start..my_qleaves.start + r.end)
+                    .collect::<Vec<_>>();
+            let ctx_ref = &ctx;
+            let tasks: Vec<_> = chunks
+                .into_iter()
+                .map(|r| {
+                    move || {
+                        let mut w = WorkCounts::ZERO;
+                        let part = approx_integrals(ctx_ref, p.eps_born, r, &mut w);
+                        (part, w)
+                    }
+                })
+                .collect();
+            let (results, _stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+            let mut acc = BornPartials::zeros(&solver.tree_a);
+            for (part, w) in results {
+                acc.add(&part);
+                work.accumulate(w);
+            }
+            acc
+        };
+
+        // Step 3: Allreduce the partial integrals.
+        let n_nodes = partials.s_node.len();
+        let mut flat = std::mem::take(&mut partials.s_node);
+        flat.extend_from_slice(&partials.s_atom);
+        comm.allreduce_sum(&mut flat);
+        let s_atom = flat.split_off(n_nodes);
+        let totals = BornPartials { s_node: flat, s_atom };
+
+        // Step 4: PUSH-INTEGRALS-TO-ATOMS for this rank's atom segment.
+        let my_atoms = atom_segs[rank].clone();
+        let mut born_mine = vec![0.0; n_atoms];
+        push_integrals_to_atoms(&ctx, &totals, my_atoms.clone(), p.math, &mut born_mine);
+
+        // Step 5: allgather Born radius segments (slot order on the wire,
+        // original order in memory).
+        let seg_vals: Vec<f64> = my_atoms
+            .clone()
+            .map(|slot| born_mine[solver.tree_a.order()[slot] as usize])
+            .collect();
+        let all_slot_vals = comm.allgather(&seg_vals);
+        debug_assert_eq!(all_slot_vals.len(), n_atoms);
+        let mut born = vec![0.0; n_atoms];
+        for (slot, v) in all_slot_vals.into_iter().enumerate() {
+            born[solver.tree_a.order()[slot] as usize] = v;
+        }
+
+        // Step 6: energy over this rank's T_A leaf segment.
+        let ectx = EpolCtx::new(&solver.tree_a, &solver.charges, &born, p.eps_epol);
+        let t = tau(p.eps_solvent);
+        let my_aleaves = aleaf_segs[rank].clone();
+        let epol_part = if cfg.threads_per_rank == 1 {
+            epol_for_leaf_segment(&ectx, p.eps_epol, p.math, t, my_aleaves, &mut work)
+        } else {
+            let chunks = even_segments(my_aleaves.len(), cfg.threads_per_rank * 4)
+                .into_iter()
+                .map(|r| my_aleaves.start + r.start..my_aleaves.start + r.end)
+                .collect::<Vec<_>>();
+            let ectx_ref = &ectx;
+            let tasks: Vec<_> = chunks
+                .into_iter()
+                .map(|r| {
+                    move || {
+                        let mut w = WorkCounts::ZERO;
+                        let e = epol_for_leaf_segment(ectx_ref, p.eps_epol, p.math, t, r, &mut w);
+                        (e, w)
+                    }
+                })
+                .collect();
+            let (results, _stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+            let mut e = 0.0;
+            for (part, w) in results {
+                e += part;
+                work.accumulate(w);
+            }
+            e
+        };
+
+        // Step 7: accumulate the final energy.
+        let epol = comm.allreduce_scalar(epol_part);
+
+        RankOut {
+            epol,
+            born,
+            comm_s: comm.sim_comm_seconds(),
+            bytes: comm.bytes_sent(),
+            work,
+            replicated: comm.replicated_bytes(),
+        }
+    });
+
+    let epol_kcal = outs[0].epol;
+    for o in &outs {
+        debug_assert!((o.epol - epol_kcal).abs() <= 1e-12 * epol_kcal.abs().max(1.0));
+    }
+    DistributedRun {
+        epol_kcal,
+        born: outs[0].born.clone(),
+        per_rank_comm_seconds: outs.iter().map(|o| o.comm_s).collect(),
+        per_rank_bytes_sent: outs.iter().map(|o| o.bytes).collect(),
+        per_rank_work: outs.iter().map(|o| o.work).collect(),
+        total_replicated_bytes: outs.iter().map(|o| o.replicated).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_molecule::generators;
+    use polar_octree::OctreeConfig;
+    use polar_surface::SurfaceConfig;
+
+    fn solver(n: usize, seed: u64) -> GbSolver {
+        let mol = generators::globular("d", n, seed);
+        GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+    }
+
+    #[test]
+    fn distributed_matches_serial_octree_solve() {
+        let s = solver(300, 21);
+        let p = GbParams::default();
+        let serial = s.solve(&p);
+        for (ranks, threads) in [(1, 1), (2, 1), (4, 1), (2, 3), (3, 2)] {
+            let run = run_distributed(
+                &s,
+                &DistributedConfig { ranks, threads_per_rank: threads, params: p, network: NetworkModel::lonestar4_infiniband() },
+            );
+            assert!(
+                (run.epol_kcal - serial.epol_kcal).abs() <= 1e-9 * serial.epol_kcal.abs(),
+                "P={ranks} p={threads}: {} vs {}",
+                run.epol_kcal,
+                serial.epol_kcal
+            );
+            for (a, b) in run.born.iter().zip(&serial.born) {
+                assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn node_based_division_keeps_result_independent_of_rank_count() {
+        // The paper's key argument for node–node division (§IV.A): the
+        // energy (hence the error) does not change with P.
+        let s = solver(250, 22);
+        let p = GbParams::default();
+        let mut energies = Vec::new();
+        for ranks in [1, 2, 3, 5] {
+            let run = run_distributed(&s, &DistributedConfig::oct_mpi(ranks, p));
+            energies.push(run.epol_kcal);
+        }
+        for w in energies.windows(2) {
+            assert!((w[0] - w[1]).abs() <= 1e-9 * w[0].abs(), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_replicates_fewer_copies_than_pure_mpi_at_equal_cores() {
+        // 6 cores as 6×1 (pure MPI) vs 2×3 (hybrid): memory ratio = 3.
+        let s = solver(200, 23);
+        let p = GbParams::default();
+        let pure = run_distributed(&s, &DistributedConfig::oct_mpi(6, p));
+        let hybrid = run_distributed(&s, &DistributedConfig::oct_mpi_cilk(2, 3, p));
+        assert_eq!(pure.total_replicated_bytes, 3 * hybrid.total_replicated_bytes);
+    }
+
+    #[test]
+    fn more_ranks_cost_more_communication() {
+        let s = solver(200, 24);
+        let p = GbParams::default();
+        let r2 = run_distributed(&s, &DistributedConfig::oct_mpi(2, p));
+        let r6 = run_distributed(&s, &DistributedConfig::oct_mpi(6, p));
+        let c2: f64 = r2.per_rank_comm_seconds.iter().sum();
+        let c6: f64 = r6.per_rank_comm_seconds.iter().sum();
+        assert!(c6 > c2, "{c6} vs {c2}");
+        assert!(r2.per_rank_comm_seconds.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn work_is_distributed_across_ranks() {
+        let s = solver(400, 25);
+        let p = GbParams::default();
+        let run = run_distributed(&s, &DistributedConfig::oct_mpi(4, p));
+        let total: u64 = run.per_rank_work.iter().map(|w| w.pair_ops).sum();
+        assert!(total > 0);
+        for w in &run.per_rank_work {
+            // No rank is idle; none does everything.
+            assert!(w.pair_ops > 0);
+            assert!(w.pair_ops < total);
+        }
+    }
+
+    #[test]
+    fn single_rank_single_thread_equals_serial_counts() {
+        let s = solver(150, 26);
+        let p = GbParams::default();
+        let serial = s.solve(&p);
+        let run = run_distributed(&s, &DistributedConfig::oct_mpi(1, p));
+        assert_eq!(
+            run.per_rank_work[0].pair_ops,
+            serial.work_born.pair_ops + serial.work_epol.pair_ops
+        );
+    }
+}

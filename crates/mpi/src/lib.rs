@@ -1,0 +1,32 @@
+//! In-process message-passing runtime (the MPI substitute).
+//!
+//! The paper's distributed layer uses MPI (MVAPICH2) over InfiniBand.
+//! Rust MPI bindings are thin and a real cluster is not available here, so
+//! this crate supplies the same *programming model* in-process:
+//!
+//! * [`comm::Universe::run`] launches `P` rank threads executing the same
+//!   SPMD closure; each rank owns its private state (data replication is
+//!   the paper's chosen distribution: "each process has a complete set of
+//!   data", §IV.A);
+//! * [`comm::Comm`] provides the collectives the algorithm needs —
+//!   barrier, broadcast, reduce, allreduce, allgather — implemented over
+//!   crossbeam channels;
+//! * every collective also *accrues simulated wire time* from a
+//!   [`NetworkModel`] using the textbook cost expressions
+//!   (`t_s·log P + t_w·m·(P−1)` etc., Grama et al. Table 4.1 — the same
+//!   model the paper's §IV.C complexity analysis cites), so experiments
+//!   can report communication costs for a Lonestar4-class fabric even
+//!   though the bytes actually move through shared memory;
+//! * [`drivers`] implements the paper's Fig. 4 algorithm on top:
+//!   `OCT_MPI` (P ranks × 1 thread) and `OCT_MPI+CILK` (P ranks × p
+//!   work-stealing threads), with replicated-memory accounting.
+
+pub mod comm;
+pub mod data_dist;
+pub mod drivers;
+pub mod network;
+
+pub use comm::{Comm, Universe};
+pub use data_dist::{run_data_distributed, DataDistributedRun};
+pub use drivers::{DistributedConfig, DistributedRun};
+pub use network::NetworkModel;

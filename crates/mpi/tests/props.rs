@@ -1,0 +1,82 @@
+//! Property-based tests of the message-passing collectives.
+
+use polar_mpi::{NetworkModel, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_matches_local_sum(
+        ranks in 1usize..7,
+        base in prop::collection::vec(-1e6..1e6f64, 1..40),
+    ) {
+        let base2 = base.clone();
+        let out = Universe::run(ranks, NetworkModel::free(), move |c| {
+            // Rank r contributes base scaled by (r+1).
+            let mut v: Vec<f64> =
+                base2.iter().map(|x| x * (c.rank() + 1) as f64).collect();
+            c.allreduce_sum(&mut v);
+            v
+        });
+        let scale: f64 = (1..=ranks).map(|r| r as f64).sum();
+        for v in out {
+            for (got, want) in v.iter().zip(&base) {
+                prop_assert!((got - want * scale).abs() <= 1e-9 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank(ranks in 1usize..7, len in 0usize..20) {
+        let out = Universe::run(ranks, NetworkModel::free(), move |c| {
+            let local = vec![c.rank() as f64; len];
+            c.allgather(&local)
+        });
+        let mut expect = Vec::new();
+        for r in 0..ranks {
+            expect.extend(std::iter::repeat_n(r as f64, len));
+        }
+        for v in out {
+            prop_assert_eq!(&v, &expect);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone(ranks in 1usize..7, payload in prop::collection::vec(-1e3..1e3f64, 0..30)) {
+        let payload2 = payload.clone();
+        let out = Universe::run(ranks, NetworkModel::free(), move |c| {
+            let mut v = if c.rank() == 0 { payload2.clone() } else { Vec::new() };
+            c.broadcast(&mut v);
+            v
+        });
+        for v in out {
+            prop_assert_eq!(&v, &payload);
+        }
+    }
+
+    #[test]
+    fn scalar_allreduce_is_order_insensitive(ranks in 1usize..7, xs in prop::collection::vec(-100.0..100.0f64, 7)) {
+        let xs2 = xs.clone();
+        let out = Universe::run(ranks, NetworkModel::free(), move |c| {
+            c.allreduce_scalar(xs2[c.rank()])
+        });
+        let expect: f64 = xs[..ranks].iter().sum();
+        for v in out {
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn collective_cost_model_is_monotone(
+        bytes in 1usize..(1 << 22),
+        p1 in 1usize..64,
+        extra in 1usize..64,
+    ) {
+        let n = NetworkModel::lonestar4_infiniband();
+        let p2 = p1 + extra;
+        prop_assert!(n.allreduce(bytes, p2) >= n.allreduce(bytes, p1));
+        prop_assert!(n.allgather(bytes, p2) >= n.allgather(bytes, p1));
+        prop_assert!(n.broadcast(bytes + 1, p2) >= n.broadcast(bytes, p2));
+    }
+}

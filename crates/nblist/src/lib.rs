@@ -1,0 +1,23 @@
+//! Cell lists and nonbonded neighbor lists — the baseline data structure.
+//!
+//! Amber, NAMD and Gromacs find interacting atom pairs through *nonbonded
+//! lists* (nblists): for every atom, the explicit list of neighbors within
+//! a distance cutoff. The paper (§II) contrasts them with octrees:
+//!
+//! * nblist size grows **linearly with atom count and cubically with the
+//!   cutoff** — for GB energies, which need large cutoffs, packages run
+//!   out of memory on multi-million-atom systems;
+//! * rebuilding after motion costs as much as the initial construction;
+//! * an octree's size is independent of the cutoff.
+//!
+//! This crate implements the real thing (grid-accelerated construction,
+//! Verlet-skin deferred rebuilds) so the baseline packages in
+//! `polar-packages` compute with exactly the data structure they would use
+//! in practice, and the `abl_octree_vs_nblist` experiment can measure the
+//! memory growth the paper describes.
+
+pub mod cellgrid;
+pub mod neighbor;
+
+pub use cellgrid::CellGrid;
+pub use neighbor::{NbList, NbListConfig};

@@ -1,0 +1,242 @@
+//! Nonbonded neighbor lists with Verlet skins.
+//!
+//! The structure Amber/Gromacs/NAMD use to truncate nonbonded
+//! interactions. Memory is Θ(n · ρ · (cutoff + skin)³) — the cubic cutoff
+//! growth the paper's §II calls out — and the list must be rebuilt
+//! whenever any atom has moved more than half the skin.
+
+use crate::cellgrid::CellGrid;
+use polar_geom::Vec3;
+
+/// Construction parameters for a neighbor list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NbListConfig {
+    /// Interaction cutoff (Å). Pairs within this distance are listed.
+    pub cutoff: f64,
+    /// Verlet skin (Å): the list actually stores pairs within
+    /// `cutoff + skin` so it stays valid while atoms move < skin/2.
+    pub skin: f64,
+}
+
+impl Default for NbListConfig {
+    fn default() -> Self {
+        NbListConfig { cutoff: 8.0, skin: 2.0 }
+    }
+}
+
+/// A half neighbor list: for each atom `i`, the neighbors `j > i` within
+/// `cutoff + skin`, in CSR layout.
+#[derive(Debug, Clone)]
+pub struct NbList {
+    cfg: NbListConfig,
+    /// CSR offsets (len = n + 1).
+    offsets: Vec<u32>,
+    /// Concatenated neighbor indices.
+    neighbors: Vec<u32>,
+    /// Positions at build time (for skin-violation checks).
+    reference: Vec<Vec3>,
+    /// Number of rebuilds performed (including the initial build).
+    pub rebuild_count: usize,
+}
+
+impl NbList {
+    /// Build the list for `points`.
+    ///
+    /// ```
+    /// use polar_geom::Vec3;
+    /// use polar_nblist::{NbList, NbListConfig};
+    ///
+    /// let points = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(9.0, 0.0, 0.0)];
+    /// let nb = NbList::build(&points, NbListConfig { cutoff: 2.0, skin: 0.0 });
+    /// assert_eq!(nb.neighbors_of(0), &[1]); // half list: only j > i
+    /// assert_eq!(nb.pair_count(), 1);
+    /// ```
+    pub fn build(points: &[Vec3], cfg: NbListConfig) -> NbList {
+        assert!(cfg.cutoff > 0.0 && cfg.skin >= 0.0, "bad NbListConfig {cfg:?}");
+        let mut list = NbList {
+            cfg,
+            offsets: Vec::new(),
+            neighbors: Vec::new(),
+            reference: Vec::new(),
+            rebuild_count: 0,
+        };
+        list.rebuild(points);
+        list
+    }
+
+    /// Rebuild from scratch at new positions (reuses allocations).
+    pub fn rebuild(&mut self, points: &[Vec3]) {
+        let r = self.cfg.cutoff + self.cfg.skin;
+        let r_sq = r * r;
+        let grid = CellGrid::build(points, r.max(1e-6));
+        self.offsets.clear();
+        self.offsets.reserve(points.len() + 1);
+        self.neighbors.clear();
+        self.offsets.push(0);
+        for (i, &p) in points.iter().enumerate() {
+            grid.for_each_candidate(p, |j| {
+                if (j as usize) > i && points[j as usize].dist_sq(p) <= r_sq {
+                    self.neighbors.push(j);
+                }
+            });
+            // Candidates arrive grouped by cell; sort this row for
+            // deterministic iteration order.
+            let row_start = *self.offsets.last().unwrap() as usize;
+            self.neighbors[row_start..].sort_unstable();
+            self.offsets.push(self.neighbors.len() as u32);
+        }
+        self.reference.clear();
+        self.reference.extend_from_slice(points);
+        self.rebuild_count += 1;
+    }
+
+    /// Neighbors `j > i` of atom `i` (within `cutoff + skin`).
+    pub fn neighbors_of(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored (half-)pairs.
+    pub fn pair_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if some atom moved more than `skin/2` since the last rebuild,
+    /// i.e. the list may be missing pairs inside the cutoff.
+    pub fn needs_rebuild(&self, points: &[Vec3]) -> bool {
+        if points.len() != self.reference.len() {
+            return true;
+        }
+        let limit = self.cfg.skin * 0.5;
+        let limit_sq = limit * limit;
+        points
+            .iter()
+            .zip(&self.reference)
+            .any(|(p, r)| p.dist_sq(*r) > limit_sq)
+    }
+
+    /// Ensure validity at `points`, rebuilding only when required.
+    /// Returns true if a rebuild happened.
+    pub fn update(&mut self, points: &[Vec3]) -> bool {
+        if self.needs_rebuild(points) {
+            self.rebuild(points);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Heap footprint in bytes. Grows cubically with `cutoff + skin` at
+    /// fixed density — the quantity `abl_octree_vs_nblist` sweeps.
+    pub fn memory_bytes(&self) -> usize {
+        self.neighbors.len() * 4 + self.offsets.len() * 4 + self.reference.len() * 24
+    }
+
+    pub fn config(&self) -> NbListConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n_side: usize, a: f64) -> Vec<Vec3> {
+        let mut v = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    v.push(Vec3::new(i as f64, j as f64, k as f64) * a);
+                }
+            }
+        }
+        v
+    }
+
+    fn brute_pairs(points: &[Vec3], r: f64) -> usize {
+        let mut c = 0;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if points[i].dist(points[j]) <= r {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_brute_force_pair_count() {
+        let pts = lattice(5, 1.3);
+        let cfg = NbListConfig { cutoff: 2.0, skin: 0.5 };
+        let nb = NbList::build(&pts, cfg);
+        assert_eq!(nb.pair_count(), brute_pairs(&pts, 2.5));
+    }
+
+    #[test]
+    fn neighbors_are_half_lists_sorted() {
+        let pts = lattice(4, 1.0);
+        let nb = NbList::build(&pts, NbListConfig { cutoff: 1.5, skin: 0.0 });
+        for i in 0..pts.len() {
+            let row = nb.neighbors_of(i);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+            assert!(row.iter().all(|&j| j as usize > i), "row {i} not half list");
+        }
+    }
+
+    #[test]
+    fn memory_grows_cubically_with_cutoff() {
+        let pts = lattice(10, 1.0);
+        let m2 = NbList::build(&pts, NbListConfig { cutoff: 2.0, skin: 0.0 }).memory_bytes();
+        let m4 = NbList::build(&pts, NbListConfig { cutoff: 4.0, skin: 0.0 }).memory_bytes();
+        // Doubling the cutoff should much more than double the memory
+        // (asymptotically 8×; boundary effects on a finite lattice reduce it).
+        assert!(m4 as f64 > 3.0 * m2 as f64, "m2={m2} m4={m4}");
+    }
+
+    #[test]
+    fn skin_defers_rebuilds() {
+        let mut pts = lattice(4, 1.2);
+        let mut nb = NbList::build(&pts, NbListConfig { cutoff: 2.0, skin: 1.0 });
+        assert_eq!(nb.rebuild_count, 1);
+        // Small motion: under skin/2, no rebuild.
+        for p in &mut pts {
+            *p += Vec3::splat(0.2);
+        }
+        assert!(!nb.update(&pts));
+        assert_eq!(nb.rebuild_count, 1);
+        // Large motion: must rebuild.
+        pts[0] += Vec3::splat(2.0);
+        assert!(nb.update(&pts));
+        assert_eq!(nb.rebuild_count, 2);
+    }
+
+    #[test]
+    fn atom_count_change_forces_rebuild() {
+        let pts = lattice(3, 1.0);
+        let nb = NbList::build(&pts, NbListConfig::default());
+        let fewer = &pts[..10];
+        assert!(nb.needs_rebuild(fewer));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let nb = NbList::build(&[], NbListConfig::default());
+        assert!(nb.is_empty());
+        assert_eq!(nb.pair_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_config_rejected() {
+        let _ = NbList::build(&[Vec3::ZERO], NbListConfig { cutoff: -1.0, skin: 0.0 });
+    }
+}

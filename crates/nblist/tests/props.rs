@@ -1,0 +1,110 @@
+//! Property-based tests: neighbor lists vs brute force, skin semantics.
+
+use polar_geom::Vec3;
+use polar_nblist::{CellGrid, NbList, NbListConfig};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(
+        (-30.0..30.0f64, -30.0..30.0f64, -30.0..30.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        1..max,
+    )
+}
+
+fn brute_pairs(points: &[Vec3], r: f64) -> Vec<(u32, u32)> {
+    let mut v = Vec::new();
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            if points[i].dist_sq(points[j]) <= r * r {
+                v.push((i as u32, j as u32));
+            }
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nblist_equals_brute_force(
+        pts in arb_points(120),
+        cutoff in 1.0..15.0f64,
+        skin in 0.0..3.0f64,
+    ) {
+        let nb = NbList::build(&pts, NbListConfig { cutoff, skin });
+        let mut listed: Vec<(u32, u32)> = Vec::new();
+        for i in 0..pts.len() {
+            for &j in nb.neighbors_of(i) {
+                listed.push((i as u32, j));
+            }
+        }
+        listed.sort_unstable();
+        let mut expect = brute_pairs(&pts, cutoff + skin);
+        expect.sort_unstable();
+        prop_assert_eq!(listed, expect);
+    }
+
+    #[test]
+    fn cell_grid_candidates_cover_radius(
+        pts in arb_points(120),
+        cutoff in 0.5..10.0f64,
+        probe in (-30.0..30.0f64, -30.0..30.0f64, -30.0..30.0f64),
+    ) {
+        let grid = CellGrid::build(&pts, cutoff);
+        let p = Vec3::new(probe.0, probe.1, probe.2);
+        let mut cand = vec![false; pts.len()];
+        grid.for_each_candidate(p, |i| cand[i as usize] = true);
+        for (i, q) in pts.iter().enumerate() {
+            if q.dist(p) <= cutoff {
+                prop_assert!(cand[i], "missed in-radius point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_preserves_correctness_under_motion(
+        pts in arb_points(80),
+        seed_moves in prop::collection::vec((-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64), 80),
+        scale in 0.0..4.0f64,
+    ) {
+        let cfg = NbListConfig { cutoff: 4.0, skin: 1.0 };
+        let mut nb = NbList::build(&pts, cfg);
+        let moved: Vec<Vec3> = pts
+            .iter()
+            .zip(seed_moves.iter().cycle())
+            .map(|(p, m)| *p + Vec3::new(m.0, m.1, m.2) * scale)
+            .collect();
+        nb.update(&moved);
+        // After update() the list must contain at least every true pair
+        // within the bare cutoff at the *current* positions.
+        let mut listed = std::collections::HashSet::new();
+        for i in 0..moved.len() {
+            for &j in nb.neighbors_of(i) {
+                listed.insert((i as u32, j));
+            }
+        }
+        for (i, j) in brute_pairs(&moved, cfg.cutoff) {
+            prop_assert!(listed.contains(&(i, j)), "pair ({i},{j}) missing after update");
+        }
+    }
+
+    #[test]
+    fn small_motion_never_forces_rebuild(
+        pts in arb_points(60),
+        dir in (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64),
+    ) {
+        let cfg = NbListConfig { cutoff: 5.0, skin: 2.0 };
+        let nb = NbList::build(&pts, cfg);
+        // Uniform translation below skin/2 in max-norm keeps validity.
+        let d = Vec3::new(dir.0, dir.1, dir.2).normalized() * 0.9; // < skin/2
+        let moved: Vec<Vec3> = pts.iter().map(|p| *p + d).collect();
+        prop_assert!(!nb.needs_rebuild(&moved));
+    }
+
+    #[test]
+    fn memory_counts_pairs(pts in arb_points(100), cutoff in 1.0..12.0f64) {
+        let nb = NbList::build(&pts, NbListConfig { cutoff, skin: 0.0 });
+        prop_assert!(nb.memory_bytes() >= nb.pair_count() * 4);
+    }
+}

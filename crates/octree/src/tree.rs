@@ -1,0 +1,408 @@
+//! The flat octree representation and its queries.
+
+use polar_geom::{Aabb, RigidTransform, Vec3};
+
+/// Index of a node in [`Octree::nodes`]. The root is always node 0.
+pub type NodeId = u32;
+
+/// Sentinel for "no child".
+pub const NO_NODE: NodeId = u32::MAX;
+
+/// One octree node.
+///
+/// `center`/`radius` define the enclosing ball used by the well-separated
+/// predicate: `center` is the *geometric centroid* of the points under the
+/// node (the paper's pseudo-particle position) and `radius` is the radius
+/// of the smallest centroid-centered ball enclosing them (Fig. 2's `r_A`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OctreeNode {
+    /// Geometric centroid of the points under this node.
+    pub center: Vec3,
+    /// Max distance from `center` to any point under this node.
+    pub radius: f64,
+    /// Spatial cell of this node (loose after a rigid transform).
+    pub bounds: Aabb,
+    /// Start of this node's contiguous range in the permuted point array.
+    pub start: u32,
+    /// One past the end of the range.
+    pub end: u32,
+    /// Child node ids ([`NO_NODE`] for absent octants).
+    pub children: [NodeId; 8],
+    /// Depth (root = 0).
+    pub depth: u8,
+    /// Leaf flag (leaves own their points; internal nodes delegate).
+    pub is_leaf: bool,
+}
+
+impl OctreeNode {
+    /// Number of points under this node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterator over present children.
+    #[inline]
+    pub fn child_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.children.iter().copied().filter(|&c| c != NO_NODE)
+    }
+}
+
+/// A flat octree over a set of points.
+///
+/// Built with [`crate::build::OctreeConfig::build`]. Points are stored
+/// permuted into Morton order; `order[i]` maps slot `i` back to the
+/// caller's original point index so per-point payloads (charges, weights,
+/// normals) stay in the caller's arrays.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    pub(crate) nodes: Vec<OctreeNode>,
+    /// Permuted point positions (Morton order).
+    pub(crate) points: Vec<Vec3>,
+    /// `order[slot] = original index`.
+    pub(crate) order: Vec<u32>,
+    /// Leaf node ids in left-to-right (Morton) order.
+    pub(crate) leaves: Vec<NodeId>,
+}
+
+impl Octree {
+    /// The root node id (0). Valid for non-empty trees.
+    pub const ROOT: NodeId = 0;
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &OctreeNode {
+        &self.nodes[id as usize]
+    }
+
+    /// All nodes (index = node id).
+    #[inline]
+    pub fn nodes(&self) -> &[OctreeNode] {
+        &self.nodes
+    }
+
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of points in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Leaf node ids in Morton order — the unit of the paper's *node-based
+    /// work division* (leaf segments are assigned to ranks).
+    #[inline]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Positions (Morton-permuted) in the node's range.
+    #[inline]
+    pub fn points_in(&self, id: NodeId) -> &[Vec3] {
+        let n = self.node(id);
+        &self.points[n.start as usize..n.end as usize]
+    }
+
+    /// Original point indices in the node's range, aligned with
+    /// [`Octree::points_in`].
+    #[inline]
+    pub fn indices_in(&self, id: NodeId) -> &[u32] {
+        let n = self.node(id);
+        &self.order[n.start as usize..n.end as usize]
+    }
+
+    /// The full permutation (`slot → original index`).
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// All permuted points.
+    #[inline]
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Maximum leaf depth.
+    pub fn depth(&self) -> u8 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Heap footprint in bytes (nodes + points + permutation + leaf list).
+    /// Used by the octree-vs-nblist memory experiment: this is *independent
+    /// of any cutoff or approximation parameter*.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<OctreeNode>()
+            + self.points.len() * std::mem::size_of::<Vec3>()
+            + self.order.len() * std::mem::size_of::<u32>()
+            + self.leaves.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Bottom-up per-node aggregation (the pseudo-particle builder).
+    ///
+    /// `leaf_val(original_index, pos)` produces each point's contribution;
+    /// `combine` must be associative. Returns one `T` per node, indexed by
+    /// node id. Example: the paper's pseudo-q-point `ñ_Q = Σ w_q·n_q` or a
+    /// node's total charge `q_U`.
+    pub fn aggregate<T, F, G>(&self, identity: T, mut leaf_val: F, mut combine: G) -> Vec<T>
+    where
+        T: Clone,
+        F: FnMut(u32, Vec3) -> T,
+        G: FnMut(&T, &T) -> T,
+    {
+        let mut out: Vec<T> = vec![identity.clone(); self.nodes.len()];
+        // Children always have larger ids than parents (construction is
+        // pre-order), so a reverse scan is a valid post-order fold.
+        for id in (0..self.nodes.len()).rev() {
+            let node = self.nodes[id];
+            let mut acc = identity.clone();
+            if node.is_leaf {
+                for (slot, &orig) in
+                    self.order[node.start as usize..node.end as usize].iter().enumerate()
+                {
+                    let pos = self.points[node.start as usize + slot];
+                    let v = leaf_val(orig, pos);
+                    acc = combine(&acc, &v);
+                }
+            } else {
+                for c in node.child_ids() {
+                    acc = combine(&acc, &out[c as usize]);
+                }
+            }
+            out[id] = acc;
+        }
+        out
+    }
+
+    /// A rigidly transformed copy: all centroids and points are mapped;
+    /// enclosing radii are invariant; cell bounds become loose boxes of the
+    /// transformed corners (traversal only uses center + radius).
+    ///
+    /// This is the paper's docking optimization (§IV.C): "we can move the
+    /// same octree to different positions or rotate it as needed by
+    /// multiplying with proper transformation matrices".
+    pub fn transformed(&self, xf: &RigidTransform) -> Octree {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let corners = [
+                    n.bounds.min,
+                    Vec3::new(n.bounds.max.x, n.bounds.min.y, n.bounds.min.z),
+                    Vec3::new(n.bounds.min.x, n.bounds.max.y, n.bounds.min.z),
+                    Vec3::new(n.bounds.min.x, n.bounds.min.y, n.bounds.max.z),
+                    Vec3::new(n.bounds.max.x, n.bounds.max.y, n.bounds.min.z),
+                    Vec3::new(n.bounds.max.x, n.bounds.min.y, n.bounds.max.z),
+                    Vec3::new(n.bounds.min.x, n.bounds.max.y, n.bounds.max.z),
+                    n.bounds.max,
+                ];
+                OctreeNode {
+                    center: xf.apply_point(n.center),
+                    bounds: Aabb::from_points(corners.into_iter().map(|c| xf.apply_point(c))),
+                    ..*n
+                }
+            })
+            .collect();
+        Octree {
+            nodes,
+            points: self.points.iter().map(|&p| xf.apply_point(p)).collect(),
+            order: self.order.clone(),
+            leaves: self.leaves.clone(),
+        }
+    }
+
+    /// Visit every point within `radius` of `center` (original index and
+    /// position). Prunes subtrees by their enclosing balls; O(output +
+    /// visited nodes). A production alternative to building a neighbor
+    /// list when only a few queries are needed.
+    pub fn for_each_in_ball<F: FnMut(u32, Vec3)>(&self, center: Vec3, radius: f64, mut f: F) {
+        assert!(radius >= 0.0);
+        if self.is_empty() {
+            return;
+        }
+        let mut stack = vec![Self::ROOT];
+        let r_sq = radius * radius;
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            let d = node.center.dist(center);
+            if d > node.radius + radius {
+                continue; // enclosing ball disjoint from the query ball
+            }
+            if node.is_leaf {
+                for (k, p) in self.points_in(id).iter().enumerate() {
+                    if p.dist_sq(center) <= r_sq {
+                        f(self.order[node.start as usize + k], *p);
+                    }
+                }
+            } else {
+                stack.extend(node.child_ids());
+            }
+        }
+    }
+
+    /// The leaf whose spatial cell contains `p`, or `None` if `p` lies
+    /// outside the root cell. Descends by cell geometry, so it works for
+    /// untransformed trees.
+    pub fn find_leaf(&self, p: Vec3) -> Option<NodeId> {
+        if self.is_empty() || !self.node(Self::ROOT).bounds.contains(p) {
+            return None;
+        }
+        let mut id = Self::ROOT;
+        loop {
+            let node = self.node(id);
+            if node.is_leaf {
+                return Some(id);
+            }
+            // One child cell contains p; absent children mean the point
+            // falls in an empty octant — report the nearest existing
+            // structure by failing over to None.
+            match node.child_ids().find(|&c| self.node(c).bounds.contains(p)) {
+                Some(c) => id = c,
+                None => return None,
+            }
+        }
+    }
+
+    /// Refresh point coordinates in place after small motion — the
+    /// flexible-molecule maintenance mode of the paper's companion work
+    /// \[8\] ("Space-efficient maintenance of nonbonded lists for
+    /// flexible molecules using dynamic octrees"). The tree *structure*
+    /// (permutation, ranges, cells) is kept; per-node centroids and
+    /// enclosing radii are recomputed exactly, so traversals stay
+    /// correct.
+    ///
+    /// Validity requires every point to remain inside its leaf's spatial
+    /// cell (padded by `slack` Å, the octree analogue of a Verlet skin).
+    /// If any point escaped, `Err(escaped_count)` is returned and the
+    /// tree is left *unchanged* — the caller should rebuild, exactly as
+    /// an nblist rebuilds when the skin is violated. `positions` must be
+    /// in original index order. Only valid for trees that have not been
+    /// rigidly transformed (transformed cell bounds are loose).
+    pub fn refresh(&mut self, positions: &[Vec3], slack: f64) -> Result<(), usize> {
+        assert_eq!(positions.len(), self.len(), "position count changed");
+        assert!(slack >= 0.0);
+        // Pass 1: validate containment before touching anything.
+        let mut escaped = 0usize;
+        for &leaf in &self.leaves {
+            let node = &self.nodes[leaf as usize];
+            let cell = node.bounds.padded(slack);
+            for slot in node.start..node.end {
+                let p = positions[self.order[slot as usize] as usize];
+                if !cell.contains(p) {
+                    escaped += 1;
+                }
+            }
+        }
+        if escaped > 0 {
+            return Err(escaped);
+        }
+        // Pass 2: write coordinates through the permutation.
+        for (slot, &orig) in self.order.iter().enumerate() {
+            self.points[slot] = positions[orig as usize];
+        }
+        // Pass 3: recompute every node's centroid and enclosing radius
+        // (exact rescan of its contiguous range, like the builder).
+        for node in self.nodes.iter_mut() {
+            let slice = &self.points[node.start as usize..node.end as usize];
+            let centroid = slice.iter().copied().sum::<Vec3>() / slice.len() as f64;
+            let r_sq = slice.iter().map(|p| p.dist_sq(centroid)).fold(0.0_f64, f64::max);
+            node.center = centroid;
+            node.radius = r_sq.sqrt();
+        }
+        Ok(())
+    }
+
+    /// Validate structural invariants (used by tests and debug assertions):
+    /// ranges nest, children partition parents, enclosing balls enclose,
+    /// and the permutation is a bijection.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return if self.nodes.is_empty() {
+                Ok(())
+            } else {
+                Err("empty tree with nodes".into())
+            };
+        }
+        let root = self.node(Self::ROOT);
+        if root.start != 0 || root.end as usize != self.points.len() {
+            return Err("root does not span all points".into());
+        }
+        let mut seen = vec![false; self.order.len()];
+        for &o in &self.order {
+            let o = o as usize;
+            if o >= seen.len() || seen[o] {
+                return Err("order is not a permutation".into());
+            }
+            seen[o] = true;
+        }
+        for (id, n) in self.nodes.iter().enumerate() {
+            if n.start > n.end {
+                return Err(format!("node {id}: inverted range"));
+            }
+            if n.is_empty() {
+                return Err(format!("node {id}: empty node stored"));
+            }
+            for (slot, p) in self.points_in(id as NodeId).iter().enumerate() {
+                if p.dist(n.center) > n.radius + 1e-9 {
+                    return Err(format!(
+                        "node {id}: point {slot} outside enclosing ball by {}",
+                        p.dist(n.center) - n.radius
+                    ));
+                }
+            }
+            if n.is_leaf {
+                if n.child_ids().next().is_some() {
+                    return Err(format!("node {id}: leaf with children"));
+                }
+            } else {
+                let mut cursor = n.start;
+                let mut child_count = 0;
+                for c in n.child_ids() {
+                    let ch = self.node(c);
+                    if ch.depth != n.depth + 1 {
+                        return Err(format!("node {id}: child depth mismatch"));
+                    }
+                    if ch.start != cursor {
+                        return Err(format!("node {id}: children not contiguous"));
+                    }
+                    cursor = ch.end;
+                    child_count += 1;
+                }
+                if cursor != n.end {
+                    return Err(format!("node {id}: children do not cover range"));
+                }
+                if child_count == 0 {
+                    return Err(format!("node {id}: internal node without children"));
+                }
+            }
+        }
+        // Leaves must cover all points in order.
+        let mut cursor = 0;
+        for &l in &self.leaves {
+            let n = self.node(l);
+            if !n.is_leaf {
+                return Err("non-leaf in leaf list".into());
+            }
+            if n.start != cursor {
+                return Err("leaf list out of order".into());
+            }
+            cursor = n.end;
+        }
+        if cursor as usize != self.points.len() {
+            return Err("leaves do not cover all points".into());
+        }
+        Ok(())
+    }
+}

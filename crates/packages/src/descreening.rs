@@ -1,0 +1,371 @@
+//! Pairwise-descreening Born radii: HCT, OBC and volume-based r⁶.
+//!
+//! These are the Born radius models of the baseline packages (Table II):
+//!
+//! * **HCT** (Hawkins–Cramer–Truhlar \[17\]): each neighbor *descreens*
+//!   atom *i* by the analytic integral of 1/r⁴ over the neighbor's scaled
+//!   sphere; `1/R_i = 1/ρ_i − ½ Σ_j I(r_ij, S_j·ρ_j)`. Used by Amber and
+//!   Gromacs.
+//! * **OBC** (Onufriev–Bashford–Case \[28\]): HCT's sum Ψ is remapped by
+//!   `tanh(αΨ − βΨ² + γΨ³)` to fix HCT's overestimation for buried
+//!   atoms. Used by NAMD.
+//! * **Volume-based r⁶** (GBr⁶ \[35\]): integrates 1/r⁶ over neighbor
+//!   sphere *volumes* — the volumetric counterpart of the paper's
+//!   surface-based r⁶.
+//!
+//! All three are O(M · neighbors(cutoff)) with a cell grid, exactly how
+//! the packages evaluate them.
+
+use polar_gb::constants::BORN_RADIUS_MAX;
+use polar_geom::Vec3;
+use polar_nblist::CellGrid;
+
+/// HCT-style parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DescreenParams {
+    /// Dielectric offset subtracted from every vdW radius (Å).
+    pub offset: f64,
+    /// Uniform descreening scale factor `S_j` (element-specific in real
+    /// force fields; a single effective value here).
+    pub scale: f64,
+}
+
+impl DescreenParams {
+    /// Canonical HCT values (offset 0.09 Å, S ≈ 0.8).
+    pub fn hct() -> Self {
+        DescreenParams { offset: 0.09, scale: 0.8 }
+    }
+}
+
+/// The HCT pairwise descreening integral `I(r, sr)` for a neighbor of
+/// scaled radius `sr` at distance `r` from an atom of reduced radius
+/// `rho`. Returns 0 when the neighbor is swallowed by the atom itself.
+#[inline]
+fn hct_integral(rho: f64, r: f64, sr: f64) -> f64 {
+    if rho >= r + sr {
+        return 0.0; // neighbor entirely inside atom i: no descreening
+    }
+    let l = rho.max((r - sr).abs());
+    let u = r + sr;
+    debug_assert!(l > 0.0 && u >= l);
+    (1.0 / l - 1.0 / u)
+        + 0.25 * r * (1.0 / (u * u) - 1.0 / (l * l))
+        + 0.5 / r * (l / u).ln()
+        + 0.25 * sr * sr / r * (1.0 / (l * l) - 1.0 / (u * u))
+}
+
+/// Visit neighbors within `cutoff` (or every other atom if `None`).
+fn for_pairs<F: FnMut(usize, usize, f64)>(pos: &[Vec3], cutoff: Option<f64>, mut f: F) {
+    match cutoff {
+        Some(c) => {
+            assert!(c > 0.0, "cutoff must be positive");
+            let grid = CellGrid::build(pos, c);
+            let c_sq = c * c;
+            for (i, &p) in pos.iter().enumerate() {
+                grid.for_each_candidate(p, |j| {
+                    let j = j as usize;
+                    if j != i {
+                        let d_sq = p.dist_sq(pos[j]);
+                        if d_sq <= c_sq {
+                            f(i, j, d_sq.sqrt());
+                        }
+                    }
+                });
+            }
+        }
+        None => {
+            for i in 0..pos.len() {
+                for j in 0..pos.len() {
+                    if i != j {
+                        f(i, j, pos[i].dist(pos[j]));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Count of directed pairs the descreening pass evaluates (for the cost
+/// model); mirrors the internal pair walk.
+pub fn pair_count(pos: &[Vec3], cutoff: Option<f64>) -> u64 {
+    let mut n = 0u64;
+    for_pairs(pos, cutoff, |_, _, _| n += 1);
+    n
+}
+
+/// HCT Born radii.
+pub fn born_radii_hct(
+    pos: &[Vec3],
+    radii: &[f64],
+    cutoff: Option<f64>,
+    params: DescreenParams,
+) -> Vec<f64> {
+    assert_eq!(pos.len(), radii.len());
+    let rho: Vec<f64> = radii.iter().map(|r| (r - params.offset).max(0.3)).collect();
+    let mut sum = vec![0.0_f64; pos.len()];
+    for_pairs(pos, cutoff, |i, j, r| {
+        sum[i] += hct_integral(rho[i], r, params.scale * rho[j]);
+    });
+    rho.iter()
+        .zip(&sum)
+        .zip(radii)
+        .map(|((&p, &s), &vdw)| {
+            let inv = 1.0 / p - 0.5 * s;
+            if inv <= 1.0 / BORN_RADIUS_MAX {
+                BORN_RADIUS_MAX
+            } else {
+                (1.0 / inv).clamp(vdw, BORN_RADIUS_MAX)
+            }
+        })
+        .collect()
+}
+
+/// OBC Born radii (OBC-II constants α=1.0, β=0.8, γ=4.85).
+pub fn born_radii_obc(
+    pos: &[Vec3],
+    radii: &[f64],
+    cutoff: Option<f64>,
+    params: DescreenParams,
+) -> Vec<f64> {
+    assert_eq!(pos.len(), radii.len());
+    const ALPHA: f64 = 1.0;
+    const BETA: f64 = 0.8;
+    const GAMMA: f64 = 4.85;
+    let rho: Vec<f64> = radii.iter().map(|r| (r - params.offset).max(0.3)).collect();
+    let mut sum = vec![0.0_f64; pos.len()];
+    for_pairs(pos, cutoff, |i, j, r| {
+        sum[i] += hct_integral(rho[i], r, params.scale * rho[j]);
+    });
+    rho.iter()
+        .zip(&sum)
+        .zip(radii)
+        .map(|((&p, &s), &vdw)| {
+            let psi = 0.5 * s * p;
+            let t = (ALPHA * psi - BETA * psi * psi + GAMMA * psi.powi(3)).tanh();
+            let inv = 1.0 / p - t / vdw;
+            if inv <= 1.0 / BORN_RADIUS_MAX {
+                BORN_RADIUS_MAX
+            } else {
+                (1.0 / inv).clamp(vdw, BORN_RADIUS_MAX)
+            }
+        })
+        .collect()
+}
+
+/// Exact integral `∫ dV/s⁶` over the part of a sphere of radius `a`
+/// centered at distance `d` from the origin that lies *outside* the
+/// solute atom's own sphere of radius `rho_i` (shells `s < rho_i` belong
+/// to atom `i` itself and are already excluded from the exterior
+/// integral, so they must not be double-subtracted — this also removes
+/// the `s → 0` singularity for overlapping spheres).
+///
+/// Shell decomposition: a shell of radius `s` intersects the neighbor
+/// sphere in a cap of fractional area `(1 − (d² + s² − a²)/(2ds))/2` for
+/// `|d − a| ≤ s ≤ d + a`, and entirely (`fraction 1`) for `s < a − d`
+/// when the origin lies inside the neighbor. Integrating `4πs²·f(s)/s⁶`
+/// in closed form gives the expression below.
+fn r6_sphere_integral(rho_i: f64, d: f64, a: f64) -> f64 {
+    use std::f64::consts::PI;
+    debug_assert!(rho_i > 0.0 && d > 0.0 && a > 0.0);
+    let mut total = 0.0;
+    // Fully covered shells (origin inside the neighbor sphere).
+    if a > d {
+        let lo = rho_i;
+        let hi = (a - d).max(rho_i);
+        if hi > lo {
+            total += 4.0 * PI / 3.0 * (1.0 / (lo * lo * lo) - 1.0 / (hi * hi * hi));
+        }
+    }
+    // Cap-covered shells.
+    let lo = (d - a).abs().max(rho_i);
+    let hi = d + a;
+    if hi > lo {
+        let aa = d * d - a * a;
+        // F(s) = ∫ 2π s²·f_cap(s)/s⁶ ds
+        //      = 2π·(−1/(3s³) + (d²−a²)/(8ds⁴) + 1/(4ds²)).
+        let f = |s: f64| -> f64 {
+            let s2 = s * s;
+            -1.0 / (3.0 * s2 * s) + aa / (8.0 * d * s2 * s2) + 1.0 / (4.0 * d * s2)
+        };
+        total += 2.0 * PI * (f(hi) - f(lo));
+    }
+    total.max(0.0)
+}
+
+/// Volume-based r⁶ Born radii (GBr⁶-class):
+/// `1/R_i³ = 1/ρ_i³ − (3/4π)·Σ_j ∫_{V_j \ V_i} dV/|r−x_i|⁶`, with the
+/// neighbor integral in exact closed form (see `r6_sphere_integral` in the source).
+pub fn born_radii_volume_r6(pos: &[Vec3], radii: &[f64], cutoff: Option<f64>) -> Vec<f64> {
+    assert_eq!(pos.len(), radii.len());
+    let mut sum = vec![0.0_f64; pos.len()];
+    for_pairs(pos, cutoff, |i, j, r| {
+        sum[i] += r6_sphere_integral(radii[i], r, radii[j]);
+    });
+    pos.iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let inv_r3 =
+                1.0 / radii[i].powi(3) - 3.0 / (4.0 * std::f64::consts::PI) * sum[i];
+            if inv_r3 <= 1.0 / BORN_RADIUS_MAX.powi(3) {
+                BORN_RADIUS_MAX
+            } else {
+                inv_r3.powf(-1.0 / 3.0).clamp(radii[i], BORN_RADIUS_MAX)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_atom_keeps_its_radius() {
+        let pos = [Vec3::ZERO];
+        let radii = [1.7];
+        for born in [
+            born_radii_hct(&pos, &radii, None, DescreenParams::hct()),
+            born_radii_obc(&pos, &radii, None, DescreenParams::hct()),
+            born_radii_volume_r6(&pos, &radii, None),
+        ] {
+            // With no neighbors there is no descreening: R ≈ ρ (HCT/OBC
+            // floor at the vdW radius by the clamp).
+            assert!((born[0] - 1.7).abs() < 0.15, "born = {}", born[0]);
+        }
+    }
+
+    #[test]
+    fn neighbors_increase_born_radius() {
+        // A central atom tightly caged by touching neighbors is strongly
+        // descreened: its Born radius must exceed an edge atom's.
+        let mut pos = vec![Vec3::ZERO];
+        for x in -1..=1i32 {
+            for y in -1..=1i32 {
+                for z in -1..=1i32 {
+                    if (x, y, z) != (0, 0, 0) {
+                        pos.push(Vec3::new(x as f64, y as f64, z as f64) * 2.2);
+                    }
+                }
+            }
+        }
+        let radii = vec![1.5; pos.len()];
+        for f in [
+            born_radii_hct as fn(&[Vec3], &[f64], Option<f64>, DescreenParams) -> Vec<f64>,
+            born_radii_obc,
+        ] {
+            let born = f(&pos, &radii, None, DescreenParams::hct());
+            assert!(born[0] > born[1], "center {} vs edge {}", born[0], born[1]);
+            assert!(born[0] > 1.5);
+            assert!(born[0] < 50.0, "unphysical radius {}", born[0]);
+        }
+        let born = born_radii_volume_r6(&pos, &radii, None);
+        assert!(born[0] > born[1]);
+    }
+
+    #[test]
+    fn obc_boosts_buried_atoms_relative_to_hct() {
+        // OBC exists because HCT *underestimates* buried atoms' Born
+        // radii: the tanh(αΨ − βΨ² + γΨ³) remap inflates them. For a
+        // deeply caged atom, OBC ≥ HCT.
+        let mut pos = vec![Vec3::ZERO];
+        for x in -2..=2 {
+            for y in -2..=2 {
+                for z in -2..=2 {
+                    if (x, y, z) != (0, 0, 0) {
+                        pos.push(Vec3::new(x as f64, y as f64, z as f64) * 2.2);
+                    }
+                }
+            }
+        }
+        let radii = vec![1.6; pos.len()];
+        let hct = born_radii_hct(&pos, &radii, None, DescreenParams::hct());
+        let obc = born_radii_obc(&pos, &radii, None, DescreenParams::hct());
+        assert!(obc[0] >= hct[0] - 1e-9, "obc {} vs hct {}", obc[0], hct[0]);
+        assert!(hct[0] > radii[0], "center atom not descreened at all");
+    }
+
+    #[test]
+    fn cutoff_truncation_loses_far_descreening() {
+        let pos: Vec<Vec3> = (0..30).map(|i| Vec3::new(i as f64 * 2.0, 0.0, 0.0)).collect();
+        let radii = vec![1.5; 30];
+        let full = born_radii_hct(&pos, &radii, None, DescreenParams::hct());
+        let cut = born_radii_hct(&pos, &radii, Some(6.0), DescreenParams::hct());
+        // Cutoff removes descreening ⇒ smaller (or equal) Born radii.
+        for (f, c) in full.iter().zip(&cut) {
+            assert!(c <= f);
+        }
+        assert!(cut[15] < full[15], "cutoff had no effect");
+    }
+
+    #[test]
+    fn r6_sphere_integral_matches_numeric_quadrature() {
+        // Compare the closed form against a brute-force 3D grid integral
+        // of 1/s⁶ over the sphere (outside rho_i).
+        let numeric = |rho_i: f64, d: f64, a: f64| -> f64 {
+            let n = 120;
+            let h = 2.0 * a / n as f64;
+            let mut acc = 0.0;
+            for ix in 0..n {
+                for iy in 0..n {
+                    for iz in 0..n {
+                        let x = d - a + (ix as f64 + 0.5) * h;
+                        let y = -a + (iy as f64 + 0.5) * h;
+                        let z = -a + (iz as f64 + 0.5) * h;
+                        let in_sphere =
+                            (x - d) * (x - d) + y * y + z * z <= a * a;
+                        let s2 = x * x + y * y + z * z;
+                        if in_sphere && s2 > rho_i * rho_i {
+                            acc += h * h * h / (s2 * s2 * s2);
+                        }
+                    }
+                }
+            }
+            acc
+        };
+        for (rho, d, a) in [(1.5, 5.0, 1.5), (1.5, 2.5, 1.2), (1.0, 1.6, 1.5)] {
+            let exact = r6_sphere_integral(rho, d, a);
+            let num = numeric(rho, d, a);
+            let rel = ((exact - num) / num.max(1e-30)).abs();
+            assert!(rel < 0.05, "rho={rho} d={d} a={a}: closed {exact} vs grid {num}");
+        }
+        // Far limit: → V/d⁶.
+        let (d, a) = (50.0, 1.5_f64);
+        let far = r6_sphere_integral(1.5, d, a);
+        let v_over_d6 = 4.0 / 3.0 * std::f64::consts::PI * a.powi(3) / d.powi(6);
+        assert!(((far - v_over_d6) / v_over_d6).abs() < 0.01, "{far} vs {v_over_d6}");
+    }
+
+    #[test]
+    fn r6_sphere_integral_handles_heavy_overlap() {
+        // Origin deep inside the neighbor: finite, positive, and bounded
+        // by the integral over all space outside rho_i (= 4π/(3ρ³)).
+        let v = r6_sphere_integral(1.0, 0.5, 3.0);
+        assert!(v > 0.0 && v.is_finite());
+        let bound = 4.0 * std::f64::consts::PI / 3.0;
+        assert!(v <= bound, "{v} exceeds the all-space bound {bound}");
+    }
+
+    #[test]
+    fn pair_count_matches_cutoff_semantics() {
+        let pos: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64 * 3.0, 0.0, 0.0)).collect();
+        let full = pair_count(&pos, None);
+        assert_eq!(full, 90); // 10·9 directed pairs
+        let cut = pair_count(&pos, Some(3.5));
+        assert_eq!(cut, 18); // chain: each inner atom sees 2 neighbors
+    }
+
+    #[test]
+    fn descreening_sums_partition_like_pairs() {
+        // Born radii with a generous cutoff equal the cutoff-free result
+        // when the cutoff exceeds the system diameter.
+        let pos: Vec<Vec3> = (0..12)
+            .map(|i| Vec3::new((i % 3) as f64 * 2.0, (i / 3) as f64 * 2.0, 0.0))
+            .collect();
+        let radii = vec![1.4; 12];
+        let a = born_radii_hct(&pos, &radii, None, DescreenParams::hct());
+        let b = born_radii_hct(&pos, &radii, Some(100.0), DescreenParams::hct());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The package registry and runner (Table II of the paper).
+
+use crate::descreening::{
+    born_radii_hct, born_radii_obc, born_radii_volume_r6, pair_count, DescreenParams,
+};
+use polar_gb::constants::{tau, EPS_WATER};
+use polar_gb::energy::exact::gb_pair;
+use polar_gb::WorkCounts;
+use polar_geom::MathMode;
+use polar_molecule::Molecule;
+use polar_nblist::{NbList, NbListConfig};
+
+/// Born radius model a package uses (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GbModelKind {
+    Hct,
+    Obc,
+    Still,
+    VolumeR6,
+}
+
+/// Parallelization style (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelKind {
+    /// MPI-style distributed memory.
+    Distributed,
+    /// OpenMP/cilk-style shared memory.
+    Shared,
+    /// Serial only.
+    Serial,
+}
+
+/// Static description + cost model of one baseline package.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackageSpec {
+    pub name: &'static str,
+    pub model: GbModelKind,
+    pub parallel: ParallelKind,
+    /// Cutoff for the Born radius pass (None = cutoff-free, O(M²)).
+    pub born_cutoff: Option<f64>,
+    /// Cutoff for the energy pass.
+    pub energy_cutoff: Option<f64>,
+    /// Hard atom-count limit: the package runs out of memory beyond this
+    /// (§V.D: Tinker > 12k, GBr⁶ > 13k).
+    pub max_atoms: Option<usize>,
+    /// Cost of one of this package's pair interactions relative to the
+    /// octree solver's near-field pair unit. Calibrated once; see
+    /// EXPERIMENTS.md ("cost-model calibration").
+    pub cost_per_pair_rel: f64,
+    /// Systematic scale of the reported energy relative to the naive
+    /// STILL value (models parameterization differences; ≈0.7 for Tinker
+    /// per Fig. 9, ≈1 for the others).
+    pub energy_scale: f64,
+}
+
+/// Amber 12: HCT, MPI, cutoff-free GB by default (its GB speed problem).
+pub fn amber12() -> PackageSpec {
+    PackageSpec {
+        name: "Amber 12",
+        model: GbModelKind::Hct,
+        parallel: ParallelKind::Distributed,
+        born_cutoff: None,
+        energy_cutoff: None,
+        max_atoms: None,
+        cost_per_pair_rel: 12.0,
+        energy_scale: 1.0,
+    }
+}
+
+/// Gromacs 4.5.3: HCT, MPI, aggressive cutoffs + heavily optimized
+/// kernels (the fastest baseline, Fig. 8).
+pub fn gromacs453() -> PackageSpec {
+    PackageSpec {
+        name: "Gromacs 4.5.3",
+        model: GbModelKind::Hct,
+        parallel: ParallelKind::Distributed,
+        born_cutoff: Some(25.0),
+        energy_cutoff: Some(25.0),
+        max_atoms: None,
+        cost_per_pair_rel: 6.0,
+        energy_scale: 1.0,
+    }
+}
+
+/// NAMD 2.9: OBC, MPI; GB energy only obtainable by differencing two
+/// full electrostatics runs (§V.C), hence the large constant.
+pub fn namd29() -> PackageSpec {
+    PackageSpec {
+        name: "NAMD 2.9",
+        model: GbModelKind::Obc,
+        parallel: ParallelKind::Distributed,
+        born_cutoff: Some(60.0),
+        energy_cutoff: Some(60.0),
+        max_atoms: None,
+        cost_per_pair_rel: 13.0,
+        energy_scale: 1.0,
+    }
+}
+
+/// Tinker 6.0: STILL, OpenMP shared memory; nblist memory blows past
+/// ~12k atoms; reports ≈70% of the naive energy (Fig. 9).
+pub fn tinker60() -> PackageSpec {
+    PackageSpec {
+        name: "Tinker 6.0",
+        model: GbModelKind::Still,
+        parallel: ParallelKind::Shared,
+        born_cutoff: None,
+        energy_cutoff: None,
+        max_atoms: Some(12_000),
+        cost_per_pair_rel: 6.0,
+        energy_scale: 0.70,
+    }
+}
+
+/// GBr⁶: volume-based r⁶, serial; out of memory past ~13k atoms.
+pub fn gbr6() -> PackageSpec {
+    PackageSpec {
+        name: "GBr6",
+        model: GbModelKind::VolumeR6,
+        parallel: ParallelKind::Serial,
+        born_cutoff: None,
+        energy_cutoff: None,
+        max_atoms: Some(13_000),
+        cost_per_pair_rel: 1.2,
+        energy_scale: 1.0,
+    }
+}
+
+/// All five baselines, Table II order.
+pub fn registry() -> [PackageSpec; 5] {
+    [gromacs453(), namd29(), amber12(), tinker60(), gbr6()]
+}
+
+/// Failure modes of a package run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackageError {
+    /// The package's data structures exceed memory at this atom count.
+    OutOfMemory { atoms: usize, limit: usize },
+}
+
+impl std::fmt::Display for PackageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackageError::OutOfMemory { atoms, limit } => {
+                write!(f, "out of memory: {atoms} atoms exceeds the ~{limit}-atom limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackageError {}
+
+/// Output of one package run.
+#[derive(Debug, Clone)]
+pub struct PackageRun {
+    /// Born radii under the package's model.
+    pub born: Vec<f64>,
+    /// GB polarization energy (kcal/mol) as this package reports it.
+    pub epol_kcal: f64,
+    /// Pair-interaction work, **already scaled** by the package's
+    /// relative per-pair cost (feed straight into the cluster simulator).
+    pub work: WorkCounts,
+    /// Memory of the package's neighbor lists (octree-vs-nblist story).
+    pub nblist_bytes: usize,
+}
+
+impl PackageSpec {
+    /// Run the package's GB-energy pipeline on a molecule.
+    pub fn run(&self, mol: &Molecule) -> Result<PackageRun, PackageError> {
+        if let Some(limit) = self.max_atoms {
+            if mol.len() > limit {
+                return Err(PackageError::OutOfMemory { atoms: mol.len(), limit });
+            }
+        }
+        let pos = mol.positions();
+        let radii = mol.radii();
+        let charges = mol.charges();
+
+        // Born radii under the package's model.
+        let born = match self.model {
+            GbModelKind::Hct => born_radii_hct(&pos, &radii, self.born_cutoff, DescreenParams::hct()),
+            GbModelKind::Obc => born_radii_obc(&pos, &radii, self.born_cutoff, DescreenParams::hct()),
+            // Tinker's STILL pipeline ~ HCT-class descreening with its own
+            // parameterization; the systematic energy offset is applied
+            // below via `energy_scale`.
+            GbModelKind::Still => {
+                born_radii_hct(&pos, &radii, self.born_cutoff, DescreenParams { offset: 0.0, scale: 0.72 })
+            }
+            GbModelKind::VolumeR6 => born_radii_volume_r6(&pos, &radii, self.born_cutoff),
+        };
+
+        // Energy: STILL functional form over the package's pair list.
+        let t = tau(EPS_WATER);
+        let mut acc = 0.0;
+        let mut energy_pairs = 0u64;
+        let mut nblist_bytes = 0usize;
+        match self.energy_cutoff {
+            Some(c) => {
+                let nb = NbList::build(&pos, NbListConfig { cutoff: c, skin: 0.0 });
+                nblist_bytes += nb.memory_bytes();
+                for i in 0..pos.len() {
+                    acc += charges[i] * charges[i] / born[i];
+                    for &j in nb.neighbors_of(i) {
+                        let j = j as usize;
+                        let r_sq = pos[i].dist_sq(pos[j]);
+                        acc += 2.0
+                            * gb_pair(charges[i], charges[j], r_sq, born[i], born[j], MathMode::Exact);
+                    }
+                    energy_pairs += nb.neighbors_of(i).len() as u64 + 1;
+                }
+            }
+            None => {
+                for i in 0..pos.len() {
+                    acc += charges[i] * charges[i] / born[i];
+                    for j in (i + 1)..pos.len() {
+                        let r_sq = pos[i].dist_sq(pos[j]);
+                        acc += 2.0
+                            * gb_pair(charges[i], charges[j], r_sq, born[i], born[j], MathMode::Exact);
+                    }
+                }
+                energy_pairs = (pos.len() * (pos.len() + 1) / 2) as u64;
+            }
+        }
+        let epol_kcal = -0.5 * t * acc * self.energy_scale;
+
+        // Work accounting for the cost model: Born pairs + energy pairs,
+        // scaled by the package's per-pair cost.
+        let born_pairs = pair_count(&pos, self.born_cutoff);
+        let raw = born_pairs + energy_pairs;
+        let work = WorkCounts {
+            pair_ops: (raw as f64 * self.cost_per_pair_rel) as u64,
+            far_ops: 0,
+            nodes_visited: 0,
+        };
+        if self.born_cutoff.is_some() {
+            // The Born pass uses a cell grid of its own.
+            nblist_bytes += pos.len() * 4;
+        }
+        Ok(PackageRun { born, epol_kcal, work, nblist_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_molecule::generators;
+
+    #[test]
+    fn registry_matches_table_two() {
+        let r = registry();
+        assert_eq!(r.len(), 5);
+        let names: Vec<_> = r.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"Amber 12"));
+        assert!(names.contains(&"Gromacs 4.5.3"));
+        assert!(names.contains(&"NAMD 2.9"));
+        assert!(names.contains(&"Tinker 6.0"));
+        assert!(names.contains(&"GBr6"));
+        // Models per Table II.
+        assert_eq!(amber12().model, GbModelKind::Hct);
+        assert_eq!(namd29().model, GbModelKind::Obc);
+        assert_eq!(tinker60().model, GbModelKind::Still);
+        assert_eq!(tinker60().parallel, ParallelKind::Shared);
+        assert_eq!(gbr6().parallel, ParallelKind::Serial);
+    }
+
+    #[test]
+    fn all_packages_produce_negative_energy() {
+        let mol = generators::globular("p", 250, 17);
+        for spec in registry() {
+            let run = spec.run(&mol).unwrap();
+            assert!(run.epol_kcal < 0.0, "{}: {}", spec.name, run.epol_kcal);
+            assert_eq!(run.born.len(), 250);
+            assert!(run.work.pair_ops > 0);
+        }
+    }
+
+    #[test]
+    fn tinker_reports_smaller_magnitude_than_amber() {
+        // Fig. 9: Tinker ≈ 70% of the naive magnitude; Amber tracks it.
+        let mol = generators::globular("p", 300, 18);
+        let amber = amber12().run(&mol).unwrap();
+        let tinker = tinker60().run(&mol).unwrap();
+        assert!(
+            tinker.epol_kcal.abs() < 0.9 * amber.epol_kcal.abs(),
+            "tinker {} vs amber {}",
+            tinker.epol_kcal,
+            amber.epol_kcal
+        );
+    }
+
+    #[test]
+    fn tinker_and_gbr6_oom_past_their_limits() {
+        let big = generators::globular("big", 12_500, 19);
+        assert!(matches!(tinker60().run(&big), Err(PackageError::OutOfMemory { .. })));
+        assert!(gbr6().run(&big).is_ok()); // 12.5k < 13k
+        // (GBr⁶'s own limit bites later; checked cheaply via the spec.)
+        assert_eq!(gbr6().max_atoms, Some(13_000));
+        let err = tinker60().run(&big).unwrap_err();
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn gromacs_does_fewer_pair_ops_than_amber_on_large_molecules() {
+        // Cutoffs beat O(M²) once the molecule outgrows the cutoff ball.
+        let mol = generators::globular("p", 3000, 20);
+        let amber = amber12().run(&mol).unwrap();
+        let gromacs = gromacs453().run(&mol).unwrap();
+        assert!(
+            gromacs.work.pair_ops < amber.work.pair_ops,
+            "gromacs {} vs amber {}",
+            gromacs.work.pair_ops,
+            amber.work.pair_ops
+        );
+    }
+
+    #[test]
+    fn hct_energy_is_in_the_same_ballpark_as_surface_r6() {
+        // Different Born models agree to tens of percent, as in Fig. 9.
+        use polar_gb::{GbParams, GbSolver};
+        let mol = generators::globular("p", 300, 21);
+        let solver = GbSolver::for_molecule(&mol, &Default::default(), &Default::default());
+        let ours = solver.solve(&GbParams::default()).epol_kcal;
+        let amber = amber12().run(&mol).unwrap().epol_kcal;
+        let ratio = amber / ours;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio} ({amber} vs {ours})");
+    }
+}

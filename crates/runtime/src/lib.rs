@@ -1,0 +1,261 @@
+//! A cilk-style randomized work-stealing task pool.
+//!
+//! The paper runs its shared-memory layer on the cilk++ scheduler: "each
+//! thread maintains a double ended queue (deque) to store its outstanding
+//! work … when a thread runs out of work, it chooses a random victim
+//! thread and steals work from the *top* of the victim's queue" (§IV.A).
+//! This crate reimplements exactly that discipline on
+//! `crossbeam-deque`:
+//!
+//! * each worker owns a LIFO deque and pops its own newest task (good
+//!   locality — the newest task touches the data just produced);
+//! * an idle worker picks a uniformly random victim and steals that
+//!   victim's *oldest* task (large, cache-cold work — cheap to migrate);
+//! * per-worker execution and steal counters are exported so experiments
+//!   can observe the scheduler (see `abl_work_division`).
+//!
+//! The distributed drivers in `polar-mpi` use [`run_batch`] for the
+//! intra-rank thread level of the hybrid `OCT_MPI+CILK` algorithm, where
+//! the batch is a rank's segment of octree-leaf tasks.
+
+use crossbeam_deque::{Steal, Stealer, Worker};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Scheduler observability: what each worker did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Tasks executed per worker.
+    pub executed: Vec<u64>,
+    /// Successful steals per worker (tasks taken from a victim).
+    pub steals: Vec<u64>,
+}
+
+impl StealStats {
+    /// Total tasks run.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Total successful steals.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+
+    /// Load imbalance: max/mean executed (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.executed.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.total_executed() as f64 / self.executed.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Run `tasks` on `n_workers` OS threads with randomized work stealing and
+/// return the results in task order plus scheduler statistics.
+///
+/// ```
+/// let tasks: Vec<_> = (0..32).map(|i| move || i * i).collect();
+/// let (results, stats) = polar_runtime::run_batch(4, tasks);
+/// assert_eq!(results[5], 25);
+/// assert_eq!(stats.total_executed(), 32);
+/// ```
+///
+/// Tasks are seeded round-robin onto the workers' deques (the static
+/// half of the paper's two-level balancing), then migrate dynamically by
+/// stealing. Determinism: results are deterministic because each task's
+/// output lands in its own slot; the *schedule* (and `StealStats`) is not,
+/// except with `n_workers == 1`.
+pub fn run_batch<T, F>(n_workers: usize, tasks: Vec<F>) -> (Vec<T>, StealStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(n_workers >= 1, "need at least one worker");
+    let n_tasks = tasks.len();
+    // Each task writes its result into its own slot; slots are disjoint,
+    // so plain indexed writes through a shared Vec of OnceLocks are safe.
+    // `Mutex<Option<T>>` is Sync for any `T: Send`, unlike OnceLock
+    // which would additionally demand `T: Sync`.
+    let results: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n_tasks).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    let workers: Vec<Worker<(usize, F)>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(usize, F)>> = workers.iter().map(|w| w.stealer()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        workers[i % n_workers].push((i, task));
+    }
+
+    let executed: Vec<AtomicU64> = (0..n_workers).map(|_| AtomicU64::new(0)).collect();
+    let steals: Vec<AtomicU64> = (0..n_workers).map(|_| AtomicU64::new(0)).collect();
+    let remaining = AtomicUsize::new(n_tasks);
+
+    std::thread::scope(|scope| {
+        for (wid, worker) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let results = &results;
+            let executed = &executed;
+            let steals = &steals;
+            let remaining = &remaining;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x9e37_79b9 ^ wid as u64);
+                loop {
+                    // 1. Own deque, newest first (LIFO pop).
+                    let job = worker.pop().or_else(|| {
+                        // 2. Random victim, oldest first (FIFO steal).
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            return None;
+                        }
+                        let n = stealers.len();
+                        for probe in 0..(4 * n).max(4) {
+                            let victim = if n > 1 {
+                                let mut v = rng.random_range(0..n);
+                                if v == wid {
+                                    v = (v + 1 + probe % (n - 1)) % n;
+                                }
+                                v
+                            } else {
+                                wid
+                            };
+                            match stealers[victim].steal() {
+                                Steal::Success(job) => {
+                                    steals[wid].fetch_add(1, Ordering::Relaxed);
+                                    return Some(job);
+                                }
+                                Steal::Retry | Steal::Empty => continue,
+                            }
+                        }
+                        None
+                    });
+                    match job {
+                        Some((idx, f)) => {
+                            let out = f();
+                            let prev = results[idx].lock().replace(out);
+                            assert!(prev.is_none(), "task {idx} ran twice");
+                            executed[wid].fetch_add(1, Ordering::Relaxed);
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            // Back off briefly; other workers still hold work.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = StealStats {
+        executed: executed.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        steals: steals.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+    };
+    let out = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.into_inner().unwrap_or_else(|| panic!("task {i} never ran")))
+        .collect();
+    (out, stats)
+}
+
+/// Convenience: apply `f` to every index `0..n` in parallel, collecting
+/// results in index order.
+pub fn parallel_map<T, F>(n_workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    let f = &f;
+    let tasks: Vec<_> = (0..n).map(|i| move || f(i)).collect();
+    run_batch(n_workers, tasks).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let tasks: Vec<_> = (0..100).map(|i| move || i * 3).collect();
+        let (out, stats) = run_batch(4, tasks);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(stats.total_executed(), 100);
+    }
+
+    #[test]
+    fn single_worker_executes_everything_without_steals() {
+        let tasks: Vec<_> = (0..25).map(|i| move || i).collect();
+        let (out, stats) = run_batch(1, tasks);
+        assert_eq!(out.len(), 25);
+        assert_eq!(stats.executed, vec![25]);
+        assert_eq!(stats.total_steals(), 0);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = TestCounter::new(0);
+        let tasks: Vec<_> = (0..500)
+            .map(|_| {
+                let c = &counter;
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        let (_, stats) = run_batch(8, tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(stats.total_executed(), 500);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (out, stats) = run_batch::<u32, fn() -> u32>(4, vec![]);
+        assert!(out.is_empty());
+        assert_eq!(stats.total_executed(), 0);
+    }
+
+    #[test]
+    fn skewed_tasks_get_stolen() {
+        // One worker's deque starts with all the heavy tasks (indices
+        // ≡ 0 mod n_workers get round-robined; make every task heavy and
+        // numerous enough that idle workers must steal).
+        let tasks: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    // Small spin so stealing has time to happen.
+                    let mut acc = i as u64;
+                    for k in 0..20_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        let (out, stats) = run_batch(4, tasks);
+        assert_eq!(out.len(), 64);
+        assert_eq!(stats.total_executed(), 64);
+        // All four workers exist in the stats.
+        assert_eq!(stats.executed.len(), 4);
+        assert!(stats.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let par = parallel_map(3, 50, |i| i * i);
+        let ser: Vec<_> = (0..50).map(|i| i * i).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        let _ = run_batch::<u32, fn() -> u32>(0, vec![]);
+    }
+}

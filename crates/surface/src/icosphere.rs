@@ -1,0 +1,184 @@
+//! Geodesic tessellation of the unit sphere (subdivided icosahedron).
+//!
+//! Each atom's sphere is triangulated by the same template mesh; the
+//! triangles are near-equilateral and near-uniform in area, which keeps the
+//! per-triangle Dunavant quadrature well conditioned everywhere on the
+//! surface. Subdivision level `s` yields `20·4^s` triangles.
+
+use polar_geom::Vec3;
+use std::collections::HashMap;
+
+/// A triangulated unit sphere.
+#[derive(Debug, Clone)]
+pub struct IcoSphere {
+    /// Unit-length vertices.
+    pub vertices: Vec<Vec3>,
+    /// Counter-clockwise (outward-facing) vertex-index triples.
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl IcoSphere {
+    /// Build the tessellation at the given subdivision level
+    /// (0 = plain icosahedron, 20 triangles; each level quadruples that).
+    ///
+    /// Levels above 6 (81,920 triangles) are rejected — they would only make
+    /// sense for single-atom systems and risk huge allocations.
+    pub fn new(subdivisions: u32) -> IcoSphere {
+        assert!(subdivisions <= 6, "icosphere subdivision {subdivisions} too deep");
+        let mut sphere = icosahedron();
+        for _ in 0..subdivisions {
+            sphere = subdivide(&sphere);
+        }
+        sphere
+    }
+
+    /// Total flat (chordal) area of the tessellation. Always < 4π; the
+    /// surface generator rescales weights by `4π / flat_area` so each
+    /// sphere's quadrature reproduces its true area.
+    pub fn flat_area(&self) -> f64 {
+        self.triangles
+            .iter()
+            .map(|t| {
+                let [a, b, c] = [self.vertices[t[0] as usize], self.vertices[t[1] as usize], self.vertices[t[2] as usize]];
+                (b - a).cross(c - a).norm() * 0.5
+            })
+            .sum()
+    }
+
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+}
+
+/// The regular icosahedron inscribed in the unit sphere, with outward
+/// (counter-clockwise seen from outside) triangles.
+fn icosahedron() -> IcoSphere {
+    let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+    let n = (1.0 + phi * phi).sqrt();
+    let a = 1.0 / n;
+    let b = phi / n;
+    // 12 vertices: cyclic permutations of (0, ±a, ±b).
+    let vertices = vec![
+        Vec3::new(-a, b, 0.0),
+        Vec3::new(a, b, 0.0),
+        Vec3::new(-a, -b, 0.0),
+        Vec3::new(a, -b, 0.0),
+        Vec3::new(0.0, -a, b),
+        Vec3::new(0.0, a, b),
+        Vec3::new(0.0, -a, -b),
+        Vec3::new(0.0, a, -b),
+        Vec3::new(b, 0.0, -a),
+        Vec3::new(b, 0.0, a),
+        Vec3::new(-b, 0.0, -a),
+        Vec3::new(-b, 0.0, a),
+    ];
+    let triangles = vec![
+        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+    ];
+    IcoSphere { vertices, triangles }
+}
+
+/// One 4-way subdivision step: split every edge at its (re-normalized)
+/// midpoint, replacing each triangle with four.
+fn subdivide(s: &IcoSphere) -> IcoSphere {
+    let mut vertices = s.vertices.clone();
+    let mut midpoint_cache: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut midpoint = |i: u32, j: u32, vertices: &mut Vec<Vec3>| -> u32 {
+        let key = (i.min(j), i.max(j));
+        *midpoint_cache.entry(key).or_insert_with(|| {
+            let m = ((vertices[i as usize] + vertices[j as usize]) * 0.5).normalized();
+            vertices.push(m);
+            (vertices.len() - 1) as u32
+        })
+    };
+    let mut triangles = Vec::with_capacity(s.triangles.len() * 4);
+    for &[a, b, c] in &s.triangles {
+        let ab = midpoint(a, b, &mut vertices);
+        let bc = midpoint(b, c, &mut vertices);
+        let ca = midpoint(c, a, &mut vertices);
+        triangles.push([a, ab, ca]);
+        triangles.push([b, bc, ab]);
+        triangles.push([c, ca, bc]);
+        triangles.push([ab, bc, ca]);
+    }
+    IcoSphere { vertices, triangles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn triangle_counts_follow_20_times_4_pow_s() {
+        for s in 0..=4 {
+            let sph = IcoSphere::new(s);
+            assert_eq!(sph.len(), 20 * 4usize.pow(s));
+        }
+    }
+
+    #[test]
+    fn euler_characteristic_is_two() {
+        for s in 0..=3 {
+            let sph = IcoSphere::new(s);
+            let v = sph.vertices.len() as i64;
+            let f = sph.triangles.len() as i64;
+            // Closed triangulated surface: E = 3F/2; V − E + F = 2.
+            let e = 3 * f / 2;
+            assert_eq!(v - e + f, 2, "subdivision {s}");
+        }
+    }
+
+    #[test]
+    fn all_vertices_on_unit_sphere() {
+        let sph = IcoSphere::new(3);
+        for v in &sph.vertices {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangles_face_outward() {
+        let sph = IcoSphere::new(2);
+        for t in &sph.triangles {
+            let [a, b, c] = [
+                sph.vertices[t[0] as usize],
+                sph.vertices[t[1] as usize],
+                sph.vertices[t[2] as usize],
+            ];
+            let n = (b - a).cross(c - a);
+            let centroid = (a + b + c) / 3.0;
+            assert!(n.dot(centroid) > 0.0, "inward-facing triangle {t:?}");
+        }
+    }
+
+    #[test]
+    fn flat_area_converges_to_sphere_area() {
+        let a0 = IcoSphere::new(0).flat_area();
+        let a3 = IcoSphere::new(3).flat_area();
+        let exact = 4.0 * PI;
+        assert!(a0 < a3 && a3 < exact);
+        assert!((exact - a3) / exact < 0.01, "level 3 area error too large");
+    }
+
+    #[test]
+    fn subdivision_shares_midpoint_vertices() {
+        // V(s+1) = V(s) + E(s); E = 3F/2.
+        let s1 = IcoSphere::new(1);
+        assert_eq!(s1.vertices.len(), 12 + 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn excessive_subdivision_rejected() {
+        let _ = IcoSphere::new(7);
+    }
+}

@@ -1,0 +1,27 @@
+//! Molecular surface tessellation and Gaussian quadrature.
+//!
+//! The paper's r⁶ Born-radius approximation (Eq. 4) integrates over the
+//! molecular surface using "Gaussian quadrature points sampled from the
+//! molecular surface", with "a constant number of quadrature points per
+//! triangle" (paper §II). The authors used externally prepared surface
+//! files; this crate builds the equivalent input from scratch:
+//!
+//! 1. [`icosphere`] — tessellate each atom's sphere with a subdivided
+//!    icosahedron (geodesic triangles of near-uniform area),
+//! 2. [`dunavant`] — Dunavant's high-degree symmetric Gaussian quadrature
+//!    rules for triangles (the rules cited by the paper via \[11\]),
+//! 3. [`surface`] — project triangle quadrature points onto each sphere,
+//!    cull points buried inside neighboring atoms (grid-accelerated), and
+//!    emit [`QuadPoint`]s carrying position, outward unit normal and an
+//!    area weight.
+//!
+//! The resulting point set satisfies the closed-surface identities the
+//! integral transform relies on (∮ n dA = 0, Gauss' theorem) to within the
+//! tessellation resolution — see the crate tests.
+
+pub mod dunavant;
+pub mod icosphere;
+pub mod surface;
+
+pub use dunavant::DunavantRule;
+pub use surface::{generate_surface, QuadPoint, SurfaceConfig};

@@ -1,0 +1,101 @@
+//! Property-based tests of the surface quadrature generator.
+
+use polar_geom::Vec3;
+use polar_surface::{generate_surface, surface::total_area, SurfaceConfig};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+fn arb_atoms(max: usize) -> impl Strategy<Value = (Vec<Vec3>, Vec<f64>)> {
+    prop::collection::vec(
+        (
+            -10.0..10.0f64,
+            -10.0..10.0f64,
+            -10.0..10.0f64,
+            1.0..2.0f64,
+        ),
+        1..max,
+    )
+    .prop_map(|v| {
+        let centers = v.iter().map(|&(x, y, z, _)| Vec3::new(x, y, z)).collect();
+        let radii = v.iter().map(|&(_, _, _, r)| r).collect();
+        (centers, radii)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn area_is_bounded_by_sum_of_sphere_areas((centers, radii) in arb_atoms(12)) {
+        let pts = generate_surface(&centers, &radii, &SurfaceConfig::default());
+        let area = total_area(&pts);
+        let upper: f64 = radii.iter().map(|r| 4.0 * PI * r * r).sum();
+        prop_assert!(area <= upper * (1.0 + 1e-9), "{area} > {upper}");
+        prop_assert!(area > 0.0, "no exposed surface at all");
+    }
+
+    #[test]
+    fn no_surviving_point_is_strictly_buried((centers, radii) in arb_atoms(10)) {
+        let pts = generate_surface(&centers, &radii, &SurfaceConfig::default());
+        for p in &pts {
+            for (c, r) in centers.iter().zip(&radii) {
+                prop_assert!(
+                    p.pos.dist(*c) >= r * (1.0 - 1e-6) - 1e-9,
+                    "buried point survived at {:?}",
+                    p.pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normals_are_unit_and_weights_positive((centers, radii) in arb_atoms(10)) {
+        // Default config uses the degree-4 rule: all weights positive.
+        let pts = generate_surface(&centers, &radii, &SurfaceConfig::default());
+        for p in &pts {
+            prop_assert!((p.normal.norm() - 1.0).abs() < 1e-9);
+            prop_assert!(p.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn every_point_lies_on_some_atom_sphere((centers, radii) in arb_atoms(10)) {
+        let pts = generate_surface(&centers, &radii, &SurfaceConfig::default());
+        for p in &pts {
+            let on_sphere = centers.iter().zip(&radii).any(|(c, r)| {
+                (p.pos.dist(*c) - r).abs() < 1e-9
+            });
+            prop_assert!(on_sphere);
+        }
+    }
+
+    #[test]
+    fn translation_equivariance((centers, radii) in arb_atoms(8), t in (-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64)) {
+        // Shifting all atoms shifts the surface rigidly: same area, same
+        // point count.
+        let shift = Vec3::new(t.0, t.1, t.2);
+        let moved: Vec<Vec3> = centers.iter().map(|c| *c + shift).collect();
+        let cfg = SurfaceConfig::default();
+        let a = generate_surface(&centers, &radii, &cfg);
+        let b = generate_surface(&moved, &radii, &cfg);
+        prop_assert_eq!(a.len(), b.len());
+        let (area_a, area_b) = (total_area(&a), total_area(&b));
+        prop_assert!((area_a - area_b).abs() <= 1e-9 * area_a.max(1.0));
+    }
+
+    #[test]
+    fn born_identity_for_random_isolated_sphere(r in 1.0..3.0f64, c in (-5.0..5.0f64, -5.0..5.0f64, -5.0..5.0f64)) {
+        // (1/4π)·∮ (x−c)·n/|x−c|⁶ dA = 1/r³ at the center of any sphere.
+        let center = Vec3::new(c.0, c.1, c.2);
+        let pts = generate_surface(&[center], &[r], &SurfaceConfig::fine());
+        let s: f64 = pts
+            .iter()
+            .map(|p| {
+                let d = p.pos - center;
+                p.weight * d.dot(p.normal) / d.norm_sq().powi(3)
+            })
+            .sum();
+        let born = (s / (4.0 * PI)).powf(-1.0 / 3.0);
+        prop_assert!((born - r).abs() < 1e-4 * r, "born {born} vs radius {r}");
+    }
+}

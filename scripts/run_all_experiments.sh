@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper.
+#
+# Usage:  POLAR_SCALE=quick|default|full scripts/run_all_experiments.sh
+#
+# Output: results/<experiment>.csv + a combined log in results/all_runs.log.
+
+set -u
+cd "$(dirname "$0")/.."
+export POLAR_SCALE="${POLAR_SCALE:-default}"
+
+cargo build --release -p polar-bench --bins
+
+mkdir -p results
+LOG=results/all_runs.log
+: > "$LOG"
+echo "POLAR_SCALE=$POLAR_SCALE  ($(date -u +%FT%TZ))" | tee -a "$LOG"
+
+BINS=(
+  tbl1_environment
+  tbl2_packages
+  fig5_speedup
+  fig6_scalability
+  fig7_octree_variants
+  fig8_packages
+  fig9_energy_values
+  fig10_epsilon_tradeoff
+  fig11_cmv
+  abl_memory
+  abl_fastmath
+  abl_work_division
+  abl_octree_vs_nblist
+  abl_load_balancing
+  abl_r4_vs_r6
+  abl_traversal
+)
+
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ===" | tee -a "$LOG"
+  start=$SECONDS
+  "./target/release/$bin" >> "$LOG" 2>&1 || echo "FAILED: $bin" | tee -a "$LOG"
+  echo "[time] $bin: $((SECONDS - start))s" | tee -a "$LOG"
+done
+echo "done; see $LOG and results/*.csv"

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full pipeline from synthetic
+//! molecule to distributed energy, exercised through the facade crate.
+
+use polar_energy::molecule::generators;
+use polar_energy::prelude::*;
+
+fn prepared(n: usize, seed: u64) -> GbSolver {
+    let mol = generators::globular("it", n, seed);
+    GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+}
+
+#[test]
+fn every_driver_agrees_on_the_energy() {
+    let solver = prepared(400, 1);
+    let params = GbParams::default();
+    let serial = solver.solve(&params).epol_kcal;
+    let rayon = solver.solve_parallel(&params).epol_kcal;
+    let mpi = run_distributed(&solver, &DistributedConfig::oct_mpi(3, params)).epol_kcal;
+    let hybrid =
+        run_distributed(&solver, &DistributedConfig::oct_mpi_cilk(2, 2, params)).epol_kcal;
+    for (name, e) in [("rayon", rayon), ("mpi", mpi), ("hybrid", hybrid)] {
+        assert!(
+            (e - serial).abs() <= 1e-9 * serial.abs(),
+            "{name} disagrees: {e} vs {serial}"
+        );
+    }
+    assert!(serial < 0.0);
+}
+
+#[test]
+fn octree_tracks_naive_below_one_percent_at_paper_settings() {
+    // The paper's headline accuracy claim at ε = 0.9/0.9 (measured on
+    // molecules of ZDock size; accuracy *improves* with molecule size —
+    // sub-thousand-atom systems sit at the 1–2% level).
+    let solver = prepared(2_000, 2);
+    let params = GbParams::default();
+    let octree = solver.solve(&params).epol_kcal;
+    let born = solver.born_naive(&params);
+    let naive = solver.epol_naive(&born, &params);
+    let rel = ((octree - naive) / naive).abs();
+    assert!(rel < 0.01, "error {rel} vs paper's <1% claim");
+}
+
+#[test]
+fn octree_work_scales_subquadratically() {
+    // Naive pair counts grow ~M²; the hierarchical solver's total work
+    // (pairs + far ops) must grow far slower (paper: ~M log M / ε³).
+    let params = GbParams::default();
+    let mut prev_work = 0u64;
+    let mut growth = Vec::new();
+    for (n, seed) in [(500usize, 3u64), (2_000, 4), (8_000, 5)] {
+        let solver = prepared(n, seed);
+        let r = solver.solve(&params);
+        let work = (r.work_born.pair_ops + r.work_born.far_ops)
+            + (r.work_epol.pair_ops + r.work_epol.far_ops);
+        if prev_work > 0 {
+            growth.push(work as f64 / prev_work as f64);
+        }
+        prev_work = work;
+    }
+    // 4× atoms → naive grows 16×. The hierarchical solver enters its
+    // asymptotic regime as molecules grow: growth factors must shrink
+    // and end well below quadratic (the measured value at 2k → 8k is
+    // ≈ 4.5× vs naive's ≈ 15.6×).
+    assert!(growth[1] < growth[0], "growth not flattening: {growth:?}");
+    assert!(growth[1] < 7.0, "asymptotic growth too steep: {growth:?}");
+    assert!(growth[0] < 12.0, "pre-asymptotic growth already quadratic: {growth:?}");
+}
+
+#[test]
+fn docking_pose_sweep_reuses_prepared_receptor() {
+    use polar_energy::geom::transform::Rotation;
+    let receptor = generators::globular("rec", 300, 6);
+    let ligand = generators::ligand("lig", 20, 7);
+    let params = GbParams::default();
+    let surface = SurfaceConfig::coarse();
+    let tree = OctreeConfig::default();
+    let mut energies = Vec::new();
+    for k in 0..3 {
+        let xf = RigidTransform::translation(Vec3::new(30.0 + 5.0 * k as f64, 0.0, 0.0))
+            .compose(&RigidTransform::rotation(Rotation::axis_angle(Vec3::Y, k as f64)));
+        let complex = receptor.merged(&ligand.transformed(&xf), "cmpx");
+        let solver = GbSolver::for_molecule(&complex, &surface, &tree);
+        energies.push(solver.solve(&params).epol_kcal);
+    }
+    // Distinct poses give distinct (finite, negative) energies.
+    assert!(energies.iter().all(|e| e.is_finite() && *e < 0.0));
+    assert!(
+        (energies[0] - energies[1]).abs() > 1e-9,
+        "poses produced identical energies: {energies:?}"
+    );
+}
+
+#[test]
+fn cluster_simulation_consumes_real_solver_workloads() {
+    let solver = prepared(500, 8);
+    let params = GbParams::default();
+    let spec = MachineSpec::lonestar4(12);
+    let born_tasks: Vec<u64> =
+        solver.born_work_per_qleaf(&params).iter().map(|w| w.units()).collect();
+    let (born, _) = solver.born_radii(&params);
+    let epol_tasks: Vec<u64> =
+        solver.epol_work_per_leaf(&born, &params).iter().map(|w| w.units()).collect();
+    let exp = ClusterExperiment {
+        spec,
+        born_tasks,
+        epol_tasks,
+        data_bytes: solver.memory_bytes() as u64,
+        partials_bytes: ((solver.tree_a.node_count() + solver.n_atoms()) * 8) as u64,
+        born_bytes: (solver.n_atoms() * 8) as u64,
+    };
+    let t12 = exp.simulate(Layout::pure_mpi(12), 1);
+    let t144 = exp.simulate(Layout::pure_mpi(144), 1);
+    assert!(t12.total_seconds > 0.0);
+    assert!(t144.born_seconds + t144.epol_seconds < t12.born_seconds + t12.epol_seconds);
+}
+
+#[test]
+fn pqr_roundtrip_preserves_the_energy() {
+    use polar_energy::molecule::io;
+    let mol = generators::globular("io", 200, 9);
+    let text = io::to_pqr(&mol);
+    let back = io::parse_pqr(&text, "io").expect("reparse");
+    let params = GbParams::default();
+    let surface = SurfaceConfig::coarse();
+    let tree = OctreeConfig::default();
+    let e1 = GbSolver::for_molecule(&mol, &surface, &tree).solve(&params).epol_kcal;
+    let e2 = GbSolver::for_molecule(&back, &surface, &tree).solve(&params).epol_kcal;
+    // PQR stores 3-4 decimals; energies agree to ~0.1%.
+    assert!((e1 - e2).abs() < 2e-3 * e1.abs(), "{e1} vs {e2}");
+}
