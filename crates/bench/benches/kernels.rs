@@ -83,13 +83,25 @@ fn bench_fastmath(c: &mut Criterion) {
         b.iter(|| xs.iter().map(|&x| 1.0 / black_box(x).sqrt()).sum::<f64>())
     });
     g.bench_function("rsqrt_fast", |b| {
-        b.iter(|| xs.iter().map(|&x| fastmath::fast_rsqrt(black_box(x))).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| fastmath::fast_rsqrt(black_box(x)))
+                .sum::<f64>()
+        })
     });
     g.bench_function("exp_exact", |b| {
-        b.iter(|| xs.iter().map(|&x| (-black_box(x) * 0.05).exp()).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| (-black_box(x) * 0.05).exp())
+                .sum::<f64>()
+        })
     });
     g.bench_function("exp_fast", |b| {
-        b.iter(|| xs.iter().map(|&x| fastmath::fast_exp(-black_box(x) * 0.05)).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| fastmath::fast_exp(-black_box(x) * 0.05))
+                .sum::<f64>()
+        })
     });
     g.finish();
 }
@@ -100,8 +112,13 @@ fn bench_full_solve_math_modes(c: &mut Criterion) {
     let mol = generators::globular("mm", 2_000, 23);
     let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default());
     for math in [MathMode::Exact, MathMode::Approximate] {
-        let params = GbParams { math, ..GbParams::default() };
-        g.bench_function(math.label(), |b| b.iter(|| solver.solve(black_box(&params))));
+        let params = GbParams {
+            math,
+            ..GbParams::default()
+        };
+        g.bench_function(math.label(), |b| {
+            b.iter(|| solver.solve(black_box(&params)))
+        });
     }
     g.finish();
 }

@@ -6,11 +6,11 @@
 //! numbers on this host are whatever they are — shape: approx is faster
 //! and less accurate.)
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, fmt_secs, Scale, Table};
 use polar_gb::metrics::{mean_std, percent_diff};
 use polar_gb::GbParams;
 use polar_geom::MathMode;
-use polar_bench::zdock_spread;
 use std::time::Instant;
 
 fn main() {
@@ -22,18 +22,31 @@ fn main() {
     let reference: Vec<f64> = suite
         .iter()
         .map(|s| {
-            s.solve(&GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..Default::default() })
-                .epol_kcal
+            s.solve(&GbParams {
+                eps_born: 1e-6,
+                eps_epol: 1e-6,
+                ..Default::default()
+            })
+            .epol_kcal
         })
         .collect();
 
     let mut t = Table::new(
         "abl_fastmath",
-        &["math", "total solve time", "err% avg", "err% std", "speedup vs exact"],
+        &[
+            "math",
+            "total solve time",
+            "err% avg",
+            "err% std",
+            "speedup vs exact",
+        ],
     );
     let mut exact_time = 0.0;
     for math in [MathMode::Exact, MathMode::Approximate] {
-        let params = GbParams { math, ..GbParams::default() };
+        let params = GbParams {
+            math,
+            ..GbParams::default()
+        };
         let start = Instant::now();
         let energies: Vec<f64> = suite.iter().map(|s| s.solve(&params).epol_kcal).collect();
         let elapsed = start.elapsed().as_secs_f64();

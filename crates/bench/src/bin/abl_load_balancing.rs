@@ -16,20 +16,35 @@ use polar_molecule::registry::BenchmarkId;
 
 fn main() {
     let scale = Scale::from_env();
-    let mol = BenchmarkId::Cmv { scale_permille: scale.cmv_permille }.build();
+    let mol = BenchmarkId::Cmv {
+        scale_permille: scale.cmv_permille,
+    }
+    .build();
     let solver = build_solver(&mol);
     let params = GbParams::default();
     let exp = experiment_for(&solver, &params, calibrated_machine(12));
 
     let mut t = Table::new(
         "abl_load_balancing",
-        &["cores", "count-even (paper)", "weight-even", "global stealing", "best"],
+        &[
+            "cores",
+            "count-even (paper)",
+            "weight-even",
+            "global stealing",
+            "best",
+        ],
     );
     for cores in [12usize, 48, 96, 144] {
         let l = Layout::pure_mpi(cores);
-        let count = exp.simulate_with_policy(l, 5, DivisionPolicy::CountEven).total_seconds;
-        let weight = exp.simulate_with_policy(l, 5, DivisionPolicy::WeightEven).total_seconds;
-        let steal = exp.simulate_with_policy(l, 5, DivisionPolicy::GlobalStealing).total_seconds;
+        let count = exp
+            .simulate_with_policy(l, 5, DivisionPolicy::CountEven)
+            .total_seconds;
+        let weight = exp
+            .simulate_with_policy(l, 5, DivisionPolicy::WeightEven)
+            .total_seconds;
+        let steal = exp
+            .simulate_with_policy(l, 5, DivisionPolicy::GlobalStealing)
+            .total_seconds;
         let best = if count <= weight && count <= steal {
             "count-even"
         } else if weight <= steal {

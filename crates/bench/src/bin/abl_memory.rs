@@ -11,13 +11,22 @@ use polar_mpi::{data_dist::run_data_distributed, drivers::run_distributed, Distr
 
 fn main() {
     let scale = Scale::from_env();
-    let mol = BenchmarkId::Btv { scale_permille: scale.btv_permille }.build();
+    let mol = BenchmarkId::Btv {
+        scale_permille: scale.btv_permille,
+    }
+    .build();
     let solver = build_solver(&mol);
     let params = GbParams::default();
 
     let mut t = Table::new(
         "abl_memory",
-        &["layout", "ranks", "threads", "replicated bytes (1 node)", "ratio vs hybrid"],
+        &[
+            "layout",
+            "ranks",
+            "threads",
+            "replicated bytes (1 node)",
+            "ratio vs hybrid",
+        ],
     );
     // Real distributed runs with memory accounting (the in-process ranks
     // register exactly what an MPI process would have to copy).
@@ -46,7 +55,10 @@ fn main() {
         "12".into(),
         "1".into(),
         fmt_bytes(dd.total_bytes as f64),
-        format!("{:.2}", dd.total_bytes as f64 / hybrid.total_replicated_bytes as f64),
+        format!(
+            "{:.2}",
+            dd.total_bytes as f64 / hybrid.total_replicated_bytes as f64
+        ),
     ]);
     t.emit();
     println!(

@@ -5,8 +5,8 @@
 //! grows ~cubically with the cutoff, which is why nblist-based packages
 //! exhaust memory on large molecules with the large cutoffs GB needs.
 
-use polar_bench::{build_solver, fmt_bytes, fmt_secs, Scale, Table};
 use polar_bench::zdock_spread;
+use polar_bench::{build_solver, fmt_bytes, fmt_secs, Scale, Table};
 use polar_nblist::{NbList, NbListConfig};
 use std::time::Instant;
 
@@ -24,7 +24,13 @@ fn main() {
 
     let mut t = Table::new(
         "abl_octree_vs_nblist",
-        &["cutoff (A)", "nblist bytes", "nblist build", "pairs", "octree bytes (any cutoff)"],
+        &[
+            "cutoff (A)",
+            "nblist bytes",
+            "nblist build",
+            "pairs",
+            "octree bytes (any cutoff)",
+        ],
     );
     for cutoff in [6.0, 8.0, 12.0, 16.0, 20.0, 25.0, 30.0] {
         let start = Instant::now();

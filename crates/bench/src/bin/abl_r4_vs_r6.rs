@@ -25,7 +25,13 @@ fn main() {
 
     let mut t = Table::new(
         "abl_r4_vs_r6",
-        &["atoms", "mean R6 (A)", "mean R4 (A)", "max radius diff %", "E(R4) vs E(R6) %"],
+        &[
+            "atoms",
+            "mean R6 (A)",
+            "mean R4 (A)",
+            "max radius diff %",
+            "E(R4) vs E(R6) %",
+        ],
     );
     for mol in zdock_spread(count) {
         let solver = build_solver(&mol);

@@ -6,15 +6,13 @@
 //! approximates only at `T_Q` *leaves*, so it does more far-field ops but
 //! is more accurate; the dual-tree scheme groups whole `T_Q` subtrees.
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, Scale, Table};
 use polar_gb::born::exact::born_radii_r6;
-use polar_gb::born::octree::{
-    approx_integrals, approx_integrals_dual, push_integrals_to_atoms,
-};
+use polar_gb::born::octree::{approx_integrals, approx_integrals_dual, push_integrals_to_atoms};
 use polar_gb::metrics::max_rel_error;
 use polar_gb::{GbParams, WorkCounts};
 use polar_geom::MathMode;
-use polar_bench::zdock_spread;
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,7 +21,14 @@ fn main() {
 
     let mut t = Table::new(
         "abl_traversal",
-        &["atoms", "scheme", "pair ops", "far ops", "nodes visited", "max rel err"],
+        &[
+            "atoms",
+            "scheme",
+            "pair ops",
+            "far ops",
+            "nodes visited",
+            "max rel err",
+        ],
     );
     for mol in zdock_spread(count) {
         let solver = build_solver(&mol);

@@ -7,6 +7,7 @@
 //!    boundaries split leaves into shards whose pseudo-particle geometry
 //!    depends on where the boundary fell.
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, Scale, Table};
 use polar_gb::constants::{tau, EPS_WATER};
 use polar_gb::energy::octree::{epol_for_atom_segment, epol_for_leaf_segment, EpolCtx};
@@ -14,7 +15,6 @@ use polar_gb::metrics::percent_diff;
 use polar_gb::partition::even_segments;
 use polar_gb::{GbParams, WorkCounts};
 use polar_geom::MathMode;
-use polar_bench::zdock_spread;
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,10 +27,15 @@ fn main() {
         "abl_work_division",
         &["atoms", "P", "node-node err%", "atom-based err%"],
     );
+    let mut last_solver = None;
     for mol in zdock_spread(count) {
         let solver = build_solver(&mol);
         let reference = solver
-            .solve(&GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..params })
+            .solve(&GbParams {
+                eps_born: 1e-6,
+                eps_epol: 1e-6,
+                ..params
+            })
             .epol_kcal;
         let (born, _) = solver.born_radii(&params);
         let ctx = EpolCtx::new(&solver.tree_a, &solver.charges, &born, params.eps_epol);
@@ -39,7 +44,12 @@ fn main() {
                 .into_iter()
                 .map(|r| {
                     epol_for_leaf_segment(
-                        &ctx, params.eps_epol, MathMode::Exact, t_w, r, &mut WorkCounts::default(),
+                        &ctx,
+                        params.eps_epol,
+                        MathMode::Exact,
+                        t_w,
+                        r,
+                        &mut WorkCounts::default(),
                     )
                 })
                 .sum();
@@ -47,7 +57,12 @@ fn main() {
                 .into_iter()
                 .map(|r| {
                     epol_for_atom_segment(
-                        &ctx, params.eps_epol, MathMode::Exact, t_w, r, &mut WorkCounts::default(),
+                        &ctx,
+                        params.eps_epol,
+                        MathMode::Exact,
+                        t_w,
+                        r,
+                        &mut WorkCounts::default(),
                     )
                 })
                 .sum();
@@ -58,8 +73,17 @@ fn main() {
                 format!("{:+.5}", percent_diff(atom_e, reference)),
             ]);
         }
+        last_solver = Some(solver);
     }
     t.emit();
+    if let Some(solver) = last_solver {
+        polar_bench::maybe_write_report("abl_work_division", || {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            solver.solve_parallel_with_report(&params, workers).1
+        });
+    }
     println!(
         "node-node columns are constant in P (error independent of rank \
          count); atom-based columns drift with P — the paper's argument \

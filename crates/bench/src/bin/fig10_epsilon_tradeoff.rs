@@ -6,10 +6,10 @@
 //! host (this figure needs no cluster). Expected shape: error grows and
 //! time falls monotonically with ε; for small molecules time barely moves.
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, fmt_secs, Scale, Table};
 use polar_gb::metrics::{mean_std, percent_diff};
 use polar_gb::GbParams;
-use polar_bench::zdock_spread;
 use std::time::Instant;
 
 fn main() {
@@ -20,7 +20,12 @@ fn main() {
         .collect();
 
     // Per-molecule exact reference (naive-equivalent) and ε=0.9 Born radii.
-    let exact = GbParams { eps_born: 1e-6, eps_epol: 1e-6, math: Default::default(), ..Default::default() };
+    let exact = GbParams {
+        eps_born: 1e-6,
+        eps_epol: 1e-6,
+        math: Default::default(),
+        ..Default::default()
+    };
     let refs: Vec<f64> = suite.iter().map(|s| s.solve(&exact).epol_kcal).collect();
     let borns: Vec<Vec<f64>> = suite
         .iter()
@@ -29,11 +34,20 @@ fn main() {
 
     let mut t = Table::new(
         "fig10_epsilon_tradeoff",
-        &["eps_epol", "err% avg", "err% std", "total epol time", "pair ops"],
+        &[
+            "eps_epol",
+            "err% avg",
+            "err% std",
+            "total epol time",
+            "pair ops",
+        ],
     );
     for k in 1..=9 {
         let eps = k as f64 * 0.1;
-        let params = GbParams { eps_epol: eps, ..GbParams::default() };
+        let params = GbParams {
+            eps_epol: eps,
+            ..GbParams::default()
+        };
         let mut errors = Vec::with_capacity(suite.len());
         let mut pair_ops = 0u64;
         let start = Instant::now();
@@ -53,6 +67,11 @@ fn main() {
         ]);
     }
     t.emit();
+    if let Some(largest) = suite.last() {
+        polar_bench::maybe_write_report("fig10_epsilon_tradeoff", || {
+            largest.solve_with_report(&GbParams::default()).1
+        });
+    }
     println!(
         "suite: {} molecules; Born eps fixed at 0.9; approximate math off \
          (see abl_fastmath for the on/off comparison)",

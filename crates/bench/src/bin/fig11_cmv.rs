@@ -21,7 +21,10 @@ use polar_packages::package::amber12;
 
 fn main() {
     let scale = Scale::from_env();
-    let mol = BenchmarkId::Cmv { scale_permille: scale.cmv_permille }.build();
+    let mol = BenchmarkId::Cmv {
+        scale_permille: scale.cmv_permille,
+    }
+    .build();
     let solver = build_solver(&mol);
     let params = GbParams::default();
     let machine = calibrated_machine(12);
@@ -29,15 +32,43 @@ fn main() {
 
     // Octree energies and the naive-equivalent reference.
     let oct_energy = solver.solve(&params).epol_kcal;
-    let exact = GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..params };
+    let exact = GbParams {
+        eps_born: 1e-6,
+        eps_epol: 1e-6,
+        ..params
+    };
     let naive_energy = solver.solve(&exact).epol_kcal;
 
     // Octree times on 12 and 144 cores.
-    let t_cilk_12 = exp.simulate(Layout { ranks: 1, threads_per_rank: 12 }, 5).total_seconds;
+    let t_cilk_12 = exp
+        .simulate(
+            Layout {
+                ranks: 1,
+                threads_per_rank: 12,
+            },
+            5,
+        )
+        .total_seconds;
     let t_mpi_12 = exp.simulate(Layout::pure_mpi(12), 5).total_seconds;
     let t_mpi_144 = exp.simulate(Layout::pure_mpi(144), 5).total_seconds;
-    let t_hyb_12 = exp.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 5).total_seconds;
-    let t_hyb_144 = exp.simulate(Layout { ranks: 24, threads_per_rank: 6 }, 5).total_seconds;
+    let t_hyb_12 = exp
+        .simulate(
+            Layout {
+                ranks: 2,
+                threads_per_rank: 6,
+            },
+            5,
+        )
+        .total_seconds;
+    let t_hyb_144 = exp
+        .simulate(
+            Layout {
+                ranks: 24,
+                threads_per_rank: 6,
+            },
+            5,
+        )
+        .total_seconds;
 
     // Amber: real energy when feasible; time from its pair counts.
     let amber = amber12();
@@ -48,7 +79,10 @@ fn main() {
         // Pair counts of the cutoff-free pipeline are known analytically:
         // M(M−1) directed Born pairs + M(M+1)/2 energy pairs.
         let m = solver.n_atoms() as u64;
-        (None, ((m * (m - 1) + m * (m + 1) / 2) as f64 * amber.cost_per_pair_rel) as u64)
+        (
+            None,
+            ((m * (m - 1) + m * (m + 1) / 2) as f64 * amber.cost_per_pair_rel) as u64,
+        )
     };
     let amber_time = |cores: usize| -> f64 {
         let n_tasks = 2048usize;
@@ -115,6 +149,19 @@ fn main() {
         pd(oct_energy),
     ]);
     t.emit();
+    polar_bench::maybe_write_report("fig11_cmv", || {
+        let l = Layout {
+            ranks: 24,
+            threads_per_rank: 6,
+        };
+        exp.report(
+            &mol.name,
+            params.eps_born,
+            params.eps_epol,
+            l,
+            &exp.simulate(l, 5),
+        )
+    });
     println!(
         "CMV shell at {} atoms ({} q-points); naive-equivalent reference energy {naive_energy:.3e} kcal/mol",
         solver.n_atoms(),

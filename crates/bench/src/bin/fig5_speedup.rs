@@ -13,7 +13,10 @@ use polar_molecule::registry::BenchmarkId;
 
 fn main() {
     let scale = Scale::from_env();
-    let mol = BenchmarkId::Btv { scale_permille: scale.btv_permille }.build();
+    let mol = BenchmarkId::Btv {
+        scale_permille: scale.btv_permille,
+    }
+    .build();
     let solver = build_solver(&mol);
     let params = GbParams::default();
     let spec = calibrated_machine(12);
@@ -22,17 +25,35 @@ fn main() {
     let core_counts = [12usize, 24, 48, 72, 96, 120, 144];
     let base_mpi = exp.simulate(Layout::pure_mpi(12), 1).total_seconds;
     let base_hyb = exp
-        .simulate(Layout { ranks: 2, threads_per_rank: 6 }, 1)
+        .simulate(
+            Layout {
+                ranks: 2,
+                threads_per_rank: 6,
+            },
+            1,
+        )
         .total_seconds;
 
     let mut t = Table::new(
         "fig5_speedup",
-        &["cores", "OCT_MPI time", "OCT_MPI speedup", "OCT_MPI+CILK time", "OCT_MPI+CILK speedup"],
+        &[
+            "cores",
+            "OCT_MPI time",
+            "OCT_MPI speedup",
+            "OCT_MPI+CILK time",
+            "OCT_MPI+CILK speedup",
+        ],
     );
     for &cores in &core_counts {
         let mpi = exp.simulate(Layout::pure_mpi(cores), 1).total_seconds;
         let hyb = exp
-            .simulate(Layout { ranks: cores / 6, threads_per_rank: 6 }, 1)
+            .simulate(
+                Layout {
+                    ranks: cores / 6,
+                    threads_per_rank: 6,
+                },
+                1,
+            )
             .total_seconds;
         t.row(vec![
             cores.to_string(),
@@ -43,6 +64,19 @@ fn main() {
         ]);
     }
     t.emit();
+    polar_bench::maybe_write_report("fig5_speedup", || {
+        let l = Layout {
+            ranks: 24,
+            threads_per_rank: 6,
+        };
+        exp.report(
+            &mol.name,
+            params.eps_born,
+            params.eps_epol,
+            l,
+            &exp.simulate(l, 1),
+        )
+    });
     println!(
         "molecule: {} ({} atoms, {} q-points)",
         mol.name,

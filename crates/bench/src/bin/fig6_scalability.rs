@@ -12,21 +12,32 @@ use polar_molecule::registry::BenchmarkId;
 
 fn main() {
     let scale = Scale::from_env();
-    let mol = BenchmarkId::Btv { scale_permille: scale.btv_permille }.build();
+    let mol = BenchmarkId::Btv {
+        scale_permille: scale.btv_permille,
+    }
+    .build();
     let solver = build_solver(&mol);
     let params = GbParams::default();
     let exp = experiment_for(&solver, &params, calibrated_machine(12));
 
     let mut t = Table::new(
         "fig6_scalability",
-        &["cores", "OCT_MPI min", "OCT_MPI max", "OCT_MPI+CILK min", "OCT_MPI+CILK max"],
+        &[
+            "cores",
+            "OCT_MPI min",
+            "OCT_MPI max",
+            "OCT_MPI+CILK min",
+            "OCT_MPI+CILK max",
+        ],
     );
     let mut crossover: Option<usize> = None;
     for cores in [12usize, 24, 48, 72, 96, 120, 144] {
-        let (mpi_lo, mpi_hi) =
-            exp.envelope(Layout::pure_mpi(cores), scale.sched_runs, 0xF166);
+        let (mpi_lo, mpi_hi) = exp.envelope(Layout::pure_mpi(cores), scale.sched_runs, 0xF166);
         let (hyb_lo, hyb_hi) = exp.envelope(
-            Layout { ranks: cores / 6, threads_per_rank: 6 },
+            Layout {
+                ranks: cores / 6,
+                threads_per_rank: 6,
+            },
             scale.sched_runs,
             0xF166,
         );

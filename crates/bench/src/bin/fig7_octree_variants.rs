@@ -5,10 +5,10 @@
 //! latency dominates the distributed variants on small inputs), OCT_MPI
 //! taking over above that, and OCT_MPI ≈ OCT_MPI+CILK past ~7,500 atoms.
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, calibrated_machine, experiment_for, fmt_secs, Scale, Table};
 use polar_cluster::Layout;
 use polar_gb::GbParams;
-use polar_bench::zdock_spread;
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,9 +20,25 @@ fn main() {
         let exp = experiment_for(&solver, &params, spec);
         // OCT_CILK: one process, 12 threads (spans both sockets — cilk++
         // has no affinity manager). No inter-process communication.
-        let cilk = exp.simulate(Layout { ranks: 1, threads_per_rank: 12 }, 7).total_seconds;
+        let cilk = exp
+            .simulate(
+                Layout {
+                    ranks: 1,
+                    threads_per_rank: 12,
+                },
+                7,
+            )
+            .total_seconds;
         let mpi = exp.simulate(Layout::pure_mpi(12), 7).total_seconds;
-        let hybrid = exp.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 7).total_seconds;
+        let hybrid = exp
+            .simulate(
+                Layout {
+                    ranks: 2,
+                    threads_per_rank: 6,
+                },
+                7,
+            )
+            .total_seconds;
         rows.push((solver.n_atoms(), cilk, mpi, hybrid));
     }
     rows.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -55,6 +71,10 @@ fn main() {
     println!(
         "largest molecule where OCT_CILK wins: {cilk_wins_max} atoms \
          (paper: ~2,500); smallest where a distributed variant wins: {} atoms",
-        if mpi_wins_min == usize::MAX { 0 } else { mpi_wins_min }
+        if mpi_wins_min == usize::MAX {
+            0
+        } else {
+            mpi_wins_min
+        }
     );
 }

@@ -8,11 +8,11 @@
 //! atoms; Gromacs ≈ 2.7× there (peaking ~6.2× near 2,260 atoms); NAMD,
 //! Tinker, GBr⁶ ≤ ~2×; Tinker/GBr⁶ OOM beyond ~12k/13k.
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, calibrated_machine, experiment_for, fmt_secs, Scale, Table};
 use polar_cluster::{ClusterExperiment, Layout};
 use polar_gb::GbParams;
-use polar_bench::zdock_spread;
-use polar_packages::package::{registry, ParallelKind, PackageSpec};
+use polar_packages::package::{registry, PackageSpec, ParallelKind};
 
 /// Price a package's flat pair workload on the machine model.
 fn package_time(
@@ -25,8 +25,14 @@ fn package_time(
     // parallelism kind (Table II) on one 12-core node.
     let layout = match spec.parallel {
         ParallelKind::Distributed => Layout::pure_mpi(12),
-        ParallelKind::Shared => Layout { ranks: 1, threads_per_rank: 12 },
-        ParallelKind::Serial => Layout { ranks: 1, threads_per_rank: 1 },
+        ParallelKind::Shared => Layout {
+            ranks: 1,
+            threads_per_rank: 12,
+        },
+        ParallelKind::Serial => Layout {
+            ranks: 1,
+            threads_per_rank: 1,
+        },
     };
     let n_tasks = 512usize;
     let per = work_units / n_tasks as u64;
@@ -49,11 +55,28 @@ fn main() {
 
     let mut time_tbl = Table::new(
         "fig8a_package_times",
-        &["atoms", "OCT_MPI", "OCT_MPI+CILK", "Gromacs", "NAMD", "Amber", "Tinker", "GBr6"],
+        &[
+            "atoms",
+            "OCT_MPI",
+            "OCT_MPI+CILK",
+            "Gromacs",
+            "NAMD",
+            "Amber",
+            "Tinker",
+            "GBr6",
+        ],
     );
     let mut speedup_tbl = Table::new(
         "fig8b_speedup_vs_amber",
-        &["atoms", "OCT_MPI", "OCT_MPI+CILK", "Gromacs", "NAMD", "Tinker", "GBr6"],
+        &[
+            "atoms",
+            "OCT_MPI",
+            "OCT_MPI+CILK",
+            "Gromacs",
+            "NAMD",
+            "Tinker",
+            "GBr6",
+        ],
     );
 
     let mut peak: Vec<(String, f64, usize)> = Vec::new(); // name, best speedup, at atoms
@@ -61,8 +84,15 @@ fn main() {
         let solver = build_solver(&mol);
         let exp = experiment_for(&solver, &params, machine);
         let oct_mpi = exp.simulate(Layout::pure_mpi(12), 3).total_seconds;
-        let oct_hybrid =
-            exp.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 3).total_seconds;
+        let oct_hybrid = exp
+            .simulate(
+                Layout {
+                    ranks: 2,
+                    threads_per_rank: 6,
+                },
+                3,
+            )
+            .total_seconds;
 
         let mut pkg_times: Vec<Option<f64>> = Vec::new();
         for spec in &packages {

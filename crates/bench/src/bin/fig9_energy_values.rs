@@ -8,22 +8,37 @@
 //! tests prove is bit-level equivalent to the quadratic sums (nothing is
 //! ever far-approximated) but runs in tree time.
 
+use polar_bench::zdock_spread;
 use polar_bench::{build_solver, Scale, Table};
 use polar_gb::metrics::percent_diff;
 use polar_gb::GbParams;
-use polar_bench::zdock_spread;
 use polar_packages::package::registry;
 
 fn main() {
     let scale = Scale::from_env();
     let params = GbParams::default();
-    let exact = GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..params };
+    let exact = GbParams {
+        eps_born: 1e-6,
+        eps_epol: 1e-6,
+        ..params
+    };
 
     let mut t = Table::new(
         "fig9_energy_values",
-        &["atoms", "Naive", "OCT(e=0.9)", "OCT err%", "Gromacs", "NAMD", "Amber", "Tinker", "GBr6"],
+        &[
+            "atoms",
+            "Naive",
+            "OCT(e=0.9)",
+            "OCT err%",
+            "Gromacs",
+            "NAMD",
+            "Amber",
+            "Tinker",
+            "GBr6",
+        ],
     );
     let kcal = |e: f64| format!("{e:.1}");
+    let mut last_solver = None;
     for mol in zdock_spread(scale.zdock_count) {
         let solver = build_solver(&mol);
         let naive = solver.solve(&exact).epol_kcal;
@@ -41,7 +56,13 @@ fn main() {
             });
         }
         t.row(cells);
+        last_solver = Some(solver);
     }
     t.emit();
+    if let Some(solver) = last_solver {
+        polar_bench::maybe_write_report("fig9_energy_values", || {
+            solver.solve_with_report(&params).1
+        });
+    }
     println!("energies in kcal/mol; OCT err% is the octree-vs-naive % difference (paper: <1%)");
 }

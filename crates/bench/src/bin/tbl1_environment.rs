@@ -23,10 +23,19 @@ fn main() {
     host.emit();
 
     let mut t = Table::new("tbl1_environment", &["attribute", "modeled property"]);
-    t.row(vec!["Processors".into(), "3.33 GHz hexa-core Westmere class (simulated)".into()]);
+    t.row(vec![
+        "Processors".into(),
+        "3.33 GHz hexa-core Westmere class (simulated)".into(),
+    ]);
     t.row(vec!["Cores/node".into(), spec.cores_per_node().to_string()]);
-    t.row(vec!["Nodes".into(), format!("{} ({} cores total)", spec.nodes, spec.total_cores())]);
-    t.row(vec!["RAM/node".into(), format!("{} GB", spec.ram_per_node >> 30)]);
+    t.row(vec![
+        "Nodes".into(),
+        format!("{} ({} cores total)", spec.nodes, spec.total_cores()),
+    ]);
+    t.row(vec![
+        "RAM/node".into(),
+        format!("{} GB", spec.ram_per_node >> 30),
+    ]);
     t.row(vec![
         "Cluster interconnect".into(),
         format!(
@@ -37,16 +46,25 @@ fn main() {
     ]);
     t.row(vec![
         "Cache".into(),
-        format!("{} MB L3/socket, penalty factor {}", spec.l3_per_socket >> 20, spec.cache_penalty),
+        format!(
+            "{} MB L3/socket, penalty factor {}",
+            spec.l3_per_socket >> 20,
+            spec.cache_penalty
+        ),
     ]);
     t.row(vec![
         "Parallelism platform".into(),
         "work-stealing pool (cilk++ analogue) + in-process MPI".into(),
     ]);
-    t.row(vec!["Per-unit cost (calibrated)".into(), format!("{:.3} ns", spec.seconds_per_unit * 1e9)]);
+    t.row(vec![
+        "Per-unit cost (calibrated)".into(),
+        format!("{:.3} ns", spec.seconds_per_unit * 1e9),
+    ]);
     t.emit();
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }

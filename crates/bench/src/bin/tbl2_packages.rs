@@ -4,7 +4,10 @@ use polar_bench::Table;
 use polar_packages::package::{registry, GbModelKind, ParallelKind};
 
 fn main() {
-    let mut t = Table::new("tbl2_packages", &["package", "GB model", "parallelism", "cutoff", "atom limit"]);
+    let mut t = Table::new(
+        "tbl2_packages",
+        &["package", "GB model", "parallelism", "cutoff", "atom limit"],
+    );
     for p in registry() {
         t.row(vec![
             p.name.into(),
@@ -19,7 +22,8 @@ fn main() {
                 ParallelKind::Shared => "Shared (OpenMP)".into(),
                 ParallelKind::Serial => "Serial".into(),
             },
-            p.energy_cutoff.map_or("none (O(M^2))".into(), |c| format!("{c} A")),
+            p.energy_cutoff
+                .map_or("none (O(M^2))".into(), |c| format!("{c} A")),
             p.max_atoms.map_or("-".into(), |m| format!("~{m}")),
         ]);
     }

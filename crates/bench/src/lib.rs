@@ -40,15 +40,30 @@ pub struct Scale {
 
 impl Scale {
     pub fn quick() -> Scale {
-        Scale { zdock_count: 8, cmv_permille: 4, btv_permille: 1, sched_runs: 5 }
+        Scale {
+            zdock_count: 8,
+            cmv_permille: 4,
+            btv_permille: 1,
+            sched_runs: 5,
+        }
     }
 
     pub fn default_scale() -> Scale {
-        Scale { zdock_count: 84, cmv_permille: 30, btv_permille: 5, sched_runs: 20 }
+        Scale {
+            zdock_count: 84,
+            cmv_permille: 30,
+            btv_permille: 5,
+            sched_runs: 20,
+        }
     }
 
     pub fn full() -> Scale {
-        Scale { zdock_count: 84, cmv_permille: 1000, btv_permille: 1000, sched_runs: 20 }
+        Scale {
+            zdock_count: 84,
+            cmv_permille: 1000,
+            btv_permille: 1000,
+            sched_runs: 20,
+        }
     }
 
     /// Read `POLAR_SCALE` (quick | default | full); default if unset.
@@ -128,12 +143,22 @@ pub fn calibrated_machine(nodes: usize) -> MachineSpec {
 
 /// Turn a prepared solver into a cluster-simulator workload: real per-leaf
 /// work counts plus the algorithm's payload sizes.
-pub fn experiment_for(solver: &GbSolver, params: &GbParams, spec: MachineSpec) -> ClusterExperiment {
-    let born_tasks: Vec<u64> =
-        solver.born_work_per_qleaf(params).iter().map(|w| w.units()).collect();
+pub fn experiment_for(
+    solver: &GbSolver,
+    params: &GbParams,
+    spec: MachineSpec,
+) -> ClusterExperiment {
+    let born_tasks: Vec<u64> = solver
+        .born_work_per_qleaf(params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let (born, _) = solver.born_radii(params);
-    let epol_tasks: Vec<u64> =
-        solver.epol_work_per_leaf(&born, params).iter().map(|w| w.units()).collect();
+    let epol_tasks: Vec<u64> = solver
+        .epol_work_per_leaf(&born, params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let partials_bytes = ((solver.tree_a.node_count() + solver.n_atoms()) * 8) as u64;
     ClusterExperiment {
         spec,
@@ -142,6 +167,58 @@ pub fn experiment_for(solver: &GbSolver, params: &GbParams, spec: MachineSpec) -
         data_bytes: solver.memory_bytes() as u64,
         partials_bytes,
         born_bytes: (solver.n_atoms() * 8) as u64,
+    }
+}
+
+/// Parse the bench binaries' shared `--report [json|csv]` flag from the
+/// process arguments. Absent flag → `None`; omitted or unknown value →
+/// `"json"` (with a warning for unknown values).
+pub fn report_format() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for (i, arg) in args.iter().enumerate() {
+        let value = if let Some(v) = arg.strip_prefix("--report=") {
+            v
+        } else if arg == "--report" {
+            match args.get(i + 1).map(String::as_str) {
+                // A following `--flag` means the value was omitted.
+                Some(v) if !v.starts_with("--") => v,
+                _ => "json",
+            }
+        } else {
+            continue;
+        };
+        return Some(match value {
+            "json" | "csv" => value.to_string(),
+            other => {
+                eprintln!("warning: --report expects json or csv, got {other:?}; using json");
+                "json".to_string()
+            }
+        });
+    }
+    None
+}
+
+/// When `--report` was passed, build the binary's representative
+/// [`polar_gb::SolveReport`] and persist it as
+/// `results/<name>_report.<json|csv>`. The closure is only invoked when
+/// the flag is present, so binaries pay nothing by default.
+pub fn maybe_write_report<F: FnOnce() -> polar_gb::SolveReport>(name: &str, make: F) {
+    let Some(fmt) = report_format() else { return };
+    let report = make();
+    let (ext, body) = if fmt == "csv" {
+        ("csv", report.to_csv())
+    } else {
+        ("json", report.to_json())
+    };
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[report] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}_report.{ext}"));
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("[report] wrote {}", path.display()),
+        Err(e) => eprintln!("[report] cannot write {}: {e}", path.display()),
     }
 }
 
@@ -185,7 +262,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }

@@ -63,7 +63,13 @@ impl Args {
         }
         let mut allowed: Vec<&'static str> = value_opts.to_vec();
         allowed.extend_from_slice(bool_flags);
-        Ok(Args { command, positionals, options, flags, allowed })
+        Ok(Args {
+            command,
+            positionals,
+            options,
+            flags,
+            allowed,
+        })
     }
 
     /// Boolean flag presence.

@@ -22,9 +22,40 @@ fn params_from(a: &Args) -> Result<GbParams, ArgError> {
     Ok(GbParams {
         eps_born: a.get_parsed("eps-born", 0.9)?,
         eps_epol: a.get_parsed("eps-epol", 0.9)?,
-        math: if a.flag("approx-math") { MathMode::Approximate } else { MathMode::Exact },
+        math: if a.flag("approx-math") {
+            MathMode::Approximate
+        } else {
+            MathMode::Exact
+        },
         ..GbParams::default()
     })
+}
+
+/// Which serialization `--profile` asked for, if any.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileFormat {
+    Json,
+    Csv,
+}
+
+fn profile_format(a: &Args) -> Result<Option<ProfileFormat>, ArgError> {
+    match a.get("profile") {
+        None => Ok(None),
+        Some("json") => Ok(Some(ProfileFormat::Json)),
+        Some("csv") => Ok(Some(ProfileFormat::Csv)),
+        Some(other) => Err(ArgError(format!(
+            "--profile must be json or csv, got {other:?}"
+        ))),
+    }
+}
+
+/// Print a solve's structured report to stdout in the requested format.
+fn emit_report(report: &polar_gb::SolveReport, fmt: Option<ProfileFormat>) {
+    match fmt {
+        None => {}
+        Some(ProfileFormat::Json) => println!("{}", report.to_json()),
+        Some(ProfileFormat::Csv) => print!("{}", report.to_csv()),
+    }
 }
 
 fn prepare(mol: &Molecule) -> GbSolver {
@@ -48,13 +79,17 @@ pub fn energy(a: &Args) -> CmdResult {
              use a .pqr with real charges"
         );
     }
+    let profile = profile_format(a)?;
     let params = params_from(a)?;
     let solver = prepare(&mol);
     let t = Instant::now();
-    let result = if a.flag("parallel") {
-        solver.solve_parallel(&params)
+    let (result, report) = if a.flag("parallel") {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        solver.solve_parallel_with_report(&params, workers)
     } else {
-        solver.solve(&params)
+        solver.solve_with_report(&params)
     };
     println!(
         "E_pol = {:.4} kcal/mol  (eps {}/{}, {} math, {:.2?})",
@@ -64,6 +99,7 @@ pub fn energy(a: &Args) -> CmdResult {
         params.math.label(),
         t.elapsed()
     );
+    emit_report(&report, profile);
     if a.flag("naive") {
         let t = Instant::now();
         let born = solver.born_naive(&params);
@@ -96,7 +132,10 @@ pub fn info(a: &Args) -> CmdResult {
     );
     let q = mol.surface(&SurfaceConfig::coarse());
     let area: f64 = q.iter().map(|p| p.weight).sum();
-    println!("surface:     {} quadrature points, {area:.0} A^2 exposed", q.len());
+    println!(
+        "surface:     {} quadrature points, {area:.0} A^2 exposed",
+        q.len()
+    );
     Ok(())
 }
 
@@ -132,11 +171,17 @@ pub fn sweep(a: &Args) -> CmdResult {
     let to: f64 = a.get_parsed("to", 0.9)?;
     let steps: usize = a.get_parsed("steps", 9)?;
     if !(from > 0.0 && to >= from && steps >= 1) {
-        return Err(Box::new(ArgError("need 0 < from <= to and steps >= 1".into())));
+        return Err(Box::new(ArgError(
+            "need 0 < from <= to and steps >= 1".into(),
+        )));
     }
     let solver = prepare(&mol);
     let reference = solver
-        .solve(&GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..GbParams::default() })
+        .solve(&GbParams {
+            eps_born: 1e-6,
+            eps_epol: 1e-6,
+            ..GbParams::default()
+        })
         .epol_kcal;
     println!("reference (exact) E_pol = {reference:.4} kcal/mol");
     println!("{:>7} {:>14} {:>9} {:>12}", "eps", "E_pol", "err %", "time");
@@ -147,7 +192,11 @@ pub fn sweep(a: &Args) -> CmdResult {
             from + (to - from) * k as f64 / (steps - 1) as f64
         };
         let t = Instant::now();
-        let r = solver.solve(&GbParams { eps_born: eps, eps_epol: eps, ..GbParams::default() });
+        let r = solver.solve(&GbParams {
+            eps_born: eps,
+            eps_epol: eps,
+            ..GbParams::default()
+        });
         println!(
             "{eps:>7.3} {:>14.4} {:>9.4} {:>12.2?}",
             r.epol_kcal,
@@ -164,12 +213,23 @@ pub fn distributed(a: &Args) -> CmdResult {
     let ranks: usize = a.get_parsed("ranks", 4)?;
     let threads: usize = a.get_parsed("threads", 1)?;
     if ranks == 0 || threads == 0 {
-        return Err(Box::new(ArgError("ranks and threads must be positive".into())));
+        return Err(Box::new(ArgError(
+            "ranks and threads must be positive".into(),
+        )));
     }
+    let profile = profile_format(a)?;
     let params = params_from(a)?;
     let solver = prepare(&mol);
-    let cfg = DistributedConfig { ranks, threads_per_rank: threads, params, ..DistributedConfig::oct_mpi(ranks, params) };
+    let cfg = DistributedConfig {
+        ranks,
+        threads_per_rank: threads,
+        params,
+        ..DistributedConfig::oct_mpi(ranks, params)
+    };
     if a.flag("data-dist") {
+        if profile.is_some() {
+            eprintln!("warning: --profile is not available for the data-distributed driver");
+        }
         let t = Instant::now();
         let run = run_data_distributed(&solver, &cfg);
         println!(
@@ -194,8 +254,13 @@ pub fn distributed(a: &Args) -> CmdResult {
         println!(
             "replicated memory: {:.1} MB total; max simulated comm {:.2} ms/rank",
             run.total_replicated_bytes as f64 / 1048576.0,
-            run.per_rank_comm_seconds.iter().cloned().fold(0.0, f64::max) * 1e3
+            run.per_rank_comm_seconds
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max)
+                * 1e3
         );
+        emit_report(&run.report(&solver, &cfg), profile);
     }
     Ok(())
 }
@@ -207,11 +272,17 @@ pub fn project(a: &Args) -> CmdResult {
     let params = params_from(a)?;
     let solver = prepare(&mol);
     let spec = polar_cluster::MachineSpec::lonestar4(nodes.max(1));
-    let born_tasks: Vec<u64> =
-        solver.born_work_per_qleaf(&params).iter().map(|w| w.units()).collect();
+    let born_tasks: Vec<u64> = solver
+        .born_work_per_qleaf(&params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let (born, _) = solver.born_radii(&params);
-    let epol_tasks: Vec<u64> =
-        solver.epol_work_per_leaf(&born, &params).iter().map(|w| w.units()).collect();
+    let epol_tasks: Vec<u64> = solver
+        .epol_work_per_leaf(&born, &params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let exp = polar_cluster::ClusterExperiment {
         spec,
         born_tasks,
@@ -220,12 +291,21 @@ pub fn project(a: &Args) -> CmdResult {
         partials_bytes: ((solver.tree_a.node_count() + solver.n_atoms()) * 8) as u64,
         born_bytes: (solver.n_atoms() * 8) as u64,
     };
-    println!("{:>6} {:>14} {:>18}", "cores", "OCT_MPI", "OCT_MPI+CILK(x6)");
+    println!(
+        "{:>6} {:>14} {:>18}",
+        "cores", "OCT_MPI", "OCT_MPI+CILK(x6)"
+    );
     let mut cores = 12;
     while cores <= spec.total_cores() {
         let mpi = exp.simulate(Layout::pure_mpi(cores), 1).total_seconds;
         let hyb = exp
-            .simulate(Layout { ranks: cores / 6, threads_per_rank: 6 }, 1)
+            .simulate(
+                Layout {
+                    ranks: cores / 6,
+                    threads_per_rank: 6,
+                },
+                1,
+            )
             .total_seconds;
         println!("{cores:>6} {mpi:>13.4}s {hyb:>17.4}s");
         cores *= 2;

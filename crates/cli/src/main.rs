@@ -17,6 +17,7 @@ use args::Args;
 
 const VALUE_OPTS: &[&str] = &[
     "eps-born", "eps-epol", "seed", "out", "from", "to", "steps", "ranks", "threads", "nodes",
+    "profile",
 ];
 const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist"];
 
@@ -63,6 +64,7 @@ USAGE:
       --approx-math               fast sqrt/exp/cbrt kernels
       --parallel                  shared-memory (OCT_CILK) driver
       --naive                     also run the O(M^2) reference + error
+      --profile json|csv          print a structured SolveReport to stdout
   polar info <file>         atom counts, charge, bounds, surface size
   polar generate <kind> <n> synthesize globule|shell|ligand [--seed S] [--out f.pqr]
   polar sweep <file>        error/time vs eps [--from A --to B --steps K]

@@ -14,7 +14,11 @@ fn tmp_pqr(name: &str, n: usize) -> std::path::PathBuf {
         .arg(&path)
         .output()
         .expect("generate runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     path
 }
 
@@ -51,7 +55,12 @@ fn generate_info_energy_pipeline() {
 #[test]
 fn energy_with_naive_reports_error_percentage() {
     let path = tmp_pqr("naive", 200);
-    let out = polar().args(["energy"]).arg(&path).arg("--naive").output().unwrap();
+    let out = polar()
+        .args(["energy"])
+        .arg(&path)
+        .arg("--naive")
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("octree error"), "{text}");
@@ -83,7 +92,11 @@ fn distributed_and_data_dist_run() {
         .args(["--ranks", "3", "--threads", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("3 ranks x 2 threads"));
 
     let dd = polar()
@@ -98,14 +111,20 @@ fn distributed_and_data_dist_run() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let out = polar().args(["energy", "/nonexistent/file.pqr"]).output().unwrap();
+    let out = polar()
+        .args(["energy", "/nonexistent/file.pqr"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }
 
 #[test]
 fn bad_option_is_rejected() {
-    let out = polar().args(["energy", "x.pqr", "--warp-speed"]).output().unwrap();
+    let out = polar()
+        .args(["energy", "x.pqr", "--warp-speed"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
 }

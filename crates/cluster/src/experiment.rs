@@ -14,6 +14,8 @@
 
 use crate::spec::MachineSpec;
 use crate::stealing::simulate_work_stealing;
+use polar_gb::report::{CommReport, SolveReport, StageReport, StealReport, TreeDepthStats};
+use polar_gb::WorkCounts;
 
 /// A parallel layout: `ranks × threads_per_rank` cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,14 +27,20 @@ pub struct Layout {
 impl Layout {
     /// Pure distributed: every core is a rank (`OCT_MPI`).
     pub fn pure_mpi(cores: usize) -> Layout {
-        Layout { ranks: cores, threads_per_rank: 1 }
+        Layout {
+            ranks: cores,
+            threads_per_rank: 1,
+        }
     }
 
     /// Hybrid with one rank per socket of a Lonestar4-class node
     /// (`OCT_MPI+CILK` as run in §V.A: 2 ranks × 6 threads per node).
     pub fn hybrid_per_socket(cores: usize, cores_per_socket: usize) -> Layout {
         let ranks = cores.div_ceil(cores_per_socket).max(1);
-        Layout { ranks, threads_per_rank: cores_per_socket.min(cores) }
+        Layout {
+            ranks,
+            threads_per_rank: cores_per_socket.min(cores),
+        }
     }
 
     pub fn cores(&self) -> usize {
@@ -123,14 +131,11 @@ impl ClusterExperiment {
         let ranks_per_node = ranks.div_ceil(nodes_used).max(1);
         // Every rank holds the replicated inputs plus its own partial
         // accumulators — the §IV.B memory multiplier of pure MPI.
-        let bytes_per_node =
-            ranks_per_node as f64 * (self.data_bytes + self.partials_bytes) as f64;
+        let bytes_per_node = ranks_per_node as f64 * (self.data_bytes + self.partials_bytes) as f64;
 
         // Effective core rate.
-        let ws_per_core =
-            (self.data_bytes + self.partials_bytes) as f64 / cores.max(1) as f64;
-        let mut factor =
-            spec.cache_factor(ws_per_core) * spec.paging_factor(bytes_per_node);
+        let ws_per_core = (self.data_bytes + self.partials_bytes) as f64 / cores.max(1) as f64;
+        let mut factor = spec.cache_factor(ws_per_core) * spec.paging_factor(bytes_per_node);
         if threads > spec.cores_per_socket {
             // One rank's work-stealing threads span sockets: cilk++ has no
             // affinity manager, so cross-socket steals hit remote caches.
@@ -144,8 +149,11 @@ impl ClusterExperiment {
         let rate = factor / spec.seconds_per_unit;
 
         // Network: all-on-one-node runs use the cheap intra-node fabric.
-        let net =
-            if nodes_used == 1 { spec.network.intra_node() } else { spec.network };
+        let net = if nodes_used == 1 {
+            spec.network.intra_node()
+        } else {
+            spec.network
+        };
 
         // Phase computation times under the chosen division policy.
         let mut steals = 0u64;
@@ -219,6 +227,75 @@ impl ClusterExperiment {
         }
     }
 
+    /// Package one simulated layout's outcome as a [`SolveReport`]
+    /// (mode `"cluster_sim"`), so simulated and real runs land in the
+    /// same results tables.
+    ///
+    /// Caveats of the simulated record: the discrete-event scheduler
+    /// replays flattened work *units*, not op categories, so each
+    /// stage's work appears entirely as `pair_ops`; no per-worker
+    /// execution counters exist, so the steal section carries totals
+    /// with imbalance fixed at 1.0; no energy is computed, so
+    /// `epol_kcal` is NaN (JSON `null`); tree shape reduces to the leaf
+    /// counts the task lists encode. Wire bytes are the collectives'
+    /// payloads: every rank contributes the partial-integral vector to
+    /// the allreduce plus its Born segment to the allgather plus the
+    /// final scalar.
+    pub fn report(
+        &self,
+        molecule: &str,
+        eps_born: f64,
+        eps_epol: f64,
+        layout: Layout,
+        outcome: &SimOutcome,
+    ) -> SolveReport {
+        let units = |tasks: &[u64]| WorkCounts {
+            pair_ops: tasks.iter().sum(),
+            far_ops: 0,
+            nodes_visited: 0,
+        };
+        let leaves = |tasks: &[u64]| TreeDepthStats {
+            leaf_count: tasks.len(),
+            ..Default::default()
+        };
+        SolveReport {
+            molecule: molecule.to_string(),
+            mode: "cluster_sim".to_string(),
+            n_atoms: (self.born_bytes / 8) as usize,
+            n_qpoints: 0,
+            eps_born,
+            eps_epol,
+            epol_kcal: f64::NAN,
+            stages: vec![
+                StageReport {
+                    name: "born".into(),
+                    wall_seconds: outcome.born_seconds,
+                    work: units(&self.born_tasks),
+                },
+                StageReport {
+                    name: "epol".into(),
+                    wall_seconds: outcome.epol_seconds,
+                    work: units(&self.epol_tasks),
+                },
+            ],
+            tree_a: leaves(&self.epol_tasks),
+            tree_q: leaves(&self.born_tasks),
+            steal: Some(StealReport {
+                workers: layout.cores(),
+                total_executed: (self.born_tasks.len() + self.epol_tasks.len()) as u64,
+                total_steals: outcome.steals,
+                imbalance: 1.0,
+            }),
+            comm: Some(CommReport {
+                ranks: layout.ranks,
+                sim_seconds: outcome.comm_seconds,
+                bytes_sent: layout.ranks as u64 * (self.partials_bytes + 8) + self.born_bytes,
+                replicated_bytes: layout.ranks as u64 * self.data_bytes,
+            }),
+            memory_bytes: self.data_bytes,
+        }
+    }
+
     /// Min/max total time over `runs` seeded repetitions (Fig. 6's
     /// 20-run envelope).
     pub fn envelope(&self, layout: Layout, runs: usize, base_seed: u64) -> (f64, f64) {
@@ -226,7 +303,9 @@ impl ClusterExperiment {
         let mut lo = f64::INFINITY;
         let mut hi = 0.0_f64;
         for r in 0..runs {
-            let t = self.simulate(layout, base_seed.wrapping_add(r as u64 * 104_729)).total_seconds;
+            let t = self
+                .simulate(layout, base_seed.wrapping_add(r as u64 * 104_729))
+                .total_seconds;
             lo = lo.min(t);
             hi = hi.max(t);
         }
@@ -255,9 +334,7 @@ fn split_weighted(tasks: &[u64], parts: usize) -> Vec<&[u64]> {
         let target = (total - consumed).div_ceil(remaining_parts.max(1));
         let mut end = start;
         let mut acc = 0u64;
-        while end < tasks.len()
-            && (acc < target || tasks.len() - end < parts - i)
-        {
+        while end < tasks.len() && (acc < target || tasks.len() - end < parts - i) {
             acc += tasks[end];
             end += 1;
             if tasks.len() - end < parts - i {
@@ -303,7 +380,7 @@ mod tests {
             data_bytes: 50 << 20,
             partials_bytes: 8 << 20,
             born_bytes: 4 << 20,
-            }
+        }
     }
 
     #[test]
@@ -320,7 +397,13 @@ mod tests {
     fn hybrid_uses_less_node_memory_than_pure_mpi() {
         let e = experiment(2048, 10_000);
         let pure = e.simulate(Layout::pure_mpi(12), 1);
-        let hybrid = e.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 1);
+        let hybrid = e.simulate(
+            Layout {
+                ranks: 2,
+                threads_per_rank: 6,
+            },
+            1,
+        );
         // 12 replicas vs 2 on the single node: exactly 6×.
         assert!((pure.bytes_per_node / hybrid.bytes_per_node - 6.0).abs() < 1e-9);
     }
@@ -329,7 +412,13 @@ mod tests {
     fn hybrid_communicates_less_than_pure_mpi() {
         let e = experiment(2048, 10_000);
         let pure = e.simulate(Layout::pure_mpi(144), 1);
-        let hybrid = e.simulate(Layout { ranks: 24, threads_per_rank: 6 }, 1);
+        let hybrid = e.simulate(
+            Layout {
+                ranks: 24,
+                threads_per_rank: 6,
+            },
+            1,
+        );
         assert!(hybrid.comm_seconds < pure.comm_seconds);
     }
 
@@ -339,7 +428,13 @@ mod tests {
         // Blow past 24 GB/node with 12 replicated ranks.
         e.data_bytes = 4 << 30;
         let pure = e.simulate(Layout::pure_mpi(12), 1);
-        let hybrid = e.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 1);
+        let hybrid = e.simulate(
+            Layout {
+                ranks: 2,
+                threads_per_rank: 6,
+            },
+            1,
+        );
         assert!(
             pure.total_seconds > 2.0 * hybrid.total_seconds,
             "paging should cripple pure MPI: {} vs {}",
@@ -351,8 +446,20 @@ mod tests {
     #[test]
     fn threads_spanning_sockets_pay_numa() {
         let e = experiment(2048, 10_000);
-        let per_socket = e.simulate(Layout { ranks: 2, threads_per_rank: 6 }, 1);
-        let spanning = e.simulate(Layout { ranks: 1, threads_per_rank: 12 }, 1);
+        let per_socket = e.simulate(
+            Layout {
+                ranks: 2,
+                threads_per_rank: 6,
+            },
+            1,
+        );
+        let spanning = e.simulate(
+            Layout {
+                ranks: 1,
+                threads_per_rank: 12,
+            },
+            1,
+        );
         // Same cores; the spanning layout has cheaper comm (1 rank) but a
         // slower core rate. Computation alone must be slower:
         assert!(
@@ -366,7 +473,10 @@ mod tests {
     #[test]
     fn envelope_brackets_single_runs() {
         let e = experiment(1024, 25_000);
-        let l = Layout { ranks: 4, threads_per_rank: 6 };
+        let l = Layout {
+            ranks: 4,
+            threads_per_rank: 6,
+        };
         let (lo, hi) = e.envelope(l, 20, 7);
         assert!(lo <= hi);
         let one = e.simulate(l, 7).total_seconds;
@@ -438,9 +548,34 @@ mod tests {
             born_bytes: 1 << 18,
         };
         let l = Layout::pure_mpi(24);
-        let a = e.simulate_with_policy(l, 1, DivisionPolicy::CountEven).total_seconds;
-        let b = e.simulate_with_policy(l, 1, DivisionPolicy::WeightEven).total_seconds;
+        let a = e
+            .simulate_with_policy(l, 1, DivisionPolicy::CountEven)
+            .total_seconds;
+        let b = e
+            .simulate_with_policy(l, 1, DivisionPolicy::WeightEven)
+            .total_seconds;
         assert!((a - b).abs() < 0.15 * a, "{a} vs {b}");
+    }
+
+    #[test]
+    fn sim_outcome_packages_into_a_report() {
+        let e = experiment(512, 20_000);
+        let l = Layout {
+            ranks: 4,
+            threads_per_rank: 6,
+        };
+        let o = e.simulate(l, 11);
+        let r = e.report("sim-mol", 0.9, 0.9, l, &o);
+        assert_eq!(r.mode, "cluster_sim");
+        assert_eq!(r.total_work().pair_ops, 2 * 512 * 20_000);
+        assert_eq!(r.stage("born").wall_seconds, o.born_seconds);
+        let comm = r.comm.expect("sim report always has a comm section");
+        assert_eq!(comm.ranks, 4);
+        assert!(comm.sim_seconds > 0.0);
+        assert_eq!(comm.replicated_bytes, 4 * e.data_bytes);
+        // NaN energy serializes as JSON null, and the row stays parseable.
+        assert!(r.to_json().contains("\"epol_kcal\":null"));
+        assert_eq!(r.to_csv_row().split(',').count(), 30);
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn simulate_work_stealing(
     assert!(workers >= 1, "need at least one worker");
     assert!(units_per_second > 0.0, "rate must be positive");
     if tasks.is_empty() {
-        return StealSchedule { makespan: 0.0, steals: 0, utilization: 1.0 };
+        return StealSchedule {
+            makespan: 0.0,
+            steals: 0,
+            utilization: 1.0,
+        };
     }
     let mut rng = StdRng::seed_from_u64(seed);
     // Deal tasks round-robin, like the drivers seed their deques.
@@ -72,8 +76,10 @@ pub fn simulate_work_stealing(
     let mut heap: BinaryHeap<Entry> = (0..workers).map(|w| Entry(0.0, w)).collect();
     let mut makespan = 0.0_f64;
     let mut steals = 0u64;
-    let busy: f64 =
-        tasks.iter().map(|&t| t as f64 / units_per_second + task_overhead).sum();
+    let busy: f64 = tasks
+        .iter()
+        .map(|&t| t as f64 / units_per_second + task_overhead)
+        .sum();
 
     while let Some(Entry(now, w)) = heap.pop() {
         // Own deque: newest first (LIFO back).
@@ -81,8 +87,9 @@ pub fn simulate_work_stealing(
             Some((t, 0.0))
         } else {
             // Steal: random victims until one has work (oldest first).
-            let candidates: Vec<usize> =
-                (0..workers).filter(|&v| v != w && !deques[v].is_empty()).collect();
+            let candidates: Vec<usize> = (0..workers)
+                .filter(|&v| v != w && !deques[v].is_empty())
+                .collect();
             if candidates.is_empty() {
                 None
             } else {
@@ -104,8 +111,16 @@ pub fn simulate_work_stealing(
             }
         }
     }
-    let utilization = if makespan > 0.0 { busy / (makespan * workers as f64) } else { 1.0 };
-    StealSchedule { makespan, steals, utilization: utilization.min(1.0) }
+    let utilization = if makespan > 0.0 {
+        busy / (makespan * workers as f64)
+    } else {
+        1.0
+    };
+    StealSchedule {
+        makespan,
+        steals,
+        utilization: utilization.min(1.0),
+    }
 }
 
 /// Convenience: min and max makespan over `runs` seeded repetitions —
@@ -170,7 +185,11 @@ mod tests {
         for workers in [1, 3, 7, 16] {
             let s = simulate_work_stealing(&tasks, workers, RATE, 1e-6, 1e-7, 9);
             let lb = (total as f64 / workers as f64).max(max as f64) / RATE;
-            assert!(s.makespan >= lb - 1e-12, "w={workers}: {} < {lb}", s.makespan);
+            assert!(
+                s.makespan >= lb - 1e-12,
+                "w={workers}: {} < {lb}",
+                s.makespan
+            );
             assert!(s.utilization <= 1.0 && s.utilization > 0.0);
         }
     }
@@ -188,7 +207,11 @@ mod tests {
         // Far better than worst case (all heavy on one core serialized
         // after its own queue):
         let serial_heavy = 16.0 * 10_000.0 / RATE;
-        assert!(s.makespan < serial_heavy, "{} vs {serial_heavy}", s.makespan);
+        assert!(
+            s.makespan < serial_heavy,
+            "{} vs {serial_heavy}",
+            s.makespan
+        );
     }
 
     #[test]

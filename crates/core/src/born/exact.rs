@@ -87,7 +87,11 @@ mod tests {
         for rv in [1.2, 1.7] {
             let q = generate_surface(&[Vec3::ZERO], &[rv], &SurfaceConfig::fine());
             let born = born_radii_r6(&[Vec3::ZERO], &[rv], &q, MathMode::Exact);
-            assert!((born[0] - rv).abs() < 1e-4 * rv, "rv={rv}: born={}", born[0]);
+            assert!(
+                (born[0] - rv).abs() < 1e-4 * rv,
+                "rv={rv}: born={}",
+                born[0]
+            );
             // r⁴ also recovers the sphere radius exactly on a sphere.
             let born4 = born_radii_r4(&[Vec3::ZERO], &[rv], &q, MathMode::Exact);
             assert!((born4[0] - rv).abs() < 1e-4 * rv);
@@ -97,7 +101,9 @@ mod tests {
     #[test]
     fn buried_atom_has_larger_born_radius_than_surface_atom() {
         // A line of touching spheres: the middle atom is more buried.
-        let pos: Vec<Vec3> = (0..7).map(|i| Vec3::new(i as f64 * 1.9, 0.0, 0.0)).collect();
+        let pos: Vec<Vec3> = (0..7)
+            .map(|i| Vec3::new(i as f64 * 1.9, 0.0, 0.0))
+            .collect();
         let radii = vec![1.2_f64; 7];
         let q = generate_surface(&pos, &radii, &SurfaceConfig::default());
         let born = born_radii_r6(&pos, &radii, &q, MathMode::Exact);
@@ -110,13 +116,21 @@ mod tests {
 
     #[test]
     fn nonpositive_integral_clamps() {
-        assert_eq!(born_from_integral_r6(0.0, 1.0, MathMode::Exact), BORN_RADIUS_MAX);
-        assert_eq!(born_from_integral_r6(-3.0, 1.0, MathMode::Exact), BORN_RADIUS_MAX);
+        assert_eq!(
+            born_from_integral_r6(0.0, 1.0, MathMode::Exact),
+            BORN_RADIUS_MAX
+        );
+        assert_eq!(
+            born_from_integral_r6(-3.0, 1.0, MathMode::Exact),
+            BORN_RADIUS_MAX
+        );
     }
 
     #[test]
     fn approximate_math_is_close_to_exact() {
-        let pos: Vec<Vec3> = (0..5).map(|i| Vec3::new(i as f64 * 2.5, 0.3, -0.1)).collect();
+        let pos: Vec<Vec3> = (0..5)
+            .map(|i| Vec3::new(i as f64 * 2.5, 0.3, -0.1))
+            .collect();
         let radii = vec![1.5_f64; 5];
         let q = generate_surface(&pos, &radii, &SurfaceConfig::default());
         let exact = born_radii_r6(&pos, &radii, &q, MathMode::Exact);

@@ -19,13 +19,7 @@ pub fn gb_pair(qi: f64, qj: f64, r_sq: f64, ri: f64, rj: f64, math: MathMode) ->
 /// Naive E_pol: `−(τ/2) Σ_{i,j} q_i q_j / f_ij` over **all ordered pairs
 /// including i = j** (the diagonal is the Born self-energy `q_i²/R_i`).
 /// O(M²); the reference every figure's "% error" is measured against.
-pub fn epol_naive(
-    pos: &[Vec3],
-    charges: &[f64],
-    born: &[f64],
-    tau: f64,
-    math: MathMode,
-) -> f64 {
+pub fn epol_naive(pos: &[Vec3], charges: &[f64], born: &[f64], tau: f64, math: MathMode) -> f64 {
     assert_eq!(pos.len(), charges.len());
     assert_eq!(pos.len(), born.len());
     let n = pos.len();
@@ -71,7 +65,11 @@ mod tests {
 
     #[test]
     fn energy_is_symmetric_under_atom_reordering() {
-        let pos = [Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0)];
+        let pos = [
+            Vec3::ZERO,
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.0, 4.0, 0.0),
+        ];
         let q = [0.4, -0.6, 0.2];
         let r = [1.5, 1.8, 2.0];
         let t = tau(EPS_WATER);
@@ -90,7 +88,13 @@ mod tests {
         // (q_i q_j < 0 ⇒ −τ/2·2q_iq_j/f > 0), shrinking |E_pol|.
         let t = tau(EPS_WATER);
         let sep = Vec3::new(4.0, 0.0, 0.0);
-        let e_pair = epol_naive(&[Vec3::ZERO, sep], &[1.0, -1.0], &[2.0, 2.0], t, MathMode::Exact);
+        let e_pair = epol_naive(
+            &[Vec3::ZERO, sep],
+            &[1.0, -1.0],
+            &[2.0, 2.0],
+            t,
+            MathMode::Exact,
+        );
         let e_self_only = 2.0 * (-t / 4.0);
         assert!(e_pair > e_self_only, "{e_pair} vs {e_self_only}");
         assert!(e_pair < 0.0);
@@ -106,6 +110,9 @@ mod tests {
         let t = tau(EPS_WATER);
         let exact = epol_naive(&pos, &q, &r, t, MathMode::Exact);
         let approx = epol_naive(&pos, &q, &r, t, MathMode::Approximate);
-        assert!((exact - approx).abs() / exact.abs() < 0.05, "{exact} vs {approx}");
+        assert!(
+            (exact - approx).abs() / exact.abs() < 0.05,
+            "{exact} vs {approx}"
+        );
     }
 }

@@ -127,8 +127,9 @@ pub fn epol_gradient_cutoff(
             let d = xi - xj;
             let r_sq = d.norm_sq();
             if r_sq > 1e-12 {
-                g += d * (tau
-                    * pair_dedr_over_r(charges[i], charges[j], r_sq, born[i], born[j], math));
+                g += d
+                    * (tau
+                        * pair_dedr_over_r(charges[i], charges[j], r_sq, born[i], born[j], math));
             }
         });
         grad[i] = g;
@@ -201,8 +202,15 @@ mod tests {
         let (pos, charges, born, t) = fixture(80, 3);
         let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
         let torque = net_torque(&pos, &grad);
-        let scale: f64 = grad.iter().zip(&pos).map(|(g, p)| g.norm() * p.norm()).sum();
-        assert!(torque.norm() <= 1e-10 * scale.max(1.0), "net torque {torque:?}");
+        let scale: f64 = grad
+            .iter()
+            .zip(&pos)
+            .map(|(g, p)| g.norm() * p.norm())
+            .sum();
+        assert!(
+            torque.norm() <= 1e-10 * scale.max(1.0),
+            "net torque {torque:?}"
+        );
     }
 
     #[test]
@@ -246,11 +254,17 @@ mod tests {
         // Truncation error shrinks as the cutoff grows.
         let err = |cut: f64| -> f64 {
             let g = epol_gradient_cutoff(&tree, &pos, &charges, &born, t, cut, MathMode::Exact);
-            g.iter().zip(&full).map(|(a, b)| a.dist(*b)).fold(0.0_f64, f64::max)
+            g.iter()
+                .zip(&full)
+                .map(|(a, b)| a.dist(*b))
+                .fold(0.0_f64, f64::max)
         };
         let (e8, e16) = (err(8.0), err(16.0));
         assert!(e16 < e8, "cutoff 16 not better than 8: {e16} vs {e8}");
-        assert!(e16 < 0.2 * avg, "16 A truncation too coarse: {e16} vs avg {avg}");
+        assert!(
+            e16 < 0.2 * avg,
+            "16 A truncation too coarse: {e16} vs avg {avg}"
+        );
     }
 
     #[test]
@@ -269,10 +283,12 @@ mod tests {
         // Per-atom gradients are differences of large pair terms, so
         // compare against the field's typical magnitude, not each atom's
         // own (possibly tiny, heavily cancelled) norm.
-        let avg: f64 =
-            exact.iter().map(|g| g.norm()).sum::<f64>() / exact.len() as f64;
+        let avg: f64 = exact.iter().map(|g| g.norm()).sum::<f64>() / exact.len() as f64;
         for (a, b) in exact.iter().zip(&approx) {
-            assert!(a.dist(*b) <= 0.15 * avg.max(1e-6), "{a:?} vs {b:?} (avg {avg})");
+            assert!(
+                a.dist(*b) <= 0.15 * avg.max(1e-6),
+                "{a:?} vs {b:?} (avg {avg})"
+            );
         }
     }
 }

@@ -45,7 +45,11 @@ impl BinScheme {
             r_max = r_max.max(r);
         }
         if born.is_empty() {
-            return BinScheme { r_min: 1.0, log1e: (1.0 + eps).ln(), nbins: 1 };
+            return BinScheme {
+                r_min: 1.0,
+                log1e: (1.0 + eps).ln(),
+                nbins: 1,
+            };
         }
         let log1e = (1.0 + eps).ln();
         // M_ε = ⌈log_{1+ε}(R_max/R_min)⌉, at least 1 bin. Capped: as
@@ -62,7 +66,11 @@ impl BinScheme {
         } else {
             log1e
         };
-        BinScheme { r_min, log1e, nbins }
+        BinScheme {
+            r_min,
+            log1e,
+            nbins,
+        }
     }
 
     /// Bin index of a Born radius.
@@ -125,9 +133,21 @@ impl<'a> EpolCtx<'a> {
             }
         }
         let nonzero_bins = (0..tree.node_count())
-            .map(|id| hist[id * nb..(id + 1) * nb].iter().filter(|&&q| q != 0.0).count() as u32)
+            .map(|id| {
+                hist[id * nb..(id + 1) * nb]
+                    .iter()
+                    .filter(|&&q| q != 0.0)
+                    .count() as u32
+            })
             .collect();
-        EpolCtx { tree, charges, born, bins, hist, nonzero_bins }
+        EpolCtx {
+            tree,
+            charges,
+            born,
+            bins,
+            hist,
+            nonzero_bins,
+        }
     }
 
     #[inline]
@@ -194,7 +214,14 @@ fn recurse(
             let (qa, ra) = (ctx.charges[ai as usize], ctx.born[ai as usize]);
             for (b, &bi) in v_orig.iter().enumerate() {
                 let r_sq = u_pos[a].dist_sq(v_pos[b]);
-                acc += gb_pair(qa, ctx.charges[bi as usize], r_sq, ra, ctx.born[bi as usize], math);
+                acc += gb_pair(
+                    qa,
+                    ctx.charges[bi as usize],
+                    r_sq,
+                    ra,
+                    ctx.born[bi as usize],
+                    math,
+                );
             }
         }
         counts.pair_ops += (u_orig.len() * v_orig.len()) as u64;
@@ -289,7 +316,16 @@ pub fn epol_for_atom_segment(
                 .fold(0.0_f64, f64::max)
                 .sqrt();
             acc += recurse_partial(
-                ctx, factor, Octree::ROOT, v, owned, &sub_hist, centroid, radius, math, counts,
+                ctx,
+                factor,
+                Octree::ROOT,
+                v,
+                owned,
+                &sub_hist,
+                centroid,
+                radius,
+                math,
+                counts,
             );
         }
     }
@@ -321,7 +357,14 @@ fn recurse_partial(
             let (qa, ra) = (ctx.charges[ai as usize], ctx.born[ai as usize]);
             for (b, &bi) in v_orig.iter().enumerate() {
                 let r_sq = u_pos[a].dist_sq(v_pos[b]);
-                acc += gb_pair(qa, ctx.charges[bi as usize], r_sq, ra, ctx.born[bi as usize], math);
+                acc += gb_pair(
+                    qa,
+                    ctx.charges[bi as usize],
+                    r_sq,
+                    ra,
+                    ctx.born[bi as usize],
+                    math,
+                );
             }
         }
         counts.pair_ops += (u_orig.len() * v_orig.len()) as u64;
@@ -353,7 +396,16 @@ fn recurse_partial(
     u.child_ids()
         .map(|c| {
             recurse_partial(
-                ctx, factor, c, v_id, owned.clone(), v_hist, v_center, v_radius, math, counts,
+                ctx,
+                factor,
+                c,
+                v_id,
+                owned.clone(),
+                v_hist,
+                v_center,
+                v_radius,
+                math,
+                counts,
             )
         })
         .sum()
@@ -380,7 +432,11 @@ mod tests {
             .iter()
             .map(|a| a.radius + 3.0 / (1.0 + a.pos.dist(c) * 0.2))
             .collect();
-        let tree = OctreeConfig { max_leaf_size: 8, max_depth: 20 }.build(&pos);
+        let tree = OctreeConfig {
+            max_leaf_size: 8,
+            max_depth: 20,
+        }
+        .build(&pos);
         (pos, charges, born, tree)
     }
 
@@ -489,15 +545,22 @@ mod tests {
         let ctx = EpolCtx::new(&tree, &charges, &born, 0.7);
         let n = tree.leaves().len();
         let full = epol_for_leaf_segment(
-            &ctx, 0.7, MathMode::Exact, t, 0..n, &mut WorkCounts::default(),
+            &ctx,
+            0.7,
+            MathMode::Exact,
+            t,
+            0..n,
+            &mut WorkCounts::default(),
         );
         let mut pieces = 0.0;
         for r in crate::partition::even_segments(n, 4) {
-            pieces += epol_for_leaf_segment(
-                &ctx, 0.7, MathMode::Exact, t, r, &mut WorkCounts::default(),
-            );
+            pieces +=
+                epol_for_leaf_segment(&ctx, 0.7, MathMode::Exact, t, r, &mut WorkCounts::default());
         }
-        assert!((full - pieces).abs() <= 1e-9 * full.abs(), "{full} vs {pieces}");
+        assert!(
+            (full - pieces).abs() <= 1e-9 * full.abs(),
+            "{full} vs {pieces}"
+        );
     }
 
     #[test]
@@ -513,7 +576,12 @@ mod tests {
             let mut e = 0.0;
             for r in crate::partition::even_segments(n, parts) {
                 e += epol_for_leaf_segment(
-                    &ctx, 0.9, MathMode::Exact, t, r, &mut WorkCounts::default(),
+                    &ctx,
+                    0.9,
+                    MathMode::Exact,
+                    t,
+                    r,
+                    &mut WorkCounts::default(),
                 );
             }
             energies.push(e);
@@ -529,13 +597,23 @@ mod tests {
         let t = tau(EPS_WATER);
         let ctx = EpolCtx::new(&tree, &charges, &born, 0.9);
         let node_e = epol_for_leaf_segment(
-            &ctx, 0.9, MathMode::Exact, t, 0..tree.leaves().len(), &mut WorkCounts::default(),
+            &ctx,
+            0.9,
+            MathMode::Exact,
+            t,
+            0..tree.leaves().len(),
+            &mut WorkCounts::default(),
         );
         for parts in [1usize, 3, 7] {
             let mut atom_e = 0.0;
             for r in crate::partition::even_segments(tree.len(), parts) {
                 atom_e += epol_for_atom_segment(
-                    &ctx, 0.9, MathMode::Exact, t, r, &mut WorkCounts::default(),
+                    &ctx,
+                    0.9,
+                    MathMode::Exact,
+                    t,
+                    r,
+                    &mut WorkCounts::default(),
                 );
             }
             let rel = ((atom_e - node_e) / node_e).abs();
@@ -551,10 +629,20 @@ mod tests {
         let t = tau(EPS_WATER);
         let ctx = EpolCtx::new(&tree, &charges, &born, 0.7);
         let node_e = epol_for_leaf_segment(
-            &ctx, 0.7, MathMode::Exact, t, 0..tree.leaves().len(), &mut WorkCounts::default(),
+            &ctx,
+            0.7,
+            MathMode::Exact,
+            t,
+            0..tree.leaves().len(),
+            &mut WorkCounts::default(),
         );
         let atom_e = epol_for_atom_segment(
-            &ctx, 0.7, MathMode::Exact, t, 0..tree.len(), &mut WorkCounts::default(),
+            &ctx,
+            0.7,
+            MathMode::Exact,
+            t,
+            0..tree.len(),
+            &mut WorkCounts::default(),
         );
         assert!((atom_e - node_e).abs() <= 1e-9 * node_e.abs());
     }
@@ -571,7 +659,12 @@ mod tests {
                 .into_iter()
                 .map(|r| {
                     epol_for_atom_segment(
-                        &ctx, 0.9, MathMode::Exact, t, r, &mut WorkCounts::default(),
+                        &ctx,
+                        0.9,
+                        MathMode::Exact,
+                        t,
+                        r,
+                        &mut WorkCounts::default(),
                     )
                 })
                 .sum()
@@ -591,7 +684,12 @@ mod tests {
         let tree = OctreeConfig::default().build(&[]);
         let ctx = EpolCtx::new(&tree, &[], &[], 0.9);
         let e = epol_for_leaf_segment(
-            &ctx, 0.9, MathMode::Exact, 300.0, 0..0, &mut WorkCounts::default(),
+            &ctx,
+            0.9,
+            MathMode::Exact,
+            300.0,
+            0..0,
+            &mut WorkCounts::default(),
         );
         assert_eq!(e, 0.0);
     }

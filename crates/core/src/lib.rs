@@ -38,8 +38,10 @@ pub mod energy;
 pub mod metrics;
 pub mod nonpolar;
 pub mod partition;
+pub mod report;
 pub mod solver;
 pub mod stats;
 
+pub use report::SolveReport;
 pub use solver::{GbParams, GbResult, GbSolver};
 pub use stats::WorkCounts;

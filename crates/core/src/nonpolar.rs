@@ -27,7 +27,10 @@ pub struct NonpolarParams {
 
 impl Default for NonpolarParams {
     fn default() -> Self {
-        NonpolarParams { gamma: GAMMA_SASA, beta: BETA_SASA }
+        NonpolarParams {
+            gamma: GAMMA_SASA,
+            beta: BETA_SASA,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ mod tests {
 
     #[test]
     fn single_sphere_matches_closed_form() {
-        let cfg = SurfaceConfig { probe_radius: 1.4, ..SurfaceConfig::default() };
+        let cfg = SurfaceConfig {
+            probe_radius: 1.4,
+            ..SurfaceConfig::default()
+        };
         let q = generate_surface(&[Vec3::ZERO], &[1.6], &cfg);
         let p = NonpolarParams::default();
         let want = GAMMA_SASA * 4.0 * PI * 3.0_f64.powi(2) + BETA_SASA;
@@ -69,7 +75,11 @@ mod tests {
 
     #[test]
     fn per_atom_terms_sum_to_total_minus_offset() {
-        let centers = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0)];
+        let centers = [
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+        ];
         let radii = [1.5, 1.5, 1.2];
         let q = generate_surface(&centers, &radii, &SurfaceConfig::default());
         let p = NonpolarParams::default();

@@ -1,0 +1,528 @@
+//! Structured per-solve observability: the [`SolveReport`].
+//!
+//! Every solve path — serial, shared-memory parallel, the `polar-mpi`
+//! distributed drivers, and the `polar-cluster` simulator — can emit one
+//! `SolveReport` describing what the solve did: per-stage wall time and
+//! [`WorkCounts`], octree shape statistics, work-stealing scheduler
+//! counters, simulated communication cost, and memory footprints.
+//!
+//! Reports serialize to JSON ([`SolveReport::to_json`]) and flat CSV
+//! ([`SolveReport::to_csv`]) with hand-rolled, dependency-free emitters
+//! (the workspace has no serde). The CSV layout is one record per line
+//! under a fixed header, so rows from many runs concatenate into one
+//! analyzable table (`results/*.csv`).
+//!
+//! Invariant worth leaning on: `WorkCounts` are *schedule-independent* —
+//! serial, work-stealing parallel, and simulated-MPI solves of the same
+//! molecule at the same ε must report identical stage totals (asserted
+//! in `tests/report_invariants.rs`).
+
+use crate::stats::WorkCounts;
+use polar_octree::{NodeId, Octree};
+use polar_runtime::StealStats;
+
+/// One pipeline stage (Born radii or E_pol) of one solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name: `"born"` or `"epol"`.
+    pub name: String,
+    /// Wall-clock seconds spent in the stage (simulated seconds for the
+    /// cluster simulator).
+    pub wall_seconds: f64,
+    /// Traversal work the stage performed.
+    pub work: WorkCounts,
+}
+
+/// Shape statistics of one octree, as seen by the traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TreeDepthStats {
+    pub node_count: usize,
+    pub leaf_count: usize,
+    /// Depth of the deepest leaf (root = 0).
+    pub max_depth: usize,
+    /// Mean leaf depth — how balanced the spatial subdivision is.
+    pub mean_leaf_depth: f64,
+}
+
+impl TreeDepthStats {
+    /// Walk the tree once, accumulating leaf depths.
+    pub fn for_tree(tree: &Octree) -> TreeDepthStats {
+        if tree.is_empty() {
+            return TreeDepthStats::default();
+        }
+        let mut stats = TreeDepthStats {
+            node_count: tree.node_count(),
+            ..Default::default()
+        };
+        let mut depth_sum = 0usize;
+        let mut stack: Vec<(NodeId, usize)> = vec![(Octree::ROOT, 0)];
+        while let Some((id, depth)) = stack.pop() {
+            let node = tree.node(id);
+            if node.is_leaf {
+                stats.leaf_count += 1;
+                stats.max_depth = stats.max_depth.max(depth);
+                depth_sum += depth;
+            } else {
+                for c in node.child_ids() {
+                    stack.push((c, depth + 1));
+                }
+            }
+        }
+        stats.mean_leaf_depth = depth_sum as f64 / stats.leaf_count.max(1) as f64;
+        stats
+    }
+}
+
+/// Work-stealing scheduler summary (shared-memory and hybrid paths).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StealReport {
+    /// Worker (thread) count behind the counters.
+    pub workers: usize,
+    /// Tasks executed across all workers.
+    pub total_executed: u64,
+    /// Successful steals across all workers.
+    pub total_steals: u64,
+    /// Max/mean executed tasks per worker (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl From<&StealStats> for StealReport {
+    fn from(s: &StealStats) -> StealReport {
+        StealReport {
+            workers: s.executed.len(),
+            total_executed: s.total_executed(),
+            total_steals: s.total_steals(),
+            imbalance: s.imbalance(),
+        }
+    }
+}
+
+/// Simulated communication cost (distributed and cluster-sim paths).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommReport {
+    /// Rank count of the run.
+    pub ranks: usize,
+    /// Simulated seconds the slowest rank spent in collectives (the
+    /// communication critical path).
+    pub sim_seconds: f64,
+    /// Total payload bytes pushed onto the simulated wire, all ranks.
+    pub bytes_sent: u64,
+    /// Sum over ranks of replicated input bytes (§IV.B memory cost).
+    pub replicated_bytes: u64,
+}
+
+/// One structured record per solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Molecule name.
+    pub molecule: String,
+    /// Which path produced the record: `"serial"`, `"parallel"`,
+    /// `"oct_mpi"`, `"oct_mpi_cilk"`, `"cluster_sim"`.
+    pub mode: String,
+    pub n_atoms: usize,
+    pub n_qpoints: usize,
+    pub eps_born: f64,
+    pub eps_epol: f64,
+    /// The solve's answer, for cross-checking reports against results.
+    pub epol_kcal: f64,
+    /// Per-stage timings and work, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Atoms octree shape.
+    pub tree_a: TreeDepthStats,
+    /// Quadrature octree shape.
+    pub tree_q: TreeDepthStats,
+    /// Scheduler counters, when a work-stealing pool ran.
+    pub steal: Option<StealReport>,
+    /// Simulated communication, when ranks were involved.
+    pub comm: Option<CommReport>,
+    /// Resident input bytes of one replica (solver data + octrees).
+    pub memory_bytes: u64,
+}
+
+impl SolveReport {
+    /// Stage lookup by name; zero-valued stage if absent.
+    pub fn stage(&self, name: &str) -> StageReport {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .cloned()
+            .unwrap_or(StageReport {
+                name: name.to_string(),
+                wall_seconds: 0.0,
+                work: WorkCounts::ZERO,
+            })
+    }
+
+    /// Sum of all stages' work — the schedule-invariant solve total.
+    pub fn total_work(&self) -> WorkCounts {
+        let mut acc = WorkCounts::ZERO;
+        for s in &self.stages {
+            acc.accumulate(s.work);
+        }
+        acc
+    }
+
+    /// Sum of all stages' wall seconds.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_seconds).sum()
+    }
+
+    /// Serialize to a self-contained JSON object (no external deps).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("molecule", &self.molecule);
+        o.str("mode", &self.mode);
+        o.num("n_atoms", self.n_atoms as f64);
+        o.num("n_qpoints", self.n_qpoints as f64);
+        o.num("eps_born", self.eps_born);
+        o.num("eps_epol", self.eps_epol);
+        o.num("epol_kcal", self.epol_kcal);
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mut so = JsonObj::new();
+                so.str("name", &s.name);
+                so.num("wall_seconds", s.wall_seconds);
+                so.num("pair_ops", s.work.pair_ops as f64);
+                so.num("far_ops", s.work.far_ops as f64);
+                so.num("nodes_visited", s.work.nodes_visited as f64);
+                so.finish()
+            })
+            .collect();
+        o.raw("stages", &format!("[{}]", stages.join(",")));
+        for (key, t) in [("tree_a", &self.tree_a), ("tree_q", &self.tree_q)] {
+            let mut to = JsonObj::new();
+            to.num("node_count", t.node_count as f64);
+            to.num("leaf_count", t.leaf_count as f64);
+            to.num("max_depth", t.max_depth as f64);
+            to.num("mean_leaf_depth", t.mean_leaf_depth);
+            o.raw(key, &to.finish());
+        }
+        match &self.steal {
+            Some(s) => {
+                let mut so = JsonObj::new();
+                so.num("workers", s.workers as f64);
+                so.num("total_executed", s.total_executed as f64);
+                so.num("total_steals", s.total_steals as f64);
+                so.num("imbalance", s.imbalance);
+                o.raw("steal", &so.finish());
+            }
+            None => o.raw("steal", "null"),
+        }
+        match &self.comm {
+            Some(c) => {
+                let mut co = JsonObj::new();
+                co.num("ranks", c.ranks as f64);
+                co.num("sim_seconds", c.sim_seconds);
+                co.num("bytes_sent", c.bytes_sent as f64);
+                co.num("replicated_bytes", c.replicated_bytes as f64);
+                o.raw("comm", &co.finish());
+            }
+            None => o.raw("comm", "null"),
+        }
+        o.num("memory_bytes", self.memory_bytes as f64);
+        o.finish()
+    }
+
+    /// The fixed CSV column set (flattened: one record per line).
+    pub fn csv_header() -> String {
+        [
+            "molecule",
+            "mode",
+            "n_atoms",
+            "n_qpoints",
+            "eps_born",
+            "eps_epol",
+            "epol_kcal",
+            "born_wall_s",
+            "born_pair_ops",
+            "born_far_ops",
+            "born_nodes_visited",
+            "epol_wall_s",
+            "epol_pair_ops",
+            "epol_far_ops",
+            "epol_nodes_visited",
+            "tree_a_leaves",
+            "tree_a_max_depth",
+            "tree_a_mean_leaf_depth",
+            "tree_q_leaves",
+            "tree_q_max_depth",
+            "tree_q_mean_leaf_depth",
+            "workers",
+            "total_executed",
+            "total_steals",
+            "imbalance",
+            "ranks",
+            "comm_sim_s",
+            "bytes_sent",
+            "replicated_bytes",
+            "memory_bytes",
+        ]
+        .join(",")
+    }
+
+    /// One CSV record matching [`SolveReport::csv_header`]. Optional
+    /// sections (steal/comm) emit empty fields when absent.
+    pub fn to_csv_row(&self) -> String {
+        let born = self.stage("born");
+        let epol = self.stage("epol");
+        let steal = self.steal.clone().unwrap_or_default();
+        let (workers, executed, steals, imbalance) = match self.steal {
+            Some(_) => (
+                steal.workers.to_string(),
+                steal.total_executed.to_string(),
+                steal.total_steals.to_string(),
+                format!("{}", steal.imbalance),
+            ),
+            None => (String::new(), String::new(), String::new(), String::new()),
+        };
+        let (ranks, comm_s, bytes, repl) = match self.comm {
+            Some(c) => (
+                c.ranks.to_string(),
+                format!("{}", c.sim_seconds),
+                c.bytes_sent.to_string(),
+                c.replicated_bytes.to_string(),
+            ),
+            None => (String::new(), String::new(), String::new(), String::new()),
+        };
+        [
+            csv_field(&self.molecule),
+            csv_field(&self.mode),
+            self.n_atoms.to_string(),
+            self.n_qpoints.to_string(),
+            format!("{}", self.eps_born),
+            format!("{}", self.eps_epol),
+            format!("{}", self.epol_kcal),
+            format!("{}", born.wall_seconds),
+            born.work.pair_ops.to_string(),
+            born.work.far_ops.to_string(),
+            born.work.nodes_visited.to_string(),
+            format!("{}", epol.wall_seconds),
+            epol.work.pair_ops.to_string(),
+            epol.work.far_ops.to_string(),
+            epol.work.nodes_visited.to_string(),
+            self.tree_a.leaf_count.to_string(),
+            self.tree_a.max_depth.to_string(),
+            format!("{}", self.tree_a.mean_leaf_depth),
+            self.tree_q.leaf_count.to_string(),
+            self.tree_q.max_depth.to_string(),
+            format!("{}", self.tree_q.mean_leaf_depth),
+            workers,
+            executed,
+            steals,
+            imbalance,
+            ranks,
+            comm_s,
+            bytes,
+            repl,
+            self.memory_bytes.to_string(),
+        ]
+        .join(",")
+    }
+
+    /// Header plus this report's record.
+    pub fn to_csv(&self) -> String {
+        format!("{}\n{}\n", Self::csv_header(), self.to_csv_row())
+    }
+}
+
+/// Quote a CSV field only when it needs quoting (comma, quote, newline).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Minimal JSON object builder: escapes strings, prints numbers with
+/// round-trip `{}` formatting (integers stay integral).
+struct JsonObj {
+    fields: Vec<String>,
+}
+
+impl JsonObj {
+    fn new() -> JsonObj {
+        JsonObj { fields: Vec::new() }
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        self.fields
+            .push(format!("{}:{}", json_string(key), json_string(value)));
+    }
+
+    fn num(&mut self, key: &str, value: f64) {
+        let printed = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push(format!("{}:{printed}", json_string(key)));
+    }
+
+    /// Insert a pre-serialized JSON value.
+    fn raw(&mut self, key: &str, value: &str) {
+        self.fields.push(format!("{}:{value}", json_string(key)));
+    }
+
+    fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_octree::OctreeConfig;
+
+    fn sample() -> SolveReport {
+        SolveReport {
+            molecule: "glob,ule".into(),
+            mode: "serial".into(),
+            n_atoms: 100,
+            n_qpoints: 2000,
+            eps_born: 0.9,
+            eps_epol: 0.9,
+            epol_kcal: -123.456,
+            stages: vec![
+                StageReport {
+                    name: "born".into(),
+                    wall_seconds: 0.25,
+                    work: WorkCounts {
+                        pair_ops: 10,
+                        far_ops: 20,
+                        nodes_visited: 30,
+                    },
+                },
+                StageReport {
+                    name: "epol".into(),
+                    wall_seconds: 0.5,
+                    work: WorkCounts {
+                        pair_ops: 1,
+                        far_ops: 2,
+                        nodes_visited: 3,
+                    },
+                },
+            ],
+            tree_a: TreeDepthStats {
+                node_count: 9,
+                leaf_count: 8,
+                max_depth: 1,
+                mean_leaf_depth: 1.0,
+            },
+            tree_q: TreeDepthStats::default(),
+            steal: Some(StealReport {
+                workers: 4,
+                total_executed: 64,
+                total_steals: 7,
+                imbalance: 1.25,
+            }),
+            comm: None,
+            memory_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let j = sample().to_json();
+        for key in [
+            "\"molecule\"",
+            "\"stages\"",
+            "\"tree_a\"",
+            "\"steal\"",
+            "\"comm\":null",
+            "\"epol_kcal\":-123.456",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Escaped comma-containing molecule name survives.
+        assert!(j.contains("glob,ule"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header = SolveReport::csv_header();
+        let row = sample().to_csv_row();
+        assert_eq!(header.split(',').count(), 30);
+        // The quoted molecule field contains a comma; strip it first.
+        let row_fields = row.replace("\"glob,ule\"", "molecule");
+        assert_eq!(row_fields.split(',').count(), 30, "{row}");
+        assert!(row.starts_with("\"glob,ule\",serial,100,2000,"));
+    }
+
+    #[test]
+    fn csv_empty_optional_sections_leave_fields_blank() {
+        let mut r = sample();
+        r.steal = None;
+        let row = r.to_csv_row();
+        assert!(row.contains(",,,,"), "steal fields should be empty: {row}");
+    }
+
+    #[test]
+    fn stage_lookup_and_totals() {
+        let r = sample();
+        assert_eq!(r.stage("born").work.pair_ops, 10);
+        assert_eq!(r.stage("missing").work, WorkCounts::ZERO);
+        let total = r.total_work();
+        assert_eq!(total.pair_ops, 11);
+        assert_eq!(total.far_ops, 22);
+        assert!((r.total_wall_seconds() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_stats_count_leaves_and_depths() {
+        let pts: Vec<polar_geom::Vec3> = (0..64)
+            .map(|i| polar_geom::Vec3::new((i % 4) as f64, ((i / 4) % 4) as f64, (i / 16) as f64))
+            .collect();
+        let tree = OctreeConfig {
+            max_leaf_size: 4,
+            max_depth: 10,
+        }
+        .build(&pts);
+        let s = TreeDepthStats::for_tree(&tree);
+        assert_eq!(s.node_count, tree.node_count());
+        assert_eq!(s.leaf_count, tree.leaves().len());
+        assert!(s.max_depth >= 1);
+        assert!(s.mean_leaf_depth > 0.0 && s.mean_leaf_depth <= s.max_depth as f64);
+        // Empty tree: all zeros.
+        let empty = OctreeConfig::default().build(&[]);
+        assert_eq!(TreeDepthStats::for_tree(&empty), TreeDepthStats::default());
+    }
+
+    #[test]
+    fn steal_report_from_stats() {
+        let stats = StealStats {
+            executed: vec![10, 30],
+            steals: vec![2, 5],
+        };
+        let r = StealReport::from(&stats);
+        assert_eq!(r.workers, 2);
+        assert_eq!(r.total_executed, 40);
+        assert_eq!(r.total_steals, 7);
+        assert!((r.imbalance - 1.5).abs() < 1e-12);
+    }
+}

@@ -10,12 +10,14 @@
 
 use crate::born::exact as born_exact;
 use crate::born::octree::{
-    approx_integrals, push_integrals_to_atoms, BornOctreeCtx, BornPartials,
+    approx_integrals, push_integrals_to_atoms, push_integrals_to_atoms_slots, BornOctreeCtx,
+    BornPartials, QDipole,
 };
 use crate::constants::tau;
 use crate::energy::exact as energy_exact;
 use crate::energy::octree::{epol_for_leaf_segment, EpolCtx};
 use crate::partition::even_segments;
+use crate::report::{SolveReport, StageReport, StealReport, TreeDepthStats};
 use crate::stats::WorkCounts;
 use polar_geom::{MathMode, Vec3};
 use polar_molecule::Molecule;
@@ -71,6 +73,8 @@ pub struct GbSolver {
     pub tree_q: Octree,
     /// Per-`T_Q`-node pseudo-q-point normal sums.
     pub q_nsum: Vec<Vec3>,
+    /// Per-`T_Q`-node dipole moments (far-field first-order correction).
+    pub q_dipole: Vec<QDipole>,
 }
 
 impl GbSolver {
@@ -107,7 +111,18 @@ impl GbSolver {
         let qpos: Vec<Vec3> = qpoints.iter().map(|q| q.pos).collect();
         let tree_q = tree_cfg.build(&qpos);
         let q_nsum = BornOctreeCtx::q_normal_sums(&tree_q, &qpoints);
-        GbSolver { name, atom_pos, atom_radii, charges, qpoints, tree_a, tree_q, q_nsum }
+        let q_dipole = BornOctreeCtx::q_dipole_moments(&tree_q, &qpoints, &q_nsum);
+        GbSolver {
+            name,
+            atom_pos,
+            atom_radii,
+            charges,
+            qpoints,
+            tree_a,
+            tree_q,
+            q_nsum,
+            q_dipole,
+        }
     }
 
     /// Number of atoms (the paper's `M`).
@@ -127,6 +142,7 @@ impl GbSolver {
             tree_q: &self.tree_q,
             qpoints: &self.qpoints,
             q_nsum: &self.q_nsum,
+            q_dipole: &self.q_dipole,
             atom_radii: &self.atom_radii,
         }
     }
@@ -142,6 +158,7 @@ impl GbSolver {
             + self.tree_a.memory_bytes()
             + self.tree_q.memory_bytes()
             + self.q_nsum.len() * 24
+            + self.q_dipole.len() * std::mem::size_of::<QDipole>()
     }
 
     // ---------------------------------------------------------------
@@ -152,8 +169,7 @@ impl GbSolver {
     pub fn born_radii(&self, p: &GbParams) -> (Vec<f64>, WorkCounts) {
         let ctx = self.born_ctx();
         let mut counts = WorkCounts::ZERO;
-        let totals =
-            approx_integrals(&ctx, p.eps_born, 0..self.tree_q.leaves().len(), &mut counts);
+        let totals = approx_integrals(&ctx, p.eps_born, 0..self.tree_q.leaves().len(), &mut counts);
         let mut born = vec![0.0; self.n_atoms()];
         push_integrals_to_atoms(&ctx, &totals, 0..self.n_atoms(), p.math, &mut born);
         (born, counts)
@@ -178,7 +194,70 @@ impl GbSolver {
     pub fn solve(&self, p: &GbParams) -> GbResult {
         let (born, work_born) = self.born_radii(p);
         let (epol_kcal, work_epol) = self.epol(&born, p);
-        GbResult { born, epol_kcal, work_born, work_epol }
+        GbResult {
+            born,
+            epol_kcal,
+            work_born,
+            work_epol,
+        }
+    }
+
+    /// Serial solve plus a structured [`SolveReport`] (per-stage wall
+    /// time and work, tree shape, memory footprint).
+    pub fn solve_with_report(&self, p: &GbParams) -> (GbResult, SolveReport) {
+        let t0 = std::time::Instant::now();
+        let (born, work_born) = self.born_radii(p);
+        let born_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let (epol_kcal, work_epol) = self.epol(&born, p);
+        let epol_s = t1.elapsed().as_secs_f64();
+        let result = GbResult {
+            born,
+            epol_kcal,
+            work_born,
+            work_epol,
+        };
+        let report = self.base_report("serial", p, &result, born_s, epol_s);
+        (result, report)
+    }
+
+    /// Shared skeleton of every report this solver emits: identity,
+    /// stage rows, tree shapes, memory. Callers attach steal/comm
+    /// sections for their execution mode.
+    fn base_report(
+        &self,
+        mode: &str,
+        p: &GbParams,
+        result: &GbResult,
+        born_s: f64,
+        epol_s: f64,
+    ) -> SolveReport {
+        SolveReport {
+            molecule: self.name.clone(),
+            mode: mode.to_string(),
+            n_atoms: self.n_atoms(),
+            n_qpoints: self.n_qpoints(),
+            eps_born: p.eps_born,
+            eps_epol: p.eps_epol,
+            epol_kcal: result.epol_kcal,
+            stages: vec![
+                StageReport {
+                    name: "born".into(),
+                    wall_seconds: born_s,
+                    work: result.work_born,
+                },
+                StageReport {
+                    name: "epol".into(),
+                    wall_seconds: epol_s,
+                    work: result.work_epol,
+                },
+            ],
+            tree_a: TreeDepthStats::for_tree(&self.tree_a),
+            tree_q: TreeDepthStats::for_tree(&self.tree_q),
+            steal: None,
+            comm: None,
+            memory_bytes: self.memory_bytes() as u64,
+        }
     }
 
     // ---------------------------------------------------------------
@@ -201,34 +280,31 @@ impl GbSolver {
             .into_par_iter()
             .map(|s| {
                 let mut counts = WorkCounts::ZERO;
-                approx_integrals(
-                    &ctx,
-                    p.eps_born,
-                    s..(s + chunk).min(n_leaves),
-                    &mut counts,
-                )
+                approx_integrals(&ctx, p.eps_born, s..(s + chunk).min(n_leaves), &mut counts)
             })
             .reduce_with(|mut a, b| {
                 a.add(&b);
                 a
             })
             .unwrap_or_else(|| BornPartials::zeros(&self.tree_a));
-        // Parallel push: atom segments produce (original index, R) pairs.
+        // Parallel push: each atom segment fills a buffer sized for the
+        // segment alone (a full n_atoms buffer per task would make the
+        // push stage O(n_atoms · tasks) in allocation and zeroing).
         let segs = even_segments(self.n_atoms(), rayon::current_num_threads().max(1) * 4);
         let mut born = vec![0.0; self.n_atoms()];
         let pieces: Vec<Vec<f64>> = segs
             .par_iter()
             .map(|r| {
-                let mut out = vec![0.0; self.n_atoms()];
-                push_integrals_to_atoms(&ctx, &totals, r.clone(), p.math, &mut out);
+                let mut out = vec![0.0; r.len()];
+                push_integrals_to_atoms_slots(&ctx, &totals, r.clone(), p.math, &mut out);
                 out
             })
             .collect();
         // Scatter: each slot range writes a disjoint set of original ids.
         for (seg, piece) in segs.iter().zip(&pieces) {
-            for slot in seg.clone() {
+            for (k, slot) in seg.clone().enumerate() {
                 let orig = self.tree_a.order()[slot] as usize;
-                born[orig] = piece[orig];
+                born[orig] = piece[k];
             }
         }
         born
@@ -247,11 +323,127 @@ impl GbSolver {
             .sum()
     }
 
-    /// Full shared-memory parallel solve (`OCT_CILK`).
+    /// Full shared-memory parallel solve (`OCT_CILK`) on the
+    /// work-stealing pool, sized to the machine.
     pub fn solve_parallel(&self, p: &GbParams) -> GbResult {
-        let born = self.born_radii_parallel(p);
-        let epol_kcal = self.epol_parallel(&born, p);
-        GbResult { born, epol_kcal, work_born: WorkCounts::ZERO, work_epol: WorkCounts::ZERO }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.solve_parallel_with_report(p, workers).0
+    }
+
+    /// Work-stealing parallel solve (`OCT_CILK` on `polar_runtime`'s
+    /// cilk-style pool) plus a [`SolveReport`] with real per-stage
+    /// [`WorkCounts`] and merged scheduler counters from all three task
+    /// batches (integrals, push, energy).
+    ///
+    /// The stage work totals are schedule-independent: they equal the
+    /// serial solve's exactly, whatever the steal pattern was.
+    pub fn solve_parallel_with_report(
+        &self,
+        p: &GbParams,
+        n_workers: usize,
+    ) -> (GbResult, SolveReport) {
+        let p = *p;
+        let n_workers = n_workers.max(1);
+        let ctx = self.born_ctx();
+        let ctx = &ctx;
+
+        // Stage 1a: APPROX-INTEGRALS over chunks of T_Q leaves.
+        let t0 = std::time::Instant::now();
+        let n_qleaves = self.tree_q.leaves().len();
+        let chunk = (n_qleaves / (n_workers * 8)).max(1);
+        let tasks: Vec<_> = (0..n_qleaves)
+            .step_by(chunk)
+            .map(|s| {
+                move || {
+                    let mut counts = WorkCounts::ZERO;
+                    let totals = approx_integrals(
+                        ctx,
+                        p.eps_born,
+                        s..(s + chunk).min(n_qleaves),
+                        &mut counts,
+                    );
+                    (totals, counts)
+                }
+            })
+            .collect();
+        let (parts, steal_integrals) = polar_runtime::run_batch(n_workers, tasks);
+        let mut work_born = WorkCounts::ZERO;
+        let mut totals = BornPartials::zeros(&self.tree_a);
+        for (part, counts) in parts {
+            totals.add(&part);
+            work_born.accumulate(counts);
+        }
+        let totals = &totals;
+
+        // Stage 1b: PUSH-INTEGRALS-TO-ATOMS over slot segments, each task
+        // writing a buffer sized for its own segment.
+        let segs = even_segments(self.n_atoms(), n_workers * 4);
+        let push_tasks: Vec<_> = segs
+            .iter()
+            .cloned()
+            .map(|r| {
+                move || {
+                    let mut out = vec![0.0; r.len()];
+                    push_integrals_to_atoms_slots(ctx, totals, r.clone(), p.math, &mut out);
+                    out
+                }
+            })
+            .collect();
+        let (pieces, steal_push) = polar_runtime::run_batch(n_workers, push_tasks);
+        let mut born = vec![0.0; self.n_atoms()];
+        for (seg, piece) in segs.iter().zip(&pieces) {
+            for (k, slot) in seg.clone().enumerate() {
+                born[self.tree_a.order()[slot] as usize] = piece[k];
+            }
+        }
+        let born_s = t0.elapsed().as_secs_f64();
+
+        // Stage 2: APPROX-EPOL over segments of T_A leaves.
+        let t1 = std::time::Instant::now();
+        let ectx = EpolCtx::new(&self.tree_a, &self.charges, &born, p.eps_epol);
+        let ectx = &ectx;
+        let esegs = even_segments(self.tree_a.leaves().len(), n_workers * 8);
+        let etasks: Vec<_> = esegs
+            .into_iter()
+            .map(|r| {
+                move || {
+                    let mut counts = WorkCounts::ZERO;
+                    let e = epol_for_leaf_segment(
+                        ectx,
+                        p.eps_epol,
+                        p.math,
+                        tau(p.eps_solvent),
+                        r,
+                        &mut counts,
+                    );
+                    (e, counts)
+                }
+            })
+            .collect();
+        let (eparts, steal_epol) = polar_runtime::run_batch(n_workers, etasks);
+        let mut work_epol = WorkCounts::ZERO;
+        let mut epol_kcal = 0.0;
+        for (e, counts) in eparts {
+            epol_kcal += e;
+            work_epol.accumulate(counts);
+        }
+        let epol_s = t1.elapsed().as_secs_f64();
+
+        let mut steal = steal_integrals;
+        steal.merge(&steal_push);
+        steal.merge(&steal_epol);
+
+        let result = GbResult {
+            born,
+            epol_kcal,
+            work_born,
+            work_epol,
+        };
+        let mut report = self.base_report("parallel", &p, &result, born_s, epol_s);
+        report.steal = Some(StealReport::from(&steal));
+        (result, report)
     }
 
     // ---------------------------------------------------------------
@@ -265,7 +457,13 @@ impl GbSolver {
 
     /// Naive O(M²) E_pol (Eq. 2).
     pub fn epol_naive(&self, born: &[f64], p: &GbParams) -> f64 {
-        energy_exact::epol_naive(&self.atom_pos, &self.charges, born, tau(p.eps_solvent), p.math)
+        energy_exact::epol_naive(
+            &self.atom_pos,
+            &self.charges,
+            born,
+            tau(p.eps_solvent),
+            p.math,
+        )
     }
 
     // ---------------------------------------------------------------
@@ -337,7 +535,11 @@ mod tests {
         let e_naive = s.epol_naive(&born_naive, &p);
         let rel = ((r.epol_kcal - e_naive) / e_naive).abs();
         // Paper: < 1% error w.r.t. naive at ε = 0.9/0.9.
-        assert!(rel < 0.01, "octree {} vs naive {e_naive} (rel {rel})", r.epol_kcal);
+        assert!(
+            rel < 0.01,
+            "octree {} vs naive {e_naive} (rel {rel})",
+            r.epol_kcal
+        );
     }
 
     #[test]
@@ -369,6 +571,32 @@ mod tests {
         let per_leaf_e: WorkCounts = s.epol_work_per_leaf(&born, &p).into_iter().sum();
         assert_eq!(per_leaf_e.pair_ops, full_epol.pair_ops);
         assert_eq!(per_leaf_e.far_ops, full_epol.far_ops);
+        // The work-stealing parallel path reports the same totals — its
+        // chunking must not change what work gets counted.
+        let (par_result, par_report) = s.solve_parallel_with_report(&p, 3);
+        assert_eq!(par_result.work_born, full_born);
+        assert_eq!(par_result.work_epol, full_epol);
+        assert_eq!(par_report.total_work(), full_born + full_epol);
+        let steal = par_report
+            .steal
+            .expect("parallel report carries steal stats");
+        assert!(steal.total_executed > 0);
+    }
+
+    #[test]
+    fn serial_report_is_populated() {
+        let s = solver(200, 8);
+        let (r, rep) = s.solve_with_report(&GbParams::default());
+        assert_eq!(rep.mode, "serial");
+        assert_eq!(rep.epol_kcal, r.epol_kcal);
+        assert_eq!(rep.n_atoms, 200);
+        assert!(rep.total_wall_seconds() > 0.0);
+        assert!(rep.total_work().pair_ops > 0);
+        assert!(rep.total_work().far_ops > 0);
+        assert!(rep.memory_bytes > 0);
+        assert_eq!(rep.tree_q.leaf_count, s.tree_q.leaves().len());
+        assert_eq!(rep.tree_a.leaf_count, s.tree_a.leaves().len());
+        assert!(rep.steal.is_none() && rep.comm.is_none());
     }
 
     #[test]
@@ -404,12 +632,15 @@ mod tests {
                 ..*q
             })
             .collect();
+        let q_nsum = BornOctreeCtx::q_normal_sums(&tree_q, &qpoints);
+        let q_dipole = BornOctreeCtx::q_dipole_moments(&tree_q, &qpoints, &q_nsum);
         let s2 = GbSolver {
             name: "moved".into(),
             atom_pos: s1.atom_pos.iter().map(|&p| xf.apply_point(p)).collect(),
             atom_radii: s1.atom_radii.clone(),
             charges: s1.charges.clone(),
-            q_nsum: BornOctreeCtx::q_normal_sums(&tree_q, &qpoints),
+            q_nsum,
+            q_dipole,
             qpoints,
             tree_a,
             tree_q,

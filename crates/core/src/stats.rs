@@ -18,7 +18,11 @@ pub struct WorkCounts {
 }
 
 impl WorkCounts {
-    pub const ZERO: WorkCounts = WorkCounts { pair_ops: 0, far_ops: 0, nodes_visited: 0 };
+    pub const ZERO: WorkCounts = WorkCounts {
+        pair_ops: 0,
+        far_ops: 0,
+        nodes_visited: 0,
+    };
 
     /// Total weighted "flop-like" units: near pairs are the unit; a far
     /// approximation is roughly one pair's cost; a node visit ~ a quarter.
@@ -53,17 +57,36 @@ mod tests {
 
     #[test]
     fn addition_accumulates_fields() {
-        let a = WorkCounts { pair_ops: 1, far_ops: 2, nodes_visited: 4 };
-        let b = WorkCounts { pair_ops: 10, far_ops: 20, nodes_visited: 40 };
+        let a = WorkCounts {
+            pair_ops: 1,
+            far_ops: 2,
+            nodes_visited: 4,
+        };
+        let b = WorkCounts {
+            pair_ops: 10,
+            far_ops: 20,
+            nodes_visited: 40,
+        };
         let c = a + b;
-        assert_eq!(c, WorkCounts { pair_ops: 11, far_ops: 22, nodes_visited: 44 });
+        assert_eq!(
+            c,
+            WorkCounts {
+                pair_ops: 11,
+                far_ops: 22,
+                nodes_visited: 44
+            }
+        );
         let s: WorkCounts = [a, b].into_iter().sum();
         assert_eq!(s, c);
     }
 
     #[test]
     fn units_weight_components() {
-        let w = WorkCounts { pair_ops: 100, far_ops: 10, nodes_visited: 8 };
+        let w = WorkCounts {
+            pair_ops: 100,
+            far_ops: 10,
+            nodes_visited: 8,
+        };
         assert_eq!(w.units(), 100 + 10 + 2);
     }
 }

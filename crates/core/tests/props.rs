@@ -137,6 +137,28 @@ proptest! {
     }
 
     #[test]
+    fn report_stage_work_equals_per_leaf_sums(n in 60usize..200, seed in 0u64..20) {
+        // The SolveReport's stage totals must equal the sum of the
+        // per-leaf work profiles — the same decomposition the cluster
+        // simulator replays — and must be schedule-independent: the
+        // parallel report agrees exactly with the serial one.
+        let s = solver_for(n, seed);
+        let p = GbParams::default();
+        let (result, report) = s.solve_with_report(&p);
+        let born_leaf: WorkCounts = s.born_work_per_qleaf(&p).into_iter().sum();
+        prop_assert_eq!(report.stage("born").work.pair_ops, born_leaf.pair_ops);
+        prop_assert_eq!(report.stage("born").work.far_ops, born_leaf.far_ops);
+        let epol_leaf: WorkCounts =
+            s.epol_work_per_leaf(&result.born, &p).into_iter().sum();
+        prop_assert_eq!(report.stage("epol").work.pair_ops, epol_leaf.pair_ops);
+        prop_assert_eq!(report.stage("epol").work.far_ops, epol_leaf.far_ops);
+        let (_, par) = s.solve_parallel_with_report(&p, 4);
+        prop_assert_eq!(par.stage("born").work, report.stage("born").work);
+        prop_assert_eq!(par.stage("epol").work, report.stage("epol").work);
+        prop_assert_eq!(par.total_work(), report.total_work());
+    }
+
+    #[test]
     fn push_covers_every_atom_exactly_once(n in 60usize..200, seed in 0u64..20) {
         let s = solver_for(n, seed);
         let ctx = s.born_ctx();

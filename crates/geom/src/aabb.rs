@@ -18,8 +18,16 @@ pub struct Aabb {
 impl Aabb {
     /// The empty box (identity element for union).
     pub const EMPTY: Aabb = Aabb {
-        min: Vec3 { x: f64::INFINITY, y: f64::INFINITY, z: f64::INFINITY },
-        max: Vec3 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY, z: f64::NEG_INFINITY },
+        min: Vec3 {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+            z: f64::INFINITY,
+        },
+        max: Vec3 {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+            z: f64::NEG_INFINITY,
+        },
     };
 
     #[inline]

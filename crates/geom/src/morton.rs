@@ -51,7 +51,11 @@ pub fn encode(ix: u64, iy: u64, iz: u64) -> u64 {
 /// Recover the three grid coordinates from a Morton code.
 #[inline]
 pub fn decode(code: u64) -> (u64, u64, u64) {
-    (contract_3(code), contract_3(code >> 1), contract_3(code >> 2))
+    (
+        contract_3(code),
+        contract_3(code >> 1),
+        contract_3(code >> 2),
+    )
 }
 
 /// Quantize a point inside `bounds` onto the 2²¹ grid and Morton-encode it.
@@ -97,7 +101,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let cases = [(0, 0, 0), (1, 2, 3), (MAX_COORD, 0, MAX_COORD), (12345, 67890, 11111)];
+        let cases = [
+            (0, 0, 0),
+            (1, 2, 3),
+            (MAX_COORD, 0, MAX_COORD),
+            (12345, 67890, 11111),
+        ];
         for (x, y, z) in cases {
             assert_eq!(decode(encode(x, y, z)), (x, y, z));
         }
@@ -135,7 +144,10 @@ mod tests {
         // And a second-level probe inside that octant.
         let q = Vec3::new(7.5, 1.0, 1.0); // (+x) again within child box
         let child = b.octant(b.octant_index(q));
-        assert_eq!(octant_at_level(encode_point(q, &b), 1), child.octant_index(q));
+        assert_eq!(
+            octant_at_level(encode_point(q, &b), 1),
+            child.octant_index(q)
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct BoundingSphere {
 
 impl BoundingSphere {
     /// A degenerate sphere at the origin (radius 0).
-    pub const ZERO: BoundingSphere = BoundingSphere { center: Vec3::ZERO, radius: 0.0 };
+    pub const ZERO: BoundingSphere = BoundingSphere {
+        center: Vec3::ZERO,
+        radius: 0.0,
+    };
 
     /// Ball centered at the geometric centroid of `pts`, with radius equal to
     /// the max distance from the centroid to any point.
@@ -36,7 +39,10 @@ impl BoundingSphere {
             .iter()
             .map(|p| p.dist_sq(centroid))
             .fold(0.0_f64, f64::max);
-        BoundingSphere { center: centroid, radius: r_sq.sqrt() }
+        BoundingSphere {
+            center: centroid,
+            radius: r_sq.sqrt(),
+        }
     }
 
     /// Ritter's approximate minimum enclosing ball (two passes + growth).
@@ -68,7 +74,10 @@ impl BoundingSphere {
         }
         // Guard against floating-point shortfall.
         let max_d = pts.iter().map(|p| p.dist(center)).fold(0.0_f64, f64::max);
-        BoundingSphere { center, radius: radius.max(max_d) }
+        BoundingSphere {
+            center,
+            radius: radius.max(max_d),
+        }
     }
 
     /// Does this ball contain `p` (with a small tolerance)?
@@ -117,7 +126,10 @@ mod tests {
     #[test]
     fn both_constructions_enclose_all_points() {
         let pts = cube_corners();
-        for b in [BoundingSphere::centroid_ball(&pts), BoundingSphere::ritter(&pts)] {
+        for b in [
+            BoundingSphere::centroid_ball(&pts),
+            BoundingSphere::ritter(&pts),
+        ] {
             for &p in &pts {
                 assert!(b.contains(p, 1e-12), "{b:?} must contain {p:?}");
             }
@@ -130,7 +142,11 @@ mod tests {
         let b = BoundingSphere::ritter(&cube_corners());
         let opt = 3f64.sqrt() / 2.0;
         assert!(b.radius >= opt - 1e-12);
-        assert!(b.radius <= opt * 1.25, "Ritter radius {} too loose", b.radius);
+        assert!(
+            b.radius <= opt * 1.25,
+            "Ritter radius {} too loose",
+            b.radius
+        );
     }
 
     #[test]
@@ -143,10 +159,19 @@ mod tests {
 
     #[test]
     fn gap_measures_surface_separation() {
-        let a = BoundingSphere { center: Vec3::ZERO, radius: 1.0 };
-        let b = BoundingSphere { center: Vec3::new(5.0, 0.0, 0.0), radius: 1.0 };
+        let a = BoundingSphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
+        let b = BoundingSphere {
+            center: Vec3::new(5.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         assert!((a.gap(&b) - 3.0).abs() < 1e-12);
-        let c = BoundingSphere { center: Vec3::new(1.0, 0.0, 0.0), radius: 1.0 };
+        let c = BoundingSphere {
+            center: Vec3::new(1.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         assert!(a.gap(&c) < 0.0); // overlapping
     }
 }

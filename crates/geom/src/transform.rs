@@ -47,7 +47,11 @@ impl Rotation {
     /// Apply to a vector.
     #[inline]
     pub fn apply(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Transpose (= inverse, for a proper rotation).
@@ -87,9 +91,21 @@ impl std::ops::Mul for Rotation {
         let ot = o.transpose();
         Rotation {
             rows: [
-                Vec3::new(self.rows[0].dot(ot.rows[0]), self.rows[0].dot(ot.rows[1]), self.rows[0].dot(ot.rows[2])),
-                Vec3::new(self.rows[1].dot(ot.rows[0]), self.rows[1].dot(ot.rows[1]), self.rows[1].dot(ot.rows[2])),
-                Vec3::new(self.rows[2].dot(ot.rows[0]), self.rows[2].dot(ot.rows[1]), self.rows[2].dot(ot.rows[2])),
+                Vec3::new(
+                    self.rows[0].dot(ot.rows[0]),
+                    self.rows[0].dot(ot.rows[1]),
+                    self.rows[0].dot(ot.rows[2]),
+                ),
+                Vec3::new(
+                    self.rows[1].dot(ot.rows[0]),
+                    self.rows[1].dot(ot.rows[1]),
+                    self.rows[1].dot(ot.rows[2]),
+                ),
+                Vec3::new(
+                    self.rows[2].dot(ot.rows[0]),
+                    self.rows[2].dot(ot.rows[1]),
+                    self.rows[2].dot(ot.rows[2]),
+                ),
             ],
         }
     }
@@ -109,11 +125,17 @@ impl RigidTransform {
     };
 
     pub fn translation(t: Vec3) -> Self {
-        RigidTransform { rotation: Rotation::IDENTITY, translation: t }
+        RigidTransform {
+            rotation: Rotation::IDENTITY,
+            translation: t,
+        }
     }
 
     pub fn rotation(r: Rotation) -> Self {
-        RigidTransform { rotation: r, translation: Vec3::ZERO }
+        RigidTransform {
+            rotation: r,
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Rotate by `r` *about the pivot point* `pivot`, i.e. the pivot is a
@@ -121,7 +143,10 @@ impl RigidTransform {
     /// own centroid, not the lab origin.
     pub fn rotation_about(r: Rotation, pivot: Vec3) -> Self {
         // p ↦ R(p − pivot) + pivot = R·p + (pivot − R·pivot)
-        RigidTransform { rotation: r, translation: pivot - r.apply(pivot) }
+        RigidTransform {
+            rotation: r,
+            translation: pivot - r.apply(pivot),
+        }
     }
 
     /// Apply to a point (rotation then translation).
@@ -147,7 +172,10 @@ impl RigidTransform {
     /// Inverse transform.
     pub fn inverse(&self) -> RigidTransform {
         let rt = self.rotation.transpose();
-        RigidTransform { rotation: rt, translation: -rt.apply(self.translation) }
+        RigidTransform {
+            rotation: rt,
+            translation: -rt.apply(self.translation),
+        }
     }
 }
 

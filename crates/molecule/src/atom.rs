@@ -87,12 +87,20 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(pos: Vec3, radius: f64, charge: f64) -> Atom {
-        Atom { pos, radius, charge }
+        Atom {
+            pos,
+            radius,
+            charge,
+        }
     }
 
     /// Atom of the given element at `pos` with charge `q`.
     pub fn of_element(element: Element, pos: Vec3, charge: f64) -> Atom {
-        Atom { pos, radius: element.vdw_radius(), charge }
+        Atom {
+            pos,
+            radius: element.vdw_radius(),
+            charge,
+        }
     }
 }
 
@@ -104,7 +112,14 @@ mod tests {
     fn radii_are_positive_and_ordered_sensibly() {
         // H is the smallest; S and P the largest of the table.
         let h = Element::H.vdw_radius();
-        for e in [Element::C, Element::N, Element::O, Element::S, Element::P, Element::Other] {
+        for e in [
+            Element::C,
+            Element::N,
+            Element::O,
+            Element::S,
+            Element::P,
+            Element::Other,
+        ] {
             assert!(e.vdw_radius() > h);
             assert!(e.vdw_radius() > 0.0);
         }
@@ -123,7 +138,14 @@ mod tests {
 
     #[test]
     fn symbol_roundtrip() {
-        for e in [Element::H, Element::C, Element::N, Element::O, Element::S, Element::P] {
+        for e in [
+            Element::H,
+            Element::C,
+            Element::N,
+            Element::O,
+            Element::S,
+            Element::P,
+        ] {
             assert_eq!(Element::from_symbol(e.symbol()), e);
         }
     }

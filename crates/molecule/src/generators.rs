@@ -229,7 +229,11 @@ pub fn zdock_sizes(count: usize) -> Vec<usize> {
     let (lo, hi) = (400.0_f64, 16_301.0_f64);
     (0..count)
         .map(|i| {
-            let t = if count > 1 { i as f64 / (count - 1) as f64 } else { 0.0 };
+            let t = if count > 1 {
+                i as f64 / (count - 1) as f64
+            } else {
+                0.0
+            };
             (lo * (hi / lo).powf(t)).round() as usize
         })
         .collect()
@@ -243,7 +247,13 @@ pub fn zdock_like_suite(count: usize, seed: u64) -> Vec<Molecule> {
     zdock_sizes(count)
         .into_iter()
         .enumerate()
-        .map(|(i, n)| globular(format!("zd{:03}_n{}", i + 1, n), n, seed.wrapping_add(i as u64)))
+        .map(|(i, n)| {
+            globular(
+                format!("zd{:03}_n{}", i + 1, n),
+                n,
+                seed.wrapping_add(i as u64),
+            )
+        })
         .collect()
 }
 
@@ -271,7 +281,10 @@ mod tests {
             .iter()
             .map(|a| a.pos.dist(c))
             .fold(0.0_f64, f64::max);
-        assert!(max_r < 1.5 * r_expect, "max_r {max_r} vs expected {r_expect}");
+        assert!(
+            max_r < 1.5 * r_expect,
+            "max_r {max_r} vs expected {r_expect}"
+        );
         // Density check: n / volume of bounding sphere within 3x of target.
         let vol = 4.0 / 3.0 * std::f64::consts::PI * max_r.powi(3);
         let density = 2000.0 / vol;

@@ -13,7 +13,10 @@ pub struct Molecule {
 
 impl Molecule {
     pub fn new(name: impl Into<String>, atoms: Vec<Atom>) -> Molecule {
-        Molecule { name: name.into(), atoms }
+        Molecule {
+            name: name.into(),
+            atoms,
+        }
     }
 
     /// Number of atoms (the paper's `M`).
@@ -78,7 +81,10 @@ impl Molecule {
             atoms: self
                 .atoms
                 .iter()
-                .map(|a| Atom { pos: xf.apply_point(a.pos), ..*a })
+                .map(|a| Atom {
+                    pos: xf.apply_point(a.pos),
+                    ..*a
+                })
                 .collect(),
         }
     }
@@ -87,7 +93,10 @@ impl Molecule {
     pub fn merged(&self, other: &Molecule, name: impl Into<String>) -> Molecule {
         let mut atoms = self.atoms.clone();
         atoms.extend_from_slice(&other.atoms);
-        Molecule { name: name.into(), atoms }
+        Molecule {
+            name: name.into(),
+            atoms,
+        }
     }
 
     /// Generate surface quadrature points (the paper's set `Q`).

@@ -80,7 +80,9 @@ fn scaled(full: usize, permille: u32) -> usize {
 /// The first `count` molecules of the 84-protein ZDock-like suite
 /// (use `count < 84` for smoke runs; sizes are a prefix of the full sweep).
 pub fn zdock_suite(count: usize) -> Vec<Molecule> {
-    (0..count.min(84)).map(|i| BenchmarkId::ZDock(i).build()).collect()
+    (0..count.min(84))
+        .map(|i| BenchmarkId::ZDock(i).build())
+        .collect()
 }
 
 #[cfg(test)]
@@ -108,8 +110,20 @@ mod tests {
 
     #[test]
     fn full_scale_counts_match_paper() {
-        assert_eq!(BenchmarkId::Cmv { scale_permille: 1000 }.atom_count(), CMV_ATOMS);
-        assert_eq!(BenchmarkId::Btv { scale_permille: 1000 }.atom_count(), BTV_ATOMS);
+        assert_eq!(
+            BenchmarkId::Cmv {
+                scale_permille: 1000
+            }
+            .atom_count(),
+            CMV_ATOMS
+        );
+        assert_eq!(
+            BenchmarkId::Btv {
+                scale_permille: 1000
+            }
+            .atom_count(),
+            BTV_ATOMS
+        );
     }
 
     #[test]

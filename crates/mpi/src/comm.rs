@@ -276,7 +276,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let out = Universe::run(4, net(), |c| {
-            let mut v = if c.rank() == 0 { vec![42.0, 7.0] } else { Vec::new() };
+            let mut v = if c.rank() == 0 {
+                vec![42.0, 7.0]
+            } else {
+                Vec::new()
+            };
             c.broadcast(&mut v);
             v
         });

@@ -82,10 +82,10 @@ pub fn run_data_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DataD
         let qpos: Vec<_> = my_qpoints.iter().map(|q| q.pos).collect();
         let local_tq = OctreeConfig::default().build(&qpos);
         let local_nsum = BornOctreeCtx::q_normal_sums(&local_tq, &my_qpoints);
+        let local_dipole = BornOctreeCtx::q_dipole_moments(&local_tq, &my_qpoints, &local_nsum);
         // Resident bytes: replicated atom-side data + owned q share.
         let atom_side = n_atoms * (24 + 8 + 8) + solver.tree_a.memory_bytes();
-        let q_side = my_qpoints.len() * std::mem::size_of::<QuadPoint>()
-            + local_tq.memory_bytes();
+        let q_side = my_qpoints.len() * std::mem::size_of::<QuadPoint>() + local_tq.memory_bytes();
         comm.register_replicated_memory(atom_side + q_side);
 
         // --- Step 2: integrals from this rank's own quadrature data. ---
@@ -94,6 +94,7 @@ pub fn run_data_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DataD
             tree_q: &local_tq,
             qpoints: &my_qpoints,
             q_nsum: &local_nsum,
+            q_dipole: &local_dipole,
             atom_radii: &solver.atom_radii,
         };
         let partials = polar_gb::born::octree::approx_integrals(
@@ -109,7 +110,10 @@ pub fn run_data_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DataD
         flat.extend_from_slice(&partials.s_atom);
         comm.allreduce_sum(&mut flat);
         let s_atom = flat.split_off(n_nodes);
-        let totals = BornPartials { s_node: flat, s_atom };
+        let totals = BornPartials {
+            s_node: flat,
+            s_atom,
+        };
         let full_ctx = solver.born_ctx();
         let my_atoms = atom_segs[rank].clone();
         let mut born_mine = vec![0.0; n_atoms];
@@ -134,7 +138,12 @@ pub fn run_data_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DataD
             &mut work,
         );
         let epol = comm.allreduce_scalar(e_part);
-        RankOut { epol, born, bytes: comm.replicated_bytes(), work }
+        RankOut {
+            epol,
+            born,
+            bytes: comm.replicated_bytes(),
+            work,
+        }
     });
 
     DataDistributedRun {
@@ -168,7 +177,11 @@ mod tests {
             let rel = ((run.epol_kcal - serial) / serial).abs();
             // Different q-partitions regroup the far field; the ε-class
             // error bound still applies.
-            assert!(rel < 5e-3, "P={ranks}: {} vs {serial} (rel {rel})", run.epol_kcal);
+            assert!(
+                rel < 5e-3,
+                "P={ranks}: {} vs {serial} (rel {rel})",
+                run.epol_kcal
+            );
         }
     }
 

@@ -22,7 +22,9 @@ use polar_gb::born::octree::{approx_integrals, push_integrals_to_atoms, BornPart
 use polar_gb::constants::tau;
 use polar_gb::energy::octree::{epol_for_leaf_segment, EpolCtx};
 use polar_gb::partition::even_segments;
+use polar_gb::report::{CommReport, SolveReport, StageReport, StealReport, TreeDepthStats};
 use polar_gb::{GbParams, GbSolver, WorkCounts};
+use polar_runtime::StealStats;
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,8 +80,78 @@ pub struct DistributedRun {
     pub per_rank_bytes_sent: Vec<u64>,
     /// Computation work each rank performed (Born + energy stages).
     pub per_rank_work: Vec<WorkCounts>,
+    /// Born-stage work per rank (Steps 2–4).
+    pub per_rank_work_born: Vec<WorkCounts>,
+    /// Energy-stage work per rank (Step 6).
+    pub per_rank_work_epol: Vec<WorkCounts>,
     /// Sum over ranks of replicated input bytes — the §IV.B memory cost.
     pub total_replicated_bytes: u64,
+    /// Born-stage wall seconds: slowest rank (the stage's critical path).
+    pub born_seconds: f64,
+    /// Energy-stage wall seconds: slowest rank.
+    pub epol_seconds: f64,
+    /// Work-stealing counters concatenated across all per-rank pools
+    /// (`None` for pure `OCT_MPI`, which runs no pool).
+    pub steal: Option<StealStats>,
+}
+
+impl DistributedRun {
+    /// Aggregate stage work over ranks — schedule- and `P`-independent:
+    /// equals the serial solve's totals for the same molecule and ε.
+    pub fn total_work_born(&self) -> WorkCounts {
+        self.per_rank_work_born.iter().copied().sum()
+    }
+
+    /// Aggregate energy-stage work over ranks.
+    pub fn total_work_epol(&self) -> WorkCounts {
+        self.per_rank_work_epol.iter().copied().sum()
+    }
+
+    /// Build the structured [`SolveReport`] for this run: stage rows with
+    /// rank-aggregated work, the simulated-communication section, and the
+    /// hybrid pools' steal counters when present.
+    pub fn report(&self, solver: &GbSolver, cfg: &DistributedConfig) -> SolveReport {
+        let mode = if cfg.threads_per_rank == 1 {
+            "oct_mpi"
+        } else {
+            "oct_mpi_cilk"
+        };
+        SolveReport {
+            molecule: solver.name.clone(),
+            mode: mode.to_string(),
+            n_atoms: solver.n_atoms(),
+            n_qpoints: solver.n_qpoints(),
+            eps_born: cfg.params.eps_born,
+            eps_epol: cfg.params.eps_epol,
+            epol_kcal: self.epol_kcal,
+            stages: vec![
+                StageReport {
+                    name: "born".into(),
+                    wall_seconds: self.born_seconds,
+                    work: self.total_work_born(),
+                },
+                StageReport {
+                    name: "epol".into(),
+                    wall_seconds: self.epol_seconds,
+                    work: self.total_work_epol(),
+                },
+            ],
+            tree_a: TreeDepthStats::for_tree(&solver.tree_a),
+            tree_q: TreeDepthStats::for_tree(&solver.tree_q),
+            steal: self.steal.as_ref().map(StealReport::from),
+            comm: Some(CommReport {
+                ranks: cfg.ranks,
+                sim_seconds: self
+                    .per_rank_comm_seconds
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max),
+                bytes_sent: self.per_rank_bytes_sent.iter().sum(),
+                replicated_bytes: self.total_replicated_bytes,
+            }),
+            memory_bytes: solver.memory_bytes() as u64,
+        }
+    }
 }
 
 /// Execute the Fig. 4 algorithm on an in-process rank universe.
@@ -98,8 +170,12 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         born: Vec<f64>,
         comm_s: f64,
         bytes: u64,
-        work: WorkCounts,
+        work_born: WorkCounts,
+        work_epol: WorkCounts,
         replicated: u64,
+        born_s: f64,
+        epol_s: f64,
+        steal: Option<StealStats>,
     }
 
     let outs = Universe::run(cfg.ranks, cfg.network, |comm| {
@@ -108,19 +184,20 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         comm.register_replicated_memory(solver.memory_bytes());
         let ctx = solver.born_ctx();
         let mut work = WorkCounts::ZERO;
+        let mut steal: Option<StealStats> = None;
 
         // Step 2: APPROX-INTEGRALS over this rank's q-leaf segment.
+        let t_born = std::time::Instant::now();
         let my_qleaves = qleaf_segs[rank].clone();
         let mut partials = if cfg.threads_per_rank == 1 {
             approx_integrals(&ctx, p.eps_born, my_qleaves, &mut work)
         } else {
             // Intra-rank dynamic balancing: split the segment into many
             // chunks, run them on the work-stealing pool, merge.
-            let chunks =
-                even_segments(my_qleaves.len(), cfg.threads_per_rank * 4)
-                    .into_iter()
-                    .map(|r| my_qleaves.start + r.start..my_qleaves.start + r.end)
-                    .collect::<Vec<_>>();
+            let chunks = even_segments(my_qleaves.len(), cfg.threads_per_rank * 4)
+                .into_iter()
+                .map(|r| my_qleaves.start + r.start..my_qleaves.start + r.end)
+                .collect::<Vec<_>>();
             let ctx_ref = &ctx;
             let tasks: Vec<_> = chunks
                 .into_iter()
@@ -132,7 +209,8 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
                     }
                 })
                 .collect();
-            let (results, _stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+            let (results, stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+            steal.get_or_insert_with(StealStats::default).merge(&stats);
             let mut acc = BornPartials::zeros(&solver.tree_a);
             for (part, w) in results {
                 acc.add(&part);
@@ -147,7 +225,10 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         flat.extend_from_slice(&partials.s_atom);
         comm.allreduce_sum(&mut flat);
         let s_atom = flat.split_off(n_nodes);
-        let totals = BornPartials { s_node: flat, s_atom };
+        let totals = BornPartials {
+            s_node: flat,
+            s_atom,
+        };
 
         // Step 4: PUSH-INTEGRALS-TO-ATOMS for this rank's atom segment.
         let my_atoms = atom_segs[rank].clone();
@@ -166,13 +247,17 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         for (slot, v) in all_slot_vals.into_iter().enumerate() {
             born[solver.tree_a.order()[slot] as usize] = v;
         }
+        let work_born = work;
+        let born_s = t_born.elapsed().as_secs_f64();
 
         // Step 6: energy over this rank's T_A leaf segment.
+        let t_epol = std::time::Instant::now();
         let ectx = EpolCtx::new(&solver.tree_a, &solver.charges, &born, p.eps_epol);
         let t = tau(p.eps_solvent);
         let my_aleaves = aleaf_segs[rank].clone();
+        let mut work_epol = WorkCounts::ZERO;
         let epol_part = if cfg.threads_per_rank == 1 {
-            epol_for_leaf_segment(&ectx, p.eps_epol, p.math, t, my_aleaves, &mut work)
+            epol_for_leaf_segment(&ectx, p.eps_epol, p.math, t, my_aleaves, &mut work_epol)
         } else {
             let chunks = even_segments(my_aleaves.len(), cfg.threads_per_rank * 4)
                 .into_iter()
@@ -189,14 +274,16 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
                     }
                 })
                 .collect();
-            let (results, _stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+            let (results, stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+            steal.get_or_insert_with(StealStats::default).merge(&stats);
             let mut e = 0.0;
             for (part, w) in results {
                 e += part;
-                work.accumulate(w);
+                work_epol.accumulate(w);
             }
             e
         };
+        let epol_s = t_epol.elapsed().as_secs_f64();
 
         // Step 7: accumulate the final energy.
         let epol = comm.allreduce_scalar(epol_part);
@@ -206,8 +293,12 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
             born,
             comm_s: comm.sim_comm_seconds(),
             bytes: comm.bytes_sent(),
-            work,
+            work_born,
+            work_epol,
             replicated: comm.replicated_bytes(),
+            born_s,
+            epol_s,
+            steal,
         }
     });
 
@@ -215,13 +306,29 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
     for o in &outs {
         debug_assert!((o.epol - epol_kcal).abs() <= 1e-12 * epol_kcal.abs().max(1.0));
     }
+    // Concatenate the per-rank pools' steal counters (disjoint workers).
+    let steal = outs
+        .iter()
+        .filter_map(|o| o.steal.as_ref())
+        .fold(None::<StealStats>, |acc, s| match acc {
+            Some(mut acc) => {
+                acc.concat(s);
+                Some(acc)
+            }
+            None => Some(s.clone()),
+        });
     DistributedRun {
         epol_kcal,
         born: outs[0].born.clone(),
         per_rank_comm_seconds: outs.iter().map(|o| o.comm_s).collect(),
         per_rank_bytes_sent: outs.iter().map(|o| o.bytes).collect(),
-        per_rank_work: outs.iter().map(|o| o.work).collect(),
+        per_rank_work: outs.iter().map(|o| o.work_born + o.work_epol).collect(),
+        per_rank_work_born: outs.iter().map(|o| o.work_born).collect(),
+        per_rank_work_epol: outs.iter().map(|o| o.work_epol).collect(),
         total_replicated_bytes: outs.iter().map(|o| o.replicated).sum(),
+        born_seconds: outs.iter().map(|o| o.born_s).fold(0.0, f64::max),
+        epol_seconds: outs.iter().map(|o| o.epol_s).fold(0.0, f64::max),
+        steal,
     }
 }
 
@@ -245,7 +352,12 @@ mod tests {
         for (ranks, threads) in [(1, 1), (2, 1), (4, 1), (2, 3), (3, 2)] {
             let run = run_distributed(
                 &s,
-                &DistributedConfig { ranks, threads_per_rank: threads, params: p, network: NetworkModel::lonestar4_infiniband() },
+                &DistributedConfig {
+                    ranks,
+                    threads_per_rank: threads,
+                    params: p,
+                    network: NetworkModel::lonestar4_infiniband(),
+                },
             );
             assert!(
                 (run.epol_kcal - serial.epol_kcal).abs() <= 1e-9 * serial.epol_kcal.abs(),
@@ -282,7 +394,10 @@ mod tests {
         let p = GbParams::default();
         let pure = run_distributed(&s, &DistributedConfig::oct_mpi(6, p));
         let hybrid = run_distributed(&s, &DistributedConfig::oct_mpi_cilk(2, 3, p));
-        assert_eq!(pure.total_replicated_bytes, 3 * hybrid.total_replicated_bytes);
+        assert_eq!(
+            pure.total_replicated_bytes,
+            3 * hybrid.total_replicated_bytes
+        );
     }
 
     #[test]
@@ -308,6 +423,58 @@ mod tests {
             // No rank is idle; none does everything.
             assert!(w.pair_ops > 0);
             assert!(w.pair_ops < total);
+        }
+    }
+
+    #[test]
+    fn reports_agree_across_serial_parallel_and_mpi() {
+        // The acceptance invariant of the observability layer: the same
+        // molecule at the same ε reports *identical* stage WorkCounts
+        // from the serial solver, the work-stealing parallel solver, and
+        // every distributed configuration.
+        let s = solver(250, 27);
+        let p = GbParams::default();
+        let (_, serial) = s.solve_with_report(&p);
+        let (_, parallel) = s.solve_parallel_with_report(&p, 3);
+        assert_eq!(serial.stage("born").work, parallel.stage("born").work);
+        assert_eq!(serial.stage("epol").work, parallel.stage("epol").work);
+        for (ranks, threads) in [(1, 1), (3, 1), (2, 2)] {
+            let cfg = DistributedConfig {
+                ranks,
+                threads_per_rank: threads,
+                params: p,
+                network: NetworkModel::lonestar4_infiniband(),
+            };
+            let run = run_distributed(&s, &cfg);
+            let rep = run.report(&s, &cfg);
+            assert_eq!(
+                rep.stage("born").work,
+                serial.stage("born").work,
+                "P={ranks} p={threads}"
+            );
+            assert_eq!(
+                rep.stage("epol").work,
+                serial.stage("epol").work,
+                "P={ranks} p={threads}"
+            );
+            assert_eq!(
+                rep.mode,
+                if threads == 1 {
+                    "oct_mpi"
+                } else {
+                    "oct_mpi_cilk"
+                }
+            );
+            let comm = rep.comm.expect("distributed report has a comm section");
+            assert_eq!(comm.ranks, ranks);
+            if ranks > 1 {
+                assert!(comm.sim_seconds > 0.0);
+                assert!(comm.bytes_sent > 0);
+            }
+            assert_eq!(rep.steal.is_some(), threads > 1);
+            // Reports serialize without panicking and round out the row.
+            assert!(rep.to_json().contains("\"mode\""));
+            assert_eq!(rep.to_csv_row().split(',').count(), 30);
         }
     }
 

@@ -41,7 +41,12 @@ impl NetworkModel {
 
     /// An idealized zero-cost network (useful to isolate computation).
     pub fn free() -> NetworkModel {
-        NetworkModel { t_s: 0.0, t_w: 0.0, intra_node_factor: 1.0, collective_sync: 0.0 }
+        NetworkModel {
+            t_s: 0.0,
+            t_w: 0.0,
+            intra_node_factor: 1.0,
+            collective_sync: 0.0,
+        }
     }
 
     /// One point-to-point message of `bytes`.
@@ -121,7 +126,12 @@ mod tests {
     #[test]
     fn allgather_is_linear_in_ranks_for_large_payloads() {
         // The t_w·m·(p−1) term dominates: doubling p−1 ≈ doubles cost.
-        let n = NetworkModel { t_s: 0.0, t_w: 1e-9, intra_node_factor: 1.0, collective_sync: 0.0 };
+        let n = NetworkModel {
+            t_s: 0.0,
+            t_w: 1e-9,
+            intra_node_factor: 1.0,
+            collective_sync: 0.0,
+        };
         let a = n.allgather(1 << 20, 5);
         let b = n.allgather(1 << 20, 9);
         assert!((b / a - 2.0).abs() < 1e-9);

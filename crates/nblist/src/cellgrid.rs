@@ -61,7 +61,13 @@ impl CellGrid {
             entries[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        CellGrid { bounds, cell: cell_size, dims, entries, offsets }
+        CellGrid {
+            bounds,
+            cell: cell_size,
+            dims,
+            entries,
+            offsets,
+        }
     }
 
     /// Number of grid cells.
@@ -141,7 +147,11 @@ mod tests {
         let pts: Vec<Vec3> = (0..200)
             .map(|i| {
                 let f = i as f64;
-                Vec3::new((f * 0.37).sin() * 12.0, (f * 0.61).cos() * 12.0, (f * 0.13).sin() * 12.0)
+                Vec3::new(
+                    (f * 0.37).sin() * 12.0,
+                    (f * 0.61).cos() * 12.0,
+                    (f * 0.13).sin() * 12.0,
+                )
             })
             .collect();
         let r = 2.5;

@@ -20,7 +20,10 @@ pub struct NbListConfig {
 
 impl Default for NbListConfig {
     fn default() -> Self {
-        NbListConfig { cutoff: 8.0, skin: 2.0 }
+        NbListConfig {
+            cutoff: 8.0,
+            skin: 2.0,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl NbList {
     /// assert_eq!(nb.pair_count(), 1);
     /// ```
     pub fn build(points: &[Vec3], cfg: NbListConfig) -> NbList {
-        assert!(cfg.cutoff > 0.0 && cfg.skin >= 0.0, "bad NbListConfig {cfg:?}");
+        assert!(
+            cfg.cutoff > 0.0 && cfg.skin >= 0.0,
+            "bad NbListConfig {cfg:?}"
+        );
         let mut list = NbList {
             cfg,
             offsets: Vec::new(),
@@ -176,7 +182,10 @@ mod tests {
     #[test]
     fn matches_brute_force_pair_count() {
         let pts = lattice(5, 1.3);
-        let cfg = NbListConfig { cutoff: 2.0, skin: 0.5 };
+        let cfg = NbListConfig {
+            cutoff: 2.0,
+            skin: 0.5,
+        };
         let nb = NbList::build(&pts, cfg);
         assert_eq!(nb.pair_count(), brute_pairs(&pts, 2.5));
     }
@@ -184,7 +193,13 @@ mod tests {
     #[test]
     fn neighbors_are_half_lists_sorted() {
         let pts = lattice(4, 1.0);
-        let nb = NbList::build(&pts, NbListConfig { cutoff: 1.5, skin: 0.0 });
+        let nb = NbList::build(
+            &pts,
+            NbListConfig {
+                cutoff: 1.5,
+                skin: 0.0,
+            },
+        );
         for i in 0..pts.len() {
             let row = nb.neighbors_of(i);
             assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
@@ -195,8 +210,22 @@ mod tests {
     #[test]
     fn memory_grows_cubically_with_cutoff() {
         let pts = lattice(10, 1.0);
-        let m2 = NbList::build(&pts, NbListConfig { cutoff: 2.0, skin: 0.0 }).memory_bytes();
-        let m4 = NbList::build(&pts, NbListConfig { cutoff: 4.0, skin: 0.0 }).memory_bytes();
+        let m2 = NbList::build(
+            &pts,
+            NbListConfig {
+                cutoff: 2.0,
+                skin: 0.0,
+            },
+        )
+        .memory_bytes();
+        let m4 = NbList::build(
+            &pts,
+            NbListConfig {
+                cutoff: 4.0,
+                skin: 0.0,
+            },
+        )
+        .memory_bytes();
         // Doubling the cutoff should much more than double the memory
         // (asymptotically 8×; boundary effects on a finite lattice reduce it).
         assert!(m4 as f64 > 3.0 * m2 as f64, "m2={m2} m4={m4}");
@@ -205,7 +234,13 @@ mod tests {
     #[test]
     fn skin_defers_rebuilds() {
         let mut pts = lattice(4, 1.2);
-        let mut nb = NbList::build(&pts, NbListConfig { cutoff: 2.0, skin: 1.0 });
+        let mut nb = NbList::build(
+            &pts,
+            NbListConfig {
+                cutoff: 2.0,
+                skin: 1.0,
+            },
+        );
         assert_eq!(nb.rebuild_count, 1);
         // Small motion: under skin/2, no rebuild.
         for p in &mut pts {
@@ -237,6 +272,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn bad_config_rejected() {
-        let _ = NbList::build(&[Vec3::ZERO], NbListConfig { cutoff: -1.0, skin: 0.0 });
+        let _ = NbList::build(
+            &[Vec3::ZERO],
+            NbListConfig {
+                cutoff: -1.0,
+                skin: 0.0,
+            },
+        );
     }
 }

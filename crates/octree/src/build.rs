@@ -17,7 +17,10 @@ impl Default for OctreeConfig {
         // Leaves of a few atoms keep the exact near-field O(leaf²) work
         // small while the tree stays shallow; matches the grain the
         // paper's leaf-segment work division wants.
-        OctreeConfig { max_leaf_size: 8, max_depth: 20 }
+        OctreeConfig {
+            max_leaf_size: 8,
+            max_depth: 20,
+        }
     }
 }
 
@@ -46,7 +49,12 @@ impl OctreeConfig {
         assert!(self.max_leaf_size >= 1, "max_leaf_size must be ≥ 1");
         let n = positions.len();
         if n == 0 {
-            return Octree { nodes: vec![], points: vec![], order: vec![], leaves: vec![] };
+            return Octree {
+                nodes: vec![],
+                points: vec![],
+                order: vec![],
+                leaves: vec![],
+            };
         }
         for p in positions {
             assert!(p.is_finite(), "non-finite point {p:?}");
@@ -79,8 +87,18 @@ impl OctreeConfig {
             leaves: Vec::new(),
         };
         builder.build_node(0, n as u32, bounds, 0);
-        let Builder { nodes, leaves, points, .. } = builder;
-        let tree = Octree { nodes, points, order, leaves };
+        let Builder {
+            nodes,
+            leaves,
+            points,
+            ..
+        } = builder;
+        let tree = Octree {
+            nodes,
+            points,
+            order,
+            leaves,
+        };
         debug_assert_eq!(tree.check_invariants(), Ok(()));
         tree
     }
@@ -180,7 +198,11 @@ mod tests {
     #[test]
     fn invariants_hold_on_grid() {
         let pts = grid_points(6, 1.7);
-        let t = OctreeConfig { max_leaf_size: 4, max_depth: 20 }.build(&pts);
+        let t = OctreeConfig {
+            max_leaf_size: 4,
+            max_depth: 20,
+        }
+        .build(&pts);
         assert_eq!(t.len(), 216);
         assert_eq!(t.check_invariants(), Ok(()));
         // Every leaf obeys the size bound (depth cap not hit on a grid).
@@ -201,7 +223,11 @@ mod tests {
     #[test]
     fn duplicate_points_hit_depth_cap_without_infinite_recursion() {
         let pts = vec![Vec3::splat(1.0); 40];
-        let t = OctreeConfig { max_leaf_size: 2, max_depth: 6 }.build(&pts);
+        let t = OctreeConfig {
+            max_leaf_size: 2,
+            max_depth: 6,
+        }
+        .build(&pts);
         assert_eq!(t.check_invariants(), Ok(()));
         assert!(t.depth() <= 6);
         assert_eq!(t.len(), 40);
@@ -226,7 +252,11 @@ mod tests {
     #[test]
     fn aggregate_count_matches_node_len() {
         let pts = grid_points(5, 1.0);
-        let t = OctreeConfig { max_leaf_size: 3, max_depth: 20 }.build(&pts);
+        let t = OctreeConfig {
+            max_leaf_size: 3,
+            max_depth: 20,
+        }
+        .build(&pts);
         let counts = t.aggregate(0usize, |_, _| 1usize, |a, b| a + b);
         for (id, node) in t.nodes().iter().enumerate() {
             assert_eq!(counts[id], node.len());
@@ -272,7 +302,11 @@ mod tests {
     #[test]
     fn leaf_segments_tile_the_point_array() {
         let pts = grid_points(5, 1.1);
-        let t = OctreeConfig { max_leaf_size: 6, max_depth: 20 }.build(&pts);
+        let t = OctreeConfig {
+            max_leaf_size: 6,
+            max_depth: 20,
+        }
+        .build(&pts);
         let mut covered = 0usize;
         for &l in t.leaves() {
             covered += t.node(l).len();
@@ -295,7 +329,11 @@ mod tests {
     #[test]
     fn refresh_accepts_small_motion_and_keeps_invariants() {
         let pts = grid_points(5, 2.0);
-        let mut t = OctreeConfig { max_leaf_size: 4, max_depth: 20 }.build(&pts);
+        let mut t = OctreeConfig {
+            max_leaf_size: 4,
+            max_depth: 20,
+        }
+        .build(&pts);
         let before = t.node(Octree::ROOT).center;
         // Jitter every point by < 0.3 A with 0.5 A slack.
         let moved: Vec<Vec3> = pts
@@ -316,20 +354,31 @@ mod tests {
     #[test]
     fn refresh_rejects_escaped_points_and_leaves_tree_untouched() {
         let pts = grid_points(4, 2.0);
-        let mut t = OctreeConfig { max_leaf_size: 2, max_depth: 20 }.build(&pts);
+        let mut t = OctreeConfig {
+            max_leaf_size: 2,
+            max_depth: 20,
+        }
+        .build(&pts);
         let snapshot = t.clone();
         let mut moved = pts.clone();
         moved[7] += Vec3::splat(50.0); // far outside its leaf cell
         let err = t.refresh(&moved, 0.25).unwrap_err();
         assert!(err >= 1);
         assert_eq!(t.points(), snapshot.points());
-        assert_eq!(t.node(Octree::ROOT).center, snapshot.node(Octree::ROOT).center);
+        assert_eq!(
+            t.node(Octree::ROOT).center,
+            snapshot.node(Octree::ROOT).center
+        );
     }
 
     #[test]
     fn refresh_slack_acts_like_a_verlet_skin() {
         let pts = grid_points(4, 2.0);
-        let mut t = OctreeConfig { max_leaf_size: 2, max_depth: 20 }.build(&pts);
+        let mut t = OctreeConfig {
+            max_leaf_size: 2,
+            max_depth: 20,
+        }
+        .build(&pts);
         let moved: Vec<Vec3> = pts.iter().map(|p| *p + Vec3::splat(0.6)).collect();
         // Tight slack rejects, generous slack accepts.
         assert!(t.refresh(&moved, 0.0).is_err());
@@ -353,6 +402,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_leaf_size_is_rejected() {
-        let _ = OctreeConfig { max_leaf_size: 0, max_depth: 5 }.build(&[Vec3::ZERO]);
+        let _ = OctreeConfig {
+            max_leaf_size: 0,
+            max_depth: 5,
+        }
+        .build(&[Vec3::ZERO]);
     }
 }

@@ -169,8 +169,9 @@ impl Octree {
             let node = self.nodes[id];
             let mut acc = identity.clone();
             if node.is_leaf {
-                for (slot, &orig) in
-                    self.order[node.start as usize..node.end as usize].iter().enumerate()
+                for (slot, &orig) in self.order[node.start as usize..node.end as usize]
+                    .iter()
+                    .enumerate()
                 {
                     let pos = self.points[node.start as usize + slot];
                     let v = leaf_val(orig, pos);
@@ -317,7 +318,10 @@ impl Octree {
         for node in self.nodes.iter_mut() {
             let slice = &self.points[node.start as usize..node.end as usize];
             let centroid = slice.iter().copied().sum::<Vec3>() / slice.len() as f64;
-            let r_sq = slice.iter().map(|p| p.dist_sq(centroid)).fold(0.0_f64, f64::max);
+            let r_sq = slice
+                .iter()
+                .map(|p| p.dist_sq(centroid))
+                .fold(0.0_f64, f64::max);
             node.center = centroid;
             node.radius = r_sq.sqrt();
         }

@@ -17,17 +17,19 @@ fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec3>> {
 fn arb_clustered() -> impl Strategy<Value = Vec<Vec3>> {
     (
         prop::collection::vec(
-            (-40.0..40.0f64, -40.0..40.0f64, -40.0..40.0f64).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+            (-40.0..40.0f64, -40.0..40.0f64, -40.0..40.0f64)
+                .prop_map(|(x, y, z)| Vec3::new(x, y, z)),
             1..5,
         ),
-        prop::collection::vec((0usize..5, -1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64), 1..120),
+        prop::collection::vec(
+            (0usize..5, -1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64),
+            1..120,
+        ),
     )
         .prop_map(|(seeds, offsets)| {
             offsets
                 .into_iter()
-                .map(|(s, dx, dy, dz)| {
-                    seeds[s % seeds.len()] + Vec3::new(dx, dy, dz)
-                })
+                .map(|(s, dx, dy, dz)| seeds[s % seeds.len()] + Vec3::new(dx, dy, dz))
                 .collect()
         })
 }
@@ -159,11 +161,19 @@ fn order_is_a_bijection_on_large_random_cloud() {
     // One big deterministic cloud (seeded LCG) exercising deep trees.
     let mut state = 0x2545_f491_4f6c_dd1du64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 80.0
     };
-    let pts: Vec<Vec3> = (0..5000).map(|_| Vec3::new(next(), next(), next())).collect();
-    let t = OctreeConfig { max_leaf_size: 8, max_depth: 20 }.build(&pts);
+    let pts: Vec<Vec3> = (0..5000)
+        .map(|_| Vec3::new(next(), next(), next()))
+        .collect();
+    let t = OctreeConfig {
+        max_leaf_size: 8,
+        max_depth: 20,
+    }
+    .build(&pts);
     assert_eq!(t.check_invariants(), Ok(()));
     let mut seen = vec![false; pts.len()];
     for &o in t.order() {

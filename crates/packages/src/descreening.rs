@@ -33,7 +33,10 @@ pub struct DescreenParams {
 impl DescreenParams {
     /// Canonical HCT values (offset 0.09 Å, S ≈ 0.8).
     pub fn hct() -> Self {
-        DescreenParams { offset: 0.09, scale: 0.8 }
+        DescreenParams {
+            offset: 0.09,
+            scale: 0.8,
+        }
     }
 }
 
@@ -204,8 +207,7 @@ pub fn born_radii_volume_r6(pos: &[Vec3], radii: &[f64], cutoff: Option<f64>) ->
     pos.iter()
         .enumerate()
         .map(|(i, _)| {
-            let inv_r3 =
-                1.0 / radii[i].powi(3) - 3.0 / (4.0 * std::f64::consts::PI) * sum[i];
+            let inv_r3 = 1.0 / radii[i].powi(3) - 3.0 / (4.0 * std::f64::consts::PI) * sum[i];
             if inv_r3 <= 1.0 / BORN_RADIUS_MAX.powi(3) {
                 BORN_RADIUS_MAX
             } else {
@@ -286,7 +288,9 @@ mod tests {
 
     #[test]
     fn cutoff_truncation_loses_far_descreening() {
-        let pos: Vec<Vec3> = (0..30).map(|i| Vec3::new(i as f64 * 2.0, 0.0, 0.0)).collect();
+        let pos: Vec<Vec3> = (0..30)
+            .map(|i| Vec3::new(i as f64 * 2.0, 0.0, 0.0))
+            .collect();
         let radii = vec![1.5; 30];
         let full = born_radii_hct(&pos, &radii, None, DescreenParams::hct());
         let cut = born_radii_hct(&pos, &radii, Some(6.0), DescreenParams::hct());
@@ -311,8 +315,7 @@ mod tests {
                         let x = d - a + (ix as f64 + 0.5) * h;
                         let y = -a + (iy as f64 + 0.5) * h;
                         let z = -a + (iz as f64 + 0.5) * h;
-                        let in_sphere =
-                            (x - d) * (x - d) + y * y + z * z <= a * a;
+                        let in_sphere = (x - d) * (x - d) + y * y + z * z <= a * a;
                         let s2 = x * x + y * y + z * z;
                         if in_sphere && s2 > rho_i * rho_i {
                             acc += h * h * h / (s2 * s2 * s2);
@@ -326,13 +329,19 @@ mod tests {
             let exact = r6_sphere_integral(rho, d, a);
             let num = numeric(rho, d, a);
             let rel = ((exact - num) / num.max(1e-30)).abs();
-            assert!(rel < 0.05, "rho={rho} d={d} a={a}: closed {exact} vs grid {num}");
+            assert!(
+                rel < 0.05,
+                "rho={rho} d={d} a={a}: closed {exact} vs grid {num}"
+            );
         }
         // Far limit: → V/d⁶.
         let (d, a) = (50.0, 1.5_f64);
         let far = r6_sphere_integral(1.5, d, a);
         let v_over_d6 = 4.0 / 3.0 * std::f64::consts::PI * a.powi(3) / d.powi(6);
-        assert!(((far - v_over_d6) / v_over_d6).abs() < 0.01, "{far} vs {v_over_d6}");
+        assert!(
+            ((far - v_over_d6) / v_over_d6).abs() < 0.01,
+            "{far} vs {v_over_d6}"
+        );
     }
 
     #[test]
@@ -347,7 +356,9 @@ mod tests {
 
     #[test]
     fn pair_count_matches_cutoff_semantics() {
-        let pos: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64 * 3.0, 0.0, 0.0)).collect();
+        let pos: Vec<Vec3> = (0..10)
+            .map(|i| Vec3::new(i as f64 * 3.0, 0.0, 0.0))
+            .collect();
         let full = pair_count(&pos, None);
         assert_eq!(full, 90); // 10·9 directed pairs
         let cut = pair_count(&pos, Some(3.5));

@@ -142,7 +142,10 @@ impl std::fmt::Display for PackageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PackageError::OutOfMemory { atoms, limit } => {
-                write!(f, "out of memory: {atoms} atoms exceeds the ~{limit}-atom limit")
+                write!(
+                    f,
+                    "out of memory: {atoms} atoms exceeds the ~{limit}-atom limit"
+                )
             }
         }
     }
@@ -169,7 +172,10 @@ impl PackageSpec {
     pub fn run(&self, mol: &Molecule) -> Result<PackageRun, PackageError> {
         if let Some(limit) = self.max_atoms {
             if mol.len() > limit {
-                return Err(PackageError::OutOfMemory { atoms: mol.len(), limit });
+                return Err(PackageError::OutOfMemory {
+                    atoms: mol.len(),
+                    limit,
+                });
             }
         }
         let pos = mol.positions();
@@ -178,14 +184,24 @@ impl PackageSpec {
 
         // Born radii under the package's model.
         let born = match self.model {
-            GbModelKind::Hct => born_radii_hct(&pos, &radii, self.born_cutoff, DescreenParams::hct()),
-            GbModelKind::Obc => born_radii_obc(&pos, &radii, self.born_cutoff, DescreenParams::hct()),
+            GbModelKind::Hct => {
+                born_radii_hct(&pos, &radii, self.born_cutoff, DescreenParams::hct())
+            }
+            GbModelKind::Obc => {
+                born_radii_obc(&pos, &radii, self.born_cutoff, DescreenParams::hct())
+            }
             // Tinker's STILL pipeline ~ HCT-class descreening with its own
             // parameterization; the systematic energy offset is applied
             // below via `energy_scale`.
-            GbModelKind::Still => {
-                born_radii_hct(&pos, &radii, self.born_cutoff, DescreenParams { offset: 0.0, scale: 0.72 })
-            }
+            GbModelKind::Still => born_radii_hct(
+                &pos,
+                &radii,
+                self.born_cutoff,
+                DescreenParams {
+                    offset: 0.0,
+                    scale: 0.72,
+                },
+            ),
             GbModelKind::VolumeR6 => born_radii_volume_r6(&pos, &radii, self.born_cutoff),
         };
 
@@ -196,7 +212,13 @@ impl PackageSpec {
         let mut nblist_bytes = 0usize;
         match self.energy_cutoff {
             Some(c) => {
-                let nb = NbList::build(&pos, NbListConfig { cutoff: c, skin: 0.0 });
+                let nb = NbList::build(
+                    &pos,
+                    NbListConfig {
+                        cutoff: c,
+                        skin: 0.0,
+                    },
+                );
                 nblist_bytes += nb.memory_bytes();
                 for i in 0..pos.len() {
                     acc += charges[i] * charges[i] / born[i];
@@ -204,7 +226,14 @@ impl PackageSpec {
                         let j = j as usize;
                         let r_sq = pos[i].dist_sq(pos[j]);
                         acc += 2.0
-                            * gb_pair(charges[i], charges[j], r_sq, born[i], born[j], MathMode::Exact);
+                            * gb_pair(
+                                charges[i],
+                                charges[j],
+                                r_sq,
+                                born[i],
+                                born[j],
+                                MathMode::Exact,
+                            );
                     }
                     energy_pairs += nb.neighbors_of(i).len() as u64 + 1;
                 }
@@ -215,7 +244,14 @@ impl PackageSpec {
                     for j in (i + 1)..pos.len() {
                         let r_sq = pos[i].dist_sq(pos[j]);
                         acc += 2.0
-                            * gb_pair(charges[i], charges[j], r_sq, born[i], born[j], MathMode::Exact);
+                            * gb_pair(
+                                charges[i],
+                                charges[j],
+                                r_sq,
+                                born[i],
+                                born[j],
+                                MathMode::Exact,
+                            );
                     }
                 }
                 energy_pairs = (pos.len() * (pos.len() + 1) / 2) as u64;
@@ -236,7 +272,12 @@ impl PackageSpec {
             // The Born pass uses a cell grid of its own.
             nblist_bytes += pos.len() * 4;
         }
-        Ok(PackageRun { born, epol_kcal, work, nblist_bytes })
+        Ok(PackageRun {
+            born,
+            epol_kcal,
+            work,
+            nblist_bytes,
+        })
     }
 }
 
@@ -291,9 +332,12 @@ mod tests {
     #[test]
     fn tinker_and_gbr6_oom_past_their_limits() {
         let big = generators::globular("big", 12_500, 19);
-        assert!(matches!(tinker60().run(&big), Err(PackageError::OutOfMemory { .. })));
+        assert!(matches!(
+            tinker60().run(&big),
+            Err(PackageError::OutOfMemory { .. })
+        ));
         assert!(gbr6().run(&big).is_ok()); // 12.5k < 13k
-        // (GBr⁶'s own limit bites later; checked cheaply via the spec.)
+                                           // (GBr⁶'s own limit bites later; checked cheaply via the spec.)
         assert_eq!(gbr6().max_atoms, Some(13_000));
         let err = tinker60().run(&big).unwrap_err();
         assert!(err.to_string().contains("out of memory"));
@@ -322,6 +366,9 @@ mod tests {
         let ours = solver.solve(&GbParams::default()).epol_kcal;
         let amber = amber12().run(&mol).unwrap().epol_kcal;
         let ratio = amber / ours;
-        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio} ({amber} vs {ours})");
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "ratio {ratio} ({amber} vs {ours})"
+        );
     }
 }

@@ -43,6 +43,29 @@ impl StealStats {
         self.steals.iter().sum()
     }
 
+    /// Accumulate another batch's counters elementwise — for combining
+    /// the stats of several `run_batch` calls over the *same* worker set
+    /// (e.g. the integrals/push/energy batches of one solve).
+    pub fn merge(&mut self, other: &StealStats) {
+        if self.executed.len() < other.executed.len() {
+            self.executed.resize(other.executed.len(), 0);
+            self.steals.resize(other.steals.len(), 0);
+        }
+        for (a, m) in self.executed.iter_mut().zip(&other.executed) {
+            *a += m;
+        }
+        for (a, m) in self.steals.iter_mut().zip(&other.steals) {
+            *a += m;
+        }
+    }
+
+    /// Append another pool's workers — for combining stats across
+    /// *disjoint* worker sets (e.g. per-rank pools of a hybrid run).
+    pub fn concat(&mut self, other: &StealStats) {
+        self.executed.extend_from_slice(&other.executed);
+        self.steals.extend_from_slice(&other.steals);
+    }
+
     /// Load imbalance: max/mean executed (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
         let max = self.executed.iter().copied().max().unwrap_or(0) as f64;
@@ -81,8 +104,9 @@ where
     // so plain indexed writes through a shared Vec of OnceLocks are safe.
     // `Mutex<Option<T>>` is Sync for any `T: Send`, unlike OnceLock
     // which would additionally demand `T: Sync`.
-    let results: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..n_tasks).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<T>>> = (0..n_tasks)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
 
     let workers: Vec<Worker<(usize, F)>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<(usize, F)>> = workers.iter().map(|w| w.stealer()).collect();
@@ -121,12 +145,20 @@ where
                             } else {
                                 wid
                             };
-                            match stealers[victim].steal() {
-                                Steal::Success(job) => {
-                                    steals[wid].fetch_add(1, Ordering::Relaxed);
-                                    return Some(job);
+                            // `Retry` means the victim's deque is *contended*
+                            // (a concurrent pop/steal interfered), not empty —
+                            // spin on the same victim until the race resolves.
+                            // Moving on would misread a loaded-but-busy victim
+                            // as having no work.
+                            loop {
+                                match stealers[victim].steal() {
+                                    Steal::Success(job) => {
+                                        steals[wid].fetch_add(1, Ordering::Relaxed);
+                                        return Some(job);
+                                    }
+                                    Steal::Retry => std::hint::spin_loop(),
+                                    Steal::Empty => break,
                                 }
-                                Steal::Retry | Steal::Empty => continue,
                             }
                         }
                         None
@@ -159,7 +191,10 @@ where
     let out = results
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.into_inner().unwrap_or_else(|| panic!("task {i} never ran")))
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|| panic!("task {i} never ran"))
+        })
         .collect();
     (out, stats)
 }
@@ -223,15 +258,19 @@ mod tests {
 
     #[test]
     fn skewed_tasks_get_stolen() {
-        // One worker's deque starts with all the heavy tasks (indices
-        // ≡ 0 mod n_workers get round-robined; make every task heavy and
-        // numerous enough that idle workers must steal).
+        // Forced skew: round-robin seeding puts indices ≡ 0 mod 4 on
+        // worker 0, so making exactly those tasks heavy loads one deque
+        // with all the real work. Workers 1–3 drain their trivial tasks
+        // immediately and can only keep busy by stealing worker 0's
+        // backlog — the run must record at least one successful steal.
         let tasks: Vec<_> = (0..64)
             .map(|i| {
                 move || {
-                    // Small spin so stealing has time to happen.
+                    if i % 4 != 0 {
+                        return i as u64;
+                    }
                     let mut acc = i as u64;
-                    for k in 0..20_000u64 {
+                    for k in 0..200_000u64 {
                         acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
                     }
                     acc
@@ -244,6 +283,30 @@ mod tests {
         // All four workers exist in the stats.
         assert_eq!(stats.executed.len(), 4);
         assert!(stats.imbalance() >= 1.0);
+        assert!(
+            stats.total_steals() > 0,
+            "idle workers never stole from the loaded deque: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_and_concat_appends() {
+        let mut a = StealStats {
+            executed: vec![1, 2],
+            steals: vec![0, 1],
+        };
+        a.merge(&StealStats {
+            executed: vec![10, 20, 30],
+            steals: vec![1, 1, 1],
+        });
+        assert_eq!(a.executed, vec![11, 22, 30]);
+        assert_eq!(a.steals, vec![1, 2, 1]);
+        a.concat(&StealStats {
+            executed: vec![5],
+            steals: vec![2],
+        });
+        assert_eq!(a.executed, vec![11, 22, 30, 5]);
+        assert_eq!(a.total_steals(), 6);
     }
 
     #[test]

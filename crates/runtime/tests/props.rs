@@ -1,0 +1,58 @@
+//! Property-based tests of the work-stealing pool's accounting.
+
+use polar_runtime::{run_batch, StealStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn total_executed_equals_task_count(
+        n_tasks in 0usize..200,
+        n_workers in 1usize..9,
+    ) {
+        // Every task runs exactly once, whoever ends up running it: the
+        // executed counters must account for the whole batch, and no
+        // single worker can claim more than the batch.
+        let tasks: Vec<_> = (0..n_tasks).map(|i| move || i as u64).collect();
+        let (out, stats) = run_batch(n_workers, tasks);
+        prop_assert_eq!(out.len(), n_tasks);
+        prop_assert_eq!(stats.total_executed(), n_tasks as u64);
+        prop_assert_eq!(stats.executed.len(), n_workers);
+        for w in &stats.executed {
+            prop_assert!(*w <= n_tasks as u64);
+        }
+        // Steals move tasks between workers; they can never exceed the
+        // number of tasks that existed.
+        prop_assert!(stats.total_steals() <= n_tasks as u64);
+    }
+
+    #[test]
+    fn results_keep_task_order_under_any_schedule(
+        n_tasks in 0usize..150,
+        n_workers in 1usize..9,
+    ) {
+        let tasks: Vec<_> = (0..n_tasks).map(|i| move || 7 * i + 1).collect();
+        let (out, _) = run_batch(n_workers, tasks);
+        prop_assert_eq!(out, (0..n_tasks).map(|i| 7 * i + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_preserves_totals(
+        a in prop::collection::vec(0u64..1000, 1..8),
+        b in prop::collection::vec(0u64..1000, 1..8),
+    ) {
+        let sa = StealStats { executed: a.clone(), steals: a.clone() };
+        let sb = StealStats { executed: b.clone(), steals: b.clone() };
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(
+            merged.total_executed(),
+            sa.total_executed() + sb.total_executed()
+        );
+        let mut cat = sa.clone();
+        cat.concat(&sb);
+        prop_assert_eq!(cat.total_steals(), sa.total_steals() + sb.total_steals());
+        prop_assert_eq!(cat.executed.len(), a.len() + b.len());
+    }
+}

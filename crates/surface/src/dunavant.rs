@@ -42,7 +42,10 @@ fn expand(orbits: &[Orbit]) -> Vec<BaryPoint> {
         match *o {
             Orbit::Centroid(w) => {
                 let t = 1.0 / 3.0;
-                pts.push(BaryPoint { bary: [t, t, t], weight: w });
+                pts.push(BaryPoint {
+                    bary: [t, t, t],
+                    weight: w,
+                });
             }
             Orbit::Sym3 { a, weight } => {
                 let b = (1.0 - a) / 2.0;
@@ -52,7 +55,14 @@ fn expand(orbits: &[Orbit]) -> Vec<BaryPoint> {
             }
             Orbit::Sym6 { a, b, weight } => {
                 let c = 1.0 - a - b;
-                for bary in [[a, b, c], [a, c, b], [b, a, c], [b, c, a], [c, a, b], [c, b, a]] {
+                for bary in [
+                    [a, b, c],
+                    [a, c, b],
+                    [b, a, c],
+                    [b, c, a],
+                    [c, a, b],
+                    [c, b, a],
+                ] {
                     pts.push(BaryPoint { bary, weight });
                 }
             }
@@ -71,23 +81,47 @@ impl DunavantRule {
         let degree = degree.clamp(1, 7);
         let orbits: Vec<Orbit> = match degree {
             1 => vec![Orbit::Centroid(1.0)],
-            2 => vec![Orbit::Sym3 { a: 2.0 / 3.0, weight: 1.0 / 3.0 }],
+            2 => vec![Orbit::Sym3 {
+                a: 2.0 / 3.0,
+                weight: 1.0 / 3.0,
+            }],
             3 => vec![
                 Orbit::Centroid(-0.562_5),
-                Orbit::Sym3 { a: 0.6, weight: 0.520_833_333_333_333_3 },
+                Orbit::Sym3 {
+                    a: 0.6,
+                    weight: 0.520_833_333_333_333_3,
+                },
             ],
             4 => vec![
-                Orbit::Sym3 { a: 0.108_103_018_168_070, weight: 0.223_381_589_678_011 },
-                Orbit::Sym3 { a: 0.816_847_572_980_459, weight: 0.109_951_743_655_322 },
+                Orbit::Sym3 {
+                    a: 0.108_103_018_168_070,
+                    weight: 0.223_381_589_678_011,
+                },
+                Orbit::Sym3 {
+                    a: 0.816_847_572_980_459,
+                    weight: 0.109_951_743_655_322,
+                },
             ],
             5 => vec![
                 Orbit::Centroid(0.225),
-                Orbit::Sym3 { a: 0.059_715_871_789_770, weight: 0.132_394_152_788_506 },
-                Orbit::Sym3 { a: 0.797_426_985_353_087, weight: 0.125_939_180_544_827 },
+                Orbit::Sym3 {
+                    a: 0.059_715_871_789_770,
+                    weight: 0.132_394_152_788_506,
+                },
+                Orbit::Sym3 {
+                    a: 0.797_426_985_353_087,
+                    weight: 0.125_939_180_544_827,
+                },
             ],
             6 => vec![
-                Orbit::Sym3 { a: 0.501_426_509_658_179, weight: 0.116_786_275_726_379 },
-                Orbit::Sym3 { a: 0.873_821_971_016_996, weight: 0.050_844_906_370_207 },
+                Orbit::Sym3 {
+                    a: 0.501_426_509_658_179,
+                    weight: 0.116_786_275_726_379,
+                },
+                Orbit::Sym3 {
+                    a: 0.873_821_971_016_996,
+                    weight: 0.050_844_906_370_207,
+                },
                 Orbit::Sym6 {
                     a: 0.053_145_049_844_816,
                     b: 0.310_352_451_033_785,
@@ -96,8 +130,14 @@ impl DunavantRule {
             ],
             7 => vec![
                 Orbit::Centroid(-0.149_570_044_467_670),
-                Orbit::Sym3 { a: 0.479_308_067_841_923, weight: 0.175_615_257_433_204 },
-                Orbit::Sym3 { a: 0.869_739_794_195_568, weight: 0.053_347_235_608_839 },
+                Orbit::Sym3 {
+                    a: 0.479_308_067_841_923,
+                    weight: 0.175_615_257_433_204,
+                },
+                Orbit::Sym3 {
+                    a: 0.869_739_794_195_568,
+                    weight: 0.053_347_235_608_839,
+                },
                 Orbit::Sym6 {
                     a: 0.638_444_188_569_809,
                     b: 0.312_865_496_004_875,
@@ -106,7 +146,10 @@ impl DunavantRule {
             ],
             _ => unreachable!(),
         };
-        DunavantRule { degree, points: expand(&orbits) }
+        DunavantRule {
+            degree,
+            points: expand(&orbits),
+        }
     }
 
     /// Number of quadrature points per triangle.

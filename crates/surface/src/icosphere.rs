@@ -24,7 +24,10 @@ impl IcoSphere {
     /// Levels above 6 (81,920 triangles) are rejected — they would only make
     /// sense for single-atom systems and risk huge allocations.
     pub fn new(subdivisions: u32) -> IcoSphere {
-        assert!(subdivisions <= 6, "icosphere subdivision {subdivisions} too deep");
+        assert!(
+            subdivisions <= 6,
+            "icosphere subdivision {subdivisions} too deep"
+        );
         let mut sphere = icosahedron();
         for _ in 0..subdivisions {
             sphere = subdivide(&sphere);
@@ -39,7 +42,11 @@ impl IcoSphere {
         self.triangles
             .iter()
             .map(|t| {
-                let [a, b, c] = [self.vertices[t[0] as usize], self.vertices[t[1] as usize], self.vertices[t[2] as usize]];
+                let [a, b, c] = [
+                    self.vertices[t[0] as usize],
+                    self.vertices[t[1] as usize],
+                    self.vertices[t[2] as usize],
+                ];
                 (b - a).cross(c - a).norm() * 0.5
             })
             .sum()
@@ -78,12 +85,31 @@ fn icosahedron() -> IcoSphere {
         Vec3::new(-b, 0.0, a),
     ];
     let triangles = vec![
-        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
-        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
-        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
-        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
     ];
-    IcoSphere { vertices, triangles }
+    IcoSphere {
+        vertices,
+        triangles,
+    }
 }
 
 /// One 4-way subdivision step: split every edge at its (re-normalized)
@@ -109,7 +135,10 @@ fn subdivide(s: &IcoSphere) -> IcoSphere {
         triangles.push([c, ca, bc]);
         triangles.push([ab, bc, ca]);
     }
-    IcoSphere { vertices, triangles }
+    IcoSphere {
+        vertices,
+        triangles,
+    }
 }
 
 #[cfg(test)]

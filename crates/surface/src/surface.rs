@@ -46,7 +46,11 @@ pub struct SurfaceConfig {
 impl Default for SurfaceConfig {
     fn default() -> Self {
         // Degree-4 rule: 6 points/triangle, all weights positive.
-        SurfaceConfig { subdivisions: 1, quadrature_degree: 4, probe_radius: 0.0 }
+        SurfaceConfig {
+            subdivisions: 1,
+            quadrature_degree: 4,
+            probe_radius: 0.0,
+        }
     }
 }
 
@@ -54,12 +58,20 @@ impl SurfaceConfig {
     /// A cheap configuration for very large molecules (20 triangles/atom,
     /// 3 points each). The paper's inputs average ~4–6 q-points per atom.
     pub fn coarse() -> Self {
-        SurfaceConfig { subdivisions: 0, quadrature_degree: 2, probe_radius: 0.0 }
+        SurfaceConfig {
+            subdivisions: 0,
+            quadrature_degree: 2,
+            probe_radius: 0.0,
+        }
     }
 
     /// A high-resolution configuration for accuracy studies.
     pub fn fine() -> Self {
-        SurfaceConfig { subdivisions: 2, quadrature_degree: 5, probe_radius: 0.0 }
+        SurfaceConfig {
+            subdivisions: 2,
+            quadrature_degree: 5,
+            probe_radius: 0.0,
+        }
     }
 }
 
@@ -124,7 +136,12 @@ impl<'a> BurialGrid<'a> {
                 }
             }
         }
-        BurialGrid { cell, centers, radii, map }
+        BurialGrid {
+            cell,
+            centers,
+            radii,
+            map,
+        }
     }
 
     /// Is `p` (a surface point of atom `owner`) strictly inside any other
@@ -164,7 +181,10 @@ fn cell_of(p: Vec3, cell: f64) -> (i64, i64, i64) {
 /// exposed-area queries); the GB solver does not rely on the ordering.
 pub fn generate_surface(centers: &[Vec3], radii: &[f64], cfg: &SurfaceConfig) -> Vec<QuadPoint> {
     assert_eq!(centers.len(), radii.len(), "centers/radii length mismatch");
-    assert!(radii.iter().all(|&r| r > 0.0), "atomic radii must be positive");
+    assert!(
+        radii.iter().all(|&r| r > 0.0),
+        "atomic radii must be positive"
+    );
     let template = SphereTemplate::build(cfg);
     let grid = BurialGrid::build(centers, radii, cfg.probe_radius);
     let mut out = Vec::with_capacity(centers.len() * template.dirs.len() / 2);
@@ -216,7 +236,10 @@ mod tests {
             let area = total_area(&pts);
             let exact = 4.0 * PI * r * r;
             // κ-rescaling makes the total exact up to rounding.
-            assert!((area - exact).abs() < 1e-9 * exact, "r={r}: {area} vs {exact}");
+            assert!(
+                (area - exact).abs() < 1e-9 * exact,
+                "r={r}: {area} vs {exact}"
+            );
         }
     }
 
@@ -306,7 +329,10 @@ mod tests {
 
     #[test]
     fn probe_radius_inflates_spheres() {
-        let cfg = SurfaceConfig { probe_radius: 1.4, ..SurfaceConfig::default() };
+        let cfg = SurfaceConfig {
+            probe_radius: 1.4,
+            ..SurfaceConfig::default()
+        };
         let pts = single_sphere(1.0, &cfg);
         let exact = 4.0 * PI * 2.4 * 2.4;
         assert!((total_area(&pts) - exact).abs() < 1e-9 * exact);
@@ -327,7 +353,11 @@ mod tests {
     #[test]
     fn per_atom_area_partitions_total_area() {
         use super::per_atom_area;
-        let centers = [Vec3::ZERO, Vec3::new(1.5, 0.0, 0.0), Vec3::new(40.0, 0.0, 0.0)];
+        let centers = [
+            Vec3::ZERO,
+            Vec3::new(1.5, 0.0, 0.0),
+            Vec3::new(40.0, 0.0, 0.0),
+        ];
         let radii = [1.0, 1.0, 2.0];
         let pts = generate_surface(&centers, &radii, &SurfaceConfig::default());
         let per = per_atom_area(&pts, 3);

@@ -7,12 +7,7 @@ use std::f64::consts::PI;
 
 fn arb_atoms(max: usize) -> impl Strategy<Value = (Vec<Vec3>, Vec<f64>)> {
     prop::collection::vec(
-        (
-            -10.0..10.0f64,
-            -10.0..10.0f64,
-            -10.0..10.0f64,
-            1.0..2.0f64,
-        ),
+        (-10.0..10.0f64, -10.0..10.0f64, -10.0..10.0f64, 1.0..2.0f64),
         1..max,
     )
     .prop_map(|v| {

@@ -12,17 +12,32 @@ use std::time::Instant;
 fn main() {
     let mol = generators::globular("sweep", 4_000, 3);
     let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
-    println!("molecule: {} atoms, {} q-points", solver.n_atoms(), solver.n_qpoints());
+    println!(
+        "molecule: {} atoms, {} q-points",
+        solver.n_atoms(),
+        solver.n_qpoints()
+    );
 
     // Exact reference (ε → 0 never approximates; proven bit-equal to the
     // naive sums in the test suite).
-    let exact = GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..Default::default() };
+    let exact = GbParams {
+        eps_born: 1e-6,
+        eps_epol: 1e-6,
+        ..Default::default()
+    };
     let reference = solver.solve(&exact).epol_kcal;
     println!("reference E_pol = {reference:.4} kcal/mol\n");
 
-    println!("{:>5} {:>12} {:>10} {:>14} {:>12}", "eps", "E_pol", "err %", "pair ops", "time");
+    println!(
+        "{:>5} {:>12} {:>10} {:>14} {:>12}",
+        "eps", "E_pol", "err %", "pair ops", "time"
+    );
     for k in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.2, 1.5] {
-        let params = GbParams { eps_born: k, eps_epol: k, ..Default::default() };
+        let params = GbParams {
+            eps_born: k,
+            eps_epol: k,
+            ..Default::default()
+        };
         let t = Instant::now();
         let r = solver.solve(&params);
         let dt = t.elapsed();

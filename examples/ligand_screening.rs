@@ -24,8 +24,12 @@ fn main() {
     let tree = OctreeConfig::default();
 
     let t = Instant::now();
-    let e_receptor = GbSolver::for_molecule(&receptor, &surface, &tree).solve(&params).epol_kcal;
-    let e_ligand = GbSolver::for_molecule(&ligand0, &surface, &tree).solve(&params).epol_kcal;
+    let e_receptor = GbSolver::for_molecule(&receptor, &surface, &tree)
+        .solve(&params)
+        .epol_kcal;
+    let e_ligand = GbSolver::for_molecule(&ligand0, &surface, &tree)
+        .solve(&params)
+        .epol_kcal;
     println!(
         "receptor E_pol = {e_receptor:.2} kcal/mol, ligand E_pol = {e_ligand:.2} kcal/mol ({:.2?})",
         t.elapsed()
@@ -44,8 +48,10 @@ fn main() {
         let d = receptor_radius + 4.0 + 2.0 * dist_step as f64;
         for angle_step in 0..6 {
             let angle = angle_step as f64 * std::f64::consts::PI / 3.0;
-            let xf = RigidTransform::translation(receptor.centroid() + Vec3::new(d, 0.0, 0.0))
-                .compose(&RigidTransform::rotation(Rotation::axis_angle(Vec3::Z, angle)));
+            let xf =
+                RigidTransform::translation(receptor.centroid() + Vec3::new(d, 0.0, 0.0)).compose(
+                    &RigidTransform::rotation(Rotation::axis_angle(Vec3::Z, angle)),
+                );
             let ligand = ligand0.transformed(&xf);
             let complex = receptor.merged(&ligand, "complex");
             // The complex's energy: surfaces change on binding (buried

@@ -16,8 +16,8 @@
 
 use polar_energy::gb::constants::{tau, EPS_WATER};
 use polar_energy::gb::energy::gradient::epol_gradient_naive;
-use polar_energy::gb::energy::octree::EpolCtx;
 use polar_energy::gb::energy::octree::epol_for_leaf_segment;
+use polar_energy::gb::energy::octree::EpolCtx;
 use polar_energy::gb::WorkCounts;
 use polar_energy::molecule::generators;
 use polar_energy::prelude::*;
@@ -41,7 +41,10 @@ fn main() {
     let mut refreshes = 0;
     let mut rebuilds = 0;
 
-    println!("{:>5} {:>14} {:>10} {:>9}", "step", "E_pol", "|grad|max", "tree op");
+    println!(
+        "{:>5} {:>14} {:>10} {:>9}",
+        "step", "E_pol", "|grad|max", "tree op"
+    );
     for step in 0..steps {
         // Energy on the *current* tree (refreshed or rebuilt).
         let ctx = EpolCtx::new(&solver.tree_a, &charges, &born, params.eps_epol);

@@ -21,7 +21,12 @@ fn main() {
         }),
         None => generators::globular("demo-globule", 2_000, 42),
     };
-    println!("molecule: {} ({} atoms, net charge {:+.3} e)", mol.name, mol.len(), mol.total_charge());
+    println!(
+        "molecule: {} ({} atoms, net charge {:+.3} e)",
+        mol.name,
+        mol.len(),
+        mol.total_charge()
+    );
 
     // 1. Pre-processing (paper §IV.C Step 1): sample the molecular
     //    surface and build both octrees. Done once per molecule; every

@@ -36,15 +36,26 @@ fn main() {
     let params = GbParams::default();
     let t = Instant::now();
     let serial = solver.solve(&params);
-    println!("serial octree solve:   E_pol = {:.4e} kcal/mol in {:.2?}", serial.epol_kcal, t.elapsed());
+    println!(
+        "serial octree solve:   E_pol = {:.4e} kcal/mol in {:.2?}",
+        serial.epol_kcal,
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let cilk = solver.solve_parallel(&params);
-    println!("OCT_CILK (rayon):      E_pol = {:.4e} kcal/mol in {:.2?}", cilk.epol_kcal, t.elapsed());
+    println!(
+        "OCT_CILK (rayon):      E_pol = {:.4e} kcal/mol in {:.2?}",
+        cilk.epol_kcal,
+        t.elapsed()
+    );
 
     for (name, cfg) in [
         ("OCT_MPI (4x1)", DistributedConfig::oct_mpi(4, params)),
-        ("OCT_MPI+CILK (2x2)", DistributedConfig::oct_mpi_cilk(2, 2, params)),
+        (
+            "OCT_MPI+CILK (2x2)",
+            DistributedConfig::oct_mpi_cilk(2, 2, params),
+        ),
     ] {
         let t = Instant::now();
         let run = run_distributed(&solver, &cfg);
@@ -53,16 +64,28 @@ fn main() {
             run.epol_kcal,
             t.elapsed(),
             run.total_replicated_bytes as f64 / 1048576.0,
-            run.per_rank_comm_seconds.iter().cloned().fold(0.0, f64::max) * 1e3,
+            run.per_rank_comm_seconds
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max)
+                * 1e3,
         );
     }
 
     // Project onto the modeled 144-core Lonestar4.
     println!("\nsimulated Lonestar4 projection (calibrated to this host):");
     let spec = MachineSpec::lonestar4(12);
-    let born_tasks: Vec<u64> = solver.born_work_per_qleaf(&params).iter().map(|w| w.units()).collect();
+    let born_tasks: Vec<u64> = solver
+        .born_work_per_qleaf(&params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let (born, _) = solver.born_radii(&params);
-    let epol_tasks: Vec<u64> = solver.epol_work_per_leaf(&born, &params).iter().map(|w| w.units()).collect();
+    let epol_tasks: Vec<u64> = solver
+        .epol_work_per_leaf(&born, &params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let exp = ClusterExperiment {
         spec,
         born_tasks,
@@ -73,7 +96,15 @@ fn main() {
     };
     for cores in [12usize, 48, 144] {
         let mpi = exp.simulate(Layout::pure_mpi(cores), 1).total_seconds;
-        let hyb = exp.simulate(Layout { ranks: cores / 6, threads_per_rank: 6 }, 1).total_seconds;
+        let hyb = exp
+            .simulate(
+                Layout {
+                    ranks: cores / 6,
+                    threads_per_rank: 6,
+                },
+                1,
+            )
+            .total_seconds;
         println!("  {cores:>3} cores: OCT_MPI {mpi:>9.4}s | OCT_MPI+CILK {hyb:>9.4}s");
     }
 }

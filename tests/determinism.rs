@@ -62,7 +62,10 @@ fn cluster_simulation_is_deterministic_in_seed() {
         partials_bytes: 2 << 20,
         born_bytes: 1 << 18,
     };
-    let l = Layout { ranks: 8, threads_per_rank: 3 };
+    let l = Layout {
+        ranks: 8,
+        threads_per_rank: 3,
+    };
     let a = exp.simulate(l, 42);
     let b = exp.simulate(l, 42);
     assert_eq!(a, b);

@@ -16,8 +16,7 @@ fn every_driver_agrees_on_the_energy() {
     let serial = solver.solve(&params).epol_kcal;
     let rayon = solver.solve_parallel(&params).epol_kcal;
     let mpi = run_distributed(&solver, &DistributedConfig::oct_mpi(3, params)).epol_kcal;
-    let hybrid =
-        run_distributed(&solver, &DistributedConfig::oct_mpi_cilk(2, 2, params)).epol_kcal;
+    let hybrid = run_distributed(&solver, &DistributedConfig::oct_mpi_cilk(2, 2, params)).epol_kcal;
     for (name, e) in [("rayon", rayon), ("mpi", mpi), ("hybrid", hybrid)] {
         assert!(
             (e - serial).abs() <= 1e-9 * serial.abs(),
@@ -64,7 +63,10 @@ fn octree_work_scales_subquadratically() {
     // ≈ 4.5× vs naive's ≈ 15.6×).
     assert!(growth[1] < growth[0], "growth not flattening: {growth:?}");
     assert!(growth[1] < 7.0, "asymptotic growth too steep: {growth:?}");
-    assert!(growth[0] < 12.0, "pre-asymptotic growth already quadratic: {growth:?}");
+    assert!(
+        growth[0] < 12.0,
+        "pre-asymptotic growth already quadratic: {growth:?}"
+    );
 }
 
 #[test]
@@ -77,8 +79,9 @@ fn docking_pose_sweep_reuses_prepared_receptor() {
     let tree = OctreeConfig::default();
     let mut energies = Vec::new();
     for k in 0..3 {
-        let xf = RigidTransform::translation(Vec3::new(30.0 + 5.0 * k as f64, 0.0, 0.0))
-            .compose(&RigidTransform::rotation(Rotation::axis_angle(Vec3::Y, k as f64)));
+        let xf = RigidTransform::translation(Vec3::new(30.0 + 5.0 * k as f64, 0.0, 0.0)).compose(
+            &RigidTransform::rotation(Rotation::axis_angle(Vec3::Y, k as f64)),
+        );
         let complex = receptor.merged(&ligand.transformed(&xf), "cmpx");
         let solver = GbSolver::for_molecule(&complex, &surface, &tree);
         energies.push(solver.solve(&params).epol_kcal);
@@ -96,11 +99,17 @@ fn cluster_simulation_consumes_real_solver_workloads() {
     let solver = prepared(500, 8);
     let params = GbParams::default();
     let spec = MachineSpec::lonestar4(12);
-    let born_tasks: Vec<u64> =
-        solver.born_work_per_qleaf(&params).iter().map(|w| w.units()).collect();
+    let born_tasks: Vec<u64> = solver
+        .born_work_per_qleaf(&params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let (born, _) = solver.born_radii(&params);
-    let epol_tasks: Vec<u64> =
-        solver.epol_work_per_leaf(&born, &params).iter().map(|w| w.units()).collect();
+    let epol_tasks: Vec<u64> = solver
+        .epol_work_per_leaf(&born, &params)
+        .iter()
+        .map(|w| w.units())
+        .collect();
     let exp = ClusterExperiment {
         spec,
         born_tasks,
@@ -124,8 +133,12 @@ fn pqr_roundtrip_preserves_the_energy() {
     let params = GbParams::default();
     let surface = SurfaceConfig::coarse();
     let tree = OctreeConfig::default();
-    let e1 = GbSolver::for_molecule(&mol, &surface, &tree).solve(&params).epol_kcal;
-    let e2 = GbSolver::for_molecule(&back, &surface, &tree).solve(&params).epol_kcal;
+    let e1 = GbSolver::for_molecule(&mol, &surface, &tree)
+        .solve(&params)
+        .epol_kcal;
+    let e2 = GbSolver::for_molecule(&back, &surface, &tree)
+        .solve(&params)
+        .epol_kcal;
     // PQR stores 3-4 decimals; energies agree to ~0.1%.
     assert!((e1 - e2).abs() < 2e-3 * e1.abs(), "{e1} vs {e2}");
 }

@@ -12,19 +12,34 @@ fn sec2_octree_memory_is_cutoff_independent_nblist_is_not() {
     let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
     let octree_bytes = solver.tree_a.memory_bytes();
     let pos = mol.positions();
-    let nb_small = NbList::build(&pos, NbListConfig { cutoff: 6.0, skin: 0.0 }).memory_bytes();
-    let nb_large = NbList::build(&pos, NbListConfig { cutoff: 20.0, skin: 0.0 }).memory_bytes();
+    let nb_small = NbList::build(
+        &pos,
+        NbListConfig {
+            cutoff: 6.0,
+            skin: 0.0,
+        },
+    )
+    .memory_bytes();
+    let nb_large = NbList::build(
+        &pos,
+        NbListConfig {
+            cutoff: 20.0,
+            skin: 0.0,
+        },
+    )
+    .memory_bytes();
     // The octree never changes with the cutoff; the nblist explodes.
     assert!(nb_large > 5 * nb_small, "{nb_small} -> {nb_large}");
-    assert!(octree_bytes < nb_large, "octree {octree_bytes} vs nblist {nb_large}");
+    assert!(
+        octree_bytes < nb_large,
+        "octree {octree_bytes} vs nblist {nb_large}"
+    );
 }
 
 #[test]
 fn sec4a_node_division_error_constant_atom_division_error_varies() {
     use polar_energy::gb::constants::{tau, EPS_WATER};
-    use polar_energy::gb::energy::octree::{
-        epol_for_atom_segment, epol_for_leaf_segment, EpolCtx,
-    };
+    use polar_energy::gb::energy::octree::{epol_for_atom_segment, epol_for_leaf_segment, EpolCtx};
     use polar_energy::gb::partition::even_segments;
     use polar_energy::gb::WorkCounts;
     let mol = generators::globular("div", 400, 12);
@@ -51,7 +66,10 @@ fn sec4a_node_division_error_constant_atom_division_error_varies() {
     };
     let n1 = node_energy(1);
     for p in [2usize, 5, 12] {
-        assert!((node_energy(p) - n1).abs() <= 1e-9 * n1.abs(), "node division varies at P={p}");
+        assert!(
+            (node_energy(p) - n1).abs() <= 1e-9 * n1.abs(),
+            "node division varies at P={p}"
+        );
     }
     let a1 = atom_energy(1);
     let varies = [2usize, 5, 12]
@@ -67,7 +85,10 @@ fn sec4b_pure_mpi_replicates_p_times_more_memory() {
     let params = GbParams::default();
     let pure = run_distributed(&solver, &DistributedConfig::oct_mpi(8, params));
     let hybrid = run_distributed(&solver, &DistributedConfig::oct_mpi_cilk(2, 4, params));
-    assert_eq!(pure.total_replicated_bytes, 4 * hybrid.total_replicated_bytes);
+    assert_eq!(
+        pure.total_replicated_bytes,
+        4 * hybrid.total_replicated_bytes
+    );
     assert!((pure.epol_kcal - hybrid.epol_kcal).abs() <= 1e-9 * pure.epol_kcal.abs());
 }
 
@@ -76,12 +97,19 @@ fn sec5d_tinker_energy_is_seventy_percent_class_and_small_packages_oom() {
     let mol = generators::globular("pk", 400, 14);
     let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
     let naive = {
-        let p = GbParams { eps_born: 1e-6, eps_epol: 1e-6, ..Default::default() };
+        let p = GbParams {
+            eps_born: 1e-6,
+            eps_epol: 1e-6,
+            ..Default::default()
+        };
         solver.solve(&p).epol_kcal
     };
     let tinker = tinker60().run(&mol).unwrap().epol_kcal;
     let ratio = tinker / naive;
-    assert!(ratio > 0.4 && ratio < 0.95, "Tinker/naive ratio {ratio} (paper ~0.7)");
+    assert!(
+        ratio > 0.4 && ratio < 0.95,
+        "Tinker/naive ratio {ratio} (paper ~0.7)"
+    );
     // OOM limits (paper §V.D).
     let big = generators::globular("big", 13_500, 15);
     assert!(tinker60().run(&big).is_err());
@@ -100,10 +128,8 @@ fn sec5f_octree_beats_amber_by_growing_factors() {
         let solver =
             GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
         let r = solver.solve(&params);
-        let oct_work = r.work_born.pair_ops
-            + r.work_born.far_ops
-            + r.work_epol.pair_ops
-            + r.work_epol.far_ops;
+        let oct_work =
+            r.work_born.pair_ops + r.work_born.far_ops + r.work_epol.pair_ops + r.work_epol.far_ops;
         let amber_work = amber12().run(&mol).unwrap().work.pair_ops;
         ratios.push(amber_work as f64 / oct_work as f64);
     }
@@ -111,5 +137,8 @@ fn sec5f_octree_beats_amber_by_growing_factors() {
         ratios[1] > ratios[0],
         "octree advantage should grow with molecule size: {ratios:?}"
     );
-    assert!(ratios[1] > 2.0, "expected a clear asymptotic win: {ratios:?}");
+    assert!(
+        ratios[1] > 2.0,
+        "expected a clear asymptotic win: {ratios:?}"
+    );
 }

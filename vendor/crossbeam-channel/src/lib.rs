@@ -1,0 +1,36 @@
+//! Offline stand-in for `crossbeam-channel`, delegating to
+//! `std::sync::mpsc`. The workspace uses only unbounded channels with
+//! single-consumer receivers, which `mpsc` covers exactly.
+
+pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+/// An unbounded MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(vec![1.0, 2.0]).unwrap();
+        assert_eq!(rx.recv().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let sum: u64 = (0..100).map(|_| rx.recv().unwrap()).sum();
+            assert_eq!(sum, 4950);
+        });
+    }
+}

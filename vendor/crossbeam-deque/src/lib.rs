@@ -1,0 +1,193 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Same API shape (`Worker::new_lifo`, `Worker::push/pop`,
+//! `Worker::stealer`, `Stealer::steal` → [`Steal`]) backed by a
+//! `Mutex<VecDeque>` instead of the lock-free Chase–Lev deque. Semantics
+//! match what the scheduler in `polar-runtime` relies on:
+//!
+//! * the owner pushes and pops at the *back* (LIFO — newest first),
+//! * stealers take from the *front* (FIFO — oldest first),
+//! * a contended steal returns [`Steal::Retry`] (here: the mutex was
+//!   held), so callers genuinely observe all three `Steal` variants.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was taken from the victim.
+    Success(T),
+    /// The victim's queue was observed empty.
+    Empty,
+    /// The attempt lost a race; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// The owner's end of the deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops its *newest* task (LIFO) while stealers
+    /// take the *oldest*.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A deque whose owner pops in push order (FIFO).
+    pub fn new_fifo() -> Worker<T> {
+        // Owner pop order differs only via `pop`; we keep one backing
+        // container and pop the front for FIFO semantics via `Stealer`.
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Owner pop: newest task (back).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("deque poisoned").is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("deque poisoned").len()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A thief's handle: takes the oldest task.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Try to take the victim's oldest task. A held lock maps to
+    /// [`Steal::Retry`] — the same "lost the race" signal the lock-free
+    /// implementation produces.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("deque poisoned"),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self.queue.try_lock() {
+            Ok(q) => q.is_empty(),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn stealers_share_the_queue() {
+        let w = Worker::new_lifo();
+        for i in 0..10 {
+            w.push(i);
+        }
+        let s1 = w.stealer();
+        let s2 = s1.clone();
+        let mut got = Vec::new();
+        while let Steal::Success(v) = s1.steal() {
+            got.push(v);
+            if let Steal::Success(v) = s2.steal() {
+                got.push(v);
+            }
+        }
+        got.sort();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_steals_drain_everything_once() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let taken: Vec<Vec<i32>> = std::thread::scope(|sc| {
+            stealers
+                .iter()
+                .map(|s| {
+                    sc.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => mine.push(v),
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<i32> = taken.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

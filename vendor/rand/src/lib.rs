@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates-io access, so this vendored crate
+//! provides exactly the API slice the workspace uses: seeded PRNGs
+//! (`rngs::StdRng`, `rngs::SmallRng`), `SeedableRng::seed_from_u64`, and
+//! the `RngExt` sampling methods `random::<f64>()` / `random_range(a..b)`.
+//! The generator is SplitMix64 — statistically fine for synthetic-input
+//! generation and scheduler victim selection, and fully deterministic in
+//! the seed (the workspace's reproducibility tests pin that property).
+
+use std::ops::Range;
+
+/// Minimal core-RNG interface: a stream of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a `u64` seed (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every `RngCore`.
+pub trait RngExt: RngCore {
+    /// A sample from the "standard" distribution of `T` (`f64` ⇒ uniform
+    /// in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types with a default sampling distribution.
+pub trait Standard {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: one 64-bit word of state, excellent avalanche, passes
+    /// the sanity bar for synthetic-geometry generation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl RngCore for SplitMix64 {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SplitMix64 {
+        fn seed_from_u64(seed: u64) -> Self {
+            SplitMix64 { state: seed }
+        }
+    }
+
+    /// The workspace's "standard" RNG (alias of SplitMix64 here).
+    pub type StdRng = SplitMix64;
+    /// The workspace's "small/fast" RNG (alias of SplitMix64 here).
+    pub type SmallRng = SplitMix64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_samples_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let k = r.random_range(0..10);
+            assert!((0..10).contains(&k));
+            let u = r.random_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

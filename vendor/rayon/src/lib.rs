@@ -1,0 +1,226 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the API slice the workspace uses — `current_num_threads`,
+//! `into_par_iter()/par_iter()` followed by `map` and one terminal op
+//! (`collect`, `sum`, `reduce_with`) — with real data parallelism: the
+//! mapped closure runs on `std::thread::scope` threads over contiguous
+//! chunks, one chunk per available core. Results are returned in input
+//! order, so callers observe the same determinism contract as rayon.
+
+/// Number of worker threads a parallel op will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item on scoped threads, preserving input order.
+fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per thread; join preserves chunk order.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon-stub worker panicked"));
+        }
+        out
+    })
+}
+
+/// A not-yet-evaluated parallel pipeline.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Evaluate the pipeline, in parallel, preserving input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    fn reduce_with<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.run().into_iter().reduce(f)
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.run().into_iter().for_each(f);
+    }
+}
+
+/// Leaf of a pipeline: a materialized item list.
+pub struct IntoIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped pipeline; evaluation applies `f` on scoped threads.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+/// `vec.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IntoIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoIter<T> {
+        IntoIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> IntoIter<T> {
+        IntoIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `slice.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> IntoIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IntoIter<&'a T> {
+        IntoIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IntoIter<&'a T> {
+        IntoIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..1000).collect();
+        let out: Vec<i64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_and_reduce_match_serial() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.clone().into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 5050);
+        let m = v.into_par_iter().map(|x| x).reduce_with(u64::max);
+        assert_eq!(m, Some(100));
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = v.par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(out, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closures_actually_run_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..10_000).collect();
+        let _: Vec<usize> = v
+            .into_par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        // On a multicore host more than one thread participates.
+        if super::current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1);
+        }
+    }
+}
