@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the plan+execute kernel engine.
+//!
+//! Four views of the tentpole trade-off:
+//! * `plan_build` — the one-time traversal + list-materialization cost,
+//! * `plan_execute` — a full solve replayed from the flat SoA lists,
+//! * `recursive_solve` — the fused traverse-and-evaluate baseline,
+//! * `replan_every_solve` — what a caller pays without reuse.
+//!
+//! `bench_kernels` (a `src/bin` binary) measures the same quantities on
+//! larger molecules and persists them to `results/BENCH_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polar_gb::{GbParams, GbSolver};
+use polar_molecule::generators;
+use polar_surface::SurfaceConfig;
+use std::hint::black_box;
+
+fn solver_of(n: usize, seed: u64) -> GbSolver {
+    let mol = generators::globular("plan", n, seed);
+    GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default())
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_build");
+    g.sample_size(10);
+    for n in [500usize, 2_000] {
+        let solver = solver_of(n, 31);
+        let params = GbParams::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &solver, |b, s| {
+            b.iter(|| s.plan(black_box(&params)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_execute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_execute");
+    g.sample_size(10);
+    for n in [500usize, 2_000] {
+        let solver = solver_of(n, 31);
+        let params = GbParams::default();
+        let plan = solver.plan(&params);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &solver, |b, s| {
+            b.iter(|| s.solve_with_plan(black_box(&plan), black_box(&params)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fused_vs_planned(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_strategy");
+    g.sample_size(10);
+    let solver = solver_of(2_000, 31);
+    let params = GbParams::default();
+    let plan = solver.plan(&params);
+    g.bench_function("recursive_solve", |b| {
+        b.iter(|| solver.solve(black_box(&params)))
+    });
+    g.bench_function("plan_reuse_execute", |b| {
+        b.iter(|| solver.solve_with_plan(black_box(&plan), black_box(&params)))
+    });
+    g.bench_function("replan_every_solve", |b| {
+        b.iter(|| {
+            let plan = solver.plan(black_box(&params));
+            solver.solve_with_plan(&plan, black_box(&params))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_build,
+    bench_plan_execute,
+    bench_fused_vs_planned
+);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Kernel-engine perf tracking: measure the plan+execute trade-off on
+//! real molecule sizes and persist `results/BENCH_kernels.json`.
+//!
+//! For each molecule the binary times four quantities (median of
+//! `iters` runs each):
+//!
+//! * `plan_build_seconds` — both separation traversals plus flat-list
+//!   materialization (the one-time cost),
+//! * `execute_seconds` — a full solve replayed from the SoA lists,
+//! * `replan_solve_seconds` — plan + execute, what a caller pays when
+//!   every solve re-plans,
+//! * `recursive_solve_seconds` — the fused traverse-and-evaluate
+//!   baseline.
+//!
+//! `plan_reuse_speedup = replan_solve_seconds / execute_seconds` is the
+//! headline number: how much faster the steady state is once the plan is
+//! amortized (the paper's ZDock repeated-rescoring workload).
+//!
+//! Sizes follow `POLAR_SCALE` (quick ≈ 1.2k/2.5k atoms for CI smoke,
+//! default adds a ≥5k-atom molecule, full adds ~12k).
+
+use polar_bench::{fmt_bytes, fmt_secs, Scale, Table};
+use polar_gb::{GbParams, GbSolver};
+use polar_molecule::generators;
+use polar_surface::SurfaceConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn median_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    molecule: String,
+    n_atoms: usize,
+    n_qpoints: usize,
+    eps: f64,
+    iters: usize,
+    plan_build_seconds: f64,
+    execute_seconds: f64,
+    replan_solve_seconds: f64,
+    recursive_solve_seconds: f64,
+    plan_reuse_speedup: f64,
+    plan_memory_bytes: u64,
+    born_near_entries: u64,
+    born_far_entries: u64,
+    epol_near_entries: u64,
+    epol_far_entries: u64,
+}
+
+fn measure(n: usize, iters: usize) -> Row {
+    let mol = generators::globular(format!("globule_n{n}"), n, 47);
+    let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default());
+    let params = GbParams::default();
+    eprintln!(
+        "[bench_kernels] {}: {} atoms, {} q-points, {iters} iters",
+        mol.name,
+        solver.n_atoms(),
+        solver.n_qpoints()
+    );
+
+    // Warm up caches and page in the solver before timing anything.
+    let reference = solver.solve(&params);
+    let plan = solver.plan(&params);
+    let planned = solver.solve_with_plan(&plan, &params);
+    assert_eq!(planned.born, reference.born, "plan must replay the solve");
+
+    let plan_build_seconds = median_secs(iters, || solver.plan(&params));
+    let execute_seconds = median_secs(iters, || solver.solve_with_plan(&plan, &params));
+    let replan_solve_seconds = median_secs(iters, || {
+        let p = solver.plan(&params);
+        solver.solve_with_plan(&p, &params)
+    });
+    let recursive_solve_seconds = median_secs(iters, || solver.solve(&params));
+
+    let stats = plan.stats();
+    Row {
+        molecule: mol.name.clone(),
+        n_atoms: solver.n_atoms(),
+        n_qpoints: solver.n_qpoints(),
+        eps: params.eps_born,
+        iters,
+        plan_build_seconds,
+        execute_seconds,
+        replan_solve_seconds,
+        recursive_solve_seconds,
+        plan_reuse_speedup: replan_solve_seconds / execute_seconds,
+        plan_memory_bytes: stats.plan_bytes,
+        born_near_entries: stats.born_near_entries,
+        born_far_entries: stats.born_far_entries,
+        epol_near_entries: stats.epol_near_entries,
+        epol_far_entries: stats.epol_far_entries,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // quick: CI smoke sizes; default: includes the ≥5k-atom acceptance
+    // molecule; full: adds a protein-sized run.
+    let (sizes, iters): (&[usize], usize) = if scale == Scale::quick() {
+        (&[1_200, 2_500], 3)
+    } else if scale == Scale::full() {
+        (&[1_200, 2_500, 6_000, 12_000], 5)
+    } else {
+        (&[1_200, 2_500, 6_000], 5)
+    };
+
+    let rows: Vec<Row> = sizes.iter().map(|&n| measure(n, iters)).collect();
+
+    let mut t = Table::new(
+        "bench_kernels",
+        &[
+            "atoms",
+            "plan",
+            "execute",
+            "replan+exec",
+            "recursive",
+            "reuse x",
+            "plan mem",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.n_atoms.to_string(),
+            fmt_secs(r.plan_build_seconds),
+            fmt_secs(r.execute_seconds),
+            fmt_secs(r.replan_solve_seconds),
+            fmt_secs(r.recursive_solve_seconds),
+            format!("{:.2}", r.plan_reuse_speedup),
+            fmt_bytes(r.plan_memory_bytes as f64),
+        ]);
+    }
+    t.emit();
+
+    // Persist the machine-readable record the CI job uploads.
+    let mut json = String::from("{\"schema\":\"bench_kernels/v1\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"molecule\":\"{}\",\"n_atoms\":{},\"n_qpoints\":{},\"eps\":{},\
+             \"iters\":{},\"plan_build_seconds\":{:.6e},\"execute_seconds\":{:.6e},\
+             \"replan_solve_seconds\":{:.6e},\"recursive_solve_seconds\":{:.6e},\
+             \"plan_reuse_speedup\":{:.4},\"plan_memory_bytes\":{},\
+             \"born_near_entries\":{},\"born_far_entries\":{},\
+             \"epol_near_entries\":{},\"epol_far_entries\":{}}}",
+            r.molecule,
+            r.n_atoms,
+            r.n_qpoints,
+            r.eps,
+            r.iters,
+            r.plan_build_seconds,
+            r.execute_seconds,
+            r.replan_solve_seconds,
+            r.recursive_solve_seconds,
+            r.plan_reuse_speedup,
+            r.plan_memory_bytes,
+            r.born_near_entries,
+            r.born_far_entries,
+            r.epol_near_entries,
+            r.epol_far_entries,
+        );
+    }
+    json.push_str("]}\n");
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[bench_kernels] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_kernels.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[json] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench_kernels] cannot write {}: {e}", path.display()),
+    }
+}

@@ -82,6 +82,9 @@ pub fn energy(a: &Args) -> CmdResult {
     let profile = profile_format(a)?;
     let params = params_from(a)?;
     let solver = prepare(&mol);
+    if a.get("reuse-plan").is_some() {
+        return energy_reuse_plan(a, &solver, &params, profile);
+    }
     let t = Instant::now();
     let (result, report) = if a.flag("parallel") {
         let workers = std::thread::available_parallelism()
@@ -110,6 +113,68 @@ pub fn energy(a: &Args) -> CmdResult {
             100.0 * (result.epol_kcal - e) / e.abs()
         );
     }
+    Ok(())
+}
+
+/// `polar energy --reuse-plan N`: plan once, execute `N` solves from the
+/// flat lists, and report how the one-time traversal cost amortizes —
+/// the paper's ZDock-style repeated-rescoring workload.
+fn energy_reuse_plan(
+    a: &Args,
+    solver: &GbSolver,
+    params: &GbParams,
+    profile: Option<ProfileFormat>,
+) -> CmdResult {
+    let n: usize = a.get_parsed("reuse-plan", 1)?;
+    if n == 0 {
+        return Err(Box::new(ArgError("--reuse-plan needs N >= 1".into())));
+    }
+    let t = Instant::now();
+    let plan = solver.plan(params);
+    let plan_s = t.elapsed().as_secs_f64();
+    let stats = plan.stats();
+    eprintln!(
+        "planned {} near + {} far Born entries, {} near + {} far energy entries \
+         ({:.1} MB) in {plan_s:.3}s",
+        stats.born_near_entries,
+        stats.born_far_entries,
+        stats.epol_near_entries,
+        stats.epol_far_entries,
+        stats.plan_bytes as f64 / 1048576.0,
+    );
+    let workers = if a.flag("parallel") {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    let t = Instant::now();
+    let mut last = None;
+    for _ in 0..n {
+        last = Some(if workers > 1 {
+            solver.solve_with_plan_parallel_report(&plan, params, workers)
+        } else {
+            solver.solve_with_plan_report(&plan, params)
+        });
+    }
+    let exec_total = t.elapsed().as_secs_f64();
+    let (result, report) = last.expect("n >= 1");
+    let per_solve = exec_total / n as f64;
+    println!(
+        "E_pol = {:.4} kcal/mol  (eps {}/{}, {} math, plan reused {n}x)",
+        result.epol_kcal,
+        params.eps_born,
+        params.eps_epol,
+        params.math.label(),
+    );
+    println!(
+        "plan {plan_s:.3}s once + {per_solve:.3}s/solve; \
+         amortized {:.3}s/solve vs {:.3}s replanning every solve",
+        plan_s / n as f64 + per_solve,
+        plan_s + per_solve,
+    );
+    emit_report(&report, profile);
     Ok(())
 }
 
@@ -224,11 +289,15 @@ pub fn distributed(a: &Args) -> CmdResult {
         ranks,
         threads_per_rank: threads,
         params,
+        use_plan: a.flag("plan"),
         ..DistributedConfig::oct_mpi(ranks, params)
     };
     if a.flag("data-dist") {
         if profile.is_some() {
             eprintln!("warning: --profile is not available for the data-distributed driver");
+        }
+        if cfg.use_plan {
+            eprintln!("warning: --plan is ignored by the data-distributed driver");
         }
         let t = Instant::now();
         let run = run_data_distributed(&solver, &cfg);
@@ -272,17 +341,40 @@ pub fn project(a: &Args) -> CmdResult {
     let params = params_from(a)?;
     let solver = prepare(&mol);
     let spec = polar_cluster::MachineSpec::lonestar4(nodes.max(1));
-    let born_tasks: Vec<u64> = solver
-        .born_work_per_qleaf(&params)
-        .iter()
-        .map(|w| w.units())
-        .collect();
-    let (born, _) = solver.born_radii(&params);
-    let epol_tasks: Vec<u64> = solver
-        .epol_work_per_leaf(&born, &params)
-        .iter()
-        .map(|w| w.units())
-        .collect();
+    let (born_tasks, epol_tasks): (Vec<u64>, Vec<u64>) = if a.flag("plan") {
+        // Cost model from the plan's flat lists: cheaper to obtain than
+        // the counting traversals and identical in the units that matter
+        // (pair/far evaluations; no tree-walk term).
+        let plan = solver.plan(&params);
+        let (born, _) = solver.born_radii(&params);
+        let ectx = polar_gb::energy::octree::EpolCtx::new(
+            &solver.tree_a,
+            &solver.charges,
+            &born,
+            params.eps_epol,
+        );
+        (
+            plan.born_leaf_work().iter().map(|w| w.units()).collect(),
+            plan.epol_leaf_work(&ectx)
+                .iter()
+                .map(|w| w.units())
+                .collect(),
+        )
+    } else {
+        let (born, _) = solver.born_radii(&params);
+        (
+            solver
+                .born_work_per_qleaf(&params)
+                .iter()
+                .map(|w| w.units())
+                .collect(),
+            solver
+                .epol_work_per_leaf(&born, &params)
+                .iter()
+                .map(|w| w.units())
+                .collect(),
+        )
+    };
     let exp = polar_cluster::ClusterExperiment {
         spec,
         born_tasks,

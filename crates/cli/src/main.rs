@@ -16,10 +16,20 @@ mod commands;
 use args::Args;
 
 const VALUE_OPTS: &[&str] = &[
-    "eps-born", "eps-epol", "seed", "out", "from", "to", "steps", "ranks", "threads", "nodes",
+    "eps-born",
+    "eps-epol",
+    "seed",
+    "out",
+    "from",
+    "to",
+    "steps",
+    "ranks",
+    "threads",
+    "nodes",
     "profile",
+    "reuse-plan",
 ];
-const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist"];
+const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist", "plan"];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -65,11 +75,15 @@ USAGE:
       --parallel                  shared-memory (OCT_CILK) driver
       --naive                     also run the O(M^2) reference + error
       --profile json|csv          print a structured SolveReport to stdout
+      --reuse-plan N              plan the traversals once, execute N solves
+                                  from the flat lists (amortization timing)
   polar info <file>         atom counts, charge, bounds, surface size
   polar generate <kind> <n> synthesize globule|shell|ligand [--seed S] [--out f.pqr]
   polar sweep <file>        error/time vs eps [--from A --to B --steps K]
   polar distributed <file>  in-process MPI drivers [--ranks P] [--threads p] [--data-dist]
+      --plan                      ranks execute segments of a shared plan
   polar project <file>      simulated Lonestar4 timings [--nodes N]
+      --plan                      derive per-leaf task costs from plan lists
 
 Input formats: .pqr (charges+radii), .pdb/.ent (element radii, q=0), .xyz"
     );

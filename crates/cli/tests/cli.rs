@@ -110,6 +110,57 @@ fn distributed_and_data_dist_run() {
 }
 
 #[test]
+fn reuse_plan_amortizes_and_profiles() {
+    let path = tmp_pqr("reuse", 250);
+    let out = polar()
+        .args(["energy"])
+        .arg(&path)
+        .args(["--reuse-plan", "3", "--profile", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("plan reused 3x"), "{text}");
+    assert!(text.contains("amortized"), "{text}");
+    assert!(text.contains("\"mode\":\"plan\""), "{text}");
+    assert!(text.contains("\"plan\":{"), "{text}");
+    let planned = String::from_utf8_lossy(&out.stderr);
+    assert!(planned.contains("planned"), "{planned}");
+
+    // Plan-executing ranks agree with the plain distributed run.
+    let dist = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "2", "--threads", "2", "--plan"])
+        .output()
+        .unwrap();
+    assert!(
+        dist.status.success(),
+        "{}",
+        String::from_utf8_lossy(&dist.stderr)
+    );
+    assert!(String::from_utf8_lossy(&dist.stdout).contains("E_pol = -"));
+
+    // Plan-derived cluster projection runs.
+    let proj = polar()
+        .args(["project"])
+        .arg(&path)
+        .args(["--nodes", "2", "--plan"])
+        .output()
+        .unwrap();
+    assert!(
+        proj.status.success(),
+        "{}",
+        String::from_utf8_lossy(&proj.stderr)
+    );
+    assert!(String::from_utf8_lossy(&proj.stdout).contains("OCT_MPI"));
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = polar()
         .args(["energy", "/nonexistent/file.pqr"])

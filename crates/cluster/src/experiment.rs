@@ -292,6 +292,7 @@ impl ClusterExperiment {
                 bytes_sent: layout.ranks as u64 * (self.partials_bytes + 8) + self.born_bytes,
                 replicated_bytes: layout.ranks as u64 * self.data_bytes,
             }),
+            plan: None,
             memory_bytes: self.data_bytes,
         }
     }
@@ -575,7 +576,7 @@ mod tests {
         assert_eq!(comm.replicated_bytes, 4 * e.data_bytes);
         // NaN energy serializes as JSON null, and the row stays parseable.
         assert!(r.to_json().contains("\"epol_kcal\":null"));
-        assert_eq!(r.to_csv_row().split(',').count(), 30);
+        assert_eq!(r.to_csv_row().split(',').count(), 35);
     }
 
     #[test]

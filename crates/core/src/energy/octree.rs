@@ -150,10 +150,21 @@ impl<'a> EpolCtx<'a> {
         }
     }
 
+    /// One node's binned-charge histogram (`q_U[k]`, Fig. 3). Public so
+    /// the plan+execute engine ([`crate::plan`]) can evaluate far-field
+    /// entries with exactly the recursive traversal's arithmetic.
     #[inline]
-    fn hist_row(&self, id: NodeId) -> &[f64] {
+    pub fn hist_row(&self, id: NodeId) -> &[f64] {
         let nb = self.bins.nbins;
         &self.hist[id as usize * nb..(id as usize + 1) * nb]
+    }
+
+    /// Number of nonzero histogram bins of a node — a far (U, V) entry
+    /// costs `nz(U)·nz(V)` STILL-kernel evaluations, which is how the
+    /// plan derives per-leaf work vectors without re-traversing.
+    #[inline]
+    pub fn nonzero_bin_count(&self, id: NodeId) -> u32 {
+        self.nonzero_bins[id as usize]
     }
 
     /// Histogram memory in bytes (for space accounting).
@@ -470,6 +481,64 @@ mod tests {
         assert!(b.bin_of(3.0) <= b.bin_of(10.0));
         // Representative product at (0,0) is R_min².
         assert!((b.radius_product(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_scheme_degenerate_single_radius() {
+        // A single atom (or any all-equal radii set) has r_min == r_max:
+        // log(r_max/r_min) = 0 must not produce a zero-bin scheme or a
+        // divide-by-zero bin width.
+        for eps in [0.01, 0.5, 2.0] {
+            let b = BinScheme::new(&[2.5], eps);
+            assert!(b.nbins >= 1 && b.nbins <= 2, "nbins = {}", b.nbins);
+            assert_eq!(b.bin_of(2.5), 0);
+            assert!((b.radius_product(0, 0) - 6.25).abs() < 1e-12);
+
+            let many = BinScheme::new(&[1.7; 32], eps);
+            assert_eq!(many.bin_of(1.7), 0);
+            assert!(many.bin_of(1.7) < many.nbins);
+        }
+    }
+
+    #[test]
+    fn bin_scheme_cap_rederives_width_to_span_range() {
+        // Tiny ε over a wide radius range wants ~9000 bins; the cap
+        // clamps to 256 and the re-derived width must still cover the
+        // whole range — r_max lands in the last bin (modulo one ulp of
+        // the division), never out of bounds.
+        let b = BinScheme::new(&[0.1, 1000.0], 0.001);
+        assert_eq!(b.nbins, 256);
+        let top = b.bin_of(1000.0);
+        assert!(top >= b.nbins - 2 && top < b.nbins, "top bin {top}");
+        // Anything above r_max still clamps inside the scheme.
+        assert!(b.bin_of(1e9) < b.nbins);
+        // An uncapped scheme over the same range keeps the exact width.
+        let u = BinScheme::new(&[0.1, 1000.0], 0.5);
+        assert!(u.nbins < 256);
+        assert!(u.bin_of(1000.0) < u.nbins);
+    }
+
+    #[test]
+    fn bin_of_is_monotone_across_capped_and_uncapped_schemes() {
+        // bin_of must be non-decreasing in r for both the capped
+        // (re-derived width) and uncapped schemes, over the full range
+        // and past its edges.
+        for (born, eps) in [
+            (vec![0.1, 1000.0], 0.001), // capped at 256
+            (vec![0.1, 1000.0], 0.5),   // uncapped
+            (vec![1.0, 1.5, 3.0, 10.0], 0.3),
+        ] {
+            let b = BinScheme::new(&born, eps);
+            let mut prev = 0usize;
+            let mut r = 0.05;
+            while r < 2000.0 {
+                let k = b.bin_of(r);
+                assert!(k < b.nbins, "r={r}: bin {k} out of {}", b.nbins);
+                assert!(k >= prev, "bin_of not monotone at r={r}: {k} < {prev}");
+                prev = k;
+                r *= 1.01;
+            }
+        }
     }
 
     #[test]

@@ -38,10 +38,12 @@ pub mod energy;
 pub mod metrics;
 pub mod nonpolar;
 pub mod partition;
+pub mod plan;
 pub mod report;
 pub mod solver;
 pub mod stats;
 
+pub use plan::InteractionPlan;
 pub use report::SolveReport;
 pub use solver::{GbParams, GbResult, GbSolver};
 pub use stats::WorkCounts;

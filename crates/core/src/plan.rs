@@ -1,0 +1,682 @@
+//! Plan + execute engine for the two hot traversals.
+//!
+//! The recursive kernels in [`crate::born::octree`] and
+//! [`crate::energy::octree`] interleave the Fig. 2/Fig. 3 *separation
+//! tests* (pointer-chasing tree walks) with the *arithmetic* (pair sums
+//! and far-field pseudo-particle terms). For a fixed geometry and ε the
+//! outcome of every separation test is the same on every solve, so this
+//! module splits the work FMM-style:
+//!
+//! * **plan** ([`InteractionPlan::build`]): run each traversal once and
+//!   record its decisions as flat interaction lists — near-field
+//!   (leaf, leaf) slot-range pairs and far-field (node, node) id pairs —
+//!   stored as SoA index buffers, one list segment per source leaf so the
+//!   node-based work division still applies;
+//! * **execute** ([`InteractionPlan::execute_born_segment`],
+//!   [`InteractionPlan::execute_epol_segment`]): branch-free loops over
+//!   those buffers reading SoA position/charge arrays (cache-friendly and
+//!   auto-vectorizable), chunked through `polar_runtime::run_batch` by the
+//!   parallel drivers so steal counters keep working.
+//!
+//! A plan built once is reusable across repeated solves of the same
+//! prepared [`GbSolver`] — the paper's ZDock re-scoring workload
+//! (§IV.C): many energy evaluations of one complex without re-walking
+//! the trees. See `GbSolver::solve_with_plan` and the
+//! `polar energy --reuse-plan N` CLI mode.
+//!
+//! ## Fidelity to the recursive reference
+//!
+//! The plan records entries in exactly the order the recursive traversal
+//! visits them (q-leaves ascending, depth-first over the atoms tree), and
+//! the execute loops replicate the recursive kernels' arithmetic
+//! term-for-term, so:
+//!
+//! * Born-stage partials are **bitwise identical** to the recursive path
+//!   (every accumulator receives the same terms in the same order);
+//! * E_pol agrees to machine precision (≲ 1e-12 relative): per-leaf
+//!   contributions are re-associated (all near entries, then all far
+//!   entries, instead of the recursion's interleaved nesting), which
+//!   perturbs the sum only at the units-in-last-place level.
+//!
+//! `WorkCounts` from execute report the same `pair_ops`/`far_ops` as the
+//! recursive traversal; `nodes_visited` is counted once at plan time
+//! (in [`InteractionPlan::plan_work`]) and is zero during execute — that
+//! is the point of planning.
+
+use crate::born::octree::{separation_factor_r6, BornKernel, BornOctreeCtx, BornPartials};
+use crate::energy::exact::gb_pair;
+use crate::energy::octree::{separation_factor_epol, EpolCtx};
+use crate::report::PlanReport;
+use crate::solver::{GbParams, GbSolver};
+use crate::stats::WorkCounts;
+use polar_geom::MathMode;
+use polar_octree::{NodeId, Octree};
+use std::ops::Range;
+
+/// Flat interaction lists of the Born stage (`APPROX-INTEGRALS`, Fig. 2),
+/// grouped by `T_Q` leaf.
+///
+/// Entry `i` of the near list is a (atom-leaf, q-leaf) block: atom slots
+/// `near_a_start[i]..near_a_end[i]` interact exactly with q-point slots
+/// `near_q_start[i]..near_q_end[i]`. Entry `i` of the far list banks one
+/// pseudo-q-point term of `T_Q` node `far_q[i]` on `T_A` node `far_a[i]`.
+/// `near_off`/`far_off` (length `n_qleaves + 1`) delimit each q-leaf's
+/// slice of the lists, so rank `r` executes the slices of its q-leaf
+/// segment — the same node-based work division as the recursive path.
+#[derive(Debug, Clone, Default)]
+pub struct BornPlan {
+    near_off: Vec<u32>,
+    far_off: Vec<u32>,
+    near_a_start: Vec<u32>,
+    near_a_end: Vec<u32>,
+    near_q_start: Vec<u32>,
+    near_q_end: Vec<u32>,
+    far_a: Vec<u32>,
+    far_q: Vec<u32>,
+}
+
+impl BornPlan {
+    /// Number of near-field (leaf, leaf) block entries.
+    pub fn near_entries(&self) -> usize {
+        self.near_a_start.len()
+    }
+
+    /// Number of far-field (node, node) entries.
+    pub fn far_entries(&self) -> usize {
+        self.far_a.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.near_off.len()
+            + self.far_off.len()
+            + 4 * self.near_a_start.len()
+            + 2 * self.far_a.len())
+            * std::mem::size_of::<u32>()
+    }
+}
+
+/// Flat interaction lists of the energy stage (`APPROX-EPOL`, Fig. 3),
+/// grouped by `T_A` leaf `V`. Near entries are (U-leaf, V-leaf) slot-range
+/// blocks; far entries are (U-node, V-leaf-node) id pairs whose binned
+/// histograms interact through the STILL kernel at execute time.
+#[derive(Debug, Clone, Default)]
+pub struct EpolPlan {
+    near_off: Vec<u32>,
+    far_off: Vec<u32>,
+    near_u_start: Vec<u32>,
+    near_u_end: Vec<u32>,
+    near_v_start: Vec<u32>,
+    near_v_end: Vec<u32>,
+    far_u: Vec<u32>,
+    far_v: Vec<u32>,
+}
+
+impl EpolPlan {
+    /// Number of near-field (leaf, leaf) block entries.
+    pub fn near_entries(&self) -> usize {
+        self.near_u_start.len()
+    }
+
+    /// Number of far-field (node, node) entries.
+    pub fn far_entries(&self) -> usize {
+        self.far_u.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.near_off.len()
+            + self.far_off.len()
+            + 4 * self.near_u_start.len()
+            + 2 * self.far_u.len())
+            * std::mem::size_of::<u32>()
+    }
+}
+
+/// A reusable execution plan for one prepared solver at fixed ε.
+///
+/// Holds the interaction lists of both stages plus SoA copies of the
+/// per-slot inputs the execute loops stream over (atom positions and
+/// charges, q-point positions/normals/weights — all in Morton slot
+/// order, so the inner loops are contiguous loads).
+pub struct InteractionPlan {
+    /// ε the Born lists were planned for.
+    pub eps_born: f64,
+    /// ε the energy lists were planned for.
+    pub eps_epol: f64,
+    /// Born-stage lists.
+    pub born: BornPlan,
+    /// Energy-stage lists.
+    pub epol: EpolPlan,
+    /// Traversal work spent planning (the one-off cost a reused plan
+    /// amortizes away).
+    pub plan_work: WorkCounts,
+    // Atom SoA, slot order.
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    az: Vec<f64>,
+    charge_slot: Vec<f64>,
+    // Q-point SoA, slot order.
+    qx: Vec<f64>,
+    qy: Vec<f64>,
+    qz: Vec<f64>,
+    qnx: Vec<f64>,
+    qny: Vec<f64>,
+    qnz: Vec<f64>,
+    qw: Vec<f64>,
+}
+
+impl InteractionPlan {
+    /// Run both separation traversals once and record their decisions.
+    pub fn build(solver: &GbSolver, p: &GbParams) -> InteractionPlan {
+        let mut plan_work = WorkCounts::ZERO;
+        let born = plan_born(&solver.tree_a, &solver.tree_q, p.eps_born, &mut plan_work);
+        let epol = plan_epol(&solver.tree_a, p.eps_epol, &mut plan_work);
+
+        let n_atoms = solver.tree_a.len();
+        let mut ax = Vec::with_capacity(n_atoms);
+        let mut ay = Vec::with_capacity(n_atoms);
+        let mut az = Vec::with_capacity(n_atoms);
+        let mut charge_slot = Vec::with_capacity(n_atoms);
+        for (slot, pos) in solver.tree_a.points().iter().enumerate() {
+            ax.push(pos.x);
+            ay.push(pos.y);
+            az.push(pos.z);
+            charge_slot.push(solver.charges[solver.tree_a.order()[slot] as usize]);
+        }
+        let n_q = solver.tree_q.len();
+        let mut qx = Vec::with_capacity(n_q);
+        let mut qy = Vec::with_capacity(n_q);
+        let mut qz = Vec::with_capacity(n_q);
+        let mut qnx = Vec::with_capacity(n_q);
+        let mut qny = Vec::with_capacity(n_q);
+        let mut qnz = Vec::with_capacity(n_q);
+        let mut qw = Vec::with_capacity(n_q);
+        for &orig in solver.tree_q.order() {
+            let q = &solver.qpoints[orig as usize];
+            qx.push(q.pos.x);
+            qy.push(q.pos.y);
+            qz.push(q.pos.z);
+            qnx.push(q.normal.x);
+            qny.push(q.normal.y);
+            qnz.push(q.normal.z);
+            qw.push(q.weight);
+        }
+
+        InteractionPlan {
+            eps_born: p.eps_born,
+            eps_epol: p.eps_epol,
+            born,
+            epol,
+            plan_work,
+            ax,
+            ay,
+            az,
+            charge_slot,
+            qx,
+            qy,
+            qz,
+            qnx,
+            qny,
+            qnz,
+            qw,
+        }
+    }
+
+    /// Heap bytes held by the plan: interaction lists + SoA input copies.
+    pub fn memory_bytes(&self) -> usize {
+        self.born.memory_bytes()
+            + self.epol.memory_bytes()
+            + (self.ax.len() * 4 + self.qx.len() * 7) * std::mem::size_of::<f64>()
+    }
+
+    /// List-length statistics for the [`crate::report::SolveReport`].
+    pub fn stats(&self) -> PlanReport {
+        PlanReport {
+            born_near_entries: self.born.near_entries() as u64,
+            born_far_entries: self.born.far_entries() as u64,
+            epol_near_entries: self.epol.near_entries() as u64,
+            epol_far_entries: self.epol.far_entries() as u64,
+            plan_bytes: self.memory_bytes() as u64,
+        }
+    }
+
+    /// Execute the Born-stage lists of a contiguous `T_Q` leaf segment,
+    /// accumulating into `partials` exactly like
+    /// [`crate::born::octree::approx_integrals_into`] — bit-for-bit: the
+    /// lists replay the recursive traversal's accumulation order.
+    pub fn execute_born_segment(
+        &self,
+        ctx: &BornOctreeCtx<'_>,
+        qleaf_range: Range<usize>,
+        partials: &mut BornPartials,
+        counts: &mut WorkCounts,
+    ) {
+        if self.born.near_off.is_empty() {
+            return;
+        }
+        for qleaf in qleaf_range {
+            // Far entries first, then near blocks — within one q-leaf the
+            // two lists write disjoint accumulators (s_node vs s_atom), so
+            // per-accumulator order matches the recursive interleaving.
+            let fr = self.born.far_off[qleaf] as usize..self.born.far_off[qleaf + 1] as usize;
+            counts.far_ops += fr.len() as u64;
+            for i in fr {
+                let a_id = self.born.far_a[i];
+                let q_id = self.born.far_q[i];
+                let a = ctx.tree_a.node(a_id);
+                let q = ctx.tree_q.node(q_id);
+                let d = q.center - a.center;
+                let d_sq = a.center.dist_sq(q.center);
+                partials.s_node[a_id as usize] += BornKernel::R6.far_term(
+                    ctx.q_nsum[q_id as usize],
+                    &ctx.q_dipole[q_id as usize],
+                    d,
+                    d_sq,
+                );
+            }
+            let nr = self.born.near_off[qleaf] as usize..self.born.near_off[qleaf + 1] as usize;
+            for i in nr {
+                let a_range = self.born.near_a_start[i] as usize..self.born.near_a_end[i] as usize;
+                let q_range = self.born.near_q_start[i] as usize..self.born.near_q_end[i] as usize;
+                counts.pair_ops += (a_range.len() * q_range.len()) as u64;
+                for a in a_range {
+                    let (x, y, z) = (self.ax[a], self.ay[a], self.az[a]);
+                    let mut s = 0.0;
+                    for j in q_range.clone() {
+                        let dx = self.qx[j] - x;
+                        let dy = self.qy[j] - y;
+                        let dz = self.qz[j] - z;
+                        let r2 = dx * dx + dy * dy + dz * dz;
+                        let dot =
+                            self.qw[j] * (dx * self.qnx[j] + dy * self.qny[j] + dz * self.qnz[j]);
+                        // Same guard as the recursive kernel; adding the
+                        // masked 0.0 never flips the accumulator's bits.
+                        s += if r2 > 1e-12 {
+                            dot / (r2 * r2 * r2)
+                        } else {
+                            0.0
+                        };
+                    }
+                    partials.s_atom[a] += s;
+                }
+            }
+        }
+    }
+
+    /// Execute the energy-stage lists of a contiguous `T_A` leaf segment.
+    ///
+    /// `ectx` supplies the per-node binned-charge histograms (they depend
+    /// on the solve's Born radii, so they are rebuilt per solve — cheap);
+    /// `born_slot` is the solve's Born radii permuted into Morton slot
+    /// order. Returns this segment's `−(τ/2)·Σ` contribution, matching
+    /// [`crate::energy::octree::epol_for_leaf_segment`] to machine
+    /// precision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_epol_segment(
+        &self,
+        ectx: &EpolCtx<'_>,
+        born_slot: &[f64],
+        math: MathMode,
+        tau: f64,
+        leaf_range: Range<usize>,
+        counts: &mut WorkCounts,
+    ) -> f64 {
+        if self.epol.near_off.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for leaf in leaf_range {
+            // Per-leaf sub-accumulator: keeps the summation tree close to
+            // the recursion's per-leaf nesting (ulp-level agreement).
+            let mut leaf_acc = 0.0;
+            let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
+            for i in nr {
+                let u_range = self.epol.near_u_start[i] as usize..self.epol.near_u_end[i] as usize;
+                let v_range = self.epol.near_v_start[i] as usize..self.epol.near_v_end[i] as usize;
+                counts.pair_ops += (u_range.len() * v_range.len()) as u64;
+                for a in u_range {
+                    let (xa, ya, za) = (self.ax[a], self.ay[a], self.az[a]);
+                    let (qa, ra) = (self.charge_slot[a], born_slot[a]);
+                    for b in v_range.clone() {
+                        let dx = self.ax[b] - xa;
+                        let dy = self.ay[b] - ya;
+                        let dz = self.az[b] - za;
+                        let r_sq = dx * dx + dy * dy + dz * dz;
+                        leaf_acc += gb_pair(qa, self.charge_slot[b], r_sq, ra, born_slot[b], math);
+                    }
+                }
+            }
+            let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
+            for i in fr {
+                let u_id = self.epol.far_u[i];
+                let v_id = self.epol.far_v[i];
+                let u = ectx.tree.node(u_id);
+                let v = ectx.tree.node(v_id);
+                let d_sq = u.center.dist_sq(v.center);
+                let hu = ectx.hist_row(u_id);
+                let hv = ectx.hist_row(v_id);
+                let mut evals = 0u64;
+                for (i, &qu) in hu.iter().enumerate() {
+                    if qu == 0.0 {
+                        continue;
+                    }
+                    for (j, &qv) in hv.iter().enumerate() {
+                        if qv == 0.0 {
+                            continue;
+                        }
+                        let rr = ectx.bins.radius_product(i, j);
+                        let f = math.sqrt(d_sq + rr * math.exp(-d_sq / (4.0 * rr)));
+                        leaf_acc += qu * qv / f;
+                        evals += 1;
+                    }
+                }
+                counts.far_ops += evals.max(1);
+            }
+            acc += leaf_acc;
+        }
+        -0.5 * tau * acc
+    }
+
+    /// Per-`T_Q`-leaf Born-stage work implied by the lists — the task
+    /// sizes the cluster simulator replays, derived without re-running
+    /// the traversal. `pair_ops`/`far_ops` sum to the recursive
+    /// traversal's totals; `nodes_visited` is zero (spent at plan time).
+    pub fn born_leaf_work(&self) -> Vec<WorkCounts> {
+        let n = self.born.near_off.len().saturating_sub(1);
+        (0..n)
+            .map(|qleaf| {
+                let mut w = WorkCounts::ZERO;
+                let nr = self.born.near_off[qleaf] as usize..self.born.near_off[qleaf + 1] as usize;
+                for i in nr {
+                    w.pair_ops += (self.born.near_a_end[i] - self.born.near_a_start[i]) as u64
+                        * (self.born.near_q_end[i] - self.born.near_q_start[i]) as u64;
+                }
+                w.far_ops += (self.born.far_off[qleaf + 1] - self.born.far_off[qleaf]) as u64;
+                w
+            })
+            .collect()
+    }
+
+    /// Per-`T_A`-leaf energy-stage work implied by the lists. Needs the
+    /// solve's [`EpolCtx`] because a far entry's evaluation count is the
+    /// product of the two nodes' nonzero histogram bins.
+    pub fn epol_leaf_work(&self, ectx: &EpolCtx<'_>) -> Vec<WorkCounts> {
+        let n = self.epol.near_off.len().saturating_sub(1);
+        (0..n)
+            .map(|leaf| {
+                let mut w = WorkCounts::ZERO;
+                let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
+                for i in nr {
+                    w.pair_ops += (self.epol.near_u_end[i] - self.epol.near_u_start[i]) as u64
+                        * (self.epol.near_v_end[i] - self.epol.near_v_start[i]) as u64;
+                }
+                let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
+                for i in fr {
+                    let evals = ectx.nonzero_bin_count(self.epol.far_u[i]) as u64
+                        * ectx.nonzero_bin_count(self.epol.far_v[i]) as u64;
+                    w.far_ops += evals.max(1);
+                }
+                w
+            })
+            .collect()
+    }
+}
+
+/// Mirror of `recurse_qleaf` in [`crate::born::octree`]: same tests, same
+/// visit order, but records decisions instead of evaluating.
+fn plan_born(tree_a: &Octree, tree_q: &Octree, eps: f64, counts: &mut WorkCounts) -> BornPlan {
+    let mut plan = BornPlan::default();
+    if tree_a.is_empty() || tree_q.is_empty() {
+        return plan;
+    }
+    let factor = separation_factor_r6(eps);
+    let n_qleaves = tree_q.leaves().len();
+    plan.near_off.reserve(n_qleaves + 1);
+    plan.far_off.reserve(n_qleaves + 1);
+    plan.near_off.push(0);
+    plan.far_off.push(0);
+    for &qleaf in tree_q.leaves() {
+        plan_born_rec(
+            tree_a,
+            tree_q,
+            factor,
+            Octree::ROOT,
+            qleaf,
+            &mut plan,
+            counts,
+        );
+        plan.near_off.push(plan.near_a_start.len() as u32);
+        plan.far_off.push(plan.far_a.len() as u32);
+    }
+    plan
+}
+
+fn plan_born_rec(
+    tree_a: &Octree,
+    tree_q: &Octree,
+    factor: f64,
+    a_id: NodeId,
+    qleaf: NodeId,
+    plan: &mut BornPlan,
+    counts: &mut WorkCounts,
+) {
+    counts.nodes_visited += 1;
+    let a = tree_a.node(a_id);
+    let q = tree_q.node(qleaf);
+    let d_sq = a.center.dist_sq(q.center);
+    let sep = (a.radius + q.radius) * factor;
+    if d_sq > sep * sep && d_sq > 0.0 {
+        plan.far_a.push(a_id);
+        plan.far_q.push(qleaf);
+    } else if a.is_leaf {
+        plan.near_a_start.push(a.start);
+        plan.near_a_end.push(a.end);
+        plan.near_q_start.push(q.start);
+        plan.near_q_end.push(q.end);
+    } else {
+        for c in a.child_ids() {
+            plan_born_rec(tree_a, tree_q, factor, c, qleaf, plan, counts);
+        }
+    }
+}
+
+/// Mirror of `recurse` in [`crate::energy::octree`]: the separation
+/// structure depends only on the tree geometry and ε — not on Born radii
+/// — so the lists stay valid across solves.
+fn plan_epol(tree: &Octree, eps: f64, counts: &mut WorkCounts) -> EpolPlan {
+    let mut plan = EpolPlan::default();
+    if tree.is_empty() {
+        return plan;
+    }
+    let factor = separation_factor_epol(eps);
+    plan.near_off.push(0);
+    plan.far_off.push(0);
+    for &v in tree.leaves() {
+        plan_epol_rec(tree, factor, Octree::ROOT, v, &mut plan, counts);
+        plan.near_off.push(plan.near_u_start.len() as u32);
+        plan.far_off.push(plan.far_u.len() as u32);
+    }
+    plan
+}
+
+fn plan_epol_rec(
+    tree: &Octree,
+    factor: f64,
+    u_id: NodeId,
+    v_id: NodeId,
+    plan: &mut EpolPlan,
+    counts: &mut WorkCounts,
+) {
+    counts.nodes_visited += 1;
+    let u = tree.node(u_id);
+    let v = tree.node(v_id);
+    if u.is_leaf {
+        plan.near_u_start.push(u.start);
+        plan.near_u_end.push(u.end);
+        plan.near_v_start.push(v.start);
+        plan.near_v_end.push(v.end);
+        return;
+    }
+    let d_sq = u.center.dist_sq(v.center);
+    let sep = (u.radius + v.radius) * factor;
+    if d_sq > sep * sep {
+        plan.far_u.push(u_id);
+        plan.far_v.push(v_id);
+        return;
+    }
+    for c in u.child_ids() {
+        plan_epol_rec(tree, factor, c, v_id, plan, counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::born::octree::approx_integrals;
+    use crate::constants::{tau, EPS_WATER};
+    use crate::energy::octree::epol_for_leaf_segment;
+    use crate::solver::GbSolver;
+    use polar_molecule::generators;
+    use polar_octree::OctreeConfig;
+    use polar_surface::SurfaceConfig;
+
+    fn solver(n: usize, seed: u64) -> GbSolver {
+        let mol = generators::globular("p", n, seed);
+        GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+    }
+
+    #[test]
+    fn born_execute_is_bitwise_identical_to_recursive() {
+        let s = solver(300, 17);
+        let p = GbParams::default();
+        let plan = InteractionPlan::build(&s, &p);
+        let ctx = s.born_ctx();
+        let n_qleaves = s.tree_q.leaves().len();
+        let mut rec_counts = WorkCounts::ZERO;
+        let recursive = approx_integrals(&ctx, p.eps_born, 0..n_qleaves, &mut rec_counts);
+        let mut planned = BornPartials::zeros(&s.tree_a);
+        let mut plan_counts = WorkCounts::ZERO;
+        plan.execute_born_segment(&ctx, 0..n_qleaves, &mut planned, &mut plan_counts);
+        assert_eq!(recursive.s_node, planned.s_node);
+        assert_eq!(recursive.s_atom, planned.s_atom);
+        assert_eq!(rec_counts.pair_ops, plan_counts.pair_ops);
+        assert_eq!(rec_counts.far_ops, plan_counts.far_ops);
+        assert_eq!(plan_counts.nodes_visited, 0);
+        assert!(plan.plan_work.nodes_visited > 0);
+    }
+
+    #[test]
+    fn epol_execute_matches_recursive_to_machine_precision() {
+        let s = solver(400, 18);
+        let p = GbParams::default();
+        let plan = InteractionPlan::build(&s, &p);
+        let (born, _) = s.born_radii(&p);
+        let ectx = EpolCtx::new(&s.tree_a, &s.charges, &born, p.eps_epol);
+        let t = tau(EPS_WATER);
+        let n_leaves = s.tree_a.leaves().len();
+        let mut rec_counts = WorkCounts::ZERO;
+        let recursive = epol_for_leaf_segment(
+            &ectx,
+            p.eps_epol,
+            MathMode::Exact,
+            t,
+            0..n_leaves,
+            &mut rec_counts,
+        );
+        let born_slot: Vec<f64> = s.tree_a.order().iter().map(|&o| born[o as usize]).collect();
+        let mut plan_counts = WorkCounts::ZERO;
+        let planned = plan.execute_epol_segment(
+            &ectx,
+            &born_slot,
+            MathMode::Exact,
+            t,
+            0..n_leaves,
+            &mut plan_counts,
+        );
+        assert!(
+            (recursive - planned).abs() <= 1e-12 * recursive.abs(),
+            "{recursive} vs {planned}"
+        );
+        assert_eq!(rec_counts.pair_ops, plan_counts.pair_ops);
+        assert_eq!(rec_counts.far_ops, plan_counts.far_ops);
+    }
+
+    #[test]
+    fn leaf_segments_partition_the_planned_execution() {
+        let s = solver(250, 19);
+        let p = GbParams::default();
+        let plan = InteractionPlan::build(&s, &p);
+        let ctx = s.born_ctx();
+        let n_qleaves = s.tree_q.leaves().len();
+        let mut scratch = WorkCounts::ZERO;
+        let mut full = BornPartials::zeros(&s.tree_a);
+        plan.execute_born_segment(&ctx, 0..n_qleaves, &mut full, &mut scratch);
+        let mut pieced = BornPartials::zeros(&s.tree_a);
+        let mid = n_qleaves / 2;
+        plan.execute_born_segment(&ctx, 0..mid, &mut pieced, &mut scratch);
+        plan.execute_born_segment(&ctx, mid..n_qleaves, &mut pieced, &mut scratch);
+        assert_eq!(full.s_node, pieced.s_node);
+        assert_eq!(full.s_atom, pieced.s_atom);
+    }
+
+    #[test]
+    fn leaf_work_vectors_sum_to_recursive_totals() {
+        let s = solver(300, 20);
+        let p = GbParams::default();
+        let plan = InteractionPlan::build(&s, &p);
+        let ctx = s.born_ctx();
+        let mut rec = WorkCounts::ZERO;
+        let _ = approx_integrals(&ctx, p.eps_born, 0..s.tree_q.leaves().len(), &mut rec);
+        let per_leaf: WorkCounts = plan.born_leaf_work().into_iter().sum();
+        assert_eq!(per_leaf.pair_ops, rec.pair_ops);
+        assert_eq!(per_leaf.far_ops, rec.far_ops);
+
+        let (born, _) = s.born_radii(&p);
+        let ectx = EpolCtx::new(&s.tree_a, &s.charges, &born, p.eps_epol);
+        let mut erec = WorkCounts::ZERO;
+        let _ = epol_for_leaf_segment(
+            &ectx,
+            p.eps_epol,
+            MathMode::Exact,
+            tau(EPS_WATER),
+            0..s.tree_a.leaves().len(),
+            &mut erec,
+        );
+        let eper: WorkCounts = plan.epol_leaf_work(&ectx).into_iter().sum();
+        assert_eq!(eper.pair_ops, erec.pair_ops);
+        assert_eq!(eper.far_ops, erec.far_ops);
+    }
+
+    #[test]
+    fn stats_and_memory_are_consistent() {
+        let s = solver(200, 21);
+        let plan = InteractionPlan::build(&s, &GbParams::default());
+        let st = plan.stats();
+        assert!(st.born_near_entries > 0);
+        assert!(st.epol_near_entries > 0);
+        assert_eq!(st.plan_bytes, plan.memory_bytes() as u64);
+        assert!(plan.memory_bytes() > 0);
+        // The lists grow with ε-driven far usage; sanity: entries bounded
+        // by leaf-pair counts.
+        let nl = s.tree_a.leaves().len() as u64;
+        assert!(st.epol_near_entries <= nl * nl);
+    }
+
+    #[test]
+    fn empty_solver_yields_empty_plan() {
+        let s = GbSolver::from_parts(
+            "empty".into(),
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            &OctreeConfig::default(),
+        );
+        let plan = InteractionPlan::build(&s, &GbParams::default());
+        assert_eq!(plan.born.near_entries(), 0);
+        assert_eq!(plan.epol.far_entries(), 0);
+        let ectx = EpolCtx::new(&s.tree_a, &s.charges, &[], 0.9);
+        let mut scratch = WorkCounts::ZERO;
+        let e = plan.execute_epol_segment(&ectx, &[], MathMode::Exact, 300.0, 0..0, &mut scratch);
+        assert_eq!(e, 0.0);
+    }
+}

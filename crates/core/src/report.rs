@@ -111,13 +111,30 @@ pub struct CommReport {
     pub replicated_bytes: u64,
 }
 
+/// Interaction-list statistics of a plan+execute solve (see
+/// [`crate::plan::InteractionPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanReport {
+    /// Born-stage near-field (leaf, leaf) block entries.
+    pub born_near_entries: u64,
+    /// Born-stage far-field (node, node) entries.
+    pub born_far_entries: u64,
+    /// Energy-stage near-field (leaf, leaf) block entries.
+    pub epol_near_entries: u64,
+    /// Energy-stage far-field (node, node) entries.
+    pub epol_far_entries: u64,
+    /// Heap bytes the plan holds (lists + SoA input copies).
+    pub plan_bytes: u64,
+}
+
 /// One structured record per solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
     /// Molecule name.
     pub molecule: String,
     /// Which path produced the record: `"serial"`, `"parallel"`,
-    /// `"oct_mpi"`, `"oct_mpi_cilk"`, `"cluster_sim"`.
+    /// `"plan"`, `"plan_parallel"`, `"oct_mpi"`, `"oct_mpi_cilk"`,
+    /// `"cluster_sim"`.
     pub mode: String,
     pub n_atoms: usize,
     pub n_qpoints: usize,
@@ -135,6 +152,8 @@ pub struct SolveReport {
     pub steal: Option<StealReport>,
     /// Simulated communication, when ranks were involved.
     pub comm: Option<CommReport>,
+    /// Interaction-list statistics, when a plan+execute path ran.
+    pub plan: Option<PlanReport>,
     /// Resident input bytes of one replica (solver data + octrees).
     pub memory_bytes: u64,
 }
@@ -221,6 +240,18 @@ impl SolveReport {
             }
             None => o.raw("comm", "null"),
         }
+        match &self.plan {
+            Some(p) => {
+                let mut po = JsonObj::new();
+                po.num("born_near_entries", p.born_near_entries as f64);
+                po.num("born_far_entries", p.born_far_entries as f64);
+                po.num("epol_near_entries", p.epol_near_entries as f64);
+                po.num("epol_far_entries", p.epol_far_entries as f64);
+                po.num("plan_bytes", p.plan_bytes as f64);
+                o.raw("plan", &po.finish());
+            }
+            None => o.raw("plan", "null"),
+        }
         o.num("memory_bytes", self.memory_bytes as f64);
         o.finish()
     }
@@ -257,6 +288,11 @@ impl SolveReport {
             "comm_sim_s",
             "bytes_sent",
             "replicated_bytes",
+            "plan_born_near",
+            "plan_born_far",
+            "plan_epol_near",
+            "plan_epol_far",
+            "plan_bytes",
             "memory_bytes",
         ]
         .join(",")
@@ -285,6 +321,22 @@ impl SolveReport {
                 c.replicated_bytes.to_string(),
             ),
             None => (String::new(), String::new(), String::new(), String::new()),
+        };
+        let (pb_near, pb_far, pe_near, pe_far, p_bytes) = match self.plan {
+            Some(p) => (
+                p.born_near_entries.to_string(),
+                p.born_far_entries.to_string(),
+                p.epol_near_entries.to_string(),
+                p.epol_far_entries.to_string(),
+                p.plan_bytes.to_string(),
+            ),
+            None => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
         };
         [
             csv_field(&self.molecule),
@@ -316,6 +368,11 @@ impl SolveReport {
             comm_s,
             bytes,
             repl,
+            pb_near,
+            pb_far,
+            pe_near,
+            pe_far,
+            p_bytes,
             self.memory_bytes.to_string(),
         ]
         .join(",")
@@ -437,6 +494,13 @@ mod tests {
                 imbalance: 1.25,
             }),
             comm: None,
+            plan: Some(PlanReport {
+                born_near_entries: 11,
+                born_far_entries: 22,
+                epol_near_entries: 33,
+                epol_far_entries: 44,
+                plan_bytes: 1234,
+            }),
             memory_bytes: 4096,
         }
     }
@@ -450,12 +514,18 @@ mod tests {
             "\"tree_a\"",
             "\"steal\"",
             "\"comm\":null",
+            "\"plan\"",
+            "\"born_near_entries\":11",
             "\"epol_kcal\":-123.456",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         // Escaped comma-containing molecule name survives.
         assert!(j.contains("glob,ule"));
+        // Plan-less reports emit an explicit null.
+        let mut r = sample();
+        r.plan = None;
+        assert!(r.to_json().contains("\"plan\":null"));
     }
 
     #[test]
@@ -463,15 +533,204 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
+    /// Minimal recursive-descent JSON value, for the parse-back test only.
+    #[derive(Debug, PartialEq)]
+    enum Json {
+        Null,
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Strict-enough JSON parser: rejects bare `NaN`/`inf` tokens, which
+    /// is exactly what the emitter regression guards against.
+    fn parse_json(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let key = match parse_value(b, i)? {
+                        Json::Str(s) => s,
+                        other => return Err(format!("non-string key {other:?}")),
+                    };
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    *i += 1;
+                    fields.push((key, parse_value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *i += 1;
+                let mut out = String::new();
+                while let Some(&c) = b.get(*i) {
+                    *i += 1;
+                    match c {
+                        b'"' => return Ok(Json::Str(out)),
+                        b'\\' => {
+                            let esc = *b.get(*i).ok_or("eof in escape")?;
+                            *i += 1;
+                            match esc {
+                                b'"' => out.push('"'),
+                                b'\\' => out.push('\\'),
+                                b'n' => out.push('\n'),
+                                b'r' => out.push('\r'),
+                                b't' => out.push('\t'),
+                                b'u' => {
+                                    let hex = std::str::from_utf8(&b[*i..*i + 4])
+                                        .map_err(|e| e.to_string())?;
+                                    let cp =
+                                        u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                    out.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                                    *i += 4;
+                                }
+                                other => return Err(format!("bad escape {other}")),
+                            }
+                        }
+                        c => out.push(c as char),
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                Ok(Json::Null)
+            }
+            Some(&c) if c == b'-' || c.is_ascii_digit() => {
+                let start = *i;
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+                let n: f64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
+                if !n.is_finite() {
+                    return Err(format!("non-finite literal {text:?}"));
+                }
+                Ok(Json::Num(n))
+            }
+            other => Err(format!("unexpected token {other:?} at {i}")),
+        }
+    }
+
+    #[test]
+    fn non_finite_fields_emit_null_and_parse_back() {
+        // Regression for the report-poisoning bug: NaN/inf written
+        // verbatim produce invalid JSON that breaks artifact consumers.
+        let mut r = sample();
+        r.epol_kcal = f64::NAN;
+        r.stages[0].wall_seconds = f64::INFINITY;
+        r.tree_a.mean_leaf_depth = f64::NEG_INFINITY;
+        if let Some(s) = r.steal.as_mut() {
+            s.imbalance = f64::NAN;
+        }
+        let j = r.to_json();
+        assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
+        let v = parse_json(&j).expect("emitted JSON must parse");
+        assert_eq!(v.get("epol_kcal"), Some(&Json::Null));
+        assert_eq!(
+            v.get("tree_a").and_then(|t| t.get("mean_leaf_depth")),
+            Some(&Json::Null)
+        );
+        assert_eq!(
+            v.get("steal").and_then(|s| s.get("imbalance")),
+            Some(&Json::Null)
+        );
+        match v.get("stages") {
+            Some(Json::Arr(stages)) => {
+                assert_eq!(stages[0].get("wall_seconds"), Some(&Json::Null));
+                assert_eq!(stages[1].get("wall_seconds"), Some(&Json::Num(0.5)));
+            }
+            other => panic!("stages missing: {other:?}"),
+        }
+        // A fully finite report parses with its values intact.
+        let clean = parse_json(&sample().to_json()).expect("clean JSON parses");
+        assert_eq!(clean.get("epol_kcal"), Some(&Json::Num(-123.456)));
+        assert_eq!(clean.get("molecule"), Some(&Json::Str("glob,ule".into())));
+        assert_eq!(
+            clean.get("plan").and_then(|p| p.get("plan_bytes")),
+            Some(&Json::Num(1234.0))
+        );
+    }
+
     #[test]
     fn csv_row_matches_header_arity() {
         let header = SolveReport::csv_header();
         let row = sample().to_csv_row();
-        assert_eq!(header.split(',').count(), 30);
+        assert_eq!(header.split(',').count(), 35);
         // The quoted molecule field contains a comma; strip it first.
         let row_fields = row.replace("\"glob,ule\"", "molecule");
-        assert_eq!(row_fields.split(',').count(), 30, "{row}");
+        assert_eq!(row_fields.split(',').count(), 35, "{row}");
         assert!(row.starts_with("\"glob,ule\",serial,100,2000,"));
+        // Plan columns carry the sample's entry counts.
+        assert!(row.contains(",11,22,33,44,1234,"));
     }
 
     #[test]

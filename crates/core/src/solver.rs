@@ -17,6 +17,7 @@ use crate::constants::tau;
 use crate::energy::exact as energy_exact;
 use crate::energy::octree::{epol_for_leaf_segment, EpolCtx};
 use crate::partition::even_segments;
+use crate::plan::InteractionPlan;
 use crate::report::{SolveReport, StageReport, StealReport, TreeDepthStats};
 use crate::stats::WorkCounts;
 use polar_geom::{MathMode, Vec3};
@@ -256,8 +257,220 @@ impl GbSolver {
             tree_q: TreeDepthStats::for_tree(&self.tree_q),
             steal: None,
             comm: None,
+            plan: None,
             memory_bytes: self.memory_bytes() as u64,
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Plan + execute solver (flat interaction lists)
+    // ---------------------------------------------------------------
+
+    /// Build a reusable [`InteractionPlan`]: run both separation
+    /// traversals once, emit flat SoA interaction lists. Amortized over
+    /// repeated solves (the paper's ZDock re-scoring workload).
+    pub fn plan(&self, p: &GbParams) -> InteractionPlan {
+        InteractionPlan::build(self, p)
+    }
+
+    /// Solve by executing a previously built plan's interaction lists —
+    /// no tree traversal. Born radii are bitwise identical to
+    /// [`GbSolver::solve`]; E_pol matches to machine precision.
+    ///
+    /// The plan must have been built from *this* solver at the same ε
+    /// (asserted); geometry changes require re-planning.
+    pub fn solve_with_plan(&self, plan: &InteractionPlan, p: &GbParams) -> GbResult {
+        let (result, _, _) = self.solve_with_plan_timed(plan, p);
+        result
+    }
+
+    /// As [`GbSolver::solve_with_plan`], plus a [`SolveReport`]
+    /// (mode `"plan"`) carrying the plan's list statistics.
+    pub fn solve_with_plan_report(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+    ) -> (GbResult, SolveReport) {
+        let (result, born_s, epol_s) = self.solve_with_plan_timed(plan, p);
+        let mut report = self.base_report("plan", p, &result, born_s, epol_s);
+        report.plan = Some(plan.stats());
+        (result, report)
+    }
+
+    fn solve_with_plan_timed(&self, plan: &InteractionPlan, p: &GbParams) -> (GbResult, f64, f64) {
+        assert_eq!(
+            (plan.eps_born, plan.eps_epol),
+            (p.eps_born, p.eps_epol),
+            "plan was built for different approximation parameters"
+        );
+        let ctx = self.born_ctx();
+        let t0 = std::time::Instant::now();
+        let mut work_born = WorkCounts::ZERO;
+        let mut totals = BornPartials::zeros(&self.tree_a);
+        plan.execute_born_segment(
+            &ctx,
+            0..self.tree_q.leaves().len(),
+            &mut totals,
+            &mut work_born,
+        );
+        let mut born = vec![0.0; self.n_atoms()];
+        push_integrals_to_atoms(&ctx, &totals, 0..self.n_atoms(), p.math, &mut born);
+        let born_s = t0.elapsed().as_secs_f64();
+
+        let t1 = std::time::Instant::now();
+        let ectx = EpolCtx::new(&self.tree_a, &self.charges, &born, p.eps_epol);
+        let born_slot = self.born_by_slot(&born);
+        let mut work_epol = WorkCounts::ZERO;
+        let epol_kcal = plan.execute_epol_segment(
+            &ectx,
+            &born_slot,
+            p.math,
+            tau(p.eps_solvent),
+            0..self.tree_a.leaves().len(),
+            &mut work_epol,
+        );
+        let epol_s = t1.elapsed().as_secs_f64();
+        (
+            GbResult {
+                born,
+                epol_kcal,
+                work_born,
+                work_epol,
+            },
+            born_s,
+            epol_s,
+        )
+    }
+
+    /// Permute original-order Born radii into Morton slot order — the
+    /// layout the plan's SoA energy loop streams over.
+    pub fn born_by_slot(&self, born: &[f64]) -> Vec<f64> {
+        assert_eq!(born.len(), self.n_atoms());
+        self.tree_a
+            .order()
+            .iter()
+            .map(|&o| born[o as usize])
+            .collect()
+    }
+
+    /// Plan-execute solve on the work-stealing pool: the plan's per-leaf
+    /// list segments are chunked through [`polar_runtime::run_batch`]
+    /// (mode `"plan_parallel"`), so steal counters keep working.
+    pub fn solve_with_plan_parallel_report(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+        n_workers: usize,
+    ) -> (GbResult, SolveReport) {
+        assert_eq!(
+            (plan.eps_born, plan.eps_epol),
+            (p.eps_born, p.eps_epol),
+            "plan was built for different approximation parameters"
+        );
+        let p = *p;
+        let n_workers = n_workers.max(1);
+        let ctx = self.born_ctx();
+        let ctx = &ctx;
+
+        // Stage 1a: execute Born lists over q-leaf chunks.
+        let t0 = std::time::Instant::now();
+        let n_qleaves = self.tree_q.leaves().len();
+        let chunk = (n_qleaves / (n_workers * 8)).max(1);
+        let tasks: Vec<_> = (0..n_qleaves)
+            .step_by(chunk)
+            .map(|s| {
+                move || {
+                    let mut counts = WorkCounts::ZERO;
+                    let mut part = BornPartials::zeros(ctx.tree_a);
+                    plan.execute_born_segment(
+                        ctx,
+                        s..(s + chunk).min(n_qleaves),
+                        &mut part,
+                        &mut counts,
+                    );
+                    (part, counts)
+                }
+            })
+            .collect();
+        let (parts, steal_exec) = polar_runtime::run_batch(n_workers, tasks);
+        let mut work_born = WorkCounts::ZERO;
+        let mut totals = BornPartials::zeros(&self.tree_a);
+        for (part, counts) in parts {
+            totals.add(&part);
+            work_born.accumulate(counts);
+        }
+        let totals = &totals;
+
+        // Stage 1b: the push sweep is unchanged — it was never a hot
+        // traversal (one visit per node), so the recursive sweep stays.
+        let segs = even_segments(self.n_atoms(), n_workers * 4);
+        let push_tasks: Vec<_> = segs
+            .iter()
+            .cloned()
+            .map(|r| {
+                move || {
+                    let mut out = vec![0.0; r.len()];
+                    push_integrals_to_atoms_slots(ctx, totals, r.clone(), p.math, &mut out);
+                    out
+                }
+            })
+            .collect();
+        let (pieces, steal_push) = polar_runtime::run_batch(n_workers, push_tasks);
+        let mut born = vec![0.0; self.n_atoms()];
+        for (seg, piece) in segs.iter().zip(&pieces) {
+            for (k, slot) in seg.clone().enumerate() {
+                born[self.tree_a.order()[slot] as usize] = piece[k];
+            }
+        }
+        let born_s = t0.elapsed().as_secs_f64();
+
+        // Stage 2: execute energy lists over T_A leaf chunks.
+        let t1 = std::time::Instant::now();
+        let ectx = EpolCtx::new(&self.tree_a, &self.charges, &born, p.eps_epol);
+        let ectx = &ectx;
+        let born_slot = self.born_by_slot(&born);
+        let born_slot = &born_slot;
+        let esegs = even_segments(self.tree_a.leaves().len(), n_workers * 8);
+        let etasks: Vec<_> = esegs
+            .into_iter()
+            .map(|r| {
+                move || {
+                    let mut counts = WorkCounts::ZERO;
+                    let e = plan.execute_epol_segment(
+                        ectx,
+                        born_slot,
+                        p.math,
+                        tau(p.eps_solvent),
+                        r,
+                        &mut counts,
+                    );
+                    (e, counts)
+                }
+            })
+            .collect();
+        let (eparts, steal_epol) = polar_runtime::run_batch(n_workers, etasks);
+        let mut work_epol = WorkCounts::ZERO;
+        let mut epol_kcal = 0.0;
+        for (e, counts) in eparts {
+            epol_kcal += e;
+            work_epol.accumulate(counts);
+        }
+        let epol_s = t1.elapsed().as_secs_f64();
+
+        let mut steal = steal_exec;
+        steal.merge(&steal_push);
+        steal.merge(&steal_epol);
+
+        let result = GbResult {
+            born,
+            epol_kcal,
+            work_born,
+            work_epol,
+        };
+        let mut report = self.base_report("plan_parallel", &p, &result, born_s, epol_s);
+        report.steal = Some(StealReport::from(&steal));
+        report.plan = Some(plan.stats());
+        (result, report)
     }
 
     // ---------------------------------------------------------------

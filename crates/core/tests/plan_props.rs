@@ -1,0 +1,113 @@
+//! Property-based tests of the plan+execute engine: for random
+//! molecules and approximation parameters, executing an
+//! [`InteractionPlan`]'s flat lists must reproduce the recursive
+//! traversals' results — Born radii bitwise, E_pol to machine
+//! precision — and a plan must be reusable across repeated solves.
+
+use polar_gb::{GbParams, GbSolver};
+use polar_molecule::generators;
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+use proptest::prelude::*;
+
+fn solver_for(n: usize, seed: u64) -> GbSolver {
+    let mol = generators::globular("p", n, seed);
+    GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn planned_solve_matches_recursive_solve(
+        n in 60usize..260,
+        seed in 0u64..40,
+        eps_born in 0.05..1.2f64,
+        eps_epol in 0.05..1.2f64,
+    ) {
+        let s = solver_for(n, seed);
+        let p = GbParams {
+            eps_born,
+            eps_epol,
+            ..GbParams::default()
+        };
+        let recursive = s.solve(&p);
+        let plan = s.plan(&p);
+        let planned = s.solve_with_plan(&plan, &p);
+
+        // Born radii replay the recursive accumulation order exactly.
+        prop_assert_eq!(&planned.born, &recursive.born);
+        // The energy loop re-associates per leaf: machine precision.
+        prop_assert!(
+            rel(planned.epol_kcal, recursive.epol_kcal) <= 1e-12,
+            "{} vs {}", planned.epol_kcal, recursive.epol_kcal
+        );
+        // Same pair/far evaluation counts; executing lists visits no
+        // tree nodes.
+        prop_assert_eq!(planned.work_born.pair_ops, recursive.work_born.pair_ops);
+        prop_assert_eq!(planned.work_born.far_ops, recursive.work_born.far_ops);
+        prop_assert_eq!(planned.work_epol.pair_ops, recursive.work_epol.pair_ops);
+        prop_assert_eq!(planned.work_epol.far_ops, recursive.work_epol.far_ops);
+        prop_assert_eq!(planned.work_born.nodes_visited, 0);
+        prop_assert_eq!(planned.work_epol.nodes_visited, 0);
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic(n in 60usize..200, seed in 0u64..20) {
+        // One plan, many solves: every execution returns identical
+        // results (the ZDock re-scoring workload's correctness premise).
+        let s = solver_for(n, seed);
+        let p = GbParams::default();
+        let plan = s.plan(&p);
+        let first = s.solve_with_plan(&plan, &p);
+        for _ in 0..3 {
+            let again = s.solve_with_plan(&plan, &p);
+            prop_assert_eq!(&again.born, &first.born);
+            prop_assert_eq!(again.epol_kcal, first.epol_kcal);
+        }
+    }
+
+    #[test]
+    fn parallel_planned_solve_matches_serial_planned(
+        n in 60usize..200,
+        seed in 0u64..20,
+        workers in 1usize..5,
+    ) {
+        let s = solver_for(n, seed);
+        let p = GbParams::default();
+        let plan = s.plan(&p);
+        let serial = s.solve_with_plan(&plan, &p);
+        let (par, report) = s.solve_with_plan_parallel_report(&plan, &p, workers);
+        // Chunked execution merges per-chunk partials by addition, which
+        // re-associates the per-qleaf sums — ulp-level, not bitwise.
+        for (a, b) in par.born.iter().zip(&serial.born) {
+            prop_assert!(rel(*a, *b) <= 1e-12, "{} vs {}", a, b);
+        }
+        prop_assert!(
+            rel(par.epol_kcal, serial.epol_kcal) <= 1e-12,
+            "{} vs {}", par.epol_kcal, serial.epol_kcal
+        );
+        prop_assert_eq!(report.mode.as_str(), "plan_parallel");
+        let stats = report.plan.expect("planned report carries list stats");
+        prop_assert!(stats.plan_bytes > 0);
+        prop_assert!(report.steal.is_some());
+    }
+}
+
+#[test]
+fn plan_report_mode_and_stats_round_trip() {
+    let s = solver_for(150, 7);
+    let p = GbParams::default();
+    let plan = s.plan(&p);
+    let (result, report) = s.solve_with_plan_report(&plan, &p);
+    assert_eq!(report.mode, "plan");
+    assert_eq!(report.epol_kcal, result.epol_kcal);
+    let stats = report.plan.expect("plan stats present");
+    assert_eq!(stats.plan_bytes, plan.memory_bytes() as u64);
+    assert!(report.to_json().contains("\"plan\":{"));
+    assert_eq!(report.to_csv_row().split(',').count(), 35);
+}

@@ -22,8 +22,10 @@ use polar_gb::born::octree::{approx_integrals, push_integrals_to_atoms, BornPart
 use polar_gb::constants::tau;
 use polar_gb::energy::octree::{epol_for_leaf_segment, EpolCtx};
 use polar_gb::partition::even_segments;
-use polar_gb::report::{CommReport, SolveReport, StageReport, StealReport, TreeDepthStats};
-use polar_gb::{GbParams, GbSolver, WorkCounts};
+use polar_gb::report::{
+    CommReport, PlanReport, SolveReport, StageReport, StealReport, TreeDepthStats,
+};
+use polar_gb::{GbParams, GbSolver, InteractionPlan, WorkCounts};
 use polar_runtime::StealStats;
 
 /// Configuration of a distributed run.
@@ -37,6 +39,11 @@ pub struct DistributedConfig {
     pub params: GbParams,
     /// Interconnect model for simulated communication time.
     pub network: NetworkModel,
+    /// Execute a pre-built [`InteractionPlan`]'s flat lists instead of
+    /// the recursive traversals (rank *i* takes segment *i* of the
+    /// plan's leaf lists). The plan is built once, before the ranks
+    /// spawn, and counts toward each rank's replicated memory.
+    pub use_plan: bool,
 }
 
 impl DistributedConfig {
@@ -47,6 +54,7 @@ impl DistributedConfig {
             threads_per_rank: 1,
             params,
             network: NetworkModel::lonestar4_infiniband(),
+            use_plan: false,
         }
     }
 
@@ -57,6 +65,7 @@ impl DistributedConfig {
             threads_per_rank: threads,
             params,
             network: NetworkModel::lonestar4_infiniband(),
+            use_plan: false,
         }
     }
 
@@ -93,6 +102,8 @@ pub struct DistributedRun {
     /// Work-stealing counters concatenated across all per-rank pools
     /// (`None` for pure `OCT_MPI`, which runs no pool).
     pub steal: Option<StealStats>,
+    /// Interaction-list statistics when the run executed a plan.
+    pub plan_stats: Option<PlanReport>,
 }
 
 impl DistributedRun {
@@ -149,6 +160,7 @@ impl DistributedRun {
                 bytes_sent: self.per_rank_bytes_sent.iter().sum(),
                 replicated_bytes: self.total_replicated_bytes,
             }),
+            plan: self.plan_stats,
             memory_bytes: solver.memory_bytes() as u64,
         }
     }
@@ -158,6 +170,14 @@ impl DistributedRun {
 pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> DistributedRun {
     assert!(cfg.ranks >= 1 && cfg.threads_per_rank >= 1);
     let p = cfg.params;
+    // Plan once, ahead of the rank universe: traversal cost is paid a
+    // single time and the flat lists are replicated like the octrees.
+    let plan = if cfg.use_plan {
+        Some(solver.plan(&p))
+    } else {
+        None
+    };
+    let plan = plan.as_ref();
     let n_atoms = solver.n_atoms();
     let n_qleaves = solver.tree_q.leaves().len();
     let n_aleaves = solver.tree_a.leaves().len();
@@ -180,16 +200,51 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
 
     let outs = Universe::run(cfg.ranks, cfg.network, |comm| {
         let rank = comm.rank();
-        // Step 1: replicated data (each process has a complete copy).
-        comm.register_replicated_memory(solver.memory_bytes());
+        // Step 1: replicated data (each process has a complete copy;
+        // with a plan, its flat lists are replicated too).
+        comm.register_replicated_memory(
+            solver.memory_bytes() + plan.map_or(0, |pl| pl.memory_bytes()),
+        );
         let ctx = solver.born_ctx();
         let mut work = WorkCounts::ZERO;
         let mut steal: Option<StealStats> = None;
 
-        // Step 2: APPROX-INTEGRALS over this rank's q-leaf segment.
+        // Step 2: APPROX-INTEGRALS over this rank's q-leaf segment —
+        // either the recursive traversal or the plan's flat lists.
         let t_born = std::time::Instant::now();
         let my_qleaves = qleaf_segs[rank].clone();
-        let mut partials = if cfg.threads_per_rank == 1 {
+        let mut partials = if let Some(pl) = plan {
+            if cfg.threads_per_rank == 1 {
+                let mut part = BornPartials::zeros(&solver.tree_a);
+                pl.execute_born_segment(&ctx, my_qleaves, &mut part, &mut work);
+                part
+            } else {
+                let chunks = even_segments(my_qleaves.len(), cfg.threads_per_rank * 4)
+                    .into_iter()
+                    .map(|r| my_qleaves.start + r.start..my_qleaves.start + r.end)
+                    .collect::<Vec<_>>();
+                let ctx_ref = &ctx;
+                let tasks: Vec<_> = chunks
+                    .into_iter()
+                    .map(|r| {
+                        move || {
+                            let mut w = WorkCounts::ZERO;
+                            let mut part = BornPartials::zeros(ctx_ref.tree_a);
+                            pl.execute_born_segment(ctx_ref, r, &mut part, &mut w);
+                            (part, w)
+                        }
+                    })
+                    .collect();
+                let (results, stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+                steal.get_or_insert_with(StealStats::default).merge(&stats);
+                let mut acc = BornPartials::zeros(&solver.tree_a);
+                for (part, w) in results {
+                    acc.add(&part);
+                    work.accumulate(w);
+                }
+                acc
+            }
+        } else if cfg.threads_per_rank == 1 {
             approx_integrals(&ctx, p.eps_born, my_qleaves, &mut work)
         } else {
             // Intra-rank dynamic balancing: split the segment into many
@@ -256,7 +311,44 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         let t = tau(p.eps_solvent);
         let my_aleaves = aleaf_segs[rank].clone();
         let mut work_epol = WorkCounts::ZERO;
-        let epol_part = if cfg.threads_per_rank == 1 {
+        let epol_part = if let Some(pl) = plan {
+            let born_slot = solver.born_by_slot(&born);
+            if cfg.threads_per_rank == 1 {
+                pl.execute_epol_segment(&ectx, &born_slot, p.math, t, my_aleaves, &mut work_epol)
+            } else {
+                let chunks = even_segments(my_aleaves.len(), cfg.threads_per_rank * 4)
+                    .into_iter()
+                    .map(|r| my_aleaves.start + r.start..my_aleaves.start + r.end)
+                    .collect::<Vec<_>>();
+                let ectx_ref = &ectx;
+                let born_slot_ref = &born_slot;
+                let tasks: Vec<_> = chunks
+                    .into_iter()
+                    .map(|r| {
+                        move || {
+                            let mut w = WorkCounts::ZERO;
+                            let e = pl.execute_epol_segment(
+                                ectx_ref,
+                                born_slot_ref,
+                                p.math,
+                                t,
+                                r,
+                                &mut w,
+                            );
+                            (e, w)
+                        }
+                    })
+                    .collect();
+                let (results, stats) = polar_runtime::run_batch(cfg.threads_per_rank, tasks);
+                steal.get_or_insert_with(StealStats::default).merge(&stats);
+                let mut e = 0.0;
+                for (part, w) in results {
+                    e += part;
+                    work_epol.accumulate(w);
+                }
+                e
+            }
+        } else if cfg.threads_per_rank == 1 {
             epol_for_leaf_segment(&ectx, p.eps_epol, p.math, t, my_aleaves, &mut work_epol)
         } else {
             let chunks = even_segments(my_aleaves.len(), cfg.threads_per_rank * 4)
@@ -329,6 +421,7 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         born_seconds: outs.iter().map(|o| o.born_s).fold(0.0, f64::max),
         epol_seconds: outs.iter().map(|o| o.epol_s).fold(0.0, f64::max),
         steal,
+        plan_stats: plan.map(InteractionPlan::stats),
     }
 }
 
@@ -357,6 +450,7 @@ mod tests {
                     threads_per_rank: threads,
                     params: p,
                     network: NetworkModel::lonestar4_infiniband(),
+                    use_plan: false,
                 },
             );
             assert!(
@@ -444,6 +538,7 @@ mod tests {
                 threads_per_rank: threads,
                 params: p,
                 network: NetworkModel::lonestar4_infiniband(),
+                use_plan: false,
             };
             let run = run_distributed(&s, &cfg);
             let rep = run.report(&s, &cfg);
@@ -474,7 +569,53 @@ mod tests {
             assert_eq!(rep.steal.is_some(), threads > 1);
             // Reports serialize without panicking and round out the row.
             assert!(rep.to_json().contains("\"mode\""));
-            assert_eq!(rep.to_csv_row().split(',').count(), 30);
+            assert_eq!(rep.to_csv_row().split(',').count(), 35);
+        }
+    }
+
+    #[test]
+    fn planned_distributed_matches_recursive_distributed() {
+        // Executing plan segments per rank must reproduce the recursive
+        // drivers: Born radii bitwise (same accumulation order), energy
+        // to machine precision, and the report carries the plan section.
+        let s = solver(300, 28);
+        let p = GbParams::default();
+        let serial = s.solve(&p);
+        for (ranks, threads) in [(1, 1), (3, 1), (2, 2)] {
+            let mut cfg = DistributedConfig::oct_mpi_cilk(ranks, threads, p);
+            cfg.use_plan = true;
+            let run = run_distributed(&s, &cfg);
+            if ranks == 1 {
+                // One rank replays the serial accumulation order exactly.
+                assert_eq!(run.born, serial.born, "p={threads}");
+            } else {
+                // The allreduce sums rank partials in a different order
+                // than the serial sweep — ulp-level, not bitwise.
+                for (a, b) in run.born.iter().zip(&serial.born) {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                        "P={ranks} p={threads}: {a} vs {b}"
+                    );
+                }
+            }
+            assert!(
+                (run.epol_kcal - serial.epol_kcal).abs() <= 1e-12 * serial.epol_kcal.abs(),
+                "P={ranks} p={threads}: {} vs {}",
+                run.epol_kcal,
+                serial.epol_kcal
+            );
+            let rep = run.report(&s, &cfg);
+            let plan = rep.plan.expect("planned run reports list stats");
+            assert!(plan.born_near_entries > 0 && plan.plan_bytes > 0);
+            // The plan's flat lists count as replicated bytes on top of
+            // the octrees themselves.
+            let mut base = cfg;
+            base.use_plan = false;
+            let recursive = run_distributed(&s, &base);
+            assert!(run.total_replicated_bytes > recursive.total_replicated_bytes);
+            // Executing lists re-visits no tree nodes.
+            assert_eq!(run.total_work_born().nodes_visited, 0);
+            assert_eq!(rep.to_csv_row().split(',').count(), 35);
         }
     }
 

@@ -192,8 +192,17 @@ where
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
-            slot.into_inner()
-                .unwrap_or_else(|| panic!("task {i} never ran"))
+            slot.into_inner().unwrap_or_else(|| {
+                // A lost task is a scheduler bug; dump the counters so
+                // the failure is diagnosable from the panic alone.
+                panic!(
+                    "task {i} never ran: {}/{n_tasks} tasks executed \
+                     (per-worker executed {:?}, steals {:?})",
+                    stats.total_executed(),
+                    stats.executed,
+                    stats.steals,
+                )
+            })
         })
         .collect();
     (out, stats)
@@ -206,6 +215,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Send + Sync,
 {
+    assert!(n_workers >= 1, "need at least one worker");
     let f = &f;
     let tasks: Vec<_> = (0..n).map(|i| move || f(i)).collect();
     run_batch(n_workers, tasks).0
@@ -320,5 +330,28 @@ mod tests {
     #[should_panic]
     fn zero_workers_rejected() {
         let _ = run_batch::<u32, fn() -> u32>(0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn parallel_map_rejects_zero_workers() {
+        let _ = parallel_map(0, 10, |i| i);
+    }
+
+    #[test]
+    fn imbalance_of_empty_batch_is_finite() {
+        // Regression: max/mean on zero executed tasks used to be 0/0 =
+        // NaN, which poisoned every report comparison downstream. An
+        // idle (or empty) batch is perfectly balanced by definition.
+        let (_, stats) = run_batch::<u32, fn() -> u32>(4, vec![]);
+        assert_eq!(stats.imbalance(), 1.0);
+
+        let idle = StealStats {
+            executed: vec![0, 0, 0],
+            steals: vec![0, 0, 0],
+        };
+        assert_eq!(idle.imbalance(), 1.0);
+        assert!(StealStats::default().imbalance().is_finite());
+        assert_eq!(StealStats::default().imbalance(), 1.0);
     }
 }

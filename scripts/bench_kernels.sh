@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Measure the plan+execute kernel engine and refresh
+# results/BENCH_kernels.json (plus the human-readable
+# results/bench_kernels.csv).
+#
+# Usage:  POLAR_SCALE=quick|default|full scripts/bench_kernels.sh
+#
+# quick   — CI smoke sizes (≤2.5k atoms, seconds),
+# default — adds the ≥5k-atom acceptance molecule,
+# full    — adds a ~12k-atom run.
+#
+# Also runs the Criterion micro-benches (vendored shim: fixed quick
+# sampling, no CLI flags) so regressions show up in the same log.
+
+set -eu
+cd "$(dirname "$0")/.."
+export POLAR_SCALE="${POLAR_SCALE:-default}"
+
+cargo build --release -p polar-bench --bin bench_kernels
+echo "POLAR_SCALE=$POLAR_SCALE"
+./target/release/bench_kernels
+
+cargo bench -p polar-bench --bench plan
