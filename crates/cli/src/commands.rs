@@ -6,7 +6,8 @@ use polar_gb::{GbParams, GbSolver};
 use polar_geom::MathMode;
 use polar_molecule::{generators, io, Molecule};
 use polar_mpi::data_dist::run_data_distributed;
-use polar_mpi::{drivers::run_distributed, DistributedConfig};
+use polar_mpi::recovery::run_distributed_ft;
+use polar_mpi::{drivers::run_distributed, DistributedConfig, FaultSpec};
 use polar_octree::OctreeConfig;
 use polar_surface::SurfaceConfig;
 use std::time::Instant;
@@ -272,6 +273,32 @@ pub fn sweep(a: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The fault schedule `polar distributed` was asked to inject, if any:
+/// `--faults spec.json` loads an explicit [`FaultSpec`], `--fault-seed N`
+/// derives one deterministically from the seed and rank count.
+fn fault_spec_from(
+    a: &Args,
+    ranks: usize,
+) -> Result<Option<FaultSpec>, Box<dyn std::error::Error>> {
+    match (a.get("faults"), a.get("fault-seed")) {
+        (Some(_), Some(_)) => Err(Box::new(ArgError(
+            "--faults and --fault-seed are mutually exclusive; pick one".into(),
+        ))),
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("--faults {path}: {e}")))?;
+            let spec = FaultSpec::parse_json(&text)
+                .map_err(|e| ArgError(format!("--faults {path}: {e}")))?;
+            Ok(Some(spec))
+        }
+        (None, Some(_)) => {
+            let seed: u64 = a.get_parsed("fault-seed", 0)?;
+            Ok(Some(FaultSpec::from_seed(seed, ranks)))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
 /// `polar distributed <file>`
 pub fn distributed(a: &Args) -> CmdResult {
     let mol = load_molecule(a)?;
@@ -292,6 +319,38 @@ pub fn distributed(a: &Args) -> CmdResult {
         use_plan: a.flag("plan"),
         ..DistributedConfig::oct_mpi(ranks, params)
     };
+    let fault_spec = fault_spec_from(a, ranks)?;
+    if let Some(spec) = fault_spec {
+        if a.flag("data-dist") {
+            return Err(Box::new(ArgError(
+                "fault injection requires the replicated driver; drop --data-dist".into(),
+            )));
+        }
+        let t = Instant::now();
+        let run = run_distributed_ft(&solver, &cfg, &spec)?;
+        let f = &run.fault;
+        println!(
+            "E_pol = {:.4} kcal/mol on {}/{ranks} surviving ranks x {threads} threads in {:.2?}",
+            run.epol_kcal,
+            run.survivors.len(),
+            t.elapsed()
+        );
+        println!(
+            "faults: seed {} | {} crashes {:?} | {} drops, {} message retries | \
+             {} worker retries | {} re-divisions recovering {} items | +{:.1} ms straggler time",
+            f.seed,
+            f.crashes,
+            f.dead_ranks,
+            f.drops,
+            f.msg_retries,
+            f.worker_retries,
+            f.redivisions,
+            f.recovered_items,
+            f.straggler_extra_seconds * 1e3,
+        );
+        emit_report(&run.report(&solver, &cfg), profile);
+        return Ok(());
+    }
     if a.flag("data-dist") {
         if profile.is_some() {
             eprintln!("warning: --profile is not available for the data-distributed driver");

@@ -7,6 +7,7 @@
 //! polar generate <globule|shell|ligand> <n_atoms> [--seed S] [--out f.pqr]
 //! polar sweep <file> [--from 0.1] [--to 0.9] [--steps 9]
 //! polar distributed <file> [--ranks P] [--threads p] [--data-dist]
+//!                          [--faults spec.json | --fault-seed N]
 //! polar project <file> [--nodes N]     # simulated cluster timings
 //! ```
 
@@ -28,6 +29,8 @@ const VALUE_OPTS: &[&str] = &[
     "nodes",
     "profile",
     "reuse-plan",
+    "faults",
+    "fault-seed",
 ];
 const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist", "plan"];
 
@@ -82,6 +85,9 @@ USAGE:
   polar sweep <file>        error/time vs eps [--from A --to B --steps K]
   polar distributed <file>  in-process MPI drivers [--ranks P] [--threads p] [--data-dist]
       --plan                      ranks execute segments of a shared plan
+      --faults spec.json          inject the fault schedule from a FaultSpec file
+      --fault-seed N              inject a deterministic seeded fault schedule;
+                                  survivors recover lost work by re-division
   polar project <file>      simulated Lonestar4 timings [--nodes N]
       --plan                      derive per-leaf task costs from plan lists
 

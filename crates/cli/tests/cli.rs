@@ -179,3 +179,117 @@ fn bad_option_is_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
 }
+
+#[test]
+fn distributed_fault_seed_runs_a_reproducible_chaos_run() {
+    let path = tmp_pqr("chaos", 250);
+    let run = |seed: &str| {
+        let out = polar()
+            .args(["distributed"])
+            .arg(&path)
+            .args(["--ranks", "3", "--fault-seed", seed, "--profile", "json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run("11");
+    assert!(a.contains("faults: seed 11"), "{a}");
+    assert!(a.contains("surviving ranks"), "{a}");
+    assert!(a.contains("\"fault\":{"), "{a}");
+    assert!(a.contains("\"mode\":\"oct_mpi_ft\""), "{a}");
+    // Same seed, same chaos: the JSON fault section is byte-identical.
+    let b = run("11");
+    let section = |s: &str| {
+        let i = s.find("\"fault\":{").expect("fault section");
+        s[i..].to_string()
+    };
+    assert_eq!(section(&a), section(&b));
+}
+
+#[test]
+fn distributed_faults_file_drives_the_schedule() {
+    let path = tmp_pqr("faultfile", 220);
+    let spec = std::env::temp_dir().join("polar_cli_spec.json");
+    std::fs::write(
+        &spec,
+        r#"{"seed": 1, "max_retries": 4, "worker_retry_budget": 2, "base_timeout_s": 0.0001,
+            "crashes": [{"rank": 1, "at_collective": 2}],
+            "drops": [], "stragglers": [], "worker_panics": []}"#,
+    )
+    .unwrap();
+    let out = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "3", "--faults"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2/3 surviving ranks"), "{text}");
+    assert!(text.contains("1 crashes [1]"), "{text}");
+}
+
+#[test]
+fn non_survivable_schedule_exits_nonzero_with_a_readable_message() {
+    let path = tmp_pqr("allcrash", 150);
+    let spec = std::env::temp_dir().join("polar_cli_allcrash.json");
+    std::fs::write(
+        &spec,
+        r#"{"seed": 0, "max_retries": 4, "worker_retry_budget": 2, "base_timeout_s": 0.0001,
+            "crashes": [{"rank": 0, "at_collective": 1}, {"rank": 1, "at_collective": 1}],
+            "drops": [], "stragglers": [], "worker_panics": []}"#,
+    )
+    .unwrap();
+    let out = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "2", "--faults"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "all-crash schedule must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not survivable"), "{err}");
+    assert!(err.contains("all 2 ranks died"), "{err}");
+}
+
+#[test]
+fn malformed_fault_spec_is_a_clean_error() {
+    let path = tmp_pqr("badspec", 150);
+    let spec = std::env::temp_dir().join("polar_cli_badspec.json");
+    std::fs::write(&spec, r#"{"seed": "not a number"}"#).unwrap();
+    let out = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "2", "--faults"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--faults"), "{err}");
+
+    let both = polar()
+        .args(["distributed"])
+        .arg(&path)
+        .args(["--ranks", "2", "--fault-seed", "1", "--faults"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(!both.status.success());
+    assert!(
+        String::from_utf8_lossy(&both.stderr).contains("mutually exclusive"),
+        "{}",
+        String::from_utf8_lossy(&both.stderr)
+    );
+}

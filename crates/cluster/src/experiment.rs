@@ -293,6 +293,7 @@ impl ClusterExperiment {
                 replicated_bytes: layout.ranks as u64 * self.data_bytes,
             }),
             plan: None,
+            fault: None,
             memory_bytes: self.data_bytes,
         }
     }
@@ -576,7 +577,7 @@ mod tests {
         assert_eq!(comm.replicated_bytes, 4 * e.data_bytes);
         // NaN energy serializes as JSON null, and the row stays parseable.
         assert!(r.to_json().contains("\"epol_kcal\":null"));
-        assert_eq!(r.to_csv_row().split(',').count(), 35);
+        assert_eq!(r.to_csv_row().split(',').count(), 41);
     }
 
     #[test]

@@ -20,8 +20,25 @@ pub fn even_segments(n: usize, parts: usize) -> Vec<Range<usize>> {
         out.push(start..start + len);
         start += len;
     }
-    debug_assert_eq!(start, n);
+    debug_assert!(
+        segments_tile(&out, n),
+        "even_segments({n}, {parts}) does not tile 0..{n}: {out:?}"
+    );
     out
+}
+
+/// Do `segs` exactly tile `0..n` — contiguous, in order, no gaps or
+/// overlaps? The fault-recovery driver leans on this invariant when it
+/// re-divides a dead rank's segment among survivors.
+pub fn segments_tile(segs: &[Range<usize>], n: usize) -> bool {
+    let mut cursor = 0;
+    for s in segs {
+        if s.start != cursor || s.end < s.start {
+            return false;
+        }
+        cursor = s.end;
+    }
+    cursor == n
 }
 
 /// Split `0..n` into `parts` ranges balanced by per-item weights: a greedy
@@ -118,5 +135,36 @@ mod tests {
     #[should_panic]
     fn zero_parts_rejected() {
         let _ = even_segments(4, 0);
+    }
+
+    #[test]
+    fn more_parts_than_items_yield_valid_empty_trailing_segments() {
+        // Regression: P ranks over n < P items must give every rank a
+        // well-formed (possibly empty) range — the recovery driver
+        // re-divides tiny lost segments over many survivors.
+        for (n, parts) in [(0, 1), (0, 7), (1, 8), (3, 5), (5, 64)] {
+            let segs = even_segments(n, parts);
+            assert_eq!(segs.len(), parts);
+            assert!(segments_tile(&segs, n), "{n}/{parts}: {segs:?}");
+            // The first n segments hold one item each; the rest are empty.
+            for (i, s) in segs.iter().enumerate() {
+                assert!(s.end >= s.start, "inverted range {s:?}");
+                if i >= n {
+                    assert!(s.is_empty(), "segment {i} of {n}/{parts} not empty");
+                }
+                // Empty ranges still index validly into a slice of len n.
+                assert!(s.end <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn segments_tile_detects_gaps_overlaps_and_shortfalls() {
+        assert!(segments_tile(&[0..2, 2..5], 5));
+        assert!(segments_tile(&[], 0));
+        assert!(!segments_tile(&[0..2, 3..5], 5), "gap");
+        assert!(!segments_tile(&[0..3, 2..5], 5), "overlap");
+        assert!(!segments_tile(&[0..2, 2..4], 5), "shortfall");
+        assert!(!segments_tile(&[1..2, 2..5], 5), "late start");
     }
 }

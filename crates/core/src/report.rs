@@ -127,6 +127,90 @@ pub struct PlanReport {
     pub plan_bytes: u64,
 }
 
+/// One recorded fault-layer event: an injected fault, a recovery
+/// action, or a detection. Events carry only deterministic fields so a
+/// fixed fault seed reproduces a byte-identical report.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    /// Collective ordinal at which the event fired (rank-local program
+    /// order; identical across ranks under the SPMD discipline).
+    pub at_collective: u64,
+    /// Event kind: `"crash"`, `"drop"`, `"straggler"`, `"worker_panic"`,
+    /// `"redivide"`.
+    pub kind: String,
+    /// Primary rank involved (crashed rank, sender, straggler…).
+    pub rank: usize,
+    /// Secondary rank (receiver of a dropped message), if any.
+    pub peer: Option<usize>,
+    /// Free-form deterministic detail (stage name, item counts…).
+    pub detail: String,
+}
+
+/// Fault-injection and recovery summary of one chaos run.
+///
+/// Filled by the fault-tolerant distributed driver
+/// (`polar_mpi::recovery`). All fields are deterministic functions of the
+/// fault spec and the molecule, so identical seeds serialize to
+/// byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultReport {
+    /// Seed the spec was generated from (0 for hand-written specs).
+    pub seed: u64,
+    /// Rank crashes injected by the spec that actually fired.
+    pub crashes: u64,
+    /// Messages dropped on first transmission.
+    pub drops: u64,
+    /// Message retransmissions performed (exponential-backoff retries).
+    pub msg_retries: u64,
+    /// Intra-rank worker tasks re-run after an isolated panic.
+    pub worker_retries: u64,
+    /// Segment re-division rounds (one per stage that lost a rank).
+    pub redivisions: u64,
+    /// Work items (leaves / atoms) re-executed by survivors.
+    pub recovered_items: u64,
+    /// Ranks that died, ascending.
+    pub dead_ranks: Vec<usize>,
+    /// Simulated seconds added by straggler slowdowns, all ranks.
+    pub straggler_extra_seconds: f64,
+    /// Ordered deterministic event log.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultReport {
+    /// Serialize to a self-contained JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num("seed", self.seed as f64);
+        o.num("crashes", self.crashes as f64);
+        o.num("drops", self.drops as f64);
+        o.num("msg_retries", self.msg_retries as f64);
+        o.num("worker_retries", self.worker_retries as f64);
+        o.num("redivisions", self.redivisions as f64);
+        o.num("recovered_items", self.recovered_items as f64);
+        let dead: Vec<String> = self.dead_ranks.iter().map(|r| r.to_string()).collect();
+        o.raw("dead_ranks", &format!("[{}]", dead.join(",")));
+        o.num("straggler_extra_seconds", self.straggler_extra_seconds);
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut eo = JsonObj::new();
+                eo.num("at_collective", e.at_collective as f64);
+                eo.str("kind", &e.kind);
+                eo.num("rank", e.rank as f64);
+                match e.peer {
+                    Some(p) => eo.num("peer", p as f64),
+                    None => eo.raw("peer", "null"),
+                }
+                eo.str("detail", &e.detail);
+                eo.finish()
+            })
+            .collect();
+        o.raw("events", &format!("[{}]", events.join(",")));
+        o.finish()
+    }
+}
+
 /// One structured record per solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
@@ -154,6 +238,8 @@ pub struct SolveReport {
     pub comm: Option<CommReport>,
     /// Interaction-list statistics, when a plan+execute path ran.
     pub plan: Option<PlanReport>,
+    /// Fault-injection and recovery summary, when a chaos run.
+    pub fault: Option<FaultReport>,
     /// Resident input bytes of one replica (solver data + octrees).
     pub memory_bytes: u64,
 }
@@ -252,6 +338,10 @@ impl SolveReport {
             }
             None => o.raw("plan", "null"),
         }
+        match &self.fault {
+            Some(f) => o.raw("fault", &f.to_json()),
+            None => o.raw("fault", "null"),
+        }
         o.num("memory_bytes", self.memory_bytes as f64);
         o.finish()
     }
@@ -293,6 +383,12 @@ impl SolveReport {
             "plan_epol_near",
             "plan_epol_far",
             "plan_bytes",
+            "fault_seed",
+            "fault_crashes",
+            "fault_drops",
+            "fault_msg_retries",
+            "fault_worker_retries",
+            "fault_recovered_items",
             "memory_bytes",
         ]
         .join(",")
@@ -338,6 +434,24 @@ impl SolveReport {
                 String::new(),
             ),
         };
+        let (f_seed, f_crashes, f_drops, f_mretries, f_wretries, f_recovered) = match &self.fault {
+            Some(f) => (
+                f.seed.to_string(),
+                f.crashes.to_string(),
+                f.drops.to_string(),
+                f.msg_retries.to_string(),
+                f.worker_retries.to_string(),
+                f.recovered_items.to_string(),
+            ),
+            None => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+        };
         [
             csv_field(&self.molecule),
             csv_field(&self.mode),
@@ -373,6 +487,12 @@ impl SolveReport {
             pe_near,
             pe_far,
             p_bytes,
+            f_seed,
+            f_crashes,
+            f_drops,
+            f_mretries,
+            f_wretries,
+            f_recovered,
             self.memory_bytes.to_string(),
         ]
         .join(",")
@@ -501,6 +621,7 @@ mod tests {
                 epol_far_entries: 44,
                 plan_bytes: 1234,
             }),
+            fault: None,
             memory_bytes: 4096,
         }
     }
@@ -526,6 +647,59 @@ mod tests {
         let mut r = sample();
         r.plan = None;
         assert!(r.to_json().contains("\"plan\":null"));
+        // Fault-free reports emit an explicit null fault section.
+        assert!(sample().to_json().contains("\"fault\":null"));
+    }
+
+    #[test]
+    fn fault_report_serializes_deterministically() {
+        let f = FaultReport {
+            seed: 7,
+            crashes: 1,
+            drops: 2,
+            msg_retries: 3,
+            worker_retries: 1,
+            redivisions: 2,
+            recovered_items: 17,
+            dead_ranks: vec![1, 3],
+            straggler_extra_seconds: 0.25,
+            events: vec![
+                FaultEvent {
+                    at_collective: 0,
+                    kind: "crash".into(),
+                    rank: 1,
+                    peer: None,
+                    detail: "injected".into(),
+                },
+                FaultEvent {
+                    at_collective: 0,
+                    kind: "redivide".into(),
+                    rank: 0,
+                    peer: None,
+                    detail: "born: 17 items over 3 survivors".into(),
+                },
+            ],
+        };
+        // Byte-identical across repeated serializations (the chaos-test
+        // reproducibility contract).
+        assert_eq!(f.to_json(), f.to_json());
+        let j = f.to_json();
+        for key in [
+            "\"seed\":7",
+            "\"dead_ranks\":[1,3]",
+            "\"kind\":\"crash\"",
+            "\"peer\":null",
+            "\"recovered_items\":17",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // In a SolveReport, the fault section rides along in JSON and the
+        // CSV fault columns fill in.
+        let mut r = sample();
+        r.fault = Some(f);
+        assert!(r.to_json().contains("\"fault\":{\"seed\":7"));
+        let row = r.to_csv_row();
+        assert!(row.contains(",7,1,2,3,1,17,"), "{row}");
     }
 
     #[test]
@@ -724,10 +898,10 @@ mod tests {
     fn csv_row_matches_header_arity() {
         let header = SolveReport::csv_header();
         let row = sample().to_csv_row();
-        assert_eq!(header.split(',').count(), 35);
+        assert_eq!(header.split(',').count(), 41);
         // The quoted molecule field contains a comma; strip it first.
         let row_fields = row.replace("\"glob,ule\"", "molecule");
-        assert_eq!(row_fields.split(',').count(), 35, "{row}");
+        assert_eq!(row_fields.split(',').count(), 41, "{row}");
         assert!(row.starts_with("\"glob,ule\",serial,100,2000,"));
         // Plan columns carry the sample's entry counts.
         assert!(row.contains(",11,22,33,44,1234,"));

@@ -258,6 +258,7 @@ impl GbSolver {
             steal: None,
             comm: None,
             plan: None,
+            fault: None,
             memory_bytes: self.memory_bytes() as u64,
         }
     }

@@ -109,5 +109,5 @@ fn plan_report_mode_and_stats_round_trip() {
     let stats = report.plan.expect("plan stats present");
     assert_eq!(stats.plan_bytes, plan.memory_bytes() as u64);
     assert!(report.to_json().contains("\"plan\":{"));
-    assert_eq!(report.to_csv_row().split(',').count(), 35);
+    assert_eq!(report.to_csv_row().split(',').count(), 41);
 }

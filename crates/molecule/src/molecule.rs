@@ -109,6 +109,51 @@ impl Molecule {
     pub fn atom_bytes(&self) -> usize {
         self.atoms.len() * std::mem::size_of::<Atom>()
     }
+
+    /// Check that the molecule is fit for a solve: at least one atom,
+    /// finite coordinates and charges, strictly positive finite radii.
+    ///
+    /// A single NaN coordinate silently poisons every downstream energy
+    /// (NaN propagates through the integrals without tripping anything),
+    /// so loaders reject bad inputs up front with a descriptive error
+    /// naming the offending atom.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.atoms.is_empty() {
+            return Err(format!(
+                "molecule {:?} has no atoms — nothing to solve",
+                self.name
+            ));
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if !(a.pos.x.is_finite() && a.pos.y.is_finite() && a.pos.z.is_finite()) {
+                return Err(format!(
+                    "atom {} of {:?}: non-finite coordinate ({}, {}, {})",
+                    i + 1,
+                    self.name,
+                    a.pos.x,
+                    a.pos.y,
+                    a.pos.z
+                ));
+            }
+            if !a.radius.is_finite() || a.radius <= 0.0 {
+                return Err(format!(
+                    "atom {} of {:?}: radius must be positive and finite, got {}",
+                    i + 1,
+                    self.name,
+                    a.radius
+                ));
+            }
+            if !a.charge.is_finite() {
+                return Err(format!(
+                    "atom {} of {:?}: non-finite charge {}",
+                    i + 1,
+                    self.name,
+                    a.charge
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +223,39 @@ mod tests {
         let m = Molecule::new("empty", vec![]);
         assert!(m.is_empty());
         assert_eq!(m.centroid(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn validate_accepts_sane_and_rejects_degenerate_molecules() {
+        assert!(tiny().validate().is_ok());
+
+        let empty = Molecule::new("void", vec![]);
+        let e = empty.validate().unwrap_err();
+        assert!(e.contains("no atoms"), "{e}");
+
+        let nan_pos = Molecule::new(
+            "nanpos",
+            vec![Atom::new(Vec3::new(0.0, f64::NAN, 0.0), 1.0, 0.0)],
+        );
+        let e = nan_pos.validate().unwrap_err();
+        assert!(e.contains("atom 1") && e.contains("coordinate"), "{e}");
+
+        let inf_pos = Molecule::new(
+            "infpos",
+            vec![Atom::new(Vec3::new(f64::INFINITY, 0.0, 0.0), 1.0, 0.0)],
+        );
+        assert!(inf_pos.validate().is_err());
+
+        let zero_r = Molecule::new("zr", vec![Atom::new(Vec3::ZERO, 0.0, 0.1)]);
+        let e = zero_r.validate().unwrap_err();
+        assert!(e.contains("radius"), "{e}");
+
+        let neg_r = Molecule::new("nr", vec![Atom::new(Vec3::ZERO, -1.5, 0.1)]);
+        assert!(neg_r.validate().is_err());
+
+        let nan_q = Molecule::new("nq", vec![Atom::new(Vec3::ZERO, 1.0, f64::NAN)]);
+        let e = nan_q.validate().unwrap_err();
+        assert!(e.contains("charge"), "{e}");
     }
 
     #[test]

@@ -161,6 +161,7 @@ impl DistributedRun {
                 replicated_bytes: self.total_replicated_bytes,
             }),
             plan: self.plan_stats,
+            fault: None,
             memory_bytes: solver.memory_bytes() as u64,
         }
     }
@@ -569,7 +570,7 @@ mod tests {
             assert_eq!(rep.steal.is_some(), threads > 1);
             // Reports serialize without panicking and round out the row.
             assert!(rep.to_json().contains("\"mode\""));
-            assert_eq!(rep.to_csv_row().split(',').count(), 35);
+            assert_eq!(rep.to_csv_row().split(',').count(), 41);
         }
     }
 
@@ -615,7 +616,7 @@ mod tests {
             assert!(run.total_replicated_bytes > recursive.total_replicated_bytes);
             // Executing lists re-visits no tree nodes.
             assert_eq!(run.total_work_born().nodes_visited, 0);
-            assert_eq!(rep.to_csv_row().split(',').count(), 35);
+            assert_eq!(rep.to_csv_row().split(',').count(), 41);
         }
     }
 

@@ -1,0 +1,596 @@
+//! Deterministic fault injection for the distributed drivers.
+//!
+//! A [`FaultSpec`] is a *schedule*, not a probability: it pins every
+//! injected fault to a deterministic point — a rank's n-th fault-aware
+//! collective, the n-th message on an ordered rank pair, a task index
+//! inside a named stage — so a chaos run is exactly reproducible from the
+//! spec (and a spec is exactly reproducible from a seed via
+//! [`FaultSpec::from_seed`]). Four fault kinds:
+//!
+//! * **crash** — the rank dies at entry to its `at_collective`-th
+//!   fault-aware collective (announced through the universe's shared
+//!   dead-flag array; survivors detect it at their next collective);
+//! * **drop** — the contribution message from `from` to `to` at the
+//!   sender's `at_collective`-th collective is lost `times` times; the sender retransmits with exponential
+//!   backoff charged against the [`NetworkModel`](crate::NetworkModel)
+//!   clock, and gives up (escalating to a rank abort) past `max_retries`;
+//! * **straggler** — the rank stalls `extra_seconds` of simulated time at
+//!   one collective (slowest-rank accounting picks it up);
+//! * **worker panic** — inside the rank's work-stealing pool, one task of
+//!   a named stage panics its first `panics` attempts; the pool isolates
+//!   the panic (`catch_unwind`) and retries on another worker.
+
+/// One scheduled rank crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashFault {
+    /// Rank that dies.
+    pub rank: usize,
+    /// 1-based index of the fault-aware collective at whose entry the
+    /// rank dies (counted per rank; SPMD discipline keeps the counter
+    /// consistent across ranks).
+    pub at_collective: u64,
+}
+
+/// One scheduled message loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropFault {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank.
+    pub to: usize,
+    /// 1-based fault-aware collective (sender's counter) whose
+    /// contribution message is lost. Keying drops on the collective —
+    /// not a raw per-pair message count — keeps injection deterministic
+    /// even when root failover reroutes contributions.
+    pub at_collective: u64,
+    /// How many transmissions are lost before one gets through.
+    pub times: u32,
+}
+
+/// One scheduled slowdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerFault {
+    /// Rank that stalls.
+    pub rank: usize,
+    /// 1-based fault-aware collective at whose entry the stall happens.
+    pub at_collective: u64,
+    /// Simulated seconds added to the rank's communication clock.
+    pub extra_seconds: f64,
+}
+
+/// One scheduled in-rank task panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanicFault {
+    /// Rank whose pool is poisoned.
+    pub rank: usize,
+    /// Stage name the task belongs to (`"born"` or `"epol"`).
+    pub stage: String,
+    /// Task index within the stage's batch (taken modulo the batch size
+    /// at run time, so specs stay valid across problem sizes).
+    pub task_index: usize,
+    /// Number of attempts that panic before the task succeeds.
+    pub panics: u32,
+}
+
+/// A complete, deterministic fault schedule for one distributed run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Seed this spec was generated from (0 for hand-written specs); it
+    /// is echoed into the `FaultReport` so runs are auditable by seed.
+    pub seed: u64,
+    /// Retransmission budget per message before the sender gives up and
+    /// the rank aborts.
+    pub max_retries: u32,
+    /// Per-task retry budget for panic-isolated workers.
+    pub worker_retry_budget: u32,
+    /// Base backoff charged (simulated seconds) for the first
+    /// retransmission; attempt `k` waits `base_timeout_s · 2^k`.
+    pub base_timeout_s: f64,
+    pub crashes: Vec<CrashFault>,
+    pub drops: Vec<DropFault>,
+    pub stragglers: Vec<StragglerFault>,
+    pub worker_panics: Vec<WorkerPanicFault>,
+}
+
+/// splitmix64 — a tiny, dependency-free deterministic stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultSpec {
+    /// A spec with no faults scheduled — the identity chaos run.
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            max_retries: 5,
+            worker_retry_budget: 2,
+            base_timeout_s: 1e-4,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Generate a *survivable* random schedule for a universe of
+    /// `n_ranks`: at most `n_ranks − 1` distinct ranks crash, drops stay
+    /// within the retry budget, and worker panics stay within the worker
+    /// budget. Identical `(seed, n_ranks)` always produce the identical
+    /// spec.
+    pub fn from_seed(seed: u64, n_ranks: usize) -> FaultSpec {
+        assert!(n_ranks >= 1);
+        let mut s = seed ^ 0x0ddc_0ffe_e0dd_f00d;
+        let mut spec = FaultSpec {
+            seed,
+            ..FaultSpec::none()
+        };
+        // Crashes: 0..n_ranks-1 distinct ranks, each at collective 1..=6.
+        let n_crashes = (splitmix64(&mut s) as usize) % n_ranks;
+        let mut ranks: Vec<usize> = (0..n_ranks).collect();
+        for i in (1..ranks.len()).rev() {
+            let j = (splitmix64(&mut s) as usize) % (i + 1);
+            ranks.swap(i, j);
+        }
+        for &rank in ranks.iter().take(n_crashes) {
+            spec.crashes.push(CrashFault {
+                rank,
+                at_collective: 1 + splitmix64(&mut s) % 6,
+            });
+        }
+        // Drops: up to 3, each lost ≤ max_retries times (recoverable).
+        let n_drops = (splitmix64(&mut s) % 4) as usize;
+        for _ in 0..n_drops {
+            if n_ranks < 2 {
+                break;
+            }
+            let from = (splitmix64(&mut s) as usize) % n_ranks;
+            let mut to = (splitmix64(&mut s) as usize) % n_ranks;
+            if to == from {
+                to = (to + 1) % n_ranks;
+            }
+            spec.drops.push(DropFault {
+                from,
+                to,
+                at_collective: 1 + splitmix64(&mut s) % 6,
+                times: 1 + (splitmix64(&mut s) % spec.max_retries as u64) as u32,
+            });
+        }
+        // Stragglers: up to 2 stalls of 1–100 ms simulated time.
+        let n_strag = (splitmix64(&mut s) % 3) as usize;
+        for _ in 0..n_strag {
+            spec.stragglers.push(StragglerFault {
+                rank: (splitmix64(&mut s) as usize) % n_ranks,
+                at_collective: 1 + splitmix64(&mut s) % 6,
+                extra_seconds: 1e-3 * (1 + splitmix64(&mut s) % 100) as f64,
+            });
+        }
+        // Worker panics: up to 2, each within the worker retry budget.
+        let n_panics = (splitmix64(&mut s) % 3) as usize;
+        for _ in 0..n_panics {
+            spec.worker_panics.push(WorkerPanicFault {
+                rank: (splitmix64(&mut s) as usize) % n_ranks,
+                stage: if splitmix64(&mut s).is_multiple_of(2) {
+                    "born".into()
+                } else {
+                    "epol".into()
+                },
+                task_index: (splitmix64(&mut s) as usize) % 16,
+                panics: 1 + (splitmix64(&mut s) % spec.worker_retry_budget.max(1) as u64) as u32,
+            });
+        }
+        spec
+    }
+
+    /// Ranks scheduled to crash (sorted, deduplicated).
+    pub fn crashing_ranks(&self) -> Vec<usize> {
+        let mut r: Vec<usize> = self.crashes.iter().map(|c| c.rank).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    /// Does at least one rank of a `n_ranks` universe survive the
+    /// schedule? (Drops beyond the retry budget also kill their sender,
+    /// so they count as crashes here.)
+    pub fn survivable(&self, n_ranks: usize) -> bool {
+        let mut dead = vec![false; n_ranks];
+        for c in &self.crashes {
+            if c.rank < n_ranks {
+                dead[c.rank] = true;
+            }
+        }
+        for d in &self.drops {
+            if d.times > self.max_retries && d.from < n_ranks {
+                dead[d.from] = true;
+            }
+        }
+        dead.iter().any(|&d| !d)
+    }
+
+    /// Serialize as JSON (stable field order, no whitespace).
+    pub fn to_json(&self) -> String {
+        let crashes: Vec<String> = self
+            .crashes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"rank\":{},\"at_collective\":{}}}",
+                    c.rank, c.at_collective
+                )
+            })
+            .collect();
+        let drops: Vec<String> = self
+            .drops
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"from\":{},\"to\":{},\"at_collective\":{},\"times\":{}}}",
+                    d.from, d.to, d.at_collective, d.times
+                )
+            })
+            .collect();
+        let stragglers: Vec<String> = self
+            .stragglers
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"rank\":{},\"at_collective\":{},\"extra_seconds\":{}}}",
+                    t.rank, t.at_collective, t.extra_seconds
+                )
+            })
+            .collect();
+        let panics: Vec<String> = self
+            .worker_panics
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"rank\":{},\"stage\":\"{}\",\"task_index\":{},\"panics\":{}}}",
+                    w.rank, w.stage, w.task_index, w.panics
+                )
+            })
+            .collect();
+        format!(
+            "{{\"seed\":{},\"max_retries\":{},\"worker_retry_budget\":{},\
+             \"base_timeout_s\":{},\"crashes\":[{}],\"drops\":[{}],\
+             \"stragglers\":[{}],\"worker_panics\":[{}]}}",
+            self.seed,
+            self.max_retries,
+            self.worker_retry_budget,
+            self.base_timeout_s,
+            crashes.join(","),
+            drops.join(","),
+            stragglers.join(","),
+            panics.join(",")
+        )
+    }
+
+    /// Parse a spec from JSON (the format `to_json` emits, whitespace
+    /// tolerated; unknown keys rejected with a descriptive error).
+    pub fn parse_json(text: &str) -> Result<FaultSpec, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj("fault spec")?;
+        let mut spec = FaultSpec::none();
+        for (key, val) in obj {
+            match key.as_str() {
+                "seed" => spec.seed = val.as_u64(key)?,
+                "max_retries" => spec.max_retries = val.as_u64(key)? as u32,
+                "worker_retry_budget" => spec.worker_retry_budget = val.as_u64(key)? as u32,
+                "base_timeout_s" => spec.base_timeout_s = val.as_f64(key)?,
+                "crashes" => {
+                    for item in val.as_arr(key)? {
+                        let o = item.as_obj("crash")?;
+                        spec.crashes.push(CrashFault {
+                            rank: json::field(o, "rank")?.as_u64("rank")? as usize,
+                            at_collective: json::field(o, "at_collective")?
+                                .as_u64("at_collective")?,
+                        });
+                    }
+                }
+                "drops" => {
+                    for item in val.as_arr(key)? {
+                        let o = item.as_obj("drop")?;
+                        spec.drops.push(DropFault {
+                            from: json::field(o, "from")?.as_u64("from")? as usize,
+                            to: json::field(o, "to")?.as_u64("to")? as usize,
+                            at_collective: json::field(o, "at_collective")?
+                                .as_u64("at_collective")?,
+                            times: json::field(o, "times")?.as_u64("times")? as u32,
+                        });
+                    }
+                }
+                "stragglers" => {
+                    for item in val.as_arr(key)? {
+                        let o = item.as_obj("straggler")?;
+                        spec.stragglers.push(StragglerFault {
+                            rank: json::field(o, "rank")?.as_u64("rank")? as usize,
+                            at_collective: json::field(o, "at_collective")?
+                                .as_u64("at_collective")?,
+                            extra_seconds: json::field(o, "extra_seconds")?
+                                .as_f64("extra_seconds")?,
+                        });
+                    }
+                }
+                "worker_panics" => {
+                    for item in val.as_arr(key)? {
+                        let o = item.as_obj("worker panic")?;
+                        spec.worker_panics.push(WorkerPanicFault {
+                            rank: json::field(o, "rank")?.as_u64("rank")? as usize,
+                            stage: json::field(o, "stage")?.as_str("stage")?.to_string(),
+                            task_index: json::field(o, "task_index")?.as_u64("task_index")?
+                                as usize,
+                            panics: json::field(o, "panics")?.as_u64("panics")? as u32,
+                        });
+                    }
+                }
+                other => return Err(format!("unknown fault-spec key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// A deliberately tiny JSON reader — just what the fault-spec schema
+/// needs (objects, arrays, numbers, strings); no dependency on a JSON
+/// crate, mirroring the workspace's hand-rolled report serialization.
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                other => Err(format!(
+                    "{what}: expected non-negative integer, got {other:?}"
+                )),
+            }
+        }
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(a) => Ok(a),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+        pub fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+    }
+
+    pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing required key {key:?}"))
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == ch {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", ch as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match parse_value(b, pos)? {
+                        Value::Str(s) => s,
+                        other => return Err(format!("object key must be string, got {other:?}")),
+                    };
+                    expect(b, pos, b':')?;
+                    entries.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(entries));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                let mut s = String::new();
+                while *pos < b.len() {
+                    match b[*pos] {
+                        b'"' => {
+                            *pos += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        b'\\' => {
+                            *pos += 1;
+                            match b.get(*pos) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                other => return Err(format!("bad escape {other:?}")),
+                            }
+                            *pos += 1;
+                        }
+                        c => {
+                            s.push(c as char);
+                            *pos += 1;
+                        }
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' || *c == b'+' => {
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len()
+                    && (b[*pos].is_ascii_digit()
+                        || matches!(b[*pos], b'.' | b'e' | b'E' | b'-' | b'+'))
+                {
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_survivable() {
+        for seed in 0..64u64 {
+            for ranks in [1usize, 2, 3, 5, 8] {
+                let a = FaultSpec::from_seed(seed, ranks);
+                let b = FaultSpec::from_seed(seed, ranks);
+                assert_eq!(a, b, "seed {seed} ranks {ranks}");
+                assert!(a.survivable(ranks), "seed {seed} ranks {ranks}: {a:?}");
+                assert!(a.crashing_ranks().len() < ranks.max(1));
+                for d in &a.drops {
+                    assert!(d.times <= a.max_retries);
+                }
+                for w in &a.worker_panics {
+                    assert!(w.panics <= a.worker_retry_budget);
+                }
+            }
+        }
+        // Different seeds eventually differ.
+        assert_ne!(FaultSpec::from_seed(1, 4), FaultSpec::from_seed(2, 4));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_spec() {
+        for seed in [0u64, 7, 42, 1234] {
+            let spec = FaultSpec::from_seed(seed, 6);
+            let text = spec.to_json();
+            let back = FaultSpec::parse_json(&text).unwrap();
+            assert_eq!(spec, back, "{text}");
+        }
+        // Whitespace-tolerant.
+        let spec = FaultSpec::parse_json(
+            r#"{
+                "seed": 3,
+                "max_retries": 4,
+                "crashes": [ { "rank": 1, "at_collective": 2 } ],
+                "stragglers": [ { "rank": 0, "at_collective": 1, "extra_seconds": 0.25 } ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 3);
+        assert_eq!(
+            spec.crashes,
+            vec![CrashFault {
+                rank: 1,
+                at_collective: 2
+            }]
+        );
+        assert_eq!(spec.stragglers[0].extra_seconds, 0.25);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_readable_errors() {
+        let e = FaultSpec::parse_json("{\"bogus\":1}").unwrap_err();
+        assert!(e.contains("bogus"), "{e}");
+        let e = FaultSpec::parse_json("{\"crashes\":[{\"rank\":0}]}").unwrap_err();
+        assert!(e.contains("at_collective"), "{e}");
+        let e = FaultSpec::parse_json("{\"seed\":-1}").unwrap_err();
+        assert!(e.contains("non-negative"), "{e}");
+        assert!(FaultSpec::parse_json("not json").is_err());
+        let e = FaultSpec::parse_json("{\"seed\":1} trailing").unwrap_err();
+        assert!(e.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn survivability_accounts_for_exhausted_drops() {
+        let mut spec = FaultSpec::none();
+        spec.max_retries = 2;
+        spec.drops.push(DropFault {
+            from: 0,
+            to: 1,
+            at_collective: 1,
+            times: 3, // > max_retries: sender 0 will abort
+        });
+        assert!(spec.survivable(2));
+        spec.crashes.push(CrashFault {
+            rank: 1,
+            at_collective: 1,
+        });
+        assert!(!spec.survivable(2), "both ranks doomed");
+        assert!(spec.survivable(3));
+    }
+}

@@ -24,9 +24,13 @@
 pub mod comm;
 pub mod data_dist;
 pub mod drivers;
+pub mod faults;
 pub mod network;
+pub mod recovery;
 
-pub use comm::{Comm, Universe};
+pub use comm::{Comm, CommError, Universe};
 pub use data_dist::{run_data_distributed, DataDistributedRun};
 pub use drivers::{DistributedConfig, DistributedRun};
+pub use faults::{CrashFault, DropFault, FaultSpec, StragglerFault, WorkerPanicFault};
 pub use network::NetworkModel;
+pub use recovery::{run_distributed_ft, DistributedError};

@@ -1,0 +1,939 @@
+//! Fault-tolerant distributed execution: the Fig. 4 algorithm with
+//! detection, re-division, and recovery.
+//!
+//! [`run_distributed_ft`] runs the same three-stage pipeline as
+//! [`run_distributed`](crate::drivers::run_distributed), but over the
+//! fault-tolerant collectives of [`Comm`]: every collective returns the
+//! *absent set* — ranks that failed to contribute — and the driver
+//! responds with a **round loop**:
+//!
+//! 1. round 0 computes the original `even_segments` division (plus the
+//!    segments of ranks already known dead, re-divided over the living);
+//! 2. the stage collective combines contributions and reports absentees;
+//! 3. items assigned to newly-dead ranks are collected, re-divided over
+//!    the survivors with `even_segments`, recomputed, and combined with
+//!    a follow-up collective — repeating until a round loses nothing.
+//!
+//! Only lost work is re-executed: contributions that made it into a
+//! collective are never recomputed. With no faults the round loop exits
+//! after round 0 having accumulated in exactly the plain driver's order,
+//! so a fault-free FT run equals `run_distributed`. Inside a rank,
+//! stages with scheduled worker panics run on
+//! [`polar_runtime::run_batch_retry`], which isolates the panic with
+//! `catch_unwind` and re-runs the poisoned task; a pool that exhausts its
+//! retry budget kills the whole rank (via [`Comm::ft_abort`]), converting
+//! the local failure into an ordinary rank death the survivors recover
+//! from. Every injected fault, retry, re-division, and recovery lands in
+//! a deterministic [`FaultReport`].
+
+use crate::comm::{Comm, CommError, Universe};
+use crate::drivers::DistributedConfig;
+use crate::faults::FaultSpec;
+use polar_gb::born::octree::{approx_integrals, push_integrals_to_atoms, BornPartials};
+use polar_gb::constants::tau;
+use polar_gb::energy::octree::{epol_for_leaf_segment, EpolCtx};
+use polar_gb::partition::even_segments;
+use polar_gb::report::{
+    CommReport, FaultEvent, FaultReport, PlanReport, SolveReport, StageReport, StealReport,
+    TreeDepthStats,
+};
+use polar_gb::{GbSolver, InteractionPlan, WorkCounts};
+use polar_runtime::{run_batch_retry, StealStats};
+use std::ops::Range;
+
+/// A distributed solve that could not complete.
+#[derive(Debug, Clone)]
+pub enum DistributedError {
+    /// Every rank died before the pipeline finished; the report records
+    /// what was injected and observed up to the end.
+    AllRanksDead { ranks: usize, report: FaultReport },
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::AllRanksDead { ranks, report } => write!(
+                f,
+                "all {ranks} ranks died before completing the solve \
+                 (fault seed {}, {} crashes) — the schedule is not survivable",
+                report.seed, report.crashes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+/// Result of a fault-tolerant distributed run.
+#[derive(Debug, Clone)]
+pub struct FtDistributedRun {
+    /// Final polarization energy (identical on every surviving rank).
+    pub epol_kcal: f64,
+    /// Born radii, original atom order — recovered holes included.
+    pub born: Vec<f64>,
+    /// Ranks alive at the end, ascending.
+    pub survivors: Vec<usize>,
+    /// The audit trail: everything injected, retried, and recovered.
+    pub fault: FaultReport,
+    /// Simulated wire seconds per rank (dead ranks: up to their death).
+    pub per_rank_comm_seconds: Vec<f64>,
+    /// Payload bytes per rank.
+    pub per_rank_bytes_sent: Vec<u64>,
+    /// Replicated input bytes summed over ranks.
+    pub total_replicated_bytes: u64,
+    /// Born-stage wall seconds (slowest surviving rank).
+    pub born_seconds: f64,
+    /// Energy-stage wall seconds (slowest surviving rank).
+    pub epol_seconds: f64,
+    /// Born-stage work summed over contributing ranks.
+    pub work_born: WorkCounts,
+    /// Energy-stage work summed over contributing ranks.
+    pub work_epol: WorkCounts,
+    /// Steal counters concatenated over surviving ranks' pools.
+    pub steal: Option<StealStats>,
+    /// Interaction-list statistics when the run executed a plan.
+    pub plan_stats: Option<PlanReport>,
+}
+
+impl FtDistributedRun {
+    /// Build the [`SolveReport`], with the fault section attached.
+    pub fn report(&self, solver: &GbSolver, cfg: &DistributedConfig) -> SolveReport {
+        let mode = if cfg.threads_per_rank == 1 {
+            "oct_mpi_ft"
+        } else {
+            "oct_mpi_cilk_ft"
+        };
+        SolveReport {
+            molecule: solver.name.clone(),
+            mode: mode.to_string(),
+            n_atoms: solver.n_atoms(),
+            n_qpoints: solver.n_qpoints(),
+            eps_born: cfg.params.eps_born,
+            eps_epol: cfg.params.eps_epol,
+            epol_kcal: self.epol_kcal,
+            stages: vec![
+                StageReport {
+                    name: "born".into(),
+                    wall_seconds: self.born_seconds,
+                    work: self.work_born,
+                },
+                StageReport {
+                    name: "epol".into(),
+                    wall_seconds: self.epol_seconds,
+                    work: self.work_epol,
+                },
+            ],
+            tree_a: TreeDepthStats::for_tree(&solver.tree_a),
+            tree_q: TreeDepthStats::for_tree(&solver.tree_q),
+            steal: self.steal.as_ref().map(StealReport::from),
+            comm: Some(CommReport {
+                ranks: cfg.ranks,
+                sim_seconds: self
+                    .per_rank_comm_seconds
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max),
+                bytes_sent: self.per_rank_bytes_sent.iter().sum(),
+                replicated_bytes: self.total_replicated_bytes,
+            }),
+            plan: self.plan_stats,
+            fault: Some(self.fault.clone()),
+            memory_bytes: solver.memory_bytes() as u64,
+        }
+    }
+}
+
+/// Maximal consecutive ascending runs of an item list — contiguous spans
+/// execute through the fast range-based kernels (and, for round 0,
+/// reproduce the plain driver's accumulation order).
+fn contiguous_runs(items: &[usize]) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        let start = items[i];
+        let mut end = start + 1;
+        i += 1;
+        while i < items.len() && items[i] == end {
+            end += 1;
+            i += 1;
+        }
+        out.push(start..end);
+    }
+    out
+}
+
+/// The round loop shared by all three stages: divide, compute, combine,
+/// detect absences, re-divide the lost items over the survivors, repeat.
+///
+/// `compute` maps this rank's item list to a local contribution;
+/// `exchange` runs the stage collective, folds the combined result into
+/// stage state, and returns the absent set. Both receive the `Comm`
+/// explicitly so they can share it without overlapping borrows, and
+/// `exchange` additionally sees every live rank's item assignment — the
+/// deterministic map that lets all survivors agree on what a dead rank
+/// was computing. Returns `(re-division rounds, items recovered)`.
+fn rounds<T, C, X>(
+    comm: &mut Comm,
+    segs: &[Range<usize>],
+    known_dead: &mut Vec<usize>,
+    mut compute: C,
+    mut exchange: X,
+) -> Result<(u64, u64), CommError>
+where
+    C: FnMut(&mut Comm, &[usize]) -> Result<T, CommError>,
+    X: FnMut(&mut Comm, T, &[usize], &[Vec<usize>]) -> Result<Vec<usize>, CommError>,
+{
+    let rank = comm.rank();
+    let n_ranks = comm.size();
+    let mut redivisions = 0u64;
+    let mut recovered = 0u64;
+    // Items owned by ranks that died in earlier stages are lost before
+    // the stage starts: they join round 0's re-division.
+    let mut lost: Vec<usize> = known_dead.iter().flat_map(|&q| segs[q].clone()).collect();
+    if !lost.is_empty() {
+        redivisions += 1;
+        recovered += lost.len() as u64;
+    }
+    let mut round = 0u64;
+    loop {
+        let live: Vec<usize> = (0..n_ranks).filter(|r| !known_dead.contains(r)).collect();
+        let shares = even_segments(lost.len(), live.len());
+        let assignments: Vec<Vec<usize>> = live
+            .iter()
+            .enumerate()
+            .map(|(pos, &q)| {
+                let mut items: Vec<usize> = if round == 0 {
+                    segs[q].clone().collect()
+                } else {
+                    Vec::new()
+                };
+                items.extend(lost[shares[pos].clone()].iter().copied());
+                items
+            })
+            .collect();
+        let my_pos = live
+            .iter()
+            .position(|&r| r == rank)
+            .expect("a running rank is alive");
+        let local = compute(comm, &assignments[my_pos])?;
+        let absent = exchange(comm, local, &live, &assignments)?;
+        let newly: Vec<usize> = absent
+            .iter()
+            .copied()
+            .filter(|q| !known_dead.contains(q))
+            .collect();
+        if newly.is_empty() {
+            return Ok((redivisions, recovered));
+        }
+        let mut new_lost = Vec::new();
+        for &q in &newly {
+            let pos_q = live
+                .iter()
+                .position(|&r| r == q)
+                .expect("a newly-dead rank was live this round");
+            new_lost.extend(assignments[pos_q].iter().copied());
+        }
+        known_dead.extend(newly);
+        known_dead.sort_unstable();
+        known_dead.dedup();
+        if new_lost.is_empty() {
+            return Ok((redivisions, recovered));
+        }
+        new_lost.sort_unstable();
+        redivisions += 1;
+        recovered += new_lost.len() as u64;
+        lost = new_lost;
+        round += 1;
+    }
+}
+
+/// Does the spec poison a task of (rank, stage)? Returns the poisoned
+/// task index (pre-modulo) and how many attempts panic.
+fn poison_for(spec: &FaultSpec, rank: usize, stage: &str) -> Option<(usize, u32)> {
+    spec.worker_panics
+        .iter()
+        .find(|w| w.rank == rank && w.stage == stage)
+        .map(|w| (w.task_index, w.panics))
+}
+
+/// Split an item list into pool chunks: the plain driver's `threads × 4`
+/// chunking, or a single chunk on the serial path — unless a panic is
+/// scheduled there, in which case the list is still chunked so the
+/// poisoned task is a proper retry unit.
+fn chunk_items(
+    spec: &FaultSpec,
+    rank: usize,
+    threads: usize,
+    stage: &str,
+    items: &[usize],
+) -> Vec<Vec<usize>> {
+    let n_chunks = if threads > 1 {
+        threads * 4
+    } else if poison_for(spec, rank, stage).is_some() {
+        4
+    } else {
+        1
+    };
+    even_segments(items.len(), n_chunks.min(items.len()).max(1))
+        .into_iter()
+        .map(|r| items[r].to_vec())
+        .collect()
+}
+
+/// Run `eval` over chunks on the panic-isolated pool. Scheduled panics
+/// fire by (chunk index, attempt); recovered retries are logged, and a
+/// blown retry budget aborts the whole rank.
+#[allow(clippy::too_many_arguments)]
+fn pooled(
+    spec: &FaultSpec,
+    threads: usize,
+    stage: &str,
+    comm: &mut Comm,
+    chunks: Vec<Vec<usize>>,
+    eval: &(dyn Fn(&[usize], &mut WorkCounts) -> Vec<f64> + Sync),
+    steal: &mut Option<StealStats>,
+    worker_retries: &mut u64,
+    driver_events: &mut Vec<FaultEvent>,
+) -> Result<Vec<(Vec<f64>, WorkCounts)>, CommError> {
+    let rank = comm.rank();
+    let poison = poison_for(spec, rank, stage).map(|(i, k)| (i % chunks.len().max(1), k));
+    let tasks: Vec<_> = chunks
+        .iter()
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let chunk = chunk.clone();
+            move |attempt: u32| {
+                if let Some((pi, panics)) = poison {
+                    if ci == pi && attempt < panics {
+                        panic!("injected worker panic: task {ci} attempt {attempt}");
+                    }
+                }
+                let mut w = WorkCounts::ZERO;
+                let vals = eval(&chunk, &mut w);
+                (vals, w)
+            }
+        })
+        .collect();
+    match run_batch_retry(threads, tasks, spec.worker_retry_budget) {
+        Ok((results, stats, outcome)) => {
+            if threads > 1 {
+                steal.get_or_insert_with(StealStats::default).merge(&stats);
+            }
+            if outcome.retries > 0 {
+                *worker_retries += outcome.retries;
+                for (idx, attempts) in &outcome.recovered {
+                    driver_events.push(FaultEvent {
+                        at_collective: comm.collectives_entered() + 1,
+                        kind: "worker_retry".into(),
+                        rank,
+                        peer: None,
+                        detail: format!(
+                            "stage {stage} task {idx} panicked {attempts}×, recovered by retry"
+                        ),
+                    });
+                }
+            }
+            Ok(results)
+        }
+        Err(e) => {
+            *worker_retries += u64::from(e.attempts.saturating_sub(1));
+            Err(comm.ft_abort(&format!(
+                "worker pool exhausted its retry budget in stage {stage}: {e}"
+            )))
+        }
+    }
+}
+
+struct RankGood {
+    epol: f64,
+    born: Vec<f64>,
+    work_born: WorkCounts,
+    work_epol: WorkCounts,
+    born_s: f64,
+    epol_s: f64,
+    redivisions: u64,
+    recovered_items: u64,
+}
+
+struct RankFtOut {
+    result: Result<RankGood, CommError>,
+    events: Vec<FaultEvent>,
+    msg_retries: u64,
+    worker_retries: u64,
+    straggler_s: f64,
+    comm_s: f64,
+    bytes: u64,
+    replicated: u64,
+    steal: Option<StealStats>,
+}
+
+/// Run the Fig. 4 pipeline with fault injection and recovery. For any
+/// survivable schedule (at least one rank alive at the end) the returned
+/// energy and Born radii match the fault-free run to 1e-12; identical
+/// specs produce identical [`FaultReport`]s. A schedule that kills every
+/// rank returns [`DistributedError::AllRanksDead`] — never a panic.
+pub fn run_distributed_ft(
+    solver: &GbSolver,
+    cfg: &DistributedConfig,
+    spec: &FaultSpec,
+) -> Result<FtDistributedRun, DistributedError> {
+    assert!(cfg.ranks >= 1 && cfg.threads_per_rank >= 1);
+    let p = cfg.params;
+    let plan = if cfg.use_plan {
+        Some(solver.plan(&p))
+    } else {
+        None
+    };
+    let plan = plan.as_ref();
+    let n_atoms = solver.n_atoms();
+    let n_qleaves = solver.tree_q.leaves().len();
+    let n_aleaves = solver.tree_a.leaves().len();
+    let qleaf_segs = even_segments(n_qleaves, cfg.ranks);
+    let atom_segs = even_segments(n_atoms, cfg.ranks);
+    let aleaf_segs = even_segments(n_aleaves, cfg.ranks);
+    let threads = cfg.threads_per_rank;
+
+    let outs: Vec<RankFtOut> = Universe::run(cfg.ranks, cfg.network, |comm| {
+        let rank = comm.rank();
+        comm.arm_faults(spec);
+        comm.register_replicated_memory(
+            solver.memory_bytes() + plan.map_or(0, |pl| pl.memory_bytes()),
+        );
+        let ctx = solver.born_ctx();
+        let mut steal: Option<StealStats> = None;
+        let mut driver_events: Vec<FaultEvent> = Vec::new();
+        let mut worker_retries = 0u64;
+        let mut known_dead: Vec<usize> = Vec::new();
+        let mut redivisions = 0u64;
+        let mut recovered_items = 0u64;
+
+        let result = (|comm: &mut Comm| -> Result<RankGood, CommError> {
+            // ---- Stage "born": steps 2–3, round loop over q-leaves.
+            let t_born = std::time::Instant::now();
+            let mut work_born = WorkCounts::ZERO;
+            let n_nodes = BornPartials::zeros(&solver.tree_a).s_node.len();
+            let mut totals = BornPartials::zeros(&solver.tree_a);
+            let eval_born = |items: &[usize], w: &mut WorkCounts| -> Vec<f64> {
+                let mut part = BornPartials::zeros(&solver.tree_a);
+                for run in contiguous_runs(items) {
+                    if let Some(pl) = plan {
+                        pl.execute_born_segment(&ctx, run, &mut part, w);
+                    } else {
+                        let piece = approx_integrals(&ctx, p.eps_born, run, w);
+                        part.add(&piece);
+                    }
+                }
+                let mut flat = part.s_node;
+                flat.extend_from_slice(&part.s_atom);
+                flat
+            };
+            let (rd, rc) = rounds(
+                comm,
+                &qleaf_segs,
+                &mut known_dead,
+                |comm, items| {
+                    let chunks = chunk_items(spec, rank, threads, "born", items);
+                    let parts = pooled(
+                        spec,
+                        threads,
+                        "born",
+                        comm,
+                        chunks,
+                        &eval_born,
+                        &mut steal,
+                        &mut worker_retries,
+                        &mut driver_events,
+                    )?;
+                    let mut flat = vec![0.0; n_nodes + n_atoms];
+                    for (vals, w) in parts {
+                        for (a, b) in flat.iter_mut().zip(&vals) {
+                            *a += b;
+                        }
+                        work_born.accumulate(w);
+                    }
+                    Ok(flat)
+                },
+                |comm, mut flat, _live, _assignments| {
+                    let absent = comm.ft_allreduce_sum(&mut flat, "born_allreduce")?;
+                    let s_atom = flat.split_off(n_nodes);
+                    for (a, b) in totals.s_node.iter_mut().zip(&flat) {
+                        *a += b;
+                    }
+                    for (a, b) in totals.s_atom.iter_mut().zip(&s_atom) {
+                        *a += b;
+                    }
+                    Ok(absent)
+                },
+            )?;
+            redivisions += rd;
+            recovered_items += rc;
+
+            // ---- Stage "atoms": steps 4–5, round loop over atom slots.
+            let mut born = vec![0.0; n_atoms];
+            let order = solver.tree_a.order();
+            let (rd, rc) = rounds(
+                comm,
+                &atom_segs,
+                &mut known_dead,
+                |_comm, items| {
+                    // Push integrals for these slots; values travel in
+                    // item order (the plain driver's wire format).
+                    let mut mine = vec![0.0; n_atoms];
+                    for run in contiguous_runs(items) {
+                        push_integrals_to_atoms(&ctx, &totals, run, p.math, &mut mine);
+                    }
+                    Ok(items
+                        .iter()
+                        .map(|&slot| mine[order[slot] as usize])
+                        .collect::<Vec<f64>>())
+                },
+                |comm, vals, live, assignments| {
+                    let (per_rank, absent) = comm.ft_allgather(&vals, "born_allgather")?;
+                    // Every survivor reconstructs each contributor's slot
+                    // list from the shared deterministic assignment and
+                    // fills its copy of the Born array identically.
+                    for (pos, &q) in live.iter().enumerate() {
+                        if absent.contains(&q) {
+                            continue;
+                        }
+                        debug_assert_eq!(assignments[pos].len(), per_rank[q].len());
+                        for (&slot, &v) in assignments[pos].iter().zip(&per_rank[q]) {
+                            born[order[slot] as usize] = v;
+                        }
+                    }
+                    Ok(absent)
+                },
+            )?;
+            redivisions += rd;
+            recovered_items += rc;
+            let born_s = t_born.elapsed().as_secs_f64();
+
+            // ---- Stage "epol": steps 6–7, round loop over a-leaves.
+            let t_epol = std::time::Instant::now();
+            let mut work_epol = WorkCounts::ZERO;
+            let ectx = EpolCtx::new(&solver.tree_a, &solver.charges, &born, p.eps_epol);
+            let t = tau(p.eps_solvent);
+            let born_slot = plan.map(|_| solver.born_by_slot(&born));
+            let mut epol = 0.0f64;
+            let eval_epol = |items: &[usize], w: &mut WorkCounts| -> Vec<f64> {
+                let mut e = 0.0;
+                for run in contiguous_runs(items) {
+                    e += if let Some(pl) = plan {
+                        pl.execute_epol_segment(
+                            &ectx,
+                            born_slot.as_ref().expect("plan implies slot radii"),
+                            p.math,
+                            t,
+                            run,
+                            w,
+                        )
+                    } else {
+                        epol_for_leaf_segment(&ectx, p.eps_epol, p.math, t, run, w)
+                    };
+                }
+                vec![e]
+            };
+            let (rd, rc) = rounds(
+                comm,
+                &aleaf_segs,
+                &mut known_dead,
+                |comm, items| {
+                    let chunks = chunk_items(spec, rank, threads, "epol", items);
+                    let parts = pooled(
+                        spec,
+                        threads,
+                        "epol",
+                        comm,
+                        chunks,
+                        &eval_epol,
+                        &mut steal,
+                        &mut worker_retries,
+                        &mut driver_events,
+                    )?;
+                    let mut e = 0.0;
+                    for (vals, w) in parts {
+                        e += vals[0];
+                        work_epol.accumulate(w);
+                    }
+                    Ok(e)
+                },
+                |comm, e, _live, _assignments| {
+                    let (sum, absent) = comm.ft_allreduce_scalar(e, "epol_allreduce")?;
+                    epol += sum;
+                    Ok(absent)
+                },
+            )?;
+            redivisions += rd;
+            recovered_items += rc;
+            let epol_s = t_epol.elapsed().as_secs_f64();
+
+            Ok(RankGood {
+                epol,
+                born,
+                work_born,
+                work_epol,
+                born_s,
+                epol_s,
+                redivisions,
+                recovered_items,
+            })
+        })(comm);
+
+        let mut events = comm.take_fault_events();
+        events.append(&mut driver_events);
+        RankFtOut {
+            result,
+            events,
+            msg_retries: comm.msg_retries(),
+            worker_retries,
+            straggler_s: comm.straggler_extra_seconds(),
+            comm_s: comm.sim_comm_seconds(),
+            bytes: comm.bytes_sent(),
+            replicated: comm.replicated_bytes(),
+            steal,
+        }
+    });
+
+    // ---- Assemble the deterministic FaultReport.
+    let dead_ranks: Vec<usize> = outs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.result.is_err())
+        .map(|(r, _)| r)
+        .collect();
+    let mut events: Vec<FaultEvent> = outs.iter().flat_map(|o| o.events.clone()).collect();
+    events.sort();
+    events.dedup();
+    let drops = events.iter().filter(|e| e.kind == "drop").count() as u64;
+    let survivors: Vec<usize> = (0..cfg.ranks).filter(|r| !dead_ranks.contains(r)).collect();
+    let recovery_counts = |o: &RankFtOut| -> Option<(u64, u64)> {
+        o.result
+            .as_ref()
+            .ok()
+            .map(|g| (g.redivisions, g.recovered_items))
+    };
+    let report = FaultReport {
+        seed: spec.seed,
+        crashes: dead_ranks.len() as u64,
+        drops,
+        msg_retries: outs.iter().map(|o| o.msg_retries).sum(),
+        worker_retries: outs.iter().map(|o| o.worker_retries).sum(),
+        redivisions: outs
+            .iter()
+            .filter_map(&recovery_counts)
+            .map(|(r, _)| r)
+            .max()
+            .unwrap_or(0),
+        recovered_items: outs
+            .iter()
+            .filter_map(&recovery_counts)
+            .map(|(_, c)| c)
+            .max()
+            .unwrap_or(0),
+        dead_ranks: dead_ranks.clone(),
+        straggler_extra_seconds: outs.iter().map(|o| o.straggler_s).sum(),
+        events,
+    };
+
+    if survivors.is_empty() {
+        return Err(DistributedError::AllRanksDead {
+            ranks: cfg.ranks,
+            report,
+        });
+    }
+
+    let lead = outs[survivors[0]]
+        .result
+        .as_ref()
+        .expect("survivor succeeded");
+    for &s in &survivors[1..] {
+        let g = outs[s].result.as_ref().expect("survivor succeeded");
+        debug_assert!((g.epol - lead.epol).abs() <= 1e-12 * lead.epol.abs().max(1.0));
+    }
+    let steal = outs
+        .iter()
+        .filter_map(|o| o.steal.as_ref())
+        .fold(None::<StealStats>, |acc, s| match acc {
+            Some(mut acc) => {
+                acc.concat(s);
+                Some(acc)
+            }
+            None => Some(s.clone()),
+        });
+    Ok(FtDistributedRun {
+        epol_kcal: lead.epol,
+        born: lead.born.clone(),
+        survivors,
+        fault: report,
+        per_rank_comm_seconds: outs.iter().map(|o| o.comm_s).collect(),
+        per_rank_bytes_sent: outs.iter().map(|o| o.bytes).collect(),
+        total_replicated_bytes: outs.iter().map(|o| o.replicated).sum(),
+        born_seconds: outs
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .map(|g| g.born_s)
+            .fold(0.0, f64::max),
+        epol_seconds: outs
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .map(|g| g.epol_s)
+            .fold(0.0, f64::max),
+        work_born: outs
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .map(|g| g.work_born)
+            .sum(),
+        work_epol: outs
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .map(|g| g.work_epol)
+            .sum(),
+        steal,
+        plan_stats: plan.map(InteractionPlan::stats),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::run_distributed;
+    use crate::faults::{CrashFault, WorkerPanicFault};
+    use polar_gb::GbParams;
+    use polar_molecule::generators;
+    use polar_octree::OctreeConfig;
+    use polar_surface::SurfaceConfig;
+
+    fn solver(n: usize, seed: u64) -> GbSolver {
+        let mol = generators::globular("d", n, seed);
+        GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+    }
+
+    fn assert_matches(run: &FtDistributedRun, epol: f64, born: &[f64], tol: f64, what: &str) {
+        assert!(
+            (run.epol_kcal - epol).abs() <= tol * epol.abs(),
+            "{what}: epol {} vs {epol}",
+            run.epol_kcal
+        );
+        for (i, (a, b)) in run.born.iter().zip(born).enumerate() {
+            assert!(
+                (a - b).abs() <= tol * b.abs().max(1.0),
+                "{what}: born[{i}] {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_ft_run_equals_the_plain_distributed_driver() {
+        let s = solver(260, 31);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(3, p);
+        let plain = run_distributed(&s, &cfg);
+        let ft = run_distributed_ft(&s, &cfg, &FaultSpec::none()).expect("no faults injected");
+        // Same division, same accumulation order: exactly equal, not
+        // merely within tolerance.
+        assert_eq!(ft.epol_kcal, plain.epol_kcal);
+        assert_eq!(ft.born, plain.born);
+        assert_eq!(ft.survivors, vec![0, 1, 2]);
+        let f = &ft.fault;
+        assert_eq!(
+            (
+                f.crashes,
+                f.drops,
+                f.msg_retries,
+                f.worker_retries,
+                f.redivisions
+            ),
+            (0, 0, 0, 0, 0)
+        );
+        assert!(f.events.is_empty(), "{:?}", f.events);
+    }
+
+    #[test]
+    fn a_crash_in_any_stage_is_recovered_to_the_fault_free_answer() {
+        let s = solver(220, 32);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(3, p);
+        let base = run_distributed(&s, &cfg);
+        // Collectives 1/2/3 are the born allreduce, the radii allgather,
+        // and the energy allreduce: one death inside each stage.
+        for at in 1..=3u64 {
+            let mut spec = FaultSpec::none();
+            spec.crashes.push(CrashFault {
+                rank: 1,
+                at_collective: at,
+            });
+            let ft = run_distributed_ft(&s, &cfg, &spec).expect("2 of 3 ranks survive");
+            assert_matches(
+                &ft,
+                base.epol_kcal,
+                &base.born,
+                1e-12,
+                &format!("crash@{at}"),
+            );
+            assert_eq!(ft.survivors, vec![0, 2]);
+            assert_eq!(ft.fault.dead_ranks, vec![1]);
+            assert_eq!(ft.fault.crashes, 1);
+            assert!(ft.fault.redivisions >= 1, "lost work was re-divided");
+            assert!(ft.fault.recovered_items >= 1);
+            assert!(ft.fault.events.iter().any(|e| e.kind == "crash"));
+        }
+    }
+
+    #[test]
+    fn losing_the_root_fails_over_and_still_recovers() {
+        let s = solver(220, 33);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(4, p);
+        let base = run_distributed(&s, &cfg);
+        let mut spec = FaultSpec::none();
+        spec.crashes.push(CrashFault {
+            rank: 0,
+            at_collective: 2,
+        });
+        let ft = run_distributed_ft(&s, &cfg, &spec).expect("3 of 4 ranks survive");
+        assert_matches(&ft, base.epol_kcal, &base.born, 1e-12, "root crash");
+        assert_eq!(ft.survivors, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cascading_crashes_down_to_one_rank_still_recover() {
+        let s = solver(200, 34);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(4, p);
+        let base = run_distributed(&s, &cfg);
+        let mut spec = FaultSpec::none();
+        for (rank, at) in [(1, 1), (2, 2), (3, 3)] {
+            spec.crashes.push(CrashFault {
+                rank,
+                at_collective: at,
+            });
+        }
+        let ft = run_distributed_ft(&s, &cfg, &spec).expect("rank 0 survives");
+        assert_matches(&ft, base.epol_kcal, &base.born, 1e-12, "cascade");
+        assert_eq!(ft.survivors, vec![0]);
+        assert_eq!(ft.fault.dead_ranks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recovery_works_on_the_plan_and_hybrid_paths_too() {
+        let s = solver(220, 35);
+        let p = GbParams::default();
+        let mut cfg = DistributedConfig::oct_mpi_cilk(3, 2, p);
+        cfg.use_plan = true;
+        let base = run_distributed(&s, &cfg);
+        let mut spec = FaultSpec::none();
+        spec.crashes.push(CrashFault {
+            rank: 2,
+            at_collective: 1,
+        });
+        let ft = run_distributed_ft(&s, &cfg, &spec).expect("2 of 3 ranks survive");
+        assert_matches(&ft, base.epol_kcal, &base.born, 1e-12, "plan+hybrid crash");
+        assert!(ft.plan_stats.is_some());
+    }
+
+    #[test]
+    fn killing_every_rank_is_a_structured_error_not_a_panic() {
+        let s = solver(150, 36);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(3, p);
+        let mut spec = FaultSpec::none();
+        for rank in 0..3 {
+            spec.crashes.push(CrashFault {
+                rank,
+                at_collective: 1,
+            });
+        }
+        match run_distributed_ft(&s, &cfg, &spec) {
+            Err(DistributedError::AllRanksDead { ranks, report }) => {
+                assert_eq!(ranks, 3);
+                assert_eq!(report.crashes, 3);
+                assert_eq!(report.dead_ranks, vec![0, 1, 2]);
+                let msg = DistributedError::AllRanksDead { ranks, report }.to_string();
+                assert!(msg.contains("not survivable"), "{msg}");
+            }
+            Ok(_) => panic!("a schedule that kills every rank must not succeed"),
+        }
+    }
+
+    #[test]
+    fn worker_panics_within_budget_are_retried_and_logged() {
+        let s = solver(220, 37);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi_cilk(2, 3, p);
+        let base = run_distributed(&s, &cfg);
+        let mut spec = FaultSpec::none();
+        spec.worker_panics.push(WorkerPanicFault {
+            rank: 1,
+            stage: "born".into(),
+            task_index: 2,
+            panics: 2,
+        });
+        let ft = run_distributed_ft(&s, &cfg, &spec).expect("panic is within the retry budget");
+        assert_matches(&ft, base.epol_kcal, &base.born, 1e-12, "worker panic");
+        assert_eq!(ft.survivors, vec![0, 1]);
+        assert!(ft.fault.worker_retries >= 2, "{}", ft.fault.worker_retries);
+        assert!(ft.fault.events.iter().any(|e| e.kind == "worker_retry"));
+    }
+
+    #[test]
+    fn a_worker_panic_past_the_budget_kills_the_rank_and_the_rest_recover() {
+        let s = solver(220, 38);
+        let p = GbParams::default();
+        let mut cfg = DistributedConfig::oct_mpi_cilk(3, 2, p);
+        cfg.params = p;
+        let base = run_distributed(&s, &cfg);
+        let mut spec = FaultSpec::none();
+        spec.worker_retry_budget = 1;
+        spec.worker_panics.push(WorkerPanicFault {
+            rank: 1,
+            stage: "epol".into(),
+            task_index: 0,
+            panics: 5,
+        });
+        let ft = run_distributed_ft(&s, &cfg, &spec).expect("2 of 3 ranks survive");
+        assert_matches(&ft, base.epol_kcal, &base.born, 1e-12, "budget blown");
+        assert_eq!(ft.fault.dead_ranks, vec![1]);
+        assert!(ft
+            .fault
+            .events
+            .iter()
+            .any(|e| e.kind == "crash" && e.detail.contains("retry budget")));
+    }
+
+    #[test]
+    fn identical_specs_produce_byte_identical_fault_reports() {
+        let s = solver(200, 39);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(3, p);
+        let spec = FaultSpec::from_seed(7, 3);
+        let a = run_distributed_ft(&s, &cfg, &spec);
+        let b = run_distributed_ft(&s, &cfg, &spec);
+        let json = |r: &Result<FtDistributedRun, DistributedError>| match r {
+            Ok(run) => run.fault.to_json(),
+            Err(DistributedError::AllRanksDead { report, .. }) => report.to_json(),
+        };
+        assert_eq!(json(&a), json(&b));
+    }
+
+    #[test]
+    fn the_ft_report_carries_the_fault_section() {
+        let s = solver(180, 40);
+        let p = GbParams::default();
+        let cfg = DistributedConfig::oct_mpi(2, p);
+        let mut spec = FaultSpec::none();
+        spec.crashes.push(CrashFault {
+            rank: 1,
+            at_collective: 2,
+        });
+        let ft = run_distributed_ft(&s, &cfg, &spec).expect("rank 0 survives");
+        let rep = ft.report(&s, &cfg);
+        assert_eq!(rep.mode, "oct_mpi_ft");
+        let f = rep.fault.as_ref().expect("fault section present");
+        assert_eq!(f.dead_ranks, vec![1]);
+        assert!(rep.to_json().contains("\"fault\""));
+        assert_eq!(
+            rep.to_csv_row().split(',').count(),
+            SolveReport::csv_header().split(',').count()
+        );
+    }
+}

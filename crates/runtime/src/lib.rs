@@ -21,7 +21,8 @@
 use crossbeam_deque::{Steal, Stealer, Worker};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Scheduler observability: what each worker did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -208,6 +209,233 @@ where
     (out, stats)
 }
 
+/// A task kept panicking past the retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanicked {
+    /// Index of the failing task in the submitted batch.
+    pub index: usize,
+    /// Attempts made (1 initial + retries), all of which panicked.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} panicked on all {} attempts (retry budget exhausted)",
+            self.index, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
+
+/// What the panic-isolation layer observed during a batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Total attempts that panicked and were retried.
+    pub retries: u64,
+    /// `(task index, failed attempts)` per task that panicked at least
+    /// once but eventually succeeded, in task order.
+    pub recovered: Vec<(usize, u32)>,
+}
+
+/// Like [`run_batch`], but each worker isolates task panics with
+/// `catch_unwind` and re-enqueues the poisoned task (attempt + 1) on a
+/// shared injector queue, where — with more than one worker — another
+/// worker typically picks it up. A task that panics on more than
+/// `retry_budget` re-runs fails the whole batch with a structured
+/// [`TaskPanicked`] instead of tearing the pool down.
+///
+/// Tasks receive their attempt number (0 for the first run), which
+/// deterministic fault injection uses to panic the first `k` attempts.
+///
+/// Counter discipline: `StealStats::executed` counts only *successful*
+/// completions, so `total_executed()` equals the task count however many
+/// retries happened — retried work is never double-counted, and a worker
+/// whose only acquisition panicked reports 0 executed tasks.
+pub fn run_batch_retry<T, F>(
+    n_workers: usize,
+    tasks: Vec<F>,
+    retry_budget: u32,
+) -> Result<(Vec<T>, StealStats, RetryOutcome), TaskPanicked>
+where
+    T: Send,
+    F: Fn(u32) -> T + Send + Sync,
+{
+    assert!(n_workers >= 1, "need at least one worker");
+    let n_tasks = tasks.len();
+    let tasks = &tasks;
+    let results: Vec<parking_lot::Mutex<Option<T>>> = (0..n_tasks)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+
+    // Deques hold (task index, attempt); the closure itself stays in the
+    // shared slice so a panicked task can be re-run.
+    let workers: Vec<Worker<(usize, u32)>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<(usize, u32)>> = workers.iter().map(|w| w.stealer()).collect();
+    // Poisoned tasks go through a shared retry queue rather than back on
+    // the panicking worker's own deque (vendored crossbeam-deque has no
+    // Injector; a mutexed Vec is plenty for the rare-retry path).
+    let retry_queue: parking_lot::Mutex<Vec<(usize, u32)>> = parking_lot::Mutex::new(Vec::new());
+    for i in 0..n_tasks {
+        workers[i % n_workers].push((i, 0));
+    }
+
+    let executed: Vec<AtomicU64> = (0..n_workers).map(|_| AtomicU64::new(0)).collect();
+    let steals: Vec<AtomicU64> = (0..n_workers).map(|_| AtomicU64::new(0)).collect();
+    let failed_attempts: Vec<AtomicU64> = (0..n_tasks).map(|_| AtomicU64::new(0)).collect();
+    let total_retries = AtomicU64::new(0);
+    let remaining = AtomicUsize::new(n_tasks);
+    let fatal: parking_lot::Mutex<Option<TaskPanicked>> = parking_lot::Mutex::new(None);
+    let aborted = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for (wid, worker) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let retry_queue = &retry_queue;
+            let results = &results;
+            let executed = &executed;
+            let steals = &steals;
+            let failed_attempts = &failed_attempts;
+            let total_retries = &total_retries;
+            let remaining = &remaining;
+            let fatal = &fatal;
+            let aborted = &aborted;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x9e37_79b9 ^ wid as u64);
+                // After this worker panicked a task, it avoids the retry
+                // queue for a few idle rounds so a *different* worker
+                // takes the poisoned task when one exists.
+                let mut retry_cooldown = 0u32;
+                loop {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let take_retry = |who: &AtomicU64| -> Option<(usize, u32)> {
+                        let job = retry_queue.lock().pop();
+                        if job.is_some() {
+                            who.fetch_add(1, Ordering::Relaxed);
+                        }
+                        job
+                    };
+                    let job = worker
+                        .pop()
+                        .or_else(|| {
+                            if retry_cooldown == 0 || n_workers == 1 {
+                                take_retry(&steals[wid])
+                            } else {
+                                None
+                            }
+                        })
+                        .or_else(|| {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                return None;
+                            }
+                            let n = stealers.len();
+                            for probe in 0..(4 * n).max(4) {
+                                let victim = if n > 1 {
+                                    let mut v = rng.random_range(0..n);
+                                    if v == wid {
+                                        v = (v + 1 + probe % (n - 1)) % n;
+                                    }
+                                    v
+                                } else {
+                                    wid
+                                };
+                                loop {
+                                    match stealers[victim].steal() {
+                                        Steal::Success(job) => {
+                                            steals[wid].fetch_add(1, Ordering::Relaxed);
+                                            return Some(job);
+                                        }
+                                        Steal::Retry => std::hint::spin_loop(),
+                                        Steal::Empty => break,
+                                    }
+                                }
+                            }
+                            // Last resort: the retry queue even while
+                            // cooling down (nobody else may be idle).
+                            take_retry(&steals[wid])
+                        });
+                    match job {
+                        Some((idx, attempt)) => {
+                            match catch_unwind(AssertUnwindSafe(|| tasks[idx](attempt))) {
+                                Ok(out) => {
+                                    let prev = results[idx].lock().replace(out);
+                                    assert!(prev.is_none(), "task {idx} ran twice");
+                                    executed[wid].fetch_add(1, Ordering::Relaxed);
+                                    remaining.fetch_sub(1, Ordering::AcqRel);
+                                    retry_cooldown = retry_cooldown.saturating_sub(1);
+                                }
+                                Err(_panic) => {
+                                    failed_attempts[idx].fetch_add(1, Ordering::Relaxed);
+                                    if attempt >= retry_budget {
+                                        let mut f = fatal.lock();
+                                        if f.is_none() {
+                                            *f = Some(TaskPanicked {
+                                                index: idx,
+                                                attempts: attempt + 1,
+                                            });
+                                        }
+                                        aborted.store(true, Ordering::Release);
+                                        break;
+                                    }
+                                    total_retries.fetch_add(1, Ordering::Relaxed);
+                                    retry_queue.lock().push((idx, attempt + 1));
+                                    retry_cooldown = 2;
+                                }
+                            }
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            retry_cooldown = retry_cooldown.saturating_sub(1);
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(err) = fatal.into_inner() {
+        return Err(err);
+    }
+    let stats = StealStats {
+        executed: executed.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        steals: steals.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+    };
+    let outcome = RetryOutcome {
+        retries: total_retries.load(Ordering::Relaxed),
+        recovered: failed_attempts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                let n = a.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n as u32))
+            })
+            .collect(),
+    };
+    let out = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner().unwrap_or_else(|| {
+                panic!(
+                    "task {i} never ran: {}/{n_tasks} tasks executed \
+                     (per-worker executed {:?}, steals {:?})",
+                    stats.total_executed(),
+                    stats.executed,
+                    stats.steals,
+                )
+            })
+        })
+        .collect();
+    Ok((out, stats, outcome))
+}
+
 /// Convenience: apply `f` to every index `0..n` in parallel, collecting
 /// results in index order.
 pub fn parallel_map<T, F>(n_workers: usize, n: usize, f: F) -> Vec<T>
@@ -336,6 +564,138 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn parallel_map_rejects_zero_workers() {
         let _ = parallel_map(0, 10, |i| i);
+    }
+
+    #[test]
+    fn retry_batch_matches_plain_batch_without_faults() {
+        let tasks: Vec<_> = (0..40usize).map(|i| move |_attempt: u32| i * i).collect();
+        let (out, stats, outcome) = run_batch_retry(3, tasks, 2).unwrap();
+        assert_eq!(out, (0..40).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(stats.total_executed(), 40);
+        assert_eq!(outcome.retries, 0);
+        assert!(outcome.recovered.is_empty());
+    }
+
+    #[test]
+    fn panicked_task_is_retried_without_double_counting() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let n_tasks = 16usize;
+        // Tasks 3 and 11 panic on their first attempt, succeed on retry.
+        let poisoned = [3usize, 11];
+        let attempts_seen: Vec<AtomicU32> = (0..n_tasks).map(|_| AtomicU32::new(0)).collect();
+        let attempts_seen = &attempts_seen;
+        let tasks: Vec<_> = (0..n_tasks)
+            .map(|i| {
+                move |attempt: u32| {
+                    attempts_seen[i].fetch_max(attempt + 1, Ordering::Relaxed);
+                    if poisoned.contains(&i) && attempt == 0 {
+                        panic!("injected poison in task {i}");
+                    }
+                    i as u64 * 10
+                }
+            })
+            .collect();
+        let (out, stats, outcome) = run_batch_retry(4, tasks, 3).unwrap();
+        assert_eq!(out, (0..n_tasks as u64).map(|i| i * 10).collect::<Vec<_>>());
+        // The no-double-count invariant: executed counts successful
+        // completions only, so retries never inflate the total.
+        assert_eq!(stats.total_executed(), n_tasks as u64);
+        assert_eq!(outcome.retries, 2);
+        assert_eq!(outcome.recovered, vec![(3, 1), (11, 1)]);
+        for &p in &poisoned {
+            assert_eq!(attempts_seen[p].load(Ordering::Relaxed), 2);
+        }
+    }
+
+    #[test]
+    fn single_worker_retries_its_own_panics() {
+        // With one worker there is no "other worker" — the cooldown must
+        // not deadlock; the same worker re-runs the poisoned task.
+        let tasks: Vec<_> = (0..5usize)
+            .map(|i| {
+                move |attempt: u32| {
+                    if i == 2 && attempt < 2 {
+                        panic!("double poison");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let (out, stats, outcome) = run_batch_retry(1, tasks, 2).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.total_executed(), 5);
+        assert_eq!(outcome.retries, 2);
+        assert_eq!(outcome.recovered, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_structured_error_not_panic() {
+        let tasks: Vec<_> = (0..8usize)
+            .map(|i| {
+                move |_attempt: u32| {
+                    if i == 5 {
+                        panic!("always fails");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let err = run_batch_retry(2, tasks, 1).unwrap_err();
+        assert_eq!(err.index, 5);
+        assert_eq!(err.attempts, 2);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("task 5") && msg.contains("2 attempts"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn stats_merge_concat_tolerate_idle_workers_after_retry() {
+        // A rank whose worker panicked its only acquisition reports 0
+        // executed tasks; merging and concatenating such rows across
+        // ranks must neither drop them nor double-count retried work.
+        let tasks: Vec<_> = (0..2usize)
+            .map(|i| {
+                move |attempt: u32| {
+                    if attempt == 0 {
+                        panic!("first touch poisoned");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let (out, stats, outcome) = run_batch_retry(4, tasks, 1).unwrap();
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(stats.executed.len(), 4);
+        assert_eq!(stats.total_executed(), 2);
+        assert_eq!(outcome.retries, 2);
+        assert!(
+            stats.executed.contains(&0),
+            "expected an idle worker among {:?}",
+            stats.executed
+        );
+
+        // Merge with a fully-idle rank: totals unchanged.
+        let mut merged = stats.clone();
+        merged.merge(&StealStats {
+            executed: vec![0, 0, 0, 0],
+            steals: vec![0, 0, 0, 0],
+        });
+        assert_eq!(merged.total_executed(), 2);
+        assert!(merged.imbalance().is_finite());
+
+        // Concat with an empty rank row set: lengths add, totals hold.
+        let mut cat = stats.clone();
+        cat.concat(&StealStats::default());
+        assert_eq!(cat.executed.len(), 4);
+        cat.concat(&StealStats {
+            executed: vec![0],
+            steals: vec![0],
+        });
+        assert_eq!(cat.executed.len(), 5);
+        assert_eq!(cat.total_executed(), 2);
+        assert!(cat.imbalance().is_finite());
     }
 
     #[test]
