@@ -41,7 +41,10 @@ fn bench_plan_execute(c: &mut Criterion) {
         let params = GbParams::default();
         let plan = solver.plan(&params);
         g.bench_with_input(BenchmarkId::from_parameter(n), &solver, |b, s| {
-            b.iter(|| s.solve_with_plan(black_box(&plan), black_box(&params)));
+            b.iter(|| {
+                s.solve_with_plan(black_box(&plan), black_box(&params))
+                    .unwrap()
+            });
         });
     }
     g.finish();
@@ -57,12 +60,16 @@ fn bench_fused_vs_planned(c: &mut Criterion) {
         b.iter(|| solver.solve(black_box(&params)))
     });
     g.bench_function("plan_reuse_execute", |b| {
-        b.iter(|| solver.solve_with_plan(black_box(&plan), black_box(&params)))
+        b.iter(|| {
+            solver
+                .solve_with_plan(black_box(&plan), black_box(&params))
+                .unwrap()
+        })
     });
     g.bench_function("replan_every_solve", |b| {
         b.iter(|| {
             let plan = solver.plan(black_box(&params));
-            solver.solve_with_plan(&plan, black_box(&params))
+            solver.solve_with_plan(&plan, black_box(&params)).unwrap()
         })
     });
     g.finish();

@@ -1,0 +1,207 @@
+//! Batch-engine perf tracking: batched cached rescoring vs per-molecule
+//! fresh solves, persisted to `results/BENCH_batch.json`.
+//!
+//! The workload is the ISSUE's acceptance shape: a 16-job manifest over
+//! repeated geometries (4 distinct conformations × 4 poses each — the
+//! docking re-scoring pattern). Three timings:
+//!
+//! * `fresh_seconds` — every job runs the engine's per-molecule path
+//!   alone on the same work-stealing pool: build solver, build plan,
+//!   execute — no cross-job cache, no arenas. This is what a caller
+//!   pays per molecule without the batch engine,
+//! * `batch_cold_seconds` — first `BatchEngine::run`, cache empty
+//!   (misses build plans, repeats within the batch already share),
+//! * `batch_warm_seconds` — median of three runs over the same
+//!   manifest with the cache hot: every job replays a cached plan out
+//!   of a scratch arena.
+//!
+//! `speedup_warm_vs_fresh = fresh_seconds / batch_warm_seconds` is the
+//! headline — it measures exactly what the cache and arenas amortize
+//! (solver construction, plan traversals, per-solve allocation). The
+//! binary fails loudly if cached results drift from fresh ones (Born
+//! bitwise, E_pol to 1e-12).
+
+use polar_bench::{fmt_secs, Scale, Table};
+use polar_gb::{BatchEngine, BatchJob, GbParams, GbSolver};
+use polar_molecule::generators;
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn jobs_for(n_atoms: usize, distinct: usize, repeats: usize) -> Vec<BatchJob> {
+    let mut jobs = Vec::new();
+    for rep in 0..repeats {
+        for d in 0..distinct {
+            let mol = generators::globular(
+                format!("pose{}_{}", d, rep),
+                n_atoms + d * 37,
+                1000 + d as u64,
+            );
+            jobs.push(BatchJob::new(mol, GbParams::default()));
+        }
+    }
+    jobs
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n_atoms = if scale == Scale::quick() {
+        400
+    } else if scale == Scale::full() {
+        4_000
+    } else {
+        1_500
+    };
+    let (distinct, repeats) = (4, 4); // the 16-job acceptance manifest
+                                      // Plans grow superlinearly with atom count; size the cache so the
+                                      // four distinct geometries always fit (full scale needs ~GBs).
+    let cache_bytes: usize = if scale == Scale::full() {
+        4 << 30
+    } else {
+        512 << 20
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = jobs_for(n_atoms, distinct, repeats);
+    eprintln!(
+        "[bench_batch] {} jobs ({distinct} geometries x {repeats} poses, ~{n_atoms} atoms), \
+         {workers} workers",
+        jobs.len()
+    );
+
+    // Fresh baseline: same pool, but every job builds its solver and
+    // plan and executes alone — the engine's own per-molecule path with
+    // all reuse stripped out.
+    let t = Instant::now();
+    let tasks: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            move |_attempt: u32| {
+                let solver = GbSolver::for_molecule(
+                    &job.molecule,
+                    &SurfaceConfig::coarse(),
+                    &OctreeConfig::default(),
+                );
+                let plan = solver.plan(&job.params);
+                solver
+                    .solve_with_plan(&plan, &job.params)
+                    .expect("plan built for this solver")
+            }
+        })
+        .collect();
+    let (fresh, _, _) =
+        polar_runtime::run_batch_retry(workers, tasks, 0).expect("fresh solves do not panic");
+    let fresh_seconds = t.elapsed().as_secs_f64();
+
+    // Batched: cold run fills the cache, then the median of three warm
+    // runs replaying it.
+    let mut engine = BatchEngine::new(cache_bytes, workers);
+    let t = Instant::now();
+    let (_, cold_report) = engine.run(&jobs);
+    let batch_cold_seconds = t.elapsed().as_secs_f64();
+    let mut warm_samples = Vec::new();
+    let mut warm = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        warm = Some(engine.run(&jobs));
+        warm_samples.push(t.elapsed().as_secs_f64());
+    }
+    warm_samples.sort_by(f64::total_cmp);
+    let batch_warm_seconds = warm_samples[warm_samples.len() / 2];
+    let (outcomes, warm_report) = warm.expect("three warm runs");
+
+    assert_eq!(warm_report.failed, 0, "warm batch must succeed");
+    assert_eq!(
+        warm_report.cache_misses, 0,
+        "warm batch must be all cache hits"
+    );
+
+    // Correctness gate: cached solves match fresh ones bitwise (Born)
+    // and to 1e-12 relative (E_pol).
+    let mut max_epol_rel = 0.0f64;
+    for (i, (f, out)) in fresh.iter().zip(&outcomes).enumerate() {
+        let b = out.result().expect("warm job succeeded");
+        assert_eq!(b.born, f.born, "job {i}: Born radii must be bitwise equal");
+        let rel = (b.epol_kcal - f.epol_kcal).abs() / f.epol_kcal.abs();
+        assert!(rel <= 1e-12, "job {i}: E_pol drifted by {rel:e}");
+        max_epol_rel = max_epol_rel.max(rel);
+    }
+
+    let speedup_warm = fresh_seconds / batch_warm_seconds;
+    let speedup_cold = fresh_seconds / batch_cold_seconds;
+
+    let mut t = Table::new(
+        "bench_batch",
+        &["mode", "wall", "speedup vs fresh", "hits", "misses"],
+    );
+    t.row(vec![
+        "fresh".into(),
+        fmt_secs(fresh_seconds),
+        "1.00".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "batch cold".into(),
+        fmt_secs(batch_cold_seconds),
+        format!("{speedup_cold:.2}"),
+        cold_report.cache_hits.to_string(),
+        cold_report.cache_misses.to_string(),
+    ]);
+    t.row(vec![
+        "batch warm".into(),
+        fmt_secs(batch_warm_seconds),
+        format!("{speedup_warm:.2}"),
+        warm_report.cache_hits.to_string(),
+        warm_report.cache_misses.to_string(),
+    ]);
+    t.emit();
+
+    let mut json = String::from("{\"schema\":\"bench_batch/v1\",");
+    let _ = write!(
+        json,
+        "\"n_jobs\":{},\"n_distinct\":{distinct},\"n_atoms_base\":{n_atoms},\
+         \"workers\":{workers},\"fresh_seconds\":{fresh_seconds:.6e},\
+         \"batch_cold_seconds\":{batch_cold_seconds:.6e},\
+         \"batch_warm_seconds\":{batch_warm_seconds:.6e},\
+         \"speedup_cold_vs_fresh\":{speedup_cold:.4},\
+         \"speedup_warm_vs_fresh\":{speedup_warm:.4},\
+         \"warm_cache_hits\":{},\"warm_cache_misses\":{},\
+         \"cold_cache_hits\":{},\"cold_cache_misses\":{},\
+         \"cache_bytes_held\":{},\"arena_reuses\":{},\
+         \"born_bitwise_equal\":true,\"max_epol_rel_diff\":{max_epol_rel:e}}}",
+        jobs.len(),
+        warm_report.cache_hits,
+        warm_report.cache_misses,
+        cold_report.cache_hits,
+        cold_report.cache_misses,
+        warm_report.cache_bytes_held,
+        warm_report.arena_reuses,
+    );
+    json.push('\n');
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[bench_batch] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_batch.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[json] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench_batch] cannot write {}: {e}", path.display()),
+    }
+    // Also persist the warm BatchReport itself as a CI artifact.
+    let report_path = dir.join("BATCH_report.json");
+    match std::fs::write(&report_path, warm_report.to_json() + "\n") {
+        Ok(()) => eprintln!("[json] wrote {}", report_path.display()),
+        Err(e) => eprintln!("[bench_batch] cannot write {}: {e}", report_path.display()),
+    }
+
+    if speedup_warm < 1.5 {
+        eprintln!(
+            "[bench_batch] WARNING: warm-cache speedup {speedup_warm:.2} < 1.5 acceptance floor"
+        );
+        std::process::exit(1);
+    }
+}

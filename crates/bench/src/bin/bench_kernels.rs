@@ -70,14 +70,16 @@ fn measure(n: usize, iters: usize) -> Row {
     // Warm up caches and page in the solver before timing anything.
     let reference = solver.solve(&params);
     let plan = solver.plan(&params);
-    let planned = solver.solve_with_plan(&plan, &params);
+    let planned = solver
+        .solve_with_plan(&plan, &params)
+        .expect("compatible plan");
     assert_eq!(planned.born, reference.born, "plan must replay the solve");
 
     let plan_build_seconds = median_secs(iters, || solver.plan(&params));
-    let execute_seconds = median_secs(iters, || solver.solve_with_plan(&plan, &params));
+    let execute_seconds = median_secs(iters, || solver.solve_with_plan(&plan, &params).unwrap());
     let replan_solve_seconds = median_secs(iters, || {
         let p = solver.plan(&params);
-        solver.solve_with_plan(&p, &params)
+        solver.solve_with_plan(&p, &params).unwrap()
     });
     let recursive_solve_seconds = median_secs(iters, || solver.solve(&params));
 

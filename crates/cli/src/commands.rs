@@ -154,9 +154,9 @@ fn energy_reuse_plan(
     let mut last = None;
     for _ in 0..n {
         last = Some(if workers > 1 {
-            solver.solve_with_plan_parallel_report(&plan, params, workers)
+            solver.solve_with_plan_parallel_report(&plan, params, workers)?
         } else {
-            solver.solve_with_plan_report(&plan, params)
+            solver.solve_with_plan_report(&plan, params)?
         });
     }
     let exec_total = t.elapsed().as_secs_f64();
@@ -176,6 +176,85 @@ fn energy_reuse_plan(
         plan_s + per_solve,
     );
     emit_report(&report, profile);
+    Ok(())
+}
+
+/// `polar batch --manifest jobs.json [--cache-mb N] [--threads p]
+/// [--profile json|csv]`: run a manifest of rescoring jobs through the
+/// batch engine — plan-cached, arena-reusing, panic-isolated — and
+/// print the BatchReport.
+pub fn batch(a: &Args) -> CmdResult {
+    use polar_gb::{BatchEngine, BatchJob, BatchOutcome};
+    let manifest_path = a
+        .get("manifest")
+        .ok_or_else(|| ArgError("batch needs --manifest <jobs.json>".into()))?;
+    let path = std::path::Path::new(manifest_path);
+    let manifest = polar_molecule::manifest::load_manifest(path)?;
+    let base = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let cache_mb: usize = a.get_parsed("cache-mb", 256)?;
+    let workers: usize = a.get_parsed(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )?;
+    let profile = profile_format(a)?;
+
+    let mut jobs = Vec::with_capacity(manifest.expanded_len());
+    for entry in &manifest.jobs {
+        let mol = entry.build_molecule(base)?;
+        let params = GbParams {
+            eps_born: entry.eps_born,
+            eps_epol: entry.eps_epol,
+            ..GbParams::default()
+        };
+        for _ in 0..entry.repeat {
+            jobs.push(BatchJob::new(mol.clone(), params));
+        }
+    }
+    eprintln!(
+        "batch: {} jobs ({} manifest entries), cache {cache_mb} MB, {workers} workers",
+        jobs.len(),
+        manifest.jobs.len()
+    );
+
+    let mut engine = BatchEngine::new(cache_mb << 20, workers);
+    let (outcomes, report) = engine.run(&jobs);
+    for (job, out) in jobs.iter().zip(&outcomes) {
+        match out {
+            BatchOutcome::Done { result, cache_hit } => eprintln!(
+                "  {:<24} E_pol = {:>12.4} kcal/mol  [{}]",
+                job.molecule.name,
+                result.epol_kcal,
+                if *cache_hit { "cache hit" } else { "built" },
+            ),
+            BatchOutcome::Failed { error } => {
+                eprintln!("  {:<24} FAILED: {error}", job.molecule.name)
+            }
+        }
+    }
+    eprintln!(
+        "batch done: {}/{} ok, hit rate {:.0}%, {} evictions, {:.1} MB cached, \
+         {} arena reuses, {:.2}s",
+        report.succeeded,
+        report.jobs,
+        100.0 * report.hit_rate(),
+        report.cache_evictions,
+        report.cache_bytes_held as f64 / 1048576.0,
+        report.arena_reuses,
+        report.wall_seconds,
+    );
+    match profile {
+        None => {}
+        Some(ProfileFormat::Json) => println!("{}", report.to_json()),
+        Some(ProfileFormat::Csv) => print!("{}", report.to_csv()),
+    }
+    if report.failed > 0 {
+        return Err(Box::new(ArgError(format!(
+            "{} of {} jobs failed",
+            report.failed, report.jobs
+        ))));
+    }
     Ok(())
 }
 

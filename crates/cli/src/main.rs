@@ -8,6 +8,8 @@
 //! polar sweep <file> [--from 0.1] [--to 0.9] [--steps 9]
 //! polar distributed <file> [--ranks P] [--threads p] [--data-dist]
 //!                          [--faults spec.json | --fault-seed N]
+//! polar batch --manifest jobs.json [--cache-mb N] [--threads p]
+//!                                  [--profile json|csv]
 //! polar project <file> [--nodes N]     # simulated cluster timings
 //! ```
 
@@ -31,6 +33,8 @@ const VALUE_OPTS: &[&str] = &[
     "reuse-plan",
     "faults",
     "fault-seed",
+    "manifest",
+    "cache-mb",
 ];
 const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist", "plan"];
 
@@ -54,6 +58,7 @@ fn main() {
         "generate" => commands::generate(&parsed),
         "sweep" => commands::sweep(&parsed),
         "distributed" => commands::distributed(&parsed),
+        "batch" => commands::batch(&parsed),
         "project" => commands::project(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}");
@@ -88,6 +93,11 @@ USAGE:
       --faults spec.json          inject the fault schedule from a FaultSpec file
       --fault-seed N              inject a deterministic seeded fault schedule;
                                   survivors recover lost work by re-division
+  polar batch               run a manifest of rescoring jobs through the
+      --manifest jobs.json        batch engine (LRU plan cache + scratch arenas)
+      --cache-mb N                plan-cache capacity in MB (default 256)
+      --threads p                 worker count (default: all cores)
+      --profile json|csv          print the BatchReport to stdout
   polar project <file>      simulated Lonestar4 timings [--nodes N]
       --plan                      derive per-leaf task costs from plan lists
 

@@ -293,3 +293,88 @@ fn malformed_fault_spec_is_a_clean_error() {
         String::from_utf8_lossy(&both.stderr)
     );
 }
+
+#[test]
+fn batch_runs_a_manifest_and_emits_a_json_report() {
+    let pqr = tmp_pqr("batchfile", 120);
+    let manifest = std::env::temp_dir().join("polar_cli_batch.json");
+    std::fs::write(
+        &manifest,
+        format!(
+            r#"{{
+  "jobs": [
+    {{ "name": "gen_a", "generate": "globular", "n_atoms": 150, "seed": 3,
+      "eps_born": 0.6, "eps_epol": 0.6, "repeat": 3 }},
+    {{ "file": {:?}, "repeat": 2 }}
+  ]
+}}"#,
+            pqr.to_string_lossy()
+        ),
+    )
+    .unwrap();
+    let out = polar()
+        .args(["batch", "--manifest"])
+        .arg(&manifest)
+        .args(["--cache-mb", "64", "--threads", "2", "--profile", "json"])
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{err}");
+    // Repeated geometries hit the cache: 5 jobs, 2 distinct plans.
+    assert!(err.contains("hit rate 60%"), "{err}");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\":\"batch_report/v1\""), "{json}");
+    assert!(json.contains("\"jobs\":5"), "{json}");
+    assert!(json.contains("\"cache_hits\":3"), "{json}");
+    assert!(json.contains("\"failed\":0"), "{json}");
+}
+
+#[test]
+fn batch_csv_profile_has_one_row_per_job() {
+    let manifest = std::env::temp_dir().join("polar_cli_batch_csv.json");
+    std::fs::write(
+        &manifest,
+        r#"{ "jobs": [ { "generate": "ligand", "n_atoms": 60, "repeat": 2 } ] }"#,
+    )
+    .unwrap();
+    let out = polar()
+        .args(["batch", "--manifest"])
+        .arg(&manifest)
+        .args(["--threads", "1", "--profile", "csv"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 3, "{csv}");
+    assert!(lines[0].starts_with("job,name,n_atoms,epol_kcal,cache_hit"));
+}
+
+#[test]
+fn batch_without_manifest_or_with_bad_manifest_is_a_clean_error() {
+    let out = polar().arg("batch").output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--manifest"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let bad = std::env::temp_dir().join("polar_cli_batch_bad.json");
+    std::fs::write(&bad, r#"{"jobs": [{"generate": "globular"}]}"#).unwrap();
+    let out = polar()
+        .args(["batch", "--manifest"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("n_atoms"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,722 @@
+//! Batch rescoring engine: a stream of molecules through one plan cache.
+//!
+//! The paper's headline workload is docking re-scoring — many E_pol
+//! evaluations over recurring geometries (§IV.C). [`crate::plan`] made
+//! repeated solves of *one* prepared solver fast; this module makes the
+//! unit of work a *queue of jobs*:
+//!
+//! * each job's geometry is fingerprinted ([`geometry_hash`]) and routed
+//!   through a keyed **LRU plan cache** (key = geometry hash + both ε;
+//!   capacity in bytes, accounted via `InteractionPlan::memory_bytes`),
+//!   so recurring conformations build their solver + plan once;
+//! * solves execute out of **per-worker scratch arenas**
+//!   ([`crate::solver::SolveScratch`]) — Born partials, Born radii and
+//!   charge-bin histograms are allocated once per worker and recycled,
+//!   never per solve;
+//! * jobs run in parallel on the `polar_runtime` work-stealing pool via
+//!   `run_batch_retry`: a panicking job is retried, and on its final
+//!   attempt contained, so sibling jobs always keep their results.
+//!
+//! The run summary is a [`BatchReport`] whose counters (hits, misses,
+//! evictions, bytes, arena reuses, per-job rows) are deterministic
+//! functions of the job list — only wall-clock fields vary between runs.
+//!
+//! # Determinism discipline
+//!
+//! Cache decisions are made *serially in submission order* before any
+//! parallel work starts: the first job to need a (geometry, ε) key is
+//! its designated builder; later jobs with the same key are hits that
+//! share the builder's plan. The parallel phases then never race on the
+//! cache, so identical manifests yield identical hit/miss/eviction
+//! counts whatever the steal schedule was.
+
+use crate::plan::InteractionPlan;
+use crate::report::{BatchJobRow, BatchReport};
+use crate::solver::{GbParams, GbResult, GbSolver, SolveScratch};
+use crate::stats::WorkCounts;
+use polar_molecule::Molecule;
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, TryLockError};
+use std::time::Instant;
+
+/// One unit of batch work: a molecule plus its solve parameters.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    pub molecule: Molecule,
+    pub params: GbParams,
+}
+
+impl BatchJob {
+    pub fn new(molecule: Molecule, params: GbParams) -> BatchJob {
+        BatchJob { molecule, params }
+    }
+}
+
+/// What happened to one job, submission order preserved.
+#[derive(Debug, Clone)]
+pub enum BatchOutcome {
+    /// The job solved; `cache_hit` says whether it reused a plan.
+    Done { result: GbResult, cache_hit: bool },
+    /// The job failed (typed solve error or contained panic); siblings
+    /// are unaffected.
+    Failed { error: String },
+}
+
+impl BatchOutcome {
+    /// The result, if the job succeeded.
+    pub fn result(&self) -> Option<&GbResult> {
+        match self {
+            BatchOutcome::Done { result, .. } => Some(result),
+            BatchOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// FNV-1a over the bit patterns of every atom's position, radius and
+/// charge — a cheap, order-sensitive geometry fingerprint. Two molecules
+/// hash equal iff they are bitwise the same conformation, which is
+/// exactly when a plan built for one is valid for the other.
+pub fn geometry_hash(mol: &Molecule) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(mol.atoms.len() as u64);
+    for a in &mol.atoms {
+        eat(a.pos.x.to_bits());
+        eat(a.pos.y.to_bits());
+        eat(a.pos.z.to_bits());
+        eat(a.radius.to_bits());
+        eat(a.charge.to_bits());
+    }
+    h
+}
+
+/// Cache key: geometry fingerprint + the two ε the plan depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    geom: u64,
+    eps_born_bits: u64,
+    eps_epol_bits: u64,
+}
+
+impl PlanKey {
+    fn of(mol: &Molecule, p: &GbParams) -> PlanKey {
+        PlanKey {
+            geom: geometry_hash(mol),
+            eps_born_bits: p.eps_born.to_bits(),
+            eps_epol_bits: p.eps_epol.to_bits(),
+        }
+    }
+}
+
+/// A cached unit: the prepared solver and its interaction plan. The
+/// solver rides along because executing a plan needs the trees and
+/// q-point aggregates it was built from — and rebuilding the solver
+/// dominates a fresh solve's cost.
+pub struct Prepared {
+    pub solver: GbSolver,
+    pub plan: InteractionPlan,
+}
+
+struct CacheSlot {
+    entry: Arc<Prepared>,
+    last_used: u64,
+}
+
+/// Byte-capacity LRU over prepared plans. Capacity is accounted with
+/// `InteractionPlan::memory_bytes`; the most recently inserted entry is
+/// always retained, so a single oversized plan can still serve its
+/// batch before being evicted by the next insertion.
+struct PlanCache {
+    capacity_bytes: usize,
+    map: HashMap<PlanKey, CacheSlot>,
+    tick: u64,
+    bytes_held: usize,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn new(capacity_bytes: usize) -> PlanCache {
+        PlanCache {
+            capacity_bytes,
+            map: HashMap::new(),
+            tick: 0,
+            bytes_held: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up and touch (LRU-refresh) an entry.
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<Prepared>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            slot.entry.clone()
+        })
+    }
+
+    /// Insert an entry, then evict least-recently-used plans (never the
+    /// one just inserted) until the held bytes fit the capacity.
+    fn insert(&mut self, key: PlanKey, entry: Arc<Prepared>) {
+        self.tick += 1;
+        let bytes = entry.plan.memory_bytes();
+        if let Some(old) = self.map.insert(
+            key,
+            CacheSlot {
+                entry,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes_held -= old.entry.plan.memory_bytes();
+        }
+        self.bytes_held += bytes;
+        while self.bytes_held > self.capacity_bytes && self.map.len() > 1 {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(v) => {
+                    let slot = self.map.remove(&v).expect("victim exists");
+                    self.bytes_held -= slot.entry.plan.memory_bytes();
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Pool of per-worker scratch arenas. At most `n_workers` tasks run
+/// concurrently, so a task sweeping the slots with `try_lock` always
+/// finds a free arena. A panic mid-solve may leave an arena's buffers in
+/// a torn state and its mutex poisoned — both are harmless, because
+/// every solve clears and resizes all buffers before use, so the pool
+/// clears the poison and reuses the arena.
+struct ArenaPool {
+    slots: Vec<Mutex<SolveScratch>>,
+}
+
+impl ArenaPool {
+    fn new(n: usize) -> ArenaPool {
+        ArenaPool {
+            slots: (0..n.max(1))
+                .map(|_| Mutex::new(SolveScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// Solve on any free arena (spinning across the slots).
+    fn solve(&self, prepared: &Prepared, p: &GbParams) -> Result<GbResult, crate::plan::PlanError> {
+        loop {
+            for slot in &self.slots {
+                let mut guard = match slot.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+                    Err(TryLockError::WouldBlock) => continue,
+                };
+                return prepared
+                    .solver
+                    .solve_with_plan_scratch(&prepared.plan, p, &mut guard);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn total_reuses(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(g) => g.reuses,
+                Err(p) => p.into_inner().reuses,
+            })
+            .sum()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(g) => g.memory_bytes() as u64,
+                Err(p) => p.into_inner().memory_bytes() as u64,
+            })
+            .sum()
+    }
+}
+
+/// How a job gets its plan, decided serially before the parallel phases.
+enum Assign {
+    /// Entry already in the cache.
+    Cached(Arc<Prepared>),
+    /// First job with this key in the batch: builds the entry.
+    Build(PlanKey),
+    /// Shares the plan built by an earlier job this batch.
+    Follow(PlanKey),
+}
+
+/// The batch rescoring engine. Owns the plan cache (warm across calls to
+/// [`BatchEngine::run`]) and the prep configuration every job shares.
+pub struct BatchEngine {
+    surface: SurfaceConfig,
+    tree_cfg: OctreeConfig,
+    n_workers: usize,
+    retry_budget: u32,
+    cache: PlanCache,
+}
+
+impl BatchEngine {
+    /// Engine with default surface/octree configs.
+    pub fn new(cache_capacity_bytes: usize, n_workers: usize) -> BatchEngine {
+        Self::with_configs(
+            cache_capacity_bytes,
+            n_workers,
+            SurfaceConfig::coarse(),
+            OctreeConfig::default(),
+        )
+    }
+
+    /// Engine with explicit prep configs (they are part of what makes a
+    /// cached plan valid, so they are fixed per engine, not per job).
+    pub fn with_configs(
+        cache_capacity_bytes: usize,
+        n_workers: usize,
+        surface: SurfaceConfig,
+        tree_cfg: OctreeConfig,
+    ) -> BatchEngine {
+        BatchEngine {
+            surface,
+            tree_cfg,
+            n_workers: n_workers.max(1),
+            retry_budget: 2,
+            cache: PlanCache::new(cache_capacity_bytes),
+        }
+    }
+
+    /// Panic-retry budget per job (attempts beyond the first; the final
+    /// attempt is always contained so the batch cannot abort).
+    pub fn set_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget;
+    }
+
+    /// Plan bytes currently held by the cache.
+    pub fn cache_bytes_held(&self) -> usize {
+        self.cache.bytes_held
+    }
+
+    /// Run a queue of jobs; outcomes come back in submission order.
+    pub fn run(&mut self, jobs: &[BatchJob]) -> (Vec<BatchOutcome>, BatchReport) {
+        let t0 = Instant::now();
+        let arenas = ArenaPool::new(self.n_workers);
+
+        // Phase 1 — serial, deterministic cache routing in submission
+        // order: hits and builder designation never depend on the steal
+        // schedule of the parallel phases below.
+        let mut assigns: Vec<Assign> = Vec::with_capacity(jobs.len());
+        let mut builder_of: HashMap<PlanKey, usize> = HashMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let key = PlanKey::of(&job.molecule, &job.params);
+            if let Some(entry) = self.cache.get(&key) {
+                assigns.push(Assign::Cached(entry));
+            } else {
+                match builder_of.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        assigns.push(Assign::Follow(key))
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(i);
+                        assigns.push(Assign::Build(key));
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — wave A: builder jobs prep + solve in parallel, each
+        // panic-isolated. A builder returns its Prepared entry for the
+        // cache alongside its own result.
+        let builders: Vec<usize> = assigns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| matches!(a, Assign::Build(_)).then_some(i))
+            .collect();
+        let mut retries = 0u64;
+        let mut recovered_jobs = 0u64;
+        let mut outcomes: Vec<Option<BatchOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let mut walls: Vec<f64> = vec![0.0; jobs.len()];
+        let mut built: HashMap<PlanKey, Arc<Prepared>> = HashMap::new();
+
+        if !builders.is_empty() {
+            let tasks: Vec<_> = builders
+                .iter()
+                .map(|&i| {
+                    let job = &jobs[i];
+                    let arenas = &arenas;
+                    let surface = &self.surface;
+                    let tree_cfg = &self.tree_cfg;
+                    let budget = self.retry_budget;
+                    move |attempt: u32| {
+                        let t = Instant::now();
+                        let out = contained(attempt >= budget, || {
+                            let solver = GbSolver::for_molecule(&job.molecule, surface, tree_cfg);
+                            let plan = solver.plan(&job.params);
+                            let prepared = Arc::new(Prepared { solver, plan });
+                            let result = arenas
+                                .solve(&prepared, &job.params)
+                                .map_err(|e| e.to_string())?;
+                            Ok((prepared, result))
+                        });
+                        (out, t.elapsed().as_secs_f64())
+                    }
+                })
+                .collect();
+            let (results, _steal, retry) =
+                polar_runtime::run_batch_retry(self.n_workers, tasks, self.retry_budget)
+                    .expect("final attempts are contained; the batch cannot abort");
+            retries += retry.retries;
+            recovered_jobs += retry.recovered.len() as u64;
+            for (&i, (out, wall)) in builders.iter().zip(results) {
+                walls[i] = wall;
+                match out {
+                    Ok((prepared, result)) => {
+                        if let Assign::Build(key) = assigns[i] {
+                            built.insert(key, prepared.clone());
+                        }
+                        outcomes[i] = Some(BatchOutcome::Done {
+                            result,
+                            cache_hit: false,
+                        });
+                    }
+                    Err(error) => outcomes[i] = Some(BatchOutcome::Failed { error }),
+                }
+            }
+        }
+
+        // Serial interlude: publish built entries into the LRU in job
+        // order, so eviction order is deterministic too. Followers whose
+        // builder failed fall back to building their own plan in wave B.
+        for &i in &builders {
+            if let (Assign::Build(key), Some(BatchOutcome::Done { .. })) =
+                (&assigns[i], &outcomes[i])
+            {
+                self.cache.insert(*key, built[key].clone());
+            }
+        }
+        let mut cache_hits = 0u64;
+        let mut cache_misses = builders.len() as u64;
+
+        // Phase 3 — wave B: everyone else, reusing a resolved entry when
+        // one exists (a hit) and building fresh when the builder failed.
+        let wave_b: Vec<(usize, Option<Arc<Prepared>>)> = assigns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a {
+                Assign::Build(_) => None,
+                Assign::Cached(entry) => Some((i, Some(entry.clone()))),
+                Assign::Follow(key) => Some((i, built.get(key).cloned())),
+            })
+            .collect();
+        for (_, entry) in &wave_b {
+            if entry.is_some() {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+        }
+
+        if !wave_b.is_empty() {
+            let tasks: Vec<_> = wave_b
+                .iter()
+                .map(|(i, entry)| {
+                    let job = &jobs[*i];
+                    let arenas = &arenas;
+                    let surface = &self.surface;
+                    let tree_cfg = &self.tree_cfg;
+                    let budget = self.retry_budget;
+                    move |attempt: u32| {
+                        let t = Instant::now();
+                        let out = contained(attempt >= budget, || match entry {
+                            Some(prepared) => arenas
+                                .solve(prepared, &job.params)
+                                .map_err(|e| e.to_string()),
+                            None => {
+                                let solver =
+                                    GbSolver::for_molecule(&job.molecule, surface, tree_cfg);
+                                let plan = solver.plan(&job.params);
+                                let prepared = Prepared { solver, plan };
+                                arenas
+                                    .solve(&prepared, &job.params)
+                                    .map_err(|e| e.to_string())
+                            }
+                        });
+                        (out, t.elapsed().as_secs_f64())
+                    }
+                })
+                .collect();
+            let (results, _steal, retry) =
+                polar_runtime::run_batch_retry(self.n_workers, tasks, self.retry_budget)
+                    .expect("final attempts are contained; the batch cannot abort");
+            retries += retry.retries;
+            recovered_jobs += retry.recovered.len() as u64;
+            for ((i, entry), (out, wall)) in wave_b.iter().zip(results) {
+                walls[*i] = wall;
+                outcomes[*i] = Some(match out {
+                    Ok(result) => BatchOutcome::Done {
+                        result,
+                        cache_hit: entry.is_some(),
+                    },
+                    Err(error) => BatchOutcome::Failed { error },
+                });
+            }
+        }
+
+        let outcomes: Vec<BatchOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every job was assigned to exactly one wave"))
+            .collect();
+
+        // Report assembly.
+        let mut total_work = WorkCounts::ZERO;
+        let mut total_epol = 0.0;
+        let mut succeeded = 0usize;
+        let rows: Vec<BatchJobRow> = jobs
+            .iter()
+            .zip(&outcomes)
+            .enumerate()
+            .map(|(i, (job, out))| match out {
+                BatchOutcome::Done { result, cache_hit } => {
+                    succeeded += 1;
+                    total_epol += result.epol_kcal;
+                    total_work.accumulate(result.work_born);
+                    total_work.accumulate(result.work_epol);
+                    BatchJobRow {
+                        name: job.molecule.name.clone(),
+                        n_atoms: job.molecule.len(),
+                        epol_kcal: result.epol_kcal,
+                        cache_hit: *cache_hit,
+                        pair_ops: result.work_born.pair_ops + result.work_epol.pair_ops,
+                        far_ops: result.work_born.far_ops + result.work_epol.far_ops,
+                        wall_seconds: walls[i],
+                        error: None,
+                    }
+                }
+                BatchOutcome::Failed { error } => BatchJobRow {
+                    name: job.molecule.name.clone(),
+                    n_atoms: job.molecule.len(),
+                    epol_kcal: f64::NAN,
+                    cache_hit: false,
+                    pair_ops: 0,
+                    far_ops: 0,
+                    wall_seconds: walls[i],
+                    error: Some(error.clone()),
+                },
+            })
+            .collect();
+        let report = BatchReport {
+            jobs: jobs.len(),
+            succeeded,
+            failed: jobs.len() - succeeded,
+            cache_hits,
+            cache_misses,
+            cache_evictions: self.cache.evictions,
+            cache_bytes_held: self.cache.bytes_held as u64,
+            cache_capacity_bytes: self.cache.capacity_bytes as u64,
+            arenas: self.n_workers,
+            arena_reuses: arenas.total_reuses(),
+            arena_bytes: arenas.total_bytes(),
+            retries,
+            recovered_jobs,
+            total_epol_kcal: total_epol,
+            total_work,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            rows,
+        };
+        (outcomes, report)
+    }
+}
+
+/// Run `f`, containing panics only when `contain` is set (the job's
+/// final retry attempt): earlier attempts let the panic propagate so the
+/// work-stealing pool's retry machinery re-enqueues the job, while the
+/// last attempt converts a persistent panic into a per-job failure that
+/// cannot take sibling jobs down with it.
+fn contained<T>(contain: bool, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    if !contain {
+        return f();
+    }
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            Err(format!("job panicked: {msg}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_molecule::generators;
+
+    fn jobs_of(geometries: &[(usize, u64)], repeat: usize) -> Vec<BatchJob> {
+        let mut jobs = Vec::new();
+        for _ in 0..repeat {
+            for &(n, seed) in geometries {
+                let mol = generators::globular(format!("g{n}_{seed}"), n, seed);
+                jobs.push(BatchJob::new(mol, GbParams::default()));
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn geometry_hash_distinguishes_conformations() {
+        let a = generators::globular("a", 120, 1);
+        let b = generators::globular("b", 120, 2);
+        assert_eq!(geometry_hash(&a), geometry_hash(&a.clone()));
+        assert_ne!(geometry_hash(&a), geometry_hash(&b));
+        // A rigid move is a different conformation for caching purposes.
+        let moved = a.transformed(&polar_geom::RigidTransform::translation(
+            polar_geom::Vec3::new(1.0, 0.0, 0.0),
+        ));
+        assert_ne!(geometry_hash(&a), geometry_hash(&moved));
+    }
+
+    #[test]
+    fn repeated_geometries_hit_the_cache_and_match_fresh_solves() {
+        let jobs = jobs_of(&[(120, 1), (150, 2)], 3); // 6 jobs, 2 geometries
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        let (outcomes, report) = engine.run(&jobs);
+        assert_eq!(report.jobs, 6);
+        assert_eq!(report.succeeded, 6);
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.cache_hits, 4);
+        assert!(report.hit_rate() > 0.5);
+        assert!(report.arena_reuses >= 6);
+
+        // Cached solves are bitwise (Born) / exact (E_pol replayed from
+        // the same plan) identical to a per-molecule fresh solve.
+        for (job, out) in jobs.iter().zip(&outcomes) {
+            let result = out.result().expect("job succeeded");
+            let solver = GbSolver::for_molecule(
+                &job.molecule,
+                &SurfaceConfig::coarse(),
+                &OctreeConfig::default(),
+            );
+            let fresh = solver.solve(&job.params);
+            assert_eq!(result.born, fresh.born, "{}", job.molecule.name);
+            let rel = (result.epol_kcal - fresh.epol_kcal).abs() / fresh.epol_kcal.abs();
+            assert!(rel <= 1e-12, "{}: {rel}", job.molecule.name);
+        }
+
+        // A second batch over the same manifest is all hits.
+        let (_, again) = engine.run(&jobs);
+        assert_eq!(again.cache_misses, 0);
+        assert_eq!(again.cache_hits, 6);
+    }
+
+    #[test]
+    fn lru_evicts_at_byte_capacity() {
+        // Capacity fits roughly one plan: alternating geometries force
+        // evictions, and the evicted key re-misses on the next batch.
+        let probe = {
+            let mol = generators::globular("probe", 130, 5);
+            let s =
+                GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+            s.plan(&GbParams::default()).memory_bytes()
+        };
+        let mut engine = BatchEngine::new(probe + probe / 2, 2);
+        let jobs = jobs_of(&[(130, 5), (130, 6)], 1);
+        let (_, first) = engine.run(&jobs);
+        assert_eq!(first.cache_misses, 2);
+        assert!(first.cache_evictions >= 1, "{first:?}");
+        assert!(first.cache_bytes_held <= (probe + probe / 2) as u64);
+        // The surviving entry hits; the evicted one rebuilds.
+        let (_, second) = engine.run(&jobs);
+        assert_eq!(second.cache_hits + second.cache_misses, 2);
+        assert!(second.cache_misses >= 1, "{second:?}");
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_and_siblings_survive() {
+        let mut jobs = jobs_of(&[(120, 1), (140, 2), (160, 3)], 1);
+        // ε ≤ 0 trips the separation-factor assertion inside the worker:
+        // a genuine panic on every attempt.
+        let poison = BatchJob::new(
+            generators::globular("poison", 100, 9),
+            GbParams {
+                eps_born: -1.0,
+                ..GbParams::default()
+            },
+        );
+        jobs.insert(1, poison);
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        let (outcomes, report) = engine.run(&jobs);
+        assert_eq!(report.jobs, 4);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.succeeded, 3);
+        match &outcomes[1] {
+            BatchOutcome::Failed { error } => {
+                assert!(error.contains("panicked"), "{error}");
+            }
+            other => panic!("poison job should fail, got {other:?}"),
+        }
+        // Siblings keep correct results.
+        for (i, (job, out)) in jobs.iter().zip(&outcomes).enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let result = out.result().expect("sibling survived");
+            let solver = GbSolver::for_molecule(
+                &job.molecule,
+                &SurfaceConfig::coarse(),
+                &OctreeConfig::default(),
+            );
+            assert_eq!(result.born, solver.solve(&job.params).born);
+        }
+        // The poisoned attempts went through the retry layer first.
+        assert!(report.retries >= 1, "{report:?}");
+        let row = &report.rows[1];
+        assert!(row.error.is_some() && row.epol_kcal.is_nan());
+    }
+
+    #[test]
+    fn identical_manifests_produce_byte_identical_reports() {
+        let jobs = jobs_of(&[(110, 4), (130, 5)], 2);
+        let run = || {
+            let mut engine = BatchEngine::new(64 << 20, 3);
+            let (_, mut report) = engine.run(&jobs);
+            report.zero_wall_times();
+            report.to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn report_rows_and_csv_cover_every_job() {
+        let jobs = jobs_of(&[(110, 4)], 2);
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        let (_, report) = engine.run(&jobs);
+        assert_eq!(report.rows.len(), 2);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"batch_report/v1\""));
+        assert!(json.contains("\"cache_hit_rate\":0.5"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3); // header + 2 rows
+        assert!(csv.starts_with("job,name,n_atoms,"));
+    }
+}

@@ -109,11 +109,27 @@ impl<'a> EpolCtx<'a> {
     /// Build histograms bottom-up (the pseudo-particle aggregation for
     /// energies). O(nodes · M_ε + atoms).
     pub fn new(tree: &'a Octree, charges: &'a [f64], born: &'a [f64], eps: f64) -> EpolCtx<'a> {
+        Self::new_reusing(tree, charges, born, eps, Vec::new(), Vec::new())
+    }
+
+    /// As [`EpolCtx::new`], but refills caller-supplied buffers instead
+    /// of allocating — the batch engine's scratch arenas hand the same
+    /// charge-bin buffers to every solve and recover them afterwards via
+    /// [`EpolCtx::into_buffers`].
+    pub fn new_reusing(
+        tree: &'a Octree,
+        charges: &'a [f64],
+        born: &'a [f64],
+        eps: f64,
+        mut hist: Vec<f64>,
+        mut nonzero_bins: Vec<u32>,
+    ) -> EpolCtx<'a> {
         assert_eq!(charges.len(), tree.len());
         assert_eq!(born.len(), tree.len());
         let bins = BinScheme::new(born, eps);
         let nb = bins.nbins;
-        let mut hist = vec![0.0_f64; tree.node_count() * nb];
+        hist.clear();
+        hist.resize(tree.node_count() * nb, 0.0);
         // Reverse scan = post-order (children have larger ids).
         for id in (0..tree.node_count()).rev() {
             let node = tree.node(id as NodeId);
@@ -132,14 +148,13 @@ impl<'a> EpolCtx<'a> {
                 }
             }
         }
-        let nonzero_bins = (0..tree.node_count())
-            .map(|id| {
-                hist[id * nb..(id + 1) * nb]
-                    .iter()
-                    .filter(|&&q| q != 0.0)
-                    .count() as u32
-            })
-            .collect();
+        nonzero_bins.clear();
+        nonzero_bins.extend((0..tree.node_count()).map(|id| {
+            hist[id * nb..(id + 1) * nb]
+                .iter()
+                .filter(|&&q| q != 0.0)
+                .count() as u32
+        }));
         EpolCtx {
             tree,
             charges,
@@ -170,6 +185,12 @@ impl<'a> EpolCtx<'a> {
     /// Histogram memory in bytes (for space accounting).
     pub fn memory_bytes(&self) -> usize {
         self.hist.len() * 8 + self.nonzero_bins.len() * 4
+    }
+
+    /// Recover the histogram buffers so a scratch arena can hand them to
+    /// the next solve (capacity is kept, contents are rebuilt).
+    pub fn into_buffers(self) -> (Vec<f64>, Vec<u32>) {
+        (self.hist, self.nonzero_bins)
     }
 }
 

@@ -32,6 +32,7 @@
 //! assert!(result.epol_kcal < 0.0); // polarization energy is negative
 //! ```
 
+pub mod batch;
 pub mod born;
 pub mod constants;
 pub mod energy;
@@ -43,7 +44,8 @@ pub mod report;
 pub mod solver;
 pub mod stats;
 
-pub use plan::InteractionPlan;
-pub use report::SolveReport;
-pub use solver::{GbParams, GbResult, GbSolver};
+pub use batch::{BatchEngine, BatchJob, BatchOutcome};
+pub use plan::{InteractionPlan, PlanError};
+pub use report::{BatchReport, SolveReport};
+pub use solver::{GbParams, GbResult, GbSolver, SolveScratch};
 pub use stats::WorkCounts;

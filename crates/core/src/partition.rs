@@ -8,9 +8,12 @@ use std::ops::Range;
 
 /// Split `0..n` into `parts` contiguous ranges whose lengths differ by at
 /// most one (first `n % parts` ranges get the extra element). Empty ranges
-/// appear when `parts > n`.
+/// appear when `parts > n`; `parts == 0` yields no segments at all (an
+/// empty split), so degenerate partition requests never panic a worker.
 pub fn even_segments(n: usize, parts: usize) -> Vec<Range<usize>> {
-    assert!(parts > 0, "parts must be positive");
+    if parts == 0 {
+        return Vec::new();
+    }
     let base = n / parts;
     let extra = n % parts;
     let mut out = Vec::with_capacity(parts);
@@ -45,7 +48,9 @@ pub fn segments_tile(segs: &[Range<usize>], n: usize) -> bool {
 /// prefix scan targeting equal weight per part. Used by the work-division
 /// ablation to compare "count-even" vs "weight-even" static balancing.
 pub fn weighted_segments(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
-    assert!(parts > 0, "parts must be positive");
+    if parts == 0 {
+        return Vec::new();
+    }
     let n = weights.len();
     let total: u64 = weights.iter().sum();
     let mut out = Vec::with_capacity(parts);
@@ -132,9 +137,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_parts_rejected() {
-        let _ = even_segments(4, 0);
+    fn zero_parts_yield_empty_split_instead_of_panicking() {
+        // Regression: a degenerate request (no workers / no ranks left)
+        // must produce an empty split, not panic mid-batch.
+        assert!(even_segments(4, 0).is_empty());
+        assert!(even_segments(0, 0).is_empty());
+        assert!(weighted_segments(&[1, 2, 3], 0).is_empty());
+        assert!(weighted_segments(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn zero_items_yield_all_empty_segments() {
+        // Regression: n = 0 with live workers must hand every worker a
+        // well-formed empty range.
+        for parts in [1, 2, 9] {
+            let segs = even_segments(0, parts);
+            assert_eq!(segs.len(), parts);
+            assert!(segs.iter().all(|s| s.is_empty()));
+            assert!(segments_tile(&segs, 0));
+
+            let segs = weighted_segments(&[], parts);
+            assert!(segs.iter().all(|s| s.is_empty()));
+        }
     }
 
     #[test]

@@ -51,7 +51,52 @@ use crate::solver::{GbParams, GbSolver};
 use crate::stats::WorkCounts;
 use polar_geom::MathMode;
 use polar_octree::{NodeId, Octree};
+use std::fmt;
 use std::ops::Range;
+
+/// Typed rejection of a stale or foreign plan.
+///
+/// Executing a plan against a solver or ε it was not built for would
+/// silently produce wrong energies — the classic plan-cache staleness
+/// hazard — so the `solve_with_plan` entry points check a cheap
+/// fingerprint (atom/q-point counts + both ε) and refuse with this error
+/// instead of panicking mid-batch or returning garbage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The plan was built at different approximation parameters.
+    EpsilonMismatch {
+        /// (ε_born, ε_epol) the plan was built with.
+        plan: (f64, f64),
+        /// (ε_born, ε_epol) the solve requested.
+        requested: (f64, f64),
+    },
+    /// The plan was built for a solver with different geometry.
+    GeometryMismatch {
+        /// (n_atoms, n_qpoints) the plan was built from.
+        plan: (usize, usize),
+        /// (n_atoms, n_qpoints) of the solver handed to the solve.
+        solver: (usize, usize),
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EpsilonMismatch { plan, requested } => write!(
+                f,
+                "plan built for eps (born {}, epol {}) cannot solve at eps (born {}, epol {})",
+                plan.0, plan.1, requested.0, requested.1
+            ),
+            PlanError::GeometryMismatch { plan, solver } => write!(
+                f,
+                "plan built for {} atoms / {} q-points cannot solve a {} atom / {} q-point system",
+                plan.0, plan.1, solver.0, solver.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Flat interaction lists of the Born stage (`APPROX-INTEGRALS`, Fig. 2),
 /// grouped by `T_Q` leaf.
@@ -142,6 +187,10 @@ pub struct InteractionPlan {
     pub eps_born: f64,
     /// ε the energy lists were planned for.
     pub eps_epol: f64,
+    /// Atom count of the solver the plan was built from (fingerprint).
+    pub n_atoms: usize,
+    /// Q-point count of the solver the plan was built from (fingerprint).
+    pub n_qpoints: usize,
     /// Born-stage lists.
     pub born: BornPlan,
     /// Energy-stage lists.
@@ -204,6 +253,8 @@ impl InteractionPlan {
         InteractionPlan {
             eps_born: p.eps_born,
             eps_epol: p.eps_epol,
+            n_atoms: solver.n_atoms(),
+            n_qpoints: solver.n_qpoints(),
             born,
             epol,
             plan_work,
@@ -219,6 +270,25 @@ impl InteractionPlan {
             qnz,
             qw,
         }
+    }
+
+    /// Does this plan fit `solver` at parameters `p`? Cheap fingerprint
+    /// check — atom/q-point counts plus both ε — run by every
+    /// `solve_with_plan` entry point before executing the lists.
+    pub fn check_compatible(&self, solver: &GbSolver, p: &GbParams) -> Result<(), PlanError> {
+        if (self.eps_born, self.eps_epol) != (p.eps_born, p.eps_epol) {
+            return Err(PlanError::EpsilonMismatch {
+                plan: (self.eps_born, self.eps_epol),
+                requested: (p.eps_born, p.eps_epol),
+            });
+        }
+        if (self.n_atoms, self.n_qpoints) != (solver.n_atoms(), solver.n_qpoints()) {
+            return Err(PlanError::GeometryMismatch {
+                plan: (self.n_atoms, self.n_qpoints),
+                solver: (solver.n_atoms(), solver.n_qpoints()),
+            });
+        }
+        Ok(())
     }
 
     /// Heap bytes held by the plan: interaction lists + SoA input copies.

@@ -504,6 +504,181 @@ impl SolveReport {
     }
 }
 
+/// One batch job's outcome inside a [`BatchReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchJobRow {
+    /// Molecule name of the job.
+    pub name: String,
+    pub n_atoms: usize,
+    /// The job's E_pol; NaN (serialized as `null`) when the job failed.
+    pub epol_kcal: f64,
+    /// Did the job reuse a cached (or batch-shared) plan?
+    pub cache_hit: bool,
+    /// Pair evaluations the solve performed (both stages).
+    pub pair_ops: u64,
+    /// Far-field evaluations the solve performed (both stages).
+    pub far_ops: u64,
+    /// Wall seconds the job spent inside its worker (prep + solve).
+    pub wall_seconds: f64,
+    /// Failure message when the job errored or panicked.
+    pub error: Option<String>,
+}
+
+/// Summary of one batch-rescoring run (see `polar_gb::batch`).
+///
+/// Every field except the wall-clock timings is a deterministic function
+/// of the job list and cache state, so identical manifests produce
+/// byte-identical reports once [`BatchReport::zero_wall_times`] clears
+/// the timings (the determinism tests' comparison contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that produced a result.
+    pub succeeded: usize,
+    /// Jobs that failed (solve error or contained panic).
+    pub failed: usize,
+    /// Jobs served by a cached or batch-shared plan.
+    pub cache_hits: u64,
+    /// Jobs that had to build a plan.
+    pub cache_misses: u64,
+    /// Plans evicted to stay under the byte capacity.
+    pub cache_evictions: u64,
+    /// Plan bytes resident in the cache after the batch.
+    pub cache_bytes_held: u64,
+    /// Configured cache capacity in bytes.
+    pub cache_capacity_bytes: u64,
+    /// Per-worker scratch arenas the batch ran with.
+    pub arenas: usize,
+    /// Solves served out of recycled arenas (allocation-free solves).
+    pub arena_reuses: u64,
+    /// Bytes held by the arenas after the batch.
+    pub arena_bytes: u64,
+    /// Panicked attempts re-run by the work-stealing retry layer.
+    pub retries: u64,
+    /// Jobs that panicked at least once but eventually succeeded.
+    pub recovered_jobs: u64,
+    /// Sum of successful jobs' E_pol (kcal/mol).
+    pub total_epol_kcal: f64,
+    /// Aggregated solve work across all successful jobs.
+    pub total_work: WorkCounts,
+    /// Wall seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Per-job outcomes, submission order.
+    pub rows: Vec<BatchJobRow>,
+}
+
+impl BatchReport {
+    /// Fraction of jobs served by a reused plan (0 when no jobs ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Clear every schedule-dependent field — wall clocks plus
+    /// `arena_bytes` (arena capacities depend on which worker served
+    /// which job) — leaving only the counters that are deterministic
+    /// functions of the job list. Determinism tests compare this form
+    /// byte-for-byte.
+    pub fn zero_wall_times(&mut self) {
+        self.wall_seconds = 0.0;
+        self.arena_bytes = 0;
+        for row in &mut self.rows {
+            row.wall_seconds = 0.0;
+        }
+    }
+
+    /// Serialize to a self-contained JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", "batch_report/v1");
+        o.num("jobs", self.jobs as f64);
+        o.num("succeeded", self.succeeded as f64);
+        o.num("failed", self.failed as f64);
+        o.num("cache_hits", self.cache_hits as f64);
+        o.num("cache_misses", self.cache_misses as f64);
+        o.num("cache_hit_rate", self.hit_rate());
+        o.num("cache_evictions", self.cache_evictions as f64);
+        o.num("cache_bytes_held", self.cache_bytes_held as f64);
+        o.num("cache_capacity_bytes", self.cache_capacity_bytes as f64);
+        o.num("arenas", self.arenas as f64);
+        o.num("arena_reuses", self.arena_reuses as f64);
+        o.num("arena_bytes", self.arena_bytes as f64);
+        o.num("retries", self.retries as f64);
+        o.num("recovered_jobs", self.recovered_jobs as f64);
+        o.num("total_epol_kcal", self.total_epol_kcal);
+        o.num("total_pair_ops", self.total_work.pair_ops as f64);
+        o.num("total_far_ops", self.total_work.far_ops as f64);
+        o.num("wall_seconds", self.wall_seconds);
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut ro = JsonObj::new();
+                ro.str("name", &r.name);
+                ro.num("n_atoms", r.n_atoms as f64);
+                ro.num("epol_kcal", r.epol_kcal);
+                ro.raw("cache_hit", if r.cache_hit { "true" } else { "false" });
+                ro.num("pair_ops", r.pair_ops as f64);
+                ro.num("far_ops", r.far_ops as f64);
+                ro.num("wall_seconds", r.wall_seconds);
+                match &r.error {
+                    Some(e) => ro.str("error", e),
+                    None => ro.raw("error", "null"),
+                }
+                ro.finish()
+            })
+            .collect();
+        o.raw("rows", &format!("[{}]", rows.join(",")));
+        o.finish()
+    }
+
+    /// The per-job CSV column set.
+    pub fn csv_header() -> String {
+        [
+            "job",
+            "name",
+            "n_atoms",
+            "epol_kcal",
+            "cache_hit",
+            "pair_ops",
+            "far_ops",
+            "wall_s",
+            "error",
+        ]
+        .join(",")
+    }
+
+    /// Header plus one record per job; failed jobs leave `epol_kcal`
+    /// empty and fill `error`.
+    pub fn to_csv(&self) -> String {
+        let mut out = Self::csv_header();
+        out.push('\n');
+        for (i, r) in self.rows.iter().enumerate() {
+            let epol = if r.epol_kcal.is_finite() {
+                format!("{}", r.epol_kcal)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{i},{},{},{epol},{},{},{},{},{}\n",
+                csv_field(&r.name),
+                r.n_atoms,
+                r.cache_hit,
+                r.pair_ops,
+                r.far_ops,
+                r.wall_seconds,
+                csv_field(r.error.as_deref().unwrap_or("")),
+            ));
+        }
+        out
+    }
+}
+
 /// Quote a CSV field only when it needs quoting (comma, quote, newline).
 fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {

@@ -17,7 +17,7 @@ use crate::constants::tau;
 use crate::energy::exact as energy_exact;
 use crate::energy::octree::{epol_for_leaf_segment, EpolCtx};
 use crate::partition::even_segments;
-use crate::plan::InteractionPlan;
+use crate::plan::{InteractionPlan, PlanError};
 use crate::report::{SolveReport, StageReport, StealReport, TreeDepthStats};
 use crate::stats::WorkCounts;
 use polar_geom::{MathMode, Vec3};
@@ -61,6 +61,65 @@ pub struct GbResult {
     pub work_born: WorkCounts,
     /// Work done by the energy stage.
     pub work_epol: WorkCounts,
+}
+
+/// Reusable per-worker solve buffers — everything a plan-execute solve
+/// would otherwise allocate per call (Born partials, Born radii in both
+/// orders, the charge-bin histograms) lives here and is recycled across
+/// solves. One arena per batch worker; never shared between threads.
+pub struct SolveScratch {
+    partials: BornPartials,
+    born: Vec<f64>,
+    born_slot: Vec<f64>,
+    hist: Vec<f64>,
+    nonzero_bins: Vec<u32>,
+    /// Number of solves that have run out of this arena.
+    pub reuses: u64,
+}
+
+impl SolveScratch {
+    /// An empty arena; buffers grow to fit the first solve and are
+    /// recycled afterwards.
+    pub fn new() -> SolveScratch {
+        SolveScratch {
+            partials: BornPartials {
+                s_node: Vec::new(),
+                s_atom: Vec::new(),
+            },
+            born: Vec::new(),
+            born_slot: Vec::new(),
+            hist: Vec::new(),
+            nonzero_bins: Vec::new(),
+            reuses: 0,
+        }
+    }
+
+    /// Heap bytes currently held by the arena's buffers.
+    pub fn memory_bytes(&self) -> usize {
+        (self.partials.s_node.capacity()
+            + self.partials.s_atom.capacity()
+            + self.born.capacity()
+            + self.born_slot.capacity()
+            + self.hist.capacity())
+            * 8
+            + self.nonzero_bins.capacity() * 4
+    }
+
+    /// Zeroed Born partials sized for `tree`, reusing capacity.
+    fn partials_for(&mut self, tree: &Octree) -> &mut BornPartials {
+        let p = &mut self.partials;
+        p.s_node.clear();
+        p.s_node.resize(tree.node_count(), 0.0);
+        p.s_atom.clear();
+        p.s_atom.resize(tree.len(), 0.0);
+        p
+    }
+}
+
+impl Default for SolveScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// The prepared solver: molecule data + both octrees + q-point aggregates.
@@ -278,11 +337,31 @@ impl GbSolver {
     /// no tree traversal. Born radii are bitwise identical to
     /// [`GbSolver::solve`]; E_pol matches to machine precision.
     ///
-    /// The plan must have been built from *this* solver at the same ε
-    /// (asserted); geometry changes require re-planning.
-    pub fn solve_with_plan(&self, plan: &InteractionPlan, p: &GbParams) -> GbResult {
-        let (result, _, _) = self.solve_with_plan_timed(plan, p);
-        result
+    /// The plan must have been built from *this* solver at the same ε:
+    /// a cheap fingerprint check rejects foreign/stale plans with a
+    /// typed [`PlanError`] instead of silently computing wrong energies.
+    pub fn solve_with_plan(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+    ) -> Result<GbResult, PlanError> {
+        let (result, _, _) = self.solve_with_plan_timed(plan, p, &mut SolveScratch::new())?;
+        Ok(result)
+    }
+
+    /// As [`GbSolver::solve_with_plan`], but working out of a reusable
+    /// scratch arena: the Born partials, Born radii, slot permutation and
+    /// charge-bin histogram buffers all come from `scratch` and go back
+    /// into it, so repeated solves allocate nothing but the returned
+    /// result. This is the batch engine's per-worker fast path.
+    pub fn solve_with_plan_scratch(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+        scratch: &mut SolveScratch,
+    ) -> Result<GbResult, PlanError> {
+        let (result, _, _) = self.solve_with_plan_timed(plan, p, scratch)?;
+        Ok(result)
     }
 
     /// As [`GbSolver::solve_with_plan`], plus a [`SolveReport`]
@@ -291,56 +370,70 @@ impl GbSolver {
         &self,
         plan: &InteractionPlan,
         p: &GbParams,
-    ) -> (GbResult, SolveReport) {
-        let (result, born_s, epol_s) = self.solve_with_plan_timed(plan, p);
+    ) -> Result<(GbResult, SolveReport), PlanError> {
+        let (result, born_s, epol_s) =
+            self.solve_with_plan_timed(plan, p, &mut SolveScratch::new())?;
         let mut report = self.base_report("plan", p, &result, born_s, epol_s);
         report.plan = Some(plan.stats());
-        (result, report)
+        Ok((result, report))
     }
 
-    fn solve_with_plan_timed(&self, plan: &InteractionPlan, p: &GbParams) -> (GbResult, f64, f64) {
-        assert_eq!(
-            (plan.eps_born, plan.eps_epol),
-            (p.eps_born, p.eps_epol),
-            "plan was built for different approximation parameters"
-        );
+    fn solve_with_plan_timed(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+        scratch: &mut SolveScratch,
+    ) -> Result<(GbResult, f64, f64), PlanError> {
+        plan.check_compatible(self, p)?;
         let ctx = self.born_ctx();
         let t0 = std::time::Instant::now();
         let mut work_born = WorkCounts::ZERO;
-        let mut totals = BornPartials::zeros(&self.tree_a);
-        plan.execute_born_segment(
-            &ctx,
-            0..self.tree_q.leaves().len(),
-            &mut totals,
-            &mut work_born,
-        );
-        let mut born = vec![0.0; self.n_atoms()];
-        push_integrals_to_atoms(&ctx, &totals, 0..self.n_atoms(), p.math, &mut born);
+        let totals = scratch.partials_for(&self.tree_a);
+        plan.execute_born_segment(&ctx, 0..self.tree_q.leaves().len(), totals, &mut work_born);
+        let totals = &scratch.partials;
+        scratch.born.clear();
+        scratch.born.resize(self.n_atoms(), 0.0);
+        push_integrals_to_atoms(&ctx, totals, 0..self.n_atoms(), p.math, &mut scratch.born);
         let born_s = t0.elapsed().as_secs_f64();
 
         let t1 = std::time::Instant::now();
-        let ectx = EpolCtx::new(&self.tree_a, &self.charges, &born, p.eps_epol);
-        let born_slot = self.born_by_slot(&born);
+        let ectx = EpolCtx::new_reusing(
+            &self.tree_a,
+            &self.charges,
+            &scratch.born,
+            p.eps_epol,
+            std::mem::take(&mut scratch.hist),
+            std::mem::take(&mut scratch.nonzero_bins),
+        );
+        scratch.born_slot.clear();
+        scratch.born_slot.extend(
+            self.tree_a
+                .order()
+                .iter()
+                .map(|&o| scratch.born[o as usize]),
+        );
         let mut work_epol = WorkCounts::ZERO;
         let epol_kcal = plan.execute_epol_segment(
             &ectx,
-            &born_slot,
+            &scratch.born_slot,
             p.math,
             tau(p.eps_solvent),
             0..self.tree_a.leaves().len(),
             &mut work_epol,
         );
+        (scratch.hist, scratch.nonzero_bins) = ectx.into_buffers();
+        scratch.reuses += 1;
         let epol_s = t1.elapsed().as_secs_f64();
-        (
+        Ok((
             GbResult {
-                born,
+                born: scratch.born.clone(),
                 epol_kcal,
                 work_born,
                 work_epol,
             },
             born_s,
             epol_s,
-        )
+        ))
     }
 
     /// Permute original-order Born radii into Morton slot order — the
@@ -362,12 +455,8 @@ impl GbSolver {
         plan: &InteractionPlan,
         p: &GbParams,
         n_workers: usize,
-    ) -> (GbResult, SolveReport) {
-        assert_eq!(
-            (plan.eps_born, plan.eps_epol),
-            (p.eps_born, p.eps_epol),
-            "plan was built for different approximation parameters"
-        );
+    ) -> Result<(GbResult, SolveReport), PlanError> {
+        plan.check_compatible(self, p)?;
         let p = *p;
         let n_workers = n_workers.max(1);
         let ctx = self.born_ctx();
@@ -471,7 +560,7 @@ impl GbSolver {
         let mut report = self.base_report("plan_parallel", &p, &result, born_s, epol_s);
         report.steal = Some(StealReport::from(&steal));
         report.plan = Some(plan.stats());
-        (result, report)
+        Ok((result, report))
     }
 
     // ---------------------------------------------------------------

@@ -37,7 +37,7 @@ proptest! {
         };
         let recursive = s.solve(&p);
         let plan = s.plan(&p);
-        let planned = s.solve_with_plan(&plan, &p);
+        let planned = s.solve_with_plan(&plan, &p).expect("compatible plan");
 
         // Born radii replay the recursive accumulation order exactly.
         prop_assert_eq!(&planned.born, &recursive.born);
@@ -63,9 +63,9 @@ proptest! {
         let s = solver_for(n, seed);
         let p = GbParams::default();
         let plan = s.plan(&p);
-        let first = s.solve_with_plan(&plan, &p);
+        let first = s.solve_with_plan(&plan, &p).expect("compatible plan");
         for _ in 0..3 {
-            let again = s.solve_with_plan(&plan, &p);
+            let again = s.solve_with_plan(&plan, &p).expect("compatible plan");
             prop_assert_eq!(&again.born, &first.born);
             prop_assert_eq!(again.epol_kcal, first.epol_kcal);
         }
@@ -80,8 +80,9 @@ proptest! {
         let s = solver_for(n, seed);
         let p = GbParams::default();
         let plan = s.plan(&p);
-        let serial = s.solve_with_plan(&plan, &p);
-        let (par, report) = s.solve_with_plan_parallel_report(&plan, &p, workers);
+        let serial = s.solve_with_plan(&plan, &p).expect("compatible plan");
+        let (par, report) = s.solve_with_plan_parallel_report(&plan, &p, workers)
+            .expect("compatible plan");
         // Chunked execution merges per-chunk partials by addition, which
         // re-associates the per-qleaf sums — ulp-level, not bitwise.
         for (a, b) in par.born.iter().zip(&serial.born) {
@@ -103,11 +104,61 @@ fn plan_report_mode_and_stats_round_trip() {
     let s = solver_for(150, 7);
     let p = GbParams::default();
     let plan = s.plan(&p);
-    let (result, report) = s.solve_with_plan_report(&plan, &p);
+    let (result, report) = s
+        .solve_with_plan_report(&plan, &p)
+        .expect("compatible plan");
     assert_eq!(report.mode, "plan");
     assert_eq!(report.epol_kcal, result.epol_kcal);
     let stats = report.plan.expect("plan stats present");
     assert_eq!(stats.plan_bytes, plan.memory_bytes() as u64);
     assert!(report.to_json().contains("\"plan\":{"));
     assert_eq!(report.to_csv_row().split(',').count(), 41);
+}
+
+#[test]
+fn foreign_or_stale_plans_are_rejected_with_typed_errors() {
+    use polar_gb::PlanError;
+    let s = solver_for(150, 9);
+    let p = GbParams::default();
+    let plan = s.plan(&p);
+
+    // Same plan, different ε: epsilon mismatch, not wrong energies.
+    let shifted = GbParams {
+        eps_born: 0.5,
+        ..GbParams::default()
+    };
+    match s.solve_with_plan(&plan, &shifted) {
+        Err(PlanError::EpsilonMismatch { .. }) => {}
+        other => panic!("expected EpsilonMismatch, got {other:?}"),
+    }
+
+    // A plan built from a different molecule: geometry mismatch.
+    let other = solver_for(220, 10);
+    match other.solve_with_plan(&plan, &p) {
+        Err(PlanError::GeometryMismatch { .. }) => {}
+        ok => panic!("expected GeometryMismatch, got {ok:?}"),
+    }
+    assert!(other.solve_with_plan_parallel_report(&plan, &p, 2).is_err());
+    assert!(other.solve_with_plan_report(&plan, &p).is_err());
+
+    // Errors render a readable message naming both fingerprints.
+    let msg = plan.check_compatible(&other, &p).unwrap_err().to_string();
+    assert!(msg.contains("atoms"), "{msg}");
+}
+
+#[test]
+fn scratch_arena_solves_match_fresh_solves_bitwise() {
+    use polar_gb::SolveScratch;
+    let s = solver_for(180, 11);
+    let p = GbParams::default();
+    let plan = s.plan(&p);
+    let fresh = s.solve_with_plan(&plan, &p).unwrap();
+    let mut scratch = SolveScratch::new();
+    for round in 0..3 {
+        let reused = s.solve_with_plan_scratch(&plan, &p, &mut scratch).unwrap();
+        assert_eq!(reused.born, fresh.born, "round {round}");
+        assert_eq!(reused.epol_kcal, fresh.epol_kcal, "round {round}");
+    }
+    assert_eq!(scratch.reuses, 3);
+    assert!(scratch.memory_bytes() > 0);
 }

@@ -19,8 +19,10 @@
 pub mod atom;
 pub mod generators;
 pub mod io;
+pub mod manifest;
 pub mod molecule;
 pub mod registry;
 
 pub use atom::{Atom, Element};
+pub use manifest::{Manifest, ManifestJob};
 pub use molecule::Molecule;

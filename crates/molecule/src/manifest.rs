@@ -1,0 +1,520 @@
+//! Batch-job manifests: the input format of the batch rescoring engine.
+//!
+//! A manifest is a JSON file listing jobs, each naming a molecule source
+//! (a seeded synthetic generator or a structure file on disk) plus the
+//! approximation parameters to solve it with:
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     { "name": "lig_a", "generate": "globular", "n_atoms": 240,
+//!       "seed": 7, "eps_born": 0.4, "eps_epol": 0.4, "repeat": 4 },
+//!     { "file": "complex.pqr", "eps_born": 0.9 }
+//!   ]
+//! }
+//! ```
+//!
+//! `repeat` expands one entry into that many identical jobs — the
+//! docking re-scoring shape, where the same conformation is scored
+//! under many poses and the plan cache should hit. Omitted fields fall
+//! back to defaults (`eps_* = 0.9`, `repeat = 1`, `seed = 0`).
+//!
+//! The parser is a self-contained recursive-descent JSON reader (the
+//! workspace vendors no serde); malformed input surfaces as
+//! [`ParseError::Invalid`] with the offending key or byte offset.
+
+use crate::generators;
+use crate::io::{self, ParseError};
+use crate::molecule::Molecule;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Where a job's molecule comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// Seeded synthetic generator: `globular`, `virus_shell` or `ligand`.
+    Generate {
+        kind: String,
+        n_atoms: usize,
+        seed: u64,
+    },
+    /// A PQR/XYZ/PDB file, resolved relative to the manifest.
+    File(PathBuf),
+}
+
+/// One manifest entry, already expanded of its defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestJob {
+    /// Display name (defaults to the generator spec or file stem).
+    pub name: String,
+    pub source: JobSource,
+    pub eps_born: f64,
+    pub eps_epol: f64,
+    /// How many identical copies of this job to enqueue.
+    pub repeat: usize,
+}
+
+impl ManifestJob {
+    /// Materialize the molecule (generating or reading the file).
+    /// `base_dir` anchors relative file paths — pass the manifest's
+    /// parent directory.
+    pub fn build_molecule(&self, base_dir: &Path) -> Result<Molecule, ParseError> {
+        match &self.source {
+            JobSource::Generate {
+                kind,
+                n_atoms,
+                seed,
+            } => match kind.as_str() {
+                "globular" => Ok(generators::globular(self.name.clone(), *n_atoms, *seed)),
+                "virus_shell" => Ok(generators::virus_shell(
+                    self.name.clone(),
+                    *n_atoms,
+                    25.0,
+                    *seed,
+                )),
+                "ligand" => Ok(generators::ligand(self.name.clone(), *n_atoms, *seed)),
+                other => Err(ParseError::Invalid(format!(
+                    "job {:?}: unknown generator {other:?} (expected globular, virus_shell or ligand)",
+                    self.name
+                ))),
+            },
+            JobSource::File(p) => {
+                let path = if p.is_absolute() {
+                    p.clone()
+                } else {
+                    base_dir.join(p)
+                };
+                io::load(&path)
+            }
+        }
+    }
+}
+
+/// A parsed batch manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    pub jobs: Vec<ManifestJob>,
+}
+
+impl Manifest {
+    /// Total jobs after `repeat` expansion.
+    pub fn expanded_len(&self) -> usize {
+        self.jobs.iter().map(|j| j.repeat).sum()
+    }
+}
+
+/// Read and parse a manifest file.
+pub fn load_manifest(path: &Path) -> Result<Manifest, ParseError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ParseError::Io(e.to_string()))?;
+    parse_manifest(&text)
+}
+
+/// Parse manifest JSON text.
+pub fn parse_manifest(text: &str) -> Result<Manifest, ParseError> {
+    let value = Json::parse(text)?;
+    let root = value.as_object("manifest root")?;
+    let jobs_v = root
+        .get("jobs")
+        .ok_or_else(|| ParseError::Invalid("manifest has no \"jobs\" array".into()))?;
+    let entries = jobs_v.as_array("\"jobs\"")?;
+    if entries.is_empty() {
+        return Err(ParseError::Invalid("\"jobs\" is empty".into()));
+    }
+    let mut jobs = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        jobs.push(parse_job(e, i)?);
+    }
+    Ok(Manifest { jobs })
+}
+
+fn parse_job(v: &Json, index: usize) -> Result<ManifestJob, ParseError> {
+    let ctx = || format!("jobs[{index}]");
+    let obj = v.as_object(&ctx())?;
+    for key in obj.keys() {
+        match key.as_str() {
+            "name" | "generate" | "n_atoms" | "seed" | "file" | "eps_born" | "eps_epol"
+            | "repeat" => {}
+            other => {
+                return Err(ParseError::Invalid(format!(
+                    "{}: unknown key {other:?}",
+                    ctx()
+                )))
+            }
+        }
+    }
+    let source = match (obj.get("generate"), obj.get("file")) {
+        (Some(_), Some(_)) => {
+            return Err(ParseError::Invalid(format!(
+                "{}: both \"generate\" and \"file\" given",
+                ctx()
+            )))
+        }
+        (Some(g), None) => {
+            let kind = g.as_str(&format!("{}.generate", ctx()))?.to_string();
+            let n_atoms = match obj.get("n_atoms") {
+                Some(n) => n.as_usize(&format!("{}.n_atoms", ctx()))?,
+                None => {
+                    return Err(ParseError::Invalid(format!(
+                        "{}: \"generate\" requires \"n_atoms\"",
+                        ctx()
+                    )))
+                }
+            };
+            let seed = match obj.get("seed") {
+                Some(s) => s.as_usize(&format!("{}.seed", ctx()))? as u64,
+                None => 0,
+            };
+            JobSource::Generate {
+                kind,
+                n_atoms,
+                seed,
+            }
+        }
+        (None, Some(f)) => JobSource::File(PathBuf::from(f.as_str(&format!("{}.file", ctx()))?)),
+        (None, None) => {
+            return Err(ParseError::Invalid(format!(
+                "{}: needs \"generate\" or \"file\"",
+                ctx()
+            )))
+        }
+    };
+    let name = match obj.get("name") {
+        Some(n) => n.as_str(&format!("{}.name", ctx()))?.to_string(),
+        None => match &source {
+            JobSource::Generate {
+                kind,
+                n_atoms,
+                seed,
+            } => format!("{kind}_n{n_atoms}_s{seed}"),
+            JobSource::File(p) => p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| format!("job{index}")),
+        },
+    };
+    let eps_born = match obj.get("eps_born") {
+        Some(x) => x.as_f64(&format!("{}.eps_born", ctx()))?,
+        None => 0.9,
+    };
+    let eps_epol = match obj.get("eps_epol") {
+        Some(x) => x.as_f64(&format!("{}.eps_epol", ctx()))?,
+        None => 0.9,
+    };
+    for (key, eps) in [("eps_born", eps_born), ("eps_epol", eps_epol)] {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(ParseError::Invalid(format!(
+                "{}.{key}: must be a finite positive number, got {eps}",
+                ctx()
+            )));
+        }
+    }
+    let repeat = match obj.get("repeat") {
+        Some(r) => {
+            let r = r.as_usize(&format!("{}.repeat", ctx()))?;
+            if r == 0 {
+                return Err(ParseError::Invalid(format!(
+                    "{}.repeat: must be at least 1",
+                    ctx()
+                )));
+            }
+            r
+        }
+        None => 1,
+    };
+    Ok(ManifestJob {
+        name,
+        source,
+        eps_born,
+        eps_epol,
+        repeat,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, literals).
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, ParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(invalid(pos, "trailing content after the JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, ParseError> {
+        match self {
+            Json::Object(m) => Ok(m),
+            _ => Err(ParseError::Invalid(format!("{what} must be an object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], ParseError> {
+        match self {
+            Json::Array(v) => Ok(v),
+            _ => Err(ParseError::Invalid(format!("{what} must be an array"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, ParseError> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => Err(ParseError::Invalid(format!("{what} must be a string"))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, ParseError> {
+        match self {
+            Json::Number(x) => Ok(*x),
+            _ => Err(ParseError::Invalid(format!("{what} must be a number"))),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, ParseError> {
+        let x = self.as_f64(what)?;
+        if x < 0.0 || x.fract() != 0.0 || x > u32::MAX as f64 {
+            return Err(ParseError::Invalid(format!(
+                "{what} must be a non-negative integer, got {x}"
+            )));
+        }
+        Ok(x as usize)
+    }
+}
+
+fn invalid(pos: usize, what: &str) -> ParseError {
+    ParseError::Invalid(format!("manifest JSON, byte {pos}: {what}"))
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(invalid(*pos, &format!("unexpected byte {:?}", *c as char))),
+        None => Err(invalid(*pos, "unexpected end of input")),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, ParseError> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(invalid(*pos, &format!("expected {word:?}")))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|x| x.is_finite())
+        .map(Json::Number)
+        .ok_or_else(|| invalid(start, "malformed number"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| invalid(*pos, "invalid UTF-8"));
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b
+                    .get(*pos)
+                    .ok_or_else(|| invalid(*pos, "dangling escape"))?;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(*esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    _ => return Err(invalid(*pos, "unsupported escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+            None => return Err(invalid(*pos, "unterminated string")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(invalid(*pos, "expected a string key"));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(invalid(*pos, "expected ':' after key"));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => return Err(invalid(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(invalid(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_manifest_round_trips() {
+        let text = r#"{
+            "jobs": [
+                { "name": "lig_a", "generate": "globular", "n_atoms": 240,
+                  "seed": 7, "eps_born": 0.4, "eps_epol": 0.5, "repeat": 4 },
+                { "generate": "ligand", "n_atoms": 60 },
+                { "file": "structures/complex.pqr", "eps_born": 0.9 }
+            ]
+        }"#;
+        let m = parse_manifest(text).expect("valid manifest");
+        assert_eq!(m.jobs.len(), 3);
+        assert_eq!(m.expanded_len(), 6);
+        assert_eq!(m.jobs[0].name, "lig_a");
+        assert_eq!(m.jobs[0].eps_born, 0.4);
+        assert_eq!(m.jobs[0].repeat, 4);
+        assert_eq!(m.jobs[1].name, "ligand_n60_s0");
+        assert_eq!(m.jobs[1].eps_born, 0.9, "default epsilon");
+        assert_eq!(m.jobs[2].name, "complex");
+        assert_eq!(
+            m.jobs[2].source,
+            JobSource::File(PathBuf::from("structures/complex.pqr"))
+        );
+    }
+
+    #[test]
+    fn generated_jobs_build_deterministic_molecules() {
+        let job = ManifestJob {
+            name: "g".into(),
+            source: JobSource::Generate {
+                kind: "globular".into(),
+                n_atoms: 80,
+                seed: 3,
+            },
+            eps_born: 0.9,
+            eps_epol: 0.9,
+            repeat: 1,
+        };
+        let a = job.build_molecule(Path::new(".")).unwrap();
+        let b = job.build_molecule(Path::new(".")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 80);
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected_with_readable_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("{}", "jobs"),
+            (r#"{"jobs": []}"#, "empty"),
+            (r#"{"jobs": [{"n_atoms": 5}]}"#, "generate"),
+            (r#"{"jobs": [{"generate": "globular"}]}"#, "n_atoms"),
+            (
+                r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "file": "x"}]}"#,
+                "both",
+            ),
+            (
+                r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "repeat": 0}]}"#,
+                "repeat",
+            ),
+            (
+                r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "eps_born": -1}]}"#,
+                "eps_born",
+            ),
+            (
+                r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "typo": 1}]}"#,
+                "unknown key",
+            ),
+            (r#"{"jobs": [{"generate": 7, "n_atoms": 5}]}"#, "string"),
+            (r#"{"jobs"#, "byte"),
+        ];
+        for (text, needle) in cases {
+            let err = parse_manifest(text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_generator_is_rejected_at_build_time() {
+        let m = parse_manifest(r#"{"jobs": [{"generate": "wormhole", "n_atoms": 10}]}"#)
+            .expect("parse succeeds; kind checked at build");
+        let err = m.jobs[0].build_molecule(Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("wormhole"), "{err}");
+    }
+}

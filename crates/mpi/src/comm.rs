@@ -43,6 +43,13 @@ pub enum CommError {
         at_collective: u64,
         reason: String,
     },
+    /// The channel to a peer is gone — the peer announced its death or
+    /// hung up its endpoint — so the message can never be delivered.
+    Disconnected {
+        from: usize,
+        to: usize,
+        collective: String,
+    },
     /// No rank is left alive to act as a collective root.
     AllRanksDead,
 }
@@ -74,6 +81,14 @@ impl std::fmt::Display for CommError {
             } => write!(
                 f,
                 "rank {rank} died at collective {at_collective}: {reason}"
+            ),
+            CommError::Disconnected {
+                from,
+                to,
+                collective,
+            } => write!(
+                f,
+                "disconnected in {collective}: rank {from} cannot deliver to rank {to} (peer dead or hung up)"
             ),
             CommError::AllRanksDead => write!(f, "all ranks are dead; no collective can complete"),
         }
@@ -176,12 +191,35 @@ impl Comm {
         self.replicated_bytes
     }
 
-    /// Point-to-point send (non-blocking, buffered).
-    pub fn send(&mut self, to: usize, data: Vec<f64>) {
+    /// Point-to-point send (non-blocking, buffered). A peer that has
+    /// announced its death or hung up its endpoint surfaces as a
+    /// [`CommError::Disconnected`] naming sender, receiver, and
+    /// collective — never a panic.
+    pub fn send(&mut self, to: usize, data: Vec<f64>) -> Result<(), CommError> {
         assert!(to < self.size && to != self.rank, "bad destination {to}");
-        self.bytes_sent += (data.len() * 8) as u64;
-        self.sim_comm_seconds += self.network.p2p(data.len() * 8);
-        self.tx[to].send(data).expect("peer hung up");
+        let bytes = data.len() * 8;
+        self.checked_send(to, data, "send")?;
+        self.bytes_sent += bytes as u64;
+        self.sim_comm_seconds += self.network.p2p(bytes);
+        Ok(())
+    }
+
+    /// Deliver into `to`'s channel, converting a dead peer or a hung-up
+    /// endpoint into [`CommError::Disconnected`].
+    fn checked_send(
+        &mut self,
+        to: usize,
+        data: Vec<f64>,
+        collective: &str,
+    ) -> Result<(), CommError> {
+        if self.is_dead(to) || self.tx[to].send(data).is_err() {
+            return Err(CommError::Disconnected {
+                from: self.rank,
+                to,
+                collective: collective.to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Point-to-point receive. Blocks until a message arrives; if the
@@ -212,40 +250,71 @@ impl Comm {
         self.recv_timeout = timeout;
     }
 
-    /// Synchronize all ranks.
-    pub fn barrier(&mut self) {
+    /// Synchronize all ranks. A dead or silent peer surfaces as a
+    /// [`CommError`] naming the missing party — never a panic or hang.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
         self.sim_comm_seconds += self.network.barrier(self.size);
         if self.size == 1 {
-            return;
+            return Ok(());
         }
         // Gather-to-0 then broadcast (payload-free).
         if self.rank == 0 {
             for p in 1..self.size {
-                let _ = self.rx[p].recv().expect("barrier");
+                match self.poll_from(p, "barrier")? {
+                    Some(_) => {}
+                    None => {
+                        return Err(CommError::Disconnected {
+                            from: p,
+                            to: self.rank,
+                            collective: "barrier".to_string(),
+                        })
+                    }
+                }
             }
             for p in 1..self.size {
-                self.tx[p].send(Vec::new()).expect("barrier");
+                self.checked_send(p, Vec::new(), "barrier")?;
             }
         } else {
-            self.tx[0].send(Vec::new()).expect("barrier");
-            let _ = self.rx[0].recv().expect("barrier");
+            self.checked_send(0, Vec::new(), "barrier")?;
+            match self.poll_from(0, "barrier")? {
+                Some(_) => {}
+                None => {
+                    return Err(CommError::Disconnected {
+                        from: 0,
+                        to: self.rank,
+                        collective: "barrier".to_string(),
+                    })
+                }
+            }
         }
+        Ok(())
     }
 
-    /// Broadcast `buf` from rank 0 to everyone.
-    pub fn broadcast(&mut self, buf: &mut Vec<f64>) {
+    /// Broadcast `buf` from rank 0 to everyone. A dead root (or dead
+    /// receiver, seen from the root) is a [`CommError`], not a panic.
+    pub fn broadcast(&mut self, buf: &mut Vec<f64>) -> Result<(), CommError> {
         self.sim_comm_seconds += self.network.broadcast(buf.len() * 8, self.size);
         if self.size == 1 {
-            return;
+            return Ok(());
         }
         if self.rank == 0 {
             self.bytes_sent += (buf.len() * 8 * (self.size - 1)) as u64;
             for p in 1..self.size {
-                self.tx[p].send(buf.clone()).expect("broadcast");
+                self.checked_send(p, buf.clone(), "broadcast")?;
             }
         } else {
-            *buf = self.rx[0].recv().expect("broadcast");
+            match self.poll_from(0, "broadcast")? {
+                Some(m) => *buf = m,
+                None => {
+                    return Err(CommError::Disconnected {
+                        from: 0,
+                        to: self.rank,
+                        collective: "broadcast".to_string(),
+                    })
+                }
+            }
         }
+        Ok(())
     }
 
     /// Element-wise sum of every rank's `buf`; all ranks end with the
@@ -820,7 +889,7 @@ mod tests {
             } else {
                 Vec::new()
             };
-            c.broadcast(&mut v);
+            c.broadcast(&mut v).expect("all ranks alive");
             v
         });
         for v in out {
@@ -841,7 +910,7 @@ mod tests {
         let out = Universe::run(4, net(), |c| {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
-            c.send(next, vec![c.rank() as f64]);
+            c.send(next, vec![c.rank() as f64]).expect("peer alive");
             c.recv(prev).expect("ring neighbour sent")[0]
         });
         assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
@@ -851,7 +920,7 @@ mod tests {
     fn barrier_completes_and_charges_time() {
         let out = Universe::run(3, net(), |c| {
             for _ in 0..5 {
-                c.barrier();
+                c.barrier().expect("all ranks alive");
             }
             c.sim_comm_seconds()
         });
@@ -865,7 +934,7 @@ mod tests {
         let out = Universe::run(1, net(), |c| {
             let mut v = vec![3.0];
             c.allreduce_sum(&mut v);
-            c.barrier();
+            c.barrier().expect("single rank");
             let g = c.allgather(&[1.0, 2.0]);
             (v[0], g)
         });
@@ -909,6 +978,83 @@ mod tests {
         assert!(
             msg.contains("rank 1") && msg.contains("rank 0") && msg.contains("born_allreduce"),
             "{msg}"
+        );
+    }
+
+    #[test]
+    fn send_to_dead_peer_errors_instead_of_panicking() {
+        // Satellite invariant: a point-to-point send toward a rank that
+        // announced its death comes back as a structured Disconnected
+        // error naming sender, receiver, and collective — not a panic.
+        let out = Universe::run(2, net(), |c| {
+            if c.rank() == 1 {
+                let _ = c.ft_abort("simulated local failure");
+                None
+            } else {
+                while !c.is_dead(1) {
+                    std::thread::yield_now();
+                }
+                Some(c.send(1, vec![1.0, 2.0]))
+            }
+        });
+        let err = out[0].clone().unwrap().unwrap_err();
+        assert_eq!(
+            err,
+            CommError::Disconnected {
+                from: 0,
+                to: 1,
+                collective: "send".into()
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("rank 0") && msg.contains("rank 1") && msg.contains("send"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn barrier_with_dead_peer_errors_instead_of_hanging() {
+        let out = Universe::run(2, net(), |c| {
+            if c.rank() == 1 {
+                let _ = c.ft_abort("simulated crash before barrier");
+                None
+            } else {
+                c.set_recv_timeout(Duration::from_millis(200));
+                Some(c.barrier())
+            }
+        });
+        assert_eq!(
+            out[0].clone().unwrap(),
+            Err(CommError::Disconnected {
+                from: 1,
+                to: 0,
+                collective: "barrier".into()
+            })
+        );
+    }
+
+    #[test]
+    fn broadcast_to_dead_peer_errors_instead_of_panicking() {
+        let out = Universe::run(2, net(), |c| {
+            if c.rank() == 1 {
+                let _ = c.ft_abort("simulated crash before broadcast");
+                None
+            } else {
+                while !c.is_dead(1) {
+                    std::thread::yield_now();
+                }
+                let mut v = vec![9.0];
+                Some(c.broadcast(&mut v))
+            }
+        });
+        assert_eq!(
+            out[0].clone().unwrap(),
+            Err(CommError::Disconnected {
+                from: 0,
+                to: 1,
+                collective: "broadcast".into()
+            })
         );
     }
 

@@ -47,7 +47,7 @@ proptest! {
         let payload2 = payload.clone();
         let out = Universe::run(ranks, NetworkModel::free(), move |c| {
             let mut v = if c.rank() == 0 { payload2.clone() } else { Vec::new() };
-            c.broadcast(&mut v);
+            c.broadcast(&mut v).expect("all ranks alive");
             v
         });
         for v in out {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Measure the batch rescoring engine (LRU plan cache + scratch arenas)
+# and refresh results/BENCH_batch.json plus the warm-run BatchReport
+# artifact results/BATCH_report.json.
+#
+# Usage:  POLAR_SCALE=quick|default|full scripts/bench_batch.sh
+#
+# quick   — CI smoke sizes (~400-atom poses, seconds),
+# default — ~1.5k-atom poses,
+# full    — ~4k-atom poses.
+#
+# The binary exits non-zero if the warm-cache batched run is not at
+# least 1.5x faster than per-molecule fresh solves, or if cached
+# results drift from fresh ones (Born bitwise, E_pol to 1e-12).
+
+set -eu
+cd "$(dirname "$0")/.."
+export POLAR_SCALE="${POLAR_SCALE:-default}"
+
+cargo build --release -p polar-bench --bin bench_batch
+echo "POLAR_SCALE=$POLAR_SCALE"
+./target/release/bench_batch
