@@ -1,26 +1,35 @@
 //! Kernel-engine perf tracking: measure the plan+execute trade-off on
 //! real molecule sizes and persist `results/BENCH_kernels.json`.
 //!
-//! For each molecule the binary times four quantities (median of
+//! For each molecule the binary times five quantities (median of
 //! `iters` runs each):
 //!
 //! * `plan_build_seconds` — both separation traversals plus flat-list
 //!   materialization (the one-time cost),
-//! * `execute_seconds` — a full solve replayed from the SoA lists,
-//! * `replan_solve_seconds` — plan + execute, what a caller pays when
-//!   every solve re-plans,
+//! * `execute_seconds` — a full solve replayed from the SoA lists with
+//!   the default lane (vectorized) kernels,
+//! * `execute_strict_seconds` — the same replay on the scalar strict-fp
+//!   reference kernels (`--strict-fp`),
+//! * `replan_solve_seconds` — plan + lane execute, what a caller pays
+//!   when every solve re-plans,
 //! * `recursive_solve_seconds` — the fused traverse-and-evaluate
 //!   baseline.
 //!
-//! `plan_reuse_speedup = replan_solve_seconds / execute_seconds` is the
-//! headline number: how much faster the steady state is once the plan is
-//! amortized (the paper's ZDock repeated-rescoring workload).
+//! Two headline ratios: `plan_reuse_speedup = replan_solve_seconds /
+//! execute_seconds` (how much faster the steady state is once the plan
+//! is amortized — the paper's ZDock repeated-rescoring workload) and
+//! `execute_speedup = execute_strict_seconds / execute_seconds` (what
+//! the lane kernels buy over the scalar reference on the execute
+//! phase). Each row also records the accuracy contract the CI gate
+//! enforces: `strict_born_bitwise` (strict-fp Born radii replay the
+//! recursive solver bit-for-bit) and `lane_epol_rel_err` (lane E_pol
+//! drift vs the recursive solve, bounded by 1e-12).
 //!
 //! Sizes follow `POLAR_SCALE` (quick ≈ 1.2k/2.5k atoms for CI smoke,
 //! default adds a ≥5k-atom molecule, full adds ~12k).
 
 use polar_bench::{fmt_bytes, fmt_secs, Scale, Table};
-use polar_gb::{GbParams, GbSolver};
+use polar_gb::{GbParams, GbSolver, KernelMode};
 use polar_molecule::generators;
 use polar_surface::SurfaceConfig;
 use std::fmt::Write as _;
@@ -46,9 +55,13 @@ struct Row {
     iters: usize,
     plan_build_seconds: f64,
     execute_seconds: f64,
+    execute_strict_seconds: f64,
+    execute_speedup: f64,
     replan_solve_seconds: f64,
     recursive_solve_seconds: f64,
     plan_reuse_speedup: f64,
+    strict_born_bitwise: bool,
+    lane_epol_rel_err: f64,
     plan_memory_bytes: u64,
     born_near_entries: u64,
     born_far_entries: u64,
@@ -59,7 +72,11 @@ struct Row {
 fn measure(n: usize, iters: usize) -> Row {
     let mol = generators::globular(format!("globule_n{n}"), n, 47);
     let solver = GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &Default::default());
-    let params = GbParams::default();
+    let lane = GbParams::default();
+    let strict = GbParams {
+        kernel: KernelMode::Strict,
+        ..GbParams::default()
+    };
     eprintln!(
         "[bench_kernels] {}: {} atoms, {} q-points, {iters} iters",
         mol.name,
@@ -67,34 +84,54 @@ fn measure(n: usize, iters: usize) -> Row {
         solver.n_qpoints()
     );
 
-    // Warm up caches and page in the solver before timing anything.
-    let reference = solver.solve(&params);
-    let plan = solver.plan(&params);
-    let planned = solver
-        .solve_with_plan(&plan, &params)
+    // Warm up caches and page in the solver before timing anything, and
+    // check the two accuracy contracts while we're at it.
+    let reference = solver.solve(&strict);
+    let plan = solver.plan(&lane);
+    let strict_planned = solver
+        .solve_with_plan(&plan, &strict)
         .expect("compatible plan");
-    assert_eq!(planned.born, reference.born, "plan must replay the solve");
+    let strict_born_bitwise = strict_planned.born == reference.born;
+    assert!(
+        strict_born_bitwise,
+        "strict-fp plan execution must replay the recursive solve bitwise"
+    );
+    let lane_planned = solver
+        .solve_with_plan(&plan, &lane)
+        .expect("compatible plan");
+    let lane_epol_rel_err =
+        ((lane_planned.epol_kcal - reference.epol_kcal) / reference.epol_kcal).abs();
+    assert!(
+        lane_epol_rel_err <= 1e-12,
+        "lane E_pol drifted by {lane_epol_rel_err:e}"
+    );
 
-    let plan_build_seconds = median_secs(iters, || solver.plan(&params));
-    let execute_seconds = median_secs(iters, || solver.solve_with_plan(&plan, &params).unwrap());
+    let plan_build_seconds = median_secs(iters, || solver.plan(&lane));
+    let execute_seconds = median_secs(iters, || solver.solve_with_plan(&plan, &lane).unwrap());
+    let execute_strict_seconds =
+        median_secs(iters, || solver.solve_with_plan(&plan, &strict).unwrap());
     let replan_solve_seconds = median_secs(iters, || {
-        let p = solver.plan(&params);
-        solver.solve_with_plan(&p, &params).unwrap()
+        let p = solver.plan(&lane);
+        solver.solve_with_plan(&p, &lane).unwrap()
     });
-    let recursive_solve_seconds = median_secs(iters, || solver.solve(&params));
+    let recursive_solve_seconds = median_secs(iters, || solver.solve(&lane));
 
     let stats = plan.stats();
     Row {
         molecule: mol.name.clone(),
         n_atoms: solver.n_atoms(),
         n_qpoints: solver.n_qpoints(),
-        eps: params.eps_born,
+        eps: lane.eps_born,
         iters,
         plan_build_seconds,
         execute_seconds,
+        execute_strict_seconds,
+        execute_speedup: execute_strict_seconds / execute_seconds,
         replan_solve_seconds,
         recursive_solve_seconds,
         plan_reuse_speedup: replan_solve_seconds / execute_seconds,
+        strict_born_bitwise,
+        lane_epol_rel_err,
         plan_memory_bytes: stats.plan_bytes,
         born_near_entries: stats.born_near_entries,
         born_far_entries: stats.born_far_entries,
@@ -123,7 +160,8 @@ fn main() {
             "atoms",
             "plan",
             "execute",
-            "replan+exec",
+            "strict exec",
+            "kernel x",
             "recursive",
             "reuse x",
             "plan mem",
@@ -134,7 +172,8 @@ fn main() {
             r.n_atoms.to_string(),
             fmt_secs(r.plan_build_seconds),
             fmt_secs(r.execute_seconds),
-            fmt_secs(r.replan_solve_seconds),
+            fmt_secs(r.execute_strict_seconds),
+            format!("{:.2}", r.execute_speedup),
             fmt_secs(r.recursive_solve_seconds),
             format!("{:.2}", r.plan_reuse_speedup),
             fmt_bytes(r.plan_memory_bytes as f64),
@@ -143,7 +182,7 @@ fn main() {
     t.emit();
 
     // Persist the machine-readable record the CI job uploads.
-    let mut json = String::from("{\"schema\":\"bench_kernels/v1\",\"rows\":[");
+    let mut json = String::from("{\"schema\":\"bench_kernels/v2\",\"rows\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -152,8 +191,10 @@ fn main() {
             json,
             "{{\"molecule\":\"{}\",\"n_atoms\":{},\"n_qpoints\":{},\"eps\":{},\
              \"iters\":{},\"plan_build_seconds\":{:.6e},\"execute_seconds\":{:.6e},\
+             \"execute_strict_seconds\":{:.6e},\"execute_speedup\":{:.4},\
              \"replan_solve_seconds\":{:.6e},\"recursive_solve_seconds\":{:.6e},\
-             \"plan_reuse_speedup\":{:.4},\"plan_memory_bytes\":{},\
+             \"plan_reuse_speedup\":{:.4},\"strict_born_bitwise\":{},\
+             \"lane_epol_rel_err\":{:e},\"plan_memory_bytes\":{},\
              \"born_near_entries\":{},\"born_far_entries\":{},\
              \"epol_near_entries\":{},\"epol_far_entries\":{}}}",
             r.molecule,
@@ -163,9 +204,13 @@ fn main() {
             r.iters,
             r.plan_build_seconds,
             r.execute_seconds,
+            r.execute_strict_seconds,
+            r.execute_speedup,
             r.replan_solve_seconds,
             r.recursive_solve_seconds,
             r.plan_reuse_speedup,
+            r.strict_born_bitwise,
+            r.lane_epol_rel_err,
             r.plan_memory_bytes,
             r.born_near_entries,
             r.born_far_entries,

@@ -28,6 +28,11 @@ fn params_from(a: &Args) -> Result<GbParams, ArgError> {
         } else {
             MathMode::Exact
         },
+        kernel: if a.flag("strict-fp") {
+            polar_gb::KernelMode::Strict
+        } else {
+            polar_gb::KernelMode::Lane
+        },
         ..GbParams::default()
     })
 }
@@ -233,12 +238,17 @@ pub fn batch(a: &Args) -> CmdResult {
             }
         }
     }
+    // hit_rate() is NaN for a zero-job batch; print "n/a" rather than NaN%.
+    let hit_rate = if report.hit_rate().is_finite() {
+        format!("{:.0}%", 100.0 * report.hit_rate())
+    } else {
+        "n/a".to_string()
+    };
     eprintln!(
-        "batch done: {}/{} ok, hit rate {:.0}%, {} evictions, {:.1} MB cached, \
+        "batch done: {}/{} ok, hit rate {hit_rate}, {} evictions, {:.1} MB cached, \
          {} arena reuses, {:.2}s",
         report.succeeded,
         report.jobs,
-        100.0 * report.hit_rate(),
         report.cache_evictions,
         report.cache_bytes_held as f64 / 1048576.0,
         report.arena_reuses,

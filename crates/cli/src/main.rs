@@ -36,7 +36,14 @@ const VALUE_OPTS: &[&str] = &[
     "manifest",
     "cache-mb",
 ];
-const BOOL_FLAGS: &[&str] = &["approx-math", "parallel", "naive", "data-dist", "plan"];
+const BOOL_FLAGS: &[&str] = &[
+    "approx-math",
+    "parallel",
+    "naive",
+    "data-dist",
+    "plan",
+    "strict-fp",
+];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +87,8 @@ USAGE:
   polar energy <file>       compute E_pol (octree, eps = 0.9/0.9 default)
       --eps-born E --eps-epol E   approximation parameters
       --approx-math               fast sqrt/exp/cbrt kernels
+      --strict-fp                 scalar strict-fp plan execution (the
+                                  lane-kernel fast path is the default)
       --parallel                  shared-memory (OCT_CILK) driver
       --naive                     also run the O(M^2) reference + error
       --profile json|csv          print a structured SolveReport to stdout

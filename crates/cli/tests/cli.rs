@@ -351,7 +351,7 @@ fn batch_csv_profile_has_one_row_per_job() {
     let csv = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 3, "{csv}");
-    assert!(lines[0].starts_with("job,name,n_atoms,epol_kcal,cache_hit"));
+    assert!(lines[0].starts_with("job,name,n_atoms,kernel_mode,epol_kcal,cache_hit"));
 }
 
 #[test]

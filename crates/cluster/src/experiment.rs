@@ -261,6 +261,8 @@ impl ClusterExperiment {
         SolveReport {
             molecule: molecule.to_string(),
             mode: "cluster_sim".to_string(),
+            // The simulator replays work units; no kernel arithmetic runs.
+            kernel_mode: "strict".to_string(),
             n_atoms: (self.born_bytes / 8) as usize,
             n_qpoints: 0,
             eps_born,
@@ -577,7 +579,7 @@ mod tests {
         assert_eq!(comm.replicated_bytes, 4 * e.data_bytes);
         // NaN energy serializes as JSON null, and the row stays parseable.
         assert!(r.to_json().contains("\"epol_kcal\":null"));
-        assert_eq!(r.to_csv_row().split(',').count(), 41);
+        assert_eq!(r.to_csv_row().split(',').count(), 42);
     }
 
     #[test]

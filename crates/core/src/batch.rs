@@ -502,6 +502,7 @@ impl BatchEngine {
                     BatchJobRow {
                         name: job.molecule.name.clone(),
                         n_atoms: job.molecule.len(),
+                        kernel_mode: job.params.kernel.label().to_string(),
                         epol_kcal: result.epol_kcal,
                         cache_hit: *cache_hit,
                         pair_ops: result.work_born.pair_ops + result.work_epol.pair_ops,
@@ -513,6 +514,7 @@ impl BatchEngine {
                 BatchOutcome::Failed { error } => BatchJobRow {
                     name: job.molecule.name.clone(),
                     n_atoms: job.molecule.len(),
+                    kernel_mode: job.params.kernel.label().to_string(),
                     epol_kcal: f64::NAN,
                     cache_hit: false,
                     pair_ops: 0,
@@ -570,6 +572,7 @@ fn contained<T>(contain: bool, f: impl FnOnce() -> Result<T, String>) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::KernelMode;
     use polar_molecule::generators;
 
     fn jobs_of(geometries: &[(usize, u64)], repeat: usize) -> Vec<BatchJob> {
@@ -579,6 +582,16 @@ mod tests {
                 let mol = generators::globular(format!("g{n}_{seed}"), n, seed);
                 jobs.push(BatchJob::new(mol, GbParams::default()));
             }
+        }
+        jobs
+    }
+
+    /// Same manifest, forced onto the scalar strict-fp kernels — the
+    /// mode whose contract against the recursive solver is *bitwise*.
+    fn jobs_strict(geometries: &[(usize, u64)], repeat: usize) -> Vec<BatchJob> {
+        let mut jobs = jobs_of(geometries, repeat);
+        for j in &mut jobs {
+            j.params.kernel = KernelMode::Strict;
         }
         jobs
     }
@@ -598,7 +611,7 @@ mod tests {
 
     #[test]
     fn repeated_geometries_hit_the_cache_and_match_fresh_solves() {
-        let jobs = jobs_of(&[(120, 1), (150, 2)], 3); // 6 jobs, 2 geometries
+        let jobs = jobs_strict(&[(120, 1), (150, 2)], 3); // 6 jobs, 2 geometries
         let mut engine = BatchEngine::new(64 << 20, 2);
         let (outcomes, report) = engine.run(&jobs);
         assert_eq!(report.jobs, 6);
@@ -630,6 +643,30 @@ mod tests {
     }
 
     #[test]
+    fn lane_kernel_batches_track_recursive_solves_to_machine_precision() {
+        // Default (lane) jobs: E_pol stays within the lane accuracy
+        // contract of the recursive reference, and rows say so.
+        let jobs = jobs_of(&[(120, 1), (150, 2)], 2);
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        let (outcomes, report) = engine.run(&jobs);
+        assert_eq!(report.succeeded, jobs.len());
+        for row in &report.rows {
+            assert_eq!(row.kernel_mode, "lane");
+        }
+        for (job, out) in jobs.iter().zip(&outcomes) {
+            let result = out.result().expect("job succeeded");
+            let solver = GbSolver::for_molecule(
+                &job.molecule,
+                &SurfaceConfig::coarse(),
+                &OctreeConfig::default(),
+            );
+            let fresh = solver.solve(&job.params);
+            let rel = (result.epol_kcal - fresh.epol_kcal).abs() / fresh.epol_kcal.abs();
+            assert!(rel <= 1e-12, "{}: {rel}", job.molecule.name);
+        }
+    }
+
+    #[test]
     fn lru_evicts_at_byte_capacity() {
         // Capacity fits roughly one plan: alternating geometries force
         // evictions, and the evicted key re-misses on the next batch.
@@ -653,7 +690,7 @@ mod tests {
 
     #[test]
     fn panicking_job_fails_alone_and_siblings_survive() {
-        let mut jobs = jobs_of(&[(120, 1), (140, 2), (160, 3)], 1);
+        let mut jobs = jobs_strict(&[(120, 1), (140, 2), (160, 3)], 1);
         // ε ≤ 0 trips the separation-factor assertion inside the worker:
         // a genuine panic on every attempt.
         let poison = BatchJob::new(
@@ -717,6 +754,9 @@ mod tests {
         assert!(json.contains("\"cache_hit_rate\":0.5"));
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 3); // header + 2 rows
-        assert!(csv.starts_with("job,name,n_atoms,"));
+        assert!(csv.starts_with("job,name,n_atoms,kernel_mode,"));
+        for row in &report.rows {
+            assert_eq!(row.kernel_mode, "lane"); // batch default
+        }
     }
 }

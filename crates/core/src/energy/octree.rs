@@ -88,6 +88,15 @@ impl BinScheme {
     pub fn radius_product(&self, i: usize, j: usize) -> f64 {
         self.r_min * self.r_min * ((i + j) as f64 * self.log1e).exp()
     }
+
+    /// Representative radius of bin `i`: `R_min(1+ε)^i`. The lane far
+    /// kernel gathers these per nonzero bin so `R_i·R_j` factorizes into
+    /// a lane product (agrees with [`BinScheme::radius_product`] to one
+    /// rounding).
+    #[inline]
+    pub fn bin_radius(&self, i: usize) -> f64 {
+        self.r_min * (i as f64 * self.log1e).exp()
+    }
 }
 
 /// Prepared inputs for the E_pol traversal: the binning scheme plus one
@@ -103,6 +112,14 @@ pub struct EpolCtx<'a> {
     hist: Vec<f64>,
     /// Per-node total |q| (quick emptiness check for bins loops).
     nonzero_bins: Vec<u32>,
+    /// Compacted nonzero-bin rows for the lane far kernel, concatenated
+    /// over nodes and padded per node to a `LANE_WIDTH` multiple:
+    /// charges (pad 0), representative radii (pad 1) and radius
+    /// reciprocals (pad 1). `coff[id]..coff[id+1]` is node `id`'s row.
+    cq: Vec<f64>,
+    cr: Vec<f64>,
+    cri: Vec<f64>,
+    coff: Vec<u32>,
 }
 
 impl<'a> EpolCtx<'a> {
@@ -155,6 +172,38 @@ impl<'a> EpolCtx<'a> {
                 .filter(|&&q| q != 0.0)
                 .count() as u32
         }));
+        // Compact every histogram once, up front: the far stage of the
+        // execute phase reads each node's row once per far entry, and
+        // rescanning 256 mostly-zero bins there costs more than the
+        // whole STILL evaluation.
+        let lane = crate::kernels::LANE_WIDTH;
+        let total: usize = nonzero_bins
+            .iter()
+            .map(|&n| (n as usize).div_ceil(lane) * lane)
+            .sum();
+        let mut cq = Vec::with_capacity(total);
+        let mut cr = Vec::with_capacity(total);
+        let mut cri = Vec::with_capacity(total);
+        let mut coff = Vec::with_capacity(tree.node_count() + 1);
+        coff.push(0u32);
+        for id in 0..tree.node_count() {
+            for (k, &c) in hist[id * nb..(id + 1) * nb].iter().enumerate() {
+                if c != 0.0 {
+                    let r = bins.bin_radius(k);
+                    cq.push(c);
+                    cr.push(r);
+                    cri.push(1.0 / r);
+                }
+            }
+            // Rows start lane-aligned, so padding to a multiple of the
+            // global length lane-pads this row.
+            while cq.len() % lane != 0 {
+                cq.push(0.0);
+                cr.push(1.0);
+                cri.push(1.0);
+            }
+            coff.push(cq.len() as u32);
+        }
         EpolCtx {
             tree,
             charges,
@@ -162,6 +211,10 @@ impl<'a> EpolCtx<'a> {
             bins,
             hist,
             nonzero_bins,
+            cq,
+            cr,
+            cri,
+            coff,
         }
     }
 
@@ -182,9 +235,24 @@ impl<'a> EpolCtx<'a> {
         self.nonzero_bins[id as usize]
     }
 
+    /// One node's compacted nonzero-bin row, padded to a `LANE_WIDTH`
+    /// multiple with charge 0 / radius 1: `(charges, radii, radius
+    /// reciprocals)`. The first [`EpolCtx::nonzero_bin_count`] entries
+    /// are real — the V-side contract of
+    /// [`crate::kernels::epol_far_compact`] wants the padded slices, the
+    /// U side the real prefix.
+    #[inline]
+    pub fn compact_row(&self, id: NodeId) -> (&[f64], &[f64], &[f64]) {
+        let (s, e) = (
+            self.coff[id as usize] as usize,
+            self.coff[id as usize + 1] as usize,
+        );
+        (&self.cq[s..e], &self.cr[s..e], &self.cri[s..e])
+    }
+
     /// Histogram memory in bytes (for space accounting).
     pub fn memory_bytes(&self) -> usize {
-        self.hist.len() * 8 + self.nonzero_bins.len() * 4
+        (self.hist.len() + 3 * self.cq.len()) * 8 + (self.nonzero_bins.len() + self.coff.len()) * 4
     }
 
     /// Recover the histogram buffers so a scratch arena can hand them to

@@ -1,0 +1,2228 @@
+//! Hand-unrolled SIMD-lane kernels for the plan execute phase.
+//!
+//! The flat interaction lists built by [`crate::plan::InteractionPlan`]
+//! turn the two hot traversals into dense block loops — exactly the shape
+//! explicit f64 lanes want. This module supplies those lanes:
+//!
+//! * a [`Lane`]`<W>` type with hand-unrolled mul/add/fma element ops that
+//!   LLVM lowers to packed vector instructions,
+//! * `lane_rsqrt` — the bit-trick seed of
+//!   [`polar_geom::fast_rsqrt`] refined by **four** Newton steps, which
+//!   converges to ~2 ulp (exact-grade, unlike the 2-step approximate-math
+//!   variant) and replaces the `sqrt`+`div` pair in both hot loops,
+//! * `lane_exp` — an exact-grade (≈1 e−15 relative) vectorizable `exp`:
+//!   magic-shift rounding to split `x = k·ln2 + r`, a degree-12 Taylor
+//!   polynomial on `|r| ≤ ln2/2`, and a bit-assembled `2^k` scale,
+//! * the block kernels the execute phase runs: [`born_near_gather`]
+//!   (descreening integrals of a q-leaf group's gathered atom slots),
+//!   [`born_far_r6_entries`] (R6 pseudo-q-point terms over a far node-id
+//!   list), [`epol_near_gather`]/[`epol_near_block_pre`] (STILL pair
+//!   sums of U-leaf × V-leaf blocks) and [`epol_far_compact`] (binned-
+//!   charge node-node interaction over precompacted histogram rows).
+//!   [`born_near_block`]/[`epol_near_block`]/[`epol_far_entry`] are the
+//!   slice-level entry points the tests exercise.
+//!
+//! ## Dispatch
+//!
+//! Public kernels run 8 lanes wide ([`LANE_WIDTH`]) and pick the widest
+//! ISA tier once at runtime: AVX-512F (`avx512` module — one `__m512d`
+//! per lane, hardware `rsqrt14`/`rcp14` seeds, `vgatherdpd` indexed
+//! loads, mask registers for ragged tails), then AVX2+FMA (`avx2`
+//! module — one 8-wide lane = two `__m256d` halves), then the portable
+//! generic [`Lane`] bodies (LLVM does not reliably vectorize them, and
+//! `mul_add` off the FMA units is a libm call, so the generic tier
+//! avoids FMA contraction entirely). The hot kernels are division-free:
+//! Born radii and bin radii stream in with precomputed reciprocals, and
+//! in-kernel divisions become seeded Newton reciprocals.
+//!
+//! ## Accuracy contract and summation order
+//!
+//! Lane kernels are *not* bitwise-reproducible against the scalar
+//! reference loops ([`KernelMode::Strict`] in [`crate::plan`]): each
+//! W-wide accumulator re-associates the sum, and FMA contracts rounding
+//! steps. They are exact-grade — every elementary term is computed to a
+//! few ulp — so planned energies stay within 1 e−12 relative of the
+//! recursive reference (asserted by tests and the CI bench floor).
+//! Within one build on one machine the kernels are deterministic: the
+//! dispatch tier is fixed per process, lanes accumulate in slot order
+//! and horizontal sums reduce lanes low → high, so a given machine
+//! always produces the same bits (different ISA tiers may differ at the
+//! ulp level — determinism is per build *per machine*). `LANE_WIDTH` is
+//! part of that contract — changing it silently would reorder reductions
+//! between releases, which is why `width_is_pinned` locks it.
+//!
+//! ## Masked tails
+//!
+//! Ragged block edges are padded to a full lane instead of peeling a
+//! scalar loop: positions replicate the last valid element (keeping the
+//! arithmetic in range — no 0/0), while charges/weights pad with 0 so
+//! padded terms vanish. The Born kernel additionally clamps `r²` away
+//! from the subnormal range and masks on the same `r² > 1e-12` guard as
+//! the scalar kernel, so coincident atom/q-point pairs contribute an
+//! exact 0.0 rather than a garbage `inf·0`.
+
+use crate::born::octree::QDipole;
+use crate::energy::octree::BinScheme;
+
+/// Which arithmetic the plan execute phase runs. Selected per solve via
+/// [`crate::solver::GbParams::kernel`] (CLI: `--strict-fp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Hand-vectorized 8-wide f64 lane kernels (AVX2+FMA when the CPU
+    /// has them). Exact-grade: E_pol within 1 e−12 relative of the
+    /// scalar reference; Born radii differ only at the ulp level.
+    #[default]
+    Lane,
+    /// The scalar reference loops — bitwise-identical Born partials and
+    /// ulp-identical E_pol against the recursive traversals, at scalar
+    /// speed. The reproducibility baseline every lane result is tested
+    /// against.
+    Strict,
+}
+
+impl KernelMode {
+    /// Stable label used by reports and the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Lane => "lane",
+            KernelMode::Strict => "strict",
+        }
+    }
+}
+
+/// Lane width of the dispatched kernels. Pinned: widening or narrowing
+/// this re-associates every lane reduction (see module docs).
+pub const LANE_WIDTH: usize = 8;
+
+/// `r²` guard shared with the scalar Born kernel: nearer pairs are
+/// coincident surface points and contribute exactly 0.
+const R2_GUARD: f64 = 1e-12;
+/// Clamp floor applied before `lane_rsqrt` in the Born kernel so masked
+/// (sub-guard) lanes stay in the normal range instead of overflowing.
+const R2_FLOOR: f64 = 1e-30;
+
+/// Compile-time FMA selection for the generic kernel bodies.
+trait Isa: Copy {
+    const HAS_FMA: bool;
+}
+
+/// Portable fallback: `a*b + c` as two rounded ops — never `mul_add`,
+/// which is a (slow) libm call without hardware FMA. (The dispatched
+/// x86 path uses explicit intrinsics in the `avx2` module instead of
+/// instantiating the generic bodies with an FMA ISA.)
+#[derive(Clone, Copy)]
+struct PlainIsa;
+impl Isa for PlainIsa {
+    const HAS_FMA: bool = false;
+}
+
+#[inline(always)]
+fn fmadd<I: Isa>(a: f64, b: f64, c: f64) -> f64 {
+    if I::HAS_FMA {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+/// A W-wide f64 lane. All element ops are hand-unrolled `from_fn` loops
+/// over a fixed-size array, which LLVM flattens into packed vector
+/// instructions under the dispatch wrappers.
+#[derive(Clone, Copy)]
+struct Lane<const W: usize>([f64; W]);
+
+impl<const W: usize> Lane<W> {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Lane([v; W])
+    }
+
+    /// Load the first W elements of `s` (caller guarantees `s.len() ≥ W`).
+    #[inline(always)]
+    fn from_prefix(s: &[f64]) -> Self {
+        let a: &[f64; W] = s[..W].try_into().expect("lane prefix");
+        Lane(*a)
+    }
+
+    /// Tail load: lanes past the end replicate the last element, keeping
+    /// padded arithmetic in the same numeric range as real data.
+    #[inline(always)]
+    fn tail_clamped(s: &[f64], start: usize) -> Self {
+        let last = s.len() - 1;
+        Lane(core::array::from_fn(|i| s[(start + i).min(last)]))
+    }
+
+    /// Tail load: lanes past the end fill with `fill` (0 for charges and
+    /// weights, so padded terms vanish exactly).
+    #[inline(always)]
+    fn tail_fill(s: &[f64], start: usize, fill: f64) -> Self {
+        Lane(core::array::from_fn(|i| {
+            if start + i < s.len() {
+                s[start + i]
+            } else {
+                fill
+            }
+        }))
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Lane(core::array::from_fn(|i| self.0[i] + o.0[i]))
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Lane(core::array::from_fn(|i| self.0[i] - o.0[i]))
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Lane(core::array::from_fn(|i| self.0[i] * o.0[i]))
+    }
+
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Lane(core::array::from_fn(|i| -self.0[i]))
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Lane(core::array::from_fn(|i| self.0[i].max(o.0[i])))
+    }
+
+    #[inline(always)]
+    fn min(self, o: Self) -> Self {
+        Lane(core::array::from_fn(|i| self.0[i].min(o.0[i])))
+    }
+
+    /// `self·b + c`, contracted to one rounding on FMA hardware.
+    #[inline(always)]
+    fn fma<I: Isa>(self, b: Self, c: Self) -> Self {
+        Lane(core::array::from_fn(|i| {
+            fmadd::<I>(self.0[i], b.0[i], c.0[i])
+        }))
+    }
+
+    /// Elementwise `if cond > thr { self } else { 0.0 }` — a blend, so
+    /// masked garbage (inf/NaN from clamped lanes) is discarded, never
+    /// multiplied by zero.
+    #[inline(always)]
+    fn mask_gt(self, cond: Self, thr: f64) -> Self {
+        Lane(core::array::from_fn(|i| {
+            if cond.0[i] > thr {
+                self.0[i]
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    /// Horizontal sum with the pinned low → high reduction order.
+    #[inline(always)]
+    fn hsum(self) -> f64 {
+        let mut s = self.0[0];
+        for i in 1..W {
+            s += self.0[i];
+        }
+        s
+    }
+}
+
+/// Exact-grade lane reciprocal square root: the `fast_rsqrt` bit-trick
+/// seed refined by four Newton steps (`y ← y·(1.5 − 0.5·x·y²)`), which
+/// converges quadratically from ~3% seed error to rounding-limited ~2 ulp.
+/// Inputs must be positive normals (the kernels clamp before calling).
+#[inline(always)]
+fn lane_rsqrt<const W: usize, I: Isa>(x: Lane<W>) -> Lane<W> {
+    let mut y = Lane::<W>(core::array::from_fn(|i| {
+        f64::from_bits(0x5fe6_eb50_c7b5_37a9u64.wrapping_sub(x.0[i].to_bits() >> 1))
+    }));
+    let three_half = Lane::splat(1.5);
+    let neg_half_x = x.mul(Lane::splat(-0.5));
+    for _ in 0..4 {
+        // t = 1.5 − 0.5·x·y² as one FMA chain: (−0.5x·y)·y + 1.5.
+        let t = neg_half_x.mul(y).fma::<I>(y, three_half);
+        y = y.mul(t);
+    }
+    y
+}
+
+// Cody–Waite split of ln 2 (high part has trailing zero bits, so
+// `k·LN2_HI` is exact for |k| < 2²⁰) and the 1.5·2⁵² magic shift that
+// forces round-to-nearest-integer in f64 arithmetic.
+const EXP_SHIFT: f64 = 6_755_399_441_055_744.0; // 1.5 · 2^52
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// Beyond ±708 the result under/overflows the normal range; clamping
+/// keeps the bit-assembled 2^k scale a valid normal.
+const EXP_CLAMP: f64 = 708.0;
+/// Taylor coefficients 1/12! … 1/2! of the `exp` polynomial, shared by
+/// the portable and intrinsic kernels. Remainder ≤ (ln2/2)¹³/13! ≈ 2.4e−16.
+const EXP_TAYLOR: [f64; 11] = [
+    2.087_675_698_786_81e-9,    // 1/12!
+    2.505_210_838_544_172e-8,   // 1/11!
+    2.755_731_922_398_589e-7,   // 1/10!
+    2.755_731_922_398_589_4e-6, // 1/9!
+    2.480_158_730_158_73e-5,    // 1/8!
+    1.984_126_984_126_984e-4,   // 1/7!
+    1.388_888_888_888_889e-3,   // 1/6!
+    8.333_333_333_333_333e-3,   // 1/5!
+    4.166_666_666_666_666_4e-2, // 1/4!
+    1.666_666_666_666_666_6e-1, // 1/3!
+    5e-1,                       // 1/2!
+];
+
+/// Exact-grade lane `exp` (≈1 e−15 relative): range reduction
+/// `x = k·ln2 + r` with `|r| ≤ ln2/2` via the magic-shift trick, a
+/// degree-12 Taylor polynomial in Horner form, and `2^k` assembled
+/// directly in the exponent field.
+#[inline(always)]
+fn lane_exp<const W: usize, I: Isa>(x: Lane<W>) -> Lane<W> {
+    let x = x.max(Lane::splat(-EXP_CLAMP)).min(Lane::splat(EXP_CLAMP));
+    // m's low mantissa bits now hold round(x/ln2) + 2⁵¹.
+    let m = x.fma::<I>(
+        Lane::splat(std::f64::consts::LOG2_E),
+        Lane::splat(EXP_SHIFT),
+    );
+    let kf = m.sub(Lane::splat(EXP_SHIFT));
+    let r = kf.neg().fma::<I>(Lane::splat(LN2_HI), x);
+    let r = kf.neg().fma::<I>(Lane::splat(LN2_LO), r);
+    let mut p = Lane::splat(EXP_TAYLOR[0]);
+    for &c in &EXP_TAYLOR[1..] {
+        p = p.fma::<I>(r, Lane::splat(c));
+    }
+    p = p.fma::<I>(r, Lane::splat(1.0));
+    p = p.fma::<I>(r, Lane::splat(1.0));
+    // Scale by 2^k: k recovered from m's mantissa bits, biased into a
+    // fresh exponent field (valid: |k| ≤ 1022 after the clamp).
+    Lane(core::array::from_fn(|i| {
+        let k = ((m.0[i].to_bits() & ((1u64 << 52) - 1)) as i64) - (1i64 << 51);
+        p.0[i] * f64::from_bits(((1023 + k) as u64) << 52)
+    }))
+}
+
+/// One (atom-leaf × q-leaf) Born near block: for each atom slot `a`,
+/// adds `Σ_j w_j·(d⃗·n⃗_j)/r⁶` over the block's q-points to `out[a]`.
+/// Lanes run over atoms, q-points broadcast — accumulators live in
+/// lanes, so there is no per-atom horizontal reduction.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn born_near_impl<const W: usize, I: Isa>(
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    qz: &[f64],
+    qnx: &[f64],
+    qny: &[f64],
+    qnz: &[f64],
+    qw: &[f64],
+    out: &mut [f64],
+) {
+    let n_a = ax.len();
+    if n_a == 0 || qx.is_empty() {
+        return;
+    }
+    let floor = Lane::<W>::splat(R2_FLOOR);
+    let mut start = 0;
+    while start < n_a {
+        let full = start + W <= n_a;
+        let (x, y, z) = if full {
+            (
+                Lane::<W>::from_prefix(&ax[start..]),
+                Lane::<W>::from_prefix(&ay[start..]),
+                Lane::<W>::from_prefix(&az[start..]),
+            )
+        } else {
+            (
+                Lane::<W>::tail_clamped(ax, start),
+                Lane::<W>::tail_clamped(ay, start),
+                Lane::<W>::tail_clamped(az, start),
+            )
+        };
+        let mut acc = Lane::<W>::splat(0.0);
+        for j in 0..qx.len() {
+            let dx = Lane::splat(qx[j]).sub(x);
+            let dy = Lane::splat(qy[j]).sub(y);
+            let dz = Lane::splat(qz[j]).sub(z);
+            let r2 = dz.fma::<I>(dz, dy.fma::<I>(dy, dx.mul(dx)));
+            let dot = dz
+                .fma::<I>(
+                    Lane::splat(qnz[j]),
+                    dy.fma::<I>(Lane::splat(qny[j]), dx.mul(Lane::splat(qnx[j]))),
+                )
+                .mul(Lane::splat(qw[j]));
+            let inv = lane_rsqrt::<W, I>(r2.max(floor));
+            let inv2 = inv.mul(inv);
+            let inv6 = inv2.mul(inv2).mul(inv2);
+            // Same guard as the scalar kernel; the blend discards any
+            // clamped-lane garbage instead of multiplying it by 0.
+            acc = acc.add(dot.mul(inv6).mask_gt(r2, R2_GUARD));
+        }
+        if full {
+            let o: &mut [f64; W] = (&mut out[start..start + W]).try_into().expect("lane out");
+            for (oi, &a) in o.iter_mut().zip(&acc.0) {
+                *oi += a;
+            }
+        } else {
+            for i in 0..n_a - start {
+                out[start + i] += acc.0[i];
+            }
+        }
+        start += W;
+    }
+}
+
+/// One (U-leaf × V-leaf) energy near block: returns
+/// `Σ_{a∈U, b∈V} q_a q_b / f_GB(r²_ab, R_a, R_b)` with exact-grade lane
+/// math. Lanes run over V, U atoms broadcast; one horizontal sum at the
+/// end (low → high). `uri`/`vri` carry precomputed reciprocal Born radii
+/// so the exponent argument `−r²/(4·R_aR_b)` is a product — the lane
+/// loop runs division-free (a vector divide costs more than the whole
+/// rest of the f_GB term on most cores).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn epol_near_impl<const W: usize, I: Isa>(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+) -> f64 {
+    if ux.is_empty() || vx.is_empty() {
+        return 0.0;
+    }
+    let n_v = vx.len();
+    let mut acc = Lane::<W>::splat(0.0);
+    for a in 0..ux.len() {
+        let xa = Lane::<W>::splat(ux[a]);
+        let ya = Lane::<W>::splat(uy[a]);
+        let za = Lane::<W>::splat(uz[a]);
+        let qa = Lane::<W>::splat(uq[a]);
+        let ra = Lane::<W>::splat(ur[a]);
+        let sa = Lane::<W>::splat(-0.25 * uri[a]);
+        let mut start = 0;
+        while start < n_v {
+            let full = start + W <= n_v;
+            let (bx, by, bz, rb, qb, ib) = if full {
+                (
+                    Lane::<W>::from_prefix(&vx[start..]),
+                    Lane::<W>::from_prefix(&vy[start..]),
+                    Lane::<W>::from_prefix(&vz[start..]),
+                    Lane::<W>::from_prefix(&vr[start..]),
+                    Lane::<W>::from_prefix(&vq[start..]),
+                    Lane::<W>::from_prefix(&vri[start..]),
+                )
+            } else {
+                (
+                    // Positions/radii replicate (keeps f_GB > 0); the 0
+                    // charge kills padded terms exactly.
+                    Lane::<W>::tail_clamped(vx, start),
+                    Lane::<W>::tail_clamped(vy, start),
+                    Lane::<W>::tail_clamped(vz, start),
+                    Lane::<W>::tail_clamped(vr, start),
+                    Lane::<W>::tail_fill(vq, start, 0.0),
+                    Lane::<W>::tail_clamped(vri, start),
+                )
+            };
+            let dx = bx.sub(xa);
+            let dy = by.sub(ya);
+            let dz = bz.sub(za);
+            let r2 = dz.fma::<I>(dz, dy.fma::<I>(dy, dx.mul(dx)));
+            let rr = ra.mul(rb);
+            // f_GB² = r² + R_aR_b·exp(−r²/(4R_aR_b)); since rr > 0 the
+            // argument is finite and f² ≥ max(r², rr·e^arg) stays normal.
+            let arg = r2.mul(sa).mul(ib);
+            let f2 = rr.fma::<I>(lane_exp::<W, I>(arg), r2);
+            acc = qa.mul(qb).mul(lane_rsqrt::<W, I>(f2)).add(acc);
+            start += W;
+        }
+    }
+    acc.hsum()
+}
+
+/// Upper bound on histogram length, mirrored from [`BinScheme`]'s
+/// `MAX_BINS` cap so the nonzero-bin gather fits on the stack.
+const MAX_BINS: usize = 256;
+
+/// One far (U, V) entry of the energy stage over *compacted* histogram
+/// rows (see [`crate::energy::octree::EpolCtx::compact_row`]): `uq`/`ur`/
+/// `uri` are U's nonzero bin charges, representative radii and radius
+/// reciprocals (real entries only); the V-side slices are the same but
+/// padded to a [`LANE_WIDTH`] multiple with charge 0 / radius 1, so every
+/// chunk is a full lane and padded terms vanish exactly. Division-free:
+/// the exponent argument factorizes as `(−d²/4·R_u⁻¹)·R_v⁻¹`.
+#[inline(always)]
+fn epol_far_compact_impl<const W: usize, I: Isa>(
+    d_sq: f64,
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+) -> f64 {
+    debug_assert_eq!(vq.len() % W, 0);
+    let d2 = Lane::<W>::splat(d_sq);
+    let mut acc = Lane::<W>::splat(0.0);
+    for i in 0..uq.len() {
+        let qul = Lane::<W>::splat(uq[i]);
+        let pul = Lane::<W>::splat(ur[i]);
+        let su = Lane::<W>::splat(-0.25 * d_sq * uri[i]);
+        let mut j = 0;
+        while j < vq.len() {
+            let qvj = Lane::<W>::from_prefix(&vq[j..]);
+            let pvj = Lane::<W>::from_prefix(&vr[j..]);
+            let pvij = Lane::<W>::from_prefix(&vri[j..]);
+            let rr = pul.mul(pvj);
+            let arg = su.mul(pvij);
+            let f2 = rr.fma::<I>(lane_exp::<W, I>(arg), d2);
+            acc = qul.mul(qvj).mul(lane_rsqrt::<W, I>(f2)).add(acc);
+            j += W;
+        }
+    }
+    acc.hsum()
+}
+
+/// Portable body of [`born_far_r6_entries`]: one entry per iteration,
+/// using the same reciprocal-multiply formulation as the lanes (the two
+/// divisions of the strict scalar term become one reciprocal), so the
+/// x86 tail loop and non-x86 builds agree with the packed path
+/// per-entry.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn born_far_r6_scalar(
+    a_ids: &[u32],
+    anx: &[f64],
+    any_: &[f64],
+    anz: &[f64],
+    qc: [f64; 3],
+    nsum: [f64; 3],
+    dip: &QDipole,
+    s_node: &mut [f64],
+) {
+    let tr = dip.trace();
+    let m = &dip.m;
+    for &a_id in a_ids {
+        let a = a_id as usize;
+        let dx = qc[0] - anx[a];
+        let dy = qc[1] - any_[a];
+        let dz = qc[2] - anz[a];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let dot = nsum[0] * dx + nsum[1] * dy + nsum[2] * dz;
+        let quad = dx * (m[0] * dx + m[1] * dy + m[2] * dz)
+            + dy * (m[3] * dx + m[4] * dy + m[5] * dz)
+            + dz * (m[6] * dx + m[7] * dy + m[8] * dz);
+        let inv_r2 = 1.0 / r2;
+        let inv_rp = inv_r2 * inv_r2 * inv_r2;
+        s_node[a] += (dot + tr) * inv_rp - 6.0 * quad * inv_rp * inv_r2;
+    }
+}
+
+/// Portable body of [`born_near_gather`]: the q-leaf's descreening
+/// integrals accumulated into `out[idx[k]]` for every gathered atom slot
+/// `idx[k]` (the concatenated near-entry ranges of one plan group).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn born_near_gather_scalar(
+    idx: &[u32],
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    qz: &[f64],
+    qnx: &[f64],
+    qny: &[f64],
+    qnz: &[f64],
+    qw: &[f64],
+    out: &mut [f64],
+) {
+    for &slot in idx {
+        let a = slot as usize;
+        let (x, y, z) = (ax[a], ay[a], az[a]);
+        let mut s = 0.0;
+        for j in 0..qx.len() {
+            let dx = qx[j] - x;
+            let dy = qy[j] - y;
+            let dz = qz[j] - z;
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let dot = qw[j] * (dx * qnx[j] + dy * qny[j] + dz * qnz[j]);
+            s += if r2 > R2_GUARD {
+                dot / (r2 * r2 * r2)
+            } else {
+                0.0
+            };
+        }
+        out[a] += s;
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+fn have_avx2_fma() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    //! Explicit AVX2+FMA intrinsic kernels. The generic `Lane` bodies are
+    //! kept as the portable fallback and the test reference, but LLVM
+    //! does not reliably turn their `from_fn` element loops into packed
+    //! code, so the dispatched x86 path is written directly against
+    //! `__m256d`: one [`V8`] is the pinned 8-wide lane as two 256-bit
+    //! halves, and `exp8`/`rsqrt8` are the intrinsic twins of
+    //! `lane_exp`/`lane_rsqrt` (same seeds, same polynomial, same Newton
+    //! step count — exact-grade by the same argument).
+    use super::*;
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// The 8-wide lane as two `__m256d` halves (lanes 0–3 and 4–7).
+    #[derive(Clone, Copy)]
+    struct V8(__m256d, __m256d);
+
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn splat(v: f64) -> V8 {
+        let s = _mm256_set1_pd(v);
+        V8(s, s)
+    }
+
+    /// Load lanes 0–7 from `p[0..8]` (caller guarantees the length).
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn load8(p: &[f64]) -> V8 {
+        debug_assert!(p.len() >= 8);
+        V8(
+            _mm256_loadu_pd(p.as_ptr()),
+            _mm256_loadu_pd(p.as_ptr().add(4)),
+        )
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn add(a: V8, b: V8) -> V8 {
+        V8(_mm256_add_pd(a.0, b.0), _mm256_add_pd(a.1, b.1))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn sub(a: V8, b: V8) -> V8 {
+        V8(_mm256_sub_pd(a.0, b.0), _mm256_sub_pd(a.1, b.1))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn mul(a: V8, b: V8) -> V8 {
+        V8(_mm256_mul_pd(a.0, b.0), _mm256_mul_pd(a.1, b.1))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn vmax(a: V8, b: V8) -> V8 {
+        V8(_mm256_max_pd(a.0, b.0), _mm256_max_pd(a.1, b.1))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn vmin(a: V8, b: V8) -> V8 {
+        V8(_mm256_min_pd(a.0, b.0), _mm256_min_pd(a.1, b.1))
+    }
+
+    /// `a·b + c`, one rounding per lane.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn fma(a: V8, b: V8, c: V8) -> V8 {
+        V8(
+            _mm256_fmadd_pd(a.0, b.0, c.0),
+            _mm256_fmadd_pd(a.1, b.1, c.1),
+        )
+    }
+
+    /// `c − a·b`, one rounding per lane.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn fnma(a: V8, b: V8, c: V8) -> V8 {
+        V8(
+            _mm256_fnmadd_pd(a.0, b.0, c.0),
+            _mm256_fnmadd_pd(a.1, b.1, c.1),
+        )
+    }
+
+    /// Horizontal sum in the pinned low → high lane order.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn hsum(a: V8) -> f64 {
+        let mut buf = [0.0f64; 8];
+        _mm256_storeu_pd(buf.as_mut_ptr(), a.0);
+        _mm256_storeu_pd(buf.as_mut_ptr().add(4), a.1);
+        let mut s = buf[0];
+        for &v in &buf[1..] {
+            s += v;
+        }
+        s
+    }
+
+    /// Intrinsic twin of `lane_rsqrt`: same bit-trick seed, same four
+    /// Newton steps.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn rsqrt8(x: V8) -> V8 {
+        let magic = _mm256_set1_epi64x(0x5fe6_eb50_c7b5_37a9u64 as i64);
+        let seed = |h: __m256d| -> __m256d {
+            _mm256_castsi256_pd(_mm256_sub_epi64(
+                magic,
+                _mm256_srli_epi64::<1>(_mm256_castpd_si256(h)),
+            ))
+        };
+        let mut y = V8(seed(x.0), seed(x.1));
+        let three_half = splat(1.5);
+        let neg_half_x = mul(x, splat(-0.5));
+        for _ in 0..4 {
+            let t = fma(mul(neg_half_x, y), y, three_half);
+            y = mul(y, t);
+        }
+        y
+    }
+
+    /// Exact-grade reciprocal without `vdivpd` (whose ~8-cycle ymm
+    /// throughput would dominate the kernels): a 12-bit `rcpps` seed
+    /// through a narrowing f32 round-trip, refined by three Newton steps
+    /// (`r ← r·(2 − x·r)`, error squares each step: 2⁻¹² → 2⁻²⁴ → 2⁻⁴⁸ →
+    /// rounding-limited). Inputs must be positive normals.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn rcp8(x: V8) -> V8 {
+        let seed = |h: __m256d| -> __m256d { _mm256_cvtps_pd(_mm_rcp_ps(_mm256_cvtpd_ps(h))) };
+        let mut r = V8(seed(x.0), seed(x.1));
+        let two = splat(2.0);
+        for _ in 0..3 {
+            r = mul(r, fnma(x, r, two));
+        }
+        r
+    }
+
+    /// Intrinsic twin of `lane_exp`: same clamp, magic-shift split,
+    /// degree-12 Taylor and bit-assembled `2^k` scale.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    fn exp8(x: V8) -> V8 {
+        let x = vmin(vmax(x, splat(-EXP_CLAMP)), splat(EXP_CLAMP));
+        let shift = splat(EXP_SHIFT);
+        let m = fma(x, splat(std::f64::consts::LOG2_E), shift);
+        let kf = sub(m, shift);
+        let r = fnma(kf, splat(LN2_HI), x);
+        let r = fnma(kf, splat(LN2_LO), r);
+        let mut p = splat(EXP_TAYLOR[0]);
+        for &c in &EXP_TAYLOR[1..] {
+            p = fma(p, r, splat(c));
+        }
+        p = fma(p, r, splat(1.0));
+        p = fma(p, r, splat(1.0));
+        // m's low 52 bits hold k + 2⁵¹; (that + (1023 − 2⁵¹)) << 52 is
+        // the f64 bit pattern of 2^k (valid: |k| ≤ 1022 after the clamp).
+        let mant = _mm256_set1_epi64x(((1u64 << 52) - 1) as i64);
+        let bias = _mm256_set1_epi64x(1023 - (1i64 << 51));
+        let scale = |h: __m256d| -> __m256d {
+            let k = _mm256_and_si256(_mm256_castpd_si256(h), mant);
+            _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(k, bias)))
+        };
+        V8(
+            _mm256_mul_pd(p.0, scale(m.0)),
+            _mm256_mul_pd(p.1, scale(m.1)),
+        )
+    }
+
+    /// Pad a tail slice to a full lane, replicating the last element.
+    #[inline(always)]
+    fn pad_clamped(s: &[f64], start: usize) -> [f64; 8] {
+        let last = s.len() - 1;
+        core::array::from_fn(|i| s[(start + i).min(last)])
+    }
+
+    /// Pad a tail slice to a full lane with zeros.
+    #[inline(always)]
+    fn pad_zero(s: &[f64], start: usize) -> [f64; 8] {
+        core::array::from_fn(|i| {
+            if start + i < s.len() {
+                s[start + i]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn born_near(
+        ax: &[f64],
+        ay: &[f64],
+        az: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        qz: &[f64],
+        qnx: &[f64],
+        qny: &[f64],
+        qnz: &[f64],
+        qw: &[f64],
+        out: &mut [f64],
+    ) {
+        let n_a = ax.len();
+        if n_a == 0 || qx.is_empty() {
+            return;
+        }
+        let floor = splat(R2_FLOOR);
+        let guard = splat(R2_GUARD);
+        let mut start = 0;
+        while start < n_a {
+            let full = start + 8 <= n_a;
+            let (x, y, z) = if full {
+                (
+                    load8(&ax[start..]),
+                    load8(&ay[start..]),
+                    load8(&az[start..]),
+                )
+            } else {
+                (
+                    load8(&pad_clamped(ax, start)),
+                    load8(&pad_clamped(ay, start)),
+                    load8(&pad_clamped(az, start)),
+                )
+            };
+            let mut acc = splat(0.0);
+            for j in 0..qx.len() {
+                let dx = sub(splat(qx[j]), x);
+                let dy = sub(splat(qy[j]), y);
+                let dz = sub(splat(qz[j]), z);
+                let r2 = fma(dz, dz, fma(dy, dy, mul(dx, dx)));
+                let dot = mul(
+                    fma(
+                        dz,
+                        splat(qnz[j]),
+                        fma(dy, splat(qny[j]), mul(dx, splat(qnx[j]))),
+                    ),
+                    splat(qw[j]),
+                );
+                let inv = rsqrt8(vmax(r2, floor));
+                let inv2 = mul(inv, inv);
+                let inv6 = mul(mul(inv2, inv2), inv2);
+                let term = mul(dot, inv6);
+                // Blend on the same r² guard as the scalar kernel: the
+                // masked-off lanes contribute an exact 0, never inf·0.
+                let keep = V8(
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(r2.0, guard.0),
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(r2.1, guard.1),
+                );
+                let masked = V8(_mm256_and_pd(term.0, keep.0), _mm256_and_pd(term.1, keep.1));
+                acc = add(acc, masked);
+            }
+            let mut buf = [0.0f64; 8];
+            _mm256_storeu_pd(buf.as_mut_ptr(), acc.0);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc.1);
+            let n = if full { 8 } else { n_a - start };
+            for i in 0..n {
+                out[start + i] += buf[i];
+            }
+            start += 8;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn epol_near(
+        ux: &[f64],
+        uy: &[f64],
+        uz: &[f64],
+        uq: &[f64],
+        ur: &[f64],
+        uri: &[f64],
+        vx: &[f64],
+        vy: &[f64],
+        vz: &[f64],
+        vq: &[f64],
+        vr: &[f64],
+        vri: &[f64],
+    ) -> f64 {
+        if ux.is_empty() || vx.is_empty() {
+            return 0.0;
+        }
+        let n_v = vx.len();
+        let n_full = n_v / 8 * 8;
+        // The ragged tail is padded once per block (positions/radii
+        // replicate the last element so f_GB stays normal, charges pad
+        // with 0 so padded terms vanish), not once per U atom.
+        let tail = if n_full < n_v {
+            Some((
+                pad_clamped(vx, n_full),
+                pad_clamped(vy, n_full),
+                pad_clamped(vz, n_full),
+                pad_zero(vq, n_full),
+                pad_clamped(vr, n_full),
+                pad_clamped(vri, n_full),
+            ))
+        } else {
+            None
+        };
+        // One f_GB term: r² from the precomputed deltas, rr = R_a·R_b,
+        // f² = rr·exp(−r²/(4rr)) + r², q_a q_b·rsqrt(f²) added to `acc`.
+        // `sa` carries the U atom's −R_a⁻¹/4 so the exponent argument is
+        // a pure product — no vector divide in the loop.
+        let term = |acc: V8, dx: V8, dy: V8, dz: V8, qaqb: V8, rr: V8, sa: V8, ib: V8| -> V8 {
+            let r2 = fma(dz, dz, fma(dy, dy, mul(dx, dx)));
+            let arg = mul(mul(r2, sa), ib);
+            let f2 = fma(rr, exp8(arg), r2);
+            add(acc, mul(qaqb, rsqrt8(f2)))
+        };
+        // Two U atoms per pass share each V load and keep two
+        // independent exp/rsqrt dependency chains in flight; `acc0` and
+        // `acc1` combine once at the end (fixed order — deterministic).
+        let n_u = ux.len();
+        let mut acc0 = splat(0.0);
+        let mut acc1 = splat(0.0);
+        let mut a = 0;
+        while a < n_u {
+            let paired = a + 1 < n_u;
+            let (xa0, ya0, za0) = (splat(ux[a]), splat(uy[a]), splat(uz[a]));
+            let (qa0, ra0) = (splat(uq[a]), splat(ur[a]));
+            let sa0 = splat(-0.25 * uri[a]);
+            let b = if paired { a + 1 } else { a };
+            let (xa1, ya1, za1) = (splat(ux[b]), splat(uy[b]), splat(uz[b]));
+            // An odd final atom runs lane 1 with zero charge: the padded
+            // pass contributes exactly 0 through `qaqb`.
+            let (qa1, ra1) = (if paired { splat(uq[b]) } else { splat(0.0) }, splat(ur[b]));
+            let sa1 = splat(-0.25 * uri[b]);
+            let mut pass = |bx: V8, by: V8, bz: V8, qb: V8, rb: V8, ib: V8| {
+                acc0 = term(
+                    acc0,
+                    sub(bx, xa0),
+                    sub(by, ya0),
+                    sub(bz, za0),
+                    mul(qa0, qb),
+                    mul(ra0, rb),
+                    sa0,
+                    ib,
+                );
+                acc1 = term(
+                    acc1,
+                    sub(bx, xa1),
+                    sub(by, ya1),
+                    sub(bz, za1),
+                    mul(qa1, qb),
+                    mul(ra1, rb),
+                    sa1,
+                    ib,
+                );
+            };
+            let mut s = 0;
+            while s < n_full {
+                pass(
+                    load8(&vx[s..]),
+                    load8(&vy[s..]),
+                    load8(&vz[s..]),
+                    load8(&vq[s..]),
+                    load8(&vr[s..]),
+                    load8(&vri[s..]),
+                );
+                s += 8;
+            }
+            if let Some((tx, ty, tz, tq, tr, ti)) = &tail {
+                pass(
+                    load8(tx),
+                    load8(ty),
+                    load8(tz),
+                    load8(tq),
+                    load8(tr),
+                    load8(ti),
+                );
+            }
+            a += 2;
+        }
+        hsum(add(acc0, acc1))
+    }
+
+    /// Gathered Born near kernel: lanes are 8 gathered atom slots
+    /// (`idx`), q-points broadcast, results scattered back to
+    /// `out[idx[k]]`. Loads gather straight from the plan's SoA arrays —
+    /// no dense scratch copy, no separate scatter pass.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn born_near_gather(
+        idx: &[u32],
+        ax: &[f64],
+        ay: &[f64],
+        az: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        qz: &[f64],
+        qnx: &[f64],
+        qny: &[f64],
+        qnz: &[f64],
+        qw: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = idx.len();
+        if n == 0 || qx.is_empty() {
+            return;
+        }
+        let floor = splat(R2_FLOOR);
+        let guard = splat(R2_GUARD);
+        let mut start = 0;
+        while start < n {
+            let full = start + 8 <= n;
+            // Tail blocks replicate the last slot; only real lanes are
+            // scattered back, so the duplicates are computed-and-dropped.
+            let ids: [u32; 8] = if full {
+                idx[start..start + 8].try_into().expect("lane ids")
+            } else {
+                let last = n - 1;
+                core::array::from_fn(|i| idx[(start + i).min(last)])
+            };
+            let gather = |s: &[f64]| -> [f64; 8] { core::array::from_fn(|i| s[ids[i] as usize]) };
+            let x = load8(&gather(ax));
+            let y = load8(&gather(ay));
+            let z = load8(&gather(az));
+            let mut acc = splat(0.0);
+            for j in 0..qx.len() {
+                let dx = sub(splat(qx[j]), x);
+                let dy = sub(splat(qy[j]), y);
+                let dz = sub(splat(qz[j]), z);
+                let r2 = fma(dz, dz, fma(dy, dy, mul(dx, dx)));
+                let dot = mul(
+                    fma(
+                        dz,
+                        splat(qnz[j]),
+                        fma(dy, splat(qny[j]), mul(dx, splat(qnx[j]))),
+                    ),
+                    splat(qw[j]),
+                );
+                let inv_r2 = rcp8(vmax(r2, floor));
+                let inv6 = mul(mul(inv_r2, inv_r2), inv_r2);
+                let term = mul(dot, inv6);
+                // Blend on the same r² guard as the scalar kernel: the
+                // masked-off lanes contribute an exact 0, never inf·0.
+                let keep = V8(
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(r2.0, guard.0),
+                    _mm256_cmp_pd::<_CMP_GT_OQ>(r2.1, guard.1),
+                );
+                let masked = V8(_mm256_and_pd(term.0, keep.0), _mm256_and_pd(term.1, keep.1));
+                acc = add(acc, masked);
+            }
+            let mut buf = [0.0f64; 8];
+            _mm256_storeu_pd(buf.as_mut_ptr(), acc.0);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc.1);
+            let n_real = if full { 8 } else { n - start };
+            // Slots within one group are distinct (disjoint leaf ranges),
+            // so the scatter-add never collides inside a block.
+            for i in 0..n_real {
+                out[ids[i] as usize] += buf[i];
+            }
+            start += 8;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn born_far_r6(
+        a_ids: &[u32],
+        anx: &[f64],
+        any_: &[f64],
+        anz: &[f64],
+        qc: [f64; 3],
+        nsum: [f64; 3],
+        dip: &QDipole,
+        s_node: &mut [f64],
+    ) {
+        // The q-side of a far group is one node: moments broadcast, only
+        // the a-node centers are gathered per lane.
+        let qcx = splat(qc[0]);
+        let qcy = splat(qc[1]);
+        let qcz = splat(qc[2]);
+        let nsx = splat(nsum[0]);
+        let nsy = splat(nsum[1]);
+        let nsz = splat(nsum[2]);
+        let tr = splat(dip.trace());
+        let m: [V8; 9] = core::array::from_fn(|k| splat(dip.m[k]));
+        let six = splat(6.0);
+        let n_full = a_ids.len() / 8 * 8;
+        let mut k = 0;
+        while k < n_full {
+            let ids = &a_ids[k..k + 8];
+            let gather = |s: &[f64]| -> [f64; 8] { core::array::from_fn(|i| s[ids[i] as usize]) };
+            let dx = sub(qcx, load8(&gather(anx)));
+            let dy = sub(qcy, load8(&gather(any_)));
+            let dz = sub(qcz, load8(&gather(anz)));
+            let r2 = fma(dz, dz, fma(dy, dy, mul(dx, dx)));
+            let dot = fma(dz, nsz, fma(dy, nsy, mul(dx, nsx)));
+            let quad = fma(
+                dz,
+                fma(dz, m[8], fma(dy, m[7], mul(dx, m[6]))),
+                fma(
+                    dy,
+                    fma(dz, m[5], fma(dy, m[4], mul(dx, m[3]))),
+                    mul(dx, fma(dz, m[2], fma(dy, m[1], mul(dx, m[0])))),
+                ),
+            );
+            let inv_r2 = rcp8(r2);
+            let inv_rp = mul(mul(inv_r2, inv_r2), inv_r2);
+            let term = sub(
+                mul(add(dot, tr), inv_rp),
+                mul(mul(six, quad), mul(inv_rp, inv_r2)),
+            );
+            let mut buf = [0.0f64; 8];
+            _mm256_storeu_pd(buf.as_mut_ptr(), term.0);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), term.1);
+            // Distinct a-nodes within a group (each is visited once per
+            // q-leaf), so the scatter-add never collides in this window.
+            for i in 0..8 {
+                s_node[ids[i] as usize] += buf[i];
+            }
+            k += 8;
+        }
+        born_far_r6_scalar(&a_ids[n_full..], anx, any_, anz, qc, nsum, dip, s_node);
+    }
+
+    /// Compact-row far kernel (see `epol_far_compact_impl` for the slice
+    /// contract). U rows stream scalar, V rows are full padded lanes.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn epol_far_compact(
+        d_sq: f64,
+        uq: &[f64],
+        ur: &[f64],
+        uri: &[f64],
+        vq: &[f64],
+        vr: &[f64],
+        vri: &[f64],
+    ) -> f64 {
+        debug_assert_eq!(vq.len() % 8, 0);
+        let d2 = splat(d_sq);
+        let mut acc = splat(0.0);
+        for i in 0..uq.len() {
+            let qul = splat(uq[i]);
+            let pul = splat(ur[i]);
+            let su = splat(-0.25 * d_sq * uri[i]);
+            let mut j = 0;
+            while j < vq.len() {
+                let qvj = load8(&vq[j..]);
+                let pvj = load8(&vr[j..]);
+                let pvij = load8(&vri[j..]);
+                let rr = mul(pul, pvj);
+                let arg = mul(su, pvij);
+                let f2 = fma(rr, exp8(arg), d2);
+                acc = add(acc, mul(mul(qul, qvj), rsqrt8(f2)));
+                j += 8;
+            }
+        }
+        hsum(acc)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn have_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512F kernels: one `__m512d` *is* the pinned 8-wide lane, so
+    //! these are the natural form of the [`LANE_WIDTH`] contract — half
+    //! the uops of the two-half AVX2 bodies on dual-FMA cores, hardware
+    //! `rsqrt14`/`rcp14` seeds (fewer Newton steps than the bit-trick),
+    //! `vgatherdpd` for the plan's indexed loads and mask registers for
+    //! ragged tails (no padding copies). Same summation order as the
+    //! other tiers: lanes accumulate in slot order, horizontal sums
+    //! reduce low → high. Bits differ from the AVX2 tier at the ulp
+    //! level (different seeds), which the per-machine determinism
+    //! contract allows — dispatch picks one tier per process.
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Sum lanes low → high (the pinned reduction order).
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn hsum(a: __m512d) -> f64 {
+        let mut buf = [0.0f64; 8];
+        _mm512_storeu_pd(buf.as_mut_ptr(), a);
+        let mut s = buf[0];
+        for &v in &buf[1..] {
+            s += v;
+        }
+        s
+    }
+
+    /// `1/√x` via the hardware 2⁻¹⁴ seed and two Newton steps
+    /// (6.1e−5 → 5.6e−9 → 4.7e−17, already below f64 rounding).
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    fn rsqrt(x: __m512d) -> __m512d {
+        let mut y = _mm512_rsqrt14_pd(x);
+        let three_half = _mm512_set1_pd(1.5);
+        let neg_half_x = _mm512_mul_pd(x, _mm512_set1_pd(-0.5));
+        for _ in 0..2 {
+            let t = _mm512_fmadd_pd(_mm512_mul_pd(neg_half_x, y), y, three_half);
+            y = _mm512_mul_pd(y, t);
+        }
+        y
+    }
+
+    /// `1/x` via the hardware 2⁻¹⁴ seed and two Newton steps
+    /// (`r ← r·(2 − x·r)`, error squares: 2⁻¹⁴ → 2⁻²⁸ → 2⁻⁵⁶).
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    fn rcp(x: __m512d) -> __m512d {
+        let mut r = _mm512_rcp14_pd(x);
+        let two = _mm512_set1_pd(2.0);
+        for _ in 0..2 {
+            r = _mm512_mul_pd(r, _mm512_fnmadd_pd(x, r, two));
+        }
+        r
+    }
+
+    /// Intrinsic twin of `lane_exp` (same constants and polynomial).
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    fn exp(x: __m512d) -> __m512d {
+        let x = _mm512_min_pd(
+            _mm512_max_pd(x, _mm512_set1_pd(-EXP_CLAMP)),
+            _mm512_set1_pd(EXP_CLAMP),
+        );
+        let shift = _mm512_set1_pd(EXP_SHIFT);
+        let m = _mm512_fmadd_pd(x, _mm512_set1_pd(std::f64::consts::LOG2_E), shift);
+        let kf = _mm512_sub_pd(m, shift);
+        let r = _mm512_fnmadd_pd(kf, _mm512_set1_pd(LN2_HI), x);
+        let r = _mm512_fnmadd_pd(kf, _mm512_set1_pd(LN2_LO), r);
+        let mut p = _mm512_set1_pd(EXP_TAYLOR[0]);
+        for &c in &EXP_TAYLOR[1..] {
+            p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(c));
+        }
+        let one = _mm512_set1_pd(1.0);
+        p = _mm512_fmadd_pd(p, r, one);
+        p = _mm512_fmadd_pd(p, r, one);
+        // m's low 52 bits hold k + 2⁵¹; (that + (1023 − 2⁵¹)) << 52 is
+        // the f64 bit pattern of 2^k (valid: |k| ≤ 1022 after the clamp).
+        let mant = _mm512_set1_epi64(((1u64 << 52) - 1) as i64);
+        let bias = _mm512_set1_epi64(1023 - (1i64 << 51));
+        let k = _mm512_and_epi64(_mm512_castpd_si512(m), mant);
+        let scale = _mm512_castsi512_pd(_mm512_slli_epi64::<52>(_mm512_add_epi64(k, bias)));
+        _mm512_mul_pd(p, scale)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn epol_near(
+        ux: &[f64],
+        uy: &[f64],
+        uz: &[f64],
+        uq: &[f64],
+        ur: &[f64],
+        uri: &[f64],
+        vx: &[f64],
+        vy: &[f64],
+        vz: &[f64],
+        vq: &[f64],
+        vr: &[f64],
+        vri: &[f64],
+    ) -> f64 {
+        if ux.is_empty() || vx.is_empty() {
+            return 0.0;
+        }
+        let n_v = vx.len();
+        let n_full = n_v / 8 * 8;
+        let rem = n_v - n_full;
+        let tail_mask: __mmask8 = ((1u16 << rem) - 1) as __mmask8;
+        let n_u = ux.len();
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        // Masked tail lanes hold zeros; rr = 0 there makes the term a
+        // NaN, which the masked accumulate discards — only real lanes
+        // ever reach `acc`.
+        let term = |dx: __m512d,
+                    dy: __m512d,
+                    dz: __m512d,
+                    qaqb: __m512d,
+                    rr: __m512d,
+                    sa: __m512d,
+                    ib: __m512d|
+         -> __m512d {
+            let r2 = _mm512_fmadd_pd(dz, dz, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dx, dx)));
+            let arg = _mm512_mul_pd(_mm512_mul_pd(r2, sa), ib);
+            let f2 = _mm512_fmadd_pd(rr, exp(arg), r2);
+            _mm512_mul_pd(qaqb, rsqrt(f2))
+        };
+        let mut a = 0;
+        while a < n_u {
+            let paired = a + 1 < n_u;
+            let (xa0, ya0, za0) = (
+                _mm512_set1_pd(ux[a]),
+                _mm512_set1_pd(uy[a]),
+                _mm512_set1_pd(uz[a]),
+            );
+            let (qa0, ra0) = (_mm512_set1_pd(uq[a]), _mm512_set1_pd(ur[a]));
+            let sa0 = _mm512_set1_pd(-0.25 * uri[a]);
+            let b = if paired { a + 1 } else { a };
+            let (xa1, ya1, za1) = (
+                _mm512_set1_pd(ux[b]),
+                _mm512_set1_pd(uy[b]),
+                _mm512_set1_pd(uz[b]),
+            );
+            // An odd final atom runs chain 1 with zero charge.
+            let qa1 = if paired {
+                _mm512_set1_pd(uq[b])
+            } else {
+                _mm512_setzero_pd()
+            };
+            let ra1 = _mm512_set1_pd(ur[b]);
+            let sa1 = _mm512_set1_pd(-0.25 * uri[b]);
+            let mut pass = |k: __mmask8,
+                            bx: __m512d,
+                            by: __m512d,
+                            bz: __m512d,
+                            qb: __m512d,
+                            rb: __m512d,
+                            ib: __m512d| {
+                let t0 = term(
+                    _mm512_sub_pd(bx, xa0),
+                    _mm512_sub_pd(by, ya0),
+                    _mm512_sub_pd(bz, za0),
+                    _mm512_mul_pd(qa0, qb),
+                    _mm512_mul_pd(ra0, rb),
+                    sa0,
+                    ib,
+                );
+                acc0 = _mm512_mask_add_pd(acc0, k, acc0, t0);
+                let t1 = term(
+                    _mm512_sub_pd(bx, xa1),
+                    _mm512_sub_pd(by, ya1),
+                    _mm512_sub_pd(bz, za1),
+                    _mm512_mul_pd(qa1, qb),
+                    _mm512_mul_pd(ra1, rb),
+                    sa1,
+                    ib,
+                );
+                acc1 = _mm512_mask_add_pd(acc1, k, acc1, t1);
+            };
+            let mut s = 0;
+            while s < n_full {
+                pass(
+                    0xff,
+                    _mm512_loadu_pd(vx.as_ptr().add(s)),
+                    _mm512_loadu_pd(vy.as_ptr().add(s)),
+                    _mm512_loadu_pd(vz.as_ptr().add(s)),
+                    _mm512_loadu_pd(vq.as_ptr().add(s)),
+                    _mm512_loadu_pd(vr.as_ptr().add(s)),
+                    _mm512_loadu_pd(vri.as_ptr().add(s)),
+                );
+                s += 8;
+            }
+            if rem > 0 {
+                pass(
+                    tail_mask,
+                    _mm512_maskz_loadu_pd(tail_mask, vx.as_ptr().add(n_full)),
+                    _mm512_maskz_loadu_pd(tail_mask, vy.as_ptr().add(n_full)),
+                    _mm512_maskz_loadu_pd(tail_mask, vz.as_ptr().add(n_full)),
+                    _mm512_maskz_loadu_pd(tail_mask, vq.as_ptr().add(n_full)),
+                    _mm512_maskz_loadu_pd(tail_mask, vr.as_ptr().add(n_full)),
+                    _mm512_maskz_loadu_pd(tail_mask, vri.as_ptr().add(n_full)),
+                );
+            }
+            a += 2;
+        }
+        hsum(_mm512_add_pd(acc0, acc1))
+    }
+
+    /// Indexed-V near energy kernel: the V side streams through the
+    /// plan's gather list with `vgatherdpd` (6 gathers per 8-slot window,
+    /// amortized over every U atom) instead of a scalar scratch fill —
+    /// the per-leaf fill used to cost as much as the pair arithmetic it
+    /// fed. Tail windows replicate the last slot (safe addresses) and
+    /// zero the duplicate lanes' charges, which kills their terms
+    /// exactly.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn epol_near_gather(
+        idx: &[u32],
+        ax: &[f64],
+        ay: &[f64],
+        az: &[f64],
+        aq: &[f64],
+        ar: &[f64],
+        ari: &[f64],
+        ux: &[f64],
+        uy: &[f64],
+        uz: &[f64],
+        uq: &[f64],
+        ur: &[f64],
+        uri: &[f64],
+    ) -> f64 {
+        if idx.is_empty() || ux.is_empty() {
+            return 0.0;
+        }
+        let n = idx.len();
+        let n_u = ux.len();
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let mut start = 0;
+        while start < n {
+            let full = start + 8 <= n;
+            let ids: [u32; 8] = if full {
+                idx[start..start + 8].try_into().expect("lane ids")
+            } else {
+                let last = n - 1;
+                core::array::from_fn(|i| idx[(start + i).min(last)])
+            };
+            let vidx = _mm256_loadu_si256(ids.as_ptr() as *const __m256i);
+            let bx = _mm512_i32gather_pd::<8>(vidx, ax.as_ptr());
+            let by = _mm512_i32gather_pd::<8>(vidx, ay.as_ptr());
+            let bz = _mm512_i32gather_pd::<8>(vidx, az.as_ptr());
+            let rb = _mm512_i32gather_pd::<8>(vidx, ar.as_ptr());
+            let ib = _mm512_i32gather_pd::<8>(vidx, ari.as_ptr());
+            let mut qb = _mm512_i32gather_pd::<8>(vidx, aq.as_ptr());
+            if !full {
+                // Replicated tail lanes are real atoms (their f_GB stays
+                // positive); zeroing their charge removes the duplicates.
+                let keep: __mmask8 = ((1u16 << (n - start)) - 1) as __mmask8;
+                qb = _mm512_maskz_mov_pd(keep, qb);
+            }
+            let mut a = 0;
+            while a < n_u {
+                let paired = a + 1 < n_u;
+                let b = if paired { a + 1 } else { a };
+                let term = |i: usize, qa: __m512d| -> __m512d {
+                    let dx = _mm512_sub_pd(bx, _mm512_set1_pd(ux[i]));
+                    let dy = _mm512_sub_pd(by, _mm512_set1_pd(uy[i]));
+                    let dz = _mm512_sub_pd(bz, _mm512_set1_pd(uz[i]));
+                    let r2 =
+                        _mm512_fmadd_pd(dz, dz, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dx, dx)));
+                    let rr = _mm512_mul_pd(_mm512_set1_pd(ur[i]), rb);
+                    let arg = _mm512_mul_pd(_mm512_mul_pd(r2, _mm512_set1_pd(-0.25 * uri[i])), ib);
+                    let f2 = _mm512_fmadd_pd(rr, exp(arg), r2);
+                    _mm512_mul_pd(_mm512_mul_pd(qa, qb), rsqrt(f2))
+                };
+                acc0 = _mm512_add_pd(acc0, term(a, _mm512_set1_pd(uq[a])));
+                // An odd final atom runs chain 1 with zero charge.
+                let qa1 = if paired {
+                    _mm512_set1_pd(uq[b])
+                } else {
+                    _mm512_setzero_pd()
+                };
+                acc1 = _mm512_add_pd(acc1, term(b, qa1));
+                a += 2;
+            }
+            start += 8;
+        }
+        hsum(_mm512_add_pd(acc0, acc1))
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn born_near_gather(
+        idx: &[u32],
+        ax: &[f64],
+        ay: &[f64],
+        az: &[f64],
+        qx: &[f64],
+        qy: &[f64],
+        qz: &[f64],
+        qnx: &[f64],
+        qny: &[f64],
+        qnz: &[f64],
+        qw: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = idx.len();
+        if n == 0 || qx.is_empty() {
+            return;
+        }
+        let floor = _mm512_set1_pd(R2_FLOOR);
+        let guard = _mm512_set1_pd(R2_GUARD);
+        let mut start = 0;
+        while start < n {
+            let full = start + 8 <= n;
+            // Tail blocks replicate the last slot; only real lanes are
+            // scattered back, so the duplicates are computed-and-dropped.
+            let ids: [u32; 8] = if full {
+                idx[start..start + 8].try_into().expect("lane ids")
+            } else {
+                let last = n - 1;
+                core::array::from_fn(|i| idx[(start + i).min(last)])
+            };
+            let vidx = _mm256_loadu_si256(ids.as_ptr() as *const __m256i);
+            let x = _mm512_i32gather_pd::<8>(vidx, ax.as_ptr());
+            let y = _mm512_i32gather_pd::<8>(vidx, ay.as_ptr());
+            let z = _mm512_i32gather_pd::<8>(vidx, az.as_ptr());
+            let mut acc = _mm512_setzero_pd();
+            for j in 0..qx.len() {
+                let dx = _mm512_sub_pd(_mm512_set1_pd(qx[j]), x);
+                let dy = _mm512_sub_pd(_mm512_set1_pd(qy[j]), y);
+                let dz = _mm512_sub_pd(_mm512_set1_pd(qz[j]), z);
+                let r2 = _mm512_fmadd_pd(dz, dz, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dx, dx)));
+                let dot = _mm512_mul_pd(
+                    _mm512_fmadd_pd(
+                        dz,
+                        _mm512_set1_pd(qnz[j]),
+                        _mm512_fmadd_pd(
+                            dy,
+                            _mm512_set1_pd(qny[j]),
+                            _mm512_mul_pd(dx, _mm512_set1_pd(qnx[j])),
+                        ),
+                    ),
+                    _mm512_set1_pd(qw[j]),
+                );
+                let inv_r2 = rcp(_mm512_max_pd(r2, floor));
+                let inv6 = _mm512_mul_pd(_mm512_mul_pd(inv_r2, inv_r2), inv_r2);
+                let term = _mm512_mul_pd(dot, inv6);
+                // Masked accumulate on the same r² guard as the scalar
+                // kernel: sub-guard lanes contribute an exact 0.
+                let keep = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(r2, guard);
+                acc = _mm512_mask_add_pd(acc, keep, acc, term);
+            }
+            let mut buf = [0.0f64; 8];
+            _mm512_storeu_pd(buf.as_mut_ptr(), acc);
+            let n_real = if full { 8 } else { n - start };
+            // Slots within one group are distinct (disjoint leaf ranges),
+            // so the scatter-add never collides inside a block.
+            for i in 0..n_real {
+                out[ids[i] as usize] += buf[i];
+            }
+            start += 8;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn born_far_r6(
+        a_ids: &[u32],
+        anx: &[f64],
+        any_: &[f64],
+        anz: &[f64],
+        qc: [f64; 3],
+        nsum: [f64; 3],
+        dip: &QDipole,
+        s_node: &mut [f64],
+    ) {
+        let qcx = _mm512_set1_pd(qc[0]);
+        let qcy = _mm512_set1_pd(qc[1]);
+        let qcz = _mm512_set1_pd(qc[2]);
+        let nsx = _mm512_set1_pd(nsum[0]);
+        let nsy = _mm512_set1_pd(nsum[1]);
+        let nsz = _mm512_set1_pd(nsum[2]);
+        let tr = _mm512_set1_pd(dip.trace());
+        let m: [__m512d; 9] = core::array::from_fn(|k| _mm512_set1_pd(dip.m[k]));
+        let six = _mm512_set1_pd(6.0);
+
+        // One window of 8 far terms from gathered centers. The centers
+        // and `s_node` both fit in L1 for realistic trees, so the loop is
+        // gather-throughput-bound; the caller interleaves two windows to
+        // keep the gather ports saturated across the long-latency chain.
+        #[inline(always)]
+        unsafe fn window(
+            vidx: __m256i,
+            anx: &[f64],
+            any_: &[f64],
+            anz: &[f64],
+            qcx: __m512d,
+            qcy: __m512d,
+            qcz: __m512d,
+            nsx: __m512d,
+            nsy: __m512d,
+            nsz: __m512d,
+            tr: __m512d,
+            m: &[__m512d; 9],
+            six: __m512d,
+        ) -> __m512d {
+            let dx = _mm512_sub_pd(qcx, _mm512_i32gather_pd::<8>(vidx, anx.as_ptr()));
+            let dy = _mm512_sub_pd(qcy, _mm512_i32gather_pd::<8>(vidx, any_.as_ptr()));
+            let dz = _mm512_sub_pd(qcz, _mm512_i32gather_pd::<8>(vidx, anz.as_ptr()));
+            let r2 = _mm512_fmadd_pd(dz, dz, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dx, dx)));
+            let dot = _mm512_fmadd_pd(dz, nsz, _mm512_fmadd_pd(dy, nsy, _mm512_mul_pd(dx, nsx)));
+            let quad = _mm512_fmadd_pd(
+                dz,
+                _mm512_fmadd_pd(dz, m[8], _mm512_fmadd_pd(dy, m[7], _mm512_mul_pd(dx, m[6]))),
+                _mm512_fmadd_pd(
+                    dy,
+                    _mm512_fmadd_pd(dz, m[5], _mm512_fmadd_pd(dy, m[4], _mm512_mul_pd(dx, m[3]))),
+                    _mm512_mul_pd(
+                        dx,
+                        _mm512_fmadd_pd(
+                            dz,
+                            m[2],
+                            _mm512_fmadd_pd(dy, m[1], _mm512_mul_pd(dx, m[0])),
+                        ),
+                    ),
+                ),
+            );
+            let inv_r2 = rcp(r2);
+            let inv_rp = _mm512_mul_pd(_mm512_mul_pd(inv_r2, inv_r2), inv_r2);
+            _mm512_sub_pd(
+                _mm512_mul_pd(_mm512_add_pd(dot, tr), inv_rp),
+                _mm512_mul_pd(_mm512_mul_pd(six, quad), _mm512_mul_pd(inv_rp, inv_r2)),
+            )
+        }
+
+        let mut k = 0;
+        // Distinct a-nodes within a group (each is visited once per
+        // q-leaf), so the gather-add-scatter never collides across the
+        // interleaved windows and no read-back races a pending lane
+        // write. Four windows in flight keep the gather ports saturated
+        // across the long-latency gather→compute→scatter chain.
+        while k + 32 <= a_ids.len() {
+            let vidx0 = _mm256_loadu_si256(a_ids.as_ptr().add(k) as *const __m256i);
+            let vidx1 = _mm256_loadu_si256(a_ids.as_ptr().add(k + 8) as *const __m256i);
+            let vidx2 = _mm256_loadu_si256(a_ids.as_ptr().add(k + 16) as *const __m256i);
+            let vidx3 = _mm256_loadu_si256(a_ids.as_ptr().add(k + 24) as *const __m256i);
+            let t0 = window(
+                vidx0, anx, any_, anz, qcx, qcy, qcz, nsx, nsy, nsz, tr, &m, six,
+            );
+            let t1 = window(
+                vidx1, anx, any_, anz, qcx, qcy, qcz, nsx, nsy, nsz, tr, &m, six,
+            );
+            let t2 = window(
+                vidx2, anx, any_, anz, qcx, qcy, qcz, nsx, nsy, nsz, tr, &m, six,
+            );
+            let t3 = window(
+                vidx3, anx, any_, anz, qcx, qcy, qcz, nsx, nsy, nsz, tr, &m, six,
+            );
+            let cur0 = _mm512_i32gather_pd::<8>(vidx0, s_node.as_ptr());
+            _mm512_i32scatter_pd::<8>(s_node.as_mut_ptr(), vidx0, _mm512_add_pd(cur0, t0));
+            let cur1 = _mm512_i32gather_pd::<8>(vidx1, s_node.as_ptr());
+            _mm512_i32scatter_pd::<8>(s_node.as_mut_ptr(), vidx1, _mm512_add_pd(cur1, t1));
+            let cur2 = _mm512_i32gather_pd::<8>(vidx2, s_node.as_ptr());
+            _mm512_i32scatter_pd::<8>(s_node.as_mut_ptr(), vidx2, _mm512_add_pd(cur2, t2));
+            let cur3 = _mm512_i32gather_pd::<8>(vidx3, s_node.as_ptr());
+            _mm512_i32scatter_pd::<8>(s_node.as_mut_ptr(), vidx3, _mm512_add_pd(cur3, t3));
+            k += 32;
+        }
+        while k + 8 <= a_ids.len() {
+            let vidx = _mm256_loadu_si256(a_ids.as_ptr().add(k) as *const __m256i);
+            let t = window(
+                vidx, anx, any_, anz, qcx, qcy, qcz, nsx, nsy, nsz, tr, &m, six,
+            );
+            let cur = _mm512_i32gather_pd::<8>(vidx, s_node.as_ptr());
+            _mm512_i32scatter_pd::<8>(s_node.as_mut_ptr(), vidx, _mm512_add_pd(cur, t));
+            k += 8;
+        }
+        born_far_r6_scalar(&a_ids[k..], anx, any_, anz, qc, nsum, dip, s_node);
+    }
+
+    /// Compact-row far kernel (see `epol_far_compact_impl` for the slice
+    /// contract). U rows stream scalar, V rows are full padded lanes.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn epol_far_compact(
+        d_sq: f64,
+        uq: &[f64],
+        ur: &[f64],
+        uri: &[f64],
+        vq: &[f64],
+        vr: &[f64],
+        vri: &[f64],
+    ) -> f64 {
+        debug_assert_eq!(vq.len() % 8, 0);
+        let d2 = _mm512_set1_pd(d_sq);
+        let mut acc = _mm512_setzero_pd();
+        for i in 0..uq.len() {
+            let qul = _mm512_set1_pd(uq[i]);
+            let pul = _mm512_set1_pd(ur[i]);
+            let su = _mm512_set1_pd(-0.25 * d_sq * uri[i]);
+            let mut j = 0;
+            while j < vq.len() {
+                let qvj = _mm512_loadu_pd(vq.as_ptr().add(j));
+                let pvj = _mm512_loadu_pd(vr.as_ptr().add(j));
+                let pvij = _mm512_loadu_pd(vri.as_ptr().add(j));
+                let rr = _mm512_mul_pd(pul, pvj);
+                let arg = _mm512_mul_pd(su, pvij);
+                let f2 = _mm512_fmadd_pd(rr, exp(arg), d2);
+                acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_mul_pd(qul, qvj), rsqrt(f2)));
+                j += 8;
+            }
+        }
+        hsum(acc)
+    }
+}
+
+/// Dispatched Born near-block kernel at [`LANE_WIDTH`]. All slices are
+/// the block's contiguous slot ranges; `out` aliases the atoms' partial
+/// integrals (`s_atom`) for the same range.
+#[allow(clippy::too_many_arguments)]
+pub fn born_near_block(
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    qz: &[f64],
+    qnx: &[f64],
+    qny: &[f64],
+    qnz: &[f64],
+    qw: &[f64],
+    out: &mut [f64],
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if have_avx2_fma() {
+        // SAFETY: avx2+fma presence verified at runtime.
+        return unsafe { avx2::born_near(ax, ay, az, qx, qy, qz, qnx, qny, qnz, qw, out) };
+    }
+    born_near_impl::<LANE_WIDTH, PlainIsa>(ax, ay, az, qx, qy, qz, qnx, qny, qnz, qw, out)
+}
+
+/// Dispatched gather-form Born near kernel: for every atom slot in
+/// `idx` (the concatenated near-entry ranges of one plan group, distinct
+/// within the group), accumulate the descreening integrals of the
+/// q-leaf block `q*` into `out[idx[k]]`. Gathers straight from the
+/// molecule SoA arrays — no scratch copies, no separate scatter pass.
+#[allow(clippy::too_many_arguments)]
+pub fn born_near_gather(
+    idx: &[u32],
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    qz: &[f64],
+    qnx: &[f64],
+    qny: &[f64],
+    qnz: &[f64],
+    qw: &[f64],
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: avx512f presence verified at runtime.
+        return unsafe {
+            avx512::born_near_gather(idx, ax, ay, az, qx, qy, qz, qnx, qny, qnz, qw, out)
+        };
+    }
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if have_avx2_fma() {
+        // SAFETY: avx2+fma presence verified at runtime.
+        return unsafe {
+            avx2::born_near_gather(idx, ax, ay, az, qx, qy, qz, qnx, qny, qnz, qw, out)
+        };
+    }
+    born_near_gather_scalar(idx, ax, ay, az, qx, qy, qz, qnx, qny, qnz, qw, out)
+}
+
+/// Dispatched energy near-block kernel at [`LANE_WIDTH`] with
+/// caller-supplied reciprocal Born radii (`uri`/`vri` — the execute
+/// phase precomputes them once per segment, making the kernel
+/// division-free).
+#[allow(clippy::too_many_arguments)]
+pub fn epol_near_block_pre(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: avx512f presence verified at runtime.
+        return unsafe { avx512::epol_near(ux, uy, uz, uq, ur, uri, vx, vy, vz, vq, vr, vri) };
+    }
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if have_avx2_fma() {
+        // SAFETY: avx2+fma presence verified at runtime.
+        return unsafe { avx2::epol_near(ux, uy, uz, uq, ur, uri, vx, vy, vz, vq, vr, vri) };
+    }
+    epol_near_impl::<LANE_WIDTH, PlainIsa>(ux, uy, uz, uq, ur, uri, vx, vy, vz, vq, vr, vri)
+}
+
+/// Indexed-V form of [`epol_near_block_pre`]: the V side is `idx` into
+/// the atom SoA arrays (`a*`, slot-indexed, full length) instead of
+/// dense slices. Returns `None` when no hardware-gather tier is
+/// available — callers fall back to filling a dense block and calling
+/// [`epol_near_block_pre`] (on AVX2 the scalar fill beats 4-wide
+/// gathers; this fast path exists for the AVX-512 tier).
+#[allow(clippy::too_many_arguments)]
+pub fn epol_near_gather(
+    idx: &[u32],
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    aq: &[f64],
+    ar: &[f64],
+    ari: &[f64],
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+) -> Option<f64> {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: avx512f presence verified at runtime.
+        return Some(unsafe {
+            avx512::epol_near_gather(idx, ax, ay, az, aq, ar, ari, ux, uy, uz, uq, ur, uri)
+        });
+    }
+    None
+}
+
+/// Convenience form of [`epol_near_block_pre`] that computes the Born
+/// radius reciprocals itself. `u*`/`v*` are the two leaves' slot ranges
+/// of positions, charges and Born radii.
+#[allow(clippy::too_many_arguments)]
+pub fn epol_near_block(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+) -> f64 {
+    let uri: Vec<f64> = ur.iter().map(|&r| 1.0 / r).collect();
+    let vri: Vec<f64> = vr.iter().map(|&r| 1.0 / r).collect();
+    epol_near_block_pre(ux, uy, uz, uq, ur, &uri, vx, vy, vz, vq, vr, &vri)
+}
+
+/// Dispatched far-field Born kernel: adds the R6 pseudo-q-point term of
+/// (a-node, q-node) to `s_node[a_id]` for every id in `a_ids`, with the
+/// q-side (one node per far group) broadcast. `anx`/`any_`/`anz` are
+/// node-center SoA arrays indexed by node id. Uses the lane
+/// reciprocal-multiply formulation — ulp-grade against the strict
+/// two-division scalar term, not bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn born_far_r6_entries(
+    a_ids: &[u32],
+    anx: &[f64],
+    any_: &[f64],
+    anz: &[f64],
+    qc: [f64; 3],
+    nsum: [f64; 3],
+    dip: &QDipole,
+    s_node: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: avx512f presence verified at runtime.
+        return unsafe { avx512::born_far_r6(a_ids, anx, any_, anz, qc, nsum, dip, s_node) };
+    }
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if have_avx2_fma() {
+        // SAFETY: avx2+fma presence verified at runtime.
+        return unsafe { avx2::born_far_r6(a_ids, anx, any_, anz, qc, nsum, dip, s_node) };
+    }
+    born_far_r6_scalar(a_ids, anx, any_, anz, qc, nsum, dip, s_node)
+}
+
+/// Dispatched far (U, V) energy entry over compacted histogram rows
+/// (see [`epol_far_compact_impl`] for the slice contract — the execute
+/// phase reads the rows precomputed by
+/// [`crate::energy::octree::EpolCtx::compact_row`]).
+#[allow(clippy::too_many_arguments)]
+pub fn epol_far_compact(
+    d_sq: f64,
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: avx512f presence verified at runtime.
+        return unsafe { avx512::epol_far_compact(d_sq, uq, ur, uri, vq, vr, vri) };
+    }
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if have_avx2_fma() {
+        // SAFETY: avx2+fma presence verified at runtime.
+        return unsafe { avx2::epol_far_compact(d_sq, uq, ur, uri, vq, vr, vri) };
+    }
+    epol_far_compact_impl::<LANE_WIDTH, PlainIsa>(d_sq, uq, ur, uri, vq, vr, vri)
+}
+
+/// Compact one histogram row onto the stack: charge, bin radius and
+/// radius reciprocal for every nonzero bin. With `pad`, the row is
+/// extended to a [`LANE_WIDTH`] multiple with charge 0 / radius 1 (the
+/// V-side contract of [`epol_far_compact`]). Returns `(real, padded)`
+/// lengths.
+fn hist_compact_row(
+    h: &[f64],
+    bins: &BinScheme,
+    pad: bool,
+    q: &mut [f64; MAX_BINS],
+    r: &mut [f64; MAX_BINS],
+    ri: &mut [f64; MAX_BINS],
+) -> (usize, usize) {
+    let mut n = 0;
+    for (i, &c) in h.iter().enumerate() {
+        if c != 0.0 {
+            let rad = bins.bin_radius(i);
+            q[n] = c;
+            r[n] = rad;
+            ri[n] = 1.0 / rad;
+            n += 1;
+        }
+    }
+    let mut padded = n;
+    if pad {
+        padded = n.div_ceil(LANE_WIDTH) * LANE_WIDTH;
+        for k in n..padded {
+            q[k] = 0.0;
+            r[k] = 1.0;
+            ri[k] = 1.0;
+        }
+    }
+    (n, padded)
+}
+
+/// Histogram-slice form of the far entry: compacts both rows on the
+/// stack, runs [`epol_far_compact`] and returns the energy together with
+/// the nonzero-pair evaluation count. The execute phase uses the
+/// precompacted rows directly; this form serves callers (and tests)
+/// holding plain dense histograms.
+pub fn epol_far_entry(d_sq: f64, hu: &[f64], hv: &[f64], bins: &BinScheme) -> (f64, u64) {
+    let (mut uq, mut ur, mut uri) = ([0.0; MAX_BINS], [0.0; MAX_BINS], [0.0; MAX_BINS]);
+    let (mut vq, mut vr, mut vri) = ([0.0; MAX_BINS], [0.0; MAX_BINS], [0.0; MAX_BINS]);
+    let (nu, _) = hist_compact_row(hu, bins, false, &mut uq, &mut ur, &mut uri);
+    let (nv, pv) = hist_compact_row(hv, bins, true, &mut vq, &mut vr, &mut vri);
+    if nu == 0 || nv == 0 {
+        return (0.0, 0);
+    }
+    let e = epol_far_compact(
+        d_sq,
+        &uq[..nu],
+        &ur[..nu],
+        &uri[..nu],
+        &vq[..pv],
+        &vr[..pv],
+        &vri[..pv],
+    );
+    (e, (nu * nv) as u64)
+}
+
+/// Portable reference kernel at an explicit width `W` (no FMA
+/// contraction). Exists so tests can pin the reduction-order contract by
+/// comparing widths — it is not the dispatched production path.
+#[allow(clippy::too_many_arguments)]
+pub fn born_near_block_w<const W: usize>(
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    qx: &[f64],
+    qy: &[f64],
+    qz: &[f64],
+    qnx: &[f64],
+    qny: &[f64],
+    qnz: &[f64],
+    qw: &[f64],
+    out: &mut [f64],
+) {
+    born_near_impl::<W, PlainIsa>(ax, ay, az, qx, qy, qz, qnx, qny, qnz, qw, out)
+}
+
+/// Portable explicit-width variant of [`epol_near_block`] (see
+/// [`born_near_block_w`]).
+#[allow(clippy::too_many_arguments)]
+pub fn epol_near_block_w<const W: usize>(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+) -> f64 {
+    let uri: Vec<f64> = ur.iter().map(|&r| 1.0 / r).collect();
+    let vri: Vec<f64> = vr.iter().map(|&r| 1.0 / r).collect();
+    epol_near_impl::<W, PlainIsa>(ux, uy, uz, uq, ur, &uri, vx, vy, vz, vq, vr, &vri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::exact::gb_pair;
+    use polar_geom::MathMode;
+
+    /// Deterministic pseudo-random f64 in [lo, hi) (splitmix64).
+    fn rng(seed: &mut u64, lo: f64, hi: f64) -> f64 {
+        *seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        lo + (hi - lo) * (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn rel(a: f64, b: f64) -> f64 {
+        ((a - b) / b.abs().max(1e-300)).abs()
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(KernelMode::Lane.label(), "lane");
+        assert_eq!(KernelMode::Strict.label(), "strict");
+        assert_eq!(KernelMode::default(), KernelMode::Lane);
+    }
+
+    #[test]
+    fn width_is_pinned() {
+        // Changing the dispatched width silently re-associates every
+        // reduction between releases — widen only with a CHANGES entry
+        // and a refreshed BENCH_kernels baseline.
+        assert_eq!(LANE_WIDTH, 8);
+    }
+
+    #[test]
+    fn lane_rsqrt_is_exact_grade() {
+        let mut worst = 0.0f64;
+        let mut x = 1e-20;
+        while x < 1e20 {
+            let got = lane_rsqrt::<4, PlainIsa>(Lane::splat(x)).0[0];
+            worst = worst.max(rel(got, 1.0 / x.sqrt()));
+            x *= 3.7;
+        }
+        assert!(worst < 5e-15, "lane_rsqrt worst rel err {worst}");
+    }
+
+    #[test]
+    fn lane_exp_is_exact_grade() {
+        let mut worst = 0.0f64;
+        let mut x = -700.0;
+        while x <= 10.0 {
+            let got = lane_exp::<4, PlainIsa>(Lane::splat(x)).0[0];
+            worst = worst.max(rel(got, x.exp()));
+            x += 0.173;
+        }
+        // Edges: exact at 0, clamped (not garbage) far out of range.
+        assert_eq!(lane_exp::<4, PlainIsa>(Lane::splat(0.0)).0[0], 1.0);
+        let lo = lane_exp::<4, PlainIsa>(Lane::splat(-1e9)).0[0];
+        assert!(lo >= 0.0 && lo < 1e-300);
+        assert!(lane_exp::<4, PlainIsa>(Lane::splat(1e9)).0[0].is_finite());
+        assert!(worst < 5e-15, "lane_exp worst rel err {worst}");
+    }
+
+    fn random_block(n_a: usize, n_q: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut s = seed;
+        let coords = |s: &mut u64, n: usize, lo: f64, hi: f64| -> Vec<f64> {
+            (0..n).map(|_| rng(s, lo, hi)).collect()
+        };
+        let a = vec![
+            coords(&mut s, n_a, -8.0, 8.0),
+            coords(&mut s, n_a, -8.0, 8.0),
+            coords(&mut s, n_a, -8.0, 8.0),
+        ];
+        let q = vec![
+            coords(&mut s, n_q, -9.0, 9.0),
+            coords(&mut s, n_q, -9.0, 9.0),
+            coords(&mut s, n_q, -9.0, 9.0),
+            coords(&mut s, n_q, -1.0, 1.0),
+            coords(&mut s, n_q, -1.0, 1.0),
+            coords(&mut s, n_q, -1.0, 1.0),
+            coords(&mut s, n_q, 0.1, 2.0),
+        ];
+        (a, q)
+    }
+
+    fn born_scalar(a: &[Vec<f64>], q: &[Vec<f64>], out: &mut [f64]) {
+        for i in 0..a[0].len() {
+            let mut s = 0.0;
+            for j in 0..q[0].len() {
+                let dx = q[0][j] - a[0][i];
+                let dy = q[1][j] - a[1][i];
+                let dz = q[2][j] - a[2][i];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let dot = q[6][j] * (dx * q[3][j] + dy * q[4][j] + dz * q[5][j]);
+                s += if r2 > R2_GUARD {
+                    dot / (r2 * r2 * r2)
+                } else {
+                    0.0
+                };
+            }
+            out[i] += s;
+        }
+    }
+
+    #[test]
+    fn born_near_matches_scalar_including_ragged_tails() {
+        for (n_a, n_q) in [(8, 8), (13, 11), (1, 1), (7, 23), (16, 3)] {
+            let (a, q) = random_block(n_a, n_q, 0x5eed + n_a as u64);
+            let mut want = vec![0.1; n_a];
+            born_scalar(&a, &q, &mut want);
+            let mut got = vec![0.1; n_a];
+            born_near_block(
+                &a[0], &a[1], &a[2], &q[0], &q[1], &q[2], &q[3], &q[4], &q[5], &q[6], &mut got,
+            );
+            for (g, w) in got.iter().zip(&want) {
+                assert!(rel(*g, *w) < 1e-12, "{n_a}x{n_q}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn born_near_masks_coincident_pairs_exactly() {
+        // q-point sitting exactly on an atom: the r² guard must produce
+        // an exact 0 contribution, not inf·0 = NaN.
+        let (mut a, mut q) = random_block(9, 9, 77);
+        for k in 0..3 {
+            q[k][4] = a[k][6];
+        }
+        let mut want = vec![0.0; 9];
+        born_scalar(&a, &q, &mut want);
+        let mut got = vec![0.0; 9];
+        born_near_block(
+            &a[0], &a[1], &a[2], &q[0], &q[1], &q[2], &q[3], &q[4], &q[5], &q[6], &mut got,
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert!(g.is_finite());
+            assert!(rel(*g, *w) < 1e-12, "{g} vs {w}");
+        }
+        // Degenerate single coincident pair: exactly zero both paths.
+        a[0][0] = 1.0;
+        a[1][0] = 2.0;
+        a[2][0] = 3.0;
+        let mut z = vec![0.0; 1];
+        born_near_block(
+            &a[0][..1],
+            &a[1][..1],
+            &a[2][..1],
+            &[1.0],
+            &[2.0],
+            &[3.0],
+            &[0.5],
+            &[0.5],
+            &[0.5],
+            &[1.0],
+            &mut z,
+        );
+        assert_eq!(z[0], 0.0);
+    }
+
+    fn epol_fixture(n_u: usize, n_v: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut s = seed;
+        let mk = |s: &mut u64, n: usize| -> Vec<Vec<f64>> {
+            vec![
+                (0..n).map(|_| rng(s, -6.0, 6.0)).collect(),
+                (0..n).map(|_| rng(s, -6.0, 6.0)).collect(),
+                (0..n).map(|_| rng(s, -6.0, 6.0)).collect(),
+                (0..n).map(|_| rng(s, -0.8, 0.8)).collect(),
+                (0..n).map(|_| rng(s, 1.0, 4.0)).collect(),
+            ]
+        };
+        (mk(&mut s, n_u), mk(&mut s, n_v))
+    }
+
+    #[test]
+    fn epol_near_matches_scalar_including_diagonal() {
+        for (n_u, n_v) in [(8, 8), (5, 17), (1, 1), (11, 2)] {
+            let (u, mut v) = epol_fixture(n_u, n_v, 0xabc + n_u as u64);
+            // Include an exact self-pair (r = 0, the Born self-energy).
+            if n_u > 1 && n_v > 1 {
+                for k in 0..5 {
+                    v[k][0] = u[k][0];
+                }
+            }
+            let mut want = 0.0;
+            for a in 0..n_u {
+                for b in 0..n_v {
+                    let r_sq = (v[0][b] - u[0][a]).powi(2)
+                        + (v[1][b] - u[1][a]).powi(2)
+                        + (v[2][b] - u[2][a]).powi(2);
+                    want += gb_pair(u[3][a], v[3][b], r_sq, u[4][a], v[4][b], MathMode::Exact);
+                }
+            }
+            let got = epol_near_block(
+                &u[0], &u[1], &u[2], &u[3], &u[4], &v[0], &v[1], &v[2], &v[3], &v[4],
+            );
+            assert!(rel(got, want) < 1e-13, "{n_u}x{n_v}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn epol_far_matches_scalar_and_counts_evals() {
+        let born: Vec<f64> = (0..40).map(|i| 1.0 + 0.15 * i as f64).collect();
+        let bins = BinScheme::new(&born, 0.9);
+        let mut s = 0x9d0u64;
+        let nb = bins.nbins;
+        let mut hu = vec![0.0; nb];
+        let mut hv = vec![0.0; nb];
+        for k in 0..nb {
+            if k % 2 == 0 {
+                hu[k] = rng(&mut s, -0.5, 0.5);
+            }
+            if k % 3 == 0 {
+                hv[k] = rng(&mut s, -0.5, 0.5);
+            }
+        }
+        let d_sq = 900.0;
+        let mut want = 0.0;
+        let mut want_evals = 0u64;
+        for (i, &qu) in hu.iter().enumerate() {
+            if qu == 0.0 {
+                continue;
+            }
+            for (j, &qv) in hv.iter().enumerate() {
+                if qv == 0.0 {
+                    continue;
+                }
+                let rr = bins.radius_product(i, j);
+                let f = (d_sq + rr * (-d_sq / (4.0 * rr)).exp()).sqrt();
+                want += qu * qv / f;
+                want_evals += 1;
+            }
+        }
+        let (got, evals) = epol_far_entry(d_sq, &hu, &hv, &bins);
+        assert!(rel(got, want) < 1e-13, "{got} vs {want}");
+        assert_eq!(evals, want_evals);
+        // Empty histograms short-circuit.
+        let (z, e0) = epol_far_entry(d_sq, &vec![0.0; nb], &hv, &bins);
+        assert_eq!((z, e0), (0.0, 0));
+    }
+
+    #[test]
+    fn explicit_width_variants_agree_with_dispatch_to_tolerance() {
+        // W=4 / W=8 / dispatched differ only by reduction order and FMA
+        // contraction — all exact-grade, so they agree to ~1e-13 while
+        // each individual path is deterministic (bitwise equal re-runs).
+        let (u, v) = epol_fixture(19, 21, 0xfeed);
+        let d = epol_near_block(
+            &u[0], &u[1], &u[2], &u[3], &u[4], &v[0], &v[1], &v[2], &v[3], &v[4],
+        );
+        let w4 = epol_near_block_w::<4>(
+            &u[0], &u[1], &u[2], &u[3], &u[4], &v[0], &v[1], &v[2], &v[3], &v[4],
+        );
+        let w8 = epol_near_block_w::<8>(
+            &u[0], &u[1], &u[2], &u[3], &u[4], &v[0], &v[1], &v[2], &v[3], &v[4],
+        );
+        assert!(rel(w4, w8) < 1e-13, "{w4} vs {w8}");
+        assert!(rel(d, w8) < 1e-13, "{d} vs {w8}");
+        for _ in 0..3 {
+            let again = epol_near_block(
+                &u[0], &u[1], &u[2], &u[3], &u[4], &v[0], &v[1], &v[2], &v[3], &v[4],
+            );
+            assert_eq!(
+                d.to_bits(),
+                again.to_bits(),
+                "lane path must be deterministic"
+            );
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub mod batch;
 pub mod born;
 pub mod constants;
 pub mod energy;
+pub mod kernels;
 pub mod metrics;
 pub mod nonpolar;
 pub mod partition;
@@ -45,6 +46,7 @@ pub mod solver;
 pub mod stats;
 
 pub use batch::{BatchEngine, BatchJob, BatchOutcome};
+pub use kernels::KernelMode;
 pub use plan::{InteractionPlan, PlanError};
 pub use report::{BatchReport, SolveReport};
 pub use solver::{GbParams, GbResult, GbSolver, SolveScratch};

@@ -27,25 +27,64 @@
 //! ## Fidelity to the recursive reference
 //!
 //! The plan records entries in exactly the order the recursive traversal
-//! visits them (q-leaves ascending, depth-first over the atoms tree), and
-//! the execute loops replicate the recursive kernels' arithmetic
-//! term-for-term, so:
+//! visits them (q-leaves ascending, depth-first over the atoms tree).
+//! How faithfully execute replays that arithmetic is selected per solve
+//! by [`KernelMode`]:
 //!
-//! * Born-stage partials are **bitwise identical** to the recursive path
-//!   (every accumulator receives the same terms in the same order);
-//! * E_pol agrees to machine precision (≲ 1e-12 relative): per-leaf
-//!   contributions are re-associated (all near entries, then all far
-//!   entries, instead of the recursion's interleaved nesting), which
-//!   perturbs the sum only at the units-in-last-place level.
+//! * **[`KernelMode::Strict`]** runs the scalar reference loops, which
+//!   replicate the recursive kernels' arithmetic term-for-term:
+//!   Born-stage partials are **bitwise identical** to the recursive path
+//!   (every accumulator receives the same terms in the same order), and
+//!   E_pol agrees to machine precision (≲ 1e-12 relative — per-leaf
+//!   contributions are re-associated: all near entries, then all far
+//!   entries, instead of the recursion's interleaved nesting).
+//! * **[`KernelMode::Lane`]** (the default) routes every list — near
+//!   blocks, the Born far entry stream and energy far entries — through
+//!   the hand-vectorized kernels of [`crate::kernels`]. Near blocks
+//!   gather atom slots through the plan's precomputed flat index lists
+//!   (`gather_idx`), Born far entries vectorize over the entry stream
+//!   itself (the group's one q node broadcasts while a-node centers
+//!   gather), and energy far entries run over the
+//!   [`EpolCtx`]-precompacted histogram rows. Exact-grade, not bitwise:
+//!   lane accumulators re-associate sums, FMA contracts roundings and
+//!   divisions become seeded Newton reciprocals, but every elementary
+//!   term is computed to a few ulp, so E_pol stays within 1e-12 relative
+//!   of the recursive reference and Born radii differ only at the ulp
+//!   level. Lane energy kernels implement exact-grade math only; when a
+//!   solve asks for [`MathMode::Approximate`] the energy stage falls
+//!   back to the strict scalar loops so the fast-math ablation keeps its
+//!   exact semantics.
+//!
+//! ### Pinned summation order
+//!
+//! Both modes are deterministic run-to-run and across segment
+//! partitions, because the order of every floating-point reduction is
+//! part of this module's contract:
+//!
+//! * per q-leaf (Born) / per `T_A` leaf (energy): far and near lists in
+//!   plan order, near blocks in list order;
+//! * within a group's near work: strict mode sums the inner slot range
+//!   ascending per outer slot, block by block; lane mode runs the
+//!   group's flat gather list in list order, accumulating
+//!   [`kernels::LANE_WIDTH`]-wide partial sums that reduce low → high
+//!   (Born lanes scatter per-atom partials directly, so only the energy
+//!   kernels have a horizontal reduction);
+//! * leaves combine in ascending order within a segment, and segment
+//!   results add in rank order in the drivers.
+//!
+//! Changing the lane width would silently reorder the lane reductions —
+//! `kernels::width_is_pinned` and the cross-width test in
+//! `tests/kernel_modes.rs` lock that down.
 //!
 //! `WorkCounts` from execute report the same `pair_ops`/`far_ops` as the
-//! recursive traversal; `nodes_visited` is counted once at plan time
-//! (in [`InteractionPlan::plan_work`]) and is zero during execute — that
-//! is the point of planning.
+//! recursive traversal in both modes; `nodes_visited` is counted once at
+//! plan time (in [`InteractionPlan::plan_work`]) and is zero during
+//! execute — that is the point of planning.
 
 use crate::born::octree::{separation_factor_r6, BornKernel, BornOctreeCtx, BornPartials};
 use crate::energy::exact::gb_pair;
 use crate::energy::octree::{separation_factor_epol, EpolCtx};
+use crate::kernels::{self, KernelMode};
 use crate::report::PlanReport;
 use crate::solver::{GbParams, GbSolver};
 use crate::stats::WorkCounts;
@@ -118,6 +157,13 @@ pub struct BornPlan {
     near_q_end: Vec<u32>,
     far_a: Vec<u32>,
     far_q: Vec<u32>,
+    /// Flat atom-slot gather list: each q-leaf's near-entry ranges
+    /// concatenated (`gather_off`, length `n_qleaves + 1`, delimits each
+    /// group). The lane kernel gathers straight through these indices —
+    /// the near ranges average only a few slots, so per-range copies
+    /// would cost more than the arithmetic they feed.
+    gather_idx: Vec<u32>,
+    gather_off: Vec<u32>,
 }
 
 impl BornPlan {
@@ -135,7 +181,9 @@ impl BornPlan {
         (self.near_off.len()
             + self.far_off.len()
             + 4 * self.near_a_start.len()
-            + 2 * self.far_a.len())
+            + 2 * self.far_a.len()
+            + self.gather_idx.len()
+            + self.gather_off.len())
             * std::mem::size_of::<u32>()
     }
 }
@@ -154,6 +202,10 @@ pub struct EpolPlan {
     near_v_end: Vec<u32>,
     far_u: Vec<u32>,
     far_v: Vec<u32>,
+    /// Flat U-slot gather list per `T_A` leaf (see
+    /// [`BornPlan::gather_idx`]).
+    gather_idx: Vec<u32>,
+    gather_off: Vec<u32>,
 }
 
 impl EpolPlan {
@@ -171,7 +223,9 @@ impl EpolPlan {
         (self.near_off.len()
             + self.far_off.len()
             + 4 * self.near_u_start.len()
-            + 2 * self.far_u.len())
+            + 2 * self.far_u.len()
+            + self.gather_idx.len()
+            + self.gather_off.len())
             * std::mem::size_of::<u32>()
     }
 }
@@ -203,6 +257,11 @@ pub struct InteractionPlan {
     ay: Vec<f64>,
     az: Vec<f64>,
     charge_slot: Vec<f64>,
+    // `T_A` node centers by node id, for the gathered far-field Born
+    // kernel (the strict path reads them through the tree instead).
+    anx: Vec<f64>,
+    any_: Vec<f64>,
+    anz: Vec<f64>,
     // Q-point SoA, slot order.
     qx: Vec<f64>,
     qy: Vec<f64>,
@@ -230,6 +289,16 @@ impl InteractionPlan {
             ay.push(pos.y);
             az.push(pos.z);
             charge_slot.push(solver.charges[solver.tree_a.order()[slot] as usize]);
+        }
+        let n_nodes = solver.tree_a.node_count();
+        let mut anx = Vec::with_capacity(n_nodes);
+        let mut any_ = Vec::with_capacity(n_nodes);
+        let mut anz = Vec::with_capacity(n_nodes);
+        for id in 0..n_nodes {
+            let c = solver.tree_a.node(id as u32).center;
+            anx.push(c.x);
+            any_.push(c.y);
+            anz.push(c.z);
         }
         let n_q = solver.tree_q.len();
         let mut qx = Vec::with_capacity(n_q);
@@ -262,6 +331,9 @@ impl InteractionPlan {
             ay,
             az,
             charge_slot,
+            anx,
+            any_,
+            anz,
             qx,
             qy,
             qz,
@@ -295,7 +367,8 @@ impl InteractionPlan {
     pub fn memory_bytes(&self) -> usize {
         self.born.memory_bytes()
             + self.epol.memory_bytes()
-            + (self.ax.len() * 4 + self.qx.len() * 7) * std::mem::size_of::<f64>()
+            + (self.ax.len() * 4 + self.anx.len() * 3 + self.qx.len() * 7)
+                * std::mem::size_of::<f64>()
     }
 
     /// List-length statistics for the [`crate::report::SolveReport`].
@@ -310,13 +383,16 @@ impl InteractionPlan {
     }
 
     /// Execute the Born-stage lists of a contiguous `T_Q` leaf segment,
-    /// accumulating into `partials` exactly like
-    /// [`crate::born::octree::approx_integrals_into`] — bit-for-bit: the
-    /// lists replay the recursive traversal's accumulation order.
+    /// accumulating into `partials` like
+    /// [`crate::born::octree::approx_integrals_into`] — bit-for-bit in
+    /// [`KernelMode::Strict`] (the lists replay the recursive
+    /// traversal's accumulation order), ulp-grade in
+    /// [`KernelMode::Lane`] (see the module docs).
     pub fn execute_born_segment(
         &self,
         ctx: &BornOctreeCtx<'_>,
         qleaf_range: Range<usize>,
+        kernel: KernelMode,
         partials: &mut BornPartials,
         counts: &mut WorkCounts,
     ) {
@@ -329,21 +405,66 @@ impl InteractionPlan {
             // per-accumulator order matches the recursive interleaving.
             let fr = self.born.far_off[qleaf] as usize..self.born.far_off[qleaf + 1] as usize;
             counts.far_ops += fr.len() as u64;
-            for i in fr {
-                let a_id = self.born.far_a[i];
-                let q_id = self.born.far_q[i];
-                let a = ctx.tree_a.node(a_id);
-                let q = ctx.tree_q.node(q_id);
-                let d = q.center - a.center;
-                let d_sq = a.center.dist_sq(q.center);
-                partials.s_node[a_id as usize] += BornKernel::R6.far_term(
-                    ctx.q_nsum[q_id as usize],
+            if kernel == KernelMode::Lane && !fr.is_empty() {
+                // Every far entry of this group shares the one q node, so
+                // its moments broadcast and only a-node centers gather.
+                let q_id = self.born.far_q[fr.start];
+                let qc = ctx.tree_q.node(q_id).center;
+                let ns = ctx.q_nsum[q_id as usize];
+                kernels::born_far_r6_entries(
+                    &self.born.far_a[fr],
+                    &self.anx,
+                    &self.any_,
+                    &self.anz,
+                    [qc.x, qc.y, qc.z],
+                    [ns.x, ns.y, ns.z],
                     &ctx.q_dipole[q_id as usize],
-                    d,
-                    d_sq,
+                    &mut partials.s_node,
                 );
+            } else {
+                for i in fr {
+                    let a_id = self.born.far_a[i];
+                    let q_id = self.born.far_q[i];
+                    let a = ctx.tree_a.node(a_id);
+                    let q = ctx.tree_q.node(q_id);
+                    let d = q.center - a.center;
+                    let d_sq = a.center.dist_sq(q.center);
+                    partials.s_node[a_id as usize] += BornKernel::R6.far_term(
+                        ctx.q_nsum[q_id as usize],
+                        &ctx.q_dipole[q_id as usize],
+                        d,
+                        d_sq,
+                    );
+                }
             }
             let nr = self.born.near_off[qleaf] as usize..self.born.near_off[qleaf + 1] as usize;
+            if kernel == KernelMode::Lane && !nr.is_empty() {
+                // All near entries of the group share the q-leaf's slot
+                // range; the precomputed gather list concatenates their
+                // atom ranges, and the kernel gathers/scatters through it
+                // directly — no scratch copies.
+                let q_range = self.born.near_q_start[nr.start] as usize
+                    ..self.born.near_q_end[nr.start] as usize;
+                let gr =
+                    self.born.gather_off[qleaf] as usize..self.born.gather_off[qleaf + 1] as usize;
+                let gidx = &self.born.gather_idx[gr];
+                counts.pair_ops += (gidx.len() * q_range.len()) as u64;
+                kernels::born_near_gather(
+                    gidx,
+                    &self.ax,
+                    &self.ay,
+                    &self.az,
+                    &self.qx[q_range.clone()],
+                    &self.qy[q_range.clone()],
+                    &self.qz[q_range.clone()],
+                    &self.qnx[q_range.clone()],
+                    &self.qny[q_range.clone()],
+                    &self.qnz[q_range.clone()],
+                    &self.qw[q_range],
+                    &mut partials.s_atom,
+                );
+                continue;
+            }
             for i in nr {
                 let a_range = self.born.near_a_start[i] as usize..self.born.near_a_end[i] as usize;
                 let q_range = self.born.near_q_start[i] as usize..self.born.near_q_end[i] as usize;
@@ -379,13 +500,18 @@ impl InteractionPlan {
     /// `born_slot` is the solve's Born radii permuted into Morton slot
     /// order. Returns this segment's `−(τ/2)·Σ` contribution, matching
     /// [`crate::energy::octree::epol_for_leaf_segment`] to machine
-    /// precision.
+    /// precision in both kernel modes.
+    ///
+    /// The lane kernels implement exact-grade math only, so
+    /// [`MathMode::Approximate`] always runs the strict scalar loops —
+    /// the fast-math ablation's semantics never silently change.
     #[allow(clippy::too_many_arguments)]
     pub fn execute_epol_segment(
         &self,
         ectx: &EpolCtx<'_>,
         born_slot: &[f64],
         math: MathMode,
+        kernel: KernelMode,
         tau: f64,
         leaf_range: Range<usize>,
         counts: &mut WorkCounts,
@@ -393,25 +519,106 @@ impl InteractionPlan {
         if self.epol.near_off.is_empty() {
             return 0.0;
         }
+        let lane = kernel == KernelMode::Lane && math == MathMode::Exact;
+        // Reciprocal Born radii for the division-free lane kernels,
+        // computed once per segment (one divide per atom amortized over
+        // every block the atom appears in).
+        let inv_born: Vec<f64> = if lane {
+            born_slot.iter().map(|&r| 1.0 / r).collect()
+        } else {
+            Vec::new()
+        };
+        // Gather scratch for the lane path, reused across the segment's
+        // leaves (grown once, refilled per leaf).
+        let mut gx: Vec<f64> = Vec::new();
+        let mut gy: Vec<f64> = Vec::new();
+        let mut gz: Vec<f64> = Vec::new();
+        let mut gq: Vec<f64> = Vec::new();
+        let mut gr: Vec<f64> = Vec::new();
+        let mut gri: Vec<f64> = Vec::new();
         let mut acc = 0.0;
         for leaf in leaf_range {
             // Per-leaf sub-accumulator: keeps the summation tree close to
             // the recursion's per-leaf nesting (ulp-level agreement).
             let mut leaf_acc = 0.0;
             let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
-            for i in nr {
-                let u_range = self.epol.near_u_start[i] as usize..self.epol.near_u_end[i] as usize;
-                let v_range = self.epol.near_v_start[i] as usize..self.epol.near_v_end[i] as usize;
-                counts.pair_ops += (u_range.len() * v_range.len()) as u64;
-                for a in u_range {
-                    let (xa, ya, za) = (self.ax[a], self.ay[a], self.az[a]);
-                    let (qa, ra) = (self.charge_slot[a], born_slot[a]);
-                    for b in v_range.clone() {
-                        let dx = self.ax[b] - xa;
-                        let dy = self.ay[b] - ya;
-                        let dz = self.az[b] - za;
-                        let r_sq = dx * dx + dy * dy + dz * dz;
-                        leaf_acc += gb_pair(qa, self.charge_slot[b], r_sq, ra, born_slot[b], math);
+            if lane && !nr.is_empty() {
+                // All near entries of the group share the leaf's slot
+                // range as V; the precomputed gather list concatenates
+                // their U ranges. Fill one dense block through it and run
+                // the lanes over the long gathered side (the leaf's few
+                // atoms broadcast).
+                let v_range = self.epol.near_v_start[nr.start] as usize
+                    ..self.epol.near_v_end[nr.start] as usize;
+                let gidx = &self.epol.gather_idx
+                    [self.epol.gather_off[leaf] as usize..self.epol.gather_off[leaf + 1] as usize];
+                counts.pair_ops += (gidx.len() * v_range.len()) as u64;
+                if let Some(s) = kernels::epol_near_gather(
+                    gidx,
+                    &self.ax,
+                    &self.ay,
+                    &self.az,
+                    &self.charge_slot,
+                    born_slot,
+                    &inv_born,
+                    &self.ax[v_range.clone()],
+                    &self.ay[v_range.clone()],
+                    &self.az[v_range.clone()],
+                    &self.charge_slot[v_range.clone()],
+                    &born_slot[v_range.clone()],
+                    &inv_born[v_range.clone()],
+                ) {
+                    leaf_acc += s;
+                } else {
+                    let n = gidx.len();
+                    gx.resize(n, 0.0);
+                    gy.resize(n, 0.0);
+                    gz.resize(n, 0.0);
+                    gq.resize(n, 0.0);
+                    gr.resize(n, 0.0);
+                    gri.resize(n, 0.0);
+                    for (k, &slot) in gidx.iter().enumerate() {
+                        let s = slot as usize;
+                        gx[k] = self.ax[s];
+                        gy[k] = self.ay[s];
+                        gz[k] = self.az[s];
+                        gq[k] = self.charge_slot[s];
+                        gr[k] = born_slot[s];
+                        gri[k] = inv_born[s];
+                    }
+                    leaf_acc += kernels::epol_near_block_pre(
+                        &self.ax[v_range.clone()],
+                        &self.ay[v_range.clone()],
+                        &self.az[v_range.clone()],
+                        &self.charge_slot[v_range.clone()],
+                        &born_slot[v_range.clone()],
+                        &inv_born[v_range],
+                        &gx[..n],
+                        &gy[..n],
+                        &gz[..n],
+                        &gq[..n],
+                        &gr[..n],
+                        &gri[..n],
+                    );
+                }
+            } else {
+                for i in nr {
+                    let u_range =
+                        self.epol.near_u_start[i] as usize..self.epol.near_u_end[i] as usize;
+                    let v_range =
+                        self.epol.near_v_start[i] as usize..self.epol.near_v_end[i] as usize;
+                    counts.pair_ops += (u_range.len() * v_range.len()) as u64;
+                    for a in u_range {
+                        let (xa, ya, za) = (self.ax[a], self.ay[a], self.az[a]);
+                        let (qa, ra) = (self.charge_slot[a], born_slot[a]);
+                        for b in v_range.clone() {
+                            let dx = self.ax[b] - xa;
+                            let dy = self.ay[b] - ya;
+                            let dz = self.az[b] - za;
+                            let r_sq = dx * dx + dy * dy + dz * dz;
+                            leaf_acc +=
+                                gb_pair(qa, self.charge_slot[b], r_sq, ra, born_slot[b], math);
+                        }
                     }
                 }
             }
@@ -422,6 +629,27 @@ impl InteractionPlan {
                 let u = ectx.tree.node(u_id);
                 let v = ectx.tree.node(v_id);
                 let d_sq = u.center.dist_sq(v.center);
+                if lane {
+                    // Precompacted nonzero-bin rows: U streams its real
+                    // entries, V runs full padded lanes.
+                    let nzu = ectx.nonzero_bin_count(u_id) as usize;
+                    let nzv = ectx.nonzero_bin_count(v_id) as usize;
+                    if nzu > 0 && nzv > 0 {
+                        let (uq, ur, uri) = ectx.compact_row(u_id);
+                        let (vq, vr, vri) = ectx.compact_row(v_id);
+                        leaf_acc += kernels::epol_far_compact(
+                            d_sq,
+                            &uq[..nzu],
+                            &ur[..nzu],
+                            &uri[..nzu],
+                            vq,
+                            vr,
+                            vri,
+                        );
+                    }
+                    counts.far_ops += ((nzu * nzv) as u64).max(1);
+                    continue;
+                }
                 let hu = ectx.hist_row(u_id);
                 let hv = ectx.hist_row(v_id);
                 let mut evals = 0u64;
@@ -517,7 +745,28 @@ fn plan_born(tree_a: &Octree, tree_q: &Octree, eps: f64, counts: &mut WorkCounts
         plan.near_off.push(plan.near_a_start.len() as u32);
         plan.far_off.push(plan.far_a.len() as u32);
     }
+    (plan.gather_idx, plan.gather_off) =
+        expand_gather(&plan.near_off, &plan.near_a_start, &plan.near_a_end);
     plan
+}
+
+/// Expand each group's near-entry slot ranges into a flat gather-index
+/// list (one `u32` per gathered slot, group boundaries in the returned
+/// offsets). Slots stay in entry order, so lane kernels reading through
+/// the list visit exactly the scratch-copy order the gathered kernels
+/// used to see.
+fn expand_gather(off: &[u32], start: &[u32], end: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let total: usize = start.iter().zip(end).map(|(&s, &e)| (e - s) as usize).sum();
+    let mut idx = Vec::with_capacity(total);
+    let mut goff = Vec::with_capacity(off.len());
+    goff.push(0u32);
+    for g in 0..off.len().saturating_sub(1) {
+        for i in off[g] as usize..off[g + 1] as usize {
+            idx.extend(start[i]..end[i]);
+        }
+        goff.push(idx.len() as u32);
+    }
+    (idx, goff)
 }
 
 fn plan_born_rec(
@@ -565,6 +814,8 @@ fn plan_epol(tree: &Octree, eps: f64, counts: &mut WorkCounts) -> EpolPlan {
         plan.near_off.push(plan.near_u_start.len() as u32);
         plan.far_off.push(plan.far_u.len() as u32);
     }
+    (plan.gather_idx, plan.gather_off) =
+        expand_gather(&plan.near_off, &plan.near_u_start, &plan.near_u_end);
     plan
 }
 
@@ -615,7 +866,7 @@ mod tests {
     }
 
     #[test]
-    fn born_execute_is_bitwise_identical_to_recursive() {
+    fn strict_born_execute_is_bitwise_identical_to_recursive() {
         let s = solver(300, 17);
         let p = GbParams::default();
         let plan = InteractionPlan::build(&s, &p);
@@ -625,13 +876,68 @@ mod tests {
         let recursive = approx_integrals(&ctx, p.eps_born, 0..n_qleaves, &mut rec_counts);
         let mut planned = BornPartials::zeros(&s.tree_a);
         let mut plan_counts = WorkCounts::ZERO;
-        plan.execute_born_segment(&ctx, 0..n_qleaves, &mut planned, &mut plan_counts);
+        plan.execute_born_segment(
+            &ctx,
+            0..n_qleaves,
+            KernelMode::Strict,
+            &mut planned,
+            &mut plan_counts,
+        );
         assert_eq!(recursive.s_node, planned.s_node);
         assert_eq!(recursive.s_atom, planned.s_atom);
         assert_eq!(rec_counts.pair_ops, plan_counts.pair_ops);
         assert_eq!(rec_counts.far_ops, plan_counts.far_ops);
         assert_eq!(plan_counts.nodes_visited, 0);
         assert!(plan.plan_work.nodes_visited > 0);
+    }
+
+    #[test]
+    fn lane_born_execute_matches_recursive_to_ulp_grade() {
+        let s = solver(300, 17);
+        let p = GbParams::default();
+        let plan = InteractionPlan::build(&s, &p);
+        let ctx = s.born_ctx();
+        let n_qleaves = s.tree_q.leaves().len();
+        let mut rec_counts = WorkCounts::ZERO;
+        let recursive = approx_integrals(&ctx, p.eps_born, 0..n_qleaves, &mut rec_counts);
+        let mut planned = BornPartials::zeros(&s.tree_a);
+        let mut plan_counts = WorkCounts::ZERO;
+        plan.execute_born_segment(
+            &ctx,
+            0..n_qleaves,
+            KernelMode::Lane,
+            &mut planned,
+            &mut plan_counts,
+        );
+        // Far entries use the reciprocal-multiply lane formulation: ulp
+        // grade against the recursive two-division terms, not bitwise.
+        let nscale = recursive
+            .s_node
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        for (r, l) in recursive.s_node.iter().zip(&planned.s_node) {
+            assert!((r - l).abs() <= 1e-11 * nscale, "{r} vs {l}");
+        }
+        // Near blocks re-associate; the integrals agree to ulp grade.
+        let scale = recursive
+            .s_atom
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        for (r, l) in recursive.s_atom.iter().zip(&planned.s_atom) {
+            assert!((r - l).abs() <= 1e-11 * scale, "{r} vs {l}");
+        }
+        // Work accounting is mode-independent.
+        let mut strict_counts = WorkCounts::ZERO;
+        let mut strict = BornPartials::zeros(&s.tree_a);
+        plan.execute_born_segment(
+            &ctx,
+            0..n_qleaves,
+            KernelMode::Strict,
+            &mut strict,
+            &mut strict_counts,
+        );
+        assert_eq!(plan_counts.pair_ops, strict_counts.pair_ops);
+        assert_eq!(plan_counts.far_ops, strict_counts.far_ops);
     }
 
     #[test]
@@ -653,21 +959,54 @@ mod tests {
             &mut rec_counts,
         );
         let born_slot: Vec<f64> = s.tree_a.order().iter().map(|&o| born[o as usize]).collect();
-        let mut plan_counts = WorkCounts::ZERO;
-        let planned = plan.execute_epol_segment(
-            &ectx,
-            &born_slot,
-            MathMode::Exact,
-            t,
-            0..n_leaves,
-            &mut plan_counts,
+        for kernel in [KernelMode::Strict, KernelMode::Lane] {
+            let mut plan_counts = WorkCounts::ZERO;
+            let planned = plan.execute_epol_segment(
+                &ectx,
+                &born_slot,
+                MathMode::Exact,
+                kernel,
+                t,
+                0..n_leaves,
+                &mut plan_counts,
+            );
+            assert!(
+                (recursive - planned).abs() <= 1e-12 * recursive.abs(),
+                "{kernel:?}: {recursive} vs {planned}"
+            );
+            assert_eq!(rec_counts.pair_ops, plan_counts.pair_ops, "{kernel:?}");
+            assert_eq!(rec_counts.far_ops, plan_counts.far_ops, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn approximate_math_routes_lane_requests_to_strict_epol() {
+        // The lane kernels are exact-grade only; asking for Lane with
+        // approximate math must produce bitwise the strict approx result.
+        let s = solver(300, 22);
+        let p = GbParams::default();
+        let plan = InteractionPlan::build(&s, &p);
+        let (born, _) = s.born_radii(&p);
+        let ectx = EpolCtx::new(&s.tree_a, &s.charges, &born, p.eps_epol);
+        let t = tau(EPS_WATER);
+        let n_leaves = s.tree_a.leaves().len();
+        let born_slot: Vec<f64> = s.tree_a.order().iter().map(|&o| born[o as usize]).collect();
+        let run = |kernel: KernelMode| {
+            let mut counts = WorkCounts::ZERO;
+            plan.execute_epol_segment(
+                &ectx,
+                &born_slot,
+                MathMode::Approximate,
+                kernel,
+                t,
+                0..n_leaves,
+                &mut counts,
+            )
+        };
+        assert_eq!(
+            run(KernelMode::Lane).to_bits(),
+            run(KernelMode::Strict).to_bits()
         );
-        assert!(
-            (recursive - planned).abs() <= 1e-12 * recursive.abs(),
-            "{recursive} vs {planned}"
-        );
-        assert_eq!(rec_counts.pair_ops, plan_counts.pair_ops);
-        assert_eq!(rec_counts.far_ops, plan_counts.far_ops);
     }
 
     #[test]
@@ -677,15 +1016,19 @@ mod tests {
         let plan = InteractionPlan::build(&s, &p);
         let ctx = s.born_ctx();
         let n_qleaves = s.tree_q.leaves().len();
-        let mut scratch = WorkCounts::ZERO;
-        let mut full = BornPartials::zeros(&s.tree_a);
-        plan.execute_born_segment(&ctx, 0..n_qleaves, &mut full, &mut scratch);
-        let mut pieced = BornPartials::zeros(&s.tree_a);
-        let mid = n_qleaves / 2;
-        plan.execute_born_segment(&ctx, 0..mid, &mut pieced, &mut scratch);
-        plan.execute_born_segment(&ctx, mid..n_qleaves, &mut pieced, &mut scratch);
-        assert_eq!(full.s_node, pieced.s_node);
-        assert_eq!(full.s_atom, pieced.s_atom);
+        // Segment boundaries must not change a single bit in either
+        // kernel mode — per-q-leaf work is independent of chunking.
+        for kernel in [KernelMode::Strict, KernelMode::Lane] {
+            let mut scratch = WorkCounts::ZERO;
+            let mut full = BornPartials::zeros(&s.tree_a);
+            plan.execute_born_segment(&ctx, 0..n_qleaves, kernel, &mut full, &mut scratch);
+            let mut pieced = BornPartials::zeros(&s.tree_a);
+            let mid = n_qleaves / 2;
+            plan.execute_born_segment(&ctx, 0..mid, kernel, &mut pieced, &mut scratch);
+            plan.execute_born_segment(&ctx, mid..n_qleaves, kernel, &mut pieced, &mut scratch);
+            assert_eq!(full.s_node, pieced.s_node, "{kernel:?}");
+            assert_eq!(full.s_atom, pieced.s_atom, "{kernel:?}");
+        }
     }
 
     #[test]
@@ -746,7 +1089,15 @@ mod tests {
         assert_eq!(plan.epol.far_entries(), 0);
         let ectx = EpolCtx::new(&s.tree_a, &s.charges, &[], 0.9);
         let mut scratch = WorkCounts::ZERO;
-        let e = plan.execute_epol_segment(&ectx, &[], MathMode::Exact, 300.0, 0..0, &mut scratch);
+        let e = plan.execute_epol_segment(
+            &ectx,
+            &[],
+            MathMode::Exact,
+            KernelMode::Lane,
+            300.0,
+            0..0,
+            &mut scratch,
+        );
         assert_eq!(e, 0.0);
     }
 }

@@ -220,6 +220,10 @@ pub struct SolveReport {
     /// `"plan"`, `"plan_parallel"`, `"oct_mpi"`, `"oct_mpi_cilk"`,
     /// `"cluster_sim"`.
     pub mode: String,
+    /// Plan-execute arithmetic the solve used: `"lane"` (vectorized
+    /// kernels) or `"strict"` (scalar strict-fp reference). Recursive
+    /// traversal modes always report `"strict"`.
+    pub kernel_mode: String,
     pub n_atoms: usize,
     pub n_qpoints: usize,
     pub eps_born: f64,
@@ -277,6 +281,7 @@ impl SolveReport {
         let mut o = JsonObj::new();
         o.str("molecule", &self.molecule);
         o.str("mode", &self.mode);
+        o.str("kernel_mode", &self.kernel_mode);
         o.num("n_atoms", self.n_atoms as f64);
         o.num("n_qpoints", self.n_qpoints as f64);
         o.num("eps_born", self.eps_born);
@@ -351,6 +356,7 @@ impl SolveReport {
         [
             "molecule",
             "mode",
+            "kernel_mode",
             "n_atoms",
             "n_qpoints",
             "eps_born",
@@ -455,6 +461,7 @@ impl SolveReport {
         [
             csv_field(&self.molecule),
             csv_field(&self.mode),
+            csv_field(&self.kernel_mode),
             self.n_atoms.to_string(),
             self.n_qpoints.to_string(),
             format!("{}", self.eps_born),
@@ -510,6 +517,8 @@ pub struct BatchJobRow {
     /// Molecule name of the job.
     pub name: String,
     pub n_atoms: usize,
+    /// Plan-execute arithmetic the job ran with: `"lane"` or `"strict"`.
+    pub kernel_mode: String,
     /// The job's E_pol; NaN (serialized as `null`) when the job failed.
     pub epol_kcal: f64,
     /// Did the job reuse a cached (or batch-shared) plan?
@@ -569,11 +578,13 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Fraction of jobs served by a reused plan (0 when no jobs ran).
+    /// Fraction of jobs served by a reused plan. NaN when no jobs ran —
+    /// a zero-job batch has no hit rate, and the JSON emitter turns the
+    /// NaN into an explicit `null` (never a literal `NaN` token).
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
-            0.0
+            f64::NAN
         } else {
             self.cache_hits as f64 / total as f64
         }
@@ -621,6 +632,7 @@ impl BatchReport {
                 let mut ro = JsonObj::new();
                 ro.str("name", &r.name);
                 ro.num("n_atoms", r.n_atoms as f64);
+                ro.str("kernel_mode", &r.kernel_mode);
                 ro.num("epol_kcal", r.epol_kcal);
                 ro.raw("cache_hit", if r.cache_hit { "true" } else { "false" });
                 ro.num("pair_ops", r.pair_ops as f64);
@@ -643,6 +655,7 @@ impl BatchReport {
             "job",
             "name",
             "n_atoms",
+            "kernel_mode",
             "epol_kcal",
             "cache_hit",
             "pair_ops",
@@ -665,9 +678,10 @@ impl BatchReport {
                 String::new()
             };
             out.push_str(&format!(
-                "{i},{},{},{epol},{},{},{},{},{}\n",
+                "{i},{},{},{},{epol},{},{},{},{},{}\n",
                 csv_field(&r.name),
                 r.n_atoms,
+                csv_field(&r.kernel_mode),
                 r.cache_hit,
                 r.pair_ops,
                 r.far_ops,
@@ -750,6 +764,7 @@ mod tests {
         SolveReport {
             molecule: "glob,ule".into(),
             mode: "serial".into(),
+            kernel_mode: "strict".into(),
             n_atoms: 100,
             n_qpoints: 2000,
             eps_born: 0.9,
@@ -1073,13 +1088,128 @@ mod tests {
     fn csv_row_matches_header_arity() {
         let header = SolveReport::csv_header();
         let row = sample().to_csv_row();
-        assert_eq!(header.split(',').count(), 41);
+        assert_eq!(header.split(',').count(), 42);
         // The quoted molecule field contains a comma; strip it first.
         let row_fields = row.replace("\"glob,ule\"", "molecule");
-        assert_eq!(row_fields.split(',').count(), 41, "{row}");
-        assert!(row.starts_with("\"glob,ule\",serial,100,2000,"));
+        assert_eq!(row_fields.split(',').count(), 42, "{row}");
+        assert!(row.starts_with("\"glob,ule\",serial,strict,100,2000,"));
         // Plan columns carry the sample's entry counts.
         assert!(row.contains(",11,22,33,44,1234,"));
+    }
+
+    /// Column-count lock: parse the *emitted* headers, not a hand-kept
+    /// constant, so any accidental schema drift (added, dropped, or
+    /// reordered columns) fails here before it corrupts results/*.csv
+    /// concatenation downstream.
+    #[test]
+    fn csv_schemas_are_locked() {
+        let solve_header = SolveReport::csv_header();
+        let solve_cols: Vec<&str> = solve_header.split(',').collect();
+        assert_eq!(solve_cols.len(), 42);
+        assert_eq!(solve_cols[0], "molecule");
+        assert_eq!(solve_cols[1], "mode");
+        assert_eq!(solve_cols[2], "kernel_mode");
+        assert_eq!(solve_cols[3], "n_atoms");
+        assert_eq!(solve_cols[41], "memory_bytes");
+
+        let batch_header = BatchReport::csv_header();
+        let batch_cols: Vec<&str> = batch_header.split(',').collect();
+        assert_eq!(batch_cols.len(), 10);
+        assert_eq!(
+            batch_cols,
+            [
+                "job",
+                "name",
+                "n_atoms",
+                "kernel_mode",
+                "epol_kcal",
+                "cache_hit",
+                "pair_ops",
+                "far_ops",
+                "wall_s",
+                "error",
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_hit_rate_of_empty_batch_is_null_in_json() {
+        let empty = BatchReport {
+            jobs: 0,
+            succeeded: 0,
+            failed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_bytes_held: 0,
+            cache_capacity_bytes: 0,
+            arenas: 0,
+            arena_reuses: 0,
+            arena_bytes: 0,
+            retries: 0,
+            recovered_jobs: 0,
+            total_epol_kcal: 0.0,
+            total_work: WorkCounts::ZERO,
+            wall_seconds: 0.0,
+            rows: Vec::new(),
+        };
+        assert!(empty.hit_rate().is_nan());
+        let j = empty.to_json();
+        assert!(
+            j.contains("\"cache_hit_rate\":null"),
+            "zero-job hit rate must serialize as null: {j}"
+        );
+        assert!(!j.contains("NaN"), "{j}");
+        parse_json(&j).expect("empty batch JSON must parse");
+    }
+
+    #[test]
+    fn batch_rows_carry_kernel_mode_in_json_and_csv() {
+        let mut r = BatchReport {
+            jobs: 1,
+            succeeded: 1,
+            failed: 0,
+            cache_hits: 1,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_bytes_held: 0,
+            cache_capacity_bytes: 0,
+            arenas: 1,
+            arena_reuses: 0,
+            arena_bytes: 0,
+            retries: 0,
+            recovered_jobs: 0,
+            total_epol_kcal: -1.0,
+            total_work: WorkCounts::ZERO,
+            wall_seconds: 0.0,
+            rows: vec![BatchJobRow {
+                name: "mol".into(),
+                n_atoms: 10,
+                kernel_mode: "lane".into(),
+                epol_kcal: -1.0,
+                cache_hit: true,
+                pair_ops: 5,
+                far_ops: 6,
+                wall_seconds: 0.0,
+                error: None,
+            }],
+        };
+        assert!(r.to_json().contains("\"kernel_mode\":\"lane\""));
+        let csv = r.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.starts_with("0,mol,10,lane,-1,true,"), "{row}");
+        // A failed job keeps the arity: empty epol, filled error.
+        r.rows[0].epol_kcal = f64::NAN;
+        r.rows[0].error = Some("boom".into());
+        let failed_row = r.to_csv().lines().nth(1).unwrap().to_string();
+        assert_eq!(
+            failed_row.split(',').count(),
+            BatchReport::csv_header().split(',').count(),
+            "{failed_row}"
+        );
     }
 
     #[test]

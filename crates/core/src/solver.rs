@@ -16,6 +16,7 @@ use crate::born::octree::{
 use crate::constants::tau;
 use crate::energy::exact as energy_exact;
 use crate::energy::octree::{epol_for_leaf_segment, EpolCtx};
+use crate::kernels::KernelMode;
 use crate::partition::even_segments;
 use crate::plan::{InteractionPlan, PlanError};
 use crate::report::{SolveReport, StageReport, StealReport, TreeDepthStats};
@@ -37,6 +38,10 @@ pub struct GbParams {
     pub math: MathMode,
     /// Solvent dielectric (80 = water).
     pub eps_solvent: f64,
+    /// Plan execute arithmetic: vectorized lane kernels (default) or the
+    /// scalar strict-fp reference (CLI `--strict-fp`). Only affects
+    /// plan-execute solves; the recursive traversals are always scalar.
+    pub kernel: KernelMode,
 }
 
 impl Default for GbParams {
@@ -46,6 +51,7 @@ impl Default for GbParams {
             eps_epol: 0.9,
             math: MathMode::Exact,
             eps_solvent: crate::constants::EPS_WATER,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -295,6 +301,13 @@ impl GbSolver {
         SolveReport {
             molecule: self.name.clone(),
             mode: mode.to_string(),
+            // Only plan-execute paths honour `p.kernel`; the recursive
+            // traversals are always scalar strict-fp.
+            kernel_mode: if mode.starts_with("plan") {
+                p.kernel.label().to_string()
+            } else {
+                KernelMode::Strict.label().to_string()
+            },
             n_atoms: self.n_atoms(),
             n_qpoints: self.n_qpoints(),
             eps_born: p.eps_born,
@@ -334,8 +347,10 @@ impl GbSolver {
     }
 
     /// Solve by executing a previously built plan's interaction lists —
-    /// no tree traversal. Born radii are bitwise identical to
-    /// [`GbSolver::solve`]; E_pol matches to machine precision.
+    /// no tree traversal. In [`KernelMode::Strict`] Born radii are
+    /// bitwise identical to [`GbSolver::solve`]; in the default
+    /// [`KernelMode::Lane`] they agree to ulp grade. E_pol matches to
+    /// machine precision (≤ 1e-12 relative) in both modes.
     ///
     /// The plan must have been built from *this* solver at the same ε:
     /// a cheap fingerprint check rejects foreign/stale plans with a
@@ -389,7 +404,13 @@ impl GbSolver {
         let t0 = std::time::Instant::now();
         let mut work_born = WorkCounts::ZERO;
         let totals = scratch.partials_for(&self.tree_a);
-        plan.execute_born_segment(&ctx, 0..self.tree_q.leaves().len(), totals, &mut work_born);
+        plan.execute_born_segment(
+            &ctx,
+            0..self.tree_q.leaves().len(),
+            p.kernel,
+            totals,
+            &mut work_born,
+        );
         let totals = &scratch.partials;
         scratch.born.clear();
         scratch.born.resize(self.n_atoms(), 0.0);
@@ -417,6 +438,7 @@ impl GbSolver {
             &ectx,
             &scratch.born_slot,
             p.math,
+            p.kernel,
             tau(p.eps_solvent),
             0..self.tree_a.leaves().len(),
             &mut work_epol,
@@ -475,6 +497,7 @@ impl GbSolver {
                     plan.execute_born_segment(
                         ctx,
                         s..(s + chunk).min(n_qleaves),
+                        p.kernel,
                         &mut part,
                         &mut counts,
                     );
@@ -530,6 +553,7 @@ impl GbSolver {
                         ectx,
                         born_slot,
                         p.math,
+                        p.kernel,
                         tau(p.eps_solvent),
                         r,
                         &mut counts,

@@ -1,0 +1,175 @@
+//! Pins the summation order of the plan-execute kernels (see the
+//! "Pinned summation order" section of `polar_gb::plan`'s module docs).
+//!
+//! The lane kernels accumulate `LANE_WIDTH` partial sums in slot order
+//! and reduce them low→high, so the result depends on the lane width.
+//! Reproducibility therefore requires the width to be *pinned*: these
+//! tests lock `LANE_WIDTH == 8`, verify that the explicit 4-wide and
+//! 8-wide variants and the strict scalar path agree only to tolerance
+//! (i.e. the width genuinely matters, which is why it is pinned), and
+//! assert that every mode is bitwise deterministic run-to-run and
+//! independent of how a segment range is chunked.
+
+use polar_gb::constants::tau;
+use polar_gb::energy::EpolCtx;
+use polar_gb::kernels::{self, KernelMode, LANE_WIDTH};
+use polar_gb::{GbParams, GbSolver, WorkCounts};
+use polar_geom::MathMode;
+use polar_molecule::generators;
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+
+/// The seeded 2k-atom molecule the pin is defined against.
+fn big_solver() -> GbSolver {
+    let mol = generators::globular("pin2k", 2000, 42);
+    GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default())
+}
+
+#[test]
+fn lane_width_is_pinned_to_eight() {
+    // Changing this is a results-schema-level change: lane-mode energies
+    // move by ulps and stop matching archived BENCH_kernels.json runs.
+    assert_eq!(LANE_WIDTH, 8);
+}
+
+#[test]
+fn epol_segment_summation_order_is_pinned_across_widths_and_modes() {
+    let s = big_solver();
+    let p = GbParams::default();
+    let plan = s.plan(&p);
+    let (born, _) = s.born_radii(&p);
+    let born_slot = s.born_by_slot(&born);
+    let ectx = EpolCtx::new(&s.tree_a, &s.charges, &born, p.eps_epol);
+    let t = tau(p.eps_solvent);
+    let n_leaves = s.tree_a.leaves().len();
+
+    let run = |kernel: KernelMode| {
+        let mut w = WorkCounts::ZERO;
+        plan.execute_epol_segment(
+            &ectx,
+            &born_slot,
+            MathMode::Exact,
+            kernel,
+            t,
+            0..n_leaves,
+            &mut w,
+        )
+    };
+
+    // Scalar (strict) vs dispatched 8-wide lane: the accuracy contract.
+    let strict = run(KernelMode::Strict);
+    let lane = run(KernelMode::Lane);
+    assert!(
+        (strict - lane).abs() <= 1e-12 * strict.abs(),
+        "{strict} vs {lane}"
+    );
+
+    // Both modes are bitwise deterministic run-to-run — the summation
+    // order is a function of the plan alone, not of scheduling.
+    assert_eq!(strict.to_bits(), run(KernelMode::Strict).to_bits());
+    assert_eq!(lane.to_bits(), run(KernelMode::Lane).to_bits());
+
+    // Chunking a segment range: each segment is scaled by -τ/2 before
+    // the caller adds it, so the partition moves the result only at ulp
+    // level — but any *fixed* partition is bitwise reproducible (what
+    // the distributed drivers and batch engine actually rely on).
+    for kernel in [KernelMode::Strict, KernelMode::Lane] {
+        let whole = run(kernel);
+        for n_chunks in [2, 3, 7] {
+            let chunked = || {
+                let mut acc = 0.0;
+                let step = n_leaves.div_ceil(n_chunks);
+                let mut start = 0;
+                while start < n_leaves {
+                    let end = (start + step).min(n_leaves);
+                    let mut w = WorkCounts::ZERO;
+                    acc += plan.execute_epol_segment(
+                        &ectx,
+                        &born_slot,
+                        MathMode::Exact,
+                        kernel,
+                        t,
+                        start..end,
+                        &mut w,
+                    );
+                    start = end;
+                }
+                acc
+            };
+            let acc = chunked();
+            assert!(
+                (whole - acc).abs() <= 1e-13 * whole.abs(),
+                "{kernel:?} x{n_chunks}: {whole} vs {acc}"
+            );
+            assert_eq!(acc.to_bits(), chunked().to_bits(), "{kernel:?} x{n_chunks}");
+        }
+    }
+}
+
+#[test]
+fn four_wide_and_eight_wide_near_kernels_agree_to_tolerance_only() {
+    // Feed the explicit-width near kernel real slices of the seeded 2k
+    // molecule (a ragged length, so tails execute too). 4-wide and
+    // 8-wide reduce partials in different orders: they agree to ulp
+    // grade but NOT bitwise — the reason the width is pinned at all.
+    let s = big_solver();
+    let p = GbParams::default();
+    let (born, _) = s.born_radii(&p);
+    let mol = generators::globular("pin2k", 2000, 42);
+    let n = 1003; // ragged: not a multiple of either width
+    let ux: Vec<f64> = mol.atoms[..n].iter().map(|a| a.pos.x).collect();
+    let uy: Vec<f64> = mol.atoms[..n].iter().map(|a| a.pos.y).collect();
+    let uz: Vec<f64> = mol.atoms[..n].iter().map(|a| a.pos.z).collect();
+    let uq: Vec<f64> = mol.atoms[..n].iter().map(|a| a.charge).collect();
+    let ur: Vec<f64> = born[..n].to_vec();
+    let (vx, vy, vz) = (&ux[997..], &uy[997..], &uz[997..]);
+    let (vq, vr) = (&uq[997..], &ur[997..]);
+
+    let w4 = kernels::epol_near_block_w::<4>(&ux, &uy, &uz, &uq, &ur, vx, vy, vz, vq, vr);
+    let w8 = kernels::epol_near_block_w::<8>(&ux, &uy, &uz, &uq, &ur, vx, vy, vz, vq, vr);
+    let dispatched = kernels::epol_near_block(&ux, &uy, &uz, &uq, &ur, vx, vy, vz, vq, vr);
+
+    let scale = w8.abs().max(1.0);
+    assert!((w4 - w8).abs() <= 1e-12 * scale, "{w4} vs {w8}");
+    assert!(
+        (dispatched - w8).abs() <= 1e-12 * scale,
+        "{dispatched} vs {w8}"
+    );
+
+    // Each width is individually deterministic.
+    let again4 = kernels::epol_near_block_w::<4>(&ux, &uy, &uz, &uq, &ur, vx, vy, vz, vq, vr);
+    let again = kernels::epol_near_block(&ux, &uy, &uz, &uq, &ur, vx, vy, vz, vq, vr);
+    assert_eq!(w4.to_bits(), again4.to_bits());
+    assert_eq!(dispatched.to_bits(), again.to_bits());
+}
+
+#[test]
+fn born_segment_is_pinned_the_same_way() {
+    // Same contract for the Born stage: per-mode determinism for both
+    // lists (strict replays the recursive arithmetic, lane runs the
+    // gathered kernels with the pinned width), all of it
+    // chunking-invariant — each q-leaf group's work is self-contained.
+    let s = big_solver();
+    let p = GbParams::default();
+    let plan = s.plan(&p);
+    let ctx = s.born_ctx();
+    let n_qleaves = s.tree_q.leaves().len();
+
+    for kernel in [KernelMode::Strict, KernelMode::Lane] {
+        let mut whole = polar_gb::born::octree::BornPartials::zeros(&s.tree_a);
+        let mut w = WorkCounts::ZERO;
+        plan.execute_born_segment(&ctx, 0..n_qleaves, kernel, &mut whole, &mut w);
+
+        let mut chunked = polar_gb::born::octree::BornPartials::zeros(&s.tree_a);
+        let step = n_qleaves.div_ceil(5);
+        let mut start = 0;
+        while start < n_qleaves {
+            let end = (start + step).min(n_qleaves);
+            let mut w = WorkCounts::ZERO;
+            plan.execute_born_segment(&ctx, start..end, kernel, &mut chunked, &mut w);
+            start = end;
+        }
+        assert_eq!(whole.s_node, chunked.s_node, "{kernel:?}");
+        assert_eq!(whole.s_atom, chunked.s_atom, "{kernel:?}");
+    }
+}

@@ -4,7 +4,7 @@
 //! traversals' results — Born radii bitwise, E_pol to machine
 //! precision — and a plan must be reusable across repeated solves.
 
-use polar_gb::{GbParams, GbSolver};
+use polar_gb::{GbParams, GbSolver, KernelMode};
 use polar_molecule::generators;
 use polar_octree::OctreeConfig;
 use polar_surface::SurfaceConfig;
@@ -23,7 +23,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn planned_solve_matches_recursive_solve(
+    fn strict_planned_solve_matches_recursive_solve(
         n in 60usize..260,
         seed in 0u64..40,
         eps_born in 0.05..1.2f64,
@@ -33,6 +33,7 @@ proptest! {
         let p = GbParams {
             eps_born,
             eps_epol,
+            kernel: KernelMode::Strict,
             ..GbParams::default()
         };
         let recursive = s.solve(&p);
@@ -54,6 +55,37 @@ proptest! {
         prop_assert_eq!(planned.work_epol.far_ops, recursive.work_epol.far_ops);
         prop_assert_eq!(planned.work_born.nodes_visited, 0);
         prop_assert_eq!(planned.work_epol.nodes_visited, 0);
+    }
+
+    #[test]
+    fn lane_planned_solve_tracks_recursive_solve(
+        n in 60usize..260,
+        seed in 0u64..40,
+        eps_born in 0.05..1.2f64,
+        eps_epol in 0.05..1.2f64,
+    ) {
+        // The default (lane) kernels re-associate near-field sums:
+        // Born radii to ulp grade, E_pol within 1e-12 relative.
+        let s = solver_for(n, seed);
+        let p = GbParams {
+            eps_born,
+            eps_epol,
+            ..GbParams::default()
+        };
+        let recursive = s.solve(&p);
+        let plan = s.plan(&p);
+        let planned = s.solve_with_plan(&plan, &p).expect("compatible plan");
+        for (a, b) in planned.born.iter().zip(&recursive.born) {
+            prop_assert!(rel(*a, *b) <= 1e-11, "{} vs {}", a, b);
+        }
+        prop_assert!(
+            rel(planned.epol_kcal, recursive.epol_kcal) <= 1e-12,
+            "{} vs {}", planned.epol_kcal, recursive.epol_kcal
+        );
+        // Work accounting is kernel-independent.
+        prop_assert_eq!(planned.work_born.pair_ops, recursive.work_born.pair_ops);
+        prop_assert_eq!(planned.work_epol.pair_ops, recursive.work_epol.pair_ops);
+        prop_assert_eq!(planned.work_epol.far_ops, recursive.work_epol.far_ops);
     }
 
     #[test]
@@ -112,7 +144,9 @@ fn plan_report_mode_and_stats_round_trip() {
     let stats = report.plan.expect("plan stats present");
     assert_eq!(stats.plan_bytes, plan.memory_bytes() as u64);
     assert!(report.to_json().contains("\"plan\":{"));
-    assert_eq!(report.to_csv_row().split(',').count(), 41);
+    assert_eq!(report.kernel_mode, "lane");
+    assert!(report.to_json().contains("\"kernel_mode\":\"lane\""));
+    assert_eq!(report.to_csv_row().split(',').count(), 42);
 }
 
 #[test]

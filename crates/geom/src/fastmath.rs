@@ -39,7 +39,11 @@ impl MathMode {
     pub fn sqrt(self, x: f64) -> f64 {
         match self {
             MathMode::Exact => x.sqrt(),
-            MathMode::Approximate => x * fast_rsqrt(x),
+            // `x · rsqrt(x)` is only valid for normal x: at the domain
+            // edges (0 → 0·∞, ∞ → ∞·0) it would manufacture NaN, so
+            // they take the IEEE square root directly.
+            MathMode::Approximate if x.is_normal() => x * fast_rsqrt(x),
+            MathMode::Approximate => x.sqrt(),
         }
     }
 
@@ -70,13 +74,27 @@ impl MathMode {
     }
 }
 
-/// Fast reciprocal square root (`1/√x`) for positive finite `x`.
+/// Smallest positive *normal* `f64`. The bit-trick seeds below read the
+/// exponent field directly, so zeros and subnormals (exponent field 0)
+/// and infinities/NaNs (exponent field 0x7ff) would produce garbage
+/// seeds that Newton refinement cannot recover from.
+const MIN_NORMAL: f64 = f64::MIN_POSITIVE;
+
+/// Fast reciprocal square root (`1/√x`).
 ///
 /// 64-bit variant of the classic Quake trick with one Newton refinement;
-/// max relative error ≈ 2·10⁻³ over the positive normal range.
+/// max relative error ≈ 2·10⁻³ over the positive normal range. Domain
+/// edges fall back to the IEEE result instead of returning garbage:
+/// `0 → +∞`, subnormals → exact `1/√x`, `+∞ → 0`, negatives/NaN → NaN.
+/// (The lane kernels hit coincident-atom `r² ≈ 0` blocks, so the edge
+/// behavior is load-bearing, not defensive.)
 #[inline]
 pub fn fast_rsqrt(x: f64) -> f64 {
-    debug_assert!(x > 0.0 && x.is_finite(), "fast_rsqrt domain: {x}");
+    if !(MIN_NORMAL..f64::INFINITY).contains(&x) {
+        // Zero, subnormal, infinite, negative or NaN input: the seed's
+        // exponent arithmetic is invalid — use the exact IEEE value.
+        return 1.0 / x.sqrt();
+    }
     let i = x.to_bits();
     // Magic constant for f64 (Matthew Robertson's refinement of 0x5f3759df).
     let i = 0x5fe6_eb50_c7b5_37a9u64.wrapping_sub(i >> 1);
@@ -104,13 +122,20 @@ pub fn fast_exp(x: f64) -> f64 {
     f64::from_bits(y as u64)
 }
 
-/// Fast `x^(-1/3)` for positive finite `x`.
+/// Fast `x^(-1/3)`.
 ///
 /// Bit-level seed (divide exponent by 3) plus two Newton steps on
-/// `f(y) = y⁻³ − x`; max relative error ≈ 10⁻⁵.
+/// `f(y) = y⁻³ − x`; max relative error ≈ 10⁻⁵ over the positive normal
+/// range. Domain edges fall back to the IEEE result: `0 → +∞`,
+/// subnormals → exact `x^(-1/3)`, `+∞ → 0`, negatives → real `1/∛x`,
+/// NaN → NaN (the Born pipeline never feeds negative integrals here, but
+/// a garbage radius from a bad seed would silently poison every
+/// downstream energy).
 #[inline]
 pub fn fast_inv_cbrt(x: f64) -> f64 {
-    debug_assert!(x > 0.0 && x.is_finite(), "fast_inv_cbrt domain: {x}");
+    if !(MIN_NORMAL..f64::INFINITY).contains(&x) {
+        return 1.0 / x.cbrt();
+    }
     let i = x.to_bits();
     // Seed: interpret bits/3 trick for y ≈ x^(-1/3).
     let i = 0x553e_f0ff_289d_d796u64.wrapping_sub(i / 3);
@@ -181,6 +206,62 @@ mod tests {
         assert!(rel_err(MathMode::Approximate.exp(-1.5), (-1.5f64).exp()) < 0.05);
         assert!(rel_err(MathMode::Approximate.inv_cbrt(x), 1.0 / x.cbrt()) < 1e-4);
         assert!(rel_err(MathMode::Approximate.rsqrt(x), 1.0 / x.sqrt()) < 1e-4);
+    }
+
+    #[test]
+    fn rsqrt_domain_edges_are_ieee_not_garbage() {
+        // x = 0: mathematically 1/√0 = +∞ (the r² ≈ 0 coincident-atom
+        // case the lane kernels mask afterwards).
+        assert_eq!(fast_rsqrt(0.0), f64::INFINITY);
+        // IEEE: √−0 = −0, so 1/√−0 is −∞ (still a deterministic edge).
+        assert_eq!(fast_rsqrt(-0.0), f64::NEG_INFINITY);
+        // Subnormals: exact fallback, not an exponent-field misread.
+        let sub = f64::MIN_POSITIVE / 4.0;
+        assert!(sub > 0.0 && !sub.is_normal());
+        assert_eq!(fast_rsqrt(sub), 1.0 / sub.sqrt());
+        assert!(fast_rsqrt(sub).is_finite());
+        // Infinity collapses to 0; NaN and negatives stay NaN.
+        assert_eq!(fast_rsqrt(f64::INFINITY), 0.0);
+        assert!(fast_rsqrt(f64::NAN).is_nan());
+        assert!(fast_rsqrt(-1.0).is_nan());
+        // The smallest normal itself still goes through the fast path.
+        assert!(
+            rel_err(
+                fast_rsqrt(f64::MIN_POSITIVE),
+                1.0 / f64::MIN_POSITIVE.sqrt()
+            ) < 1e-4
+        );
+    }
+
+    #[test]
+    fn inv_cbrt_domain_edges_are_ieee_not_garbage() {
+        assert_eq!(fast_inv_cbrt(0.0), f64::INFINITY);
+        let sub = f64::MIN_POSITIVE / 8.0;
+        assert!(sub > 0.0 && !sub.is_normal());
+        assert_eq!(fast_inv_cbrt(sub), 1.0 / sub.cbrt());
+        assert!(fast_inv_cbrt(sub).is_finite());
+        assert_eq!(fast_inv_cbrt(f64::INFINITY), 0.0);
+        assert!(fast_inv_cbrt(f64::NAN).is_nan());
+        // Negative x: real cube root (1/∛−8 = −0.5), not garbage bits.
+        assert!((fast_inv_cbrt(-8.0) + 0.5).abs() < 1e-12);
+        assert!(
+            rel_err(
+                fast_inv_cbrt(f64::MIN_POSITIVE),
+                1.0 / f64::MIN_POSITIVE.cbrt()
+            ) < 1e-4
+        );
+    }
+
+    #[test]
+    fn mathmode_dispatch_survives_domain_edges() {
+        // The MathMode wrappers inherit the guarded edges in both modes.
+        for mode in [MathMode::Exact, MathMode::Approximate] {
+            assert_eq!(mode.rsqrt(0.0), f64::INFINITY, "{mode:?}");
+            assert_eq!(mode.inv_cbrt(0.0), f64::INFINITY, "{mode:?}");
+            assert!(mode.rsqrt(f64::INFINITY) == 0.0, "{mode:?}");
+            assert_eq!(mode.sqrt(0.0), 0.0, "{mode:?}");
+            assert_eq!(mode.sqrt(f64::INFINITY), f64::INFINITY, "{mode:?}");
+        }
     }
 
     #[test]

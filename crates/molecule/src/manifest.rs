@@ -210,14 +210,16 @@ fn parse_job(v: &Json, index: usize) -> Result<ManifestJob, ParseError> {
     }
     let repeat = match obj.get("repeat") {
         Some(r) => {
-            let r = r.as_usize(&format!("{}.repeat", ctx()))?;
-            if r == 0 {
-                return Err(ParseError::Invalid(format!(
-                    "{}.repeat: must be at least 1",
-                    ctx()
-                )));
+            let val = r.as_usize(&format!("{}.repeat", ctx()))?;
+            if val == 0 {
+                // Point at the offending token: a zero repeat silently
+                // expands to no jobs, so it must fail loudly and precisely.
+                return Err(invalid(
+                    r.number_pos().unwrap_or(0),
+                    &format!("{}.repeat must be at least 1, got 0", ctx()),
+                ));
             }
-            r
+            val
         }
         None => 1,
     };
@@ -239,7 +241,9 @@ enum Json {
     Object(BTreeMap<String, Json>),
     Array(Vec<Json>),
     String(String),
-    Number(f64),
+    /// A number and the byte offset of its first character — kept so
+    /// semantic errors (e.g. `repeat: 0`) can point at the exact token.
+    Number(f64, usize),
     Bool(bool),
     Null,
 }
@@ -279,8 +283,16 @@ impl Json {
 
     fn as_f64(&self, what: &str) -> Result<f64, ParseError> {
         match self {
-            Json::Number(x) => Ok(*x),
+            Json::Number(x, _) => Ok(*x),
             _ => Err(ParseError::Invalid(format!("{what} must be a number"))),
+        }
+    }
+
+    /// Byte offset of a number token in the manifest text, if this is one.
+    fn number_pos(&self) -> Option<usize> {
+        match self {
+            Json::Number(_, pos) => Some(*pos),
+            _ => None,
         }
     }
 
@@ -338,7 +350,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|x| x.is_finite())
-        .map(Json::Number)
+        .map(|x| Json::Number(x, start))
         .ok_or_else(|| invalid(start, "malformed number"))
 }
 
@@ -508,6 +520,19 @@ mod tests {
             let err = parse_manifest(text).expect_err(text).to_string();
             assert!(err.contains(needle), "{text} -> {err}");
         }
+    }
+
+    #[test]
+    fn zero_repeat_error_points_at_the_offending_byte() {
+        let text = r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "repeat": 0}]}"#;
+        let err = parse_manifest(text).expect_err("repeat 0").to_string();
+        let zero_at = text.rfind('0').expect("literal 0 present");
+        assert_eq!(&text[zero_at..zero_at + 1], "0");
+        assert!(
+            err.contains(&format!("byte {zero_at}")),
+            "error should carry the token offset {zero_at}: {err}"
+        );
+        assert!(err.contains("jobs[0].repeat"), "{err}");
     }
 
     #[test]

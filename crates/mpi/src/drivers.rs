@@ -130,6 +130,13 @@ impl DistributedRun {
         SolveReport {
             molecule: solver.name.clone(),
             mode: mode.to_string(),
+            // Only the plan-execute path vectorizes; the recursive
+            // per-rank traversals are always scalar strict-fp.
+            kernel_mode: if self.plan_stats.is_some() {
+                cfg.params.kernel.label().to_string()
+            } else {
+                polar_gb::KernelMode::Strict.label().to_string()
+            },
             n_atoms: solver.n_atoms(),
             n_qpoints: solver.n_qpoints(),
             eps_born: cfg.params.eps_born,
@@ -217,7 +224,7 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         let mut partials = if let Some(pl) = plan {
             if cfg.threads_per_rank == 1 {
                 let mut part = BornPartials::zeros(&solver.tree_a);
-                pl.execute_born_segment(&ctx, my_qleaves, &mut part, &mut work);
+                pl.execute_born_segment(&ctx, my_qleaves, p.kernel, &mut part, &mut work);
                 part
             } else {
                 let chunks = even_segments(my_qleaves.len(), cfg.threads_per_rank * 4)
@@ -231,7 +238,7 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
                         move || {
                             let mut w = WorkCounts::ZERO;
                             let mut part = BornPartials::zeros(ctx_ref.tree_a);
-                            pl.execute_born_segment(ctx_ref, r, &mut part, &mut w);
+                            pl.execute_born_segment(ctx_ref, r, p.kernel, &mut part, &mut w);
                             (part, w)
                         }
                     })
@@ -315,7 +322,15 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
         let epol_part = if let Some(pl) = plan {
             let born_slot = solver.born_by_slot(&born);
             if cfg.threads_per_rank == 1 {
-                pl.execute_epol_segment(&ectx, &born_slot, p.math, t, my_aleaves, &mut work_epol)
+                pl.execute_epol_segment(
+                    &ectx,
+                    &born_slot,
+                    p.math,
+                    p.kernel,
+                    t,
+                    my_aleaves,
+                    &mut work_epol,
+                )
             } else {
                 let chunks = even_segments(my_aleaves.len(), cfg.threads_per_rank * 4)
                     .into_iter()
@@ -332,6 +347,7 @@ pub fn run_distributed(solver: &GbSolver, cfg: &DistributedConfig) -> Distribute
                                 ectx_ref,
                                 born_slot_ref,
                                 p.math,
+                                p.kernel,
                                 t,
                                 r,
                                 &mut w,
@@ -570,17 +586,23 @@ mod tests {
             assert_eq!(rep.steal.is_some(), threads > 1);
             // Reports serialize without panicking and round out the row.
             assert!(rep.to_json().contains("\"mode\""));
-            assert_eq!(rep.to_csv_row().split(',').count(), 41);
+            // Recursive distributed runs always report strict arithmetic.
+            assert_eq!(rep.kernel_mode, "strict");
+            assert_eq!(rep.to_csv_row().split(',').count(), 42);
         }
     }
 
     #[test]
     fn planned_distributed_matches_recursive_distributed() {
-        // Executing plan segments per rank must reproduce the recursive
-        // drivers: Born radii bitwise (same accumulation order), energy
-        // to machine precision, and the report carries the plan section.
+        // Executing plan segments per rank in strict-fp mode must
+        // reproduce the recursive drivers: Born radii bitwise (same
+        // accumulation order), energy to machine precision, and the
+        // report carries the plan section.
         let s = solver(300, 28);
-        let p = GbParams::default();
+        let p = GbParams {
+            kernel: polar_gb::KernelMode::Strict,
+            ..GbParams::default()
+        };
         let serial = s.solve(&p);
         for (ranks, threads) in [(1, 1), (3, 1), (2, 2)] {
             let mut cfg = DistributedConfig::oct_mpi_cilk(ranks, threads, p);
@@ -616,7 +638,37 @@ mod tests {
             assert!(run.total_replicated_bytes > recursive.total_replicated_bytes);
             // Executing lists re-visits no tree nodes.
             assert_eq!(run.total_work_born().nodes_visited, 0);
-            assert_eq!(rep.to_csv_row().split(',').count(), 41);
+            assert_eq!(rep.kernel_mode, "strict");
+            assert_eq!(rep.to_csv_row().split(',').count(), 42);
+        }
+    }
+
+    #[test]
+    fn lane_planned_distributed_tracks_recursive_to_machine_precision() {
+        // Default (lane) kernels across the rank universe: the vector
+        // near-field re-associates, so Born radii agree to ulp grade and
+        // E_pol within the 1e-12 lane contract; the report says "lane".
+        let s = solver(300, 28);
+        let p = GbParams::default();
+        let serial = s.solve(&p);
+        for (ranks, threads) in [(1, 1), (3, 1), (2, 2)] {
+            let mut cfg = DistributedConfig::oct_mpi_cilk(ranks, threads, p);
+            cfg.use_plan = true;
+            let run = run_distributed(&s, &cfg);
+            for (a, b) in run.born.iter().zip(&serial.born) {
+                assert!(
+                    (a - b).abs() <= 1e-11 * b.abs().max(1.0),
+                    "P={ranks} p={threads}: {a} vs {b}"
+                );
+            }
+            assert!(
+                (run.epol_kcal - serial.epol_kcal).abs() <= 1e-12 * serial.epol_kcal.abs(),
+                "P={ranks} p={threads}: {} vs {}",
+                run.epol_kcal,
+                serial.epol_kcal
+            );
+            let rep = run.report(&s, &cfg);
+            assert_eq!(rep.kernel_mode, "lane");
         }
     }
 

@@ -106,6 +106,13 @@ impl FtDistributedRun {
         SolveReport {
             molecule: solver.name.clone(),
             mode: mode.to_string(),
+            // Matches the plain distributed driver: `p.kernel` only
+            // reaches the arithmetic when a plan executed.
+            kernel_mode: if self.plan_stats.is_some() {
+                cfg.params.kernel.label().to_string()
+            } else {
+                polar_gb::KernelMode::Strict.label().to_string()
+            },
             n_atoms: solver.n_atoms(),
             n_qpoints: solver.n_qpoints(),
             eps_born: cfg.params.eps_born,
@@ -417,7 +424,7 @@ pub fn run_distributed_ft(
                 let mut part = BornPartials::zeros(&solver.tree_a);
                 for run in contiguous_runs(items) {
                     if let Some(pl) = plan {
-                        pl.execute_born_segment(&ctx, run, &mut part, w);
+                        pl.execute_born_segment(&ctx, run, p.kernel, &mut part, w);
                     } else {
                         let piece = approx_integrals(&ctx, p.eps_born, run, w);
                         part.add(&piece);
@@ -523,6 +530,7 @@ pub fn run_distributed_ft(
                             &ectx,
                             born_slot.as_ref().expect("plan implies slot radii"),
                             p.math,
+                            p.kernel,
                             t,
                             run,
                             w,
