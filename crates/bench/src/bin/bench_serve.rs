@@ -1,0 +1,354 @@
+//! Serve-mode load test: seeded mixed traffic against `polar serve`,
+//! persisted to `results/BENCH_serve.json`.
+//!
+//! By default the binary starts an in-process server (2 workers, a
+//! deliberately shallow 4-deep admission queue, one-byte tenant quotas)
+//! and drives it over real TCP sockets with concurrent clients; pass
+//! `--addr HOST:PORT` to point the same load at an external `polar
+//! serve` instead.
+//!
+//! Each client runs a deterministic mix — warm repeated geometries,
+//! malformed lines, oversized jobs, zero-deadline requests, panicking
+//! jobs, quota-churning tenants — in two phases: synchronous
+//! roundtrips (latency sampling) and a pipelined burst (forces load
+//! shedding). Client-side latency percentiles (p50/p90/p99/max) are
+//! computed from every answered request.
+//!
+//! Acceptance (exit 1 on violation): every request line is answered,
+//! the drained server's counters reconcile, and the chaos actually
+//! happened — shed, deadline-exceeded, panicked and rejected counters
+//! are all nonzero, and the warm-geometry traffic produced a nonzero
+//! cache hit rate.
+
+use polar_bench::Scale;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+#[derive(Default, Clone)]
+struct Counts {
+    sent: u64,
+    answered: u64,
+    ok: u64,
+    cache_hits: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    panicked: u64,
+    bad_request: u64,
+    error: u64,
+}
+
+impl Counts {
+    fn absorb(&mut self, other: &Counts) {
+        self.sent += other.sent;
+        self.answered += other.answered;
+        self.ok += other.ok;
+        self.cache_hits += other.cache_hits;
+        self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.panicked += other.panicked;
+        self.bad_request += other.bad_request;
+        self.error += other.error;
+    }
+
+    fn classify(&mut self, resp: &str) {
+        self.answered += 1;
+        if resp.contains("\"status\":\"ok\"") {
+            self.ok += 1;
+            if resp.contains("\"cache_hit\":true") {
+                self.cache_hits += 1;
+            }
+        } else if resp.contains("\"status\":\"shed\"") {
+            self.shed += 1;
+        } else if resp.contains("\"status\":\"deadline_exceeded\"") {
+            self.deadline_exceeded += 1;
+        } else if resp.contains("\"status\":\"panicked\"") {
+            self.panicked += 1;
+        } else if resp.contains("\"status\":\"bad_request\"") {
+            self.bad_request += 1;
+        } else {
+            self.error += 1;
+        }
+    }
+}
+
+/// The deterministic request mix for one client. Geometry pool is
+/// shared across clients so repeats warm the cache; the chaos slots are
+/// spread so every class fires at every scale.
+fn request_for(client: usize, i: usize, n_atoms: usize) -> String {
+    let tenant = format!("t{}", client % 4);
+    match i % 8 {
+        2 => "{oops".to_string(), // malformed
+        3 => format!(
+            r#"{{"id":"c{client}r{i}","tenant":"{tenant}","generate":"globular","n_atoms":{n_atoms},"seed":{},"deadline_ms":0}}"#,
+            500 + (i % 4)
+        ),
+        5 => format!(
+            r#"{{"id":"c{client}r{i}","tenant":"{tenant}","generate":"globular","n_atoms":{n_atoms},"seed":{},"panic":true}}"#,
+            500 + (i % 4)
+        ),
+        6 => format!(
+            // Over the server's max_atoms bound: typed rejection.
+            r#"{{"id":"c{client}r{i}","generate":"globular","n_atoms":900000}}"#
+        ),
+        _ => format!(
+            r#"{{"id":"c{client}r{i}","tenant":"{tenant}","generate":"globular","n_atoms":{},"seed":{}}}"#,
+            n_atoms + (i % 4) * 31,
+            500 + (i % 4)
+        ),
+    }
+}
+
+fn client_session(
+    addr: &str,
+    client: usize,
+    sync_requests: usize,
+    burst: usize,
+    n_atoms: usize,
+) -> (Vec<f64>, Counts) {
+    let stream = TcpStream::connect(addr).expect("client connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::new();
+    let mut counts = Counts::default();
+
+    // Phase 1: synchronous roundtrips, latency-sampled.
+    for i in 0..sync_requests {
+        let req = request_for(client, i, n_atoms);
+        let t = Instant::now();
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        counts.sent += 1;
+        let mut resp = String::new();
+        if reader.read_line(&mut resp).is_err() || resp.trim().is_empty() {
+            return (latencies, counts); // answered < sent fails acceptance
+        }
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        counts.classify(resp.trim());
+    }
+
+    // Phase 2: pipelined burst — all writes, then all reads. Overruns
+    // the shallow queue and exercises shedding.
+    let t = Instant::now();
+    for i in 0..burst {
+        let req = request_for(client, sync_requests + i, n_atoms);
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        counts.sent += 1;
+    }
+    writer.flush().unwrap();
+    for _ in 0..burst {
+        let mut resp = String::new();
+        if reader.read_line(&mut resp).is_err() || resp.trim().is_empty() {
+            return (latencies, counts);
+        }
+        counts.classify(resp.trim());
+    }
+    latencies.push(t.elapsed().as_secs_f64() * 1e3 / burst as f64);
+    (latencies, counts)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (clients, sync_requests, burst, n_atoms) = if scale == Scale::quick() {
+        (4, 16, 12, 150)
+    } else if scale == Scale::full() {
+        (16, 48, 40, 800)
+    } else {
+        (8, 24, 24, 400)
+    };
+
+    let external_addr = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--addr")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let handle = if external_addr.is_none() {
+        let cfg = polar_serve::ServeConfig {
+            workers: 2,
+            queue_depth: 4,
+            tenant_quota_bytes: Some(1),
+            ..polar_serve::ServeConfig::default()
+        };
+        Some(polar_serve::start(cfg).expect("in-process server binds"))
+    } else {
+        None
+    };
+    let addr = external_addr
+        .clone()
+        .unwrap_or_else(|| handle.as_ref().unwrap().local_addr().to_string());
+    eprintln!(
+        "[bench_serve] {clients} clients x ({sync_requests} sync + {burst} burst) \
+         against {addr} ({})",
+        if external_addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+    );
+
+    let t0 = Instant::now();
+    let sessions: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_session(&addr, c, sync_requests, burst, n_atoms))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut counts = Counts::default();
+    for s in sessions {
+        let (lat, c) = s.join().expect("client thread survives");
+        latencies.extend(lat);
+        counts.absorb(&c);
+    }
+    let load_seconds = t0.elapsed().as_secs_f64();
+
+    // Drain over the wire; the response embeds the final report.
+    let drain_stream = TcpStream::connect(&addr).expect("drain connect");
+    drain_stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut drain_writer = drain_stream.try_clone().unwrap();
+    let mut drain_reader = BufReader::new(drain_stream);
+    drain_writer.write_all(b"{\"cmd\":\"drain\"}\n").unwrap();
+    drain_writer.flush().unwrap();
+    let mut drained = String::new();
+    drain_reader
+        .read_line(&mut drained)
+        .expect("drain response");
+    assert!(
+        drained.contains("\"status\":\"drained\""),
+        "drain must answer with the final report: {drained}"
+    );
+
+    // Typed final report when the server is ours; the wire JSON
+    // otherwise.
+    let (report_json, reconciles, server_hit_rate_pos) = match handle {
+        Some(h) => {
+            let report = h.join();
+            let pos = report.hit_rate() > 0.0;
+            (report.to_json(), report.reconciles(), pos)
+        }
+        None => {
+            let json = drained
+                .trim()
+                .strip_prefix("{\"status\":\"drained\",\"report\":")
+                .and_then(|s| s.strip_suffix('}'))
+                .unwrap_or(drained.trim())
+                .to_string();
+            (
+                json.clone(),
+                json.contains("\"reconciles\":true"),
+                !json.contains("\"cache_hit_rate\":null")
+                    && !json.contains("\"cache_hit_rate\":0,"),
+            )
+        }
+    };
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&latencies, 0.50);
+    let p90 = percentile(&latencies, 0.90);
+    let p99 = percentile(&latencies, 0.99);
+    let max = latencies.last().copied().unwrap_or(f64::NAN);
+    eprintln!(
+        "[bench_serve] {} sent, {} answered in {load_seconds:.2}s; \
+         ok {} (hits {}), shed {}, deadline {}, panicked {}, bad_request {}, error {}",
+        counts.sent,
+        counts.answered,
+        counts.ok,
+        counts.cache_hits,
+        counts.shed,
+        counts.deadline_exceeded,
+        counts.panicked,
+        counts.bad_request,
+        counts.error,
+    );
+    eprintln!("[bench_serve] latency ms: p50 {p50:.3}  p90 {p90:.3}  p99 {p99:.3}  max {max:.3}");
+
+    let mut json = String::from("{\"schema\":\"bench_serve/v1\",");
+    let _ = write!(
+        json,
+        "\"clients\":{clients},\"sync_requests\":{sync_requests},\"burst\":{burst},\
+         \"n_atoms_base\":{n_atoms},\"load_seconds\":{load_seconds:.6},\
+         \"sent\":{},\"answered\":{},\"ok\":{},\"client_cache_hits\":{},\
+         \"shed\":{},\"deadline_exceeded\":{},\"panicked\":{},\
+         \"bad_request\":{},\"error\":{},\
+         \"latency_p50_ms\":{p50:.4},\"latency_p90_ms\":{p90:.4},\
+         \"latency_p99_ms\":{p99:.4},\"latency_max_ms\":{max:.4},\
+         \"server_report\":{report_json}}}",
+        counts.sent,
+        counts.answered,
+        counts.ok,
+        counts.cache_hits,
+        counts.shed,
+        counts.deadline_exceeded,
+        counts.panicked,
+        counts.bad_request,
+        counts.error,
+    );
+    json.push('\n');
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[bench_serve] cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[json] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[bench_serve] cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Acceptance: no lost responses, reconciled counters, and every
+    // chaos class actually fired.
+    let mut violations = Vec::new();
+    if counts.answered != counts.sent {
+        violations.push(format!(
+            "{} of {} requests went unanswered",
+            counts.sent - counts.answered,
+            counts.sent
+        ));
+    }
+    if !reconciles {
+        violations.push("server counters do not reconcile".to_string());
+    }
+    if counts.shed == 0 {
+        violations.push("no requests were shed".to_string());
+    }
+    if counts.deadline_exceeded == 0 {
+        violations.push("no deadlines were exceeded".to_string());
+    }
+    if counts.panicked == 0 {
+        violations.push("no panics were injected".to_string());
+    }
+    if counts.bad_request == 0 {
+        violations.push("no requests were rejected".to_string());
+    }
+    if counts.cache_hits == 0 || !server_hit_rate_pos {
+        violations.push("warm traffic produced no cache hits".to_string());
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("[bench_serve] ACCEPTANCE FAILURE: {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[bench_serve] acceptance ok");
+}

@@ -268,6 +268,76 @@ pub fn batch(a: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `polar serve`: run the persistent rescoring server until a client
+/// sends `{"cmd":"drain"}`, then print the final report and exit 0.
+pub fn serve(a: &Args) -> CmdResult {
+    use std::io::Write;
+    let workers: usize = a.get_parsed(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )?;
+    let deadline_ms = match a.get("deadline-ms") {
+        None => None,
+        Some(_) => Some(a.get_parsed("deadline-ms", 0u64)?),
+    };
+    let quota_mb = match a.get("quota-mb") {
+        None => None,
+        Some(_) => Some(a.get_parsed("quota-mb", 0usize)?),
+    };
+    let cache_mb: usize = a.get_parsed("cache-mb", 256)?;
+    let profile = profile_format(a)?;
+    let cfg = polar_serve::ServeConfig {
+        addr: a.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers,
+        queue_depth: a.get_parsed("queue-depth", 64)?,
+        default_deadline_ms: deadline_ms,
+        cache_bytes: cache_mb << 20,
+        tenant_quota_bytes: quota_mb.map(|m| m << 20),
+        drain_timeout: std::time::Duration::from_secs(a.get_parsed("drain-timeout", 10u64)?),
+        ..polar_serve::ServeConfig::default()
+    };
+    let handle = polar_serve::start(cfg)?;
+    // Scripts read the resolved address (port 0 = ephemeral) from the
+    // first stdout line.
+    println!("listening on {}", handle.local_addr());
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serve: {workers} workers, queue depth {}, cache {cache_mb} MB; \
+         send {{\"cmd\":\"drain\"}} to stop",
+        a.get_parsed("queue-depth", 64usize)?,
+    );
+    let report = handle.join();
+    eprintln!(
+        "serve drained: {} requests ({} completed, {} shed, {} deadline-exceeded, \
+         {} panicked, {} failed, {} rejected), counters {}",
+        report.requests,
+        report.completed,
+        report.shed,
+        report.deadline_exceeded,
+        report.panicked,
+        report.failed,
+        report.rejected,
+        if report.reconciles() {
+            "reconcile"
+        } else {
+            "DO NOT RECONCILE"
+        },
+    );
+    match profile {
+        None => {}
+        Some(ProfileFormat::Json) => println!("{}", report.to_json()),
+        Some(ProfileFormat::Csv) => print!("{}", report.to_csv()),
+    }
+    if !report.reconciles() {
+        return Err(Box::new(ArgError(
+            "serve counters failed to reconcile".into(),
+        )));
+    }
+    Ok(())
+}
+
 /// `polar info <file>`
 pub fn info(a: &Args) -> CmdResult {
     let mol = load_molecule(a)?;

@@ -10,6 +10,8 @@
 //!                          [--faults spec.json | --fault-seed N]
 //! polar batch --manifest jobs.json [--cache-mb N] [--threads p]
 //!                                  [--profile json|csv]
+//! polar serve [--addr H:P] [--queue-depth N] [--deadline-ms N]
+//!             [--cache-mb N] [--quota-mb N] [--drain-timeout S]
 //! polar project <file> [--nodes N]     # simulated cluster timings
 //! ```
 
@@ -35,6 +37,11 @@ const VALUE_OPTS: &[&str] = &[
     "fault-seed",
     "manifest",
     "cache-mb",
+    "addr",
+    "queue-depth",
+    "deadline-ms",
+    "quota-mb",
+    "drain-timeout",
 ];
 const BOOL_FLAGS: &[&str] = &[
     "approx-math",
@@ -66,6 +73,7 @@ fn main() {
         "sweep" => commands::sweep(&parsed),
         "distributed" => commands::distributed(&parsed),
         "batch" => commands::batch(&parsed),
+        "serve" => commands::serve(&parsed),
         "project" => commands::project(&parsed),
         other => {
             eprintln!("error: unknown command {other:?}");
@@ -107,6 +115,15 @@ USAGE:
       --cache-mb N                plan-cache capacity in MB (default 256)
       --threads p                 worker count (default: all cores)
       --profile json|csv          print the BatchReport to stdout
+  polar serve               persistent rescoring server (line-delimited
+      --addr HOST:PORT            JSON over TCP; port 0 = ephemeral)
+      --queue-depth N             admission queue bound (default 64)
+      --deadline-ms N             default per-request deadline (none)
+      --cache-mb N                plan-cache capacity in MB (default 256)
+      --quota-mb N                per-tenant cache quota in MB (none)
+      --drain-timeout S           drain grace period, seconds (default 10)
+      --threads p                 worker count (default: all cores)
+      --profile json|csv          print the final ServeReport to stdout
   polar project <file>      simulated Lonestar4 timings [--nodes N]
       --plan                      derive per-leaf task costs from plan lists
 

@@ -378,3 +378,68 @@ fn batch_without_manifest_or_with_bad_manifest_is_a_clean_error() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn serve_accepts_jobs_over_tcp_and_drains_to_exit_zero() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut child = polar()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--profile",
+            "json",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // First stdout line announces the resolved ephemeral address.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |req: &str| -> String {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("response");
+        resp.trim().to_string()
+    };
+
+    let req = r#"{"id":"e2e","generate":"globular","n_atoms":120,"seed":4}"#;
+    let cold = roundtrip(req);
+    assert!(cold.contains("\"status\":\"ok\""), "{cold}");
+    let warm = roundtrip(req);
+    assert!(warm.contains("\"cache_hit\":true"), "{warm}");
+    let bad = roundtrip("{nope");
+    assert!(bad.contains("\"status\":\"bad_request\""), "{bad}");
+    let drained = roundtrip(r#"{"cmd":"drain"}"#);
+    assert!(drained.contains("\"status\":\"drained\""), "{drained}");
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "drained server must exit 0");
+    // --profile json printed the final report after the announcement.
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("\"schema\":\"serve_report/v1\""),
+        "final report on stdout: {rest}"
+    );
+    assert!(rest.contains("\"reconciles\":true"), "{rest}");
+    assert!(rest.contains("\"completed\":2"), "{rest}");
+}

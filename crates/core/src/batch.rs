@@ -47,11 +47,30 @@ use std::time::Instant;
 pub struct BatchJob {
     pub molecule: Molecule,
     pub params: GbParams,
+    /// Chaos injection: the job's first `panics` attempts deliberately
+    /// panic inside the worker. Zero (the default) solves normally;
+    /// a value above the engine's retry budget fails the job on every
+    /// attempt. Exercises panic isolation deterministically in tests,
+    /// the chaos CI suite, and `polar serve` fault drills.
+    pub panics: u32,
 }
 
 impl BatchJob {
     pub fn new(molecule: Molecule, params: GbParams) -> BatchJob {
-        BatchJob { molecule, params }
+        BatchJob {
+            molecule,
+            params,
+            panics: 0,
+        }
+    }
+
+    /// Chaos variant: panic on the first `panics` attempts.
+    pub fn with_panics(molecule: Molecule, params: GbParams, panics: u32) -> BatchJob {
+        BatchJob {
+            molecule,
+            params,
+            panics,
+        }
     }
 }
 
@@ -130,28 +149,49 @@ pub struct Prepared {
 struct CacheSlot {
     entry: Arc<Prepared>,
     last_used: u64,
+    /// Quota-accounting bucket the entry's bytes are charged to.
+    tenant: String,
 }
 
-/// Byte-capacity LRU over prepared plans. Capacity is accounted with
+/// Byte-capacity LRU over prepared plans, with optional per-tenant
+/// byte quotas. Capacity is accounted with
 /// `InteractionPlan::memory_bytes`; the most recently inserted entry is
 /// always retained, so a single oversized plan can still serve its
 /// batch before being evicted by the next insertion.
+///
+/// Quota semantics are graceful degradation, not rejection: a tenant
+/// over its quota evicts *its own* least-recently-used plans first, so
+/// one tenant hammering the cache with fresh geometry can never flush
+/// another tenant's warm entries.
 struct PlanCache {
     capacity_bytes: usize,
+    /// Per-tenant cap on held plan bytes (`usize::MAX` = unlimited).
+    tenant_quota_bytes: usize,
     map: HashMap<PlanKey, CacheSlot>,
+    tenant_bytes: HashMap<String, usize>,
     tick: u64,
     bytes_held: usize,
     evictions: u64,
+    /// Evictions forced by a tenant quota (subset not counted in
+    /// `evictions`, which stays capacity-pressure only).
+    quota_evictions: u64,
 }
 
 impl PlanCache {
     fn new(capacity_bytes: usize) -> PlanCache {
+        Self::with_quota(capacity_bytes, usize::MAX)
+    }
+
+    fn with_quota(capacity_bytes: usize, tenant_quota_bytes: usize) -> PlanCache {
         PlanCache {
             capacity_bytes,
+            tenant_quota_bytes,
             map: HashMap::new(),
+            tenant_bytes: HashMap::new(),
             tick: 0,
             bytes_held: 0,
             evictions: 0,
+            quota_evictions: 0,
         }
     }
 
@@ -165,32 +205,74 @@ impl PlanCache {
         })
     }
 
-    /// Insert an entry, then evict least-recently-used plans (never the
-    /// one just inserted) until the held bytes fit the capacity.
-    fn insert(&mut self, key: PlanKey, entry: Arc<Prepared>) {
+    /// Drop one slot, fixing both byte ledgers.
+    fn drop_slot(&mut self, key: &PlanKey) -> Option<CacheSlot> {
+        let slot = self.map.remove(key)?;
+        let bytes = slot.entry.plan.memory_bytes();
+        self.bytes_held -= bytes;
+        if let Some(held) = self.tenant_bytes.get_mut(&slot.tenant) {
+            *held = held.saturating_sub(bytes);
+            if *held == 0 {
+                self.tenant_bytes.remove(&slot.tenant);
+            }
+        }
+        Some(slot)
+    }
+
+    /// Evict a key outright (poisoned-entry path: a job panicked while
+    /// holding this plan, so the cached entry is no longer trusted).
+    /// Returns whether the key was present. Not counted as a capacity
+    /// or quota eviction — callers track poison evictions themselves.
+    fn remove(&mut self, key: &PlanKey) -> bool {
+        self.drop_slot(key).is_some()
+    }
+
+    /// LRU victim among entries matching `pred`, never `keep`.
+    fn victim_where(&self, keep: &PlanKey, pred: impl Fn(&CacheSlot) -> bool) -> Option<PlanKey> {
+        self.map
+            .iter()
+            .filter(|(k, slot)| **k != *keep && pred(slot))
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| *k)
+    }
+
+    /// Insert an entry charged to `tenant`, then evict: first the
+    /// tenant's own LRU plans while it exceeds its quota, then global
+    /// LRU plans while held bytes exceed capacity. The entry just
+    /// inserted is never the victim.
+    fn insert(&mut self, key: PlanKey, entry: Arc<Prepared>, tenant: &str) {
         self.tick += 1;
         let bytes = entry.plan.memory_bytes();
-        if let Some(old) = self.map.insert(
+        if self.map.contains_key(&key) {
+            self.drop_slot(&key);
+        }
+        self.map.insert(
             key,
             CacheSlot {
                 entry,
                 last_used: self.tick,
+                tenant: tenant.to_string(),
             },
-        ) {
-            self.bytes_held -= old.entry.plan.memory_bytes();
-        }
+        );
         self.bytes_held += bytes;
-        while self.bytes_held > self.capacity_bytes && self.map.len() > 1 {
-            let victim = self
-                .map
-                .iter()
-                .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, slot)| slot.last_used)
-                .map(|(k, _)| *k);
-            match victim {
+        *self.tenant_bytes.entry(tenant.to_string()).or_insert(0) += bytes;
+        while self
+            .tenant_bytes
+            .get(tenant)
+            .is_some_and(|held| *held > self.tenant_quota_bytes)
+        {
+            match self.victim_where(&key, |slot| slot.tenant == tenant) {
                 Some(v) => {
-                    let slot = self.map.remove(&v).expect("victim exists");
-                    self.bytes_held -= slot.entry.plan.memory_bytes();
+                    self.drop_slot(&v);
+                    self.quota_evictions += 1;
+                }
+                None => break,
+            }
+        }
+        while self.bytes_held > self.capacity_bytes && self.map.len() > 1 {
+            match self.victim_where(&key, |_| true) {
+                Some(v) => {
+                    self.drop_slot(&v);
                     self.evictions += 1;
                 }
                 None => break,
@@ -266,6 +348,10 @@ enum Assign {
     Follow(PlanKey),
 }
 
+/// Quota bucket batch jobs are charged to (the batch CLI has no tenant
+/// concept; `polar serve` does).
+const DEFAULT_TENANT: &str = "default";
+
 /// The batch rescoring engine. Owns the plan cache (warm across calls to
 /// [`BatchEngine::run`]) and the prep configuration every job shares.
 pub struct BatchEngine {
@@ -274,6 +360,8 @@ pub struct BatchEngine {
     n_workers: usize,
     retry_budget: u32,
     cache: PlanCache,
+    /// Plan keys evicted because the job holding them panicked.
+    poison_evictions: u64,
 }
 
 impl BatchEngine {
@@ -301,6 +389,7 @@ impl BatchEngine {
             n_workers: n_workers.max(1),
             retry_budget: 2,
             cache: PlanCache::new(cache_capacity_bytes),
+            poison_evictions: 0,
         }
     }
 
@@ -368,6 +457,9 @@ impl BatchEngine {
                     move |attempt: u32| {
                         let t = Instant::now();
                         let out = contained(attempt >= budget, || {
+                            if attempt < job.panics {
+                                panic!("injected chaos panic (attempt {attempt})");
+                            }
                             let solver = GbSolver::for_molecule(&job.molecule, surface, tree_cfg);
                             let plan = solver.plan(&job.params);
                             let prepared = Arc::new(Prepared { solver, plan });
@@ -409,11 +501,15 @@ impl BatchEngine {
             if let (Assign::Build(key), Some(BatchOutcome::Done { .. })) =
                 (&assigns[i], &outcomes[i])
             {
-                self.cache.insert(*key, built[key].clone());
+                self.cache.insert(*key, built[key].clone(), DEFAULT_TENANT);
             }
         }
         let mut cache_hits = 0u64;
         let mut cache_misses = builders.len() as u64;
+        // Keys re-published by a clean follower rebuild (wave B below):
+        // these entries postdate any panic on the same key, so the
+        // poisoned-entry sweep must not evict them.
+        let mut republished: std::collections::HashSet<PlanKey> = std::collections::HashSet::new();
 
         // Phase 3 — wave B: everyone else, reusing a resolved entry when
         // one exists (a hit) and building fresh when the builder failed.
@@ -445,18 +541,28 @@ impl BatchEngine {
                     let budget = self.retry_budget;
                     move |attempt: u32| {
                         let t = Instant::now();
-                        let out = contained(attempt >= budget, || match entry {
-                            Some(prepared) => arenas
-                                .solve(prepared, &job.params)
-                                .map_err(|e| e.to_string()),
-                            None => {
-                                let solver =
-                                    GbSolver::for_molecule(&job.molecule, surface, tree_cfg);
-                                let plan = solver.plan(&job.params);
-                                let prepared = Prepared { solver, plan };
-                                arenas
-                                    .solve(&prepared, &job.params)
-                                    .map_err(|e| e.to_string())
+                        let out = contained(attempt >= budget, || {
+                            if attempt < job.panics {
+                                panic!("injected chaos panic (attempt {attempt})");
+                            }
+                            match entry {
+                                Some(prepared) => arenas
+                                    .solve(prepared, &job.params)
+                                    .map(|result| (None, result))
+                                    .map_err(|e| e.to_string()),
+                                None => {
+                                    // Orphaned follower: its builder
+                                    // panicked, so rebuild here and hand
+                                    // the fresh entry back for the cache.
+                                    let solver =
+                                        GbSolver::for_molecule(&job.molecule, surface, tree_cfg);
+                                    let plan = solver.plan(&job.params);
+                                    let prepared = Arc::new(Prepared { solver, plan });
+                                    arenas
+                                        .solve(&prepared, &job.params)
+                                        .map(|result| (Some(prepared), result))
+                                        .map_err(|e| e.to_string())
+                                }
                             }
                         });
                         (out, t.elapsed().as_secs_f64())
@@ -468,15 +574,33 @@ impl BatchEngine {
                     .expect("final attempts are contained; the batch cannot abort");
             retries += retry.retries;
             recovered_jobs += retry.recovered.len() as u64;
+            let mut rebuilt: Vec<(usize, Arc<Prepared>)> = Vec::new();
             for ((i, entry), (out, wall)) in wave_b.iter().zip(results) {
                 walls[*i] = wall;
                 outcomes[*i] = Some(match out {
-                    Ok(result) => BatchOutcome::Done {
-                        result,
-                        cache_hit: entry.is_some(),
-                    },
+                    Ok((fresh, result)) => {
+                        if let Some(prepared) = fresh {
+                            rebuilt.push((*i, prepared));
+                        }
+                        BatchOutcome::Done {
+                            result,
+                            cache_hit: entry.is_some(),
+                        }
+                    }
                     Err(error) => BatchOutcome::Failed { error },
                 });
+            }
+            // A builder-wave panic left its plan key unresolved; the
+            // first follower that rebuilt it successfully (job order, so
+            // deterministic) re-publishes the entry, keeping the key
+            // warm for later batches instead of orphaned.
+            rebuilt.sort_by_key(|(i, _)| *i);
+            for (i, prepared) in rebuilt {
+                if let Assign::Follow(key) = assigns[i] {
+                    if republished.insert(key) {
+                        self.cache.insert(key, prepared, DEFAULT_TENANT);
+                    }
+                }
             }
         }
 
@@ -484,6 +608,25 @@ impl BatchEngine {
             .into_iter()
             .map(|o| o.expect("every job was assigned to exactly one wave"))
             .collect();
+
+        // Poisoned-entry eviction: a job that panicked on its final
+        // attempt may have torn the plan entry it was holding, so the
+        // key is no longer trusted — evict it rather than hand it to the
+        // next batch. Deterministic: driven by job order and outcomes.
+        let mut poisoned: std::collections::HashSet<PlanKey> = std::collections::HashSet::new();
+        for (job, out) in jobs.iter().zip(&outcomes) {
+            if let BatchOutcome::Failed { error } = out {
+                if error.contains("panicked") {
+                    let key = PlanKey::of(&job.molecule, &job.params);
+                    if republished.contains(&key) {
+                        continue; // a clean rebuild postdates the panic
+                    }
+                    if poisoned.insert(key) && self.cache.remove(&key) {
+                        self.poison_evictions += 1;
+                    }
+                }
+            }
+        }
 
         // Report assembly.
         let mut total_work = WorkCounts::ZERO;
@@ -531,6 +674,7 @@ impl BatchEngine {
             cache_hits,
             cache_misses,
             cache_evictions: self.cache.evictions,
+            poison_evictions: self.poison_evictions,
             cache_bytes_held: self.cache.bytes_held as u64,
             cache_capacity_bytes: self.cache.capacity_bytes as u64,
             arenas: self.n_workers,
@@ -558,14 +702,223 @@ fn contained<T>(contain: bool, f: impl FnOnce() -> Result<T, String>) -> Result<
     }
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(out) => out,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "job panicked".to_string());
-            Err(format!("job panicked: {msg}"))
+        Err(payload) => Err(format!("job panicked: {}", panic_message(payload))),
+    }
+}
+
+/// Human-readable panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "job panicked".to_string())
+}
+
+// ----------------------------------------------------------------------
+// ServeEngine: the same cache + arenas, shared across server threads.
+// ----------------------------------------------------------------------
+
+/// Typed failure of one serve-mode rescore. Every variant maps to a
+/// wire response — a request can never take the server down or vanish
+/// without an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RescoreError {
+    /// The job panicked inside the worker; the plan key it held was
+    /// evicted so the poisoned entry cannot serve later requests.
+    Panicked { message: String },
+    /// A typed solve failure (plan staleness, solver error).
+    Solve { message: String },
+    /// The cooperative deadline expired at a phase boundary
+    /// (`"plan"` before planning, `"execute"` before kernel execution).
+    DeadlineExceeded { phase: &'static str },
+}
+
+impl std::fmt::Display for RescoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RescoreError::Panicked { message } => write!(f, "job panicked: {message}"),
+            RescoreError::Solve { message } => write!(f, "solve failed: {message}"),
+            RescoreError::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded before the {phase} phase")
+            }
         }
+    }
+}
+
+impl std::error::Error for RescoreError {}
+
+/// One successful serve-mode rescore.
+#[derive(Debug, Clone)]
+pub struct ServeSolve {
+    pub result: GbResult,
+    /// Whether a cached plan served the request.
+    pub cache_hit: bool,
+    /// Seconds spent building solver + plan (zero on a hit).
+    pub plan_seconds: f64,
+    /// Seconds spent executing the kernels.
+    pub exec_seconds: f64,
+}
+
+/// Point-in-time cache counters of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub quota_evictions: u64,
+    pub poison_evictions: u64,
+    pub bytes_held: u64,
+    pub capacity_bytes: u64,
+    /// Tenants currently holding cached bytes.
+    pub tenants: u64,
+}
+
+/// The persistent rescoring engine behind `polar serve`: one plan cache
+/// and one scratch-arena pool shared by every connection and worker
+/// thread, warm across the server's whole lifetime.
+///
+/// Unlike [`BatchEngine`] (one `&mut self` run over a job list), this
+/// engine is `&self`-concurrent: the cache sits behind a mutex that is
+/// held only for lookups and insertions — never while planning or
+/// executing — and the arena pool already hands out per-worker slots.
+pub struct ServeEngine {
+    surface: SurfaceConfig,
+    tree_cfg: OctreeConfig,
+    cache: Mutex<PlanCache>,
+    arenas: ArenaPool,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    poison_evictions: std::sync::atomic::AtomicU64,
+}
+
+/// Lock a mutex, clearing poison: every critical section here leaves
+/// the cache structurally consistent (panics happen outside the lock).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl ServeEngine {
+    /// Engine with default prep configs. `tenant_quota_bytes = None`
+    /// disables per-tenant quotas.
+    pub fn new(
+        cache_capacity_bytes: usize,
+        tenant_quota_bytes: Option<usize>,
+        n_workers: usize,
+    ) -> ServeEngine {
+        ServeEngine {
+            surface: SurfaceConfig::coarse(),
+            tree_cfg: OctreeConfig::default(),
+            cache: Mutex::new(PlanCache::with_quota(
+                cache_capacity_bytes,
+                tenant_quota_bytes.unwrap_or(usize::MAX),
+            )),
+            arenas: ArenaPool::new(n_workers),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+            poison_evictions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Rescore one job for `tenant`, enforcing `deadline` cooperatively
+    /// at the plan and execute phase boundaries.
+    ///
+    /// Fault envelope: a panic anywhere in planning or execution is
+    /// caught here, the job's plan key is evicted (the entry may be
+    /// poisoned), and a typed [`RescoreError::Panicked`] comes back —
+    /// the worker thread, the arenas and the cache all keep serving.
+    pub fn rescore(
+        &self,
+        tenant: &str,
+        job: &BatchJob,
+        deadline: Option<Instant>,
+    ) -> Result<ServeSolve, RescoreError> {
+        use std::sync::atomic::Ordering;
+        deadline_gate(deadline, "plan")?;
+        let key = PlanKey::of(&job.molecule, &job.params);
+        let cached = lock(&self.cache).get(&key);
+        let (prepared, cache_hit, plan_seconds) = match cached {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (entry, true, 0.0)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let t = Instant::now();
+                let built = catch_unwind(AssertUnwindSafe(|| {
+                    if job.panics > 0 {
+                        panic!("injected chaos panic (build)");
+                    }
+                    let solver =
+                        GbSolver::for_molecule(&job.molecule, &self.surface, &self.tree_cfg);
+                    let plan = solver.plan(&job.params);
+                    Arc::new(Prepared { solver, plan })
+                }))
+                .map_err(|payload| RescoreError::Panicked {
+                    message: panic_message(payload),
+                })?;
+                lock(&self.cache).insert(key, built.clone(), tenant);
+                (built, false, t.elapsed().as_secs_f64())
+            }
+        };
+        deadline_gate(deadline, "execute")?;
+        let t = Instant::now();
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if job.panics > 0 {
+                panic!("injected chaos panic (execute)");
+            }
+            self.arenas.solve(&prepared, &job.params)
+        }));
+        match solved {
+            Err(payload) => {
+                if lock(&self.cache).remove(&key) {
+                    self.poison_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(RescoreError::Panicked {
+                    message: panic_message(payload),
+                })
+            }
+            Ok(Err(e)) => Err(RescoreError::Solve {
+                message: e.to_string(),
+            }),
+            Ok(Ok(result)) => Ok(ServeSolve {
+                result,
+                cache_hit,
+                plan_seconds,
+                exec_seconds: t.elapsed().as_secs_f64(),
+            }),
+        }
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        use std::sync::atomic::Ordering;
+        let cache = lock(&self.cache);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: cache.evictions,
+            quota_evictions: cache.quota_evictions,
+            poison_evictions: self.poison_evictions.load(Ordering::Relaxed),
+            bytes_held: cache.bytes_held as u64,
+            capacity_bytes: cache.capacity_bytes as u64,
+            tenants: cache.tenant_bytes.len() as u64,
+        }
+    }
+
+    /// Total solves served out of recycled arenas.
+    pub fn arena_reuses(&self) -> u64 {
+        self.arenas.total_reuses()
+    }
+}
+
+fn deadline_gate(deadline: Option<Instant>, phase: &'static str) -> Result<(), RescoreError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(RescoreError::DeadlineExceeded { phase }),
+        _ => Ok(()),
     }
 }
 
@@ -729,6 +1082,170 @@ mod tests {
         assert!(report.retries >= 1, "{report:?}");
         let row = &report.rows[1];
         assert!(row.error.is_some() && row.epol_kcal.is_nan());
+    }
+
+    #[test]
+    fn builder_panic_leaves_followers_clean_and_the_key_warm() {
+        // Regression: two identical-geometry jobs, the first panics past
+        // the retry budget. The follower must rebuild cleanly AND the
+        // rebuilt entry must be re-published, so the key is warm for the
+        // next batch instead of orphaned.
+        let mol = generators::globular("dup", 130, 11);
+        let p = GbParams {
+            kernel: KernelMode::Strict,
+            ..GbParams::default()
+        };
+        let jobs = vec![
+            BatchJob::with_panics(mol.clone(), p, 10), // > budget: permanent failure
+            BatchJob::new(mol.clone(), p),
+        ];
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        let (outcomes, report) = engine.run(&jobs);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.succeeded, 1);
+        match &outcomes[0] {
+            BatchOutcome::Failed { error } => assert!(error.contains("panicked"), "{error}"),
+            other => panic!("chaos builder should fail, got {other:?}"),
+        }
+        let rebuilt = outcomes[1].result().expect("follower rebuilds cleanly");
+        let solver =
+            GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+        assert_eq!(rebuilt.born, solver.solve(&p).born);
+        // The clean rebuild is not mistaken for a poisoned entry...
+        assert_eq!(report.poison_evictions, 0, "{report:?}");
+        // ...so a follow-up batch over the same geometry is a pure hit.
+        let (_, second) = engine.run(&[BatchJob::new(mol, p)]);
+        assert_eq!(second.cache_hits, 1, "{second:?}");
+        assert_eq!(second.cache_misses, 0);
+    }
+
+    #[test]
+    fn panicking_job_evicts_its_warm_plan_key() {
+        let mol = generators::globular("warm", 130, 12);
+        let p = GbParams::default();
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        let (_, warm) = engine.run(&[BatchJob::new(mol.clone(), p)]);
+        assert_eq!(warm.cache_misses, 1);
+        // A hit-path job that panics on every attempt poisons the entry.
+        let (_, chaos) = engine.run(&[BatchJob::with_panics(mol.clone(), p, 10)]);
+        assert_eq!(chaos.failed, 1);
+        assert_eq!(chaos.poison_evictions, 1, "{chaos:?}");
+        // The next batch rebuilds from scratch, cleanly.
+        let (outcomes, third) = engine.run(&[BatchJob::new(mol, p)]);
+        assert_eq!(third.cache_misses, 1, "evicted key must re-miss");
+        assert!(outcomes[0].result().is_some());
+    }
+
+    #[test]
+    fn serve_engine_hits_warm_keys_and_contains_chaos() {
+        let engine = ServeEngine::new(64 << 20, None, 2);
+        let p = GbParams::default();
+        let mol = generators::globular("srv", 130, 21);
+        let job = BatchJob::new(mol.clone(), p);
+        let first = engine.rescore("default", &job, None).expect("cold solve");
+        assert!(!first.cache_hit);
+        let second = engine.rescore("default", &job, None).expect("warm solve");
+        assert!(second.cache_hit);
+        assert_eq!(second.result.born, first.result.born);
+        // An already-expired deadline trips the plan gate before work.
+        let err = engine
+            .rescore("default", &job, Some(Instant::now()))
+            .expect_err("deadline in the past");
+        assert_eq!(err, RescoreError::DeadlineExceeded { phase: "plan" });
+        // A chaos panic on the warm key evicts it (the entry may be
+        // torn) but the engine keeps serving...
+        let chaos = BatchJob::with_panics(mol.clone(), p, 1);
+        let err = engine.rescore("default", &chaos, None).expect_err("chaos");
+        assert!(matches!(err, RescoreError::Panicked { .. }), "{err}");
+        let stats = engine.cache_stats();
+        assert_eq!(stats.poison_evictions, 1, "{stats:?}");
+        // ...and the next request rebuilds the key cleanly.
+        let rebuilt = engine.rescore("default", &job, None).expect("rebuild");
+        assert!(!rebuilt.cache_hit);
+        assert_eq!(rebuilt.result.born, first.result.born);
+        assert_eq!(stats.hits, 2, "warm solve + the chaos hit that poisoned it");
+        assert_eq!(stats.misses, 1, "only the cold solve built a plan");
+    }
+
+    #[test]
+    fn tenant_quotas_evict_own_entries_not_neighbors() {
+        let probe = {
+            let mol = generators::globular("probe", 130, 5);
+            let s =
+                GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+            s.plan(&GbParams::default()).memory_bytes()
+        };
+        // Quota fits roughly one plan per tenant; total capacity is huge
+        // so only the quota can force evictions.
+        let engine = ServeEngine::new(1 << 30, Some(probe + probe / 2), 2);
+        let p = GbParams::default();
+        let a1 = BatchJob::new(generators::globular("a1", 130, 5), p);
+        let a2 = BatchJob::new(generators::globular("a2", 130, 6), p);
+        let b1 = BatchJob::new(generators::globular("b1", 130, 7), p);
+        engine.rescore("acme", &a1, None).unwrap();
+        engine.rescore("beta", &b1, None).unwrap();
+        // Busts acme's quota: acme's own LRU entry (a1) goes.
+        engine.rescore("acme", &a2, None).unwrap();
+        let stats = engine.cache_stats();
+        assert!(stats.quota_evictions >= 1, "{stats:?}");
+        assert_eq!(stats.evictions, 0, "capacity never pressed");
+        assert!(
+            engine.rescore("beta", &b1, None).unwrap().cache_hit,
+            "the neighbor tenant's entry must survive acme's quota churn"
+        );
+        assert!(
+            !engine.rescore("acme", &a1, None).unwrap().cache_hit,
+            "acme's oldest entry was the quota victim"
+        );
+    }
+
+    #[test]
+    fn serve_engine_is_shareable_across_threads() {
+        let engine = std::sync::Arc::new(ServeEngine::new(64 << 20, None, 4));
+        let mol = generators::globular("conc", 120, 31);
+        let p = GbParams::default();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let e = std::sync::Arc::clone(&engine);
+            let job = BatchJob::new(mol.clone(), p);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..3 {
+                    e.rescore("default", &job, None).expect("concurrent solve");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no worker thread may die");
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+        // At worst every thread misses once before the key is published.
+        assert!(stats.hits >= 8, "{stats:?}");
+    }
+
+    #[test]
+    fn rescore_error_display_names_the_cause() {
+        let cases = [
+            (
+                RescoreError::Panicked {
+                    message: "boom".into(),
+                },
+                "job panicked: boom",
+            ),
+            (
+                RescoreError::Solve {
+                    message: "stale plan".into(),
+                },
+                "solve failed: stale plan",
+            ),
+            (
+                RescoreError::DeadlineExceeded { phase: "execute" },
+                "deadline exceeded before the execute phase",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
     }
 
     #[test]

@@ -2015,7 +2015,7 @@ mod tests {
         // Edges: exact at 0, clamped (not garbage) far out of range.
         assert_eq!(lane_exp::<4, PlainIsa>(Lane::splat(0.0)).0[0], 1.0);
         let lo = lane_exp::<4, PlainIsa>(Lane::splat(-1e9)).0[0];
-        assert!(lo >= 0.0 && lo < 1e-300);
+        assert!((0.0..1e-300).contains(&lo));
         assert!(lane_exp::<4, PlainIsa>(Lane::splat(1e9)).0[0].is_finite());
         assert!(worst < 5e-15, "lane_exp worst rel err {worst}");
     }
@@ -2042,6 +2042,7 @@ mod tests {
         (a, q)
     }
 
+    #[allow(clippy::needless_range_loop)] // scalar SoA reference: j indexes all seven q columns
     fn born_scalar(a: &[Vec<f64>], q: &[Vec<f64>], out: &mut [f64]) {
         for i in 0..a[0].len() {
             let mut s = 0.0;
@@ -2131,6 +2132,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // scalar SoA reference: a/b index all five columns
     fn epol_near_matches_scalar_including_diagonal() {
         for (n_u, n_v) in [(8, 8), (5, 17), (1, 1), (11, 2)] {
             let (u, mut v) = epol_fixture(n_u, n_v, 0xabc + n_u as u64);

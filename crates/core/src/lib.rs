@@ -45,9 +45,11 @@ pub mod report;
 pub mod solver;
 pub mod stats;
 
-pub use batch::{BatchEngine, BatchJob, BatchOutcome};
+pub use batch::{
+    BatchEngine, BatchJob, BatchOutcome, CacheStats, RescoreError, ServeEngine, ServeSolve,
+};
 pub use kernels::KernelMode;
 pub use plan::{InteractionPlan, PlanError};
-pub use report::{BatchReport, SolveReport};
+pub use report::{BatchReport, Histogram, ServeReport, SolveReport};
 pub use solver::{GbParams, GbResult, GbSolver, SolveScratch};
 pub use stats::WorkCounts;

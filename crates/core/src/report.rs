@@ -553,6 +553,9 @@ pub struct BatchReport {
     pub cache_misses: u64,
     /// Plans evicted to stay under the byte capacity.
     pub cache_evictions: u64,
+    /// Plan keys evicted because the job holding them panicked (the
+    /// entry could be torn; the next batch rebuilds it cleanly).
+    pub poison_evictions: u64,
     /// Plan bytes resident in the cache after the batch.
     pub cache_bytes_held: u64,
     /// Configured cache capacity in bytes.
@@ -614,6 +617,7 @@ impl BatchReport {
         o.num("cache_misses", self.cache_misses as f64);
         o.num("cache_hit_rate", self.hit_rate());
         o.num("cache_evictions", self.cache_evictions as f64);
+        o.num("poison_evictions", self.poison_evictions as f64);
         o.num("cache_bytes_held", self.cache_bytes_held as f64);
         o.num("cache_capacity_bytes", self.cache_capacity_bytes as f64);
         o.num("arenas", self.arenas as f64);
@@ -690,6 +694,388 @@ impl BatchReport {
             ));
         }
         out
+    }
+}
+
+/// Fixed-bucket histogram for serve-mode telemetry.
+///
+/// Buckets are cumulative-upper-bound style (`value <= bound`), with an
+/// implicit overflow bucket past the last bound. Recording is O(buckets)
+/// and allocation-free, so the server can record from its hot path;
+/// quantiles are bucket-resolution estimates (the reported value is the
+/// upper bound of the bucket containing the quantile, clamped to the
+/// observed maximum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds. Values past the last bound land in
+    /// the overflow bucket (`counts` has `bounds.len() + 1` slots).
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Build a histogram over the given ascending upper bounds.
+    pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Request-latency buckets: 0.1 ms .. 5 s, roughly 1-2.5-5 spaced.
+    pub fn latency_ms() -> Histogram {
+        Histogram::with_bounds(vec![
+            0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+            5000.0,
+        ])
+    }
+
+    /// Admission-queue-depth buckets: powers of two up to 1024.
+    pub fn queue_depth() -> Histogram {
+        Histogram::with_bounds(vec![
+            0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+        ])
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation recorded (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean observation; NaN when empty (serialized as `null`).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate (`q` in [0, 1]); NaN when
+    /// empty. Returns the upper bound of the bucket holding the q-th
+    /// observation, clamped to the observed maximum so the overflow
+    /// bucket reports a finite number.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serialize to a self-contained JSON object with cumulative-style
+    /// buckets (`le` = upper bound; the overflow bucket has `le: null`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num("total", self.total as f64);
+        o.num("sum", self.sum);
+        o.num("max", self.max);
+        o.num("mean", self.mean());
+        o.num("p50", self.quantile(0.50));
+        o.num("p90", self.quantile(0.90));
+        o.num("p99", self.quantile(0.99));
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mut bo = JsonObj::new();
+                match self.bounds.get(i) {
+                    Some(&b) => bo.num("le", b),
+                    None => bo.raw("le", "null"),
+                }
+                bo.num("count", c as f64);
+                bo.finish()
+            })
+            .collect();
+        o.raw("buckets", &format!("[{}]", buckets.join(",")));
+        o.finish()
+    }
+}
+
+/// Final (or snapshot) summary of one `polar serve` run.
+///
+/// The admission counters partition every request the server read:
+///
+/// ```text
+/// requests == admitted + rejected + control
+/// admitted == completed + shed + deadline_exceeded + panicked + failed
+/// ```
+///
+/// [`ServeReport::reconciles`] checks both identities; the chaos
+/// acceptance test and the CI smoke job assert it on live servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Request lines read across all connections (jobs + control frames;
+    /// malformed lines count here too).
+    pub requests: u64,
+    /// Lines refused before admission: malformed JSON, invalid jobs,
+    /// oversized payloads.
+    pub rejected: u64,
+    /// Well-formed jobs that entered admission control.
+    pub admitted: u64,
+    /// Admitted jobs that returned a result.
+    pub completed: u64,
+    /// Admitted jobs shed by the load limiter (queue depth or in-flight
+    /// bytes over the bound); clients get a `retry_after_ms` hint.
+    pub shed: u64,
+    /// Admitted jobs that blew their deadline at a phase boundary.
+    pub deadline_exceeded: u64,
+    /// Admitted jobs whose worker panicked (contained; the plan key is
+    /// evicted and the server keeps serving).
+    pub panicked: u64,
+    /// Admitted jobs that failed with a non-panic solve error.
+    pub failed: u64,
+    /// Control frames served (`health`, `stats`, `drain`).
+    pub control: u64,
+    /// Plan-cache hits across the run.
+    pub cache_hits: u64,
+    /// Plan-cache misses (plan builds).
+    pub cache_misses: u64,
+    /// Capacity evictions from the shared plan cache.
+    pub cache_evictions: u64,
+    /// Evictions forced by per-tenant byte quotas.
+    pub quota_evictions: u64,
+    /// Plan keys evicted because the job holding them panicked.
+    pub poison_evictions: u64,
+    /// Plan bytes resident when the report was taken.
+    pub cache_bytes_held: u64,
+    /// Configured cache capacity in bytes.
+    pub cache_capacity_bytes: u64,
+    /// Distinct tenants holding cache bytes.
+    pub tenants: u64,
+    /// Solves served out of recycled scratch arenas.
+    pub arena_reuses: u64,
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Worker threads the server ran with.
+    pub workers: usize,
+    /// Admission queue depth bound.
+    pub queue_capacity: usize,
+    /// Deepest the admission queue got.
+    pub peak_queue_depth: u64,
+    /// Largest sum of queued request bytes observed.
+    pub peak_inflight_bytes: u64,
+    /// End-to-end request latency (admission to response), milliseconds.
+    pub latency_ms: Histogram,
+    /// Queue depth sampled at each admission.
+    pub queue_depth: Histogram,
+    /// Did the run end with a graceful drain (vs. a snapshot)?
+    pub drained: bool,
+    /// Wall seconds the server was up.
+    pub wall_seconds: f64,
+}
+
+impl Default for ServeReport {
+    fn default() -> ServeReport {
+        ServeReport {
+            requests: 0,
+            rejected: 0,
+            admitted: 0,
+            completed: 0,
+            shed: 0,
+            deadline_exceeded: 0,
+            panicked: 0,
+            failed: 0,
+            control: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            quota_evictions: 0,
+            poison_evictions: 0,
+            cache_bytes_held: 0,
+            cache_capacity_bytes: 0,
+            tenants: 0,
+            arena_reuses: 0,
+            connections: 0,
+            workers: 0,
+            queue_capacity: 0,
+            peak_queue_depth: 0,
+            peak_inflight_bytes: 0,
+            latency_ms: Histogram::latency_ms(),
+            queue_depth: Histogram::queue_depth(),
+            drained: false,
+            wall_seconds: 0.0,
+        }
+    }
+}
+
+impl ServeReport {
+    /// Plan-cache hit rate; NaN (JSON `null`) when no job touched the
+    /// cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Do the admission counters partition the request stream? Both
+    /// identities from the type-level docs must hold.
+    pub fn reconciles(&self) -> bool {
+        self.requests == self.admitted + self.rejected + self.control
+            && self.admitted
+                == self.completed + self.shed + self.deadline_exceeded + self.panicked + self.failed
+    }
+
+    /// Serialize to a self-contained JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", "serve_report/v1");
+        o.num("requests", self.requests as f64);
+        o.num("rejected", self.rejected as f64);
+        o.num("admitted", self.admitted as f64);
+        o.num("completed", self.completed as f64);
+        o.num("shed", self.shed as f64);
+        o.num("deadline_exceeded", self.deadline_exceeded as f64);
+        o.num("panicked", self.panicked as f64);
+        o.num("failed", self.failed as f64);
+        o.num("control", self.control as f64);
+        o.raw(
+            "reconciles",
+            if self.reconciles() { "true" } else { "false" },
+        );
+        o.num("cache_hits", self.cache_hits as f64);
+        o.num("cache_misses", self.cache_misses as f64);
+        o.num("cache_hit_rate", self.hit_rate());
+        o.num("cache_evictions", self.cache_evictions as f64);
+        o.num("quota_evictions", self.quota_evictions as f64);
+        o.num("poison_evictions", self.poison_evictions as f64);
+        o.num("cache_bytes_held", self.cache_bytes_held as f64);
+        o.num("cache_capacity_bytes", self.cache_capacity_bytes as f64);
+        o.num("tenants", self.tenants as f64);
+        o.num("arena_reuses", self.arena_reuses as f64);
+        o.num("connections", self.connections as f64);
+        o.num("workers", self.workers as f64);
+        o.num("queue_capacity", self.queue_capacity as f64);
+        o.num("peak_queue_depth", self.peak_queue_depth as f64);
+        o.num("peak_inflight_bytes", self.peak_inflight_bytes as f64);
+        o.raw("latency_ms", &self.latency_ms.to_json());
+        o.raw("queue_depth", &self.queue_depth.to_json());
+        o.raw("drained", if self.drained { "true" } else { "false" });
+        o.num("wall_seconds", self.wall_seconds);
+        o.finish()
+    }
+
+    /// The flat CSV column set (histograms flatten to p50/p90/p99/max).
+    pub fn csv_header() -> String {
+        [
+            "requests",
+            "rejected",
+            "admitted",
+            "completed",
+            "shed",
+            "deadline_exceeded",
+            "panicked",
+            "failed",
+            "control",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "cache_evictions",
+            "quota_evictions",
+            "poison_evictions",
+            "cache_bytes_held",
+            "cache_capacity_bytes",
+            "tenants",
+            "arena_reuses",
+            "connections",
+            "workers",
+            "queue_capacity",
+            "peak_queue_depth",
+            "peak_inflight_bytes",
+            "latency_p50_ms",
+            "latency_p90_ms",
+            "latency_p99_ms",
+            "latency_max_ms",
+            "drained",
+            "wall_s",
+        ]
+        .join(",")
+    }
+
+    /// Header plus one record. NaN quantiles (no completed requests)
+    /// leave their field empty, keeping the arity fixed.
+    pub fn to_csv(&self) -> String {
+        let q = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                String::new()
+            }
+        };
+        format!(
+            "{}\n{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            Self::csv_header(),
+            self.requests,
+            self.rejected,
+            self.admitted,
+            self.completed,
+            self.shed,
+            self.deadline_exceeded,
+            self.panicked,
+            self.failed,
+            self.control,
+            self.cache_hits,
+            self.cache_misses,
+            q(self.hit_rate()),
+            self.cache_evictions,
+            self.quota_evictions,
+            self.poison_evictions,
+            self.cache_bytes_held,
+            self.cache_capacity_bytes,
+            self.tenants,
+            self.arena_reuses,
+            self.connections,
+            self.workers,
+            self.queue_capacity,
+            self.peak_queue_depth,
+            self.peak_inflight_bytes,
+            q(self.latency_ms.quantile(0.50)),
+            q(self.latency_ms.quantile(0.90)),
+            q(self.latency_ms.quantile(0.99)),
+            q(self.latency_ms.max()),
+            self.drained,
+            self.wall_seconds,
+        )
     }
 }
 
@@ -901,6 +1287,7 @@ mod tests {
     #[derive(Debug, PartialEq)]
     enum Json {
         Null,
+        Bool(bool),
         Num(f64),
         Str(String),
         Arr(Vec<Json>),
@@ -1026,6 +1413,14 @@ mod tests {
                 *i += 4;
                 Ok(Json::Null)
             }
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                Ok(Json::Bool(false))
+            }
             Some(&c) if c == b'-' || c.is_ascii_digit() => {
                 let start = *i;
                 while *i < b.len()
@@ -1130,6 +1525,78 @@ mod tests {
                 "error",
             ]
         );
+
+        let serve_header = ServeReport::csv_header();
+        let serve_cols: Vec<&str> = serve_header.split(',').collect();
+        assert_eq!(serve_cols.len(), 30);
+        assert_eq!(serve_cols[0], "requests");
+        assert_eq!(serve_cols[8], "control");
+        assert_eq!(serve_cols[24], "latency_p50_ms");
+        assert_eq!(serve_cols[29], "wall_s");
+        // Arity holds even for an all-empty report (NaN quantiles leave
+        // empty fields, never drop columns).
+        let csv = ServeReport::default().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), serve_header);
+        assert_eq!(lines.next().unwrap().split(',').count(), 30);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bound_estimates() {
+        let mut h = Histogram::latency_ms();
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no median");
+        assert!(h.mean().is_nan());
+        for _ in 0..90 {
+            h.record(0.7); // lands in the (0.5, 1.0] bucket
+        }
+        for _ in 0..10 {
+            h.record(40.0); // lands in the (25, 50] bucket
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.quantile(0.50), 1.0, "p50 reports its bucket bound");
+        assert_eq!(h.quantile(0.90), 1.0);
+        assert_eq!(h.quantile(0.99), 40.0, "clamped to the observed max");
+        assert_eq!(h.max(), 40.0);
+        // Overflow bucket: beyond the last bound, clamped to max.
+        h.record(9999.0);
+        assert_eq!(h.quantile(1.0), 9999.0);
+        let j = h.to_json();
+        assert!(j.contains("\"le\":null"), "overflow bucket in JSON: {j}");
+        parse_json(&j).expect("histogram JSON must parse");
+    }
+
+    #[test]
+    fn serve_report_reconciliation_checks_both_identities() {
+        let mut r = ServeReport {
+            requests: 10,
+            rejected: 2,
+            control: 1,
+            admitted: 7,
+            completed: 3,
+            shed: 2,
+            deadline_exceeded: 1,
+            panicked: 1,
+            failed: 0,
+            ..ServeReport::default()
+        };
+        assert!(r.reconciles());
+        r.completed += 1; // an answered job the admission gate never saw
+        assert!(!r.reconciles());
+        r.completed -= 1;
+        r.requests += 1; // a read line no counter claims
+        assert!(!r.reconciles());
+    }
+
+    #[test]
+    fn serve_report_json_has_schema_and_null_hit_rate_when_cold() {
+        let r = ServeReport::default();
+        assert!(r.reconciles(), "all-zero report reconciles");
+        let j = r.to_json();
+        assert!(j.contains("\"schema\":\"serve_report/v1\""));
+        assert!(j.contains("\"cache_hit_rate\":null"), "{j}");
+        assert!(j.contains("\"reconciles\":true"), "{j}");
+        assert!(!j.contains("NaN"), "{j}");
+        parse_json(&j).expect("serve report JSON must parse");
     }
 
     #[test]
@@ -1141,6 +1608,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            poison_evictions: 0,
             cache_bytes_held: 0,
             cache_capacity_bytes: 0,
             arenas: 0,
@@ -1172,6 +1640,7 @@ mod tests {
             cache_hits: 1,
             cache_misses: 0,
             cache_evictions: 0,
+            poison_evictions: 0,
             cache_bytes_held: 0,
             cache_capacity_bytes: 0,
             arenas: 1,

@@ -22,7 +22,9 @@ pub mod io;
 pub mod manifest;
 pub mod molecule;
 pub mod registry;
+pub mod request;
 
 pub use atom::{Atom, Element};
 pub use manifest::{Manifest, ManifestJob};
 pub use molecule::Molecule;
+pub use request::{Control, ServeJob, ServeRequest};

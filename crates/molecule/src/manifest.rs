@@ -120,15 +120,42 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, ParseError> {
     if entries.is_empty() {
         return Err(ParseError::Invalid("\"jobs\" is empty".into()));
     }
-    let mut jobs = Vec::with_capacity(entries.len());
+    let mut jobs: Vec<ManifestJob> = Vec::with_capacity(entries.len());
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     for (i, e) in entries.iter().enumerate() {
-        jobs.push(parse_job(e, i)?);
+        let job = parse_job_with_ctx(e, &format!("jobs[{i}]"))?;
+        // Names become request ids downstream (serve mode), so two
+        // entries resolving to the same name would be indistinguishable
+        // in reports and responses. `repeat` copies are intentional
+        // duplicates of *one* entry and stay allowed.
+        if let Some(&first) = seen.get(&job.name) {
+            let name_pos = e
+                .as_object("job")
+                .ok()
+                .and_then(|o| o.get("name"))
+                .and_then(Json::string_pos);
+            return Err(match name_pos {
+                Some(pos) => invalid(
+                    pos,
+                    &format!("jobs[{i}].name {:?} duplicates jobs[{first}]", job.name),
+                ),
+                None => ParseError::Invalid(format!(
+                    "jobs[{i}]: derived name {:?} duplicates jobs[{first}]; \
+                     add explicit distinct \"name\" fields",
+                    job.name
+                )),
+            });
+        }
+        seen.insert(job.name.clone(), i);
+        jobs.push(job);
     }
     Ok(Manifest { jobs })
 }
 
-fn parse_job(v: &Json, index: usize) -> Result<ManifestJob, ParseError> {
-    let ctx = || format!("jobs[{index}]");
+/// Parse one job object. `ctx` labels errors (`jobs[3]` for manifests,
+/// `request` for the serve wire format, which reuses this reader).
+pub(crate) fn parse_job_with_ctx(v: &Json, ctx: &str) -> Result<ManifestJob, ParseError> {
+    let ctx = || ctx.to_string();
     let obj = v.as_object(&ctx())?;
     for key in obj.keys() {
         match key.as_str() {
@@ -189,7 +216,7 @@ fn parse_job(v: &Json, index: usize) -> Result<ManifestJob, ParseError> {
             JobSource::File(p) => p
                 .file_stem()
                 .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| format!("job{index}")),
+                .unwrap_or_else(&ctx),
         },
     };
     let eps_born = match obj.get("eps_born") {
@@ -237,10 +264,12 @@ fn parse_job(v: &Json, index: usize) -> Result<ManifestJob, ParseError> {
 // ----------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Object(BTreeMap<String, Json>),
     Array(Vec<Json>),
-    String(String),
+    /// A string and the byte offset of its opening quote — kept so
+    /// semantic errors (e.g. duplicate names) can point at the token.
+    String(String, usize),
     /// A number and the byte offset of its first character — kept so
     /// semantic errors (e.g. `repeat: 0`) can point at the exact token.
     Number(f64, usize),
@@ -249,7 +278,7 @@ enum Json {
 }
 
 impl Json {
-    fn parse(text: &str) -> Result<Json, ParseError> {
+    pub(crate) fn parse(text: &str) -> Result<Json, ParseError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         let v = parse_value(bytes, &mut pos)?;
@@ -260,31 +289,38 @@ impl Json {
         Ok(v)
     }
 
-    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, ParseError> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, ParseError> {
         match self {
             Json::Object(m) => Ok(m),
             _ => Err(ParseError::Invalid(format!("{what} must be an object"))),
         }
     }
 
-    fn as_array(&self, what: &str) -> Result<&[Json], ParseError> {
+    pub(crate) fn as_array(&self, what: &str) -> Result<&[Json], ParseError> {
         match self {
             Json::Array(v) => Ok(v),
             _ => Err(ParseError::Invalid(format!("{what} must be an array"))),
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str, ParseError> {
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, ParseError> {
         match self {
-            Json::String(s) => Ok(s),
+            Json::String(s, _) => Ok(s),
             _ => Err(ParseError::Invalid(format!("{what} must be a string"))),
         }
     }
 
-    fn as_f64(&self, what: &str) -> Result<f64, ParseError> {
+    pub(crate) fn as_f64(&self, what: &str) -> Result<f64, ParseError> {
         match self {
             Json::Number(x, _) => Ok(*x),
             _ => Err(ParseError::Invalid(format!("{what} must be a number"))),
+        }
+    }
+
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, ParseError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(ParseError::Invalid(format!("{what} must be a boolean"))),
         }
     }
 
@@ -296,7 +332,15 @@ impl Json {
         }
     }
 
-    fn as_usize(&self, what: &str) -> Result<usize, ParseError> {
+    /// Byte offset of a string token's opening quote, if this is one.
+    pub(crate) fn string_pos(&self) -> Option<usize> {
+        match self {
+            Json::String(_, pos) => Some(*pos),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_usize(&self, what: &str) -> Result<usize, ParseError> {
         let x = self.as_f64(what)?;
         if x < 0.0 || x.fract() != 0.0 || x > u32::MAX as f64 {
             return Err(ParseError::Invalid(format!(
@@ -307,7 +351,7 @@ impl Json {
     }
 }
 
-fn invalid(pos: usize, what: &str) -> ParseError {
+pub(crate) fn invalid(pos: usize, what: &str) -> ParseError {
     ParseError::Invalid(format!("manifest JSON, byte {pos}: {what}"))
 }
 
@@ -322,7 +366,10 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     match b.get(*pos) {
         Some(b'{') => parse_object(b, pos),
         Some(b'[') => parse_array(b, pos),
-        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b'"') => {
+            let start = *pos;
+            Ok(Json::String(parse_string(b, pos)?, start))
+        }
         Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(b, pos, "null", Json::Null),
@@ -533,6 +580,47 @@ mod tests {
             "error should carry the token offset {zero_at}: {err}"
         );
         assert!(err.contains("jobs[0].repeat"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_explicit_names_are_rejected_at_the_name_token() {
+        let text = r#"{"jobs": [
+            {"name": "pose", "generate": "globular", "n_atoms": 5},
+            {"name": "pose", "generate": "ligand", "n_atoms": 9}
+        ]}"#;
+        let err = parse_manifest(text)
+            .expect_err("duplicate name")
+            .to_string();
+        // The error points at the *second* "pose" token's opening quote.
+        let dup_at = text.rfind("\"pose\"").expect("second pose present");
+        assert!(
+            err.contains(&format!("byte {dup_at}")),
+            "error should carry the duplicate token offset {dup_at}: {err}"
+        );
+        assert!(
+            err.contains("jobs[1].name") && err.contains("duplicates jobs[0]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_derived_names_are_rejected_with_a_hint() {
+        // Two identical generator specs without explicit names derive the
+        // same name; the error says how to fix it.
+        let text = r#"{"jobs": [
+            {"generate": "globular", "n_atoms": 5},
+            {"generate": "globular", "n_atoms": 5}
+        ]}"#;
+        let err = parse_manifest(text).expect_err("derived dup").to_string();
+        assert!(
+            err.contains("globular_n5_s0") && err.contains("explicit"),
+            "{err}"
+        );
+        // `repeat` stays the sanctioned way to enqueue identical jobs.
+        let ok =
+            parse_manifest(r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "repeat": 3}]}"#)
+                .expect("repeat is not a duplicate");
+        assert_eq!(ok.expanded_len(), 3);
     }
 
     #[test]

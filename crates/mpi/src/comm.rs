@@ -1246,4 +1246,53 @@ mod tests {
             assert_eq!(t, 0.0);
         }
     }
+
+    /// Every CommError variant renders its routing fields — sender,
+    /// receiver, collective name, attempt count — so a recovery log
+    /// line is actionable without a debugger.
+    #[test]
+    fn comm_error_display_names_every_routing_field() {
+        let cases: [(CommError, &str); 5] = [
+            (
+                CommError::Timeout {
+                    from: 3,
+                    to: 1,
+                    collective: "allreduce_sum".into(),
+                },
+                "timeout in allreduce_sum: rank 1 received nothing from rank 3",
+            ),
+            (
+                CommError::RetriesExhausted {
+                    from: 2,
+                    to: 5,
+                    collective: "broadcast".into(),
+                    attempts: 4,
+                },
+                "rank 2 exhausted 4 retransmissions to rank 5 in broadcast",
+            ),
+            (
+                CommError::Crashed {
+                    rank: 7,
+                    at_collective: 12,
+                    reason: "injected".into(),
+                },
+                "rank 7 died at collective 12: injected",
+            ),
+            (
+                CommError::Disconnected {
+                    from: 0,
+                    to: 4,
+                    collective: "gather".into(),
+                },
+                "disconnected in gather: rank 0 cannot deliver to rank 4 (peer dead or hung up)",
+            ),
+            (
+                CommError::AllRanksDead,
+                "all ranks are dead; no collective can complete",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
 }

@@ -1,0 +1,123 @@
+//! Wire responses: one JSON object per line, hand-rolled like every
+//! other emitter in the workspace (no serde).
+//!
+//! Every request — well-formed or not — gets exactly one response line
+//! with a `"status"` discriminant, so clients never have to guess why a
+//! line went unanswered:
+//!
+//! | status               | extra fields                                |
+//! |----------------------|---------------------------------------------|
+//! | `ok`                 | `id`, `epol_kcal`, `cache_hit`, `wall_ms`   |
+//! | `shed`               | `id`, `retry_after_ms`, `error`             |
+//! | `bad_request`        | `error` (byte offset / offending key)       |
+//! | `deadline_exceeded`  | `id`, `phase`, `error`                      |
+//! | `panicked`           | `id`, `error`                               |
+//! | `error`              | `id`, `error` (typed solve/load failure)    |
+//! | `drained`            | `report` (the final [`ServeReport`] JSON)   |
+
+use polar_gb::ServeReport;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+pub(crate) fn ok(id: &str, epol_kcal: f64, cache_hit: bool, wall_ms: f64) -> String {
+    let epol = if epol_kcal.is_finite() {
+        format!("{epol_kcal}")
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\"id\":{},\"status\":\"ok\",\"epol_kcal\":{epol},\"cache_hit\":{cache_hit},\"wall_ms\":{wall_ms}}}",
+        esc(id)
+    )
+}
+
+pub(crate) fn shed(id: &str, retry_after_ms: u64, reason: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"shed\",\"retry_after_ms\":{retry_after_ms},\"error\":{}}}",
+        esc(id),
+        esc(reason)
+    )
+}
+
+pub(crate) fn bad_request(error: &str) -> String {
+    format!("{{\"status\":\"bad_request\",\"error\":{}}}", esc(error))
+}
+
+pub(crate) fn deadline_exceeded(id: &str, phase: &str, error: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"deadline_exceeded\",\"phase\":{},\"error\":{}}}",
+        esc(id),
+        esc(phase),
+        esc(error)
+    )
+}
+
+pub(crate) fn panicked(id: &str, error: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"panicked\",\"error\":{}}}",
+        esc(id),
+        esc(error)
+    )
+}
+
+pub(crate) fn error(id: &str, error: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"error\",\"error\":{}}}",
+        esc(id),
+        esc(error)
+    )
+}
+
+pub(crate) fn health(draining: bool) -> String {
+    format!("{{\"status\":\"ok\",\"healthy\":true,\"draining\":{draining}}}")
+}
+
+pub(crate) fn stats(report: &ServeReport) -> String {
+    format!("{{\"status\":\"ok\",\"report\":{}}}", report.to_json())
+}
+
+pub(crate) fn drained(report: &ServeReport) -> String {
+    format!("{{\"status\":\"drained\",\"report\":{}}}", report.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_escape_and_discriminate() {
+        let r = ok("r\"1", -12.5, true, 3.25);
+        assert!(r.contains("\"id\":\"r\\\"1\""), "{r}");
+        assert!(r.contains("\"status\":\"ok\""));
+        assert!(r.contains("\"epol_kcal\":-12.5"));
+        let r = ok("nanjob", f64::NAN, false, 0.0);
+        assert!(r.contains("\"epol_kcal\":null"), "never a NaN token: {r}");
+        let r = shed("x", 40, "queue full");
+        assert!(r.contains("\"retry_after_ms\":40"), "{r}");
+        let r = bad_request("byte 7: trailing\ngarbage");
+        assert!(r.contains("\\n"), "{r}");
+        assert!(deadline_exceeded("x", "plan", "e").contains("\"phase\":\"plan\""));
+        assert!(panicked("x", "boom").contains("\"status\":\"panicked\""));
+        assert!(error("x", "bad").contains("\"status\":\"error\""));
+        assert!(health(false).contains("\"draining\":false"));
+        let rep = ServeReport::default();
+        assert!(stats(&rep).contains("\"report\":{\"schema\":\"serve_report/v1\""));
+        assert!(drained(&rep).contains("\"status\":\"drained\""));
+    }
+}

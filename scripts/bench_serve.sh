@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Load-test `polar serve` with seeded mixed chaos traffic (warm
+# repeats, malformed lines, oversized jobs, zero deadlines, panicking
+# jobs, quota-churning tenants) and refresh results/BENCH_serve.json.
+#
+# Usage:  POLAR_SCALE=quick|default|full scripts/bench_serve.sh
+#         scripts/bench_serve.sh --addr HOST:PORT   # external server
+#
+# The binary exits non-zero if any request goes unanswered, the final
+# drained ServeReport's counters fail to reconcile, any chaos class
+# (shed / deadline-exceeded / panicked / rejected) never fired, or the
+# warm traffic produced no cache hits.
+
+set -eu
+cd "$(dirname "$0")/.."
+export POLAR_SCALE="${POLAR_SCALE:-default}"
+
+cargo build --release -p polar-bench --bin bench_serve
+echo "POLAR_SCALE=$POLAR_SCALE"
+./target/release/bench_serve "$@"
