@@ -1,0 +1,232 @@
+//! Incremental re-planning perf tracking: delta-tolerant plan patching
+//! vs cold planning on a moving trajectory, persisted to
+//! `results/BENCH_replan.json`.
+//!
+//! The workload is an MD-relaxation shape: one globular molecule
+//! replayed over a random-walk trajectory of bounded per-frame jitter
+//! (0.02 Å — comfortably inside the default 0.1 Å node-drift
+//! tolerance). Frame 0 plans cold; every later frame moves the prepared
+//! solver in place (`apply_frame`) and asks the delta classifier
+//! whether the existing plan can be patched. Two numbers matter:
+//!
+//! * `cold_plan_seconds` — what one full separation-test traversal
+//!   pass costs (the price every frame pays without the delta path),
+//! * `mean_patch_seconds` — what a patched frame actually paid
+//!   (drift accounting + margin check + SoA refresh + splice).
+//!
+//! `speedup = cold_plan_seconds / mean_patch_seconds` is the headline
+//! and is floored at 2.0x by CI (`replan-smoke`).
+//!
+//! The binary fails loudly if the accuracy contract breaks: for every
+//! patched frame, a cold plan built on the *same* refreshed solver must
+//! produce bitwise-identical Born radii and E_pol within 1e-12
+//! relative.
+
+use polar_bench::{fmt_secs, Scale, Table};
+use polar_gb::{GbParams, GbSolver, PlanDelta, ReplanConfig, ReplanFrameRow, ReplanReport};
+use polar_molecule::{generators, trajectory};
+use polar_octree::OctreeConfig;
+use polar_surface::SurfaceConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n_atoms, n_frames) = if scale == Scale::quick() {
+        (400, 12)
+    } else if scale == Scale::full() {
+        (4_000, 24)
+    } else {
+        (1_500, 16)
+    };
+    let max_step = 0.02;
+    let p = GbParams::default();
+    let cfg = ReplanConfig::default();
+    let mol = generators::globular("replan_walker", n_atoms, 17);
+    let frames = trajectory::jitter_frames(&mol, n_frames, max_step, 3);
+    eprintln!(
+        "[bench_replan] {n_atoms} atoms, {n_frames} frames, step {max_step} Å, \
+         tolerance {} Å",
+        cfg.tolerance
+    );
+
+    let wall = Instant::now();
+    let mut solver =
+        GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+    let t = Instant::now();
+    let mut plan = solver.plan(&p);
+    let cold_plan_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let first = solver
+        .solve_with_plan(&plan, &p)
+        .expect("cold plan fits its solver");
+    let mut rows = vec![ReplanFrameRow {
+        frame: 0,
+        action: "cold".into(),
+        max_disp: 0.0,
+        dirty_born: 0,
+        total_born: plan.born.groups() as u64,
+        dirty_epol: 0,
+        total_epol: plan.epol.groups() as u64,
+        patch_seconds: 0.0,
+        plan_seconds: cold_plan_seconds,
+        exec_seconds: t.elapsed().as_secs_f64(),
+        epol_kcal: first.epol_kcal,
+    }];
+
+    // Accuracy-contract accumulators over every patched frame.
+    let mut max_epol_rel = 0.0f64;
+    let mut contract_checks = 0usize;
+
+    for (k, frame) in frames.iter().enumerate().skip(1) {
+        let new_pos = frame.positions();
+        let mut row = ReplanFrameRow {
+            frame: k,
+            action: String::new(),
+            max_disp: 0.0,
+            dirty_born: 0,
+            total_born: 0,
+            dirty_epol: 0,
+            total_epol: 0,
+            patch_seconds: 0.0,
+            plan_seconds: 0.0,
+            exec_seconds: 0.0,
+            epol_kcal: 0.0,
+        };
+        let t_patch = Instant::now();
+        match solver.apply_frame(&new_pos, cfg.slack, cfg.tolerance) {
+            Ok(delta) => {
+                row.max_disp = delta.max_disp;
+                match plan.delta(&solver, &p, &delta, &cfg) {
+                    PlanDelta::Reusable => row.action = "reused".into(),
+                    PlanDelta::Patchable(set) => {
+                        let stats = plan
+                            .patch(&solver, &p, &set)
+                            .expect("patch set built for this solver");
+                        row.action = "patched".into();
+                        row.patch_seconds = t_patch.elapsed().as_secs_f64();
+                        row.dirty_born = stats.dirty_born as u64;
+                        row.dirty_epol = stats.dirty_epol as u64;
+                    }
+                    PlanDelta::Rebuild(_) => {
+                        let t = Instant::now();
+                        solver.resync_geometry();
+                        plan = solver.plan(&p);
+                        row.action = "rebuilt".into();
+                        row.plan_seconds = t.elapsed().as_secs_f64();
+                    }
+                }
+            }
+            Err(escaped) => {
+                eprintln!("[bench_replan] frame {k}: {escaped} points escaped, cold rebuild");
+                let t = Instant::now();
+                solver = GbSolver::for_molecule(
+                    frame,
+                    &SurfaceConfig::coarse(),
+                    &OctreeConfig::default(),
+                );
+                plan = solver.plan(&p);
+                row.action = "rebuilt".into();
+                row.plan_seconds = t.elapsed().as_secs_f64();
+            }
+        }
+        row.total_born = plan.born.groups() as u64;
+        row.total_epol = plan.epol.groups() as u64;
+        let t = Instant::now();
+        let result = solver
+            .solve_with_plan(&plan, &p)
+            .expect("plan is current for this solver");
+        row.exec_seconds = t.elapsed().as_secs_f64();
+        row.epol_kcal = result.epol_kcal;
+
+        // Accuracy contract (outside the timed regions): a patched plan
+        // must be interchangeable with a cold plan built on the same
+        // refreshed solver — Born radii bitwise, E_pol to 1e-12.
+        if row.action == "patched" {
+            let cold = solver.plan(&p);
+            let cold_result = solver
+                .solve_with_plan(&cold, &p)
+                .expect("cold control plan fits");
+            assert_eq!(
+                result.born, cold_result.born,
+                "frame {k}: patched Born radii diverged from cold plan"
+            );
+            let rel =
+                (result.epol_kcal - cold_result.epol_kcal).abs() / cold_result.epol_kcal.abs();
+            assert!(rel <= 1e-12, "frame {k}: patched E_pol drifted by {rel:e}");
+            max_epol_rel = max_epol_rel.max(rel);
+            contract_checks += 1;
+        }
+        rows.push(row);
+    }
+
+    let mut report = ReplanReport {
+        molecule: mol.name.clone(),
+        n_atoms,
+        rows,
+        ..ReplanReport::default()
+    };
+    report.summarize();
+    report.wall_seconds = wall.elapsed().as_secs_f64();
+    assert!(
+        report.patched_frames > 0,
+        "trajectory produced no patched frame — the delta path never engaged"
+    );
+
+    let mut t = Table::new("bench_replan", &["metric", "value"]);
+    t.row(vec!["frames".into(), report.frames.to_string()]);
+    t.row(vec!["patched".into(), report.patched_frames.to_string()]);
+    t.row(vec!["rebuilt".into(), report.rebuilt_frames.to_string()]);
+    t.row(vec!["cold plan".into(), fmt_secs(report.cold_plan_seconds)]);
+    t.row(vec![
+        "mean patch".into(),
+        fmt_secs(report.mean_patch_seconds),
+    ]);
+    t.row(vec!["speedup".into(), format!("{:.2}x", report.speedup)]);
+    t.emit();
+
+    let mut json = String::from("{\"schema\":\"bench_replan/v1\",");
+    let _ = write!(
+        json,
+        "\"n_atoms\":{n_atoms},\"frames\":{},\"max_step\":{max_step},\
+         \"tolerance\":{},\"patched_frames\":{},\"rebuilt_frames\":{},\
+         \"reused_frames\":{},\"cold_plan_seconds\":{:.6e},\
+         \"mean_patch_seconds\":{:.6e},\"speedup\":{:.4},\
+         \"wall_seconds\":{:.6e},\"contract_checks\":{contract_checks},\
+         \"born_bitwise_equal\":true,\"max_epol_rel_diff\":{max_epol_rel:e}}}",
+        report.frames,
+        cfg.tolerance,
+        report.patched_frames,
+        report.rebuilt_frames,
+        report.reused_frames,
+        report.cold_plan_seconds,
+        report.mean_patch_seconds,
+        report.speedup,
+        report.wall_seconds,
+    );
+    json.push('\n');
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[bench_replan] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_replan.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[json] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench_replan] cannot write {}: {e}", path.display()),
+    }
+    // Also persist the full per-frame ReplanReport as a CI artifact.
+    let report_path = dir.join("REPLAN_report.json");
+    match std::fs::write(&report_path, report.to_json() + "\n") {
+        Ok(()) => eprintln!("[json] wrote {}", report_path.display()),
+        Err(e) => eprintln!("[bench_replan] cannot write {}: {e}", report_path.display()),
+    }
+
+    if report.speedup < 2.0 {
+        eprintln!(
+            "[bench_replan] WARNING: patch speedup {:.2} < 2.0 acceptance floor",
+            report.speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -227,11 +227,21 @@ pub fn batch(a: &Args) -> CmdResult {
     let (outcomes, report) = engine.run(&jobs);
     for (job, out) in jobs.iter().zip(&outcomes) {
         match out {
-            BatchOutcome::Done { result, cache_hit } => eprintln!(
+            BatchOutcome::Done {
+                result,
+                cache_hit,
+                replan,
+            } => eprintln!(
                 "  {:<24} E_pol = {:>12.4} kcal/mol  [{}]",
                 job.molecule.name,
                 result.epol_kcal,
-                if *cache_hit { "cache hit" } else { "built" },
+                if *cache_hit {
+                    "cache hit"
+                } else if replan.is_some() {
+                    "patched"
+                } else {
+                    "built"
+                },
             ),
             BatchOutcome::Failed { error } => {
                 eprintln!("  {:<24} FAILED: {error}", job.molecule.name)
@@ -266,6 +276,213 @@ pub fn batch(a: &Args) -> CmdResult {
         ))));
     }
     Ok(())
+}
+
+/// `polar trajectory`: replay each manifest job's frame sequence through
+/// the incremental re-planning path — frame 0 plans cold, every later
+/// frame moves the prepared solver in place (`apply_frame`) and patches
+/// the existing plan when the delta classifier allows it — and report
+/// per-frame provenance plus the patch-time vs cold-plan-time comparison.
+pub fn trajectory(a: &Args) -> CmdResult {
+    use polar_gb::ReplanConfig;
+    use polar_molecule::manifest::FrameSpec;
+    // Inputs come from a manifest (one sequence per job) or, like the
+    // other solve commands, a single positional structure file.
+    let mut inputs: Vec<(Molecule, FrameSpec, GbParams)> = Vec::new();
+    if let Some(manifest_path) = a.get("manifest") {
+        let path = std::path::Path::new(manifest_path);
+        let manifest = polar_molecule::manifest::load_manifest(path)?;
+        let base = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+        for entry in &manifest.jobs {
+            let mol = entry.build_molecule(base)?;
+            let params = GbParams {
+                eps_born: entry.eps_born,
+                eps_epol: entry.eps_epol,
+                ..GbParams::default()
+            };
+            inputs.push((mol, entry.frames.unwrap_or_default(), params));
+        }
+    } else {
+        let path = a.positional(0, "input file (or pass --manifest <jobs.json>)")?;
+        let mol = io::load(std::path::Path::new(path))?;
+        inputs.push((mol, FrameSpec::default(), params_from(a)?));
+    }
+    let profile = profile_format(a)?;
+    let cfg = ReplanConfig {
+        tolerance: a.get_parsed("tolerance", ReplanConfig::default().tolerance)?,
+        ..ReplanConfig::default()
+    };
+    let override_count = match a.get("frames") {
+        None => None,
+        Some(_) => Some(a.get_parsed("frames", 0usize)?),
+    };
+    let override_step = match a.get("max-step") {
+        None => None,
+        Some(_) => Some(a.get_parsed("max-step", 0.0f64)?),
+    };
+    let override_seed = match a.get("frame-seed") {
+        None => None,
+        Some(_) => Some(a.get_parsed("frame-seed", 0u64)?),
+    };
+
+    let mut reports = Vec::new();
+    for (mol, mut spec, params) in inputs {
+        if let Some(n) = override_count {
+            if n == 0 {
+                return Err(Box::new(ArgError("--frames must be >= 1".into())));
+            }
+            spec.count = n;
+        }
+        if let Some(s) = override_step {
+            spec.max_step = s;
+        }
+        if let Some(s) = override_seed {
+            spec.seed = s;
+        }
+        let frames =
+            polar_molecule::trajectory::jitter_frames(&mol, spec.count, spec.max_step, spec.seed);
+        let report = replay_frames(&mol, &frames, &params, &cfg)?;
+        eprintln!(
+            "{:<24} {} frames: {} patched / {} rebuilt / {} reused, \
+             cold plan {:.2} ms, mean patch {:.2} ms ({:.1}x), {:.2}s",
+            report.molecule,
+            report.frames,
+            report.patched_frames,
+            report.rebuilt_frames,
+            report.reused_frames,
+            1e3 * report.cold_plan_seconds,
+            1e3 * report.mean_patch_seconds,
+            report.speedup,
+            report.wall_seconds,
+        );
+        reports.push(report);
+    }
+
+    if let Some(out) = a.get("out") {
+        let json = if reports.len() == 1 {
+            reports[0].to_json()
+        } else {
+            let items: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            format!("[{}]", items.join(","))
+        };
+        std::fs::write(out, json)?;
+        eprintln!("wrote {out}");
+    }
+    for report in &reports {
+        match profile {
+            None => {}
+            Some(ProfileFormat::Json) => println!("{}", report.to_json()),
+            Some(ProfileFormat::Csv) => print!("{}", report.to_csv()),
+        }
+    }
+    Ok(())
+}
+
+/// Replay `frames` (frame 0 = `mol` unperturbed) through one prepared
+/// solver, patching in place where possible, and assemble the
+/// [`polar_gb::ReplanReport`]. Shared by `polar trajectory` and kept
+/// engine-free so the timings isolate plan maintenance from cache and
+/// scheduling effects.
+fn replay_frames(
+    mol: &Molecule,
+    frames: &[Molecule],
+    params: &GbParams,
+    cfg: &polar_gb::ReplanConfig,
+) -> Result<polar_gb::ReplanReport, Box<dyn std::error::Error>> {
+    use polar_gb::{PlanDelta, ReplanFrameRow, ReplanReport};
+    let wall = Instant::now();
+    let mut rows = Vec::with_capacity(frames.len());
+    let mut solver =
+        GbSolver::for_molecule(mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+    let t = Instant::now();
+    let mut plan = solver.plan(params);
+    let cold_plan_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let first = solver.solve_with_plan(&plan, params)?;
+    rows.push(ReplanFrameRow {
+        frame: 0,
+        action: "cold".into(),
+        max_disp: 0.0,
+        dirty_born: 0,
+        total_born: plan.born.groups() as u64,
+        dirty_epol: 0,
+        total_epol: plan.epol.groups() as u64,
+        patch_seconds: 0.0,
+        plan_seconds: cold_plan_s,
+        exec_seconds: t.elapsed().as_secs_f64(),
+        epol_kcal: first.epol_kcal,
+    });
+    for (k, frame) in frames.iter().enumerate().skip(1) {
+        let new_pos = frame.positions();
+        let t_patch = Instant::now();
+        let mut row = ReplanFrameRow {
+            frame: k,
+            action: String::new(),
+            max_disp: 0.0,
+            dirty_born: 0,
+            total_born: 0,
+            dirty_epol: 0,
+            total_epol: 0,
+            patch_seconds: 0.0,
+            plan_seconds: 0.0,
+            exec_seconds: 0.0,
+            epol_kcal: 0.0,
+        };
+        match solver.apply_frame(&new_pos, cfg.slack, cfg.tolerance) {
+            Ok(delta) => {
+                row.max_disp = delta.max_disp;
+                match plan.delta(&solver, params, &delta, cfg) {
+                    PlanDelta::Reusable => row.action = "reused".into(),
+                    PlanDelta::Patchable(set) => {
+                        let stats = plan.patch(&solver, params, &set)?;
+                        row.action = "patched".into();
+                        row.patch_seconds = t_patch.elapsed().as_secs_f64();
+                        row.dirty_born = stats.dirty_born as u64;
+                        row.dirty_epol = stats.dirty_epol as u64;
+                    }
+                    PlanDelta::Rebuild(_) => {
+                        let t = Instant::now();
+                        // Clear accumulated drift first so the fresh
+                        // plan measures margins against exact geometry
+                        // and later frames regain full patch headroom.
+                        solver.resync_geometry();
+                        plan = solver.plan(params);
+                        row.action = "rebuilt".into();
+                        row.plan_seconds = t.elapsed().as_secs_f64();
+                    }
+                }
+            }
+            Err(_escaped) => {
+                // Points left their slackened leaf cells: the tree
+                // topology itself is stale, so prepare the frame cold.
+                let t = Instant::now();
+                solver = GbSolver::for_molecule(
+                    frame,
+                    &SurfaceConfig::coarse(),
+                    &OctreeConfig::default(),
+                );
+                plan = solver.plan(params);
+                row.action = "rebuilt".into();
+                row.plan_seconds = t.elapsed().as_secs_f64();
+            }
+        }
+        row.total_born = plan.born.groups() as u64;
+        row.total_epol = plan.epol.groups() as u64;
+        let t = Instant::now();
+        let result = solver.solve_with_plan(&plan, params)?;
+        row.exec_seconds = t.elapsed().as_secs_f64();
+        row.epol_kcal = result.epol_kcal;
+        rows.push(row);
+    }
+    let mut report = ReplanReport {
+        molecule: mol.name.clone(),
+        n_atoms: mol.len(),
+        rows,
+        ..ReplanReport::default()
+    };
+    report.summarize();
+    report.wall_seconds = wall.elapsed().as_secs_f64();
+    Ok(report)
 }
 
 /// `polar serve`: run the persistent rescoring server until a client

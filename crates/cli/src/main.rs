@@ -10,6 +10,9 @@
 //!                          [--faults spec.json | --fault-seed N]
 //! polar batch --manifest jobs.json [--cache-mb N] [--threads p]
 //!                                  [--profile json|csv]
+//! polar trajectory <file> | --manifest jobs.json
+//!                  [--frames N] [--max-step S] [--frame-seed K]
+//!                  [--tolerance T] [--out report.json] [--profile json|csv]
 //! polar serve [--addr H:P] [--queue-depth N] [--deadline-ms N]
 //!             [--cache-mb N] [--quota-mb N] [--drain-timeout S]
 //! polar project <file> [--nodes N]     # simulated cluster timings
@@ -42,6 +45,10 @@ const VALUE_OPTS: &[&str] = &[
     "deadline-ms",
     "quota-mb",
     "drain-timeout",
+    "frames",
+    "max-step",
+    "frame-seed",
+    "tolerance",
 ];
 const BOOL_FLAGS: &[&str] = &[
     "approx-math",
@@ -73,6 +80,7 @@ fn main() {
         "sweep" => commands::sweep(&parsed),
         "distributed" => commands::distributed(&parsed),
         "batch" => commands::batch(&parsed),
+        "trajectory" => commands::trajectory(&parsed),
         "serve" => commands::serve(&parsed),
         "project" => commands::project(&parsed),
         other => {
@@ -115,6 +123,18 @@ USAGE:
       --cache-mb N                plan-cache capacity in MB (default 256)
       --threads p                 worker count (default: all cores)
       --profile json|csv          print the BatchReport to stdout
+  polar trajectory [<file>] replay frame sequences through the incremental
+      --manifest jobs.json        re-planning path (delta-tolerant plan
+                                  patching for moving geometry) and report
+                                  patched vs cold; a positional file runs
+                                  one default-spec sequence
+      --eps-born E --eps-epol E   approximation parameters (file form)
+      --frames N                  override every job's frame count
+      --max-step S                override per-frame jitter bound (Å)
+      --frame-seed K              override the frame random-walk seed
+      --tolerance T               node-geometry drift tolerance (Å, default 0.1)
+      --out report.json           also write the ReplanReport JSON to a file
+      --profile json|csv          print the ReplanReport to stdout
   polar serve               persistent rescoring server (line-delimited
       --addr HOST:PORT            JSON over TCP; port 0 = ephemeral)
       --queue-depth N             admission queue bound (default 64)

@@ -30,7 +30,7 @@
 //! cache, so identical manifests yield identical hit/miss/eviction
 //! counts whatever the steal schedule was.
 
-use crate::plan::InteractionPlan;
+use crate::plan::{InteractionPlan, PlanDelta, ReplanConfig, ReplanStats};
 use crate::report::{BatchJobRow, BatchReport};
 use crate::solver::{GbParams, GbResult, GbSolver, SolveScratch};
 use crate::stats::WorkCounts;
@@ -77,8 +77,15 @@ impl BatchJob {
 /// What happened to one job, submission order preserved.
 #[derive(Debug, Clone)]
 pub enum BatchOutcome {
-    /// The job solved; `cache_hit` says whether it reused a plan.
-    Done { result: GbResult, cache_hit: bool },
+    /// The job solved; `cache_hit` says whether it reused a plan
+    /// verbatim, `replan` is `Some` when a same-topology cached plan was
+    /// *patched* for this job's moved coordinates (a hit-with-patch,
+    /// counted distinctly from both hits and misses).
+    Done {
+        result: GbResult,
+        cache_hit: bool,
+        replan: Option<ReplanStats>,
+    },
     /// The job failed (typed solve error or contained panic); siblings
     /// are unaffected.
     Failed { error: String },
@@ -91,6 +98,65 @@ impl BatchOutcome {
             BatchOutcome::Done { result, .. } => Some(result),
             BatchOutcome::Failed { .. } => None,
         }
+    }
+
+    /// The patch stats, if the job was served by patching a cached plan.
+    pub fn replan(&self) -> Option<&ReplanStats> {
+        match self {
+            BatchOutcome::Done { replan, .. } => replan.as_ref(),
+            BatchOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Try to serve `mol` by patching a same-topology cached entry instead
+/// of planning cold: verify the topology really is bitwise identical
+/// (hashes can lie), pre-check the displacement against the patch limit
+/// *before* paying for any clone, then clone the base, move it to the
+/// frame and splice the dirty plan segments. `None` means "plan cold" —
+/// topology differs, the move is too large, the trees' leaf cells
+/// overflowed their slack, or the dirty fraction made patching
+/// pointless.
+fn try_patch(
+    base: &Prepared,
+    mol: &Molecule,
+    p: &GbParams,
+    cfg: &ReplanConfig,
+) -> Option<(Prepared, ReplanStats)> {
+    if base.solver.n_atoms() != mol.len() {
+        return None;
+    }
+    for (a, (r, c)) in mol
+        .atoms
+        .iter()
+        .zip(base.solver.atom_radii.iter().zip(&base.solver.charges))
+    {
+        if a.radius.to_bits() != r.to_bits() || a.charge.to_bits() != c.to_bits() {
+            return None;
+        }
+    }
+    let new_pos = mol.positions();
+    let max_d2 = new_pos
+        .iter()
+        .zip(&base.solver.atom_pos)
+        .map(|(n, o)| n.dist_sq(*o))
+        .fold(0.0_f64, f64::max);
+    if max_d2.sqrt() > cfg.max_displacement {
+        return None;
+    }
+    let mut solver = base.solver.clone();
+    let mut plan = base.plan.clone();
+    solver.name = mol.name.clone();
+    let frame = match solver.apply_frame(&new_pos, cfg.slack, cfg.tolerance) {
+        Ok(f) => f,
+        Err(_) => return None,
+    };
+    match plan.delta(&solver, p, &frame, cfg) {
+        PlanDelta::Patchable(set) => {
+            let stats = plan.patch(&solver, p, &set).ok()?;
+            Some((Prepared { solver, plan }, stats))
+        }
+        PlanDelta::Reusable | PlanDelta::Rebuild(_) => None,
     }
 }
 
@@ -137,6 +203,56 @@ impl PlanKey {
     }
 }
 
+/// FNV-1a over atom count, radii and charges — *positions excluded*.
+/// Two frames of the same moving molecule share this hash while their
+/// [`geometry_hash`]es differ, which is what lets a cache miss find a
+/// same-topology base entry to patch instead of planning cold.
+fn topology_hash(radii: &[f64], charges: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(radii.len() as u64);
+    for r in radii {
+        eat(r.to_bits());
+    }
+    for c in charges {
+        eat(c.to_bits());
+    }
+    h
+}
+
+/// Secondary cache index key: topology fingerprint + both ε.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TopoKey {
+    topo: u64,
+    eps_born_bits: u64,
+    eps_epol_bits: u64,
+}
+
+impl TopoKey {
+    fn of_mol(mol: &Molecule, p: &GbParams) -> TopoKey {
+        TopoKey {
+            topo: topology_hash(&mol.radii(), &mol.charges()),
+            eps_born_bits: p.eps_born.to_bits(),
+            eps_epol_bits: p.eps_epol.to_bits(),
+        }
+    }
+
+    fn of_entry(solver: &GbSolver, key: &PlanKey) -> TopoKey {
+        TopoKey {
+            topo: topology_hash(&solver.atom_radii, &solver.charges),
+            eps_born_bits: key.eps_born_bits,
+            eps_epol_bits: key.eps_epol_bits,
+        }
+    }
+}
+
 /// A cached unit: the prepared solver and its interaction plan. The
 /// solver rides along because executing a plan needs the trees and
 /// q-point aggregates it was built from — and rebuilding the solver
@@ -168,6 +284,10 @@ struct PlanCache {
     /// Per-tenant cap on held plan bytes (`usize::MAX` = unlimited).
     tenant_quota_bytes: usize,
     map: HashMap<PlanKey, CacheSlot>,
+    /// Topology → most recently inserted plan key for it: the delta
+    /// path's way from "this exact conformation missed" to "but a
+    /// same-topology plan exists to patch".
+    topo: HashMap<TopoKey, PlanKey>,
     tenant_bytes: HashMap<String, usize>,
     tick: u64,
     bytes_held: usize,
@@ -187,12 +307,20 @@ impl PlanCache {
             capacity_bytes,
             tenant_quota_bytes,
             map: HashMap::new(),
+            topo: HashMap::new(),
             tenant_bytes: HashMap::new(),
             tick: 0,
             bytes_held: 0,
             evictions: 0,
             quota_evictions: 0,
         }
+    }
+
+    /// Latest same-topology entry, LRU-touched — the candidate base for
+    /// a plan patch when the exact-conformation key missed.
+    fn topo_base(&mut self, tkey: &TopoKey) -> Option<Arc<Prepared>> {
+        let key = *self.topo.get(tkey)?;
+        self.get(&key)
     }
 
     /// Look up and touch (LRU-refresh) an entry.
@@ -205,7 +333,7 @@ impl PlanCache {
         })
     }
 
-    /// Drop one slot, fixing both byte ledgers.
+    /// Drop one slot, fixing both byte ledgers and the topology index.
     fn drop_slot(&mut self, key: &PlanKey) -> Option<CacheSlot> {
         let slot = self.map.remove(key)?;
         let bytes = slot.entry.plan.memory_bytes();
@@ -215,6 +343,10 @@ impl PlanCache {
             if *held == 0 {
                 self.tenant_bytes.remove(&slot.tenant);
             }
+        }
+        let tkey = TopoKey::of_entry(&slot.entry.solver, key);
+        if self.topo.get(&tkey) == Some(key) {
+            self.topo.remove(&tkey);
         }
         Some(slot)
     }
@@ -246,6 +378,8 @@ impl PlanCache {
         if self.map.contains_key(&key) {
             self.drop_slot(&key);
         }
+        self.topo
+            .insert(TopoKey::of_entry(&entry.solver, &key), key);
         self.map.insert(
             key,
             CacheSlot {
@@ -344,6 +478,9 @@ enum Assign {
     Cached(Arc<Prepared>),
     /// First job with this key in the batch: builds the entry.
     Build(PlanKey),
+    /// First job with this key, but a same-topology entry is cached:
+    /// the builder wave tries to patch it before building cold.
+    Patch(PlanKey, Arc<Prepared>),
     /// Shares the plan built by an earlier job this batch.
     Follow(PlanKey),
 }
@@ -360,6 +497,7 @@ pub struct BatchEngine {
     n_workers: usize,
     retry_budget: u32,
     cache: PlanCache,
+    replan: ReplanConfig,
     /// Plan keys evicted because the job holding them panicked.
     poison_evictions: u64,
 }
@@ -389,6 +527,7 @@ impl BatchEngine {
             n_workers: n_workers.max(1),
             retry_budget: 2,
             cache: PlanCache::new(cache_capacity_bytes),
+            replan: ReplanConfig::default(),
             poison_evictions: 0,
         }
     }
@@ -397,6 +536,12 @@ impl BatchEngine {
     /// attempt is always contained so the batch cannot abort).
     pub fn set_retry_budget(&mut self, budget: u32) {
         self.retry_budget = budget;
+    }
+
+    /// Tune the delta re-planning path (patch tolerance, refresh slack,
+    /// dirty-fraction ceiling).
+    pub fn set_replan_config(&mut self, cfg: ReplanConfig) {
+        self.replan = cfg;
     }
 
     /// Plan bytes currently held by the cache.
@@ -425,7 +570,15 @@ impl BatchEngine {
                     }
                     std::collections::hash_map::Entry::Vacant(v) => {
                         v.insert(i);
-                        assigns.push(Assign::Build(key));
+                        // Exact-key miss, but a plan for the same topology
+                        // (radii + charges + eps) may be cached from an
+                        // earlier frame of the same molecule; the builder
+                        // wave will try to patch it before building cold.
+                        let tkey = TopoKey::of_mol(&job.molecule, &job.params);
+                        match self.cache.topo_base(&tkey) {
+                            Some(base) => assigns.push(Assign::Patch(key, base)),
+                            None => assigns.push(Assign::Build(key)),
+                        }
                     }
                 }
             }
@@ -437,7 +590,7 @@ impl BatchEngine {
         let builders: Vec<usize> = assigns
             .iter()
             .enumerate()
-            .filter_map(|(i, a)| matches!(a, Assign::Build(_)).then_some(i))
+            .filter_map(|(i, a)| matches!(a, Assign::Build(_) | Assign::Patch(_, _)).then_some(i))
             .collect();
         let mut retries = 0u64;
         let mut recovered_jobs = 0u64;
@@ -454,11 +607,31 @@ impl BatchEngine {
                     let surface = &self.surface;
                     let tree_cfg = &self.tree_cfg;
                     let budget = self.retry_budget;
+                    let replan_cfg = self.replan;
+                    let base: Option<Arc<Prepared>> = match &assigns[i] {
+                        Assign::Patch(_, b) => Some(b.clone()),
+                        _ => None,
+                    };
                     move |attempt: u32| {
                         let t = Instant::now();
                         let out = contained(attempt >= budget, || {
                             if attempt < job.panics {
                                 panic!("injected chaos panic (attempt {attempt})");
+                            }
+                            // Patch path first: a same-topology base plan
+                            // exists, so try patching it against the new
+                            // coordinates. Any tolerance breach falls
+                            // through to a cold build.
+                            if let Some(base) = &base {
+                                if let Some((prepared, stats)) =
+                                    try_patch(base, &job.molecule, &job.params, &replan_cfg)
+                                {
+                                    let prepared = Arc::new(prepared);
+                                    let result = arenas
+                                        .solve(&prepared, &job.params)
+                                        .map_err(|e| e.to_string())?;
+                                    return Ok((prepared, result, Some(stats)));
+                                }
                             }
                             let solver = GbSolver::for_molecule(&job.molecule, surface, tree_cfg);
                             let plan = solver.plan(&job.params);
@@ -466,7 +639,7 @@ impl BatchEngine {
                             let result = arenas
                                 .solve(&prepared, &job.params)
                                 .map_err(|e| e.to_string())?;
-                            Ok((prepared, result))
+                            Ok((prepared, result, None))
                         });
                         (out, t.elapsed().as_secs_f64())
                     }
@@ -480,13 +653,14 @@ impl BatchEngine {
             for (&i, (out, wall)) in builders.iter().zip(results) {
                 walls[i] = wall;
                 match out {
-                    Ok((prepared, result)) => {
-                        if let Assign::Build(key) = assigns[i] {
+                    Ok((prepared, result, replan)) => {
+                        if let Assign::Build(key) | Assign::Patch(key, _) = assigns[i] {
                             built.insert(key, prepared.clone());
                         }
                         outcomes[i] = Some(BatchOutcome::Done {
                             result,
                             cache_hit: false,
+                            replan,
                         });
                     }
                     Err(error) => outcomes[i] = Some(BatchOutcome::Failed { error }),
@@ -498,14 +672,23 @@ impl BatchEngine {
         // order, so eviction order is deterministic too. Followers whose
         // builder failed fall back to building their own plan in wave B.
         for &i in &builders {
-            if let (Assign::Build(key), Some(BatchOutcome::Done { .. })) =
+            if let (Assign::Build(key) | Assign::Patch(key, _), Some(BatchOutcome::Done { .. })) =
                 (&assigns[i], &outcomes[i])
             {
                 self.cache.insert(*key, built[key].clone(), DEFAULT_TENANT);
             }
         }
         let mut cache_hits = 0u64;
-        let mut cache_misses = builders.len() as u64;
+        let mut cache_patched = 0u64;
+        let mut cache_misses = 0u64;
+        for &i in &builders {
+            match &outcomes[i] {
+                Some(BatchOutcome::Done {
+                    replan: Some(_), ..
+                }) => cache_patched += 1,
+                _ => cache_misses += 1,
+            }
+        }
         // Keys re-published by a clean follower rebuild (wave B below):
         // these entries postdate any panic on the same key, so the
         // poisoned-entry sweep must not evict them.
@@ -517,7 +700,7 @@ impl BatchEngine {
             .iter()
             .enumerate()
             .filter_map(|(i, a)| match a {
-                Assign::Build(_) => None,
+                Assign::Build(_) | Assign::Patch(_, _) => None,
                 Assign::Cached(entry) => Some((i, Some(entry.clone()))),
                 Assign::Follow(key) => Some((i, built.get(key).cloned())),
             })
@@ -585,6 +768,7 @@ impl BatchEngine {
                         BatchOutcome::Done {
                             result,
                             cache_hit: entry.is_some(),
+                            replan: None,
                         }
                     }
                     Err(error) => BatchOutcome::Failed { error },
@@ -637,7 +821,11 @@ impl BatchEngine {
             .zip(&outcomes)
             .enumerate()
             .map(|(i, (job, out))| match out {
-                BatchOutcome::Done { result, cache_hit } => {
+                BatchOutcome::Done {
+                    result,
+                    cache_hit,
+                    replan,
+                } => {
                     succeeded += 1;
                     total_epol += result.epol_kcal;
                     total_work.accumulate(result.work_born);
@@ -648,6 +836,7 @@ impl BatchEngine {
                         kernel_mode: job.params.kernel.label().to_string(),
                         epol_kcal: result.epol_kcal,
                         cache_hit: *cache_hit,
+                        cache_patched: replan.is_some(),
                         pair_ops: result.work_born.pair_ops + result.work_epol.pair_ops,
                         far_ops: result.work_born.far_ops + result.work_epol.far_ops,
                         wall_seconds: walls[i],
@@ -660,6 +849,7 @@ impl BatchEngine {
                     kernel_mode: job.params.kernel.label().to_string(),
                     epol_kcal: f64::NAN,
                     cache_hit: false,
+                    cache_patched: false,
                     pair_ops: 0,
                     far_ops: 0,
                     wall_seconds: walls[i],
@@ -672,6 +862,7 @@ impl BatchEngine {
             succeeded,
             failed: jobs.len() - succeeded,
             cache_hits,
+            cache_patched,
             cache_misses,
             cache_evictions: self.cache.evictions,
             poison_evictions: self.poison_evictions,
@@ -754,6 +945,11 @@ pub struct ServeSolve {
     pub result: GbResult,
     /// Whether a cached plan served the request.
     pub cache_hit: bool,
+    /// Whether a same-topology cached plan was delta-patched to the
+    /// request's coordinates (counted separately from exact hits).
+    pub patched: bool,
+    /// Per-leaf dirty counts when the request was served by a patch.
+    pub replan: Option<ReplanStats>,
     /// Seconds spent building solver + plan (zero on a hit).
     pub plan_seconds: f64,
     /// Seconds spent executing the kernels.
@@ -764,6 +960,8 @@ pub struct ServeSolve {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     pub hits: u64,
+    /// Misses resolved by patching a same-topology cached plan.
+    pub patched: u64,
     pub misses: u64,
     pub evictions: u64,
     pub quota_evictions: u64,
@@ -788,8 +986,10 @@ pub struct ServeEngine {
     cache: Mutex<PlanCache>,
     arenas: ArenaPool,
     hits: std::sync::atomic::AtomicU64,
+    patched: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
     poison_evictions: std::sync::atomic::AtomicU64,
+    replan: ReplanConfig,
 }
 
 /// Lock a mutex, clearing poison: every critical section here leaves
@@ -818,9 +1018,17 @@ impl ServeEngine {
             )),
             arenas: ArenaPool::new(n_workers),
             hits: std::sync::atomic::AtomicU64::new(0),
+            patched: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
             poison_evictions: std::sync::atomic::AtomicU64::new(0),
+            replan: ReplanConfig::default(),
         }
+    }
+
+    /// Tune the delta re-planning path used when a request misses the
+    /// exact plan key but a same-topology plan is cached.
+    pub fn set_replan_config(&mut self, cfg: ReplanConfig) {
+        self.replan = cfg;
     }
 
     /// Rescore one job for `tenant`, enforcing `deadline` cooperatively
@@ -840,28 +1048,55 @@ impl ServeEngine {
         deadline_gate(deadline, "plan")?;
         let key = PlanKey::of(&job.molecule, &job.params);
         let cached = lock(&self.cache).get(&key);
-        let (prepared, cache_hit, plan_seconds) = match cached {
+        let (prepared, cache_hit, patched, replan, plan_seconds) = match cached {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                (entry, true, 0.0)
+                (entry, true, false, None, 0.0)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Exact-key miss. A plan for the same topology may still
+                // be cached from a nearby pose; patching it is much
+                // cheaper than a cold build. The lock is held only for
+                // the lookup — the patch itself runs outside it.
+                let base =
+                    lock(&self.cache).topo_base(&TopoKey::of_mol(&job.molecule, &job.params));
                 let t = Instant::now();
                 let built = catch_unwind(AssertUnwindSafe(|| {
                     if job.panics > 0 {
                         panic!("injected chaos panic (build)");
                     }
+                    if let Some(base) = &base {
+                        if let Some((prepared, stats)) =
+                            try_patch(base, &job.molecule, &job.params, &self.replan)
+                        {
+                            return (Arc::new(prepared), Some(stats));
+                        }
+                    }
                     let solver =
                         GbSolver::for_molecule(&job.molecule, &self.surface, &self.tree_cfg);
                     let plan = solver.plan(&job.params);
-                    Arc::new(Prepared { solver, plan })
+                    (Arc::new(Prepared { solver, plan }), None)
                 }))
-                .map_err(|payload| RescoreError::Panicked {
-                    message: panic_message(payload),
+                .map_err(|payload| {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    RescoreError::Panicked {
+                        message: panic_message(payload),
+                    }
                 })?;
+                let (built, stats) = built;
+                if stats.is_some() {
+                    self.patched.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
                 lock(&self.cache).insert(key, built.clone(), tenant);
-                (built, false, t.elapsed().as_secs_f64())
+                (
+                    built,
+                    false,
+                    stats.is_some(),
+                    stats,
+                    t.elapsed().as_secs_f64(),
+                )
             }
         };
         deadline_gate(deadline, "execute")?;
@@ -887,6 +1122,8 @@ impl ServeEngine {
             Ok(Ok(result)) => Ok(ServeSolve {
                 result,
                 cache_hit,
+                patched,
+                replan,
                 plan_seconds,
                 exec_seconds: t.elapsed().as_secs_f64(),
             }),
@@ -899,6 +1136,7 @@ impl ServeEngine {
         let cache = lock(&self.cache);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            patched: self.patched.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: cache.evictions,
             quota_evictions: cache.quota_evictions,
@@ -1039,6 +1277,204 @@ mod tests {
         let (_, second) = engine.run(&jobs);
         assert_eq!(second.cache_hits + second.cache_misses, 2);
         assert!(second.cache_misses >= 1, "{second:?}");
+    }
+
+    #[test]
+    fn cache_byte_ledger_matches_resident_plan_bytes() {
+        // `bytes_held` is an incremental ledger (updated on every insert
+        // and drop); it must always reconcile with the ground truth —
+        // the sum of `InteractionPlan::memory_bytes` (segment-capacity
+        // accounting) over the entries actually resident — including
+        // across LRU evictions under capacity pressure.
+        let p = GbParams::default();
+        let probe = {
+            let mol = generators::globular("probe", 130, 5);
+            let s =
+                GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+            s.plan(&p).memory_bytes()
+        };
+        let capacity = 2 * probe + probe / 2;
+        let mut engine = BatchEngine::new(capacity, 2);
+        let reconcile = |engine: &BatchEngine, held: u64| {
+            let ground_truth: usize = engine
+                .cache
+                .map
+                .values()
+                .map(|slot| slot.entry.plan.memory_bytes())
+                .sum();
+            assert_eq!(engine.cache.bytes_held, ground_truth);
+            assert_eq!(held as usize, ground_truth);
+        };
+        // Fill to capacity, then keep inserting fresh geometries so the
+        // LRU has to evict on every round.
+        let mut evictions = 0;
+        for seed in 0..5 {
+            let (_, report) = engine.run(&jobs_of(&[(130, seed)], 1));
+            reconcile(&engine, report.cache_bytes_held);
+            assert!(report.cache_bytes_held <= capacity as u64);
+            evictions = report.cache_evictions;
+        }
+        assert!(evictions >= 1, "capacity for ~2 plans never evicted");
+        // Re-running a warm seed (hit, no insert) leaves the ledger
+        // untouched.
+        let before = engine.cache.bytes_held;
+        let (_, report) = engine.run(&jobs_of(&[(130, 4)], 1));
+        assert_eq!(report.cache_hits, 1);
+        assert_eq!(engine.cache.bytes_held, before);
+        reconcile(&engine, report.cache_bytes_held);
+    }
+
+    #[test]
+    fn small_displacement_frames_patch_the_cached_plan() {
+        use polar_molecule::trajectory;
+        let p = GbParams {
+            kernel: KernelMode::Strict,
+            ..GbParams::default()
+        };
+        let frames = trajectory::jitter_frames(&generators::globular("walker", 150, 3), 3, 0.02, 7);
+        let mut engine = BatchEngine::new(64 << 20, 2);
+
+        let (_, cold) = engine.run(&[BatchJob::new(frames[0].clone(), p)]);
+        assert_eq!(cold.cache_misses, 1);
+        assert_eq!(cold.cache_patched, 0);
+
+        // Each later frame misses its exact key but patches the cached
+        // same-topology plan from the previous frame.
+        for frame in &frames[1..] {
+            let (outcomes, warm) = engine.run(&[BatchJob::new(frame.clone(), p)]);
+            assert_eq!(warm.cache_patched, 1, "{warm:?}");
+            assert_eq!(warm.cache_hits, 0);
+            assert_eq!(warm.cache_misses, 0);
+            assert_eq!(
+                warm.cache_hits + warm.cache_patched + warm.cache_misses,
+                warm.jobs as u64,
+                "counters must partition the jobs"
+            );
+            assert!(warm.rows[0].cache_patched && !warm.rows[0].cache_hit);
+            let stats = outcomes[0].replan().expect("patched job carries stats");
+            assert!(stats.dirty_born <= stats.total_born);
+            assert!(stats.dirty_epol <= stats.total_epol);
+            let result = outcomes[0].result().expect("patched job succeeded");
+            assert!(result.epol_kcal.is_finite() && result.epol_kcal < 0.0);
+        }
+
+        // Re-submitting the last frame unchanged is an exact hit, not
+        // another patch.
+        let last = frames.last().unwrap().clone();
+        let (_, again) = engine.run(&[BatchJob::new(last, p)]);
+        assert_eq!(again.cache_hits, 1);
+        assert_eq!(again.cache_patched, 0);
+    }
+
+    #[test]
+    fn oversized_displacement_falls_back_to_a_cold_build() {
+        use polar_molecule::trajectory;
+        let p = GbParams::default();
+        let mol = generators::globular("jumper", 140, 4);
+        // Far beyond the default 0.5 Å per-frame displacement ceiling.
+        let moved = trajectory::jittered(&mol, 5.0, 9);
+        let mut engine = BatchEngine::new(64 << 20, 2);
+        engine.run(&[BatchJob::new(mol, p)]);
+        let (_, report) = engine.run(&[BatchJob::new(moved, p)]);
+        assert_eq!(report.cache_patched, 0, "{report:?}");
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.succeeded, 1);
+    }
+
+    #[test]
+    fn patched_plan_matches_cold_plan_on_the_same_geometry() {
+        // The engine-level accuracy contract: the plan try_patch returns
+        // is interchangeable with a cold plan built on the *same*
+        // refreshed solver — Born radii bitwise, E_pol to 1e-12.
+        use polar_molecule::trajectory;
+        let p = GbParams {
+            kernel: KernelMode::Strict,
+            ..GbParams::default()
+        };
+        let mol = generators::globular("contract", 160, 5);
+        // Two regimes: the drift-tolerant default keeps node geometry
+        // frozen (zero dirty segments — pure SoA refresh), while
+        // tolerance 0 refreshes geometry exactly so real segments go
+        // dirty and the splice path runs. Both must satisfy the
+        // contract.
+        let exact = ReplanConfig {
+            tolerance: 0.0,
+            max_dirty_fraction: 1.0,
+            ..ReplanConfig::default()
+        };
+        for (cfg, step, want_dirty) in
+            [(ReplanConfig::default(), 0.05, false), (exact, 0.002, true)]
+        {
+            let solver =
+                GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+            let plan = solver.plan(&p);
+            let base = Prepared { solver, plan };
+            let moved = trajectory::jittered(&mol, step, 13);
+            let (prepared, stats) =
+                try_patch(&base, &moved, &p, &cfg).expect("small delta patches");
+            if want_dirty {
+                assert!(stats.dirty_born > 0 || stats.dirty_epol > 0, "{stats:?}");
+            } else {
+                assert_eq!((stats.dirty_born, stats.dirty_epol), (0, 0), "{stats:?}");
+            }
+            let cold_plan = prepared.solver.plan(&p);
+            let patched = prepared
+                .solver
+                .solve_with_plan(&prepared.plan, &p)
+                .expect("patched plan is compatible");
+            let cold = prepared
+                .solver
+                .solve_with_plan(&cold_plan, &p)
+                .expect("cold plan is compatible");
+            assert_eq!(patched.born, cold.born, "Born radii must be bitwise equal");
+            let rel = (patched.epol_kcal - cold.epol_kcal).abs() / cold.epol_kcal.abs();
+            assert!(rel <= 1e-12, "E_pol drifted: {rel}");
+        }
+    }
+
+    #[test]
+    fn eviction_drops_the_topology_index_with_the_entry() {
+        use polar_molecule::trajectory;
+        let p = GbParams::default();
+        let mol = generators::globular("evictee", 130, 8);
+        let probe = {
+            let s =
+                GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
+            s.plan(&p).memory_bytes()
+        };
+        let mut engine = BatchEngine::new(probe + probe / 2, 2);
+        engine.run(&[BatchJob::new(mol.clone(), p)]);
+        // A different geometry class evicts the walker's plan...
+        engine.run(&[BatchJob::new(generators::globular("usurper", 130, 9), p)]);
+        // ...so the next frame has no base left to patch from.
+        let (_, report) = engine.run(&[BatchJob::new(trajectory::jittered(&mol, 0.02, 3), p)]);
+        assert_eq!(report.cache_patched, 0, "{report:?}");
+        assert_eq!(report.cache_misses, 1);
+    }
+
+    #[test]
+    fn serve_engine_patches_same_topology_requests() {
+        use polar_molecule::trajectory;
+        let p = GbParams::default();
+        let mol = generators::globular("served", 140, 6);
+        let engine = ServeEngine::new(64 << 20, None, 2);
+        let cold = engine
+            .rescore("t", &BatchJob::new(mol.clone(), p), None)
+            .expect("cold solve");
+        assert!(!cold.cache_hit && !cold.patched);
+        let warm = engine
+            .rescore(
+                "t",
+                &BatchJob::new(trajectory::jittered(&mol, 0.02, 21), p),
+                None,
+            )
+            .expect("patched solve");
+        assert!(warm.patched && !warm.cache_hit, "{warm:?}");
+        assert!(warm.replan.is_some());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.patched, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

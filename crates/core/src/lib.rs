@@ -49,7 +49,9 @@ pub use batch::{
     BatchEngine, BatchJob, BatchOutcome, CacheStats, RescoreError, ServeEngine, ServeSolve,
 };
 pub use kernels::KernelMode;
-pub use plan::{InteractionPlan, PlanError};
-pub use report::{BatchReport, Histogram, ServeReport, SolveReport};
-pub use solver::{GbParams, GbResult, GbSolver, SolveScratch};
+pub use plan::{
+    InteractionPlan, PlanDelta, PlanError, RebuildReason, ReplanConfig, ReplanStats, StageLists,
+};
+pub use report::{BatchReport, Histogram, ReplanFrameRow, ReplanReport, ServeReport, SolveReport};
+pub use solver::{FrameDelta, GbParams, GbResult, GbSolver, SolveScratch};
 pub use stats::WorkCounts;

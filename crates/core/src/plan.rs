@@ -86,7 +86,7 @@ use crate::energy::exact::gb_pair;
 use crate::energy::octree::{separation_factor_epol, EpolCtx};
 use crate::kernels::{self, KernelMode};
 use crate::report::PlanReport;
-use crate::solver::{GbParams, GbSolver};
+use crate::solver::{FrameDelta, GbParams, GbSolver};
 use crate::stats::WorkCounts;
 use polar_geom::MathMode;
 use polar_octree::{NodeId, Octree};
@@ -116,6 +116,17 @@ pub enum PlanError {
         /// (n_atoms, n_qpoints) of the solver handed to the solve.
         solver: (usize, usize),
     },
+    /// The solver's coordinates moved (via `GbSolver::apply_frame`) after
+    /// this plan was built or last patched. Executing it would stream
+    /// stale SoA coordinates, so the solve refuses; run
+    /// [`InteractionPlan::delta`] + [`InteractionPlan::patch`] (or
+    /// rebuild) to catch the plan up.
+    StaleGeometry {
+        /// Geometry version the plan was built/patched at.
+        plan: u64,
+        /// Geometry version the solver has moved to.
+        solver: u64,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -123,13 +134,26 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::EpsilonMismatch { plan, requested } => write!(
                 f,
-                "plan built for eps (born {}, epol {}) cannot solve at eps (born {}, epol {})",
-                plan.0, plan.1, requested.0, requested.1
+                "plan built for eps (born {} [bits {:#018x}], epol {} [bits {:#018x}]) \
+                 cannot solve at requested eps (born {} [bits {:#018x}], epol {} [bits {:#018x}])",
+                plan.0,
+                plan.0.to_bits(),
+                plan.1,
+                plan.1.to_bits(),
+                requested.0,
+                requested.0.to_bits(),
+                requested.1,
+                requested.1.to_bits()
             ),
             PlanError::GeometryMismatch { plan, solver } => write!(
                 f,
-                "plan built for {} atoms / {} q-points cannot solve a {} atom / {} q-point system",
+                "plan expected {} atoms / {} q-points but the solver has {} atoms / {} q-points",
                 plan.0, plan.1, solver.0, solver.1
+            ),
+            PlanError::StaleGeometry { plan, solver } => write!(
+                f,
+                "plan was built/patched at geometry version {plan} but the solver has moved to \
+                 version {solver}; patch or rebuild the plan before solving"
             ),
         }
     }
@@ -137,96 +161,298 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// Flat interaction lists of the Born stage (`APPROX-INTEGRALS`, Fig. 2),
-/// grouped by `T_Q` leaf.
+/// Tunables of the delta re-planning path.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplanConfig {
+    /// Octree refresh slack: atoms may drift this far outside their
+    /// leaf's original bounding cell before the tree topology itself is
+    /// declared stale (escaped points force a full rebuild upstream).
+    pub slack: f64,
+    /// Frames whose largest single-point displacement exceeds this are
+    /// rebuilt cold — the plan would be legally patchable but the margin
+    /// bound turns uselessly conservative.
+    pub max_displacement: f64,
+    /// If more than this fraction of source-leaf segments is dirty, a
+    /// cold rebuild is cheaper than splicing.
+    pub max_dirty_fraction: f64,
+    /// Node-geometry drift tolerance (Å) forwarded to
+    /// [`polar_octree::Octree::refresh_delta`]: octree centroids and
+    /// enclosing radii stay bitwise-frozen while a leaf's accumulated
+    /// drift stays below this, so frames within the tolerance provably
+    /// flip no separation test and patch without re-running any
+    /// traversal. This is the delta model's accuracy knob: frozen node
+    /// geometry is stale by at most `tolerance`, degrading the
+    /// *far-field* approximation by `O(tolerance)` (near-field terms
+    /// always use exact coordinates). `0.0` recovers exact geometry
+    /// every frame — then only sub-margin steps (≲ 0.002 Å at ε = 0.9)
+    /// are patchable, because the conservative erosion bound scales the
+    /// per-frame radius change by `1 + 2/ε`.
+    pub tolerance: f64,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        ReplanConfig {
+            slack: 0.75,
+            max_displacement: 0.5,
+            max_dirty_fraction: 0.5,
+            tolerance: 0.1,
+        }
+    }
+}
+
+/// Why [`InteractionPlan::delta`] refused to patch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RebuildReason {
+    /// Fingerprint mismatch — wrong solver or wrong ε; patching cannot
+    /// help.
+    Incompatible(PlanError),
+    /// The frame's largest displacement exceeds
+    /// [`ReplanConfig::max_displacement`].
+    Displacement {
+        /// Largest single-point displacement in the frame.
+        max: f64,
+        /// Configured ceiling.
+        limit: f64,
+    },
+    /// Too many segments went dirty for splicing to beat a cold plan.
+    DirtyFraction {
+        /// Dirty source-leaf segments (both stages).
+        dirty: usize,
+        /// Total source-leaf segments (both stages).
+        total: usize,
+        /// Configured ceiling on `dirty / total`.
+        limit: f64,
+    },
+}
+
+impl fmt::Display for RebuildReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildReason::Incompatible(e) => write!(f, "incompatible: {e}"),
+            RebuildReason::Displacement { max, limit } => {
+                write!(f, "displacement {max:.3e} exceeds patch limit {limit:.3e}")
+            }
+            RebuildReason::DirtyFraction {
+                dirty,
+                total,
+                limit,
+            } => write!(
+                f,
+                "{dirty}/{total} segments dirty exceeds patch fraction {limit}"
+            ),
+        }
+    }
+}
+
+/// The segments a patch must re-plan, plus the margin erosion every
+/// clean segment ages by. Produced by [`InteractionPlan::delta`],
+/// consumed by [`InteractionPlan::patch`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PatchSet {
+    /// Dirty `T_Q` source leaves of the Born lists (ascending).
+    pub dirty_born: Vec<u32>,
+    /// Dirty `T_A` source leaves of the energy lists (ascending).
+    pub dirty_epol: Vec<u32>,
+    /// Worst-case Born separation-test drift of this frame.
+    pub erosion_born: f64,
+    /// Worst-case energy separation-test drift of this frame.
+    pub erosion_epol: f64,
+}
+
+/// Typed decision replacing the all-or-nothing compatibility check when
+/// geometry moves: reuse the plan verbatim, patch the dirty segments, or
+/// plan cold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDelta {
+    /// The solver has not moved since the plan was built/patched.
+    Reusable,
+    /// Small move: re-plan the listed dirty segments and splice.
+    Patchable(PatchSet),
+    /// Patching is impossible or not worth it.
+    Rebuild(RebuildReason),
+}
+
+/// What a [`InteractionPlan::patch`] actually did, for the
+/// `ReplanReport` layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplanStats {
+    /// Born-stage segments re-planned and spliced.
+    pub dirty_born: usize,
+    /// Energy-stage segments re-planned and spliced.
+    pub dirty_epol: usize,
+    /// Total Born-stage segments.
+    pub total_born: usize,
+    /// Total energy-stage segments.
+    pub total_epol: usize,
+}
+
+/// Segmented flat interaction lists of one stage, grouped by source leaf.
 ///
-/// Entry `i` of the near list is a (atom-leaf, q-leaf) block: atom slots
-/// `near_a_start[i]..near_a_end[i]` interact exactly with q-point slots
-/// `near_q_start[i]..near_q_end[i]`. Entry `i` of the far list banks one
-/// pseudo-q-point term of `T_Q` node `far_q[i]` on `T_A` node `far_a[i]`.
-/// `near_off`/`far_off` (length `n_qleaves + 1`) delimit each q-leaf's
-/// slice of the lists, so rank `r` executes the slices of its q-leaf
+/// Both hot traversals record into the same shape. For the Born stage
+/// (`APPROX-INTEGRALS`, Fig. 2) the source leaves are `T_Q` leaves, the
+/// partner side is the `T_A` recursion: near entry `i` is a (atom-leaf,
+/// q-leaf) block — partner slots `near_p_start[i]..near_p_end[i]` interact
+/// exactly with source slots `near_s_start[i]..near_s_end[i]` — and far
+/// entry `i` banks one pseudo-q-point term of `T_Q` node `far_s[i]` on
+/// `T_A` node `far_p[i]`. For the energy stage (`APPROX-EPOL`, Fig. 3)
+/// the source leaves are `T_A` leaves `V` and the partner side is the `U`
+/// recursion over the same tree.
+///
+/// `near_off`/`far_off` (length `n_source_leaves + 1`) delimit each source
+/// leaf's slice of the lists, so rank `r` executes the slices of its leaf
 /// segment — the same node-based work division as the recursive path.
+/// Keying every list by source leaf is also what makes the lists
+/// *patchable*: when geometry moves, dirty leaves re-run their recursion
+/// in isolation and [`StageLists::splice`] swaps just their segments.
 #[derive(Debug, Clone, Default)]
-pub struct BornPlan {
+pub struct StageLists {
     near_off: Vec<u32>,
     far_off: Vec<u32>,
-    near_a_start: Vec<u32>,
-    near_a_end: Vec<u32>,
-    near_q_start: Vec<u32>,
-    near_q_end: Vec<u32>,
-    far_a: Vec<u32>,
-    far_q: Vec<u32>,
-    /// Flat atom-slot gather list: each q-leaf's near-entry ranges
-    /// concatenated (`gather_off`, length `n_qleaves + 1`, delimits each
-    /// group). The lane kernel gathers straight through these indices —
-    /// the near ranges average only a few slots, so per-range copies
-    /// would cost more than the arithmetic they feed.
+    near_p_start: Vec<u32>,
+    near_p_end: Vec<u32>,
+    near_s_start: Vec<u32>,
+    near_s_end: Vec<u32>,
+    far_p: Vec<u32>,
+    far_s: Vec<u32>,
+    /// Flat partner-slot gather list: each source leaf's near-entry
+    /// ranges concatenated (`gather_off`, length `n_source_leaves + 1`,
+    /// delimits each group). The lane kernel gathers straight through
+    /// these indices — the near ranges average only a few slots, so
+    /// per-range copies would cost more than the arithmetic they feed.
     gather_idx: Vec<u32>,
     gather_off: Vec<u32>,
+    /// Per-source-leaf separation-test margin: the minimum `|d − sep|`
+    /// over every separation test in that leaf's recursion. A geometry
+    /// update whose worst-case test erosion stays below a leaf's margin
+    /// provably flips none of its tests, so its segment can be kept
+    /// verbatim (see [`InteractionPlan::delta`]).
+    margin: Vec<f64>,
 }
 
-impl BornPlan {
+impl StageLists {
     /// Number of near-field (leaf, leaf) block entries.
     pub fn near_entries(&self) -> usize {
-        self.near_a_start.len()
+        self.near_p_start.len()
     }
 
     /// Number of far-field (node, node) entries.
     pub fn far_entries(&self) -> usize {
-        self.far_a.len()
+        self.far_p.len()
     }
 
+    /// Number of source-leaf groups the lists are segmented by.
+    pub fn groups(&self) -> usize {
+        self.near_off.len().saturating_sub(1)
+    }
+
+    /// Per-group separation margins: how far (in distance units) each
+    /// source leaf's tightest separation test sits from flipping. The
+    /// delta pass marks a leaf dirty when the frame's erosion bound
+    /// reaches its margin; exposing them lets benchmarks and diagnostics
+    /// inspect how much headroom a plan has left.
+    pub fn margins(&self) -> &[f64] {
+        &self.margin
+    }
+
+    /// Heap bytes actually held — capacities, not lengths, because the
+    /// LRU cache in [`crate::batch`] charges tenants for what the
+    /// allocator keeps resident (a patched plan may hold slack).
     fn memory_bytes(&self) -> usize {
-        (self.near_off.len()
-            + self.far_off.len()
-            + 4 * self.near_a_start.len()
-            + 2 * self.far_a.len()
-            + self.gather_idx.len()
-            + self.gather_off.len())
+        (self.near_off.capacity()
+            + self.far_off.capacity()
+            + self.near_p_start.capacity()
+            + self.near_p_end.capacity()
+            + self.near_s_start.capacity()
+            + self.near_s_end.capacity()
+            + self.far_p.capacity()
+            + self.far_s.capacity()
+            + self.gather_idx.capacity()
+            + self.gather_off.capacity())
             * std::mem::size_of::<u32>()
-    }
-}
-
-/// Flat interaction lists of the energy stage (`APPROX-EPOL`, Fig. 3),
-/// grouped by `T_A` leaf `V`. Near entries are (U-leaf, V-leaf) slot-range
-/// blocks; far entries are (U-node, V-leaf-node) id pairs whose binned
-/// histograms interact through the STILL kernel at execute time.
-#[derive(Debug, Clone, Default)]
-pub struct EpolPlan {
-    near_off: Vec<u32>,
-    far_off: Vec<u32>,
-    near_u_start: Vec<u32>,
-    near_u_end: Vec<u32>,
-    near_v_start: Vec<u32>,
-    near_v_end: Vec<u32>,
-    far_u: Vec<u32>,
-    far_v: Vec<u32>,
-    /// Flat U-slot gather list per `T_A` leaf (see
-    /// [`BornPlan::gather_idx`]).
-    gather_idx: Vec<u32>,
-    gather_off: Vec<u32>,
-}
-
-impl EpolPlan {
-    /// Number of near-field (leaf, leaf) block entries.
-    pub fn near_entries(&self) -> usize {
-        self.near_u_start.len()
+            + self.margin.capacity() * std::mem::size_of::<f64>()
     }
 
-    /// Number of far-field (node, node) entries.
-    pub fn far_entries(&self) -> usize {
-        self.far_u.len()
+    /// Append source-leaf group `g` of `src` (near entries, far entries,
+    /// gather slice, offsets) to `self`. Margins are handled by the
+    /// caller, which knows whether the group is fresh or aged.
+    fn push_group_from(&mut self, src: &StageLists, g: usize) {
+        let nr = src.near_off[g] as usize..src.near_off[g + 1] as usize;
+        self.near_p_start
+            .extend_from_slice(&src.near_p_start[nr.clone()]);
+        self.near_p_end
+            .extend_from_slice(&src.near_p_end[nr.clone()]);
+        self.near_s_start
+            .extend_from_slice(&src.near_s_start[nr.clone()]);
+        self.near_s_end.extend_from_slice(&src.near_s_end[nr]);
+        self.near_off.push(self.near_p_start.len() as u32);
+        let fr = src.far_off[g] as usize..src.far_off[g + 1] as usize;
+        self.far_p.extend_from_slice(&src.far_p[fr.clone()]);
+        self.far_s.extend_from_slice(&src.far_s[fr]);
+        self.far_off.push(self.far_p.len() as u32);
+        let gr = src.gather_off[g] as usize..src.gather_off[g + 1] as usize;
+        self.gather_idx.extend_from_slice(&src.gather_idx[gr]);
+        self.gather_off.push(self.gather_idx.len() as u32);
     }
 
-    fn memory_bytes(&self) -> usize {
-        (self.near_off.len()
-            + self.far_off.len()
-            + 4 * self.near_u_start.len()
-            + 2 * self.far_u.len()
-            + self.gather_idx.len()
-            + self.gather_off.len())
-            * std::mem::size_of::<u32>()
+    /// Replace the segments of `dirty` source leaves (ascending) with the
+    /// freshly re-planned groups of `fresh` (one group per dirty leaf, in
+    /// the same order), keeping every clean segment verbatim. Clean-leaf
+    /// margins age by `erosion` — the worst-case test drift this update
+    /// could have caused — so margins stay safe across repeated patches
+    /// without re-measuring; dirty leaves take their exact fresh margin.
+    ///
+    /// One pass over the lists, O(total list size): rebuilding by copy
+    /// beats repeated mid-vector splices as soon as more than one leaf is
+    /// dirty.
+    fn splice(&mut self, dirty: &[u32], fresh: &StageLists, erosion: f64) {
+        debug_assert_eq!(dirty.len(), fresh.groups());
+        if dirty.is_empty() {
+            for m in &mut self.margin {
+                *m -= erosion;
+            }
+            return;
+        }
+        let n = self.groups();
+        let mut out = StageLists::default();
+        out.near_off.reserve(n + 1);
+        out.far_off.reserve(n + 1);
+        out.gather_off.reserve(n + 1);
+        out.near_p_start.reserve(self.near_entries());
+        out.near_p_end.reserve(self.near_entries());
+        out.near_s_start.reserve(self.near_entries());
+        out.near_s_end.reserve(self.near_entries());
+        out.far_p.reserve(self.far_entries());
+        out.far_s.reserve(self.far_entries());
+        out.gather_idx.reserve(self.gather_idx.len());
+        out.margin.reserve(n);
+        out.near_off.push(0);
+        out.far_off.push(0);
+        out.gather_off.push(0);
+        let mut k = 0usize;
+        for leaf in 0..n {
+            if k < dirty.len() && dirty[k] as usize == leaf {
+                out.push_group_from(fresh, k);
+                out.margin.push(fresh.margin[k]);
+                k += 1;
+            } else {
+                out.push_group_from(self, leaf);
+                out.margin.push(self.margin[leaf] - erosion);
+            }
+        }
+        debug_assert_eq!(k, dirty.len());
+        *self = out;
+    }
+
+    /// Source leaves whose margin no longer survives `erosion` — the
+    /// segments that must be re-planned for this update.
+    fn dirty_leaves(&self, erosion: f64) -> Vec<u32> {
+        self.margin
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m <= erosion)
+            .map(|(i, _)| i as u32)
+            .collect()
     }
 }
 
@@ -236,6 +462,7 @@ impl EpolPlan {
 /// per-slot inputs the execute loops stream over (atom positions and
 /// charges, q-point positions/normals/weights — all in Morton slot
 /// order, so the inner loops are contiguous loads).
+#[derive(Clone)]
 pub struct InteractionPlan {
     /// ε the Born lists were planned for.
     pub eps_born: f64,
@@ -245,10 +472,14 @@ pub struct InteractionPlan {
     pub n_atoms: usize,
     /// Q-point count of the solver the plan was built from (fingerprint).
     pub n_qpoints: usize,
-    /// Born-stage lists.
-    pub born: BornPlan,
-    /// Energy-stage lists.
-    pub epol: EpolPlan,
+    /// `GbSolver::geom_version` at build/patch time — the staleness
+    /// fingerprint that keeps a moved solver from silently executing a
+    /// plan whose SoA coordinates predate the move.
+    pub geom_version: u64,
+    /// Born-stage lists (source leaves: `T_Q` leaves).
+    pub born: StageLists,
+    /// Energy-stage lists (source leaves: `T_A` leaves).
+    pub epol: StageLists,
     /// Traversal work spent planning (the one-off cost a reused plan
     /// amortizes away).
     pub plan_work: WorkCounts,
@@ -279,75 +510,83 @@ impl InteractionPlan {
         let born = plan_born(&solver.tree_a, &solver.tree_q, p.eps_born, &mut plan_work);
         let epol = plan_epol(&solver.tree_a, p.eps_epol, &mut plan_work);
 
-        let n_atoms = solver.tree_a.len();
-        let mut ax = Vec::with_capacity(n_atoms);
-        let mut ay = Vec::with_capacity(n_atoms);
-        let mut az = Vec::with_capacity(n_atoms);
-        let mut charge_slot = Vec::with_capacity(n_atoms);
-        for (slot, pos) in solver.tree_a.points().iter().enumerate() {
-            ax.push(pos.x);
-            ay.push(pos.y);
-            az.push(pos.z);
-            charge_slot.push(solver.charges[solver.tree_a.order()[slot] as usize]);
-        }
-        let n_nodes = solver.tree_a.node_count();
-        let mut anx = Vec::with_capacity(n_nodes);
-        let mut any_ = Vec::with_capacity(n_nodes);
-        let mut anz = Vec::with_capacity(n_nodes);
-        for id in 0..n_nodes {
-            let c = solver.tree_a.node(id as u32).center;
-            anx.push(c.x);
-            any_.push(c.y);
-            anz.push(c.z);
-        }
-        let n_q = solver.tree_q.len();
-        let mut qx = Vec::with_capacity(n_q);
-        let mut qy = Vec::with_capacity(n_q);
-        let mut qz = Vec::with_capacity(n_q);
-        let mut qnx = Vec::with_capacity(n_q);
-        let mut qny = Vec::with_capacity(n_q);
-        let mut qnz = Vec::with_capacity(n_q);
-        let mut qw = Vec::with_capacity(n_q);
-        for &orig in solver.tree_q.order() {
-            let q = &solver.qpoints[orig as usize];
-            qx.push(q.pos.x);
-            qy.push(q.pos.y);
-            qz.push(q.pos.z);
-            qnx.push(q.normal.x);
-            qny.push(q.normal.y);
-            qnz.push(q.normal.z);
-            qw.push(q.weight);
-        }
-
-        InteractionPlan {
+        let mut plan = InteractionPlan {
             eps_born: p.eps_born,
             eps_epol: p.eps_epol,
             n_atoms: solver.n_atoms(),
             n_qpoints: solver.n_qpoints(),
+            geom_version: solver.geom_version,
             born,
             epol,
             plan_work,
-            ax,
-            ay,
-            az,
-            charge_slot,
-            anx,
-            any_,
-            anz,
-            qx,
-            qy,
-            qz,
-            qnx,
-            qny,
-            qnz,
-            qw,
+            ax: Vec::new(),
+            ay: Vec::new(),
+            az: Vec::new(),
+            charge_slot: Vec::new(),
+            anx: Vec::new(),
+            any_: Vec::new(),
+            anz: Vec::new(),
+            qx: Vec::new(),
+            qy: Vec::new(),
+            qz: Vec::new(),
+            qnx: Vec::new(),
+            qny: Vec::new(),
+            qnz: Vec::new(),
+            qw: Vec::new(),
+        };
+        plan.fill_soa(solver);
+        plan
+    }
+
+    /// (Re)copy the solver's per-slot inputs into the plan's SoA streams.
+    /// Run at build time and again by [`InteractionPlan::patch`] so a
+    /// patched plan executes over the frame's fresh coordinates.
+    /// Allocation-free after the first call (capacities are retained).
+    fn fill_soa(&mut self, solver: &GbSolver) {
+        self.ax.clear();
+        self.ay.clear();
+        self.az.clear();
+        self.charge_slot.clear();
+        for (slot, pos) in solver.tree_a.points().iter().enumerate() {
+            self.ax.push(pos.x);
+            self.ay.push(pos.y);
+            self.az.push(pos.z);
+            self.charge_slot
+                .push(solver.charges[solver.tree_a.order()[slot] as usize]);
+        }
+        self.anx.clear();
+        self.any_.clear();
+        self.anz.clear();
+        for id in 0..solver.tree_a.node_count() {
+            let c = solver.tree_a.node(id as u32).center;
+            self.anx.push(c.x);
+            self.any_.push(c.y);
+            self.anz.push(c.z);
+        }
+        self.qx.clear();
+        self.qy.clear();
+        self.qz.clear();
+        self.qnx.clear();
+        self.qny.clear();
+        self.qnz.clear();
+        self.qw.clear();
+        for &orig in solver.tree_q.order() {
+            let q = &solver.qpoints[orig as usize];
+            self.qx.push(q.pos.x);
+            self.qy.push(q.pos.y);
+            self.qz.push(q.pos.z);
+            self.qnx.push(q.normal.x);
+            self.qny.push(q.normal.y);
+            self.qnz.push(q.normal.z);
+            self.qw.push(q.weight);
         }
     }
 
-    /// Does this plan fit `solver` at parameters `p`? Cheap fingerprint
-    /// check — atom/q-point counts plus both ε — run by every
-    /// `solve_with_plan` entry point before executing the lists.
-    pub fn check_compatible(&self, solver: &GbSolver, p: &GbParams) -> Result<(), PlanError> {
+    /// Identity part of the compatibility check: counts plus both ε.
+    /// Shared by [`InteractionPlan::check_compatible`] (which also
+    /// demands the geometry version matches) and by the delta path
+    /// (which exists precisely because the versions differ).
+    fn check_fingerprint(&self, solver: &GbSolver, p: &GbParams) -> Result<(), PlanError> {
         if (self.eps_born, self.eps_epol) != (p.eps_born, p.eps_epol) {
             return Err(PlanError::EpsilonMismatch {
                 plan: (self.eps_born, self.eps_epol),
@@ -363,11 +602,152 @@ impl InteractionPlan {
         Ok(())
     }
 
-    /// Heap bytes held by the plan: interaction lists + SoA input copies.
+    /// Does this plan fit `solver` at parameters `p`? Cheap fingerprint
+    /// check — atom/q-point counts, both ε, and the geometry version —
+    /// run by every `solve_with_plan` entry point before executing the
+    /// lists.
+    pub fn check_compatible(&self, solver: &GbSolver, p: &GbParams) -> Result<(), PlanError> {
+        self.check_fingerprint(solver, p)?;
+        if self.geom_version != solver.geom_version {
+            return Err(PlanError::StaleGeometry {
+                plan: self.geom_version,
+                solver: solver.geom_version,
+            });
+        }
+        Ok(())
+    }
+
+    /// Classify a coordinate update against this plan: reusable as-is,
+    /// patchable (with the dirty-segment sets), or cold-rebuild.
+    ///
+    /// The patchability argument is a triangle-inequality bound. Every
+    /// separation test compares `d = |c_u − c_v|` against
+    /// `sep = factor · (r_u + r_v)`; a frame that shifts node centers by
+    /// at most `Δc` per tree and node radii by at most `Δr` can move any
+    /// test value by at most `erosion = ΣΔc + factor · ΣΔr`. A source
+    /// leaf whose recorded minimum margin `min |d − sep|` exceeds that
+    /// erosion provably has no flippable test, so its recursion re-runs
+    /// to the identical segment and can be kept verbatim — only leaves
+    /// with `margin ≤ erosion` are dirty.
+    pub fn delta(
+        &self,
+        solver: &GbSolver,
+        p: &GbParams,
+        frame: &FrameDelta,
+        cfg: &ReplanConfig,
+    ) -> PlanDelta {
+        if let Err(e) = self.check_fingerprint(solver, p) {
+            return PlanDelta::Rebuild(RebuildReason::Incompatible(e));
+        }
+        if self.geom_version == solver.geom_version {
+            return PlanDelta::Reusable;
+        }
+        if frame.max_disp > cfg.max_displacement {
+            return PlanDelta::Rebuild(RebuildReason::Displacement {
+                max: frame.max_disp,
+                limit: cfg.max_displacement,
+            });
+        }
+        let erosion_born = (frame.a.max_center_shift + frame.q.max_center_shift)
+            + separation_factor_r6(p.eps_born)
+                * (frame.a.max_radius_delta + frame.q.max_radius_delta);
+        let erosion_epol = 2.0 * frame.a.max_center_shift
+            + 2.0 * separation_factor_epol(p.eps_epol) * frame.a.max_radius_delta;
+        let dirty_born = self.born.dirty_leaves(erosion_born);
+        let dirty_epol = self.epol.dirty_leaves(erosion_epol);
+        let dirty = dirty_born.len() + dirty_epol.len();
+        let total = self.born.groups() + self.epol.groups();
+        if total > 0 && dirty as f64 > cfg.max_dirty_fraction * total as f64 {
+            return PlanDelta::Rebuild(RebuildReason::DirtyFraction {
+                dirty,
+                total,
+                limit: cfg.max_dirty_fraction,
+            });
+        }
+        PlanDelta::Patchable(PatchSet {
+            dirty_born,
+            dirty_epol,
+            erosion_born,
+            erosion_epol,
+        })
+    }
+
+    /// Apply a [`PatchSet`]: re-run the separation recursion for the
+    /// dirty source leaves only, splice the fresh segments in place,
+    /// refresh the SoA coordinate streams, and catch the plan's geometry
+    /// version up to the solver's. After a patch the plan's lists are
+    /// identical to what a cold [`InteractionPlan::build`] on the moved
+    /// solver would record — that is the delta model's accuracy
+    /// contract, property-tested in `tests/plan_props.rs`.
+    pub fn patch(
+        &mut self,
+        solver: &GbSolver,
+        p: &GbParams,
+        set: &PatchSet,
+    ) -> Result<ReplanStats, PlanError> {
+        self.check_fingerprint(solver, p)?;
+        let mut patch_work = WorkCounts::ZERO;
+        if !set.dirty_born.is_empty() {
+            let leaf_ids: Vec<NodeId> = set
+                .dirty_born
+                .iter()
+                .map(|&l| solver.tree_q.leaves()[l as usize])
+                .collect();
+            let fresh = plan_born_for(
+                &solver.tree_a,
+                &solver.tree_q,
+                p.eps_born,
+                &leaf_ids,
+                &mut patch_work,
+            );
+            self.born.splice(&set.dirty_born, &fresh, set.erosion_born);
+        } else {
+            self.born
+                .splice(&[], &StageLists::default(), set.erosion_born);
+        }
+        if !set.dirty_epol.is_empty() {
+            let leaf_ids: Vec<NodeId> = set
+                .dirty_epol
+                .iter()
+                .map(|&l| solver.tree_a.leaves()[l as usize])
+                .collect();
+            let fresh = plan_epol_for(&solver.tree_a, p.eps_epol, &leaf_ids, &mut patch_work);
+            self.epol.splice(&set.dirty_epol, &fresh, set.erosion_epol);
+        } else {
+            self.epol
+                .splice(&[], &StageLists::default(), set.erosion_epol);
+        }
+        self.fill_soa(solver);
+        self.geom_version = solver.geom_version;
+        self.plan_work.accumulate(patch_work);
+        Ok(ReplanStats {
+            dirty_born: set.dirty_born.len(),
+            dirty_epol: set.dirty_epol.len(),
+            total_born: self.born.groups(),
+            total_epol: self.epol.groups(),
+        })
+    }
+
+    /// Heap bytes held by the plan: interaction lists + SoA input copies
+    /// (capacities — what the allocator keeps resident — so the batch
+    /// LRU charges tenants accurately even after splices leave slack).
     pub fn memory_bytes(&self) -> usize {
         self.born.memory_bytes()
             + self.epol.memory_bytes()
-            + (self.ax.len() * 4 + self.anx.len() * 3 + self.qx.len() * 7)
+            + (self.ax.capacity()
+                + self.ay.capacity()
+                + self.az.capacity()
+                + self.charge_slot.capacity()
+                + self.anx.capacity()
+                + self.any_.capacity()
+                + self.anz.capacity()
+                + self.qx.capacity()
+                + self.qy.capacity()
+                + self.qz.capacity()
+                + self.qnx.capacity()
+                + self.qny.capacity()
+                + self.qnz.capacity()
+                + self.qw.capacity())
                 * std::mem::size_of::<f64>()
     }
 
@@ -408,11 +788,11 @@ impl InteractionPlan {
             if kernel == KernelMode::Lane && !fr.is_empty() {
                 // Every far entry of this group shares the one q node, so
                 // its moments broadcast and only a-node centers gather.
-                let q_id = self.born.far_q[fr.start];
+                let q_id = self.born.far_s[fr.start];
                 let qc = ctx.tree_q.node(q_id).center;
                 let ns = ctx.q_nsum[q_id as usize];
                 kernels::born_far_r6_entries(
-                    &self.born.far_a[fr],
+                    &self.born.far_p[fr],
                     &self.anx,
                     &self.any_,
                     &self.anz,
@@ -423,8 +803,8 @@ impl InteractionPlan {
                 );
             } else {
                 for i in fr {
-                    let a_id = self.born.far_a[i];
-                    let q_id = self.born.far_q[i];
+                    let a_id = self.born.far_p[i];
+                    let q_id = self.born.far_s[i];
                     let a = ctx.tree_a.node(a_id);
                     let q = ctx.tree_q.node(q_id);
                     let d = q.center - a.center;
@@ -443,8 +823,8 @@ impl InteractionPlan {
                 // range; the precomputed gather list concatenates their
                 // atom ranges, and the kernel gathers/scatters through it
                 // directly — no scratch copies.
-                let q_range = self.born.near_q_start[nr.start] as usize
-                    ..self.born.near_q_end[nr.start] as usize;
+                let q_range = self.born.near_s_start[nr.start] as usize
+                    ..self.born.near_s_end[nr.start] as usize;
                 let gr =
                     self.born.gather_off[qleaf] as usize..self.born.gather_off[qleaf + 1] as usize;
                 let gidx = &self.born.gather_idx[gr];
@@ -466,8 +846,8 @@ impl InteractionPlan {
                 continue;
             }
             for i in nr {
-                let a_range = self.born.near_a_start[i] as usize..self.born.near_a_end[i] as usize;
-                let q_range = self.born.near_q_start[i] as usize..self.born.near_q_end[i] as usize;
+                let a_range = self.born.near_p_start[i] as usize..self.born.near_p_end[i] as usize;
+                let q_range = self.born.near_s_start[i] as usize..self.born.near_s_end[i] as usize;
                 counts.pair_ops += (a_range.len() * q_range.len()) as u64;
                 for a in a_range {
                     let (x, y, z) = (self.ax[a], self.ay[a], self.az[a]);
@@ -548,8 +928,8 @@ impl InteractionPlan {
                 // their U ranges. Fill one dense block through it and run
                 // the lanes over the long gathered side (the leaf's few
                 // atoms broadcast).
-                let v_range = self.epol.near_v_start[nr.start] as usize
-                    ..self.epol.near_v_end[nr.start] as usize;
+                let v_range = self.epol.near_s_start[nr.start] as usize
+                    ..self.epol.near_s_end[nr.start] as usize;
                 let gidx = &self.epol.gather_idx
                     [self.epol.gather_off[leaf] as usize..self.epol.gather_off[leaf + 1] as usize];
                 counts.pair_ops += (gidx.len() * v_range.len()) as u64;
@@ -604,9 +984,9 @@ impl InteractionPlan {
             } else {
                 for i in nr {
                     let u_range =
-                        self.epol.near_u_start[i] as usize..self.epol.near_u_end[i] as usize;
+                        self.epol.near_p_start[i] as usize..self.epol.near_p_end[i] as usize;
                     let v_range =
-                        self.epol.near_v_start[i] as usize..self.epol.near_v_end[i] as usize;
+                        self.epol.near_s_start[i] as usize..self.epol.near_s_end[i] as usize;
                     counts.pair_ops += (u_range.len() * v_range.len()) as u64;
                     for a in u_range {
                         let (xa, ya, za) = (self.ax[a], self.ay[a], self.az[a]);
@@ -624,8 +1004,8 @@ impl InteractionPlan {
             }
             let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
             for i in fr {
-                let u_id = self.epol.far_u[i];
-                let v_id = self.epol.far_v[i];
+                let u_id = self.epol.far_p[i];
+                let v_id = self.epol.far_s[i];
                 let u = ectx.tree.node(u_id);
                 let v = ectx.tree.node(v_id);
                 let d_sq = u.center.dist_sq(v.center);
@@ -685,8 +1065,8 @@ impl InteractionPlan {
                 let mut w = WorkCounts::ZERO;
                 let nr = self.born.near_off[qleaf] as usize..self.born.near_off[qleaf + 1] as usize;
                 for i in nr {
-                    w.pair_ops += (self.born.near_a_end[i] - self.born.near_a_start[i]) as u64
-                        * (self.born.near_q_end[i] - self.born.near_q_start[i]) as u64;
+                    w.pair_ops += (self.born.near_p_end[i] - self.born.near_p_start[i]) as u64
+                        * (self.born.near_s_end[i] - self.born.near_s_start[i]) as u64;
                 }
                 w.far_ops += (self.born.far_off[qleaf + 1] - self.born.far_off[qleaf]) as u64;
                 w
@@ -704,13 +1084,13 @@ impl InteractionPlan {
                 let mut w = WorkCounts::ZERO;
                 let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
                 for i in nr {
-                    w.pair_ops += (self.epol.near_u_end[i] - self.epol.near_u_start[i]) as u64
-                        * (self.epol.near_v_end[i] - self.epol.near_v_start[i]) as u64;
+                    w.pair_ops += (self.epol.near_p_end[i] - self.epol.near_p_start[i]) as u64
+                        * (self.epol.near_s_end[i] - self.epol.near_s_start[i]) as u64;
                 }
                 let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
                 for i in fr {
-                    let evals = ectx.nonzero_bin_count(self.epol.far_u[i]) as u64
-                        * ectx.nonzero_bin_count(self.epol.far_v[i]) as u64;
+                    let evals = ectx.nonzero_bin_count(self.epol.far_p[i]) as u64
+                        * ectx.nonzero_bin_count(self.epol.far_s[i]) as u64;
                     w.far_ops += evals.max(1);
                 }
                 w
@@ -721,18 +1101,33 @@ impl InteractionPlan {
 
 /// Mirror of `recurse_qleaf` in [`crate::born::octree`]: same tests, same
 /// visit order, but records decisions instead of evaluating.
-fn plan_born(tree_a: &Octree, tree_q: &Octree, eps: f64, counts: &mut WorkCounts) -> BornPlan {
-    let mut plan = BornPlan::default();
+fn plan_born(tree_a: &Octree, tree_q: &Octree, eps: f64, counts: &mut WorkCounts) -> StageLists {
     if tree_a.is_empty() || tree_q.is_empty() {
-        return plan;
+        return StageLists::default();
     }
+    plan_born_for(tree_a, tree_q, eps, tree_q.leaves(), counts)
+}
+
+/// Plan the Born lists for an arbitrary subset of `T_Q` source leaves —
+/// all of them at build time, just the dirty ones on the patch path.
+/// Each source leaf's recursion is independent, so a group planned here
+/// is bitwise the group a full cold plan would record for that leaf.
+fn plan_born_for(
+    tree_a: &Octree,
+    tree_q: &Octree,
+    eps: f64,
+    leaf_ids: &[NodeId],
+    counts: &mut WorkCounts,
+) -> StageLists {
+    let mut plan = StageLists::default();
     let factor = separation_factor_r6(eps);
-    let n_qleaves = tree_q.leaves().len();
-    plan.near_off.reserve(n_qleaves + 1);
-    plan.far_off.reserve(n_qleaves + 1);
+    plan.near_off.reserve(leaf_ids.len() + 1);
+    plan.far_off.reserve(leaf_ids.len() + 1);
+    plan.margin.reserve(leaf_ids.len());
     plan.near_off.push(0);
     plan.far_off.push(0);
-    for &qleaf in tree_q.leaves() {
+    for &qleaf in leaf_ids {
+        let mut margin = f64::INFINITY;
         plan_born_rec(
             tree_a,
             tree_q,
@@ -740,13 +1135,15 @@ fn plan_born(tree_a: &Octree, tree_q: &Octree, eps: f64, counts: &mut WorkCounts
             Octree::ROOT,
             qleaf,
             &mut plan,
+            &mut margin,
             counts,
         );
-        plan.near_off.push(plan.near_a_start.len() as u32);
-        plan.far_off.push(plan.far_a.len() as u32);
+        plan.near_off.push(plan.near_p_start.len() as u32);
+        plan.far_off.push(plan.far_p.len() as u32);
+        plan.margin.push(margin);
     }
     (plan.gather_idx, plan.gather_off) =
-        expand_gather(&plan.near_off, &plan.near_a_start, &plan.near_a_end);
+        expand_gather(&plan.near_off, &plan.near_p_start, &plan.near_p_end);
     plan
 }
 
@@ -769,13 +1166,15 @@ fn expand_gather(off: &[u32], start: &[u32], end: &[u32]) -> (Vec<u32>, Vec<u32>
     (idx, goff)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn plan_born_rec(
     tree_a: &Octree,
     tree_q: &Octree,
     factor: f64,
     a_id: NodeId,
     qleaf: NodeId,
-    plan: &mut BornPlan,
+    plan: &mut StageLists,
+    margin: &mut f64,
     counts: &mut WorkCounts,
 ) {
     counts.nodes_visited += 1;
@@ -783,17 +1182,22 @@ fn plan_born_rec(
     let q = tree_q.node(qleaf);
     let d_sq = a.center.dist_sq(q.center);
     let sep = (a.radius + q.radius) * factor;
+    // `|d − sep|` is how far this test sits from flipping; the minimum
+    // over the leaf's recursion is the segment's reuse margin. (The
+    // `d_sq > 0` coincident-center special case has margin 0 and is
+    // always re-planned.)
+    *margin = margin.min((d_sq.sqrt() - sep).abs());
     if d_sq > sep * sep && d_sq > 0.0 {
-        plan.far_a.push(a_id);
-        plan.far_q.push(qleaf);
+        plan.far_p.push(a_id);
+        plan.far_s.push(qleaf);
     } else if a.is_leaf {
-        plan.near_a_start.push(a.start);
-        plan.near_a_end.push(a.end);
-        plan.near_q_start.push(q.start);
-        plan.near_q_end.push(q.end);
+        plan.near_p_start.push(a.start);
+        plan.near_p_end.push(a.end);
+        plan.near_s_start.push(q.start);
+        plan.near_s_end.push(q.end);
     } else {
         for c in a.child_ids() {
-            plan_born_rec(tree_a, tree_q, factor, c, qleaf, plan, counts);
+            plan_born_rec(tree_a, tree_q, factor, c, qleaf, plan, margin, counts);
         }
     }
 }
@@ -801,21 +1205,45 @@ fn plan_born_rec(
 /// Mirror of `recurse` in [`crate::energy::octree`]: the separation
 /// structure depends only on the tree geometry and ε — not on Born radii
 /// — so the lists stay valid across solves.
-fn plan_epol(tree: &Octree, eps: f64, counts: &mut WorkCounts) -> EpolPlan {
-    let mut plan = EpolPlan::default();
+fn plan_epol(tree: &Octree, eps: f64, counts: &mut WorkCounts) -> StageLists {
     if tree.is_empty() {
-        return plan;
+        return StageLists::default();
     }
+    plan_epol_for(tree, eps, tree.leaves(), counts)
+}
+
+/// Plan the energy lists for an arbitrary subset of `T_A` source leaves
+/// `V` (see [`plan_born_for`]).
+fn plan_epol_for(
+    tree: &Octree,
+    eps: f64,
+    leaf_ids: &[NodeId],
+    counts: &mut WorkCounts,
+) -> StageLists {
+    let mut plan = StageLists::default();
     let factor = separation_factor_epol(eps);
+    plan.near_off.reserve(leaf_ids.len() + 1);
+    plan.far_off.reserve(leaf_ids.len() + 1);
+    plan.margin.reserve(leaf_ids.len());
     plan.near_off.push(0);
     plan.far_off.push(0);
-    for &v in tree.leaves() {
-        plan_epol_rec(tree, factor, Octree::ROOT, v, &mut plan, counts);
-        plan.near_off.push(plan.near_u_start.len() as u32);
-        plan.far_off.push(plan.far_u.len() as u32);
+    for &v in leaf_ids {
+        let mut margin = f64::INFINITY;
+        plan_epol_rec(
+            tree,
+            factor,
+            Octree::ROOT,
+            v,
+            &mut plan,
+            &mut margin,
+            counts,
+        );
+        plan.near_off.push(plan.near_p_start.len() as u32);
+        plan.far_off.push(plan.far_p.len() as u32);
+        plan.margin.push(margin);
     }
     (plan.gather_idx, plan.gather_off) =
-        expand_gather(&plan.near_off, &plan.near_u_start, &plan.near_u_end);
+        expand_gather(&plan.near_off, &plan.near_p_start, &plan.near_p_end);
     plan
 }
 
@@ -824,28 +1252,32 @@ fn plan_epol_rec(
     factor: f64,
     u_id: NodeId,
     v_id: NodeId,
-    plan: &mut EpolPlan,
+    plan: &mut StageLists,
+    margin: &mut f64,
     counts: &mut WorkCounts,
 ) {
     counts.nodes_visited += 1;
     let u = tree.node(u_id);
     let v = tree.node(v_id);
     if u.is_leaf {
-        plan.near_u_start.push(u.start);
-        plan.near_u_end.push(u.end);
-        plan.near_v_start.push(v.start);
-        plan.near_v_end.push(v.end);
+        // No separation test on this branch — reaching a `U` leaf always
+        // records a near block, so it contributes no margin.
+        plan.near_p_start.push(u.start);
+        plan.near_p_end.push(u.end);
+        plan.near_s_start.push(v.start);
+        plan.near_s_end.push(v.end);
         return;
     }
     let d_sq = u.center.dist_sq(v.center);
     let sep = (u.radius + v.radius) * factor;
+    *margin = margin.min((d_sq.sqrt() - sep).abs());
     if d_sq > sep * sep {
-        plan.far_u.push(u_id);
-        plan.far_v.push(v_id);
+        plan.far_p.push(u_id);
+        plan.far_s.push(v_id);
         return;
     }
     for c in u.child_ids() {
-        plan_epol_rec(tree, factor, c, v_id, plan, counts);
+        plan_epol_rec(tree, factor, c, v_id, plan, margin, counts);
     }
 }
 
@@ -1072,6 +1504,57 @@ mod tests {
         // by leaf-pair counts.
         let nl = s.tree_a.leaves().len() as u64;
         assert!(st.epol_near_entries <= nl * nl);
+    }
+
+    #[test]
+    fn memory_bytes_sums_every_segment_capacity() {
+        // `memory_bytes` feeds the batch cache's byte-capacity LRU, so
+        // it must account for *every* backing segment: both stages'
+        // offset/near/far/gather/margin lists plus the SoA coordinate
+        // mirrors. The sum of the segments' lengths is a hard floor
+        // (capacity >= len for every Vec); a missing segment in the
+        // accounting would eventually let the floor overtake it.
+        let s = solver(260, 23);
+        let plan = InteractionPlan::build(&s, &GbParams::default());
+        let stage_floor = |l: &StageLists| {
+            (l.near_off.len()
+                + l.far_off.len()
+                + l.near_p_start.len()
+                + l.near_p_end.len()
+                + l.near_s_start.len()
+                + l.near_s_end.len()
+                + l.far_p.len()
+                + l.far_s.len()
+                + l.gather_idx.len()
+                + l.gather_off.len())
+                * std::mem::size_of::<u32>()
+                + l.margin.len() * std::mem::size_of::<f64>()
+        };
+        let soa_floor = (plan.ax.len()
+            + plan.ay.len()
+            + plan.az.len()
+            + plan.charge_slot.len()
+            + plan.anx.len()
+            + plan.any_.len()
+            + plan.anz.len()
+            + plan.qx.len()
+            + plan.qy.len()
+            + plan.qz.len()
+            + plan.qnx.len()
+            + plan.qny.len()
+            + plan.qnz.len()
+            + plan.qw.len())
+            * std::mem::size_of::<f64>();
+        let floor = stage_floor(&plan.born) + stage_floor(&plan.epol) + soa_floor;
+        assert!(floor > 0);
+        assert!(
+            plan.memory_bytes() >= floor,
+            "{} < {floor}: a segment is missing from the accounting",
+            plan.memory_bytes()
+        );
+        // Build-fresh vectors carry no amortization slop worth more
+        // than a constant factor.
+        assert!(plan.memory_bytes() <= 2 * floor, "accounting overshoots");
     }
 
     #[test]

@@ -523,6 +523,9 @@ pub struct BatchJobRow {
     pub epol_kcal: f64,
     /// Did the job reuse a cached (or batch-shared) plan?
     pub cache_hit: bool,
+    /// Did the job patch a same-topology cached plan instead of
+    /// building one cold? (Mutually exclusive with `cache_hit`.)
+    pub cache_patched: bool,
     /// Pair evaluations the solve performed (both stages).
     pub pair_ops: u64,
     /// Far-field evaluations the solve performed (both stages).
@@ -549,6 +552,10 @@ pub struct BatchReport {
     pub failed: usize,
     /// Jobs served by a cached or batch-shared plan.
     pub cache_hits: u64,
+    /// Jobs served by delta-patching a same-topology cached plan
+    /// (a "hit with patch" — cheaper than a cold build, costlier than
+    /// an exact hit).
+    pub cache_patched: u64,
     /// Jobs that had to build a plan.
     pub cache_misses: u64,
     /// Plans evicted to stay under the byte capacity.
@@ -585,7 +592,7 @@ impl BatchReport {
     /// a zero-job batch has no hit rate, and the JSON emitter turns the
     /// NaN into an explicit `null` (never a literal `NaN` token).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits + self.cache_patched + self.cache_misses;
         if total == 0 {
             f64::NAN
         } else {
@@ -614,6 +621,7 @@ impl BatchReport {
         o.num("succeeded", self.succeeded as f64);
         o.num("failed", self.failed as f64);
         o.num("cache_hits", self.cache_hits as f64);
+        o.num("cache_patched", self.cache_patched as f64);
         o.num("cache_misses", self.cache_misses as f64);
         o.num("cache_hit_rate", self.hit_rate());
         o.num("cache_evictions", self.cache_evictions as f64);
@@ -639,6 +647,10 @@ impl BatchReport {
                 ro.str("kernel_mode", &r.kernel_mode);
                 ro.num("epol_kcal", r.epol_kcal);
                 ro.raw("cache_hit", if r.cache_hit { "true" } else { "false" });
+                ro.raw(
+                    "cache_patched",
+                    if r.cache_patched { "true" } else { "false" },
+                );
                 ro.num("pair_ops", r.pair_ops as f64);
                 ro.num("far_ops", r.far_ops as f64);
                 ro.num("wall_seconds", r.wall_seconds);
@@ -662,6 +674,7 @@ impl BatchReport {
             "kernel_mode",
             "epol_kcal",
             "cache_hit",
+            "cache_patched",
             "pair_ops",
             "far_ops",
             "wall_s",
@@ -682,15 +695,182 @@ impl BatchReport {
                 String::new()
             };
             out.push_str(&format!(
-                "{i},{},{},{},{epol},{},{},{},{},{}\n",
+                "{i},{},{},{},{epol},{},{},{},{},{},{}\n",
                 csv_field(&r.name),
                 r.n_atoms,
                 csv_field(&r.kernel_mode),
                 r.cache_hit,
+                r.cache_patched,
                 r.pair_ops,
                 r.far_ops,
                 r.wall_seconds,
                 csv_field(r.error.as_deref().unwrap_or("")),
+            ));
+        }
+        out
+    }
+}
+
+/// One frame of a trajectory replay inside a [`ReplanReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanFrameRow {
+    /// Frame index (0 is the cold frame that built the plan).
+    pub frame: usize,
+    /// How the frame's plan was obtained: `"cold"` (built from
+    /// scratch), `"patched"` (dirty segments spliced into the cached
+    /// plan), `"rebuilt"` (delta outside tolerance forced a cold
+    /// build), or `"reused"` (geometry unchanged, plan reused as-is).
+    pub action: String,
+    /// Largest point displacement this frame introduced (Å).
+    pub max_disp: f64,
+    /// Born-stage source leaves whose interaction segments were re-run.
+    pub dirty_born: u64,
+    /// Born-stage source leaves in the plan.
+    pub total_born: u64,
+    /// E_pol-stage source leaves whose segments were re-run.
+    pub dirty_epol: u64,
+    /// E_pol-stage source leaves in the plan.
+    pub total_epol: u64,
+    /// Seconds spent patching (zero for cold/rebuilt/reused frames).
+    pub patch_seconds: f64,
+    /// Seconds spent planning cold (zero for patched/reused frames).
+    pub plan_seconds: f64,
+    /// Seconds executing the kernels for this frame.
+    pub exec_seconds: f64,
+    /// The frame's polarization energy (kcal/mol).
+    pub epol_kcal: f64,
+}
+
+/// Summary of one `polar trajectory` run: a frame sequence replayed
+/// through the delta re-planning path, with per-frame provenance
+/// (patched vs rebuilt) and the patch-time vs cold-plan-time
+/// comparison the incremental path is justified by.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplanReport {
+    /// Molecule name.
+    pub molecule: String,
+    pub n_atoms: usize,
+    /// Frames replayed (including the cold frame 0).
+    pub frames: usize,
+    /// Frames served by patching the previous plan.
+    pub patched_frames: u64,
+    /// Frames whose delta exceeded tolerance and planned cold.
+    pub rebuilt_frames: u64,
+    /// Frames with no geometry change (plan reused untouched).
+    pub reused_frames: u64,
+    /// Cold-plan seconds for frame 0 (the patch path's baseline).
+    pub cold_plan_seconds: f64,
+    /// Mean patch seconds across patched frames (NaN when none).
+    pub mean_patch_seconds: f64,
+    /// `cold_plan_seconds / mean_patch_seconds` — how much cheaper a
+    /// patch is than a cold plan (NaN when no frame patched).
+    pub speedup: f64,
+    /// Wall seconds for the whole trajectory.
+    pub wall_seconds: f64,
+    /// Per-frame rows, frame order.
+    pub rows: Vec<ReplanFrameRow>,
+}
+
+impl ReplanReport {
+    /// Fill the summary counters and timing aggregates from `rows`.
+    pub fn summarize(&mut self) {
+        self.frames = self.rows.len();
+        self.patched_frames = self.rows.iter().filter(|r| r.action == "patched").count() as u64;
+        self.rebuilt_frames = self.rows.iter().filter(|r| r.action == "rebuilt").count() as u64;
+        self.reused_frames = self.rows.iter().filter(|r| r.action == "reused").count() as u64;
+        self.cold_plan_seconds = self
+            .rows
+            .first()
+            .map(|r| r.plan_seconds)
+            .unwrap_or(f64::NAN);
+        self.mean_patch_seconds = if self.patched_frames == 0 {
+            f64::NAN
+        } else {
+            self.rows
+                .iter()
+                .filter(|r| r.action == "patched")
+                .map(|r| r.patch_seconds)
+                .sum::<f64>()
+                / self.patched_frames as f64
+        };
+        self.speedup = self.cold_plan_seconds / self.mean_patch_seconds;
+    }
+
+    /// Serialize to a self-contained JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", "replan_report/v1");
+        o.str("molecule", &self.molecule);
+        o.num("n_atoms", self.n_atoms as f64);
+        o.num("frames", self.frames as f64);
+        o.num("patched_frames", self.patched_frames as f64);
+        o.num("rebuilt_frames", self.rebuilt_frames as f64);
+        o.num("reused_frames", self.reused_frames as f64);
+        o.num("cold_plan_seconds", self.cold_plan_seconds);
+        o.num("mean_patch_seconds", self.mean_patch_seconds);
+        o.num("speedup", self.speedup);
+        o.num("wall_seconds", self.wall_seconds);
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut ro = JsonObj::new();
+                ro.num("frame", r.frame as f64);
+                ro.str("action", &r.action);
+                ro.num("max_disp", r.max_disp);
+                ro.num("dirty_born", r.dirty_born as f64);
+                ro.num("total_born", r.total_born as f64);
+                ro.num("dirty_epol", r.dirty_epol as f64);
+                ro.num("total_epol", r.total_epol as f64);
+                ro.num("patch_seconds", r.patch_seconds);
+                ro.num("plan_seconds", r.plan_seconds);
+                ro.num("exec_seconds", r.exec_seconds);
+                ro.num("epol_kcal", r.epol_kcal);
+                ro.finish()
+            })
+            .collect();
+        o.raw("rows", &format!("[{}]", rows.join(",")));
+        o.finish()
+    }
+
+    /// The per-frame CSV column set.
+    pub fn csv_header() -> String {
+        [
+            "frame",
+            "action",
+            "max_disp",
+            "dirty_born",
+            "total_born",
+            "dirty_epol",
+            "total_epol",
+            "patch_s",
+            "plan_s",
+            "exec_s",
+            "wall_s",
+            "epol_kcal",
+        ]
+        .join(",")
+    }
+
+    /// Header plus one record per frame.
+    pub fn to_csv(&self) -> String {
+        let mut out = Self::csv_header();
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.frame,
+                csv_field(&r.action),
+                r.max_disp,
+                r.dirty_born,
+                r.total_born,
+                r.dirty_epol,
+                r.total_epol,
+                r.patch_seconds,
+                r.plan_seconds,
+                r.exec_seconds,
+                r.patch_seconds + r.plan_seconds + r.exec_seconds,
+                r.epol_kcal,
             ));
         }
         out
@@ -866,7 +1046,10 @@ pub struct ServeReport {
     pub control: u64,
     /// Plan-cache hits across the run.
     pub cache_hits: u64,
-    /// Plan-cache misses (plan builds).
+    /// Exact-key misses served by delta-patching a same-topology
+    /// cached plan (hit-with-patch).
+    pub cache_patched: u64,
+    /// Plan-cache misses (cold plan builds).
     pub cache_misses: u64,
     /// Capacity evictions from the shared plan cache.
     pub cache_evictions: u64,
@@ -915,6 +1098,7 @@ impl Default for ServeReport {
             failed: 0,
             control: 0,
             cache_hits: 0,
+            cache_patched: 0,
             cache_misses: 0,
             cache_evictions: 0,
             quota_evictions: 0,
@@ -940,7 +1124,7 @@ impl ServeReport {
     /// Plan-cache hit rate; NaN (JSON `null`) when no job touched the
     /// cache.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits + self.cache_patched + self.cache_misses;
         if total == 0 {
             f64::NAN
         } else {
@@ -974,6 +1158,7 @@ impl ServeReport {
             if self.reconciles() { "true" } else { "false" },
         );
         o.num("cache_hits", self.cache_hits as f64);
+        o.num("cache_patched", self.cache_patched as f64);
         o.num("cache_misses", self.cache_misses as f64);
         o.num("cache_hit_rate", self.hit_rate());
         o.num("cache_evictions", self.cache_evictions as f64);
@@ -1008,6 +1193,7 @@ impl ServeReport {
             "failed",
             "control",
             "cache_hits",
+            "cache_patched",
             "cache_misses",
             "cache_hit_rate",
             "cache_evictions",
@@ -1043,7 +1229,7 @@ impl ServeReport {
             }
         };
         format!(
-            "{}\n{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{}\n{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             Self::csv_header(),
             self.requests,
             self.rejected,
@@ -1055,6 +1241,7 @@ impl ServeReport {
             self.failed,
             self.control,
             self.cache_hits,
+            self.cache_patched,
             self.cache_misses,
             q(self.hit_rate()),
             self.cache_evictions,
@@ -1509,7 +1696,7 @@ mod tests {
 
         let batch_header = BatchReport::csv_header();
         let batch_cols: Vec<&str> = batch_header.split(',').collect();
-        assert_eq!(batch_cols.len(), 10);
+        assert_eq!(batch_cols.len(), 11);
         assert_eq!(
             batch_cols,
             [
@@ -1519,6 +1706,7 @@ mod tests {
                 "kernel_mode",
                 "epol_kcal",
                 "cache_hit",
+                "cache_patched",
                 "pair_ops",
                 "far_ops",
                 "wall_s",
@@ -1528,17 +1716,24 @@ mod tests {
 
         let serve_header = ServeReport::csv_header();
         let serve_cols: Vec<&str> = serve_header.split(',').collect();
-        assert_eq!(serve_cols.len(), 30);
+        assert_eq!(serve_cols.len(), 31);
         assert_eq!(serve_cols[0], "requests");
         assert_eq!(serve_cols[8], "control");
-        assert_eq!(serve_cols[24], "latency_p50_ms");
-        assert_eq!(serve_cols[29], "wall_s");
+        assert_eq!(serve_cols[10], "cache_patched");
+        assert_eq!(serve_cols[25], "latency_p50_ms");
+        assert_eq!(serve_cols[30], "wall_s");
         // Arity holds even for an all-empty report (NaN quantiles leave
         // empty fields, never drop columns).
         let csv = ServeReport::default().to_csv();
         let mut lines = csv.lines();
         assert_eq!(lines.next().unwrap(), serve_header);
-        assert_eq!(lines.next().unwrap().split(',').count(), 30);
+        assert_eq!(lines.next().unwrap().split(',').count(), 31);
+
+        let replan_header = ReplanReport::csv_header();
+        let replan_cols: Vec<&str> = replan_header.split(',').collect();
+        assert_eq!(replan_cols.len(), 12);
+        assert_eq!(replan_cols[0], "frame");
+        assert_eq!(replan_cols[11], "epol_kcal");
     }
 
     #[test]
@@ -1606,6 +1801,7 @@ mod tests {
             succeeded: 0,
             failed: 0,
             cache_hits: 0,
+            cache_patched: 0,
             cache_misses: 0,
             cache_evictions: 0,
             poison_evictions: 0,
@@ -1638,6 +1834,7 @@ mod tests {
             succeeded: 1,
             failed: 0,
             cache_hits: 1,
+            cache_patched: 0,
             cache_misses: 0,
             cache_evictions: 0,
             poison_evictions: 0,
@@ -1657,6 +1854,7 @@ mod tests {
                 kernel_mode: "lane".into(),
                 epol_kcal: -1.0,
                 cache_hit: true,
+                cache_patched: false,
                 pair_ops: 5,
                 far_ops: 6,
                 wall_seconds: 0.0,

@@ -128,7 +128,20 @@ impl Default for SolveScratch {
     }
 }
 
+/// What one [`GbSolver::apply_frame`] coordinate update did to the
+/// prepared octrees — the input [`InteractionPlan::delta`] classifies.
+#[derive(Debug, Clone, Default)]
+pub struct FrameDelta {
+    /// Atom-tree refresh summary.
+    pub a: polar_octree::RefreshDelta,
+    /// Q-point-tree refresh summary.
+    pub q: polar_octree::RefreshDelta,
+    /// Largest single-point displacement across both trees (Å).
+    pub max_disp: f64,
+}
+
 /// The prepared solver: molecule data + both octrees + q-point aggregates.
+#[derive(Clone)]
 pub struct GbSolver {
     pub name: String,
     pub atom_pos: Vec<Vec3>,
@@ -141,6 +154,10 @@ pub struct GbSolver {
     pub q_nsum: Vec<Vec3>,
     /// Per-`T_Q`-node dipole moments (far-field first-order correction).
     pub q_dipole: Vec<QDipole>,
+    /// Bumped by every [`GbSolver::apply_frame`]; plans record the
+    /// version they were built/patched at so a stale plan is rejected
+    /// instead of silently executing over moved coordinates.
+    pub geom_version: u64,
 }
 
 impl GbSolver {
@@ -188,7 +205,93 @@ impl GbSolver {
             tree_q,
             q_nsum,
             q_dipole,
+            geom_version: 0,
         }
+    }
+
+    /// Move the prepared solver to a trajectory frame's coordinates
+    /// without rebuilding anything: atoms take `new_pos`, every surface
+    /// quadrature point translates rigidly with its owner atom (frozen
+    /// surface topology — the small-displacement approximation the delta
+    /// model is scoped to), both octrees refresh in place rescanning only
+    /// the subtrees that actually moved, and the `T_Q` far-field
+    /// aggregates are recomputed. Leaf topology (Morton permutation,
+    /// ranges) is untouched, which is what keeps existing
+    /// [`InteractionPlan`] segments spliceable.
+    ///
+    /// `slack` is the octree containment slack (see
+    /// [`polar_octree::Octree::refresh`]); if any point drifted outside
+    /// its leaf's slackened cell the trees are left untouched and
+    /// `Err(escaped_count)` tells the caller to rebuild the solver cold.
+    /// `tolerance` is the node-geometry drift tolerance (see
+    /// [`polar_octree::Octree::refresh_delta`] and
+    /// [`crate::plan::ReplanConfig::tolerance`]): node centroids/radii
+    /// stay bitwise-frozen while accumulated drift stays below it, which
+    /// is what makes in-tolerance frames patch without any traversal;
+    /// pass `0.0` for exact geometry every frame. On success the
+    /// solver's geometry version is bumped and the returned
+    /// [`FrameDelta`] feeds [`InteractionPlan::delta`].
+    pub fn apply_frame(
+        &mut self,
+        new_pos: &[Vec3],
+        slack: f64,
+        tolerance: f64,
+    ) -> Result<FrameDelta, usize> {
+        assert_eq!(new_pos.len(), self.n_atoms());
+        let mut qpos: Vec<Vec3> = Vec::with_capacity(self.qpoints.len());
+        for q in &self.qpoints {
+            let owner = q.owner as usize;
+            qpos.push(q.pos + (new_pos[owner] - self.atom_pos[owner]));
+        }
+        // Refresh T_A first; if T_Q then fails, T_A must roll back so the
+        // solver is never left half-moved.
+        let saved_a = self.tree_a.clone();
+        let a = self.tree_a.refresh_delta(new_pos, slack, tolerance)?;
+        let q = match self.tree_q.refresh_delta(&qpos, slack, tolerance) {
+            Ok(q) => q,
+            Err(escaped) => {
+                self.tree_a = saved_a;
+                return Err(escaped);
+            }
+        };
+        self.atom_pos.clear();
+        self.atom_pos.extend_from_slice(new_pos);
+        for (qp, pos) in self.qpoints.iter_mut().zip(&qpos) {
+            qp.pos = *pos;
+        }
+        self.q_nsum = BornOctreeCtx::q_normal_sums(&self.tree_q, &self.qpoints);
+        self.q_dipole = BornOctreeCtx::q_dipole_moments(&self.tree_q, &self.qpoints, &self.q_nsum);
+        self.geom_version += 1;
+        let max_disp = a.max_point_disp.max(q.max_point_disp);
+        Ok(FrameDelta { a, q, max_disp })
+    }
+
+    /// Rescan both octrees' node geometry exactly at the *current*
+    /// coordinates, clearing any drift left by delta-tolerant frames,
+    /// and bump the geometry version (existing plans become stale —
+    /// their SoA node centers predate the rescan).
+    ///
+    /// Call before re-planning cold after a
+    /// [`crate::plan::PlanDelta::Rebuild`]: the fresh plan then measures
+    /// its margins against exact geometry and inherits full drift
+    /// headroom, instead of the nearly-expired drift counters that made
+    /// the old plan unpatchable in the first place (which would force
+    /// the *next* frame to rebuild again).
+    pub fn resync_geometry(&mut self) {
+        let pos = self.atom_pos.clone();
+        let qpos: Vec<Vec3> = self.qpoints.iter().map(|q| q.pos).collect();
+        // Positions are unchanged, so containment cannot fail at any
+        // slack; tolerance 0 forces an exact rescan of every drifted
+        // leaf and resets its counter.
+        self.tree_a
+            .refresh_delta(&pos, f64::INFINITY, 0.0)
+            .expect("unmoved points cannot escape");
+        self.tree_q
+            .refresh_delta(&qpos, f64::INFINITY, 0.0)
+            .expect("unmoved points cannot escape");
+        self.q_nsum = BornOctreeCtx::q_normal_sums(&self.tree_q, &self.qpoints);
+        self.q_dipole = BornOctreeCtx::q_dipole_moments(&self.tree_q, &self.qpoints, &self.q_nsum);
+        self.geom_version += 1;
     }
 
     /// Number of atoms (the paper's `M`).
@@ -971,6 +1074,7 @@ mod tests {
             qpoints,
             tree_a,
             tree_q,
+            geom_version: 0,
         };
         let r2 = s2.solve(&p);
         assert!(

@@ -4,8 +4,8 @@
 //! traversals' results — Born radii bitwise, E_pol to machine
 //! precision — and a plan must be reusable across repeated solves.
 
-use polar_gb::{GbParams, GbSolver, KernelMode};
-use polar_molecule::generators;
+use polar_gb::{GbParams, GbSolver, KernelMode, PlanDelta, ReplanConfig};
+use polar_molecule::{generators, trajectory};
 use polar_octree::OctreeConfig;
 use polar_surface::SurfaceConfig;
 use proptest::prelude::*;
@@ -104,6 +104,114 @@ proptest! {
     }
 
     #[test]
+    fn patched_plans_match_cold_plans_across_displacements(
+        n in 80usize..200,
+        seed in 0u64..30,
+        step in 0.002f64..0.05,
+        exact_sel in 0u8..2,
+    ) {
+        let exact = exact_sel == 1;
+        // The incremental re-planning accuracy contract, over random
+        // molecules, seeds and per-frame displacement magnitudes: after
+        // every frame of a jittered trajectory — whatever the classifier
+        // decided (patch, rebuild, escape) — the live plan must be
+        // interchangeable with a cold plan built on the same refreshed
+        // solver: Born radii bitwise, E_pol within 1e-12 relative. Both
+        // tolerance regimes are exercised: the drift-frozen default
+        // (node geometry held bitwise until cumulative drift crosses
+        // 0.1 Å) and exact mode (tolerance 0, every moved node
+        // refreshed, real dirty segments spliced).
+        let mol = generators::globular("walk", n, seed);
+        let cfg = if exact {
+            ReplanConfig { tolerance: 0.0, max_dirty_fraction: 1.0, ..ReplanConfig::default() }
+        } else {
+            ReplanConfig::default()
+        };
+        let p = GbParams { kernel: KernelMode::Strict, ..GbParams::default() };
+        let frames = trajectory::jitter_frames(&mol, 4, step, seed.wrapping_add(101));
+        let surface = SurfaceConfig::coarse();
+        let tree = OctreeConfig::default();
+        let mut solver = GbSolver::for_molecule(&frames[0], &surface, &tree);
+        let mut plan = solver.plan(&p);
+        let mut patched = 0u32;
+        for frame in &frames[1..] {
+            let pos = frame.positions();
+            match solver.apply_frame(&pos, cfg.slack, cfg.tolerance) {
+                Ok(delta) => match plan.delta(&solver, &p, &delta, &cfg) {
+                    PlanDelta::Reusable => {}
+                    PlanDelta::Patchable(set) => {
+                        plan.patch(&solver, &p, &set).expect("patch set fits its solver");
+                        patched += 1;
+                    }
+                    PlanDelta::Rebuild(_) => {
+                        solver.resync_geometry();
+                        plan = solver.plan(&p);
+                    }
+                },
+                Err(_) => {
+                    solver = GbSolver::for_molecule(frame, &surface, &tree);
+                    plan = solver.plan(&p);
+                }
+            }
+            let cold = solver.plan(&p);
+            let live = solver.solve_with_plan(&plan, &p).expect("live plan is current");
+            let control = solver.solve_with_plan(&cold, &p).expect("cold control fits");
+            prop_assert_eq!(&live.born, &control.born);
+            prop_assert!(
+                rel(live.epol_kcal, control.epol_kcal) <= 1e-12,
+                "{} vs {}", live.epol_kcal, control.epol_kcal
+            );
+        }
+        // In the drift-frozen regime every step here sits inside a fresh
+        // 0.1 Å budget, so the very first warm frame always patches.
+        if !exact {
+            prop_assert!(patched >= 1, "delta path never engaged at step {step}");
+        }
+    }
+
+    #[test]
+    fn epol_ctx_reusing_matches_fresh_contexts_row_for_row(
+        n in 60usize..180,
+        seed in 0u64..30,
+        jitter in 0.0f64..0.2,
+    ) {
+        // Scratch-arena reuse must be invisible: building an EpolCtx
+        // into recycled (dirty, differently-sized) buffers over
+        // perturbed Born radii yields bitwise the same histograms,
+        // nonzero-bin counts and compacted lane rows as a fresh
+        // allocation.
+        use polar_gb::energy::octree::EpolCtx;
+        let s = solver_for(n, seed);
+        let p = GbParams::default();
+        let base = s.solve(&p);
+        let perturbed: Vec<f64> = base
+            .born
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let wob = ((i.wrapping_mul(2654435761) % 1000) as f64 / 1000.0) - 0.5;
+                b * (1.0 + jitter * wob)
+            })
+            .collect();
+        // Dirty donor buffers from a context over the *unperturbed*
+        // radii (different bin layout, stale contents).
+        let donor = EpolCtx::new(&s.tree_a, &s.charges, &base.born, p.eps_epol);
+        let (hist, nz) = donor.into_buffers();
+        let fresh = EpolCtx::new(&s.tree_a, &s.charges, &perturbed, p.eps_epol);
+        let reused = EpolCtx::new_reusing(&s.tree_a, &s.charges, &perturbed, p.eps_epol, hist, nz);
+        prop_assert_eq!(fresh.memory_bytes(), reused.memory_bytes());
+        for id in 0..s.tree_a.node_count() as u32 {
+            prop_assert_eq!(fresh.hist_row(id), reused.hist_row(id), "node {}", id);
+            prop_assert_eq!(fresh.nonzero_bin_count(id), reused.nonzero_bin_count(id));
+            let (fq, fr, fri) = fresh.compact_row(id);
+            let (rq, rr, rri) = reused.compact_row(id);
+            prop_assert_eq!(fq, rq);
+            prop_assert_eq!(fr, rr);
+            prop_assert_eq!(fri, rri);
+        }
+    }
+
+    #[test]
     fn parallel_planned_solve_matches_serial_planned(
         n in 60usize..200,
         seed in 0u64..20,
@@ -178,6 +286,54 @@ fn foreign_or_stale_plans_are_rejected_with_typed_errors() {
     // Errors render a readable message naming both fingerprints.
     let msg = plan.check_compatible(&other, &p).unwrap_err().to_string();
     assert!(msg.contains("atoms"), "{msg}");
+}
+
+#[test]
+fn plan_error_display_names_counts_and_eps_bits() {
+    use polar_gb::PlanError;
+
+    // Geometry mismatch spells out both expected and actual counts.
+    let msg = PlanError::GeometryMismatch {
+        plan: (150, 600),
+        solver: (220, 900),
+    }
+    .to_string();
+    assert!(msg.contains("150 atoms / 600 q-points"), "{msg}");
+    assert!(msg.contains("220 atoms / 900 q-points"), "{msg}");
+
+    // Epsilon mismatch names both values *and* their bit patterns —
+    // two ε that print identically can still differ in the last ulp,
+    // and the bits are what the cache keys on.
+    let msg = PlanError::EpsilonMismatch {
+        plan: (0.9, 0.9),
+        requested: (0.5, 0.9),
+    }
+    .to_string();
+    assert!(
+        msg.contains(&format!("{:#018x}", 0.9f64.to_bits())),
+        "{msg}"
+    );
+    assert!(
+        msg.contains(&format!("{:#018x}", 0.5f64.to_bits())),
+        "{msg}"
+    );
+
+    // Stale geometry names both versions and the remedy.
+    let msg = PlanError::StaleGeometry { plan: 3, solver: 5 }.to_string();
+    assert!(msg.contains("version 3"), "{msg}");
+    assert!(msg.contains("version 5"), "{msg}");
+    assert!(msg.contains("patch or rebuild"), "{msg}");
+
+    // The real path produces the same rendering: a solver that moved
+    // after planning refuses with the stale-geometry message.
+    let mut s = solver_for(120, 13);
+    let p = polar_gb::GbParams::default();
+    let plan = s.plan(&p);
+    let moved = s.atom_pos.clone();
+    s.apply_frame(&moved, ReplanConfig::default().slack, 0.0)
+        .expect("unmoved frame cannot escape");
+    let msg = s.solve_with_plan(&plan, &p).unwrap_err().to_string();
+    assert!(msg.contains("geometry version"), "{msg}");
 }
 
 #[test]

@@ -23,6 +23,7 @@ pub mod manifest;
 pub mod molecule;
 pub mod registry;
 pub mod request;
+pub mod trajectory;
 
 pub use atom::{Atom, Element};
 pub use manifest::{Manifest, ManifestJob};

@@ -42,6 +42,32 @@ pub enum JobSource {
     File(PathBuf),
 }
 
+/// A trajectory attached to a manifest job: replay the molecule over
+/// `count` frames of bounded per-atom jitter (see
+/// [`crate::trajectory::jitter_frames`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSpec {
+    /// Frames to replay, including the unperturbed frame 0.
+    pub count: usize,
+    /// Per-atom displacement bound per frame (Å).
+    pub max_step: f64,
+    /// Seed of the frame random walk (independent of the generator seed).
+    pub seed: u64,
+}
+
+impl Default for FrameSpec {
+    fn default() -> FrameSpec {
+        FrameSpec {
+            count: 8,
+            // Comfortably inside the default 0.1 Å drift tolerance of the
+            // re-planning path, so most warm frames patch instead of
+            // rebuilding (drift accumulates ~one recompute per 5 frames).
+            max_step: 0.02,
+            seed: 0,
+        }
+    }
+}
+
 /// One manifest entry, already expanded of its defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ManifestJob {
@@ -52,6 +78,9 @@ pub struct ManifestJob {
     pub eps_epol: f64,
     /// How many identical copies of this job to enqueue.
     pub repeat: usize,
+    /// Optional trajectory: replay the molecule over jittered frames
+    /// (`polar trajectory` consumes this; `polar batch` ignores it).
+    pub frames: Option<FrameSpec>,
 }
 
 impl ManifestJob {
@@ -87,6 +116,18 @@ impl ManifestJob {
                 io::load(&path)
             }
         }
+    }
+
+    /// Materialize the job's frame sequence: the molecule replayed over
+    /// its [`FrameSpec`] (or a single frame when the job has none).
+    pub fn build_frames(&self, base_dir: &Path) -> Result<Vec<Molecule>, ParseError> {
+        let mol = self.build_molecule(base_dir)?;
+        Ok(match &self.frames {
+            Some(spec) => {
+                crate::trajectory::jitter_frames(&mol, spec.count, spec.max_step, spec.seed)
+            }
+            None => vec![mol],
+        })
     }
 }
 
@@ -160,7 +201,7 @@ pub(crate) fn parse_job_with_ctx(v: &Json, ctx: &str) -> Result<ManifestJob, Par
     for key in obj.keys() {
         match key.as_str() {
             "name" | "generate" | "n_atoms" | "seed" | "file" | "eps_born" | "eps_epol"
-            | "repeat" => {}
+            | "repeat" | "frames" => {}
             other => {
                 return Err(ParseError::Invalid(format!(
                     "{}: unknown key {other:?}",
@@ -250,13 +291,53 @@ pub(crate) fn parse_job_with_ctx(v: &Json, ctx: &str) -> Result<ManifestJob, Par
         }
         None => 1,
     };
+    let frames = match obj.get("frames") {
+        Some(f) => Some(parse_frame_spec(f, &format!("{}.frames", ctx()))?),
+        None => None,
+    };
     Ok(ManifestJob {
         name,
         source,
         eps_born,
         eps_epol,
         repeat,
+        frames,
     })
+}
+
+/// Parse a `frames` object: `{ "count": 16, "max_step": 0.05, "seed": 3 }`.
+/// All keys are optional and fall back to [`FrameSpec::default`].
+fn parse_frame_spec(v: &Json, ctx: &str) -> Result<FrameSpec, ParseError> {
+    let obj = v.as_object(ctx)?;
+    for key in obj.keys() {
+        match key.as_str() {
+            "count" | "max_step" | "seed" => {}
+            other => return Err(ParseError::Invalid(format!("{ctx}: unknown key {other:?}"))),
+        }
+    }
+    let mut spec = FrameSpec::default();
+    if let Some(c) = obj.get("count") {
+        spec.count = c.as_usize(&format!("{ctx}.count"))?;
+        if spec.count == 0 {
+            return Err(invalid(
+                c.number_pos().unwrap_or(0),
+                &format!("{ctx}.count must be at least 1, got 0"),
+            ));
+        }
+    }
+    if let Some(s) = obj.get("max_step") {
+        spec.max_step = s.as_f64(&format!("{ctx}.max_step"))?;
+        if !spec.max_step.is_finite() || spec.max_step < 0.0 {
+            return Err(ParseError::Invalid(format!(
+                "{ctx}.max_step must be a finite non-negative number, got {}",
+                spec.max_step
+            )));
+        }
+    }
+    if let Some(s) = obj.get("seed") {
+        spec.seed = s.as_usize(&format!("{ctx}.seed"))? as u64;
+    }
+    Ok(spec)
 }
 
 // ----------------------------------------------------------------------
@@ -530,6 +611,7 @@ mod tests {
             eps_born: 0.9,
             eps_epol: 0.9,
             repeat: 1,
+            frames: None,
         };
         let a = job.build_molecule(Path::new(".")).unwrap();
         let b = job.build_molecule(Path::new(".")).unwrap();
@@ -621,6 +703,65 @@ mod tests {
             parse_manifest(r#"{"jobs": [{"generate": "globular", "n_atoms": 5, "repeat": 3}]}"#)
                 .expect("repeat is not a duplicate");
         assert_eq!(ok.expanded_len(), 3);
+    }
+
+    #[test]
+    fn frames_spec_parses_defaults_and_expands_frames() {
+        let text = r#"{"jobs": [
+            { "name": "traj", "generate": "globular", "n_atoms": 40,
+              "frames": { "count": 3, "max_step": 0.1, "seed": 5 } },
+            { "name": "still", "generate": "ligand", "n_atoms": 10,
+              "frames": {} }
+        ]}"#;
+        let m = parse_manifest(text).expect("valid manifest");
+        assert_eq!(
+            m.jobs[0].frames,
+            Some(FrameSpec {
+                count: 3,
+                max_step: 0.1,
+                seed: 5
+            })
+        );
+        assert_eq!(m.jobs[1].frames, Some(FrameSpec::default()));
+        let frames = m.jobs[0].build_frames(Path::new(".")).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], m.jobs[0].build_molecule(Path::new(".")).unwrap());
+        assert_ne!(frames[1].positions(), frames[0].positions());
+        assert_eq!(frames[1].radii(), frames[0].radii());
+        // A frame-less job still yields its single molecule.
+        let one = ManifestJob {
+            frames: None,
+            ..m.jobs[0].clone()
+        }
+        .build_frames(Path::new("."))
+        .unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn bad_frame_specs_are_rejected() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"jobs": [{"generate": "ligand", "n_atoms": 5, "frames": 4}]}"#,
+                "object",
+            ),
+            (
+                r#"{"jobs": [{"generate": "ligand", "n_atoms": 5, "frames": {"count": 0}}]}"#,
+                "count",
+            ),
+            (
+                r#"{"jobs": [{"generate": "ligand", "n_atoms": 5, "frames": {"max_step": -1}}]}"#,
+                "max_step",
+            ),
+            (
+                r#"{"jobs": [{"generate": "ligand", "n_atoms": 5, "frames": {"steps": 2}}]}"#,
+                "unknown key",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = parse_manifest(text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
     }
 
     #[test]

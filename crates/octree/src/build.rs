@@ -54,6 +54,7 @@ impl OctreeConfig {
                 points: vec![],
                 order: vec![],
                 leaves: vec![],
+                leaf_drift: vec![],
             };
         }
         for p in positions {
@@ -93,11 +94,13 @@ impl OctreeConfig {
             points,
             ..
         } = builder;
+        let leaf_drift = vec![0.0; leaves.len()];
         let tree = Octree {
             nodes,
             points,
             order,
             leaves,
+            leaf_drift,
         };
         debug_assert_eq!(tree.check_invariants(), Ok(()));
         tree

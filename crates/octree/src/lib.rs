@@ -25,4 +25,4 @@ pub mod build;
 pub mod tree;
 
 pub use build::OctreeConfig;
-pub use tree::{NodeId, Octree, OctreeNode};
+pub use tree::{NodeId, Octree, OctreeNode, RefreshDelta};

@@ -53,6 +53,35 @@ impl OctreeNode {
     }
 }
 
+/// Displacement summary returned by [`Octree::refresh_delta`]: how far
+/// points, centroids and enclosing radii moved during an in-place
+/// refresh. Incremental re-planning uses the global maxima to bound how
+/// much any separation-test margin can have eroded, and the per-leaf
+/// displacements / dirty set to decide what to rebuild locally.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshDelta {
+    /// Largest single-point displacement anywhere in the tree (Å),
+    /// measured against the coordinates of the *previous* refresh.
+    pub max_point_disp: f64,
+    /// Largest centroid shift over all rescanned nodes (Å). Zero when
+    /// every leaf stayed within its drift tolerance (nothing rescanned).
+    pub max_center_shift: f64,
+    /// Largest |enclosing-radius change| over all rescanned nodes (Å).
+    pub max_radius_delta: f64,
+    /// Largest accumulated drift of any still-frozen leaf after this
+    /// refresh (Å) — how stale the frozen centroids/radii are, bounded
+    /// by the caller's tolerance.
+    pub max_drift: f64,
+    /// Max point displacement per leaf, indexed like [`Octree::leaves`].
+    pub leaf_disp: Vec<f64>,
+    /// Leaf *indices* (into [`Octree::leaves`]) whose accumulated drift
+    /// exceeded the caller's tolerance, forcing their (and their
+    /// ancestors') centroid/radius to be recomputed this refresh.
+    pub dirty_leaves: Vec<u32>,
+    /// Nodes whose centroid/radius were actually recomputed.
+    pub nodes_rescanned: usize,
+}
+
 /// A flat octree over a set of points.
 ///
 /// Built with [`crate::build::OctreeConfig::build`]. Points are stored
@@ -68,6 +97,14 @@ pub struct Octree {
     pub(crate) order: Vec<u32>,
     /// Leaf node ids in left-to-right (Morton) order.
     pub(crate) leaves: Vec<NodeId>,
+    /// Per-leaf accumulated point drift (Å) since that leaf's geometry
+    /// (centroid/enclosing radius) was last recomputed, indexed like
+    /// `leaves`. [`Octree::refresh_delta`] keeps a leaf's stored
+    /// geometry bitwise-frozen while this stays within the caller's
+    /// tolerance — the delta-tolerant reuse model: frozen nodes cannot
+    /// flip separation tests, at the cost of node geometry being stale
+    /// by at most the tolerance.
+    pub(crate) leaf_drift: Vec<f64>,
 }
 
 impl Octree {
@@ -148,6 +185,21 @@ impl Octree {
             + self.points.len() * std::mem::size_of::<Vec3>()
             + self.order.len() * std::mem::size_of::<u32>()
             + self.leaves.len() * std::mem::size_of::<NodeId>()
+            + self.leaf_drift.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Per-leaf accumulated drift (Å) since each leaf's centroid/radius
+    /// were last recomputed, indexed like [`Octree::leaves`]. All zeros
+    /// after a build or an exact (`tolerance = 0`) refresh.
+    #[inline]
+    pub fn leaf_drift(&self) -> &[f64] {
+        &self.leaf_drift
+    }
+
+    /// Worst accumulated drift of any leaf (Å) — how stale the stored
+    /// node geometry can be after delta-tolerant refreshes.
+    pub fn max_drift(&self) -> f64 {
+        self.leaf_drift.iter().copied().fold(0.0, f64::max)
     }
 
     /// Bottom-up per-node aggregation (the pseudo-particle builder).
@@ -221,6 +273,7 @@ impl Octree {
             points: self.points.iter().map(|&p| xf.apply_point(p)).collect(),
             order: self.order.clone(),
             leaves: self.leaves.clone(),
+            leaf_drift: self.leaf_drift.clone(),
         }
     }
 
@@ -292,8 +345,51 @@ impl Octree {
     /// in original index order. Only valid for trees that have not been
     /// rigidly transformed (transformed cell bounds are loose).
     pub fn refresh(&mut self, positions: &[Vec3], slack: f64) -> Result<(), usize> {
+        self.refresh_delta(positions, slack, 0.0).map(|_| ())
+    }
+
+    /// [`Octree::refresh`] with a drift-tolerant dirty pass — the core of
+    /// delta-tolerant plan reuse.
+    ///
+    /// Same containment contract (every point inside its leaf cell padded
+    /// by `slack`, else `Err(escaped_count)` with the tree untouched), but
+    /// node geometry is only recomputed where motion has *accumulated*:
+    /// each leaf carries the total point drift since its centroid/radius
+    /// were last recomputed, and while that drift stays within
+    /// `tolerance` the leaf's (and its untouched ancestors') stored
+    /// centroid and enclosing radius are kept **bitwise frozen**. A frozen
+    /// node presents identical inputs to every separation test, so no
+    /// test involving only frozen nodes can flip — which is what lets an
+    /// [`InteractionPlan`](../../polar_gb/plan) patch a moving frame
+    /// without re-running any traversal. The price is bounded staleness:
+    /// a frozen node's geometry describes coordinates up to `tolerance` Å
+    /// old (its true enclosing radius may exceed the stored one by the
+    /// drift), degrading the far-field approximation by `O(tolerance)`
+    /// while leaving near-field arithmetic — which reads actual point
+    /// coordinates, refreshed here unconditionally — exact.
+    ///
+    /// A leaf whose accumulated drift exceeds `tolerance` is rescanned
+    /// exactly (resetting its drift to zero), together with every
+    /// ancestor on its path. `tolerance == 0.0` recovers the exact
+    /// refresh: every moved leaf rescans and stored geometry never goes
+    /// stale, even after earlier tolerant refreshes.
+    ///
+    /// The returned [`RefreshDelta`] reports per-leaf displacement, the
+    /// recomputed (dirty) leaf set, the worst surviving drift, and the
+    /// global worst-case centroid shift / enclosing-radius change — the
+    /// inputs incremental re-planning needs to prove which separation
+    /// tests cannot have flipped. On a frame where nothing crosses the
+    /// tolerance, `max_center_shift` and `max_radius_delta` are exactly
+    /// zero: the plan's margins provably cannot have eroded at all.
+    pub fn refresh_delta(
+        &mut self,
+        positions: &[Vec3],
+        slack: f64,
+        tolerance: f64,
+    ) -> Result<RefreshDelta, usize> {
         assert_eq!(positions.len(), self.len(), "position count changed");
         assert!(slack >= 0.0);
+        assert!(tolerance >= 0.0);
         // Pass 1: validate containment before touching anything.
         let mut escaped = 0usize;
         for &leaf in &self.leaves {
@@ -309,23 +405,66 @@ impl Octree {
         if escaped > 0 {
             return Err(escaped);
         }
-        // Pass 2: write coordinates through the permutation.
-        for (slot, &orig) in self.order.iter().enumerate() {
-            self.points[slot] = positions[orig as usize];
+        // Pass 2: write coordinates through the permutation, measuring
+        // the displacement of every point as it lands and folding it
+        // into the leaf's accumulated drift (triangle inequality: total
+        // motion since the last rescan is at most the sum of per-frame
+        // maxima).
+        let mut delta = RefreshDelta {
+            leaf_disp: vec![0.0; self.leaves.len()],
+            ..RefreshDelta::default()
+        };
+        let mut moved = vec![false; self.nodes.len()];
+        for (li, &leaf) in self.leaves.iter().enumerate() {
+            let node = self.nodes[leaf as usize];
+            let mut worst = 0.0_f64;
+            for slot in node.start as usize..node.end as usize {
+                let p = positions[self.order[slot] as usize];
+                worst = worst.max(p.dist(self.points[slot]));
+                self.points[slot] = p;
+            }
+            delta.leaf_disp[li] = worst;
+            delta.max_point_disp = delta.max_point_disp.max(worst);
+            let drift = self.leaf_drift[li] + worst;
+            if drift > tolerance {
+                self.leaf_drift[li] = 0.0;
+                if drift > 0.0 {
+                    moved[leaf as usize] = true;
+                    delta.dirty_leaves.push(li as u32);
+                }
+            } else {
+                self.leaf_drift[li] = drift;
+                delta.max_drift = delta.max_drift.max(drift);
+            }
         }
-        // Pass 3: recompute every node's centroid and enclosing radius
+        // Children always have larger ids than parents, so a reverse scan
+        // propagates "subtree moved" bottom-up.
+        for id in (0..self.nodes.len()).rev() {
+            if !self.nodes[id].is_leaf {
+                moved[id] = self.nodes[id].child_ids().any(|c| moved[c as usize]);
+            }
+        }
+        // Pass 3: locally rebuild only the dirty subtrees — recompute the
+        // centroid and enclosing radius of every node that saw motion
         // (exact rescan of its contiguous range, like the builder).
-        for node in self.nodes.iter_mut() {
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            if !moved[id] {
+                continue;
+            }
             let slice = &self.points[node.start as usize..node.end as usize];
             let centroid = slice.iter().copied().sum::<Vec3>() / slice.len() as f64;
             let r_sq = slice
                 .iter()
                 .map(|p| p.dist_sq(centroid))
                 .fold(0.0_f64, f64::max);
+            let radius = r_sq.sqrt();
+            delta.max_center_shift = delta.max_center_shift.max(centroid.dist(node.center));
+            delta.max_radius_delta = delta.max_radius_delta.max((radius - node.radius).abs());
+            delta.nodes_rescanned += 1;
             node.center = centroid;
-            node.radius = r_sq.sqrt();
+            node.radius = radius;
         }
-        Ok(())
+        Ok(delta)
     }
 
     /// Validate structural invariants (used by tests and debug assertions):
@@ -358,8 +497,12 @@ impl Octree {
             if n.is_empty() {
                 return Err(format!("node {id}: empty node stored"));
             }
+            // Frozen leaves (delta-tolerant refresh) may under-enclose by
+            // their accumulated drift; the stored ball must still hold
+            // every point within that slack.
+            let pad = self.max_drift() + 1e-9;
             for (slot, p) in self.points_in(id as NodeId).iter().enumerate() {
-                if p.dist(n.center) > n.radius + 1e-9 {
+                if p.dist(n.center) > n.radius + pad {
                     return Err(format!(
                         "node {id}: point {slot} outside enclosing ball by {}",
                         p.dist(n.center) - n.radius

@@ -518,7 +518,13 @@ fn process(q: Queued, shared: &Arc<Shared>) {
                     Ok(solve) => {
                         let wall_ms = q.received_at.elapsed().as_secs_f64() * 1e3;
                         outcome = &c.completed;
-                        response = wire::ok(&id, solve.result.epol_kcal, solve.cache_hit, wall_ms);
+                        response = wire::ok(
+                            &id,
+                            solve.result.epol_kcal,
+                            solve.cache_hit,
+                            solve.patched,
+                            wall_ms,
+                        );
                     }
                     Err(e @ RescoreError::DeadlineExceeded { phase }) => {
                         outcome = &c.deadline_exceeded;
@@ -614,6 +620,7 @@ fn snapshot(shared: &Arc<Shared>) -> ServeReport {
         failed: c.failed.load(Ordering::Relaxed),
         control: c.control.load(Ordering::Relaxed),
         cache_hits: cache.hits,
+        cache_patched: cache.patched,
         cache_misses: cache.misses,
         cache_evictions: cache.evictions,
         quota_evictions: cache.quota_evictions,

@@ -35,14 +35,14 @@ fn esc(s: &str) -> String {
     out
 }
 
-pub(crate) fn ok(id: &str, epol_kcal: f64, cache_hit: bool, wall_ms: f64) -> String {
+pub(crate) fn ok(id: &str, epol_kcal: f64, cache_hit: bool, patched: bool, wall_ms: f64) -> String {
     let epol = if epol_kcal.is_finite() {
         format!("{epol_kcal}")
     } else {
         "null".to_string()
     };
     format!(
-        "{{\"id\":{},\"status\":\"ok\",\"epol_kcal\":{epol},\"cache_hit\":{cache_hit},\"wall_ms\":{wall_ms}}}",
+        "{{\"id\":{},\"status\":\"ok\",\"epol_kcal\":{epol},\"cache_hit\":{cache_hit},\"patched\":{patched},\"wall_ms\":{wall_ms}}}",
         esc(id)
     )
 }
@@ -102,11 +102,12 @@ mod tests {
 
     #[test]
     fn responses_escape_and_discriminate() {
-        let r = ok("r\"1", -12.5, true, 3.25);
+        let r = ok("r\"1", -12.5, true, false, 3.25);
         assert!(r.contains("\"id\":\"r\\\"1\""), "{r}");
         assert!(r.contains("\"status\":\"ok\""));
         assert!(r.contains("\"epol_kcal\":-12.5"));
-        let r = ok("nanjob", f64::NAN, false, 0.0);
+        assert!(r.contains("\"patched\":false"), "{r}");
+        let r = ok("nanjob", f64::NAN, false, false, 0.0);
         assert!(r.contains("\"epol_kcal\":null"), "never a NaN token: {r}");
         let r = shed("x", 40, "queue full");
         assert!(r.contains("\"retry_after_ms\":40"), "{r}");

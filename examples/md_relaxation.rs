@@ -1,79 +1,93 @@
-//! Flexible-molecule workflow: gradient relaxation with dynamic octree
-//! maintenance.
+//! Flexible-molecule workflow: gradient relaxation with incremental
+//! re-planning.
 //!
 //! ```sh
 //! cargo run --release --example md_relaxation
 //! ```
 //!
-//! An MD/minimization loop moves atoms a little every step. The paper's
-//! companion work \[8\] maintains octrees dynamically instead of
-//! rebuilding; this example drives that mode: each step takes a steepest-
-//! descent step along the (frozen-Born-radii) polarization gradient, then
-//! *refreshes* the atoms octree in place — falling back to a rebuild only
-//! when some atom escapes its leaf cell, exactly like an nblist skin
-//! violation. Born radii are refreshed on rebuilds (the standard GB-MD
-//! update schedule).
+//! An MD/minimization loop moves atoms a little every step. Rebuilding
+//! the interaction plan from scratch each step would repeat the full
+//! separation-test traversal; this example drives the delta path
+//! instead: each step takes a steepest-descent step along the
+//! polarization gradient, moves the *prepared* solver in place
+//! (`GbSolver::apply_frame` — octrees refresh with drift-tolerant
+//! frozen node geometry, surface points ride their owner atoms), then
+//! asks `InteractionPlan::delta` whether the existing plan survives.
+//! In-tolerance steps patch (usually zero dirty segments — a pure
+//! coordinate refresh); once accumulated drift crosses the tolerance
+//! the classifier orders a cold re-plan and the cycle restarts.
 
 use polar_energy::gb::constants::{tau, EPS_WATER};
 use polar_energy::gb::energy::gradient::epol_gradient_naive;
-use polar_energy::gb::energy::octree::epol_for_leaf_segment;
-use polar_energy::gb::energy::octree::EpolCtx;
-use polar_energy::gb::WorkCounts;
+use polar_energy::gb::plan::{PlanDelta, ReplanConfig};
 use polar_energy::molecule::generators;
 use polar_energy::prelude::*;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mol = generators::globular("relax", 800, 77);
     let mut pos = mol.positions();
     let charges = mol.charges();
-    let radii = mol.radii();
     let params = GbParams::default();
+    let cfg = ReplanConfig::default();
     let t_w = tau(EPS_WATER);
 
-    // Initial build: surface, octrees, Born radii.
+    // Initial build: surface, octrees, plan (the one-off cold cost).
     let mut solver =
         GbSolver::for_molecule(&mol, &SurfaceConfig::coarse(), &OctreeConfig::default());
-    let (mut born, _) = solver.born_radii(&params);
+    let t = Instant::now();
+    let mut plan = solver.plan(&params);
+    let cold_plan = t.elapsed();
 
     let steps = 30;
     let step_size = 2e-6; // Å per (kcal/mol/Å); conservative descent
-    let slack = 0.75; // octree refresh skin (Å)
-    let mut refreshes = 0;
-    let mut rebuilds = 0;
+    let mut patched = 0u32;
+    let mut rebuilt = 0u32;
+    let mut patch_time = Duration::ZERO;
 
     println!(
         "{:>5} {:>14} {:>10} {:>9}",
-        "step", "E_pol", "|grad|max", "tree op"
+        "step", "E_pol", "|grad|max", "plan op"
     );
     for step in 0..steps {
-        // Energy on the *current* tree (refreshed or rebuilt).
-        let ctx = EpolCtx::new(&solver.tree_a, &charges, &born, params.eps_epol);
-        let e = epol_for_leaf_segment(
-            &ctx,
-            params.eps_epol,
-            params.math,
-            t_w,
-            0..solver.tree_a.leaves().len(),
-            &mut WorkCounts::default(),
-        );
+        // Energy and Born radii from the current plan (patched or cold,
+        // the lists are identical to a cold plan on this geometry).
+        let result = solver
+            .solve_with_plan(&plan, &params)
+            .expect("plan is current for this geometry");
         // Steepest descent on the frozen-radii gradient.
-        let grad = epol_gradient_naive(&pos, &charges, &born, t_w, params.math);
+        let grad = epol_gradient_naive(&pos, &charges, &result.born, t_w, params.math);
         let gmax = grad.iter().map(|g| g.norm()).fold(0.0_f64, f64::max);
         for (p, g) in pos.iter_mut().zip(&grad) {
             *p -= *g * step_size;
         }
-        // Dynamic octree maintenance: refresh in place, rebuild on skin
-        // violation (and refresh Born radii then, as GB-MD does).
-        let op = match solver.tree_a.refresh(&pos, slack) {
-            Ok(()) => {
-                refreshes += 1;
-                "refresh"
-            }
+        // Incremental re-planning: move the prepared solver, classify,
+        // patch if the delta allows — cold re-plan only when it doesn't.
+        let op = match solver.apply_frame(&pos, cfg.slack, cfg.tolerance) {
+            Ok(frame) => match plan.delta(&solver, &params, &frame, &cfg) {
+                PlanDelta::Reusable => "reuse",
+                PlanDelta::Patchable(set) => {
+                    let t = Instant::now();
+                    plan.patch(&solver, &params, &set)
+                        .expect("patch set built for this solver");
+                    patch_time += t.elapsed();
+                    patched += 1;
+                    "patch"
+                }
+                PlanDelta::Rebuild(_) => {
+                    solver.resync_geometry();
+                    plan = solver.plan(&params);
+                    rebuilt += 1;
+                    "REPLAN"
+                }
+            },
             Err(_) => {
+                // Atoms escaped their slackened leaf cells: the tree
+                // topology itself is stale — prepare the frame cold.
                 let moved = Molecule::new(
                     "relax",
                     pos.iter()
-                        .zip(&radii)
+                        .zip(&mol.radii())
                         .zip(&charges)
                         .map(|((p, r), q)| Atom::new(*p, *r, *q))
                         .collect(),
@@ -83,17 +97,20 @@ fn main() {
                     &SurfaceConfig::coarse(),
                     &OctreeConfig::default(),
                 );
-                born = solver.born_radii(&params).0;
-                rebuilds += 1;
+                plan = solver.plan(&params);
+                rebuilt += 1;
                 "REBUILD"
             }
         };
-        if step % 5 == 0 || op == "REBUILD" {
-            println!("{step:>5} {e:>14.3} {gmax:>10.3} {op:>9}");
+        if step % 5 == 0 || op != "patch" {
+            println!("{step:>5} {:>14.3} {gmax:>10.3} {op:>9}", result.epol_kcal);
         }
     }
+    assert!(patched > 0, "relaxation steps this small must patch");
+    let mean_patch = patch_time / patched;
     println!(
-        "\n{refreshes} in-place octree refreshes, {rebuilds} full rebuilds over {steps} steps \
-         (the dynamic-octree maintenance mode of the paper's companion work [8])"
+        "\n{patched} patched / {rebuilt} re-planned over {steps} steps; \
+         cold plan {cold_plan:.2?}, mean patch {mean_patch:.2?} ({:.1}x)",
+        cold_plan.as_secs_f64() / mean_patch.as_secs_f64()
     );
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Measure incremental re-planning (delta-tolerant plan patching for
+# moving geometry) and refresh results/BENCH_replan.json plus the
+# per-frame ReplanReport artifact results/REPLAN_report.json.
+#
+# Usage:  POLAR_SCALE=quick|default|full scripts/bench_replan.sh
+#
+# quick   — CI smoke size (400 atoms, 12 frames, seconds),
+# default — 1.5k atoms, 16 frames,
+# full    — 4k atoms, 24 frames.
+#
+# The binary exits non-zero if patching a warm frame is not at least
+# 2.0x faster than a cold plan traversal, or if any patched frame
+# breaks the accuracy contract (Born radii bitwise-identical and E_pol
+# within 1e-12 relative of a cold plan built on the same refreshed
+# solver).
+
+set -eu
+cd "$(dirname "$0")/.."
+export POLAR_SCALE="${POLAR_SCALE:-default}"
+
+cargo build --release -p polar-bench --bin bench_replan
+echo "POLAR_SCALE=$POLAR_SCALE"
+./target/release/bench_replan
