@@ -485,6 +485,136 @@ fn replay_frames(
     Ok(report)
 }
 
+/// `polar minimize <file>`: relax atom positions on the plan-path
+/// analytic frozen-radii gradient — Armijo backtracking line search,
+/// L-BFGS directions, every trial frame routed through the
+/// incremental re-planning path.
+pub fn minimize(a: &Args) -> CmdResult {
+    use polar_gb::{MinimizeConfig, ReplanConfig};
+    let mol = load_molecule(a)?;
+    let profile = profile_format(a)?;
+    let params = params_from(a)?;
+    let all_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n_workers: usize =
+        a.get_parsed("threads", if a.flag("parallel") { all_cores } else { 1 })?;
+    let defaults = MinimizeConfig::default();
+    let cfg = MinimizeConfig {
+        max_iters: a.get_parsed("max-iters", defaults.max_iters)?,
+        grad_tol: a.get_parsed("grad-tol", defaults.grad_tol)?,
+        initial_step: a.get_parsed("step", defaults.initial_step)?,
+        max_step: a.get_parsed("max-step", defaults.max_step)?,
+        lbfgs_memory: a.get_parsed("lbfgs-memory", defaults.lbfgs_memory)?,
+        replan: ReplanConfig {
+            tolerance: a.get_parsed("tolerance", ReplanConfig::default().tolerance)?,
+            ..ReplanConfig::default()
+        },
+        n_workers,
+        ..defaults
+    };
+
+    let mut solver = prepare(&mol);
+    let t = Instant::now();
+    let mut plan = solver.plan(&params);
+    eprintln!("cold plan in {:.2?}", t.elapsed());
+    let e_start = solver.solve_with_plan(&plan, &params)?.epol_kcal;
+
+    let out = polar_gb::minimize(&mut solver, &mut plan, &params, &cfg)?;
+    let report = &out.report;
+    println!(
+        "E_pol {e_start:.4} -> {:.4} kcal/mol in {} iters ({}); |grad|max {:.4} kcal/mol/A",
+        out.energy_kcal,
+        out.iters,
+        if report.converged {
+            "converged"
+        } else if report.stalled {
+            "stalled at frozen-radii floor"
+        } else {
+            "iteration cap"
+        },
+        out.grad_max,
+    );
+    println!(
+        "plan ops: {} patched / {} rebuilt / {} reused trial frames; \
+         gradient stage {:.3}s of {:.3}s wall",
+        report.total_patched,
+        report.total_rebuilt,
+        report.total_reused,
+        report.grad_seconds,
+        report.wall_s,
+    );
+    if let Some(path) = a.get("out") {
+        std::fs::write(path, report.to_json())?;
+        eprintln!("wrote {path}");
+    }
+    match profile {
+        None => {}
+        Some(ProfileFormat::Json) => println!("{}", report.to_json()),
+        Some(ProfileFormat::Csv) => print!("{}", report.to_csv()),
+    }
+    Ok(())
+}
+
+/// `polar induce <file>`: iterated point-dipole induction — per-atom
+/// polarizabilities α = A·r³, damped Jacobi + DIIS to a residual
+/// tolerance, field matvecs replaying the plan's near/far energy
+/// coverage lists.
+pub fn induce(a: &Args) -> CmdResult {
+    use polar_gb::{induce_naive, induce_with_plan, InductionConfig};
+    let mol = load_molecule(a)?;
+    let profile = profile_format(a)?;
+    let params = params_from(a)?;
+    let d = InductionConfig::default();
+    let cfg = InductionConfig {
+        alpha_scale: a.get_parsed("alpha-scale", d.alpha_scale)?,
+        omega: a.get_parsed("omega", d.omega)?,
+        diis: a.get_parsed("diis", d.diis)?,
+        max_iters: a.get_parsed("max-iters", d.max_iters)?,
+        residual_tol: a.get_parsed("residual-tol", d.residual_tol)?,
+    };
+
+    let solver = prepare(&mol);
+    let plan = solver.plan(&params);
+    let gb = solver.solve_with_plan(&plan, &params)?;
+    let t = Instant::now();
+    let res = induce_with_plan(&solver, &plan, &cfg)?;
+    let elapsed = t.elapsed();
+    let residual = res.residuals.last().copied().unwrap_or(0.0);
+    println!(
+        "U_ind = {:.4} kcal/mol  ({} iters{}, rms residual {residual:.3e}, {elapsed:.2?})",
+        res.u_ind_kcal,
+        res.iters,
+        if res.converged { "" } else { ", NOT converged" },
+    );
+    println!(
+        "E_pol = {:.4} kcal/mol; E_pol + U_ind = {:.4} kcal/mol",
+        gb.epol_kcal,
+        gb.epol_kcal + res.u_ind_kcal,
+    );
+    if a.flag("naive") {
+        let t = Instant::now();
+        let naive = induce_naive(&solver.atom_pos, &solver.atom_radii, &solver.charges, &cfg)?;
+        let dev = (res.u_ind_kcal - naive.u_ind_kcal).abs() / naive.u_ind_kcal.abs().max(1e-30);
+        println!(
+            "naive  = {:.4} kcal/mol  ({:.2?}); plan deviation {dev:.3e}",
+            naive.u_ind_kcal,
+            t.elapsed(),
+        );
+    }
+    let report = res.report(&solver.name, "plan");
+    if let Some(path) = a.get("out") {
+        std::fs::write(path, report.to_json())?;
+        eprintln!("wrote {path}");
+    }
+    match profile {
+        None => {}
+        Some(ProfileFormat::Json) => println!("{}", report.to_json()),
+        Some(ProfileFormat::Csv) => print!("{}", report.to_csv()),
+    }
+    Ok(())
+}
+
 /// `polar serve`: run the persistent rescoring server until a client
 /// sends `{"cmd":"drain"}`, then print the final report and exit 0.
 pub fn serve(a: &Args) -> CmdResult {

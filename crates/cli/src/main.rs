@@ -13,6 +13,12 @@
 //! polar trajectory <file> | --manifest jobs.json
 //!                  [--frames N] [--max-step S] [--frame-seed K]
 //!                  [--tolerance T] [--out report.json] [--profile json|csv]
+//! polar minimize <file> [--max-iters N] [--grad-tol G] [--step S]
+//!                       [--max-step S] [--lbfgs-memory M] [--tolerance T]
+//!                       [--out report.json] [--profile json|csv]
+//! polar induce <file> [--alpha-scale A] [--omega W] [--diis K]
+//!                     [--max-iters N] [--residual-tol R] [--naive]
+//!                     [--out report.json] [--profile json|csv]
 //! polar serve [--addr H:P] [--queue-depth N] [--deadline-ms N]
 //!             [--cache-mb N] [--quota-mb N] [--drain-timeout S]
 //! polar project <file> [--nodes N]     # simulated cluster timings
@@ -49,6 +55,14 @@ const VALUE_OPTS: &[&str] = &[
     "max-step",
     "frame-seed",
     "tolerance",
+    "max-iters",
+    "grad-tol",
+    "step",
+    "lbfgs-memory",
+    "alpha-scale",
+    "omega",
+    "diis",
+    "residual-tol",
 ];
 const BOOL_FLAGS: &[&str] = &[
     "approx-math",
@@ -81,6 +95,8 @@ fn main() {
         "distributed" => commands::distributed(&parsed),
         "batch" => commands::batch(&parsed),
         "trajectory" => commands::trajectory(&parsed),
+        "minimize" => commands::minimize(&parsed),
+        "induce" => commands::induce(&parsed),
         "serve" => commands::serve(&parsed),
         "project" => commands::project(&parsed),
         other => {
@@ -135,6 +151,31 @@ USAGE:
       --tolerance T               node-geometry drift tolerance (Å, default 0.1)
       --out report.json           also write the ReplanReport JSON to a file
       --profile json|csv          print the ReplanReport to stdout
+  polar minimize <file>     relax atom positions on the plan-path analytic
+                            frozen-radii gradient (Armijo line search,
+                            L-BFGS directions, incremental re-planning)
+      --eps-born E --eps-epol E   approximation parameters
+      --max-iters N               iteration cap (default 100)
+      --grad-tol G                converge when |grad|max <= G (default 0.5)
+      --step S                    first-iteration displacement, A (default 0.02)
+      --max-step S                per-iteration displacement cap, A (default 0.25)
+      --lbfgs-memory M            L-BFGS history pairs; 0 = steepest descent
+      --tolerance T               node-geometry drift tolerance (A, default 0.1)
+      --parallel / --threads p    parallel gradient + energy stages
+      --out report.json           also write the GradientReport JSON to a file
+      --profile json|csv          print the GradientReport to stdout
+  polar induce <file>       iterated point-dipole induction (alpha = A*r^3,
+                            damped Jacobi + DIIS) over the plan's near/far
+                            energy coverage lists
+      --eps-born E --eps-epol E   approximation parameters
+      --alpha-scale A             polarizability scale alpha = A*r^3 (default 0.05)
+      --omega W                   Jacobi damping factor (default 0.7)
+      --diis K                    DIIS mixing history (default 4; 0 = plain Jacobi)
+      --max-iters N               iteration cap (default 200)
+      --residual-tol R            converge at rms field residual R (default 1e-9)
+      --naive                     also run the O(n^2) reference + deviation
+      --out report.json           also write the InductionReport JSON to a file
+      --profile json|csv          print the InductionReport to stdout
   polar serve               persistent rescoring server (line-delimited
       --addr HOST:PORT            JSON over TCP; port 0 = ephemeral)
       --queue-depth N             admission queue bound (default 64)

@@ -21,15 +21,90 @@
 //! nothing. Forces are pairwise central, so they conserve total linear
 //! and angular momentum exactly — asserted in the tests along with a
 //! finite-difference check of every component.
+//!
+//! Coincident atoms (r² ≤ [`COINCIDENT_R_SQ`]) are rejected with a typed
+//! [`GradientError::CoincidentAtoms`] instead of being silently skipped:
+//! the pair direction `(x_i − x_j)/r` is undefined there, so any force we
+//! returned would be arbitrary, and overlapping centers almost always
+//! mean corrupt input the caller needs to hear about.
 
 use polar_geom::{MathMode, Vec3};
+
+use crate::plan::PlanError;
+
+/// Squared-distance floor below which two distinct atoms are treated as
+/// coincident (shared with the plan-path gradient kernels).
+pub const COINCIDENT_R_SQ: f64 = 1e-12;
+
+/// Typed failure of a gradient evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradientError {
+    /// Two distinct atoms closer than the coincidence guard: the pair
+    /// force direction is undefined. Indices are in the caller's atom
+    /// order; `r` is the offending center distance in Å.
+    CoincidentAtoms { i: usize, j: usize, r: f64 },
+    /// The supplied interaction plan could not be replayed.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for GradientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GradientError::CoincidentAtoms { i, j, r } => write!(
+                f,
+                "coincident atoms {i} and {j} (r = {r:.3e} A): pair force direction undefined"
+            ),
+            GradientError::Plan(e) => write!(f, "plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GradientError {}
+
+impl From<PlanError> for GradientError {
+    fn from(e: PlanError) -> GradientError {
+        GradientError::Plan(e)
+    }
+}
 
 /// The magnitude factor `dE_pair/dr / r` for one ordered pair (so the
 /// force contribution is `−factor · (x_i − x_j)`), excluding the τ
 /// prefactor.
+///
+/// Domain edges of the Born-radius product `rr = R_iR_j` are guarded the
+/// same way `fast_rsqrt`/`fast_inv_cbrt` guard theirs: outside the
+/// normal-positive range we return the analytic limit instead of risking
+/// `0·∞` or a flushed-exponential `0/0` (the `MathMode::Approximate`
+/// `exp` is only calibrated for normal arguments):
+///
+/// * `rr → 0⁺` (or subnormal, or zero): `e → 0`, `f → r`, so the factor
+///   collapses to the bare Coulomb derivative `q_iq_j/r³`.
+/// * `rr → ∞`: `f → ∞`, so the force vanishes — `0.0`.
+/// * `rr` NaN: propagates (a poisoned radius must not masquerade as a
+///   finite force).
 #[inline]
-fn pair_dedr_over_r(qi: f64, qj: f64, r_sq: f64, ri: f64, rj: f64, math: MathMode) -> f64 {
+pub(crate) fn pair_dedr_over_r(
+    qi: f64,
+    qj: f64,
+    r_sq: f64,
+    ri: f64,
+    rj: f64,
+    math: MathMode,
+) -> f64 {
     let rr = ri * rj;
+    const MIN_NORMAL: f64 = f64::MIN_POSITIVE;
+    if !(MIN_NORMAL..f64::INFINITY).contains(&rr) {
+        if rr.is_nan() {
+            return f64::NAN;
+        }
+        if rr == f64::INFINITY {
+            return 0.0;
+        }
+        // Zero / subnormal (or negative, the limit from a degenerate
+        // radius): Coulomb limit.
+        let r = r_sq.sqrt();
+        return qi * qj / (r_sq * r);
+    }
     let e = math.exp(-r_sq / (4.0 * rr));
     let f_sq = r_sq + rr * e;
     let f = math.sqrt(f_sq);
@@ -38,14 +113,15 @@ fn pair_dedr_over_r(qi: f64, qj: f64, r_sq: f64, ri: f64, rj: f64, math: MathMod
 
 /// Naive O(M²) frozen-Born-radii gradient of
 /// `E = −(τ/2)·Σ_{ij} q_iq_j/f_ij`: returns the gradient ∂E/∂x_k per
-/// atom (the *force* is its negation).
+/// atom (the *force* is its negation), or a typed error if two atoms
+/// coincide.
 pub fn epol_gradient_naive(
     pos: &[Vec3],
     charges: &[f64],
     born: &[f64],
     tau: f64,
     math: MathMode,
-) -> Vec<Vec3> {
+) -> Result<Vec<Vec3>, GradientError> {
     assert_eq!(pos.len(), charges.len());
     assert_eq!(pos.len(), born.len());
     let n = pos.len();
@@ -54,8 +130,12 @@ pub fn epol_gradient_naive(
         for j in (i + 1)..n {
             let d = pos[i] - pos[j];
             let r_sq = d.norm_sq();
-            if r_sq <= 1e-12 {
-                continue;
+            if r_sq <= COINCIDENT_R_SQ {
+                return Err(GradientError::CoincidentAtoms {
+                    i,
+                    j,
+                    r: r_sq.sqrt(),
+                });
             }
             // dE/dx_i = τ·q_iq_j·(1−e/4)/f³ · (x_i − x_j); pair appears
             // twice in the ordered sum, cancelling the −τ/2's 1/2.
@@ -64,7 +144,7 @@ pub fn epol_gradient_naive(
             grad[j] -= d * k;
         }
     }
-    grad
+    Ok(grad)
 }
 
 /// Gradient restricted to one atom (used for spot checks and incremental
@@ -76,7 +156,7 @@ pub fn epol_gradient_of_atom(
     born: &[f64],
     tau: f64,
     math: MathMode,
-) -> Vec3 {
+) -> Result<Vec3, GradientError> {
     let mut g = Vec3::ZERO;
     for j in 0..pos.len() {
         if j == i {
@@ -84,12 +164,16 @@ pub fn epol_gradient_of_atom(
         }
         let d = pos[i] - pos[j];
         let r_sq = d.norm_sq();
-        if r_sq <= 1e-12 {
-            continue;
+        if r_sq <= COINCIDENT_R_SQ {
+            return Err(GradientError::CoincidentAtoms {
+                i: i.min(j),
+                j: i.max(j),
+                r: r_sq.sqrt(),
+            });
         }
         g += d * (tau * pair_dedr_over_r(charges[i], charges[j], r_sq, born[i], born[j], math));
     }
-    g
+    Ok(g)
 }
 
 /// Net torque of the force field about the origin (0 for a valid
@@ -113,10 +197,11 @@ pub fn epol_gradient_cutoff(
     tau: f64,
     cutoff: f64,
     math: MathMode,
-) -> Vec<Vec3> {
+) -> Result<Vec<Vec3>, GradientError> {
     assert_eq!(tree.len(), pos.len(), "octree/point count mismatch");
     assert!(cutoff > 0.0, "cutoff must be positive");
     let mut grad = vec![Vec3::ZERO; pos.len()];
+    let mut coincident: Option<(usize, usize, f64)> = None;
     for (i, &xi) in pos.iter().enumerate() {
         let mut g = Vec3::ZERO;
         tree.for_each_in_ball(xi, cutoff, |j, xj| {
@@ -126,15 +211,20 @@ pub fn epol_gradient_cutoff(
             }
             let d = xi - xj;
             let r_sq = d.norm_sq();
-            if r_sq > 1e-12 {
-                g += d
-                    * (tau
-                        * pair_dedr_over_r(charges[i], charges[j], r_sq, born[i], born[j], math));
+            if r_sq <= COINCIDENT_R_SQ {
+                if coincident.is_none() {
+                    coincident = Some((i.min(j), i.max(j), r_sq.sqrt()));
+                }
+                return;
             }
+            g += d * (tau * pair_dedr_over_r(charges[i], charges[j], r_sq, born[i], born[j], math));
         });
+        if let Some((i, j, r)) = coincident {
+            return Err(GradientError::CoincidentAtoms { i, j, r });
+        }
         grad[i] = g;
     }
-    grad
+    Ok(grad)
 }
 
 #[cfg(test)]
@@ -156,7 +246,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)]
     fn gradient_matches_finite_differences() {
         let (pos, charges, born, t) = fixture(40, 1);
-        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
+        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact).unwrap();
         let h = 1e-5;
         for i in [0usize, 7, 19, 39] {
             for axis in 0..3 {
@@ -191,7 +281,7 @@ mod tests {
     #[test]
     fn forces_conserve_linear_momentum() {
         let (pos, charges, born, t) = fixture(120, 2);
-        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
+        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact).unwrap();
         let net: Vec3 = grad.iter().copied().sum();
         let scale: f64 = grad.iter().map(|g| g.norm()).sum();
         assert!(net.norm() <= 1e-12 * scale.max(1.0), "net force {net:?}");
@@ -200,7 +290,7 @@ mod tests {
     #[test]
     fn forces_conserve_angular_momentum() {
         let (pos, charges, born, t) = fixture(80, 3);
-        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
+        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact).unwrap();
         let torque = net_torque(&pos, &grad);
         let scale: f64 = grad
             .iter()
@@ -216,9 +306,9 @@ mod tests {
     #[test]
     fn per_atom_gradient_matches_full() {
         let (pos, charges, born, t) = fixture(60, 4);
-        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
+        let grad = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact).unwrap();
         for i in [0usize, 30, 59] {
-            let g = epol_gradient_of_atom(i, &pos, &charges, &born, t, MathMode::Exact);
+            let g = epol_gradient_of_atom(i, &pos, &charges, &born, t, MathMode::Exact).unwrap();
             assert!(g.dist(grad[i]) <= 1e-12 * g.norm().max(1.0));
         }
     }
@@ -231,11 +321,13 @@ mod tests {
         // ∂E/∂x₀ > 0 when atom 1 sits at +x.
         let pos = [Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0)];
         let born = [2.0, 2.0];
-        let g = epol_gradient_naive(&pos, &[1.0, -1.0], &born, tau(EPS_WATER), MathMode::Exact);
+        let g = epol_gradient_naive(&pos, &[1.0, -1.0], &born, tau(EPS_WATER), MathMode::Exact)
+            .unwrap();
         assert!(g[0].x > 0.0 && g[1].x < 0.0, "{g:?}");
         // And for like charges it pulls them together (screening favors
         // the pair sharing one solvent cavity).
-        let g2 = epol_gradient_naive(&pos, &[1.0, 1.0], &born, tau(EPS_WATER), MathMode::Exact);
+        let g2 =
+            epol_gradient_naive(&pos, &[1.0, 1.0], &born, tau(EPS_WATER), MathMode::Exact).unwrap();
         assert!(g2[0].x < 0.0 && g2[1].x > 0.0, "{g2:?}");
     }
 
@@ -244,16 +336,18 @@ mod tests {
         use polar_octree::OctreeConfig;
         let (pos, charges, born, t) = fixture(150, 6);
         let tree = OctreeConfig::default().build(&pos);
-        let full = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
+        let full = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact).unwrap();
         let avg: f64 = full.iter().map(|g| g.norm()).sum::<f64>() / full.len() as f64;
         // Diameter-sized cutoff = exact.
-        let exact = epol_gradient_cutoff(&tree, &pos, &charges, &born, t, 1e3, MathMode::Exact);
+        let exact =
+            epol_gradient_cutoff(&tree, &pos, &charges, &born, t, 1e3, MathMode::Exact).unwrap();
         for (a, b) in full.iter().zip(&exact) {
             assert!(a.dist(*b) <= 1e-12 * a.norm().max(1.0));
         }
         // Truncation error shrinks as the cutoff grows.
         let err = |cut: f64| -> f64 {
-            let g = epol_gradient_cutoff(&tree, &pos, &charges, &born, t, cut, MathMode::Exact);
+            let g = epol_gradient_cutoff(&tree, &pos, &charges, &born, t, cut, MathMode::Exact)
+                .unwrap();
             g.iter()
                 .zip(&full)
                 .map(|(a, b)| a.dist(*b))
@@ -268,18 +362,90 @@ mod tests {
     }
 
     #[test]
-    fn coincident_atoms_do_not_blow_up() {
-        let pos = [Vec3::ZERO, Vec3::ZERO];
-        let g = epol_gradient_naive(&pos, &[1.0, 1.0], &[2.0, 2.0], 300.0, MathMode::Exact);
-        assert!(g[0].is_finite() && g[1].is_finite());
-        assert_eq!(g[0], Vec3::ZERO);
+    fn coincident_atoms_are_a_typed_error() {
+        // Regression: this used to silently `continue`, returning a zero
+        // force for corrupt input. Now it is a typed, indexed error.
+        let pos = [Vec3::ZERO, Vec3::new(7.0, 0.0, 0.0), Vec3::ZERO];
+        let err = epol_gradient_naive(
+            &pos,
+            &[1.0, 1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            300.0,
+            MathMode::Exact,
+        )
+        .unwrap_err();
+        assert_eq!(err, GradientError::CoincidentAtoms { i: 0, j: 2, r: 0.0 });
+        assert!(err.to_string().contains("coincident atoms 0 and 2"));
+        // Per-atom and cutoff paths agree on the contract.
+        let per = epol_gradient_of_atom(
+            2,
+            &pos,
+            &[1.0, 1.0, -1.0],
+            &[2.0; 3],
+            300.0,
+            MathMode::Exact,
+        );
+        assert!(matches!(
+            per,
+            Err(GradientError::CoincidentAtoms { i: 0, j: 2, .. })
+        ));
+        use polar_octree::OctreeConfig;
+        let tree = OctreeConfig::default().build(&pos);
+        let cut = epol_gradient_cutoff(
+            &tree,
+            &pos,
+            &[1.0, 1.0, -1.0],
+            &[2.0; 3],
+            300.0,
+            20.0,
+            MathMode::Exact,
+        );
+        assert!(matches!(
+            cut,
+            Err(GradientError::CoincidentAtoms { i: 0, j: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn pair_dedr_domain_edges_are_guarded() {
+        let r_sq = 9.0_f64;
+        let coulomb = (1.0 * -2.0) / (r_sq * 3.0);
+        for math in [MathMode::Exact, MathMode::Approximate] {
+            // Subnormal / zero Born product → the bare Coulomb limit,
+            // never 0/0.
+            for rr_edge in [0.0, f64::MIN_POSITIVE / 4.0] {
+                let v = pair_dedr_over_r(1.0, -2.0, r_sq, rr_edge, 1.0, math);
+                assert!(
+                    (v - coulomb).abs() <= 1e-15 * coulomb.abs(),
+                    "rr {rr_edge:e} ({math:?}): {v} vs Coulomb {coulomb}"
+                );
+            }
+            // Infinite Born product → zero force (f → ∞).
+            assert_eq!(
+                pair_dedr_over_r(1.0, -2.0, r_sq, f64::INFINITY, 1.0, math),
+                0.0
+            );
+            assert_eq!(
+                pair_dedr_over_r(1.0, -2.0, r_sq, f64::MAX, f64::MAX, math),
+                0.0
+            );
+            // NaN propagates instead of masquerading as a force.
+            assert!(pair_dedr_over_r(1.0, -2.0, r_sq, f64::NAN, 1.0, math).is_nan());
+        }
+        // Continuity: a tiny-but-normal product sits on the same limit
+        // (exp flushes to an exact 0 there, so the formulas agree).
+        let v = pair_dedr_over_r(1.0, -2.0, r_sq, 1e-150, 1e-150, MathMode::Exact);
+        assert!(
+            (v - coulomb).abs() <= 1e-12 * coulomb.abs(),
+            "{v} vs {coulomb}"
+        );
     }
 
     #[test]
     fn approximate_math_gradient_is_close() {
         let (pos, charges, born, t) = fixture(50, 5);
-        let exact = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact);
-        let approx = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Approximate);
+        let exact = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Exact).unwrap();
+        let approx = epol_gradient_naive(&pos, &charges, &born, t, MathMode::Approximate).unwrap();
         // Per-atom gradients are differences of large pair terms, so
         // compare against the field's typical magnitude, not each atom's
         // own (possibly tiny, heavily cancelled) norm.

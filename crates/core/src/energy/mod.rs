@@ -8,5 +8,7 @@ pub mod exact;
 pub mod gradient;
 pub mod octree;
 
-pub use gradient::epol_gradient_naive;
+pub use gradient::{
+    epol_gradient_cutoff, epol_gradient_naive, epol_gradient_of_atom, net_torque, GradientError,
+};
 pub use octree::EpolCtx;

@@ -1956,6 +1956,163 @@ pub fn epol_near_block_w<const W: usize>(
     epol_near_impl::<W, PlainIsa>(ux, uy, uz, uq, ur, &uri, vx, vy, vz, vq, vr, &vri)
 }
 
+/// One (targets × partners) frozen-Born-radii *gradient* block: for each
+/// target atom `a`, accumulate `Σ_b τ·q_aq_b(1 − e/4)/f³·(x⃗_a − x⃗_b)`
+/// over the partner slices into `(gx, gy, gz)[a]`. Lanes run over
+/// partners, targets broadcast; each target's three component sums
+/// reduce once per block (low → high), so a target's value is a
+/// fixed-order sum for a fixed partner-block sequence — the execute
+/// layer replays blocks in plan order, making the whole gradient
+/// bitwise-deterministic.
+///
+/// Sub-guard pairs (`r² ≤ R2_GUARD`) are blended to zero *and counted*:
+/// the return value is the number of such lanes over real partners. A
+/// target meeting itself (the leaf's own near block) contributes exactly
+/// one expected count; any excess means genuinely coincident atoms and
+/// the caller escalates to a typed error. Partner slices shorter than a
+/// lane multiple are tail-padded in registers (positions clamped,
+/// charges zeroed), which is only count-safe when real partners cannot
+/// coincide with targets (far blocks); gathered near blocks must be
+/// pre-padded by the caller with far sentinel positions instead.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn epol_grad_impl<const W: usize, I: Isa>(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+    tau: f64,
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+) -> u64 {
+    if ux.is_empty() || vx.is_empty() {
+        return 0;
+    }
+    let n_v = vx.len();
+    let one = Lane::<W>::splat(1.0);
+    let quarter = Lane::<W>::splat(-0.25);
+    let mut suspects = Lane::<W>::splat(0.0);
+    for a in 0..ux.len() {
+        let xa = Lane::<W>::splat(ux[a]);
+        let ya = Lane::<W>::splat(uy[a]);
+        let za = Lane::<W>::splat(uz[a]);
+        let qa = Lane::<W>::splat(tau * uq[a]);
+        let ra = Lane::<W>::splat(ur[a]);
+        let sa = Lane::<W>::splat(-0.25 * uri[a]);
+        let mut accx = Lane::<W>::splat(0.0);
+        let mut accy = Lane::<W>::splat(0.0);
+        let mut accz = Lane::<W>::splat(0.0);
+        let mut start = 0;
+        while start < n_v {
+            let full = start + W <= n_v;
+            let (bx, by, bz, rb, qb, ib) = if full {
+                (
+                    Lane::<W>::from_prefix(&vx[start..]),
+                    Lane::<W>::from_prefix(&vy[start..]),
+                    Lane::<W>::from_prefix(&vz[start..]),
+                    Lane::<W>::from_prefix(&vr[start..]),
+                    Lane::<W>::from_prefix(&vq[start..]),
+                    Lane::<W>::from_prefix(&vri[start..]),
+                )
+            } else {
+                (
+                    Lane::<W>::tail_clamped(vx, start),
+                    Lane::<W>::tail_clamped(vy, start),
+                    Lane::<W>::tail_clamped(vz, start),
+                    Lane::<W>::tail_clamped(vr, start),
+                    Lane::<W>::tail_fill(vq, start, 0.0),
+                    Lane::<W>::tail_clamped(vri, start),
+                )
+            };
+            let dx = xa.sub(bx);
+            let dy = ya.sub(by);
+            let dz = za.sub(bz);
+            let r2 = dz.fma::<I>(dz, dy.fma::<I>(dy, dx.mul(dx)));
+            let rr = ra.mul(rb);
+            let e = lane_exp::<W, I>(r2.mul(sa).mul(ib));
+            let f2 = rr.fma::<I>(e, r2);
+            let inv_f = lane_rsqrt::<W, I>(f2);
+            // k = τ·q_aq_b·(1 − e/4)/f³; sub-guard lanes blend to 0 and
+            // tick the suspect counter instead.
+            let k = qa
+                .mul(qb)
+                .mul(e.fma::<I>(quarter, one))
+                .mul(inv_f.mul(inv_f).mul(inv_f))
+                .mask_gt(r2, R2_GUARD);
+            suspects = suspects.add(one.sub(one.mask_gt(r2, R2_GUARD)));
+            accx = dx.fma::<I>(k, accx);
+            accy = dy.fma::<I>(k, accy);
+            accz = dz.fma::<I>(k, accz);
+            start += W;
+        }
+        gx[a] += accx.hsum();
+        gy[a] += accy.hsum();
+        gz[a] += accz.hsum();
+    }
+    suspects.hsum() as u64
+}
+
+/// Dispatched gradient near/far block kernel at [`LANE_WIDTH`] (see
+/// [`epol_grad_impl`] for the slice and suspect-count contract).
+#[allow(clippy::too_many_arguments)]
+pub fn epol_grad_block(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+    tau: f64,
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+) -> u64 {
+    epol_grad_impl::<LANE_WIDTH, PlainIsa>(
+        ux, uy, uz, uq, ur, uri, vx, vy, vz, vq, vr, vri, tau, gx, gy, gz,
+    )
+}
+
+/// Portable explicit-width variant of [`epol_grad_block`] (see
+/// [`born_near_block_w`]) — pins the reduction-order contract in tests.
+#[allow(clippy::too_many_arguments)]
+pub fn epol_grad_block_w<const W: usize>(
+    ux: &[f64],
+    uy: &[f64],
+    uz: &[f64],
+    uq: &[f64],
+    ur: &[f64],
+    uri: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    vq: &[f64],
+    vr: &[f64],
+    vri: &[f64],
+    tau: f64,
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+) -> u64 {
+    epol_grad_impl::<W, PlainIsa>(
+        ux, uy, uz, uq, ur, uri, vx, vy, vz, vq, vr, vri, tau, gx, gy, gz,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2225,6 +2382,83 @@ mod tests {
                 again.to_bits(),
                 "lane path must be deterministic"
             );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // scalar SoA reference: a/b index all five columns
+    fn epol_grad_matches_scalar_and_counts_suspects() {
+        use crate::energy::gradient::pair_dedr_over_r;
+        let tau = 300.0;
+        for (n_u, n_v) in [(8, 16), (5, 17), (1, 1), (11, 3)] {
+            let (u, mut v) = epol_fixture(n_u, n_v, 0x6ad + n_u as u64);
+            // Plant an exact self-pair: it must count as one suspect and
+            // contribute nothing (d⃗ = 0 and the blend both kill it).
+            let mut want_susp = 0u64;
+            if n_u > 1 && n_v > 1 {
+                for k in 0..5 {
+                    v[k][1] = u[k][2];
+                }
+                want_susp = 1;
+            }
+            let uri: Vec<f64> = u[4].iter().map(|&r| 1.0 / r).collect();
+            let vri: Vec<f64> = v[4].iter().map(|&r| 1.0 / r).collect();
+            let (mut gx, mut gy, mut gz) = (vec![0.0; n_u], vec![0.0; n_u], vec![0.0; n_u]);
+            let susp = epol_grad_block(
+                &u[0], &u[1], &u[2], &u[3], &u[4], &uri, &v[0], &v[1], &v[2], &v[3], &v[4], &vri,
+                tau, &mut gx, &mut gy, &mut gz,
+            );
+            assert_eq!(susp, want_susp, "{n_u}x{n_v}");
+            for a in 0..n_u {
+                let (mut wx, mut wy, mut wz) = (0.0, 0.0, 0.0);
+                for b in 0..n_v {
+                    let (dx, dy, dz) = (u[0][a] - v[0][b], u[1][a] - v[1][b], u[2][a] - v[2][b]);
+                    let r_sq = dx * dx + dy * dy + dz * dz;
+                    if r_sq <= R2_GUARD {
+                        continue;
+                    }
+                    let k = tau
+                        * pair_dedr_over_r(
+                            u[3][a],
+                            v[3][b],
+                            r_sq,
+                            u[4][a],
+                            v[4][b],
+                            MathMode::Exact,
+                        );
+                    wx += dx * k;
+                    wy += dy * k;
+                    wz += dz * k;
+                }
+                let scale = wx.abs().max(wy.abs()).max(wz.abs()).max(1e-9);
+                assert!(
+                    (gx[a] - wx).abs() <= 1e-12 * scale
+                        && (gy[a] - wy).abs() <= 1e-12 * scale
+                        && (gz[a] - wz).abs() <= 1e-12 * scale,
+                    "{n_u}x{n_v} target {a}: ({},{},{}) vs ({wx},{wy},{wz})",
+                    gx[a],
+                    gy[a],
+                    gz[a]
+                );
+            }
+            // Determinism across re-runs and explicit-width agreement.
+            let (mut hx, mut hy, mut hz) = (vec![0.0; n_u], vec![0.0; n_u], vec![0.0; n_u]);
+            epol_grad_block(
+                &u[0], &u[1], &u[2], &u[3], &u[4], &uri, &v[0], &v[1], &v[2], &v[3], &v[4], &vri,
+                tau, &mut hx, &mut hy, &mut hz,
+            );
+            for a in 0..n_u {
+                assert_eq!(gx[a].to_bits(), hx[a].to_bits());
+            }
+            let (mut wx4, mut wy4, mut wz4) = (vec![0.0; n_u], vec![0.0; n_u], vec![0.0; n_u]);
+            epol_grad_block_w::<4>(
+                &u[0], &u[1], &u[2], &u[3], &u[4], &uri, &v[0], &v[1], &v[2], &v[3], &v[4], &vri,
+                tau, &mut wx4, &mut wy4, &mut wz4,
+            );
+            for a in 0..n_u {
+                let scale = gx[a].abs().max(gy[a].abs()).max(gz[a].abs()).max(1e-9);
+                assert!((wx4[a] - gx[a]).abs() <= 1e-12 * scale);
+            }
         }
     }
 }

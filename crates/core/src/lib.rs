@@ -36,8 +36,10 @@ pub mod batch;
 pub mod born;
 pub mod constants;
 pub mod energy;
+pub mod induction;
 pub mod kernels;
 pub mod metrics;
+pub mod minimize;
 pub mod nonpolar;
 pub mod partition;
 pub mod plan;
@@ -48,10 +50,16 @@ pub mod stats;
 pub use batch::{
     BatchEngine, BatchJob, BatchOutcome, CacheStats, RescoreError, ServeEngine, ServeSolve,
 };
+pub use energy::GradientError;
+pub use induction::{induce_naive, induce_with_plan, InductionConfig, InductionResult};
 pub use kernels::KernelMode;
+pub use minimize::{minimize, MinimizeConfig, MinimizeOutcome};
 pub use plan::{
     InteractionPlan, PlanDelta, PlanError, RebuildReason, ReplanConfig, ReplanStats, StageLists,
 };
-pub use report::{BatchReport, Histogram, ReplanFrameRow, ReplanReport, ServeReport, SolveReport};
-pub use solver::{FrameDelta, GbParams, GbResult, GbSolver, SolveScratch};
+pub use report::{
+    BatchReport, GradientIterRow, GradientReport, Histogram, InductionReport, ReplanFrameRow,
+    ReplanReport, ServeReport, SolveReport,
+};
+pub use solver::{FrameDelta, GbParams, GbResult, GbSolver, GradResult, SolveScratch};
 pub use stats::WorkCounts;

@@ -83,6 +83,7 @@
 
 use crate::born::octree::{separation_factor_r6, BornKernel, BornOctreeCtx, BornPartials};
 use crate::energy::exact::gb_pair;
+use crate::energy::gradient::{pair_dedr_over_r, GradientError, COINCIDENT_R_SQ};
 use crate::energy::octree::{separation_factor_epol, EpolCtx};
 use crate::kernels::{self, KernelMode};
 use crate::report::PlanReport;
@@ -1054,6 +1055,282 @@ impl InteractionPlan {
         -0.5 * tau * acc
     }
 
+    /// Execute the frozen-Born-radii *gradient* over one energy-stage
+    /// leaf segment, accumulating `∂E_pol/∂x` per atom slot into the
+    /// `(gx, gy, gz)` spans (slot `s` writes index `s − slot_base`).
+    ///
+    /// The coverage argument: for each source leaf `V`, the recursion
+    /// behind [`plan_epol`] either reaches a `U` leaf (near block) or
+    /// cuts a `U` subtree (far entry), so the leaf's near gather list
+    /// plus its far nodes' slot ranges exactly partition **all** atom
+    /// slots. Expanding far entries *pairwise* (instead of the energy
+    /// stage's histogram collapse) therefore computes each target's
+    /// complete, exact gradient from its own leaf's lists alone — a pure
+    /// summation reorder of the naive double sum, which is why the plan
+    /// path agrees with [`crate::energy::gradient::epol_gradient_naive`]
+    /// to ~1e-12 while remaining embarrassingly parallel over leaves
+    /// (disjoint target slices, bitwise-stable across segmentations).
+    ///
+    /// `inv_born` must hold `1/born_slot` (only read on the lane path).
+    /// Sub-guard pairs surface as [`GradientError::CoincidentAtoms`]
+    /// with *original* atom indices (mapped through `tree.order()`); the
+    /// target meeting itself in its own leaf's block is expected and
+    /// contributes nothing. Like the energy stage, lane kernels run only
+    /// for exact math — [`MathMode::Approximate`] takes the strict
+    /// scalar loops.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_gradient_segment(
+        &self,
+        tree: &Octree,
+        born_slot: &[f64],
+        inv_born: &[f64],
+        math: MathMode,
+        kernel: KernelMode,
+        tau: f64,
+        leaf_range: Range<usize>,
+        slot_base: usize,
+        gx: &mut [f64],
+        gy: &mut [f64],
+        gz: &mut [f64],
+        counts: &mut WorkCounts,
+    ) -> Result<(), GradientError> {
+        if self.epol.near_off.is_empty() {
+            return Ok(());
+        }
+        let lane = kernel == KernelMode::Lane && math == MathMode::Exact;
+        // Gather scratch for the lane path (partner block per leaf),
+        // grown once and refilled.
+        let mut px: Vec<f64> = Vec::new();
+        let mut py: Vec<f64> = Vec::new();
+        let mut pz: Vec<f64> = Vec::new();
+        let mut pq: Vec<f64> = Vec::new();
+        let mut pr: Vec<f64> = Vec::new();
+        let mut pri: Vec<f64> = Vec::new();
+        for leaf in leaf_range {
+            let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
+            if nr.is_empty() {
+                continue;
+            }
+            // All near entries of a group share the leaf's own slot range
+            // as targets (`V`); its own `U` leaf is always among them.
+            let v_range =
+                self.epol.near_s_start[nr.start] as usize..self.epol.near_s_end[nr.start] as usize;
+            let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
+            let out = (v_range.start - slot_base)..(v_range.end - slot_base);
+            if lane {
+                let gidx = &self.epol.gather_idx
+                    [self.epol.gather_off[leaf] as usize..self.epol.gather_off[leaf + 1] as usize];
+                counts.pair_ops += (gidx.len() * v_range.len()) as u64;
+                // Fill the gathered partner block, padded to a lane
+                // multiple with zero-charge sentinels placed far away so
+                // padded lanes neither contribute nor count as suspects
+                // (position-clamped padding could replicate a coincident
+                // partner and inflate the count).
+                let n = gidx.len();
+                let n_pad = n.div_ceil(kernels::LANE_WIDTH) * kernels::LANE_WIDTH;
+                px.resize(n_pad, 0.0);
+                py.resize(n_pad, 0.0);
+                pz.resize(n_pad, 0.0);
+                pq.resize(n_pad, 0.0);
+                pr.resize(n_pad, 0.0);
+                pri.resize(n_pad, 0.0);
+                for (k, &slot) in gidx.iter().enumerate() {
+                    let s = slot as usize;
+                    px[k] = self.ax[s];
+                    py[k] = self.ay[s];
+                    pz[k] = self.az[s];
+                    pq[k] = self.charge_slot[s];
+                    pr[k] = born_slot[s];
+                    pri[k] = inv_born[s];
+                }
+                let sentinel = self.ax[v_range.start] + 1e6;
+                for k in n..n_pad {
+                    px[k] = sentinel;
+                    py[k] = 0.0;
+                    pz[k] = 0.0;
+                    pq[k] = 0.0;
+                    pr[k] = 1.0;
+                    pri[k] = 1.0;
+                }
+                let mut suspects = kernels::epol_grad_block(
+                    &self.ax[v_range.clone()],
+                    &self.ay[v_range.clone()],
+                    &self.az[v_range.clone()],
+                    &self.charge_slot[v_range.clone()],
+                    &born_slot[v_range.clone()],
+                    &inv_born[v_range.clone()],
+                    &px[..n_pad],
+                    &py[..n_pad],
+                    &pz[..n_pad],
+                    &pq[..n_pad],
+                    &pr[..n_pad],
+                    &pri[..n_pad],
+                    tau,
+                    &mut gx[out.clone()],
+                    &mut gy[out.clone()],
+                    &mut gz[out.clone()],
+                );
+                for i in fr.clone() {
+                    let u = tree.node(self.epol.far_p[i]);
+                    let u_range = u.start as usize..u.end as usize;
+                    counts.pair_ops += (u_range.len() * v_range.len()) as u64;
+                    counts.far_ops += 1;
+                    // Far nodes passed a separation test, so real lanes
+                    // (and their clamped tail replicas) cannot be
+                    // sub-guard — dense slices are safe as-is.
+                    suspects += kernels::epol_grad_block(
+                        &self.ax[v_range.clone()],
+                        &self.ay[v_range.clone()],
+                        &self.az[v_range.clone()],
+                        &self.charge_slot[v_range.clone()],
+                        &born_slot[v_range.clone()],
+                        &inv_born[v_range.clone()],
+                        &self.ax[u_range.clone()],
+                        &self.ay[u_range.clone()],
+                        &self.az[u_range.clone()],
+                        &self.charge_slot[u_range.clone()],
+                        &born_slot[u_range.clone()],
+                        &inv_born[u_range],
+                        tau,
+                        &mut gx[out.clone()],
+                        &mut gy[out.clone()],
+                        &mut gz[out.clone()],
+                    );
+                }
+                // Each target meets exactly itself at r = 0 — one
+                // expected suspect per target. Any excess is a genuinely
+                // coincident pair: locate it with a scalar pass.
+                if suspects != v_range.len() as u64 {
+                    if let Some(err) = self.find_coincident(tree, leaf, &v_range) {
+                        return Err(err);
+                    }
+                }
+            } else {
+                for b in v_range.clone() {
+                    let (xb, yb, zb) = (self.ax[b], self.ay[b], self.az[b]);
+                    let (qb, rb) = (self.charge_slot[b], born_slot[b]);
+                    let (mut ax_, mut ay_, mut az_) = (0.0, 0.0, 0.0);
+                    let mut pair = |a: usize| -> Result<(), GradientError> {
+                        if a == b {
+                            return Ok(());
+                        }
+                        let dx = xb - self.ax[a];
+                        let dy = yb - self.ay[a];
+                        let dz = zb - self.az[a];
+                        let r_sq = dx * dx + dy * dy + dz * dz;
+                        if r_sq <= COINCIDENT_R_SQ {
+                            return Err(coincident_error(tree, b, a, r_sq));
+                        }
+                        let k = tau
+                            * pair_dedr_over_r(
+                                qb,
+                                self.charge_slot[a],
+                                r_sq,
+                                rb,
+                                born_slot[a],
+                                math,
+                            );
+                        ax_ += dx * k;
+                        ay_ += dy * k;
+                        az_ += dz * k;
+                        Ok(())
+                    };
+                    for i in nr.clone() {
+                        let u_range =
+                            self.epol.near_p_start[i] as usize..self.epol.near_p_end[i] as usize;
+                        counts.pair_ops += u_range.len() as u64;
+                        for a in u_range {
+                            pair(a)?;
+                        }
+                    }
+                    for i in fr.clone() {
+                        let u = tree.node(self.epol.far_p[i]);
+                        let u_range = u.start as usize..u.end as usize;
+                        counts.pair_ops += u_range.len() as u64;
+                        for a in u_range {
+                            pair(a)?;
+                        }
+                    }
+                    gx[b - slot_base] += ax_;
+                    gy[b - slot_base] += ay_;
+                    gz[b - slot_base] += az_;
+                }
+                counts.far_ops += fr.len() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scalar sweep for the coincident pair a lane suspect-count excess
+    /// implies: checks every (target, partner) pair of `leaf`'s lists.
+    /// Returns `None` if nothing is sub-guard (a blend at the exact
+    /// guard boundary — nothing was lost, the pair's term is ~0).
+    fn find_coincident(
+        &self,
+        tree: &Octree,
+        leaf: usize,
+        v_range: &Range<usize>,
+    ) -> Option<GradientError> {
+        let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
+        let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
+        for b in v_range.clone() {
+            let check = |a: usize| -> Option<GradientError> {
+                if a == b {
+                    return None;
+                }
+                let dx = self.ax[b] - self.ax[a];
+                let dy = self.ay[b] - self.ay[a];
+                let dz = self.az[b] - self.az[a];
+                let r_sq = dx * dx + dy * dy + dz * dz;
+                if r_sq <= COINCIDENT_R_SQ {
+                    return Some(coincident_error(tree, b, a, r_sq));
+                }
+                None
+            };
+            for i in nr.clone() {
+                for a in self.epol.near_p_start[i] as usize..self.epol.near_p_end[i] as usize {
+                    if let Some(e) = check(a) {
+                        return Some(e);
+                    }
+                }
+            }
+            for i in fr.clone() {
+                let u = tree.node(self.epol.far_p[i]);
+                for a in u.start as usize..u.end as usize {
+                    if let Some(e) = check(a) {
+                        return Some(e);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The per-leaf partner coverage of the energy lists, for scalar
+    /// consumers that replay the same partition the gradient kernels use
+    /// (the point-dipole induction field sums): the leaf's own target
+    /// slot range, its flat near-gather slot list, and its far partner
+    /// node ids (whose slot ranges complete the partition of all atoms).
+    /// `None` for a leaf with no recorded entries (empty tree).
+    pub(crate) fn epol_leaf_cover(&self, leaf: usize) -> Option<(Range<usize>, &[u32], &[u32])> {
+        let nr = self.epol.near_off[leaf] as usize..self.epol.near_off[leaf + 1] as usize;
+        if nr.is_empty() {
+            return None;
+        }
+        let v_range =
+            self.epol.near_s_start[nr.start] as usize..self.epol.near_s_end[nr.start] as usize;
+        let gidx = &self.epol.gather_idx
+            [self.epol.gather_off[leaf] as usize..self.epol.gather_off[leaf + 1] as usize];
+        let fr = self.epol.far_off[leaf] as usize..self.epol.far_off[leaf + 1] as usize;
+        Some((v_range, gidx, &self.epol.far_p[fr]))
+    }
+
+    /// Slot-order atom SoA views `(ax, ay, az, charge)` for plan-path
+    /// consumers outside this module (the induction solve).
+    pub(crate) fn atom_soa(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (&self.ax, &self.ay, &self.az, &self.charge_slot)
+    }
+
     /// Per-`T_Q`-leaf Born-stage work implied by the lists — the task
     /// sizes the cluster simulator replays, derived without re-running
     /// the traversal. `pair_ops`/`far_ops` sum to the recursive
@@ -1096,6 +1373,19 @@ impl InteractionPlan {
                 w
             })
             .collect()
+    }
+}
+
+/// Build the typed coincidence error for two atom *slots*, mapped back
+/// to original atom indices (sorted) through the tree's Morton order so
+/// the error reads in the caller's coordinate system.
+fn coincident_error(tree: &Octree, slot_a: usize, slot_b: usize, r_sq: f64) -> GradientError {
+    let oa = tree.order()[slot_a] as usize;
+    let ob = tree.order()[slot_b] as usize;
+    GradientError::CoincidentAtoms {
+        i: oa.min(ob),
+        j: oa.max(ob),
+        r: r_sq.sqrt(),
     }
 }
 

@@ -877,6 +877,222 @@ impl ReplanReport {
     }
 }
 
+/// One accepted iteration of a [`crate::minimize::minimize`] run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GradientIterRow {
+    /// Accepted-iteration index (1-based; row 0 is the first step).
+    pub iter: u64,
+    /// Energy at the accepted point (kcal/mol).
+    pub energy_kcal: f64,
+    /// Gradient max-norm at the accepted point (kcal/mol/Å).
+    pub grad_max: f64,
+    /// Gradient RMS per component (kcal/mol/Å).
+    pub grad_rms: f64,
+    /// Accepted maximum per-atom displacement (Å).
+    pub step: f64,
+    /// Energy evaluations the line search spent (1 = first trial hit).
+    pub energy_evals: u64,
+    /// Trial frames served by patching the cached plan.
+    pub patched: u64,
+    /// Trial frames that forced a cold plan (or solver) rebuild.
+    pub rebuilt: u64,
+    /// Trial frames with a reusable plan (no splice needed).
+    pub reused: u64,
+    /// Seconds in the gradient kernel for this iteration.
+    pub grad_seconds: f64,
+    /// Seconds in line-search energy solves for this iteration.
+    pub energy_seconds: f64,
+}
+
+/// Summary of one minimization run on the plan-path analytic gradient:
+/// per-iteration energy/gradient trace plus the patch-vs-rebuild
+/// counters showing the delta re-planning path carried the steps.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GradientReport {
+    /// Molecule name.
+    pub molecule: String,
+    /// `"sd"` or `"lbfgs"`.
+    pub mode: String,
+    /// Kernel mode label (`"lane"` / `"strict"`).
+    pub kernel_mode: String,
+    pub n_atoms: u64,
+    /// Whether the gradient tolerance was reached.
+    pub converged: bool,
+    /// Whether the line search stalled (objective/gradient
+    /// inconsistency at the frozen-radii floor).
+    pub stalled: bool,
+    /// Accepted iterations.
+    pub iters: u64,
+    /// Energy at the final iterate (kcal/mol).
+    pub final_energy_kcal: f64,
+    /// Gradient max-norm at the final iterate (kcal/mol/Å).
+    pub final_grad_max: f64,
+    /// Trial frames patched, summed over all iterations.
+    pub total_patched: u64,
+    /// Trial frames rebuilt, summed.
+    pub total_rebuilt: u64,
+    /// Trial frames reused, summed.
+    pub total_reused: u64,
+    /// Seconds in gradient kernels across the run.
+    pub grad_seconds: f64,
+    /// Wall seconds for the whole run.
+    pub wall_s: f64,
+    /// Per-iteration rows, step order.
+    pub rows: Vec<GradientIterRow>,
+}
+
+impl GradientReport {
+    /// Fill the aggregate counters from `rows`.
+    pub fn summarize(&mut self) {
+        self.total_patched = self.rows.iter().map(|r| r.patched).sum();
+        self.total_rebuilt = self.rows.iter().map(|r| r.rebuilt).sum();
+        self.total_reused = self.rows.iter().map(|r| r.reused).sum();
+    }
+
+    /// Serialize to a self-contained JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", "gradient_report/v1");
+        o.str("molecule", &self.molecule);
+        o.str("mode", &self.mode);
+        o.str("kernel_mode", &self.kernel_mode);
+        o.num("n_atoms", self.n_atoms as f64);
+        o.raw("converged", if self.converged { "true" } else { "false" });
+        o.raw("stalled", if self.stalled { "true" } else { "false" });
+        o.num("iters", self.iters as f64);
+        o.num("final_energy_kcal", self.final_energy_kcal);
+        o.num("final_grad_max", self.final_grad_max);
+        o.num("total_patched", self.total_patched as f64);
+        o.num("total_rebuilt", self.total_rebuilt as f64);
+        o.num("total_reused", self.total_reused as f64);
+        o.num("grad_seconds", self.grad_seconds);
+        o.num("wall_s", self.wall_s);
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut ro = JsonObj::new();
+                ro.num("iter", r.iter as f64);
+                ro.num("energy_kcal", r.energy_kcal);
+                ro.num("grad_max", r.grad_max);
+                ro.num("grad_rms", r.grad_rms);
+                ro.num("step", r.step);
+                ro.num("energy_evals", r.energy_evals as f64);
+                ro.num("patched", r.patched as f64);
+                ro.num("rebuilt", r.rebuilt as f64);
+                ro.num("reused", r.reused as f64);
+                ro.num("grad_seconds", r.grad_seconds);
+                ro.num("energy_seconds", r.energy_seconds);
+                ro.finish()
+            })
+            .collect();
+        o.raw("rows", &format!("[{}]", rows.join(",")));
+        o.finish()
+    }
+
+    /// The per-iteration CSV column set.
+    pub fn csv_header() -> String {
+        [
+            "iter",
+            "energy_kcal",
+            "grad_max",
+            "grad_rms",
+            "step",
+            "energy_evals",
+            "patched",
+            "rebuilt",
+            "reused",
+            "grad_s",
+            "energy_s",
+        ]
+        .join(",")
+    }
+
+    /// Header plus one record per accepted iteration.
+    pub fn to_csv(&self) -> String {
+        let mut out = Self::csv_header();
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.iter,
+                r.energy_kcal,
+                r.grad_max,
+                r.grad_rms,
+                r.step,
+                r.energy_evals,
+                r.patched,
+                r.rebuilt,
+                r.reused,
+                r.grad_seconds,
+                r.energy_seconds,
+            ));
+        }
+        out
+    }
+}
+
+/// Convergence trace of one induced-dipole solve
+/// ([`crate::induction`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InductionReport {
+    /// Molecule name.
+    pub molecule: String,
+    /// `"plan"` or `"naive"`.
+    pub mode: String,
+    pub n_atoms: u64,
+    /// Fixed-point iterations performed.
+    pub iters: u64,
+    /// Whether the residual tolerance was met.
+    pub converged: bool,
+    /// `−½ Σ μ·E⁰` (kcal/mol).
+    pub u_ind_kcal: f64,
+    /// RMS dipole change per iteration, in order.
+    pub residuals: Vec<f64>,
+}
+
+impl InductionReport {
+    /// Serialize to a self-contained JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("schema", "induction_report/v1");
+        o.str("molecule", &self.molecule);
+        o.str("mode", &self.mode);
+        o.num("n_atoms", self.n_atoms as f64);
+        o.num("iters", self.iters as f64);
+        o.raw("converged", if self.converged { "true" } else { "false" });
+        o.num("u_ind_kcal", self.u_ind_kcal);
+        let rows: Vec<String> = self
+            .residuals
+            .iter()
+            .map(|r| {
+                if r.is_finite() {
+                    format!("{r}")
+                } else {
+                    "null".into()
+                }
+            })
+            .collect();
+        o.raw("residuals", &format!("[{}]", rows.join(",")));
+        o.finish()
+    }
+
+    /// The per-iteration CSV column set.
+    pub fn csv_header() -> String {
+        ["iter", "residual"].join(",")
+    }
+
+    /// Header plus one record per fixed-point iteration.
+    pub fn to_csv(&self) -> String {
+        let mut out = Self::csv_header();
+        out.push('\n');
+        for (i, r) in self.residuals.iter().enumerate() {
+            out.push_str(&format!("{},{}\n", i + 1, r));
+        }
+        out
+    }
+}
+
 /// Fixed-bucket histogram for serve-mode telemetry.
 ///
 /// Buckets are cumulative-upper-bound style (`value <= bound`), with an
@@ -1734,6 +1950,46 @@ mod tests {
         assert_eq!(replan_cols.len(), 12);
         assert_eq!(replan_cols[0], "frame");
         assert_eq!(replan_cols[11], "epol_kcal");
+
+        let gradient_header = GradientReport::csv_header();
+        let gradient_cols: Vec<&str> = gradient_header.split(',').collect();
+        assert_eq!(
+            gradient_cols,
+            [
+                "iter",
+                "energy_kcal",
+                "grad_max",
+                "grad_rms",
+                "step",
+                "energy_evals",
+                "patched",
+                "rebuilt",
+                "reused",
+                "grad_s",
+                "energy_s",
+            ]
+        );
+        let gr = GradientReport {
+            rows: vec![GradientIterRow::default()],
+            ..GradientReport::default()
+        };
+        let mut lines = gr.to_csv();
+        lines.pop();
+        for line in lines.lines() {
+            assert_eq!(line.split(',').count(), 11, "{line}");
+        }
+        parse_json(&gr.to_json()).expect("gradient report JSON must parse");
+
+        let induction_header = InductionReport::csv_header();
+        assert_eq!(induction_header, "iter,residual");
+        let ir = InductionReport {
+            residuals: vec![1.0, 0.1, f64::NAN],
+            ..InductionReport::default()
+        };
+        for line in ir.to_csv().lines() {
+            assert_eq!(line.split(',').count(), 2, "{line}");
+        }
+        parse_json(&ir.to_json()).expect("induction report JSON must parse");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::born::octree::{
 };
 use crate::constants::tau;
 use crate::energy::exact as energy_exact;
+use crate::energy::gradient::GradientError;
 use crate::energy::octree::{epol_for_leaf_segment, EpolCtx};
 use crate::kernels::KernelMode;
 use crate::partition::even_segments;
@@ -67,6 +68,48 @@ pub struct GbResult {
     pub work_born: WorkCounts,
     /// Work done by the energy stage.
     pub work_epol: WorkCounts,
+}
+
+/// Output of a plan-path gradient evaluation: one plan replay yields
+/// the energy *and* its analytic frozen-Born-radii gradient (the value/
+/// gradient pair every line-search minimizer asks for per iterate),
+/// sharing a single Born stage.
+#[derive(Debug, Clone)]
+pub struct GradResult {
+    /// `∂E_pol/∂x` per atom, original atom order (kcal/mol/Å); the
+    /// *force* is its negation.
+    pub grad: Vec<Vec3>,
+    /// Polarization energy at the evaluation point (kcal/mol).
+    pub epol_kcal: f64,
+    /// Born radii the gradient froze, original atom order (Å).
+    pub born: Vec<f64>,
+    /// Work done by the Born stage.
+    pub work_born: WorkCounts,
+    /// Work done by the energy stage.
+    pub work_epol: WorkCounts,
+    /// Work done by the gradient stage (exact pairwise far expansion, so
+    /// its `pair_ops` exceed the energy stage's).
+    pub work_grad: WorkCounts,
+}
+
+impl GradResult {
+    /// Max-norm of the gradient (kcal/mol/Å) — the minimizer's
+    /// convergence measure.
+    pub fn grad_max(&self) -> f64 {
+        self.grad
+            .iter()
+            .flat_map(|g| [g.x.abs(), g.y.abs(), g.z.abs()])
+            .fold(0.0, f64::max)
+    }
+
+    /// Root-mean-square gradient component (kcal/mol/Å).
+    pub fn grad_rms(&self) -> f64 {
+        if self.grad.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = self.grad.iter().map(|g| g.norm_sq()).sum();
+        (ss / (3.0 * self.grad.len() as f64)).sqrt()
+    }
 }
 
 /// Reusable per-worker solve buffers — everything a plan-execute solve
@@ -687,6 +730,201 @@ impl GbSolver {
         let mut report = self.base_report("plan_parallel", &p, &result, born_s, epol_s);
         report.steal = Some(StealReport::from(&steal));
         report.plan = Some(plan.stats());
+        Ok((result, report))
+    }
+
+    // ---------------------------------------------------------------
+    // Plan-path analytic gradients
+    // ---------------------------------------------------------------
+
+    /// Energy + analytic frozen-Born-radii gradient from one plan
+    /// replay: the Born and energy stages run exactly as
+    /// [`GbSolver::solve_with_plan`], then the gradient stage replays
+    /// the same energy lists with far entries expanded pairwise, so the
+    /// result matches `epol_gradient_naive` to ~1e-12 per component in
+    /// both kernel modes (it is a pure summation reorder) while coming
+    /// out of the same plan build/patch the energies amortize.
+    pub fn gradient_with_plan(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+    ) -> Result<GradResult, GradientError> {
+        let (result, ..) = self.gradient_with_plan_timed(plan, p, &mut SolveScratch::new())?;
+        Ok(result)
+    }
+
+    /// As [`GbSolver::gradient_with_plan`], plus a [`SolveReport`]
+    /// (mode `"plan_gradient"`) with a third `"gradient"` stage row.
+    pub fn gradient_with_plan_report(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+    ) -> Result<(GradResult, SolveReport), GradientError> {
+        let (result, born_s, epol_s, grad_s) =
+            self.gradient_with_plan_timed(plan, p, &mut SolveScratch::new())?;
+        let mut report = self.gradient_report("plan_gradient", p, &result, born_s, epol_s, grad_s);
+        report.plan = Some(plan.stats());
+        Ok((result, report))
+    }
+
+    fn gradient_report(
+        &self,
+        mode: &str,
+        p: &GbParams,
+        result: &GradResult,
+        born_s: f64,
+        epol_s: f64,
+        grad_s: f64,
+    ) -> SolveReport {
+        let proxy = GbResult {
+            born: Vec::new(),
+            epol_kcal: result.epol_kcal,
+            work_born: result.work_born,
+            work_epol: result.work_epol,
+        };
+        let mut report = self.base_report(mode, p, &proxy, born_s, epol_s);
+        report.stages.push(StageReport {
+            name: "gradient".into(),
+            wall_seconds: grad_s,
+            work: result.work_grad,
+        });
+        report
+    }
+
+    fn gradient_with_plan_timed(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+        scratch: &mut SolveScratch,
+    ) -> Result<(GradResult, f64, f64, f64), GradientError> {
+        let (solve, born_s, epol_s) = self.solve_with_plan_timed(plan, p, scratch)?;
+        let t2 = std::time::Instant::now();
+        let born_slot = self.born_by_slot(&solve.born);
+        let inv_born: Vec<f64> = born_slot.iter().map(|&r| 1.0 / r).collect();
+        let n = self.n_atoms();
+        let (mut gx, mut gy, mut gz) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let mut work_grad = WorkCounts::ZERO;
+        plan.execute_gradient_segment(
+            &self.tree_a,
+            &born_slot,
+            &inv_born,
+            p.math,
+            p.kernel,
+            tau(p.eps_solvent),
+            0..self.tree_a.leaves().len(),
+            0,
+            &mut gx,
+            &mut gy,
+            &mut gz,
+            &mut work_grad,
+        )?;
+        let mut grad = vec![Vec3::ZERO; n];
+        for slot in 0..n {
+            grad[self.tree_a.order()[slot] as usize] = Vec3::new(gx[slot], gy[slot], gz[slot]);
+        }
+        let grad_s = t2.elapsed().as_secs_f64();
+        Ok((
+            GradResult {
+                grad,
+                epol_kcal: solve.epol_kcal,
+                born: solve.born,
+                work_born: solve.work_born,
+                work_epol: solve.work_epol,
+                work_grad,
+            },
+            born_s,
+            epol_s,
+            grad_s,
+        ))
+    }
+
+    /// Parallel plan-path gradient (mode `"plan_gradient_parallel"`):
+    /// Born/energy stages as [`GbSolver::solve_with_plan_parallel_report`],
+    /// then gradient leaf segments fan out over the work-stealing pool.
+    /// Each task owns a disjoint contiguous slot span (its leaves'
+    /// targets) and results merge by task index, so for fixed Born
+    /// radii the gradient stage is **bitwise identical** for any worker
+    /// count or steal schedule. End-to-end output tracks the serial
+    /// path at ulp grade only, because the parallel Born stage
+    /// re-associates per-chunk partials.
+    pub fn gradient_with_plan_parallel_report(
+        &self,
+        plan: &InteractionPlan,
+        p: &GbParams,
+        n_workers: usize,
+    ) -> Result<(GradResult, SolveReport), GradientError> {
+        let (solve, mut report) = self.solve_with_plan_parallel_report(plan, p, n_workers)?;
+        let n_workers = n_workers.max(1);
+        let t2 = std::time::Instant::now();
+        let born_slot = self.born_by_slot(&solve.born);
+        let born_slot = &born_slot;
+        let inv_born: Vec<f64> = born_slot.iter().map(|&r| 1.0 / r).collect();
+        let inv_born = &inv_born;
+        let tree = &self.tree_a;
+        let leaves = tree.leaves();
+        let p = *p;
+        let segs = even_segments(leaves.len(), n_workers * 8);
+        let tasks: Vec<_> = segs
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| {
+                move || {
+                    // Leaves are Morton-ordered, so a leaf range's target
+                    // slots form one contiguous span.
+                    let lo = tree.node(leaves[r.start]).start as usize;
+                    let hi = tree.node(leaves[r.end - 1]).end as usize;
+                    let mut counts = WorkCounts::ZERO;
+                    let (mut gx, mut gy, mut gz) =
+                        (vec![0.0; hi - lo], vec![0.0; hi - lo], vec![0.0; hi - lo]);
+                    let res = plan.execute_gradient_segment(
+                        tree,
+                        born_slot,
+                        inv_born,
+                        p.math,
+                        p.kernel,
+                        tau(p.eps_solvent),
+                        r,
+                        lo,
+                        &mut gx,
+                        &mut gy,
+                        &mut gz,
+                        &mut counts,
+                    );
+                    (lo, gx, gy, gz, counts, res)
+                }
+            })
+            .collect();
+        let (parts, steal_grad) = polar_runtime::run_batch(n_workers, tasks);
+        let n = self.n_atoms();
+        let mut grad = vec![Vec3::ZERO; n];
+        let mut work_grad = WorkCounts::ZERO;
+        for (lo, gx, gy, gz, counts, res) in parts {
+            res?;
+            work_grad.accumulate(counts);
+            for k in 0..gx.len() {
+                grad[self.tree_a.order()[lo + k] as usize] = Vec3::new(gx[k], gy[k], gz[k]);
+            }
+        }
+        let grad_s = t2.elapsed().as_secs_f64();
+        let result = GradResult {
+            grad,
+            epol_kcal: solve.epol_kcal,
+            born: solve.born,
+            work_born: solve.work_born,
+            work_epol: solve.work_epol,
+            work_grad,
+        };
+        report.mode = "plan_gradient_parallel".into();
+        report.stages.push(StageReport {
+            name: "gradient".into(),
+            wall_seconds: grad_s,
+            work: work_grad,
+        });
+        if let Some(s) = &mut report.steal {
+            let extra = StealReport::from(&steal_grad);
+            s.total_executed += extra.total_executed;
+            s.total_steals += extra.total_steals;
+        }
         Ok((result, report))
     }
 

@@ -1,36 +1,34 @@
-//! Flexible-molecule workflow: gradient relaxation with incremental
-//! re-planning.
+//! Flexible-molecule workflow: energy minimization on the plan-path
+//! analytic gradient, with incremental re-planning.
 //!
 //! ```sh
 //! cargo run --release --example md_relaxation
 //! ```
 //!
-//! An MD/minimization loop moves atoms a little every step. Rebuilding
-//! the interaction plan from scratch each step would repeat the full
-//! separation-test traversal; this example drives the delta path
-//! instead: each step takes a steepest-descent step along the
-//! polarization gradient, moves the *prepared* solver in place
-//! (`GbSolver::apply_frame` — octrees refresh with drift-tolerant
-//! frozen node geometry, surface points ride their owner atoms), then
-//! asks `InteractionPlan::delta` whether the existing plan survives.
-//! In-tolerance steps patch (usually zero dirty segments — a pure
-//! coordinate refresh); once accumulated drift crosses the tolerance
-//! the classifier orders a cold re-plan and the cycle restarts.
+//! A minimization loop moves atoms every step. Rebuilding the
+//! interaction plan from scratch each step would repeat the full
+//! separation-test traversal; the minimizer drives the delta path
+//! instead: every accepted (and trial) frame goes through
+//! `GbSolver::apply_frame` — octrees refresh with drift-tolerant
+//! frozen node geometry, surface points ride their owner atoms — and
+//! `InteractionPlan::delta` classifies the step as reusable,
+//! patchable, or a cold re-plan.
+//!
+//! This example used to hand-roll a *fixed-step* steepest descent
+//! (`x ← x − s·g`), which overshoots in the aggressive-step regime and
+//! silently climbs in energy. `polar_gb::minimize` replaces it with an
+//! Armijo backtracking line search (optionally L-BFGS): uphill trial
+//! points are rejected by construction, which the assertion at the
+//! bottom checks step by step.
 
-use polar_energy::gb::constants::{tau, EPS_WATER};
-use polar_energy::gb::energy::gradient::epol_gradient_naive;
-use polar_energy::gb::plan::{PlanDelta, ReplanConfig};
+use polar_energy::gb::{minimize, GradientReport, MinimizeConfig};
 use polar_energy::molecule::generators;
 use polar_energy::prelude::*;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 fn main() {
     let mol = generators::globular("relax", 800, 77);
-    let mut pos = mol.positions();
-    let charges = mol.charges();
     let params = GbParams::default();
-    let cfg = ReplanConfig::default();
-    let t_w = tau(EPS_WATER);
 
     // Initial build: surface, octrees, plan (the one-off cold cost).
     let mut solver =
@@ -38,79 +36,68 @@ fn main() {
     let t = Instant::now();
     let mut plan = solver.plan(&params);
     let cold_plan = t.elapsed();
+    let e_start = solver
+        .solve_with_plan(&plan, &params)
+        .expect("fresh plan is current")
+        .epol_kcal;
 
-    let steps = 30;
-    let step_size = 2e-6; // Å per (kcal/mol/Å); conservative descent
-    let mut patched = 0u32;
-    let mut rebuilt = 0u32;
-    let mut patch_time = Duration::ZERO;
+    let cfg = MinimizeConfig {
+        max_iters: 30,
+        grad_tol: 1.0,
+        ..MinimizeConfig::default()
+    };
+    let out = minimize(&mut solver, &mut plan, &params, &cfg)
+        .expect("generated geometry has no coincident atoms");
 
     println!(
-        "{:>5} {:>14} {:>10} {:>9}",
-        "step", "E_pol", "|grad|max", "plan op"
+        "{:>5} {:>14} {:>10} {:>9} {:>7}",
+        "iter", "E_pol", "|grad|max", "step", "plan ops"
     );
-    for step in 0..steps {
-        // Energy and Born radii from the current plan (patched or cold,
-        // the lists are identical to a cold plan on this geometry).
-        let result = solver
-            .solve_with_plan(&plan, &params)
-            .expect("plan is current for this geometry");
-        // Steepest descent on the frozen-radii gradient.
-        let grad = epol_gradient_naive(&pos, &charges, &result.born, t_w, params.math);
-        let gmax = grad.iter().map(|g| g.norm()).fold(0.0_f64, f64::max);
-        for (p, g) in pos.iter_mut().zip(&grad) {
-            *p -= *g * step_size;
-        }
-        // Incremental re-planning: move the prepared solver, classify,
-        // patch if the delta allows — cold re-plan only when it doesn't.
-        let op = match solver.apply_frame(&pos, cfg.slack, cfg.tolerance) {
-            Ok(frame) => match plan.delta(&solver, &params, &frame, &cfg) {
-                PlanDelta::Reusable => "reuse",
-                PlanDelta::Patchable(set) => {
-                    let t = Instant::now();
-                    plan.patch(&solver, &params, &set)
-                        .expect("patch set built for this solver");
-                    patch_time += t.elapsed();
-                    patched += 1;
-                    "patch"
-                }
-                PlanDelta::Rebuild(_) => {
-                    solver.resync_geometry();
-                    plan = solver.plan(&params);
-                    rebuilt += 1;
-                    "REPLAN"
-                }
-            },
-            Err(_) => {
-                // Atoms escaped their slackened leaf cells: the tree
-                // topology itself is stale — prepare the frame cold.
-                let moved = Molecule::new(
-                    "relax",
-                    pos.iter()
-                        .zip(&mol.radii())
-                        .zip(&charges)
-                        .map(|((p, r), q)| Atom::new(*p, *r, *q))
-                        .collect(),
-                );
-                solver = GbSolver::for_molecule(
-                    &moved,
-                    &SurfaceConfig::coarse(),
-                    &OctreeConfig::default(),
-                );
-                plan = solver.plan(&params);
-                rebuilt += 1;
-                "REBUILD"
-            }
-        };
-        if step % 5 == 0 || op != "patch" {
-            println!("{step:>5} {:>14.3} {gmax:>10.3} {op:>9}", result.epol_kcal);
-        }
+    for row in &out.report.rows {
+        println!(
+            "{:>5} {:>14.3} {:>10.3} {:>9.5} {:>3}p/{}r/{}u",
+            row.iter, row.energy_kcal, row.grad_max, row.step, row.patched, row.rebuilt, row.reused
+        );
     }
-    assert!(patched > 0, "relaxation steps this small must patch");
-    let mean_patch = patch_time / patched;
+
+    // The line search only ever accepts sufficient-decrease points:
+    // energy must fall monotonically, step over step.
+    let mut prev = e_start;
+    for row in &out.report.rows {
+        assert!(
+            row.energy_kcal <= prev,
+            "uphill step accepted: {prev} -> {} (iter {})",
+            row.energy_kcal,
+            row.iter
+        );
+        prev = row.energy_kcal;
+    }
+    assert!(out.energy_kcal < e_start, "relaxation failed to descend");
+    // Steps this small must ride the delta path, not cold rebuilds.
+    assert!(
+        out.report.total_patched + out.report.total_reused > 0,
+        "no step used the incremental re-planning path"
+    );
+
+    let report: &GradientReport = &out.report;
     println!(
-        "\n{patched} patched / {rebuilt} re-planned over {steps} steps; \
-         cold plan {cold_plan:.2?}, mean patch {mean_patch:.2?} ({:.1}x)",
-        cold_plan.as_secs_f64() / mean_patch.as_secs_f64()
+        "\n{} iters ({}): E {:.3} -> {:.3} kcal/mol, grad_max {:.3}; \
+         {} patched / {} rebuilt / {} reused trial frames; \
+         cold plan {cold_plan:.2?}, gradient stage {:.2?} total",
+        report.iters,
+        if report.converged {
+            "converged"
+        } else if report.stalled {
+            "stalled at frozen-radii floor"
+        } else {
+            "iteration cap"
+        },
+        e_start,
+        out.energy_kcal,
+        out.grad_max,
+        report.total_patched,
+        report.total_rebuilt,
+        report.total_reused,
+        std::time::Duration::from_secs_f64(report.grad_seconds),
     );
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Measure the plan-threaded analytic gradient (delta-tolerant plan
+# reuse vs cold re-planning on a moving trajectory) and refresh
+# results/BENCH_gradient.json plus the minimizer's GradientReport
+# artifact results/GRADIENT_report.json.
+#
+# Usage:  POLAR_SCALE=quick|default|full scripts/bench_gradient.sh
+#
+# quick   — CI smoke size (400 atoms, 12 frames, seconds),
+# default — 1.5k atoms, 16 frames,
+# full    — 4k atoms, 24 frames.
+#
+# The binary exits non-zero if the plan-reuse gradient path is not at
+# least 1.2x faster than cold re-planning every frame, if any frame's
+# plan gradient breaks the accuracy contract (naive frozen-radii
+# gradient to 1e-12 relative per component, central finite difference
+# to 1e-8 on probe atoms), or if the line-search minimizer accepts an
+# uphill step.
+
+set -eu
+cd "$(dirname "$0")/.."
+export POLAR_SCALE="${POLAR_SCALE:-default}"
+
+cargo build --release -p polar-bench --bin bench_gradient
+echo "POLAR_SCALE=$POLAR_SCALE"
+./target/release/bench_gradient
